@@ -1,0 +1,85 @@
+"""E8 — ablation: the CFG merge function of the thermal analysis.
+
+The paper's Fig. 2 pseudocode iterates blocks but never says how states
+combine where control flow joins.  This reproduction had to choose; the
+candidates are element-wise max (conservative), plain mean, and static-
+profile frequency-weighted mean (our default).  This bench quantifies
+the consequences of that design decision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TDFAConfig, ThermalDataflowAnalysis, analyze
+from repro.regalloc import allocate_linear_scan
+from repro.sim import compare_to_emulation
+from repro.util import banner, format_table
+from repro.workloads import load
+
+WORKLOADS = ["fir", "iir", "sort", "crc32"]
+MERGES = ["max", "mean", "freq"]
+
+
+@pytest.fixture(scope="module")
+def merge_rows(machine, emulator):
+    rows = []
+    corr: dict[str, list[float]] = {m: [] for m in MERGES}
+    peak_err: dict[str, list[float]] = {m: [] for m in MERGES}
+    for name in WORKLOADS:
+        wl = load(name)
+        allocation = allocate_linear_scan(wl.function, machine)
+        emulation = emulator.run(
+            allocation.function, args=wl.args, memory=dict(wl.memory)
+        )
+        for merge in MERGES:
+            result = analyze(allocation.function, machine, delta=0.01, merge=merge)
+            report = compare_to_emulation(result.peak_state(), emulation)
+            rows.append(
+                (
+                    name,
+                    merge,
+                    result.iterations,
+                    result.peak_state().peak - 318.15,
+                    report.pearson_r,
+                    report.peak_error_kelvin,
+                )
+            )
+            corr[merge].append(report.pearson_r)
+            peak_err[merge].append(report.peak_error_kelvin)
+    return rows, corr, peak_err
+
+
+def test_e8_merge_ablation(merge_rows, machine, record_table, benchmark):
+    rows, corr, peak_err = merge_rows
+    table = format_table(
+        ["workload", "merge", "iterations", "peak dT (K)", "pearson r",
+         "peak err (K)"],
+        rows,
+    )
+    means = format_table(
+        ["merge", "mean pearson r", "mean peak err (K)"],
+        [
+            (m, sum(corr[m]) / len(corr[m]), sum(peak_err[m]) / len(peak_err[m]))
+            for m in MERGES
+        ],
+    )
+    record_table(
+        "E8_merge_ablation",
+        "\n".join([banner("E8 — CFG merge function ablation"), table, "", means]),
+    )
+
+    # Shape: every merge converges and correlates; max-merge predicts the
+    # highest temperatures (it is the conservative over-approximation).
+    by_key = {(r[0], r[1]): r for r in rows}
+    for name in WORKLOADS:
+        assert by_key[(name, "max")][3] >= by_key[(name, "freq")][3] - 1e-6
+    for merge in MERGES:
+        assert min(corr[merge]) > 0.5
+
+    wl = load("fir")
+    allocated = allocate_linear_scan(wl.function, machine).function
+    analysis = ThermalDataflowAnalysis(
+        machine=machine, config=TDFAConfig(delta=0.01, merge="max")
+    )
+    benchmark(lambda: analysis.run(allocated))

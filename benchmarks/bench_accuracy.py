@@ -1,0 +1,81 @@
+"""E3 — prediction accuracy and cost: analysis vs feedback emulation.
+
+The paper's value proposition (§1): replace the feedback-driven
+emulation flow with a compile-time analysis.  For every kernel in the
+suite this bench reports how well the analysis's predicted map matches
+the emulator's ground truth, and how much cheaper it is.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import analyze
+from repro.regalloc import allocate_linear_scan
+from repro.sim import compare_to_emulation
+from repro.util import banner, format_table
+from repro.workloads import full_suite
+
+
+@pytest.fixture(scope="module")
+def accuracy_rows(machine, emulator):
+    rows = []
+    reports = []
+    for wl in full_suite():
+        allocation = allocate_linear_scan(wl.function, machine)
+        started = time.perf_counter()
+        analysis = analyze(allocation.function, machine, delta=0.01)
+        analysis_seconds = time.perf_counter() - started
+        emulation = emulator.run(
+            allocation.function, args=wl.args, memory=dict(wl.memory)
+        )
+        report = compare_to_emulation(
+            analysis.peak_state(), emulation, predicted_seconds=analysis_seconds
+        )
+        reports.append((wl.name, report))
+        rows.append(
+            (
+                wl.name,
+                report.pearson_r,
+                report.rmse_kelvin,
+                report.peak_error_kelvin,
+                "yes" if report.hottest_register_match else "no",
+                report.speedup,
+            )
+        )
+    return rows, reports
+
+
+def test_e3_accuracy_vs_emulation(accuracy_rows, machine, record_table, benchmark):
+    rows, reports = accuracy_rows
+    table = format_table(
+        ["workload", "pearson r", "rmse (K)", "peak err (K)", "hottest ok",
+         "speedup (x)"],
+        rows,
+    )
+    mean_r = sum(r.pearson_r for _n, r in reports) / len(reports)
+    record_table(
+        "E3_accuracy",
+        "\n".join(
+            [
+                banner("E3 — analysis vs emulation (ground truth)"),
+                table,
+                "",
+                f"mean pearson r = {mean_r:.3f} over {len(reports)} kernels",
+            ]
+        ),
+    )
+
+    # Shape: strong correlation on loop kernels; hottest register found in
+    # the clear majority of the suite.
+    assert mean_r > 0.7
+    matches = sum(1 for _n, r in reports if r.hottest_register_match)
+    assert matches >= len(reports) * 0.6
+
+    from repro.workloads import load
+
+    wl = load("fir")
+    allocation = allocate_linear_scan(wl.function, machine)
+    benchmark(lambda: analyze(allocation.function, machine, delta=0.01))

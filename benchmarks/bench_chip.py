@@ -1,0 +1,143 @@
+"""E11 — chip-level view: optimizations move heat between units.
+
+Paper §5: the long-term goal is thermal analyses "relating to all parts
+of the processor".  On a die holding the RF, the ALU and the D-cache,
+this bench re-runs the key §4 transformations and reports the peak
+temperature of *each block*, exposing what the RF-only view hides:
+
+* spilling critical variables does not delete their heat — it moves it
+  into the D-cache (every spill/reload is a cache access);
+* NOP insertion cools the RF *and* the ALU (the whole pipeline idles);
+* re-assignment injects no power outside the RF — yet the measured
+  temperature table shows the D-cache *warming* anyway, because the
+  spreading permutation moves hot registers toward the RF's cache-facing
+  edge and heat diffuses across the block boundary.  A genuinely
+  chip-level effect no RF-only analysis could see, and an argument for
+  the paper's §5 agenda.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TDFAConfig, ThermalDataflowAnalysis
+from repro.ir.values import VirtualRegister
+from repro.opt import NopInsertionPass, ReassignPass
+from repro.regalloc import allocate_linear_scan, insert_spill_code
+from repro.thermal import ChipPowerModel, ChipThermalModel
+from repro.util import banner, format_table
+from repro.workloads import load
+
+WORKLOAD = "iir"
+
+
+@pytest.fixture(scope="module")
+def chip(machine):
+    return ChipThermalModel(machine)
+
+
+def analyze_on_chip(machine, chip, allocated, delta=0.02):
+    analysis = ThermalDataflowAnalysis(
+        machine=machine,
+        model=chip,
+        power_model=ChipPowerModel(machine, chip),
+        config=TDFAConfig(delta=delta),
+    )
+    return analysis.run(allocated)
+
+
+@pytest.fixture(scope="module")
+def chip_rows(machine, chip):
+    wl = load(WORKLOAD)
+    ambient = chip.params.ambient
+    rows = []
+    stats = {}
+
+    def record(label, allocated):
+        result = analyze_on_chip(machine, chip, allocated)
+        peak = result.peak_state()
+        entry = (
+            chip.block_peak(peak, "rf") - ambient,
+            chip.block_peak(peak, "alu") - ambient,
+            chip.block_peak(peak, "dcache") - ambient,
+        )
+        stats[label] = entry
+        rows.append((label,) + entry)
+        return result
+
+    baseline_alloc = allocate_linear_scan(wl.function, machine)
+    baseline_result = record("baseline (first-free)", baseline_alloc.function)
+
+    victims = set(sorted(
+        (v for v in wl.function.virtual_registers()
+         if isinstance(v, VirtualRegister)),
+        key=str,
+    )[:4])
+    spilled = insert_spill_code(wl.function, victims)
+    record("spill 4 variables", allocate_linear_scan(spilled, machine).function)
+
+    reassigned, _ = ReassignPass(machine=machine).run(baseline_alloc.function)
+    record("reassign (Zhou'08)", reassigned)
+
+    threshold = baseline_result.peak_state().peak - 0.2
+    nopped, _ = NopInsertionPass(
+        analysis=baseline_result, threshold=threshold, burst=2
+    ).run(baseline_alloc.function)
+    record("nop insertion", nopped)
+
+    return wl, rows, stats
+
+
+def test_e11_chip_heat_migration(chip_rows, machine, chip, record_table,
+                                 benchmark):
+    wl, rows, stats = chip_rows
+    table = format_table(
+        ["transformation", "RF peak dT (K)", "ALU peak dT (K)",
+         "D$ peak dT (K)"],
+        rows,
+    )
+    record_table(
+        "E11_chip",
+        "\n".join(
+            [
+                banner(f"E11 — chip-level heat migration ({WORKLOAD})"),
+                table,
+                "",
+                "spilling relocates heat into the D-cache; NOPs idle the",
+                "whole pipeline; re-assignment stays inside the RF block.",
+            ]
+        ),
+    )
+
+    base = stats["baseline (first-free)"]
+    spill = stats["spill 4 variables"]
+    nops = stats["nop insertion"]
+
+    # Spilling heats the cache — the migration the RF-only view misses.
+    assert spill[2] > base[2] * 1.2
+    # NOPs cool the RF and the ALU (the whole pipeline idles).
+    assert nops[0] < base[0]
+    assert nops[1] < base[1]
+
+    # Re-assignment must inject *zero additional power* outside the RF —
+    # any cache warming in its row is pure cross-block diffusion.  The
+    # invariant is on power, not temperature.
+    import numpy as np
+
+    baseline_alloc = allocate_linear_scan(wl.function, machine)
+    reassigned, _ = ReassignPass(machine=machine).run(baseline_alloc.function)
+    cache_cells = chip.layout.block_cells("dcache")
+
+    def cache_power(function):
+        pm = ChipPowerModel(machine, chip)
+        total = np.zeros(chip.layout.die_geometry.num_registers)
+        for inst in function.instructions():
+            total += pm.dynamic_power(inst)
+        return float(total[cache_cells].sum())
+
+    assert cache_power(reassigned) == pytest.approx(
+        cache_power(baseline_alloc.function)
+    )
+
+    allocated = allocate_linear_scan(wl.function, machine).function
+    benchmark(lambda: analyze_on_chip(machine, chip, allocated, delta=0.05))

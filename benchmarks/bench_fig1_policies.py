@@ -1,0 +1,89 @@
+"""F1 — Fig. 1: thermal maps for register assignment policies.
+
+Regenerates the paper's motivating figure: steady-state RF thermal maps
+under (a) deterministic first-free order, (b) random, (c) chessboard —
+plus this reproduction's additional spreading policies for context.
+
+Paper's claims (asserted below):
+* (a) and (b) produce hot spots with steep thermal gradients;
+* (c) yields a homogenized temperature map.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.regalloc import allocate_linear_scan, default_policies
+from repro.thermal import render_side_by_side, summarize, uniformity
+from repro.util import banner, format_table
+from repro.workloads import load
+
+WORKLOAD = "fir"
+
+
+@pytest.fixture(scope="module")
+def policy_maps(machine, emulator):
+    wl = load(WORKLOAD)
+    maps = {}
+    for policy in default_policies(seed=1):
+        allocation = allocate_linear_scan(wl.function, machine, policy)
+        state = emulator.steady_map(allocation.function, memory=dict(wl.memory))
+        maps[policy.name] = state
+    return wl, maps
+
+
+def test_fig1_policy_thermal_maps(policy_maps, machine, record_table, benchmark):
+    wl, maps = policy_maps
+    ambient = 318.15
+
+    rows = []
+    for name, state in maps.items():
+        s = summarize(state)
+        rows.append(
+            (
+                name,
+                s.peak - ambient,
+                s.spread,
+                s.gradient,
+                s.std,
+                uniformity(state),
+            )
+        )
+    table = format_table(
+        ["policy", "peak dT (K)", "spread (K)", "gradient (K)", "sigma (K)",
+         "uniformity"],
+        rows,
+    )
+    fig = render_side_by_side(
+        [maps["first-free"], maps["random"], maps["chessboard"]],
+        titles=["(a) first-free", "(b) random", "(c) chessboard"],
+    )
+    record_table(
+        "F1_fig1_policies",
+        "\n".join(
+            [
+                banner(f"F1 / Fig.1 — policy thermal maps ({WORKLOAD})"),
+                table,
+                "",
+                fig,
+            ]
+        ),
+    )
+
+    # --- the paper's shape ---
+    assert maps["first-free"].max_gradient() > maps["chessboard"].max_gradient()
+    assert maps["random"].max_gradient() > maps["chessboard"].max_gradient()
+    assert maps["chessboard"].std < maps["first-free"].std
+    assert maps["chessboard"].std < maps["random"].std
+    assert uniformity(maps["chessboard"]) > uniformity(maps["first-free"])
+
+    # --- timed core: one policy's full map generation ---
+    from repro.regalloc import FirstFreePolicy
+    from repro.sim import ThermalEmulator
+
+    def run():
+        allocation = allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+        emulator = ThermalEmulator(machine)
+        return emulator.steady_map(allocation.function, memory=dict(wl.memory))
+
+    benchmark(run)

@@ -1,0 +1,99 @@
+"""F2 — Fig. 2: the iterative thermal data flow analysis.
+
+Regenerates the behaviour of the pseudocode: iterations until every
+instruction's thermal state changes by less than δ, across a δ sweep;
+plus the paper's non-convergence discussion — with temperature-dependent
+leakage cranked up, the analysis genuinely fails to converge and the
+iteration-budget detector fires.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import EnergyModel, MachineDescription, RegisterFileGeometry
+from repro.core import TDFAConfig, ThermalDataflowAnalysis, analyze
+from repro.regalloc import allocate_linear_scan
+from repro.util import banner, format_table
+from repro.workloads import load
+
+DELTAS = [1.0, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001]
+WORKLOADS = ["fir", "iir", "crc32"]
+
+
+@pytest.fixture(scope="module")
+def allocated(machine):
+    result = {}
+    for name in WORKLOADS:
+        wl = load(name)
+        result[name] = allocate_linear_scan(wl.function, machine).function
+    return result
+
+
+def test_fig2_delta_sweep(machine, allocated, record_table, benchmark):
+    rows = []
+    per_workload_iters: dict[str, list[int]] = {name: [] for name in WORKLOADS}
+    for name in WORKLOADS:
+        for delta in DELTAS:
+            result = analyze(allocated[name], machine, delta=delta)
+            rows.append(
+                (name, delta, result.iterations, str(result.converged),
+                 result.final_delta)
+            )
+            per_workload_iters[name].append(result.iterations)
+
+    table = format_table(
+        ["workload", "delta (K)", "iterations", "converged", "final delta (K)"],
+        rows,
+        float_format="{:.4g}",
+    )
+    record_table(
+        "F2_fig2_convergence",
+        "\n".join([banner("F2 / Fig.2 — iterations to convergence vs delta"), table]),
+    )
+
+    # Shape: iteration count is non-decreasing as delta shrinks, and every
+    # linear-model run converges (the contraction argument of DESIGN.md).
+    for name in WORKLOADS:
+        iters = per_workload_iters[name]
+        assert all(b >= a for a, b in zip(iters, iters[1:])), name
+    assert all(row[3] == "True" for row in rows)
+
+    benchmark(lambda: analyze(allocated["fir"], machine, delta=0.01))
+
+
+def test_fig2_nonconvergence_detector(record_table, benchmark):
+    """Leakage feedback strong enough for thermal runaway: the analysis
+    must *not* converge, and must say so (the paper's §4 prescription)."""
+    runaway_machine = MachineDescription(
+        name="rf64-runaway",
+        geometry=RegisterFileGeometry(rows=8, cols=8),
+        energy=EnergyModel(leakage_power=5e-3, leakage_temp_coeff=0.5),
+    )
+    wl = load("fib")
+    allocated = allocate_linear_scan(wl.function, runaway_machine).function
+
+    def run():
+        analysis = ThermalDataflowAnalysis(
+            machine=runaway_machine,
+            config=TDFAConfig(delta=0.001, max_iterations=150),
+        )
+        return analysis.run(allocated)
+
+    result = benchmark(run)
+    assert not result.converged
+
+    record_table(
+        "F2_nonconvergence",
+        "\n".join(
+            [
+                banner("F2 — non-convergence under leakage runaway"),
+                f"workload=fib  leakage=5mW/cell  beta=0.5 1/K",
+                f"converged={result.converged}  iterations={result.iterations}",
+                f"final sweep delta={result.final_delta:.4g} K "
+                f"(threshold 0.001 K)",
+                "paper §4: non-convergence => thermal state too difficult to "
+                "predict; re-optimize the program",
+            ]
+        ),
+    )

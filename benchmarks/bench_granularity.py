@@ -1,0 +1,98 @@
+"""E6 — analysis fidelity vs granularity of the thermal approximation.
+
+Paper §3: *"The thermal state is a continuous function that can only be
+approximated, typically as a discrete set of points.  The fidelity of
+the analysis will depend on the granularity of the approximation —
+increasing the number of points would increase accuracy, but at the cost
+of increased computation time."*
+
+The analysis runs on thermal meshes from 1×1 (one node for the whole RF)
+to 16×16 (four nodes per register cell); accuracy is measured against
+the finest mesh's per-register temperatures.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import TDFAConfig, ThermalDataflowAnalysis
+from repro.regalloc import allocate_linear_scan
+from repro.thermal import RFThermalModel, ThermalGrid, rmse
+from repro.util import banner, format_table
+from repro.workloads import load
+
+GRIDS = [(1, 1), (2, 2), (4, 4), (8, 8), (16, 16)]
+WORKLOAD = "fir"
+
+
+@pytest.fixture(scope="module")
+def granularity_rows(machine):
+    wl = load(WORKLOAD)
+    allocated = allocate_linear_scan(wl.function, machine).function
+
+    per_grid = {}
+    for rows_, cols_ in GRIDS:
+        grid = ThermalGrid(machine.geometry, rows_, cols_)
+        model = RFThermalModel(machine.geometry, grid=grid, energy=machine.energy)
+        analysis = ThermalDataflowAnalysis(
+            machine=machine, model=model, config=TDFAConfig(delta=0.01)
+        )
+        started = time.perf_counter()
+        result = analysis.run(allocated)
+        seconds = time.perf_counter() - started
+        per_grid[(rows_, cols_)] = (result, seconds)
+
+    reference = per_grid[GRIDS[-1]][0].peak_state().register_temperatures()
+    rows = []
+    errors = {}
+    for dims in GRIDS:
+        result, seconds = per_grid[dims]
+        predicted = result.peak_state().register_temperatures()
+        err = rmse(predicted, reference)
+        errors[dims] = err
+        rows.append(
+            (
+                f"{dims[0]}x{dims[1]}",
+                dims[0] * dims[1],
+                err,
+                result.peak_state().max_gradient(),
+                result.iterations,
+                seconds * 1e3,
+            )
+        )
+    return allocated, rows, errors
+
+
+def test_e6_granularity_tradeoff(granularity_rows, machine, record_table,
+                                 benchmark):
+    allocated, rows, errors = granularity_rows
+    table = format_table(
+        ["mesh", "points", "rmse vs 16x16 (K)", "gradient (K)", "iterations",
+         "time (ms)"],
+        rows,
+    )
+    record_table(
+        "E6_granularity",
+        "\n".join(
+            [
+                banner(f"E6 — granularity vs fidelity ({WORKLOAD})"),
+                table,
+                "",
+                "paper §3: more points = more accuracy, more compute.",
+            ]
+        ),
+    )
+
+    # Shape: error decreases monotonically with refinement...
+    assert errors[(1, 1)] > errors[(4, 4)] >= errors[(8, 8)] >= 0.0
+    # ...and the 1x1 mesh cannot see any spatial gradient at all.
+    assert rows[0][3] == 0.0
+
+    # Timed core: the default 8x8 mesh analysis.
+    model = RFThermalModel(machine.geometry, energy=machine.energy)
+    analysis = ThermalDataflowAnalysis(
+        machine=machine, model=model, config=TDFAConfig(delta=0.01)
+    )
+    benchmark(lambda: analysis.run(allocated))

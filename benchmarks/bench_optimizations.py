@@ -1,0 +1,151 @@
+"""E4 — efficacy of each §4 thermal optimization.
+
+For a hot-spot-prone kernel under the first-free policy, applies every
+optimization the paper proposes — spilling critical variables, live
+range splitting, thermal-aware scheduling, register promotion, NOP
+insertion, access-balancing re-assignment — alone and as the full
+analysis-driven pipeline, and reports emulated peak ΔT, gradient and the
+cycle cost of each.
+
+Paper's claims (asserted):
+* re-assignment and thermal scheduling reduce gradient/peak at no cycle
+  cost;
+* NOP insertion cools the peak but costs cycles directly (why the paper
+  permits it "only if no other option ... is feasible");
+* the full analysis-driven pipeline beats the baseline decisively.
+
+Honest deviation (recorded, not hidden): *spilling alone under the
+first-free policy does not cool the RF in this model*.  In a load/store
+architecture every spilled access still moves through a register — the
+reload temporaries — and first-free puts those temporaries right back on
+the same hot cells, so spilling raises traffic without spreading it.
+The paper's "greatest benefit" from spilling materializes only when the
+allocator can spread the remaining traffic (as the full pipeline does by
+switching to a spreading policy).  EXPERIMENTS.md discusses this.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AllocationPlacement,
+    ExactPlacement,
+    analyze,
+    rank_critical_variables,
+)
+from repro.opt import (
+    NopInsertionPass,
+    ReassignPass,
+    RegisterPromotionPass,
+    SpillCriticalPass,
+    SplitLiveRangesPass,
+    ThermalAwareCompiler,
+    ThermalSchedulePass,
+)
+from repro.regalloc import FirstFreePolicy, allocate_linear_scan
+from repro.util import banner, format_table
+from repro.workloads import load
+
+WORKLOAD = "iir"
+AMBIENT = 318.15
+
+
+def emulate(machine, emulator, function, wl):
+    result = emulator.run(function, args=wl.args, memory=dict(wl.memory))
+    assert result.execution.return_value == wl.expected_return
+    return (
+        result.steady_state.peak - AMBIENT,
+        result.steady_state.max_gradient(),
+        result.cycles,
+    )
+
+
+@pytest.fixture(scope="module")
+def optimization_rows(machine, emulator):
+    wl = load(WORKLOAD)
+    baseline_alloc = allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+    placement = AllocationPlacement(baseline_alloc, machine.geometry.num_registers)
+    baseline_analysis = analyze(wl.function, machine, delta=0.01,
+                                placement=placement)
+    criticals = rank_critical_variables(baseline_analysis, placement, top_k=3)
+    targets = tuple(cv.reg for cv in criticals)
+
+    rows = []
+    base_peak, base_grad, base_cycles = emulate(
+        machine, emulator, baseline_alloc.function, wl
+    )
+    rows.append(("baseline (first-free)", base_peak, base_grad, base_cycles))
+
+    def allocate_and_emulate(function, label):
+        allocation = allocate_linear_scan(function, machine, FirstFreePolicy())
+        rows.append((label,) + emulate(machine, emulator, allocation.function, wl))
+
+    spilled, _ = SpillCriticalPass(targets=targets).run(wl.function)
+    allocate_and_emulate(spilled, "spill critical")
+
+    split, _ = SplitLiveRangesPass(targets=targets, chunk=2).run(wl.function)
+    allocate_and_emulate(split, "split live ranges")
+
+    scheduled, _ = ThermalSchedulePass().run(wl.function)
+    allocate_and_emulate(scheduled, "thermal schedule")
+
+    promoted, _ = RegisterPromotionPass().run(wl.function)
+    allocate_and_emulate(promoted, "register promotion")
+
+    reassigned, _ = ReassignPass(machine=machine).run(baseline_alloc.function)
+    rows.append(("reassign (Zhou'08)",) + emulate(machine, emulator, reassigned, wl))
+
+    exact_analysis = analyze(baseline_alloc.function, machine, delta=0.01)
+    nop_threshold = exact_analysis.peak_state().peak - 0.2
+    nopped, _ = NopInsertionPass(
+        analysis=exact_analysis, threshold=nop_threshold, burst=2
+    ).run(baseline_alloc.function)
+    rows.append(("nop insertion",) + emulate(machine, emulator, nopped, wl))
+
+    compiled = ThermalAwareCompiler(machine).compile(wl.function)
+    rows.append(
+        ("full pipeline",) + emulate(machine, emulator, compiled.allocated, wl)
+    )
+    return wl, rows
+
+
+def test_e4_optimization_efficacy(optimization_rows, machine, record_table,
+                                  benchmark):
+    wl, rows = optimization_rows
+    table = format_table(
+        ["transformation", "peak dT (K)", "gradient (K)", "cycles"],
+        rows,
+    )
+    record_table(
+        "E4_optimizations",
+        "\n".join([banner(f"E4 — thermal optimizations ({WORKLOAD})"), table]),
+    )
+
+    by_name = {name: (peak, grad, cycles) for name, peak, grad, cycles in rows}
+    base_peak, base_grad, base_cycles = by_name["baseline (first-free)"]
+
+    # Cycle-neutral improvements: re-assignment flattens the map,
+    # scheduling lowers the peak; neither adds instructions.
+    assert by_name["reassign (Zhou'08)"][1] < base_grad
+    assert by_name["reassign (Zhou'08)"][2] == base_cycles
+    assert by_name["thermal schedule"][0] <= base_peak + 1e-9
+    assert by_name["thermal schedule"][2] == base_cycles
+
+    # NOP insertion: cools the peak, costs cycles — the paper's
+    # last-resort trade-off, both directions asserted.
+    assert by_name["nop insertion"][0] < base_peak
+    assert by_name["nop insertion"][2] > base_cycles
+
+    # Spilling costs cycles (memory traffic) — the performance half of
+    # the paper's trade-off.  Its thermal half is policy-dependent (see
+    # module docstring); only the cost direction is universal.
+    assert by_name["spill critical"][2] > base_cycles
+
+    # Splitting alone must never make things worse.
+    assert by_name["split live ranges"][0] <= base_peak + 0.05
+
+    # Full pipeline: decisively better gradient than baseline.
+    assert by_name["full pipeline"][1] < base_grad
+
+    benchmark(lambda: ThermalAwareCompiler(machine).compile(wl.function))

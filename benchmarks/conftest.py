@@ -1,0 +1,43 @@
+"""Shared bench infrastructure.
+
+Every bench regenerates one experiment from DESIGN.md §4: it computes
+the experiment's table, prints it (visible with ``pytest -s``), writes
+it to ``benchmarks/results/<experiment>.txt`` for the record, asserts
+the *shape* of the paper's claim, and times the core operation through
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.arch import rf64
+from repro.sim import ThermalEmulator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="session")
+def emulator(machine):
+    return ThermalEmulator(machine)
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Persist an experiment table and echo it to stdout."""
+
+    def _record(experiment: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

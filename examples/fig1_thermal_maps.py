@@ -1,0 +1,60 @@
+"""Reproduce the paper's Fig. 1: thermal maps of assignment policies.
+
+Run:  python examples/fig1_thermal_maps.py [workload]
+
+Compiles the same kernel under (a) deterministic first-free order,
+(b) random choice and (c) the chessboard pattern, runs each through the
+feedback-driven thermal emulator (interpreter + RC network), and renders
+the three steady-state maps side by side — the reproduction of the
+figure that motivates the whole paper.
+"""
+
+import sys
+
+from repro import rf64
+from repro.regalloc import (
+    ChessboardPolicy,
+    FirstFreePolicy,
+    RandomPolicy,
+    allocate_linear_scan,
+)
+from repro.sim import ThermalEmulator
+from repro.thermal import render_side_by_side, summarize
+from repro.util import format_table
+from repro.workloads import load
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fir"
+    machine = rf64()
+    emulator = ThermalEmulator(machine)
+    workload = load(name)
+    print(f"workload: {workload.name} — {workload.description}\n")
+
+    policies = [
+        ("(a) first-free", FirstFreePolicy()),
+        ("(b) random", RandomPolicy(seed=1)),
+        ("(c) chessboard", ChessboardPolicy()),
+    ]
+    states, rows = [], []
+    for title, policy in policies:
+        allocation = allocate_linear_scan(workload.function, machine, policy)
+        state = emulator.steady_map(
+            allocation.function, args=workload.args, memory=dict(workload.memory)
+        )
+        states.append(state)
+        s = summarize(state)
+        rows.append((title, s.peak - 318.15, s.gradient, s.std))
+
+    print(render_side_by_side(states, titles=[t for t, _ in policies]))
+    print()
+    print(format_table(
+        ["policy", "peak dT (K)", "max gradient (K)", "sigma (K)"], rows
+    ))
+    print()
+    print("paper §2: (a) and (b) show hot spots with steep gradients;")
+    print("(c) homogenizes the map by spreading accesses over the surface.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Non-convergence of the analysis: thermal runaway detection.
+
+Run:  python examples/nonconvergence.py
+
+§4: "if the analysis does not converge after a reasonable number of
+iterations ... this suggests that the thermal state of the program may
+be too difficult to predict at compile time ... the program could be
+re-optimized so that its thermal state becomes more predictable."
+
+With a purely linear thermal model the Fig. 2 iteration provably
+converges (the per-cycle transfer is a contraction), so to exhibit the
+paper's non-convergence case this example enables temperature-dependent
+leakage — the physically real feedback loop behind thermal runaway.  The
+CRC-32 kernel hammers its accumulator register every cycle; on a leaky
+process corner that one cell is *locally* supercritical: its own heating
+raises its leakage faster than the network can drain it, the analysis
+states grow without bound, and the iteration-budget detector fires.
+
+The example then follows the paper's prescription — re-optimize for
+predictability.  NOP insertion duty-cycles the hot cell's power below
+the critical threshold, and the re-analysis converges.
+"""
+
+from repro.arch import EnergyModel, MachineDescription, RegisterFileGeometry
+from repro.core import TDFAConfig, ThermalDataflowAnalysis
+from repro.opt import NopInsertionPass
+from repro.regalloc import allocate_linear_scan
+from repro.sim import Interpreter
+from repro.workloads import load
+
+#: A leaky process corner: modest leakage at reference temperature, but a
+#: steep exponential slope (beta = 0.6 1/K).  Globally stable, locally
+#: supercritical under a hammered register cell.
+LEAKY_CORNER = EnergyModel(leakage_power=1e-4, leakage_temp_coeff=0.6)
+
+
+def run_analysis(machine, function, max_iterations=300):
+    analysis = ThermalDataflowAnalysis(
+        machine=machine,
+        config=TDFAConfig(delta=0.001, max_iterations=max_iterations),
+    )
+    return analysis.run(function)
+
+
+def main() -> None:
+    machine = MachineDescription(
+        name="rf64-leaky",
+        geometry=RegisterFileGeometry(rows=8, cols=8),
+        energy=LEAKY_CORNER,
+    )
+    workload = load("crc32")
+    print(f"workload: {workload.name} — {workload.description}")
+    allocated = allocate_linear_scan(workload.function, machine).function
+
+    print("\nanalysis with leakage feedback beta = 0.6 1/K ...")
+    result = run_analysis(machine, allocated)
+    print(f"  converged        = {result.converged}")
+    print(f"  iterations       = {result.iterations}")
+    print(f"  last sweep delta = {result.final_delta:.4g} K")
+    assert not result.converged, "expected thermal runaway"
+    print("  -> the detector fired: thermal state unpredictable at compile")
+    print("     time (the paper's §4 outcome).")
+
+    print("\npaper's prescription: re-optimize for predictability.")
+    print("inserting cool-down NOPs at the predicted-hot sites ...")
+    nop_pass = NopInsertionPass(analysis=result, threshold=330.0, burst=6)
+    cooled, report = nop_pass.run(allocated)
+    print(f"  {report}")
+
+    result2 = run_analysis(machine, cooled)
+    print(f"\nre-analysis: converged = {result2.converged} "
+          f"after {result2.iterations} iterations")
+    assert result2.converged
+    print(f"  predicted peak now {result2.peak_state().peak:.1f} K — "
+          "the thermal state is predictable again")
+
+    # The performance price of predictability (the trade-off §4 warns of).
+    before = Interpreter(machine=machine).run(
+        allocated, memory=dict(workload.memory)
+    )
+    after = Interpreter(machine=machine).run(
+        cooled, memory=dict(workload.memory)
+    )
+    assert before.return_value == after.return_value == workload.expected_return
+    print(f"\ncycles: {before.cycles} -> {after.cycles} "
+          f"(+{100 * (after.cycles / before.cycles - 1):.0f}% — why the paper "
+          "allows NOPs only as a last resort)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Pre-allocation predictive analysis — the paper's "wild and crazy" part.
+
+Run:  python examples/predictive_analysis.py [workload]
+
+§4: "the more ambitious possibility ... would be to develop predictive
+analyses that would be performed at earlier stages of compilation, i.e.,
+before register allocation and assignment."
+
+This example runs the thermal analysis on a *virtual-register* function
+— no physical placement exists yet — using a placement model that
+simulates what the allocator's policy will do.  It then identifies the
+critical variables and prints the transformation plan, all before a
+single register has been assigned; finally it verifies the prediction
+against a post-assignment analysis.
+"""
+
+import sys
+
+from repro import analyze, rf64
+from repro.core import (
+    PolicyPlacement,
+    evaluate_rules,
+    rank_critical_variables,
+)
+from repro.regalloc import FirstFreePolicy, allocate_linear_scan
+from repro.sim import ThermalEmulator, compare_to_emulation
+from repro.workloads import load
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fib"
+    machine = rf64()
+    workload = load(name)
+    print(f"workload: {workload.name} — {workload.description}\n")
+
+    # --- BEFORE ALLOCATION ------------------------------------------------
+    # The only knowledge available: liveness-derived allocation order and
+    # the policy the allocator will use.  PolicyPlacement simulates it.
+    placement = PolicyPlacement(
+        workload.function, machine,
+        policy_factory=lambda seed: FirstFreePolicy(),
+        samples=1,
+    )
+    prediction = analyze(
+        workload.function, machine, delta=0.01, placement=placement
+    )
+    print(f"pre-allocation analysis: converged={prediction.converged} "
+          f"after {prediction.iterations} iterations")
+
+    criticals = rank_critical_variables(prediction, placement, top_k=4)
+    print("\npredicted critical variables (before any register exists):")
+    for cv in criticals:
+        print(f"  {cv}")
+
+    plan = evaluate_rules(prediction, placement, machine)
+    print()
+    print(plan)
+
+    # --- VALIDATION -------------------------------------------------------
+    # Now actually allocate and emulate: was the prediction right?
+    allocation = allocate_linear_scan(
+        workload.function, machine, FirstFreePolicy()
+    )
+    emulation = ThermalEmulator(machine).run(
+        allocation.function, args=workload.args, memory=dict(workload.memory)
+    )
+    report = compare_to_emulation(prediction.peak_state(), emulation)
+    print("\nvalidation against the feedback emulator (ground truth):")
+    print(f"  field correlation r = {report.pearson_r:.3f}")
+    print(f"  rmse               = {report.rmse_kelvin:.3f} K")
+    print(f"  hottest register   = "
+          f"{'correctly identified' if report.hottest_register_match else 'missed'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro — reproduction of *Thermal-Aware Data Flow Analysis* (DAC 2009).
+
+Ayala, Atienza and Brisk propose that a compiler can predict the thermal
+state of the register file at every program point with a forward data
+flow analysis, and use the prediction to drive thermal-aware
+optimization without the usual emulate-and-recompile feedback loop.
+
+This package is a complete implementation of that idea and of every
+substrate it needs:
+
+* :mod:`repro.ir` — three-address IR, CFG, parser/printer/verifier;
+* :mod:`repro.dataflow` — classic data flow framework and analyses;
+* :mod:`repro.arch` — register file geometry and energy model;
+* :mod:`repro.thermal` — HotSpot-style RC thermal network;
+* :mod:`repro.regalloc` — allocators and the Fig. 1 assignment policies;
+* :mod:`repro.core` — **the thermal data flow analysis** (Fig. 2),
+  predictive pre-allocation placements, critical variables, rules;
+* :mod:`repro.opt` — the §4 optimizations and the full pipeline;
+* :mod:`repro.sim` — interpreter + thermal emulator (the feedback-driven
+  reference flow) and accuracy scoring;
+* :mod:`repro.workloads` — kernels and generators.
+
+Quickstart
+----------
+>>> from repro import analyze, rf64
+>>> from repro.workloads import load
+>>> from repro.regalloc import allocate_linear_scan
+>>> machine = rf64()
+>>> allocated = allocate_linear_scan(load("fir").function, machine)
+>>> result = analyze(allocated.function, machine, delta=0.05)
+>>> result.converged
+True
+"""
+
+from .arch import (
+    DEFAULT_MACHINE,
+    EnergyModel,
+    MachineDescription,
+    RegisterFileGeometry,
+    rf16,
+    rf32,
+    rf64,
+)
+from .core import (
+    AllocationPlacement,
+    ExactPlacement,
+    PolicyPlacement,
+    TDFAConfig,
+    TDFAResult,
+    ThermalDataflowAnalysis,
+    UniformPlacement,
+    analyze,
+    evaluate_rules,
+    rank_critical_variables,
+)
+from .errors import (
+    AllocationError,
+    ConvergenceError,
+    DataflowError,
+    IRError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    ThermalModelError,
+    VerificationError,
+)
+from .opt import ThermalAwareCompiler
+from .sim import Interpreter, ThermalEmulator
+from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # machines
+    "MachineDescription",
+    "RegisterFileGeometry",
+    "EnergyModel",
+    "DEFAULT_MACHINE",
+    "rf16",
+    "rf32",
+    "rf64",
+    # core analysis
+    "ThermalDataflowAnalysis",
+    "TDFAConfig",
+    "TDFAResult",
+    "analyze",
+    "ExactPlacement",
+    "UniformPlacement",
+    "PolicyPlacement",
+    "AllocationPlacement",
+    "rank_critical_variables",
+    "evaluate_rules",
+    # thermal substrate
+    "RFThermalModel",
+    "ThermalGrid",
+    "ThermalParams",
+    "ThermalState",
+    # flows
+    "ThermalAwareCompiler",
+    "Interpreter",
+    "ThermalEmulator",
+    # errors
+    "ReproError",
+    "IRError",
+    "ParseError",
+    "VerificationError",
+    "DataflowError",
+    "AllocationError",
+    "ThermalModelError",
+    "SimulationError",
+    "ConvergenceError",
+]

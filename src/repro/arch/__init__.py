@@ -1,0 +1,17 @@
+"""Target machine models: RF geometry, energy coefficients, presets."""
+
+from .energy import EnergyModel
+from .machine import MachineDescription
+from .presets import DEFAULT_MACHINE, banked_rf64, rf16, rf32, rf64
+from .registerfile import RegisterFileGeometry
+
+__all__ = [
+    "EnergyModel",
+    "MachineDescription",
+    "RegisterFileGeometry",
+    "DEFAULT_MACHINE",
+    "rf16",
+    "rf32",
+    "rf64",
+    "banked_rf64",
+]

@@ -1,0 +1,102 @@
+"""Access-energy and leakage model of the register file.
+
+These are the "technology coefficients of logic activity and peak power"
+that the paper's §4 links analytically to instruction-level information.
+Defaults are in the range published for 90 nm register files (the node
+of the paper's cited thermal models): a few picojoules per access at a
+1 ns cycle, with temperature-dependent subthreshold leakage.
+
+The model is deliberately simple and fully parameterized — every claim
+in the paper is about *relative* thermal behaviour (which policy
+concentrates power, which variables create hot spots), which survives
+any monotone re-calibration of these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from ..errors import ThermalModelError
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-access energy and leakage of one register cell.
+
+    Parameters
+    ----------
+    read_energy / write_energy:
+        Joules per 32-bit read/write access to one register.
+    cycle_time:
+        Seconds per clock cycle (1 ns = 1 GHz default).
+    leakage_power:
+        Watts of static leakage per cell at ``leakage_ref_temp``.
+    leakage_temp_coeff:
+        Exponential temperature coefficient β in
+        ``P_leak(T) = leakage_power * exp(β (T - T_ref))``; published
+        subthreshold-leakage fits give roughly 0.01–0.05 1/K at 90 nm.
+        Set to 0 for a linear (temperature-independent) model — the
+        paper's convergence discussion hinges on this knob.
+    leakage_ref_temp:
+        Reference temperature (K) for ``leakage_power``.
+    bitwidth_scaling:
+        If True, access energy scales linearly with operand bitwidth /
+        32 (the paper's §3/§4 link to bitwidth analysis).
+    alu_energy:
+        Joules per executed ALU operation, dissipated in the ALU block
+        of the chip-level model (ignored by the RF-only model).
+    cache_access_energy:
+        Joules per load/store/spill/reload, dissipated in the D-cache
+        block of the chip-level model (ignored by the RF-only model).
+    """
+
+    read_energy: float = 4.0e-12
+    write_energy: float = 6.0e-12
+    cycle_time: float = 1.0e-9
+    leakage_power: float = 1.0e-5
+    leakage_temp_coeff: float = 0.0
+    leakage_ref_temp: float = 318.15  # 45 °C
+    bitwidth_scaling: bool = False
+    alu_energy: float = 8.0e-12
+    cache_access_energy: float = 25.0e-12
+
+    def __post_init__(self) -> None:
+        if min(self.read_energy, self.write_energy) < 0:
+            raise ThermalModelError("access energies must be non-negative")
+        if self.cycle_time <= 0:
+            raise ThermalModelError("cycle_time must be positive")
+        if self.leakage_power < 0:
+            raise ThermalModelError("leakage_power must be non-negative")
+
+    def access_energy(self, is_write: bool, bitwidth: int = 32) -> float:
+        """Energy of one access, optionally scaled by operand bitwidth."""
+        energy = self.write_energy if is_write else self.read_energy
+        if self.bitwidth_scaling:
+            energy *= max(1, min(bitwidth, 32)) / 32.0
+        return energy
+
+    def access_power(self, is_write: bool, bitwidth: int = 32) -> float:
+        """Average power of one access spread over one cycle (W)."""
+        return self.access_energy(is_write, bitwidth) / self.cycle_time
+
+    def leakage_at(self, temperature: float) -> float:
+        """Leakage power (W) of one cell at *temperature* (K)."""
+        if self.leakage_temp_coeff == 0.0:
+            return self.leakage_power
+        exponent = self.leakage_temp_coeff * (temperature - self.leakage_ref_temp)
+        # Clamp to avoid overflow during thermal-runaway experiments.
+        return self.leakage_power * math.exp(min(exponent, 50.0))
+
+    def with_leakage_feedback(self, coeff: float = 0.03) -> "EnergyModel":
+        """A copy of this model with exponential leakage feedback enabled."""
+        return EnergyModel(
+            read_energy=self.read_energy,
+            write_energy=self.write_energy,
+            cycle_time=self.cycle_time,
+            leakage_power=self.leakage_power,
+            leakage_temp_coeff=coeff,
+            leakage_ref_temp=self.leakage_ref_temp,
+            bitwidth_scaling=self.bitwidth_scaling,
+        )

@@ -1,0 +1,68 @@
+"""Machine description: everything the compiler knows about the target."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ThermalModelError
+from .energy import EnergyModel
+from .registerfile import RegisterFileGeometry
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """A single-issue RISC machine with an exposed register file layout.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in reports and bench tables).
+    geometry:
+        Physical register file layout.
+    energy:
+        Access energy / leakage model.
+    reserved_registers:
+        Register indices the allocator must not use (e.g. r0/r1 held for
+        spill addressing on real ISAs).  The allocatable set is everything
+        else.
+    load_latency / store_latency:
+        Cycles per memory operation — spilling costs performance, which
+        is the trade-off E4 measures.
+    """
+
+    name: str = "rf64"
+    geometry: RegisterFileGeometry = field(default_factory=RegisterFileGeometry)
+    energy: EnergyModel = field(default_factory=EnergyModel)
+    reserved_registers: tuple[int, ...] = ()
+    load_latency: int = 3
+    store_latency: int = 1
+
+    def __post_init__(self) -> None:
+        for r in self.reserved_registers:
+            if not 0 <= r < self.geometry.num_registers:
+                raise ThermalModelError(f"reserved register {r} out of range")
+        if len(self.allocatable_registers()) == 0:
+            raise ThermalModelError("no allocatable registers remain")
+
+    @property
+    def num_registers(self) -> int:
+        return self.geometry.num_registers
+
+    def allocatable_registers(self) -> list[int]:
+        """Indices available to the register allocator, ascending."""
+        reserved = set(self.reserved_registers)
+        return [i for i in range(self.geometry.num_registers) if i not in reserved]
+
+    def instruction_latency(self, opcode) -> int:
+        """Cycle cost of one instruction (single-issue in-order model)."""
+        from ..ir.instructions import Opcode
+
+        if opcode in (Opcode.LOAD, Opcode.RELOAD):
+            return self.load_latency
+        if opcode in (Opcode.STORE, Opcode.SPILL):
+            return self.store_latency
+        if opcode in (Opcode.MUL,):
+            return 3
+        if opcode in (Opcode.DIV, Opcode.REM):
+            return 10
+        return 1

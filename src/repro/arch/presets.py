@@ -1,0 +1,55 @@
+"""Pre-configured machine descriptions used throughout the benches.
+
+``RF64`` (8×8) is the default evaluation target: large enough for the
+chessboard policy to show its effect, matching the RF sizes of the
+VLIW/embedded processors in the papers this one cites.  ``RF32`` and
+``RF16`` provide pressure-stressed variants for the E5 sweep.
+"""
+
+from __future__ import annotations
+
+from .energy import EnergyModel
+from .machine import MachineDescription
+from .registerfile import RegisterFileGeometry
+
+
+def rf64(leakage_feedback: float = 0.0) -> MachineDescription:
+    """8×8, 64-entry register file at 1 GHz (the default target)."""
+    energy = EnergyModel(leakage_temp_coeff=leakage_feedback)
+    return MachineDescription(
+        name="rf64",
+        geometry=RegisterFileGeometry(rows=8, cols=8),
+        energy=energy,
+    )
+
+
+def rf32(leakage_feedback: float = 0.0) -> MachineDescription:
+    """4×8, 32-entry register file (MIPS/ARM-like integer RF)."""
+    energy = EnergyModel(leakage_temp_coeff=leakage_feedback)
+    return MachineDescription(
+        name="rf32",
+        geometry=RegisterFileGeometry(rows=4, cols=8),
+        energy=energy,
+    )
+
+
+def rf16(leakage_feedback: float = 0.0) -> MachineDescription:
+    """4×4, 16-entry register file (pressure-stressed embedded target)."""
+    energy = EnergyModel(leakage_temp_coeff=leakage_feedback)
+    return MachineDescription(
+        name="rf16",
+        geometry=RegisterFileGeometry(rows=4, cols=4),
+        energy=energy,
+    )
+
+
+def banked_rf64(banks: int = 4) -> MachineDescription:
+    """64-entry RF with column banks, for the bank switch-off discussion."""
+    return MachineDescription(
+        name=f"rf64b{banks}",
+        geometry=RegisterFileGeometry(rows=8, cols=8, banks=banks),
+        energy=EnergyModel(),
+    )
+
+
+DEFAULT_MACHINE = rf64()

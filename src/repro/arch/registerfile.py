@@ -1,0 +1,128 @@
+"""Register file geometry: the floorplan the thermal state lives on.
+
+The paper's analysis is "floorplan-aware" (§3): it must know where each
+architectural register sits so that accesses can be attributed to
+physical locations.  We model the RF as a ``rows × cols`` array of
+identical register cells (a standard RF layout), optionally divided into
+column banks (for the bank-switch-off discussion in §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ThermalModelError
+
+
+@dataclass(frozen=True)
+class RegisterFileGeometry:
+    """Physical layout of the register file.
+
+    Parameters
+    ----------
+    rows, cols:
+        Cell grid dimensions; ``rows * cols`` is the architectural
+        register count.
+    cell_width, cell_height:
+        Cell dimensions in metres.  Defaults approximate a 32-bit
+        register cell in a 90 nm process (the technology node of the
+        thermal models the paper cites).
+    banks:
+        Number of banks.  Banking is by contiguous index range (bank 0 =
+        registers 0..N/banks-1, ...), i.e. horizontal stripes of the
+        row-major cell grid — the layout real RFs use for per-bank power
+        gating.  Must divide ``rows * cols``.
+    """
+
+    rows: int = 8
+    cols: int = 8
+    cell_width: float = 30e-6
+    cell_height: float = 25e-6
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ThermalModelError("register file dimensions must be positive")
+        if self.cell_width <= 0 or self.cell_height <= 0:
+            raise ThermalModelError("cell dimensions must be positive")
+        if self.banks <= 0 or (self.rows * self.cols) % self.banks != 0:
+            raise ThermalModelError(
+                "banks must be positive and divide the register count"
+            )
+
+    @property
+    def num_registers(self) -> int:
+        """Architectural register count."""
+        return self.rows * self.cols
+
+    @property
+    def width(self) -> float:
+        """Total RF width in metres."""
+        return self.cols * self.cell_width
+
+    @property
+    def height(self) -> float:
+        """Total RF height in metres."""
+        return self.rows * self.cell_height
+
+    @property
+    def cell_area(self) -> float:
+        """Area of one register cell in m²."""
+        return self.cell_width * self.cell_height
+
+    def position(self, index: int) -> tuple[int, int]:
+        """(row, col) of register *index*; row-major numbering."""
+        if not 0 <= index < self.num_registers:
+            raise ThermalModelError(
+                f"register index {index} out of range 0..{self.num_registers - 1}"
+            )
+        return divmod(index, self.cols)
+
+    def index(self, row: int, col: int) -> int:
+        """Register index at (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ThermalModelError(f"cell ({row}, {col}) out of range")
+        return row * self.cols + col
+
+    def center(self, index: int) -> tuple[float, float]:
+        """Physical centre (x, y) in metres of register *index*."""
+        row, col = self.position(index)
+        return (
+            (col + 0.5) * self.cell_width,
+            (row + 0.5) * self.cell_height,
+        )
+
+    def bank_of(self, index: int) -> int:
+        """Bank number of register *index* (contiguous index-range banks)."""
+        if not 0 <= index < self.num_registers:
+            raise ThermalModelError(f"register index {index} out of range")
+        return index // (self.num_registers // self.banks)
+
+    def registers_in_bank(self, bank: int) -> list[int]:
+        """All register indices belonging to *bank*."""
+        if not 0 <= bank < self.banks:
+            raise ThermalModelError(f"bank {bank} out of range 0..{self.banks - 1}")
+        size = self.num_registers // self.banks
+        return list(range(bank * size, (bank + 1) * size))
+
+    def manhattan_distance(self, a: int, b: int) -> int:
+        """Cell-grid Manhattan distance between two registers.
+
+        Used by the spreading policies: assigning interfering variables
+        to registers that are far apart is exactly §4's "disparate
+        regions of the RF".
+        """
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def chessboard_color(self, index: int) -> int:
+        """0/1 colour of the cell in a chessboard pattern (Fig. 1(c))."""
+        row, col = self.position(index)
+        return (row + col) % 2
+
+    def chessboard_registers(self, color: int = 0) -> list[int]:
+        """Register indices of one chessboard colour class."""
+        return [
+            i for i in range(self.num_registers) if self.chessboard_color(i) == color
+        ]

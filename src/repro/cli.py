@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``analyze``    run the thermal data flow analysis on an IR file or a
+               named workload and print the report (optionally the map).
+``compile``    run the full thermal-aware pipeline and print the
+               before/after comparison.
+``emulate``    run the feedback-driven reference flow (ground truth).
+``fig1``       render the Fig. 1 policy comparison for a workload.
+``workloads``  list the built-in workload suite.
+
+Examples
+--------
+::
+
+    python -m repro workloads
+    python -m repro analyze --workload fir --delta 0.01
+    python -m repro analyze path/to/kernel.ir --policy chessboard
+    python -m repro compile --workload iir
+    python -m repro fig1 --workload fir
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .arch import MachineDescription, rf16, rf32, rf64
+from .core import (
+    ExactPlacement,
+    analyze,
+    evaluate_rules,
+    format_result,
+    rank_critical_variables,
+)
+from .errors import ReproError
+from .ir import parse_function
+from .opt import ThermalAwareCompiler
+from .regalloc import allocate_linear_scan, policy_by_name
+from .sim import ThermalEmulator, compare_to_emulation
+from .thermal import render_side_by_side, summarize
+from .util import format_table
+from .workloads import full_suite, load, workload_names
+
+_MACHINES = {"rf16": rf16, "rf32": rf32, "rf64": rf64}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thermal-aware data flow analysis (DAC 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_input_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("ir_file", nargs="?", help="textual IR file (one function)")
+        p.add_argument("--workload", "-w", help="built-in workload name")
+        p.add_argument(
+            "--machine", "-m", choices=sorted(_MACHINES), default="rf64",
+            help="target register file preset (default rf64)",
+        )
+
+    p_an = sub.add_parser("analyze", help="run the thermal data flow analysis")
+    add_input_args(p_an)
+    p_an.add_argument("--delta", type=float, default=0.01,
+                      help="convergence threshold in Kelvin (default 0.01)")
+    p_an.add_argument("--merge", choices=["max", "mean", "freq"], default="freq",
+                      help="CFG join mode (default freq)")
+    p_an.add_argument("--policy", default="first-free",
+                      help="assignment policy for allocation (default first-free)")
+    p_an.add_argument("--no-map", action="store_true",
+                      help="suppress the ASCII thermal map")
+    p_an.add_argument("--top", type=int, default=5,
+                      help="number of critical variables to report")
+
+    p_co = sub.add_parser("compile", help="thermal-aware compilation pipeline")
+    add_input_args(p_co)
+    p_co.add_argument("--delta", type=float, default=0.05)
+
+    p_em = sub.add_parser("emulate", help="feedback-driven thermal emulation")
+    add_input_args(p_em)
+    p_em.add_argument("--policy", default="first-free")
+    p_em.add_argument("--compare-analysis", action="store_true",
+                      help="also run the analysis and report its accuracy")
+
+    p_f1 = sub.add_parser("fig1", help="Fig. 1 policy comparison maps")
+    add_input_args(p_f1)
+
+    sub.add_parser("workloads", help="list the built-in workload suite")
+    return parser
+
+
+def _load_function(args) -> tuple:
+    """Resolve (function, args list, memory dict) from CLI arguments."""
+    if args.workload:
+        wl = load(args.workload)
+        return wl.function, wl.args, dict(wl.memory)
+    if args.ir_file:
+        text = Path(args.ir_file).read_text()
+        return parse_function(text), [], {}
+    raise ReproError("provide an IR file or --workload NAME")
+
+
+def _machine(args) -> MachineDescription:
+    return _MACHINES[args.machine]()
+
+
+def cmd_analyze(args) -> int:
+    machine = _machine(args)
+    function, _run_args, _memory = _load_function(args)
+    allocation = allocate_linear_scan(
+        function, machine, policy_by_name(args.policy)
+    )
+    result = analyze(
+        allocation.function, machine, delta=args.delta, merge=args.merge
+    )
+    placement = ExactPlacement(machine.geometry.num_registers)
+    criticals = rank_critical_variables(result, placement, top_k=args.top)
+    plan = evaluate_rules(result, placement, machine)
+    print(format_result(result, criticals=criticals, plan=plan,
+                        show_map=not args.no_map))
+    return 0 if result.converged else 2
+
+
+def cmd_compile(args) -> int:
+    machine = _machine(args)
+    function, _run_args, _memory = _load_function(args)
+    compiler = ThermalAwareCompiler(machine, delta=args.delta)
+    result = compiler.compile(function)
+    print(result.plan)
+    print()
+    for report in result.pass_reports:
+        print(f"  {report}")
+    summary = result.summary()
+    print()
+    print(format_table(
+        ["metric", "before", "after"],
+        [
+            ("instructions", summary["instructions_before"],
+             summary["instructions_after"]),
+            ("predicted peak (K)", summary.get("peak_before", float("nan")),
+             summary.get("peak_after", float("nan"))),
+            ("predicted gradient (K)", summary.get("gradient_before", float("nan")),
+             summary.get("gradient_after", float("nan"))),
+        ],
+    ))
+    return 0
+
+
+def cmd_emulate(args) -> int:
+    machine = _machine(args)
+    function, run_args, memory = _load_function(args)
+    allocation = allocate_linear_scan(
+        function, machine, policy_by_name(args.policy)
+    )
+    emulator = ThermalEmulator(machine)
+    result = emulator.run(allocation.function, args=run_args, memory=memory)
+    s = summarize(result.steady_state)
+    print(f"return value: {result.execution.return_value}")
+    print(f"cycles:       {result.cycles}")
+    print(f"steady map:   peak={s.peak:.2f}K spread={s.spread:.2f}K "
+          f"gradient={s.gradient:.2f}K sigma={s.std:.3f}K")
+    if args.compare_analysis:
+        analysis = analyze(allocation.function, machine, delta=0.01)
+        report = compare_to_emulation(
+            analysis.peak_state(), result,
+            predicted_seconds=analysis.wall_time_seconds,
+        )
+        print(f"analysis:     r={report.pearson_r:.3f} "
+              f"rmse={report.rmse_kelvin:.3f}K "
+              f"hottest={'ok' if report.hottest_register_match else 'missed'} "
+              f"speedup={report.speedup:.1f}x")
+    return 0
+
+
+def cmd_fig1(args) -> int:
+    machine = _machine(args)
+    function, run_args, memory = _load_function(args)
+    emulator = ThermalEmulator(machine)
+    states, titles, rows = [], [], []
+    for name in ("first-free", "random", "chessboard"):
+        allocation = allocate_linear_scan(
+            function, machine, policy_by_name(name, seed=1)
+        )
+        state = emulator.steady_map(
+            allocation.function, args=run_args, memory=dict(memory)
+        )
+        states.append(state)
+        titles.append(name)
+        s = summarize(state)
+        rows.append((name, s.peak - 318.15, s.gradient, s.std))
+    print(render_side_by_side(states, titles=titles))
+    print()
+    print(format_table(
+        ["policy", "peak dT (K)", "gradient (K)", "sigma (K)"], rows
+    ))
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    rows = []
+    for wl in full_suite():
+        rows.append(
+            (wl.name, wl.function.instruction_count(), wl.description)
+        )
+    print(format_table(["name", "insts", "description"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "analyze": cmd_analyze,
+    "compile": cmd_compile,
+    "emulate": cmd_emulate,
+    "fig1": cmd_fig1,
+    "workloads": cmd_workloads,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:
+        print(f"error: unknown workload {exc}; "
+              f"available: {', '.join(workload_names())}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

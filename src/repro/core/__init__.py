@@ -1,0 +1,45 @@
+"""The paper's contribution: thermal data flow analysis and its clients."""
+
+from .critical import (
+    CriticalVariable,
+    hotspot_contribution_map,
+    rank_critical_variables,
+)
+from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
+from .predictive import AllocationPlacement, PolicyPlacement, UniformPlacement
+from .report import convergence_table, format_result
+from .rules import Recommendation, RuleConfig, ThermalPlan, evaluate_rules
+from .summaries import FunctionSummary, compose_pipeline, summarize_function
+from .tdfa import (
+    MERGE_MODES,
+    TDFAConfig,
+    TDFAResult,
+    ThermalDataflowAnalysis,
+    analyze,
+)
+
+__all__ = [
+    "ThermalDataflowAnalysis",
+    "TDFAConfig",
+    "TDFAResult",
+    "MERGE_MODES",
+    "analyze",
+    "PlacementModel",
+    "ExactPlacement",
+    "InstructionPowerModel",
+    "UniformPlacement",
+    "PolicyPlacement",
+    "AllocationPlacement",
+    "CriticalVariable",
+    "rank_critical_variables",
+    "hotspot_contribution_map",
+    "Recommendation",
+    "RuleConfig",
+    "ThermalPlan",
+    "evaluate_rules",
+    "format_result",
+    "convergence_table",
+    "FunctionSummary",
+    "summarize_function",
+    "compose_pipeline",
+]

@@ -1,0 +1,127 @@
+"""Critical-variable identification.
+
+Paper §4: *"the goal would be to determine precisely which parts of the
+program are likely to exacerbate power density and thermal problems in
+the RFs, and to determine which variables are most likely to be
+involved."*
+
+A variable's criticality is the frequency-weighted sum, over its access
+sites, of its (expected) cell temperature excess above the RF spatial
+mean at that site.  Variables that repeatedly touch hot cells score
+high; the top of the ranking feeds the spill/split optimizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.values import Value
+from .estimator import PlacementModel
+from .tdfa import TDFAResult
+
+
+@dataclass(frozen=True)
+class CriticalVariable:
+    """One entry of the criticality ranking."""
+
+    reg: Value
+    score: float          # Σ freq × max(0, T_cell − T_mean) over access sites
+    accesses: int         # static access sites contributing
+    mean_excess: float    # average per-access excess (K)
+    peak_excess: float    # worst single-access excess (K)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.reg}: score={self.score:.3f} accesses={self.accesses} "
+            f"mean_excess={self.mean_excess:.3f}K peak={self.peak_excess:.3f}K"
+        )
+
+
+def rank_critical_variables(
+    result: TDFAResult,
+    placement: PlacementModel,
+    top_k: int | None = None,
+    include_physical: bool = True,
+) -> list[CriticalVariable]:
+    """Rank the analyzed function's registers by thermal criticality.
+
+    Parameters
+    ----------
+    result:
+        Output of the thermal data flow analysis.
+    placement:
+        The placement model the analysis used (expected cell positions).
+    top_k:
+        Truncate the ranking (``None`` = everything with score ≥ 0).
+    include_physical:
+        When False, physical registers are skipped (useful when ranking
+        a mixed function where only virtual registers are actionable).
+    """
+    scores: dict[Value, float] = {}
+    counts: dict[Value, int] = {}
+    peaks: dict[Value, float] = {}
+    weight_sums: dict[Value, float] = {}
+
+    function = result.function
+    for (block_name, idx), state in result.after.items():
+        inst = function.block(block_name).instructions[idx]
+        regs = inst.registers()
+        if not regs:
+            continue
+        reg_temps = state.register_temperatures()
+        mean_temp = state.mean
+        weight = result.profile.block_freq.get(block_name, 0.0)
+        for reg in regs:
+            if not include_physical and not str(reg).startswith("%"):
+                continue
+            dist = placement.distribution(reg)
+            mass = dist.sum()
+            if mass <= 0.0:
+                continue  # memory-resident: no RF involvement
+            expected_temp = float(dist @ reg_temps / mass)
+            excess = max(0.0, expected_temp - mean_temp)
+            scores[reg] = scores.get(reg, 0.0) + weight * excess
+            counts[reg] = counts.get(reg, 0) + 1
+            peaks[reg] = max(peaks.get(reg, 0.0), excess)
+            weight_sums[reg] = weight_sums.get(reg, 0.0) + weight
+
+    ranking = [
+        CriticalVariable(
+            reg=reg,
+            score=score,
+            accesses=counts[reg],
+            mean_excess=score / max(1e-12, weight_sums[reg]),
+            peak_excess=peaks[reg],
+        )
+        for reg, score in scores.items()
+    ]
+    ranking.sort(key=lambda cv: (-cv.score, str(cv.reg)))
+    if top_k is not None:
+        ranking = ranking[:top_k]
+    return ranking
+
+
+def hotspot_contribution_map(
+    result: TDFAResult, placement: PlacementModel
+) -> dict[Value, np.ndarray]:
+    """Per-register expected power-weighted location map.
+
+    For each register: its placement distribution scaled by its total
+    frequency-weighted access count.  Summing these maps over registers
+    approximates the RF power-density field — useful for explaining *why*
+    a variable is critical (where its heat lands).
+    """
+    function = result.function
+    contribution: dict[Value, np.ndarray] = {}
+    for (block_name, idx), _state in result.after.items():
+        inst = function.block(block_name).instructions[idx]
+        weight = result.profile.block_freq.get(block_name, 0.0)
+        for reg in inst.registers():
+            dist = placement.distribution(reg)
+            if dist.sum() <= 0:
+                continue
+            acc = contribution.setdefault(reg, np.zeros_like(dist))
+            acc += weight * dist
+    return contribution

@@ -1,0 +1,136 @@
+"""Per-instruction thermal transfer: power estimation + one RC step.
+
+This is the analytical link the paper's §4 describes: *"the technology
+coefficients of logic activity and peak power found in the thermal
+models ... are linked in an analytical way to the high-level information
+of instruction execution and variables assignment found in the early
+compilation stages."*
+
+Concretely, an instruction's register reads/writes deposit access energy
+on the thermal nodes of the registers involved; where a register *is*
+depends on the placement model:
+
+* after register assignment the placement is exact (one-hot), giving the
+  precise analysis the paper says "makes the most sense";
+* before allocation, placement is a probability distribution induced by
+  the assignment policy (see :mod:`repro.core.predictive`), giving the
+  "more ambitious" early-stage analysis.
+
+Bitwidth-aware energy scaling (§3's pointer to bitwidth analysis) is
+supported when the energy model enables it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.machine import MachineDescription
+from ..dataflow.bitwidth import BitwidthInfo
+from ..errors import ThermalModelError
+from ..ir.instructions import Instruction
+from ..ir.values import PhysicalRegister, Value
+from ..thermal.rcmodel import RFThermalModel
+from ..thermal.state import ThermalState
+
+
+class PlacementModel:
+    """Maps a register value to a distribution over physical registers."""
+
+    #: Short name for reports.
+    name: str = "abstract"
+
+    def distribution(self, reg: Value) -> np.ndarray:
+        """Probability vector over physical register indices for *reg*.
+
+        May return an all-zero vector for values that never occupy the
+        register file (e.g. variables predicted to be spilled).
+        """
+        raise NotImplementedError
+
+
+class ExactPlacement(PlacementModel):
+    """Post-assignment placement: every register is physical and one-hot."""
+
+    name = "exact"
+
+    def __init__(self, num_registers: int) -> None:
+        self.num_registers = num_registers
+        self._cache: dict[int, np.ndarray] = {}
+
+    def distribution(self, reg: Value) -> np.ndarray:
+        if not isinstance(reg, PhysicalRegister):
+            raise ThermalModelError(
+                f"exact placement needs physical registers, got {reg} "
+                "(run register allocation first, or use a predictive placement)"
+            )
+        if not 0 <= reg.index < self.num_registers:
+            raise ThermalModelError(f"register index {reg.index} outside the RF")
+        vec = self._cache.get(reg.index)
+        if vec is None:
+            vec = np.zeros(self.num_registers)
+            vec[reg.index] = 1.0
+            self._cache[reg.index] = vec
+        return vec
+
+
+class InstructionPowerModel:
+    """Computes the node power vector an instruction injects.
+
+    Dynamic access power is cached per instruction (it depends only on
+    the instruction and the placement, both fixed during an analysis
+    run); leakage is added per evaluation because it may depend on the
+    current temperature.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        model: RFThermalModel,
+        placement: PlacementModel,
+        bitwidths: BitwidthInfo | None = None,
+    ) -> None:
+        self.machine = machine
+        self.model = model
+        self.placement = placement
+        self.bitwidths = bitwidths
+        self._dynamic_cache: dict[int, np.ndarray] = {}
+
+    def _access_width(self, reg: Value) -> int:
+        if self.bitwidths is None:
+            return 32
+        return self.bitwidths.width(reg)
+
+    def dynamic_power(self, inst: Instruction) -> np.ndarray:
+        """Node power (W) from this instruction's register accesses."""
+        cached = self._dynamic_cache.get(id(inst))
+        if cached is not None:
+            return cached
+        energy = self.machine.energy
+        num_regs = self.machine.geometry.num_registers
+        reg_power = np.zeros(num_regs)
+        for reg in inst.uses():
+            reg_power += self.placement.distribution(reg) * energy.access_power(
+                is_write=False, bitwidth=self._access_width(reg)
+            )
+        for reg in inst.defs():
+            reg_power += self.placement.distribution(reg) * energy.access_power(
+                is_write=True, bitwidth=self._access_width(reg)
+            )
+        node_power = self.model.grid.mapping @ reg_power
+        self._dynamic_cache[id(inst)] = node_power
+        return node_power
+
+    def total_power(
+        self, inst: Instruction, state: ThermalState, include_leakage: bool = True
+    ) -> np.ndarray:
+        """Dynamic + (optionally temperature-dependent) leakage power."""
+        power = self.dynamic_power(inst)
+        if include_leakage:
+            feedback = self.machine.energy.leakage_temp_coeff != 0.0
+            power = power + self.model.leakage_vector(state if feedback else None)
+        return power
+
+    @property
+    def has_leakage_feedback(self) -> bool:
+        """True when leakage depends on temperature (non-linear transfer)."""
+        return self.machine.energy.leakage_temp_coeff != 0.0

@@ -1,0 +1,162 @@
+"""Pre-allocation (predictive) placement models.
+
+The paper's "more ambitious possibility ... never considered before":
+run the thermal analysis *before* register allocation and assignment,
+when no variable has a physical location yet.  The missing information
+is modeled as a probability distribution over register-file cells for
+each virtual register:
+
+* :class:`UniformPlacement` — the zero-knowledge baseline: every
+  variable is equally likely to land anywhere.  Predicts total power
+  correctly but no spatial structure.
+* :class:`PolicyPlacement` — the informed model: since the assignment
+  policy and the (liveness-derived) allocation order are already known
+  before assignment runs, *simulate* the allocator: run K virtual
+  linear-scan allocations under the policy and average the resulting
+  one-hot placements.  Deterministic policies (first-free, chessboard)
+  collapse to exact predictions; randomized policies yield their true
+  placement distribution.  Variables predicted to spill receive no RF
+  power (they live in memory).
+* :class:`AllocationPlacement` — one-hot placement taken from a
+  completed allocation; lets the analysis run on the *virtual* function
+  with post-assignment precision.  This is what the optimization
+  pipeline uses so criticality lands on virtual registers (the entities
+  the spill/split passes can act on).
+
+Experiment E7 scores all of these against emulated ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..arch.machine import MachineDescription
+from ..errors import ThermalModelError
+from ..ir.function import Function
+from ..ir.values import PhysicalRegister, Value, VirtualRegister
+from ..regalloc.assignment import Allocation
+from ..regalloc.linearscan import allocate_linear_scan
+from ..regalloc.policies import AssignmentPolicy, FirstFreePolicy
+from .estimator import PlacementModel
+
+
+class UniformPlacement(PlacementModel):
+    """Every virtual register is uniformly likely to occupy any cell."""
+
+    name = "uniform"
+
+    def __init__(self, machine: MachineDescription) -> None:
+        allocatable = machine.allocatable_registers()
+        self._vector = np.zeros(machine.geometry.num_registers)
+        self._vector[allocatable] = 1.0 / len(allocatable)
+
+    def distribution(self, reg: Value) -> np.ndarray:
+        if isinstance(reg, PhysicalRegister):
+            vec = np.zeros_like(self._vector)
+            vec[reg.index] = 1.0
+            return vec
+        return self._vector
+
+
+class AllocationPlacement(PlacementModel):
+    """One-hot placement from a completed allocation's mapping.
+
+    Virtual registers that were spilled map to the zero vector: their
+    accesses go to memory, not the register file.
+    """
+
+    name = "allocation"
+
+    def __init__(self, allocation: Allocation, num_registers: int) -> None:
+        self.num_registers = num_registers
+        self._mapping = dict(allocation.mapping)
+        self._zero = np.zeros(num_registers)
+        self._cache: dict[Value, np.ndarray] = {}
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: dict[VirtualRegister, int], num_registers: int
+    ) -> "AllocationPlacement":
+        instance = cls.__new__(cls)
+        instance.num_registers = num_registers
+        instance._mapping = dict(mapping)
+        instance._zero = np.zeros(num_registers)
+        instance._cache = {}
+        return instance
+
+    def distribution(self, reg: Value) -> np.ndarray:
+        cached = self._cache.get(reg)
+        if cached is not None:
+            return cached
+        if isinstance(reg, PhysicalRegister):
+            index = reg.index
+        elif reg in self._mapping:
+            index = self._mapping[reg]  # type: ignore[index]
+        else:
+            self._cache[reg] = self._zero
+            return self._zero
+        if not 0 <= index < self.num_registers:
+            raise ThermalModelError(f"assignment of {reg} out of range: {index}")
+        vec = np.zeros(self.num_registers)
+        vec[index] = 1.0
+        self._cache[reg] = vec
+        return vec
+
+
+class PolicyPlacement(PlacementModel):
+    """Empirical placement distribution from K virtual allocations.
+
+    Parameters
+    ----------
+    function:
+        The pre-allocation (virtual-register) function.
+    machine:
+        Target machine.
+    policy_factory:
+        ``seed -> AssignmentPolicy``; called once per sample so
+        randomized policies explore their distribution while
+        deterministic ones are sampled once effectively.
+    samples:
+        Number of virtual allocations to average.
+    """
+
+    name = "policy"
+
+    def __init__(
+        self,
+        function: Function,
+        machine: MachineDescription,
+        policy_factory: Callable[[int], AssignmentPolicy] | None = None,
+        samples: int = 16,
+    ) -> None:
+        if samples < 1:
+            raise ThermalModelError("samples must be at least 1")
+        if policy_factory is None:
+            policy_factory = lambda seed: FirstFreePolicy()  # noqa: E731
+        num_regs = machine.geometry.num_registers
+        accumulator: dict[Value, np.ndarray] = {}
+        for sample in range(samples):
+            policy = policy_factory(sample)
+            allocation = allocate_linear_scan(function, machine, policy)
+            for vreg, index in allocation.mapping.items():
+                vec = accumulator.setdefault(vreg, np.zeros(num_regs))
+                vec[index] += 1.0 / samples
+        self.num_registers = num_regs
+        self._distributions = accumulator
+        self._zero = np.zeros(num_regs)
+
+    def distribution(self, reg: Value) -> np.ndarray:
+        if isinstance(reg, PhysicalRegister):
+            vec = np.zeros(self.num_registers)
+            vec[reg.index] = 1.0
+            return vec
+        return self._distributions.get(reg, self._zero)
+
+    def spill_probability(self, reg: Value) -> float:
+        """Fraction of virtual allocations in which *reg* was spilled."""
+        vec = self._distributions.get(reg)
+        if vec is None:
+            return 1.0
+        return float(max(0.0, 1.0 - vec.sum()))

@@ -1,0 +1,62 @@
+"""Human-readable analysis reports (used by the examples and benches)."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..thermal.maps import render_map
+from ..thermal.metrics import summarize
+from .critical import CriticalVariable
+from .rules import ThermalPlan
+from .tdfa import TDFAResult
+
+
+def format_result(
+    result: TDFAResult,
+    criticals: list[CriticalVariable] | None = None,
+    plan: ThermalPlan | None = None,
+    show_map: bool = True,
+) -> str:
+    """Render one analysis run as a plain-text report."""
+    out = StringIO()
+    peak_state = result.peak_state()
+    summary = summarize(peak_state)
+    status = "converged" if result.converged else "DID NOT CONVERGE"
+    out.write(
+        f"thermal data flow analysis of @{result.function.name}: {status} "
+        f"after {result.iterations} iteration(s), final δ={result.final_delta:.4g}K\n"
+    )
+    out.write(
+        f"  peak={summary.peak:.2f}K  spread={summary.spread:.2f}K  "
+        f"gradient={summary.gradient:.2f}K  σ={summary.std:.3f}K\n"
+    )
+    if not result.converged:
+        out.write(
+            "  (paper §4: non-convergence suggests the thermal state is too\n"
+            "   difficult to predict at compile time — re-optimize the program)\n"
+        )
+    out.write("hottest instructions:\n")
+    for block, idx, peak in result.hottest_instructions(5):
+        inst = result.function.block(block).instructions[idx]
+        out.write(f"  {block}[{idx}] {inst}  -> {peak:.2f}K\n")
+    if criticals:
+        out.write("critical variables:\n")
+        for cv in criticals:
+            out.write(f"  {cv}\n")
+    if plan is not None:
+        out.write(str(plan) + "\n")
+    if show_map:
+        out.write("peak thermal map:\n")
+        out.write(render_map(peak_state) + "\n")
+    return out.getvalue()
+
+
+def convergence_table(results: list[tuple[float, TDFAResult]]) -> str:
+    """Format a δ-sweep (experiment F2) as an aligned text table."""
+    lines = [f"{'delta (K)':>12} {'iterations':>10} {'converged':>9} {'final δ (K)':>12}"]
+    for delta, result in results:
+        lines.append(
+            f"{delta:>12.4g} {result.iterations:>10d} "
+            f"{str(result.converged):>9} {result.final_delta:>12.4g}"
+        )
+    return "\n".join(lines)

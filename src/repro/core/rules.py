@@ -1,0 +1,259 @@
+"""Thermal transformation rules.
+
+Paper §4: *"the development of a set of rules that qualify the impact of
+the compiler decisions on the thermal profile will allow the envisioning
+of later thermal-aware compilation without the feedback of temperature
+information."*
+
+Each rule inspects the analysis result and, when its precondition holds,
+emits a :class:`Recommendation` naming an optimization pass from
+:mod:`repro.opt`, the registers it targets and the qualitative effect
+the paper assigns to that transformation.  The rule priorities follow
+§4's own ordering: spilling/splitting first ("the greatest benefit"),
+then scheduling and promotion, with NOP insertion strictly last
+("only if no other option ... is feasible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.machine import MachineDescription
+from ..dataflow.liveness import liveness
+from ..ir.function import Function
+from ..ir.instructions import Opcode
+from ..ir.values import Value
+from .critical import CriticalVariable, rank_critical_variables
+from .estimator import PlacementModel
+from .tdfa import TDFAResult
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One rule firing: which pass to run, on what, and why."""
+
+    pass_name: str                 # key into repro.opt's pass registry
+    targets: tuple[Value, ...]     # registers the pass should act on
+    priority: int                  # lower = apply earlier
+    expected_effect: str           # the paper's qualitative claim
+    rationale: str                 # why the rule fired on this program
+
+    def __str__(self) -> str:
+        regs = ", ".join(str(t) for t in self.targets) or "-"
+        return f"[p{self.priority}] {self.pass_name}({regs}): {self.rationale}"
+
+
+@dataclass
+class ThermalPlan:
+    """Ordered set of recommendations for one function."""
+
+    function_name: str
+    gradient: float
+    peak: float
+    pressure: int
+    recommendations: list[Recommendation] = field(default_factory=list)
+
+    def ordered(self) -> list[Recommendation]:
+        return sorted(self.recommendations, key=lambda r: (r.priority, r.pass_name))
+
+    def pass_names(self) -> list[str]:
+        return [r.pass_name for r in self.ordered()]
+
+    def __str__(self) -> str:
+        lines = [
+            f"thermal plan for @{self.function_name}: "
+            f"peak={self.peak:.2f}K gradient={self.gradient:.2f}K pressure={self.pressure}"
+        ]
+        lines += [f"  {r}" for r in self.ordered()]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Thresholds for the rule engine.
+
+    ``gradient_threshold`` (K) decides when the predicted map counts as
+    having a reliability-relevant gradient; ``peak_threshold`` (K above
+    ambient) gates the emergency NOP rule; ``critical_k`` bounds how many
+    variables the spill/split rules target at once (§4: "if just two
+    variables are involved, they can easily be assigned to registers in
+    disparate regions ... when more variables are likely to create hot
+    spots, it becomes increasingly difficult").
+    """
+
+    gradient_threshold: float = 1.0
+    peak_threshold: float = 25.0
+    critical_k: int = 4
+    split_min_accesses: int = 4
+    consecutive_window: int = 2
+
+
+def evaluate_rules(
+    result: TDFAResult,
+    placement: PlacementModel,
+    machine: MachineDescription,
+    config: RuleConfig | None = None,
+) -> ThermalPlan:
+    """Run every rule against *result* and return the ordered plan."""
+    config = config or RuleConfig()
+    function = result.function
+    peak_state = result.peak_state()
+    gradient = peak_state.max_gradient()
+    peak = peak_state.peak
+    ambient = min(s.min for s in result.block_in.values())
+    pressure = liveness(function).max_pressure()
+
+    criticals = rank_critical_variables(result, placement, top_k=config.critical_k)
+    hot = [cv for cv in criticals if cv.score > 0.0]
+
+    plan = ThermalPlan(
+        function_name=function.name,
+        gradient=gradient,
+        peak=peak,
+        pressure=pressure,
+    )
+
+    _rule_spread_or_spill(plan, hot, gradient, pressure, machine, config)
+    _rule_split(plan, hot, function, config)
+    _rule_schedule(plan, result, function, config)
+    _rule_promote(plan, function, pressure, machine)
+    _rule_nop(plan, peak, ambient, config)
+    _rule_chessboard_viability(plan, pressure, machine)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Individual rules
+# ----------------------------------------------------------------------
+def _rule_spread_or_spill(plan, hot: list[CriticalVariable], gradient, pressure,
+                          machine: MachineDescription, config: RuleConfig) -> None:
+    """§4: few critical variables → spread; many + pressure → spill."""
+    if gradient < config.gradient_threshold or not hot:
+        return
+    n_regs = machine.geometry.num_registers
+    if len(hot) <= 2 and pressure <= n_regs // 2:
+        plan.recommendations.append(
+            Recommendation(
+                pass_name="reassign",
+                targets=tuple(cv.reg for cv in hot),
+                priority=1,
+                expected_effect="assign the few critical variables to "
+                "disparate RF regions, flattening the gradient",
+                rationale=f"only {len(hot)} critical variable(s) with "
+                f"gradient {gradient:.2f}K and low pressure",
+            )
+        )
+    else:
+        plan.recommendations.append(
+            Recommendation(
+                pass_name="spill_critical",
+                targets=tuple(cv.reg for cv in hot),
+                priority=1,
+                expected_effect="move the hottest variables' traffic to "
+                "memory, removing their RF power density",
+                rationale=f"{len(hot)} critical variables under "
+                f"pressure {pressure}/{n_regs}",
+            )
+        )
+
+
+def _rule_split(plan, hot: list[CriticalVariable], function: Function,
+                config: RuleConfig) -> None:
+    """§4: split critical variables via copy insertion."""
+    candidates = tuple(
+        cv.reg for cv in hot if cv.accesses >= config.split_min_accesses
+    )
+    if not candidates:
+        return
+    plan.recommendations.append(
+        Recommendation(
+            pass_name="split_live_ranges",
+            targets=candidates,
+            priority=2,
+            expected_effect="spread each variable's accesses across a "
+            "multitude of registers via copy insertion",
+            rationale=f"{len(candidates)} critical variable(s) with ≥"
+            f"{config.split_min_accesses} access sites",
+        )
+    )
+
+
+def _rule_schedule(plan, result: TDFAResult, function: Function,
+                   config: RuleConfig) -> None:
+    """§4: spread accesses in time via instruction scheduling."""
+    consecutive = 0
+    for block in function.blocks.values():
+        insts = block.instructions
+        for i in range(len(insts) - 1):
+            regs_a = set(map(str, insts[i].registers()))
+            regs_b = set(map(str, insts[i + 1].registers()))
+            if regs_a & regs_b:
+                consecutive += 1
+    if consecutive == 0:
+        return
+    plan.recommendations.append(
+        Recommendation(
+            pass_name="thermal_schedule",
+            targets=(),
+            priority=3,
+            expected_effect="avoid consecutive accesses to already-hot "
+            "registers by reordering independent instructions",
+            rationale=f"{consecutive} adjacent instruction pair(s) share "
+            "a register",
+        )
+    )
+
+
+def _rule_promote(plan, function: Function, pressure: int,
+                  machine: MachineDescription) -> None:
+    """§4: promote memory-resident values to cold registers."""
+    loads = sum(1 for inst in function.instructions() if inst.opcode is Opcode.LOAD)
+    free_headroom = machine.geometry.num_registers - pressure
+    if loads < 2 or free_headroom <= machine.geometry.num_registers // 4:
+        return
+    plan.recommendations.append(
+        Recommendation(
+            pass_name="promote",
+            targets=(),
+            priority=4,
+            expected_effect="make register use more uniform in time by "
+            "promoting repeatedly-loaded values into cold registers",
+            rationale=f"{loads} loads with {free_headroom} registers of "
+            "pressure headroom",
+        )
+    )
+
+
+def _rule_nop(plan, peak: float, ambient: float, config: RuleConfig) -> None:
+    """§4: NOP insertion strictly as a last resort."""
+    if peak - ambient <= config.peak_threshold:
+        return
+    plan.recommendations.append(
+        Recommendation(
+            pass_name="insert_nops",
+            targets=(),
+            priority=9,  # always last, per the paper
+            expected_effect="give the RF a chance to cool down between "
+            "accesses, at a direct performance cost",
+            rationale=f"predicted peak {peak - ambient:.1f}K above ambient "
+            f"exceeds the {config.peak_threshold:.0f}K emergency threshold",
+        )
+    )
+
+
+def _rule_chessboard_viability(plan, pressure: int,
+                               machine: MachineDescription) -> None:
+    """§2's caveat as a rule: is the chessboard policy applicable?"""
+    half = machine.geometry.num_registers // 2
+    if pressure <= half:
+        plan.recommendations.append(
+            Recommendation(
+                pass_name="chessboard_assignment",
+                targets=(),
+                priority=5,
+                expected_effect="homogenized temperature map via maximal "
+                "pairwise register spacing",
+                rationale=f"pressure {pressure} ≤ half the RF ({half}): "
+                "chessboard pattern is viable",
+            )
+        )

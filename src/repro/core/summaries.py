@@ -1,0 +1,181 @@
+"""Affine thermal summaries of whole functions.
+
+The paper analyzes one procedure at a time ("For simplicity, we describe
+it in the context of a single procedure", §4) and closes with the goal
+of "comprehensive data flow thermal analyses".  This module is that
+extension: because the per-instruction transfer is affine in the thermal
+state and the ``freq``/``mean`` CFG joins are convex combinations, the
+entire converged analysis is an *affine map* from the entry state to the
+exit state,
+
+    T_exit = A · T_in + b,
+
+which can be extracted once per function and then **composed**: the
+thermal effect of running kernel ``g`` after kernel ``f`` is
+``summary(g) ∘ summary(f)``, evaluated in microseconds with two
+mat-vecs instead of re-running the analysis.  This is the natural
+building block for interprocedural / multi-kernel thermal reasoning
+(media pipelines: conv → dct → crc ...).
+
+Extraction is exact, not a finite-difference approximation: the map is
+affine, so probing it with the ambient state plus one unit perturbation
+per thermal node reconstructs ``A`` and ``b`` precisely (up to the
+analysis's own δ).
+
+Restrictions (validated): linear thermal model (no leakage-temperature
+feedback) and an affine merge mode (``freq`` or ``mean``) — with ``max``
+joins or leakage feedback the exit map is not affine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.machine import MachineDescription
+from ..errors import DataflowError
+from ..ir.function import Function
+from ..thermal.rcmodel import RFThermalModel
+from ..thermal.state import ThermalState
+from .estimator import PlacementModel
+from .tdfa import TDFAConfig, ThermalDataflowAnalysis
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """The affine exit map of one function: ``T_exit = A·T_in + b``."""
+
+    function_name: str
+    matrix: np.ndarray   # A, (nodes × nodes)
+    offset: np.ndarray   # b, (nodes,)
+    #: Peak node temperature observed anywhere when entered at ambient —
+    #: a quick hot-spot severity indicator for the summarized function.
+    ambient_peak: float
+    grid_nodes: int
+
+    def apply(self, state: ThermalState) -> ThermalState:
+        """Exit state for the given entry state (two mat-vecs)."""
+        if state.grid.num_nodes != self.grid_nodes:
+            raise DataflowError("state lives on a different thermal grid")
+        return ThermalState(
+            state.grid, self.matrix @ state.temperatures + self.offset
+        )
+
+    def compose(self, inner: "FunctionSummary") -> "FunctionSummary":
+        """The summary of running *inner* first, then this function.
+
+        ``(self ∘ inner)(x) = A_self (A_inner x + b_inner) + b_self``.
+        """
+        if inner.grid_nodes != self.grid_nodes:
+            raise DataflowError("summaries live on different thermal grids")
+        return FunctionSummary(
+            function_name=f"{inner.function_name};{self.function_name}",
+            matrix=self.matrix @ inner.matrix,
+            offset=self.matrix @ inner.offset + self.offset,
+            ambient_peak=max(self.ambient_peak, inner.ambient_peak),
+            grid_nodes=self.grid_nodes,
+        )
+
+    def contraction_factor(self) -> float:
+        """Spectral norm of A.
+
+        Strictly below 1 for any function with at least one instruction:
+        the RC network always forgets some of the entry state.  This is
+        the quantitative form of the convergence argument in DESIGN.md —
+        compositions of summaries converge geometrically to a unique
+        steady schedule no matter the initial temperature.
+        """
+        return float(np.linalg.norm(self.matrix, ord=2))
+
+    def fixed_point(self) -> np.ndarray | None:
+        """Node temperatures of the steady schedule ``x = A x + b``.
+
+        This is the entry (= exit) state reached by running the function
+        back-to-back forever; returns ``None`` when A has spectral norm
+        ≥ 1 (cannot happen for the RC model, guarded anyway).  Wrap in a
+        :class:`~repro.thermal.state.ThermalState` with the caller's
+        grid for map rendering.
+        """
+        if self.contraction_factor() >= 1.0:
+            return None
+        return np.linalg.solve(
+            np.eye(self.grid_nodes) - self.matrix, self.offset
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FunctionSummary {self.function_name} "
+            f"contraction={self.contraction_factor():.4f} "
+            f"ambient_peak={self.ambient_peak:.2f}K>"
+        )
+
+
+def summarize_function(
+    function: Function,
+    machine: MachineDescription,
+    model: RFThermalModel | None = None,
+    placement: PlacementModel | None = None,
+    delta: float = 0.005,
+    merge: str = "freq",
+    probe: float = 1.0,
+) -> FunctionSummary:
+    """Extract the affine exit map of *function*.
+
+    Runs the analysis once from ambient and once per thermal node from
+    ``ambient + probe·e_i``; column *i* of A is the scaled difference of
+    exit states.  Cost: (nodes + 1) analysis runs — amortized by reusing
+    the summary for every subsequent composition/application.
+    """
+    if merge not in ("freq", "mean"):
+        raise DataflowError(
+            f"summaries require an affine merge ('freq'/'mean'), got {merge!r}"
+        )
+    if machine.energy.leakage_temp_coeff != 0.0:
+        raise DataflowError(
+            "summaries require a linear thermal model "
+            "(leakage_temp_coeff must be 0)"
+        )
+    model = model or RFThermalModel(machine.geometry, energy=machine.energy)
+    analysis = ThermalDataflowAnalysis(
+        machine=machine,
+        model=model,
+        placement=placement,
+        config=TDFAConfig(delta=delta, merge=merge),
+    )
+
+    ambient = model.ambient_state()
+    base_result = analysis.run(function, entry_state=ambient)
+    if not base_result.converged:
+        raise DataflowError(
+            f"analysis of @{function.name} did not converge; cannot summarize"
+        )
+    base_exit = base_result.exit_state().temperatures
+
+    n = model.grid.num_nodes
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        perturbed = ambient.temperatures.copy()
+        perturbed[i] += probe
+        entry = ThermalState(model.grid, perturbed)
+        result = analysis.run(function, entry_state=entry)
+        matrix[:, i] = (result.exit_state().temperatures - base_exit) / probe
+
+    offset = base_exit - matrix @ ambient.temperatures
+    return FunctionSummary(
+        function_name=function.name,
+        matrix=matrix,
+        offset=offset,
+        ambient_peak=base_result.peak_state().peak,
+        grid_nodes=n,
+    )
+
+
+def compose_pipeline(summaries: list[FunctionSummary]) -> FunctionSummary:
+    """Summary of running the given functions in sequence (first → last)."""
+    if not summaries:
+        raise DataflowError("cannot compose an empty pipeline")
+    combined = summaries[0]
+    for nxt in summaries[1:]:
+        combined = nxt.compose(combined)
+    return combined

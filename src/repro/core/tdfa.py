@@ -1,0 +1,339 @@
+"""Thermal data flow analysis — the paper's core contribution (Fig. 2).
+
+The algorithm, verbatim from the pseudocode::
+
+    Do
+      Boolean: stop ← True
+      For each basic block B
+        For each instruction I ∈ B, taken in forward order
+          Estimate thermal state after I
+          If the change in I's thermal state exceeds δ
+            stop ← False
+          EndIf
+        EndFor
+      EndFor
+    While( stop = False )
+    Output the thermal state of each instruction
+
+Our realization fills in the parts the two-page paper leaves open:
+
+* **Transfer function** — one cycle of the RC network under the
+  instruction's access power (:mod:`repro.core.estimator`), exact via
+  the precomputed matrix exponential.
+* **CFG joins** — the paper's pseudocode iterates blocks but does not
+  say how predecessor states combine.  We provide three merges:
+  ``max`` (element-wise maximum — conservative for hot-spot detection),
+  ``mean`` (plain average) and ``freq`` (static-profile weighted
+  average, the default).  Experiment E8 ablates the choice.
+* **Convergence** — the paper: *"there does not appear to be a way to
+  guarantee convergence; however, if the analysis does not converge
+  after a reasonable number of iterations ... the thermal state of the
+  program may be too difficult to predict at compile time."*  With the
+  purely linear model the per-sweep map is an affine contraction, so
+  convergence is actually guaranteed (a property test asserts it); with
+  temperature-dependent leakage the transfer is non-linear and genuinely
+  diverges under runaway coefficients.  ``TDFAResult.converged`` and the
+  δ-history expose both behaviours; by default non-convergence is
+  reported, not raised.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.machine import MachineDescription
+from ..dataflow.freq import StaticProfile, static_profile
+from ..errors import ConvergenceError, DataflowError
+from ..ir.cfg import reverse_postorder
+from ..ir.function import Function
+from ..thermal.rcmodel import RFThermalModel
+from ..thermal.state import ThermalState
+from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
+
+#: Valid CFG merge modes.
+MERGE_MODES = ("max", "mean", "freq")
+
+
+@dataclass(frozen=True)
+class TDFAConfig:
+    """User-tunable parameters of the analysis.
+
+    ``delta`` is the paper's δ (Kelvin): the analysis stops when no
+    instruction's thermal state changed by more than δ between sweeps.
+    ``max_iterations`` is the paper's "reasonable number of iterations";
+    exceeding it flags non-convergence.  ``merge`` selects the CFG join.
+    ``raise_on_divergence`` switches non-convergence from a reported
+    outcome to a :class:`ConvergenceError`.
+    """
+
+    delta: float = 0.01
+    max_iterations: int = 2000
+    merge: str = "freq"
+    include_leakage: bool = True
+    raise_on_divergence: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise DataflowError("delta must be positive")
+        if self.max_iterations < 1:
+            raise DataflowError("max_iterations must be at least 1")
+        if self.merge not in MERGE_MODES:
+            raise DataflowError(f"merge must be one of {MERGE_MODES}")
+
+
+@dataclass
+class TDFAResult:
+    """Output of the analysis: a thermal state *after every instruction*.
+
+    Exactly what Fig. 2 outputs, plus convergence diagnostics and the
+    block-boundary states analyses downstream (critical variables, rules,
+    optimization passes) consume.
+    """
+
+    function: Function
+    config: TDFAConfig
+    converged: bool
+    iterations: int
+    delta_history: list[float]
+    after: dict[tuple[str, int], ThermalState]
+    block_in: dict[str, ThermalState]
+    block_out: dict[str, ThermalState]
+    profile: StaticProfile
+    wall_time_seconds: float = 0.0
+
+    def state_after(self, block: str, index: int) -> ThermalState:
+        """Thermal state immediately after instruction *index* of *block*."""
+        return self.after[(block, index)]
+
+    def exit_state(self) -> ThermalState:
+        """Merged state at the function's exit blocks (freq-weighted)."""
+        exits = [
+            name
+            for name, block in self.function.blocks.items()
+            if not block.successors() and name in self.block_out
+        ]
+        if not exits:
+            # Infinite loop: fall back to the hottest block-out state.
+            exits = list(self.block_out)
+        states = [self.block_out[name] for name in exits]
+        weights = [self.profile.block_freq.get(name, 0.0) for name in exits]
+        return ThermalState.weighted_mean(states, weights)
+
+    def peak_state(self) -> ThermalState:
+        """Element-wise maximum over all per-instruction states.
+
+        The "worst case anywhere in the program" map: the natural field
+        to compare against an emulator's steady-state map.
+        """
+        first = next(iter(self.after.values()))
+        acc = first.temperatures.copy()
+        for state in self.after.values():
+            acc = np.maximum(acc, state.temperatures)
+        return ThermalState(first.grid, acc)
+
+    def frequency_weighted_state(self) -> ThermalState:
+        """Expected map: per-instruction states weighted by block frequency."""
+        states: list[ThermalState] = []
+        weights: list[float] = []
+        for (block, _idx), state in self.after.items():
+            states.append(state)
+            weights.append(self.profile.block_freq.get(block, 0.0))
+        return ThermalState.weighted_mean(states, weights)
+
+    def hottest_instructions(self, k: int = 5) -> list[tuple[str, int, float]]:
+        """The *k* instructions with the hottest post-states.
+
+        Returns ``(block, index, peak_kelvin)`` triples — the "parts of
+        the program likely to exacerbate thermal problems" of §4.
+        """
+        ranked = sorted(
+            ((blk, idx, state.peak) for (blk, idx), state in self.after.items()),
+            key=lambda t: (-t[2], t[0], t[1]),
+        )
+        return ranked[:k]
+
+    @property
+    def final_delta(self) -> float:
+        return self.delta_history[-1] if self.delta_history else 0.0
+
+
+class ThermalDataflowAnalysis:
+    """The forward thermal data flow analysis of Fig. 2.
+
+    Parameters
+    ----------
+    machine:
+        Target machine description.
+    model:
+        RC thermal model (defaults to one node per register cell).
+    placement:
+        Where registers live: :class:`ExactPlacement` for allocated code
+        (default), or a predictive placement for pre-allocation analysis.
+    config:
+        δ, iteration budget, merge mode, leakage switch.
+    power_model:
+        Override the per-instruction power estimator.  Any object with
+        ``total_power(inst, state, include_leakage)`` and
+        ``has_leakage_feedback`` works; the chip-level model
+        (:class:`~repro.thermal.chip.ChipPowerModel`) uses this hook.
+        When given, *placement* is ignored (the power model owns it).
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        model: RFThermalModel | None = None,
+        placement: PlacementModel | None = None,
+        config: TDFAConfig | None = None,
+        power_model=None,
+    ) -> None:
+        self.machine = machine
+        self.model = model or RFThermalModel(machine.geometry, energy=machine.energy)
+        self.placement = placement or ExactPlacement(machine.geometry.num_registers)
+        self.config = config or TDFAConfig()
+        self.power_model = power_model
+
+    def run(
+        self, function: Function, entry_state: ThermalState | None = None
+    ) -> TDFAResult:
+        """Analyze *function*; returns a state after every instruction.
+
+        *entry_state* is the thermal state assumed at function entry
+        (default: uniform ambient).  Passing a previous analysis's exit
+        state chains analyses across kernels — the basis of the affine
+        function summaries in :mod:`repro.core.summaries`.
+        """
+        started = time.perf_counter()
+        config = self.config
+        power_model = self.power_model or InstructionPowerModel(
+            machine=self.machine, model=self.model, placement=self.placement
+        )
+        profile = static_profile(function)
+        rpo = reverse_postorder(function)
+        preds = function.predecessors_map()
+        entry = function.entry.name
+        ambient = entry_state or self.model.ambient_state()
+        dt = self.machine.energy.cycle_time
+
+        # Pre-compute, per instruction, the steady-state target of its
+        # constant power — valid whenever leakage has no feedback, which
+        # makes the per-instruction step a single mat-vec.
+        linear = not power_model.has_leakage_feedback
+
+        block_in: dict[str, ThermalState] = {name: ambient for name in rpo}
+        block_out: dict[str, ThermalState] = {name: ambient for name in rpo}
+        after: dict[tuple[str, int], ThermalState] = {}
+
+        target_cache: dict[int, ThermalState] = {}
+
+        def step(state: ThermalState, inst) -> ThermalState:
+            if linear:
+                target = target_cache.get(id(inst))
+                if target is None:
+                    power = power_model.total_power(
+                        inst, state, include_leakage=config.include_leakage
+                    )
+                    target = self.model.steady_state(power)
+                    target_cache[id(inst)] = target
+                op = self.model._step_operator(dt)
+                deviation = state.temperatures - target.temperatures
+                return ThermalState(state.grid, target.temperatures + op @ deviation)
+            power = power_model.total_power(
+                inst, state, include_leakage=config.include_leakage
+            )
+            return self.model.step(state, power, dt=dt)
+
+        def merge(name: str) -> ThermalState:
+            sources = [p for p in preds[name] if p in block_out]
+            states = [block_out[p] for p in sources]
+            if name == entry:
+                states = states + [ambient]
+                sources = sources + [None]
+            if not states:
+                return ambient
+            if len(states) == 1:
+                return states[0]
+            if config.merge == "max":
+                return states[0].merge_max(states[1:])
+            if config.merge == "mean":
+                return ThermalState.weighted_mean(states, [1.0] * len(states))
+            weights = [
+                profile.edge_freq(src, name) if src is not None else 1.0
+                for src in sources
+            ]
+            return ThermalState.weighted_mean(states, weights)
+
+        iterations = 0
+        delta_history: list[float] = []
+        converged = False
+        while iterations < config.max_iterations:
+            iterations += 1
+            sweep_delta = 0.0
+            for name in rpo:
+                state = merge(name)
+                block_in[name] = state
+                for idx, inst in enumerate(function.block(name).instructions):
+                    new_state = step(state, inst)
+                    previous = after.get((name, idx))
+                    if previous is not None:
+                        change = new_state.max_abs_diff(previous)
+                    else:
+                        change = float("inf")
+                    sweep_delta = max(sweep_delta, change)
+                    after[(name, idx)] = new_state
+                    state = new_state
+                block_out[name] = state
+            delta_history.append(
+                sweep_delta if np.isfinite(sweep_delta) else float("inf")
+            )
+            if sweep_delta <= config.delta:
+                converged = True
+                break
+            # Early divergence detection: runaway temperatures.
+            if any(s.peak > 1000.0 for s in block_out.values()):
+                break
+
+        result = TDFAResult(
+            function=function,
+            config=config,
+            converged=converged,
+            iterations=iterations,
+            delta_history=delta_history,
+            after=after,
+            block_in=block_in,
+            block_out=block_out,
+            profile=profile,
+            wall_time_seconds=time.perf_counter() - started,
+        )
+        if not converged and config.raise_on_divergence:
+            raise ConvergenceError(
+                f"thermal DFA did not converge within {config.max_iterations} "
+                f"iterations (last sweep δ={result.final_delta:.4g} K) — the "
+                "paper's prescription: re-optimize the program for thermal "
+                "predictability",
+                partial_result=result,
+                iterations=iterations,
+            )
+        return result
+
+
+def analyze(
+    function: Function,
+    machine: MachineDescription,
+    delta: float = 0.01,
+    merge: str = "freq",
+    max_iterations: int = 2000,
+    placement: PlacementModel | None = None,
+    model: RFThermalModel | None = None,
+) -> TDFAResult:
+    """One-call convenience wrapper around :class:`ThermalDataflowAnalysis`."""
+    analysis = ThermalDataflowAnalysis(
+        machine=machine,
+        model=model,
+        placement=placement,
+        config=TDFAConfig(delta=delta, merge=merge, max_iterations=max_iterations),
+    )
+    return analysis.run(function)

@@ -1,0 +1,61 @@
+"""Classical data flow analyses and the generic fixed-point framework."""
+
+from .available import (
+    AvailabilityInfo,
+    AvailableExpressionsProblem,
+    available_expressions,
+    expression_of,
+)
+from .bitwidth import BitwidthInfo, Interval, bitwidth_analysis
+from .defuse import DefUseChains, UseSite, def_use_chains
+from .framework import (
+    DataflowProblem,
+    DataflowResult,
+    Direction,
+    SetIntersectionProblem,
+    SetUnionProblem,
+    solve,
+)
+from .freq import StaticProfile, edge_probabilities, static_profile
+from .intervals import (
+    LinearOrder,
+    LiveInterval,
+    linear_order,
+    live_intervals,
+    pressure_profile,
+)
+from .liveness import LivenessInfo, LivenessProblem, liveness
+from .reaching import DefSite, ReachingInfo, reaching_definitions
+
+__all__ = [
+    "DataflowProblem",
+    "DataflowResult",
+    "Direction",
+    "SetUnionProblem",
+    "SetIntersectionProblem",
+    "solve",
+    "LivenessInfo",
+    "LivenessProblem",
+    "liveness",
+    "ReachingInfo",
+    "DefSite",
+    "reaching_definitions",
+    "DefUseChains",
+    "UseSite",
+    "def_use_chains",
+    "AvailabilityInfo",
+    "AvailableExpressionsProblem",
+    "available_expressions",
+    "expression_of",
+    "BitwidthInfo",
+    "Interval",
+    "bitwidth_analysis",
+    "LinearOrder",
+    "LiveInterval",
+    "linear_order",
+    "live_intervals",
+    "pressure_profile",
+    "StaticProfile",
+    "edge_probabilities",
+    "static_profile",
+]

@@ -1,0 +1,82 @@
+"""Available-expressions analysis (classical must-problem).
+
+Included both for completeness of the data-flow substrate and as the
+enabling analysis for the small CSE cleanup pass that keeps optimization
+outputs comparable (copy insertion can create redundant expressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.function import Function
+from ..ir.instructions import BINARY_OPS, COMMUTATIVE_OPS, COMPARE_OPS, Instruction
+from ..ir.values import Value
+from .framework import DataflowResult, Direction, SetIntersectionProblem, solve
+
+#: An expression: (opcode name, operand reprs) — canonicalized for commutativity.
+Expression = tuple[str, tuple[str, ...]]
+
+
+def expression_of(inst: Instruction) -> Expression | None:
+    """The pure expression computed by *inst*, or ``None`` if impure.
+
+    Loads are not expressions (memory may change); ``li``/``copy`` are
+    excluded because they are handled by constant/copy propagation.
+    """
+    if inst.opcode in BINARY_OPS or inst.opcode in COMPARE_OPS:
+        ops = tuple(str(op) for op in inst.operands)
+        if inst.opcode in COMMUTATIVE_OPS:
+            ops = tuple(sorted(ops))
+        return (inst.opcode.value, ops)
+    return None
+
+
+def _expression_uses(expr: Expression, reg: Value) -> bool:
+    return str(reg) in expr[1]
+
+
+class AvailableExpressionsProblem(SetIntersectionProblem):
+    """Forward must-analysis over frozensets of expressions."""
+
+    direction = Direction.FORWARD
+
+    def universe(self, function: Function) -> frozenset:
+        exprs = set()
+        for inst in function.instructions():
+            expr = expression_of(inst)
+            if expr is not None:
+                exprs.add(expr)
+        return frozenset(exprs)
+
+    def transfer(self, function: Function, block_name: str, value: frozenset) -> frozenset:
+        available = set(value)
+        for inst in function.block(block_name).instructions:
+            for d in inst.defs():
+                available = {e for e in available if not _expression_uses(e, d)}
+            expr = expression_of(inst)
+            if expr is not None:
+                available.add(expr)
+        return frozenset(available)
+
+
+@dataclass
+class AvailabilityInfo:
+    """Solved available expressions per block boundary."""
+
+    function: Function
+    avail_in: dict[str, frozenset]
+    avail_out: dict[str, frozenset]
+
+    def available_at_entry(self, block_name: str) -> frozenset:
+        return self.avail_in[block_name]
+
+
+def available_expressions(function: Function) -> AvailabilityInfo:
+    """Solve available expressions for *function*."""
+    result: DataflowResult[frozenset] = solve(function, AvailableExpressionsProblem())
+    return AvailabilityInfo(
+        function=function,
+        avail_in=dict(result.in_values),
+        avail_out=dict(result.out_values),
+    )

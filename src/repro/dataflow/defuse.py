@@ -1,0 +1,71 @@
+"""Def-use chains built on reaching definitions.
+
+The critical-variable optimizations (spill, split, promote) need to know
+where each variable is defined and used; this module gives them an
+indexed view without re-walking the IR.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..ir.function import Function
+from ..ir.values import Value
+from .reaching import DefSite, reaching_definitions
+
+#: A use site: (block name, instruction index, operand position).
+UseSite = tuple[str, int, int]
+
+
+@dataclass
+class DefUseChains:
+    """Maps registers to their definition and use sites, and links them."""
+
+    function: Function
+    defs: dict[Value, set[DefSite]] = field(default_factory=dict)
+    uses: dict[Value, set[UseSite]] = field(default_factory=dict)
+    #: def site -> use sites reached by that def
+    du: dict[tuple[Value, DefSite], set[UseSite]] = field(default_factory=dict)
+
+    def def_count(self, reg: Value) -> int:
+        return len(self.defs.get(reg, ()))
+
+    def use_count(self, reg: Value) -> int:
+        return len(self.uses.get(reg, ()))
+
+    def access_count(self, reg: Value) -> int:
+        """Static accesses = defs + uses (the RF power-density proxy)."""
+        return self.def_count(reg) + self.use_count(reg)
+
+    def uses_of_def(self, reg: Value, site: DefSite) -> set[UseSite]:
+        return self.du.get((reg, site), set())
+
+    def is_dead(self, reg: Value) -> bool:
+        """True when the register is defined but never used."""
+        return self.def_count(reg) > 0 and self.use_count(reg) == 0
+
+
+def def_use_chains(function: Function) -> DefUseChains:
+    """Compute def/use sites and def→use links for every register."""
+    reach = reaching_definitions(function)
+    chains = DefUseChains(function=function)
+    defs: dict[Value, set[DefSite]] = defaultdict(set)
+    uses: dict[Value, set[UseSite]] = defaultdict(set)
+    du: dict[tuple[Value, DefSite], set[UseSite]] = defaultdict(set)
+
+    for name, block in function.blocks.items():
+        for i, inst in enumerate(block.instructions):
+            for pos, op in enumerate(inst.operands):
+                if op.is_register:
+                    use_site: UseSite = (name, i, pos)
+                    uses[op].add(use_site)
+                    for def_site in reach.defs_reaching(name, i, op):
+                        du[(op, def_site)].add(use_site)
+            for d in inst.defs():
+                defs[d].add((name, i))
+
+    chains.defs = dict(defs)
+    chains.uses = dict(uses)
+    chains.du = dict(du)
+    return chains

@@ -1,0 +1,194 @@
+"""Generic iterative data flow framework.
+
+The paper frames its contribution as a (non-standard) instance of
+classical data flow analysis, citing Cooper & Torczon.  This module
+implements the classical machinery: a direction, a meet operator, a
+per-block transfer function, and a worklist fixed-point solver.  The
+thermal analysis of :mod:`repro.core.tdfa` reuses the same solver shape
+but adds δ-convergence and an iteration budget, because its lattice
+(discretized temperature fields) has no finite height.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+from ..errors import DataflowError
+from ..ir.cfg import reverse_postorder
+from ..ir.function import Function
+
+T = TypeVar("T")
+
+
+class Direction(enum.Enum):
+    """Propagation direction of an analysis."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class DataflowProblem(Generic[T]):
+    """Specification of a classical data flow problem.
+
+    Subclasses define the lattice implicitly through :meth:`meet`,
+    :meth:`boundary`, :meth:`initial` and :meth:`transfer`.  Values must
+    support ``==`` for the fixed-point test.
+    """
+
+    direction: Direction = Direction.FORWARD
+
+    def boundary(self, function: Function) -> T:
+        """Value at the entry (forward) or the exits (backward)."""
+        raise NotImplementedError
+
+    def initial(self, function: Function) -> T:
+        """Optimistic initial value for interior blocks."""
+        raise NotImplementedError
+
+    def meet(self, values: list[T]) -> T:
+        """Combine predecessor (forward) or successor (backward) values."""
+        raise NotImplementedError
+
+    def transfer(self, function: Function, block_name: str, value: T) -> T:
+        """Propagate *value* through the named block."""
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult(Generic[T]):
+    """Solution of a data flow problem.
+
+    ``in_values``/``out_values`` are keyed by block name; for backward
+    problems ``in_values`` still means "value at block entry" (i.e. the
+    *output* of the backward transfer).
+    """
+
+    in_values: dict[str, T]
+    out_values: dict[str, T]
+    iterations: int = 0
+
+    def entry(self, block: str) -> T:
+        return self.in_values[block]
+
+    def exit(self, block: str) -> T:
+        return self.out_values[block]
+
+
+def solve(
+    function: Function,
+    problem: DataflowProblem[T],
+    max_iterations: int = 10_000,
+) -> DataflowResult[T]:
+    """Run the round-robin worklist solver to a fixed point.
+
+    Blocks are visited in reverse postorder for forward problems and
+    postorder for backward problems, which gives the textbook
+    near-linear convergence for reducible CFGs.
+
+    Raises
+    ------
+    DataflowError
+        If no fixed point is reached within *max_iterations* sweeps.
+        Classical bit-vector problems always converge; this guard exists
+        for user-supplied problems with ill-behaved lattices.
+    """
+    rpo = reverse_postorder(function)
+    order = rpo if problem.direction is Direction.FORWARD else list(reversed(rpo))
+    preds = function.predecessors_map()
+    succs = {name: function.block(name).successors() for name in function.blocks}
+
+    if problem.direction is Direction.FORWARD:
+        sources = preds
+    else:
+        sources = succs
+
+    boundary_blocks: set[str]
+    if problem.direction is Direction.FORWARD:
+        boundary_blocks = {function.entry.name}
+    else:
+        boundary_blocks = {name for name in rpo if not succs[name]}
+        if not boundary_blocks:
+            # An infinite loop with no exit: treat every block optimistically.
+            boundary_blocks = set()
+
+    in_values: dict[str, T] = {}
+    out_values: dict[str, T] = {}
+    boundary = problem.boundary(function)
+    for name in order:
+        in_values[name] = problem.initial(function)
+        out_values[name] = problem.initial(function)
+
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        if iterations > max_iterations:
+            raise DataflowError(
+                f"dataflow solve did not converge after {max_iterations} sweeps"
+            )
+        changed = False
+        for name in order:
+            incoming = [
+                out_values[s] for s in sources[name] if s in out_values
+            ]
+            if name in boundary_blocks:
+                merged = problem.meet(incoming + [boundary]) if incoming else boundary
+            elif incoming:
+                merged = problem.meet(incoming)
+            else:
+                merged = problem.initial(function)
+            new_out = problem.transfer(function, name, merged)
+            if merged != in_values[name] or new_out != out_values[name]:
+                in_values[name] = merged
+                out_values[name] = new_out
+                changed = True
+
+    if problem.direction is Direction.BACKWARD:
+        # Present results in program order: in_values = at block entry.
+        return DataflowResult(in_values=out_values, out_values=in_values,
+                              iterations=iterations)
+    return DataflowResult(in_values=in_values, out_values=out_values,
+                          iterations=iterations)
+
+
+class SetUnionProblem(DataflowProblem[frozenset]):
+    """Convenience base for may-problems over frozensets (meet = union)."""
+
+    def boundary(self, function: Function) -> frozenset:
+        return frozenset()
+
+    def initial(self, function: Function) -> frozenset:
+        return frozenset()
+
+    def meet(self, values: list[frozenset]) -> frozenset:
+        result: frozenset = frozenset()
+        for value in values:
+            result |= value
+        return result
+
+
+class SetIntersectionProblem(DataflowProblem[frozenset]):
+    """Convenience base for must-problems (meet = intersection).
+
+    ``initial`` returns the universal set, supplied by subclasses via
+    :meth:`universe`.
+    """
+
+    def universe(self, function: Function) -> frozenset:
+        raise NotImplementedError
+
+    def boundary(self, function: Function) -> frozenset:
+        return frozenset()
+
+    def initial(self, function: Function) -> frozenset:
+        return self.universe(function)
+
+    def meet(self, values: list[frozenset]) -> frozenset:
+        if not values:
+            return frozenset()
+        result = values[0]
+        for value in values[1:]:
+            result &= value
+        return result

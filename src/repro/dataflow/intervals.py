@@ -1,0 +1,165 @@
+"""Linear instruction numbering and live intervals.
+
+The linear-scan register allocator and the thermal access-weighting both
+view the function as a single instruction sequence.  A register's live
+interval is the smallest ``[start, end)`` range of linear indices
+covering every point where it is live; access positions (each def and
+use index) are kept alongside, since access *density* — not just
+lifetime — is what heats register file cells (paper §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.cfg import linearize
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.values import Value
+from .liveness import LivenessInfo, liveness
+
+
+@dataclass
+class LiveInterval:
+    """Live interval of one register over the linear order."""
+
+    reg: Value
+    start: int
+    end: int  # exclusive
+    accesses: list[int] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    @property
+    def access_count(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def density(self) -> float:
+        """Accesses per covered instruction slot — the power-density proxy."""
+        return self.access_count / max(1, self.length)
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LiveInterval {self.reg} [{self.start},{self.end}) x{self.access_count}>"
+
+
+@dataclass
+class LinearOrder:
+    """A fixed linearization of a function's instructions."""
+
+    function: Function
+    block_order: list[str]
+    #: (block name, index-in-block) for each linear position
+    positions: list[tuple[str, int]]
+    #: block name -> linear index of its first instruction
+    block_start: dict[str, int]
+
+    def instruction_at(self, index: int) -> Instruction:
+        name, i = self.positions[index]
+        return self.function.block(name).instructions[i]
+
+    def index_of(self, block_name: str, index_in_block: int) -> int:
+        return self.block_start[block_name] + index_in_block
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __iter__(self):
+        for idx in range(len(self.positions)):
+            yield idx, self.instruction_at(idx)
+
+
+def linear_order(function: Function) -> LinearOrder:
+    """Linearize the reachable blocks of *function* in reverse postorder."""
+    block_order = linearize(function)
+    positions: list[tuple[str, int]] = []
+    block_start: dict[str, int] = {}
+    for name in block_order:
+        block_start[name] = len(positions)
+        for i in range(len(function.block(name).instructions)):
+            positions.append((name, i))
+    return LinearOrder(
+        function=function,
+        block_order=block_order,
+        positions=positions,
+        block_start=block_start,
+    )
+
+
+def live_intervals(
+    function: Function,
+    order: LinearOrder | None = None,
+    info: LivenessInfo | None = None,
+) -> dict[Value, LiveInterval]:
+    """Compute a conservative live interval for every register.
+
+    The interval of a register spans from the first linear point where it
+    is defined or live to the last point where it is live or used.  With
+    reverse-postorder layout this is the classical "extend across the
+    loop" approximation used by linear scan.
+    """
+    order = order or linear_order(function)
+    info = info or liveness(function)
+
+    starts: dict[Value, int] = {}
+    ends: dict[Value, int] = {}
+    accesses: dict[Value, list[int]] = {}
+
+    def note(reg: Value, index: int, is_access: bool) -> None:
+        if reg not in starts:
+            starts[reg] = index
+            ends[reg] = index + 1
+        else:
+            starts[reg] = min(starts[reg], index)
+            ends[reg] = max(ends[reg], index + 1)
+        if is_access:
+            accesses.setdefault(reg, []).append(index)
+
+    # Parameters are live from position 0.
+    for p in function.params:
+        note(p, 0, is_access=False)
+
+    for name in order.block_order:
+        before = info.live_before(name)
+        after = info.live_after(name)
+        base = order.block_start[name]
+        block = function.block(name)
+        for i, inst in enumerate(block.instructions):
+            idx = base + i
+            for reg in before[i]:
+                note(reg, idx, is_access=False)
+            for reg in after[i]:
+                note(reg, idx, is_access=False)
+            for reg in inst.uses():
+                note(reg, idx, is_access=True)
+            for reg in inst.defs():
+                note(reg, idx, is_access=True)
+
+    return {
+        reg: LiveInterval(
+            reg=reg,
+            start=starts[reg],
+            end=ends[reg],
+            accesses=sorted(accesses.get(reg, [])),
+        )
+        for reg in starts
+    }
+
+
+def pressure_profile(
+    function: Function, order: LinearOrder | None = None
+) -> list[int]:
+    """Number of live registers at each linear point (for pressure sweeps)."""
+    order = order or linear_order(function)
+    intervals = live_intervals(function, order)
+    profile = [0] * (len(order) + 1)
+    for interval in intervals.values():
+        for idx in range(interval.start, interval.end):
+            if idx < len(profile):
+                profile[idx] += 1
+    return profile

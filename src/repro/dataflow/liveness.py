@@ -1,0 +1,88 @@
+"""Live-variable analysis.
+
+Liveness is the paper's own example of a simple data flow lattice (§3:
+"a single bit of information per variable") and the prerequisite for
+everything downstream: interference graphs, live intervals, and the
+definition of "interfering variables" in the motivating example (§2:
+two variables interfere if their lifetimes overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.function import Function
+from ..ir.values import Value
+from .framework import DataflowResult, Direction, SetUnionProblem, solve
+
+
+class LivenessProblem(SetUnionProblem):
+    """Backward may-analysis: a register is live if some path uses it later."""
+
+    direction = Direction.BACKWARD
+
+    def transfer(self, function: Function, block_name: str, value: frozenset) -> frozenset:
+        live = set(value)
+        for inst in reversed(function.block(block_name).instructions):
+            for d in inst.defs():
+                live.discard(d)
+            live.update(inst.uses())
+        return frozenset(live)
+
+
+@dataclass
+class LivenessInfo:
+    """Solved liveness with per-block and per-instruction queries."""
+
+    function: Function
+    live_in: dict[str, frozenset]
+    live_out: dict[str, frozenset]
+
+    def live_before(self, block_name: str) -> list[set[Value]]:
+        """Live sets immediately *before* each instruction of the block."""
+        before, _after = self._per_instruction(block_name)
+        return before
+
+    def live_after(self, block_name: str) -> list[set[Value]]:
+        """Live sets immediately *after* each instruction of the block."""
+        _before, after = self._per_instruction(block_name)
+        return after
+
+    def _per_instruction(self, block_name: str) -> tuple[list[set[Value]], list[set[Value]]]:
+        block = self.function.block(block_name)
+        n = len(block.instructions)
+        before: list[set[Value]] = [set() for _ in range(n)]
+        after: list[set[Value]] = [set() for _ in range(n)]
+        live = set(self.live_out[block_name])
+        for i in range(n - 1, -1, -1):
+            inst = block.instructions[i]
+            after[i] = set(live)
+            for d in inst.defs():
+                live.discard(d)
+            live.update(inst.uses())
+            before[i] = set(live)
+        return before, after
+
+    def max_pressure(self) -> int:
+        """Maximum number of simultaneously live registers anywhere.
+
+        This is the "register pressure" of §2's chessboard caveat: the
+        chessboard policy needs pressure ≤ half the register file.
+        """
+        peak = 0
+        for name in self.function.blocks:
+            for live in self.live_before(name):
+                peak = max(peak, len(live))
+            for live in self.live_after(name):
+                peak = max(peak, len(live))
+        return peak
+
+
+def liveness(function: Function) -> LivenessInfo:
+    """Solve live-variable analysis for *function*."""
+    result: DataflowResult[frozenset] = solve(function, LivenessProblem())
+    return LivenessInfo(
+        function=function,
+        live_in=dict(result.in_values),
+        live_out=dict(result.out_values),
+    )

@@ -1,0 +1,70 @@
+"""Reaching-definitions analysis.
+
+A definition site is identified by ``(block_name, index)``.  Reaching
+definitions feed the def-use chains used by the register promotion and
+live-range splitting passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.function import Function
+from ..ir.values import Value
+from .framework import DataflowResult, Direction, SetUnionProblem, solve
+
+#: A definition site: (block name, instruction index within the block).
+DefSite = tuple[str, int]
+
+
+class ReachingDefsProblem(SetUnionProblem):
+    """Forward may-analysis over frozensets of ``(register, site)`` pairs."""
+
+    direction = Direction.FORWARD
+
+    def transfer(self, function: Function, block_name: str, value: frozenset) -> frozenset:
+        current = set(value)
+        for i, inst in enumerate(function.block(block_name).instructions):
+            for d in inst.defs():
+                current = {(reg, site) for reg, site in current if reg != d}
+                current.add((d, (block_name, i)))
+        return frozenset(current)
+
+
+@dataclass
+class ReachingInfo:
+    """Solved reaching definitions with per-instruction queries."""
+
+    function: Function
+    reach_in: dict[str, frozenset]
+    reach_out: dict[str, frozenset]
+
+    def defs_reaching(self, block_name: str, index: int, reg: Value) -> set[DefSite]:
+        """Definition sites of *reg* that reach just before instruction *index*."""
+        current = set(self.reach_in[block_name])
+        block = self.function.block(block_name)
+        for i in range(index):
+            inst = block.instructions[i]
+            for d in inst.defs():
+                current = {(r, site) for r, site in current if r != d}
+                current.add((d, (block_name, i)))
+        return {site for r, site in current if r == reg}
+
+    def all_def_sites(self, reg: Value) -> set[DefSite]:
+        """Every definition site of *reg* in the function."""
+        sites: set[DefSite] = set()
+        for name, block in self.function.blocks.items():
+            for i, inst in enumerate(block.instructions):
+                if reg in inst.defs():
+                    sites.add((name, i))
+        return sites
+
+
+def reaching_definitions(function: Function) -> ReachingInfo:
+    """Solve reaching definitions for *function*."""
+    result: DataflowResult[frozenset] = solve(function, ReachingDefsProblem())
+    return ReachingInfo(
+        function=function,
+        reach_in=dict(result.in_values),
+        reach_out=dict(result.out_values),
+    )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class IRError(ReproError):
+    """Malformed intermediate representation (construction or mutation)."""
+
+
+class ParseError(IRError):
+    """The textual IR could not be parsed.
+
+    Attributes
+    ----------
+    line:
+        1-based line number where parsing failed, or ``None`` when the
+        error is not attributable to a single line.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class VerificationError(IRError):
+    """The IR verifier found a structural violation."""
+
+
+class DataflowError(ReproError):
+    """A data flow analysis was invoked on unsupported input."""
+
+
+class AllocationError(ReproError):
+    """Register allocation failed (e.g. unsatisfiable pressure without spills)."""
+
+
+class ThermalModelError(ReproError):
+    """Invalid thermal model construction or use."""
+
+
+class SimulationError(ReproError):
+    """The IR interpreter hit a runtime fault (bad memory access, div by zero...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative analysis failed to converge within its iteration budget.
+
+    The thermal data flow analysis of the paper explicitly treats
+    non-convergence as a meaningful outcome; this exception carries the
+    partial result so that callers may still inspect it.
+    """
+
+    def __init__(self, message: str, partial_result=None, iterations: int | None = None) -> None:
+        super().__init__(message)
+        self.partial_result = partial_result
+        self.iterations = iterations

@@ -1,0 +1,94 @@
+"""Intermediate representation: values, instructions, blocks, functions, CFG.
+
+This package is the compiler substrate for the thermal data flow
+analysis.  The public surface re-exported here is everything a library
+user needs to construct, parse, print, verify and traverse programs.
+"""
+
+from .block import BasicBlock
+from .builder import FunctionBuilder
+from .cfg import (
+    back_edges,
+    edges,
+    linearize,
+    postorder,
+    reachable_blocks,
+    reverse_postorder,
+    to_networkx,
+)
+from .dominance import (
+    dominance_frontier,
+    dominator_tree_children,
+    dominators,
+    immediate_dominators,
+)
+from .function import Function, Module
+from .instructions import (
+    BINARY_OPS,
+    COMMUTATIVE_OPS,
+    COMPARE_OPS,
+    MEMORY_OPS,
+    TERMINATORS,
+    UNARY_OPS,
+    Instruction,
+    Opcode,
+)
+from .loops import Loop, LoopInfo
+from .parser import parse_function, parse_instruction, parse_module
+from .printer import print_block, print_function, print_instruction, print_module
+from .values import (
+    Constant,
+    PhysicalRegister,
+    StackSlot,
+    Value,
+    VirtualRegister,
+    const,
+    preg,
+    vreg,
+)
+from .verifier import verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "FunctionBuilder",
+    "Function",
+    "Module",
+    "Instruction",
+    "Opcode",
+    "Loop",
+    "LoopInfo",
+    "Constant",
+    "PhysicalRegister",
+    "StackSlot",
+    "Value",
+    "VirtualRegister",
+    "const",
+    "preg",
+    "vreg",
+    "parse_function",
+    "parse_instruction",
+    "parse_module",
+    "print_block",
+    "print_function",
+    "print_instruction",
+    "print_module",
+    "verify_function",
+    "verify_module",
+    "postorder",
+    "reverse_postorder",
+    "reachable_blocks",
+    "linearize",
+    "edges",
+    "back_edges",
+    "to_networkx",
+    "immediate_dominators",
+    "dominators",
+    "dominator_tree_children",
+    "dominance_frontier",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "COMPARE_OPS",
+    "COMMUTATIVE_OPS",
+    "MEMORY_OPS",
+    "TERMINATORS",
+]

@@ -1,0 +1,110 @@
+"""Basic blocks: maximal straight-line instruction sequences."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import IRError
+from .instructions import Instruction
+
+
+class BasicBlock:
+    """A named, ordered sequence of instructions ending in a terminator.
+
+    Blocks own their instruction list; optimization passes mutate it
+    through the helpers below so that the "exactly one terminator, last"
+    invariant is easy to preserve (the verifier re-checks it anyway).
+    """
+
+    __slots__ = ("name", "instructions")
+
+    def __init__(self, name: str, instructions: list[Instruction] | None = None) -> None:
+        if not name or not name.replace("_", "").replace(".", "").isalnum():
+            raise IRError(f"invalid block name {name!r}")
+        self.name = name
+        self.instructions: list[Instruction] = list(instructions or [])
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def terminator(self) -> Instruction | None:
+        """The block's terminator, or ``None`` if the block is unterminated."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> list[Instruction]:
+        """Instructions excluding the terminator (the schedulable region)."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def successors(self) -> list[str]:
+        """Names of successor blocks (empty for ``ret``/``halt`` blocks)."""
+        term = self.terminator
+        if term is None:
+            return []
+        return list(term.targets)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        """Append *inst*; refuses to append past an existing terminator."""
+        if self.terminator is not None:
+            raise IRError(f"block {self.name!r} is already terminated")
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Insert *inst* at *index* (may not displace the terminator to non-last)."""
+        if inst.is_terminator and index != len(self.instructions):
+            raise IRError("terminators may only be appended")
+        self.instructions.insert(index, inst)
+        return inst
+
+    def insert_before_terminator(self, inst: Instruction) -> Instruction:
+        """Insert *inst* immediately before the terminator (or append)."""
+        if self.terminator is not None:
+            self.instructions.insert(len(self.instructions) - 1, inst)
+        else:
+            self.instructions.append(inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        """Remove *inst* (identity match) from the block."""
+        for i, existing in enumerate(self.instructions):
+            if existing is inst:
+                del self.instructions[i]
+                return
+        raise IRError(f"instruction {inst} not in block {self.name!r}")
+
+    def replace_body(self, new_body: list[Instruction]) -> None:
+        """Replace all non-terminator instructions (used by schedulers)."""
+        term = self.terminator
+        self.instructions = list(new_body)
+        if term is not None:
+            self.instructions.append(term)
+
+    def copy(self) -> "BasicBlock":
+        """Deep-copy this block (instructions are copied, values shared)."""
+        return BasicBlock(self.name, [inst.copy() for inst in self.instructions])
+
+    # ------------------------------------------------------------------
+    # Protocols
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines += [f"  {inst}" for inst in self.instructions]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

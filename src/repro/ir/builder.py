@@ -1,0 +1,233 @@
+"""Fluent builder for constructing IR functions programmatically.
+
+The workload kernels (:mod:`repro.workloads.kernels`) are written with
+this API; it keeps them readable while guaranteeing well-formed IR.
+
+Example
+-------
+>>> from repro.ir.builder import FunctionBuilder
+>>> b = FunctionBuilder("axpy", params=["n", "a"])
+>>> entry = b.block("entry")
+>>> i = b.li(0)
+>>> b.jump("loop")
+>>> b.block("loop")
+>>> cond = b.cmplt(i, b.param("n"))
+>>> b.br(cond, "body", "exit")
+>>> # ... (body elided)
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from . import instructions as ins
+from .block import BasicBlock
+from .function import Function
+from .instructions import Instruction, Opcode
+from .values import Constant, StackSlot, Value, VirtualRegister
+
+
+class FunctionBuilder:
+    """Builds a :class:`~repro.ir.function.Function` one instruction at a time.
+
+    The builder tracks a *current block*; instruction-emitting methods
+    append to it and return the destination register (when one exists),
+    so expressions compose naturally.
+    """
+
+    def __init__(self, name: str, params: list[str] | None = None) -> None:
+        self.function = Function(
+            name, [VirtualRegister(p) for p in (params or [])]
+        )
+        self._current: BasicBlock | None = None
+
+    # ------------------------------------------------------------------
+    # Blocks and parameters
+    # ------------------------------------------------------------------
+    def block(self, name: str) -> BasicBlock:
+        """Create (or switch to) the block called *name* and make it current."""
+        if name in self.function.blocks:
+            self._current = self.function.block(name)
+        else:
+            self._current = self.function.add_block(BasicBlock(name))
+        return self._current
+
+    def param(self, name: str) -> VirtualRegister:
+        """Look up a declared parameter register."""
+        for p in self.function.params:
+            if p.name == name:
+                return p
+        raise IRError(f"no parameter named {name!r}")
+
+    def fresh(self, hint: str = "t") -> VirtualRegister:
+        """A fresh virtual register."""
+        return self.function.new_vreg(hint)
+
+    def slot(self, hint: str = "slot") -> StackSlot:
+        """A fresh stack slot."""
+        return self.function.new_slot(hint)
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+    def emit(self, inst: Instruction) -> Instruction:
+        """Append *inst* to the current block."""
+        if self._current is None:
+            raise IRError("no current block — call .block() first")
+        return self._current.append(inst)
+
+    def _binary(self, opcode: Opcode, lhs: Value, rhs: Value,
+                dest: VirtualRegister | None = None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self.emit(ins.binary(opcode, dest, lhs, rhs))
+        return dest
+
+    # Arithmetic -------------------------------------------------------
+    def add(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.ADD, lhs, rhs, dest)
+
+    def sub(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.SUB, lhs, rhs, dest)
+
+    def mul(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.MUL, lhs, rhs, dest)
+
+    def div(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.DIV, lhs, rhs, dest)
+
+    def rem(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.REM, lhs, rhs, dest)
+
+    def and_(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.AND, lhs, rhs, dest)
+
+    def or_(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.OR, lhs, rhs, dest)
+
+    def xor(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.XOR, lhs, rhs, dest)
+
+    def shl(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.SHL, lhs, rhs, dest)
+
+    def shr(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.SHR, lhs, rhs, dest)
+
+    def neg(self, src: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self.emit(ins.unary(Opcode.NEG, dest, src))
+        return dest
+
+    def not_(self, src: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self.emit(ins.unary(Opcode.NOT, dest, src))
+        return dest
+
+    # Comparisons ------------------------------------------------------
+    def cmpeq(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.CMPEQ, lhs, rhs, dest)
+
+    def cmpne(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.CMPNE, lhs, rhs, dest)
+
+    def cmplt(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.CMPLT, lhs, rhs, dest)
+
+    def cmple(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.CMPLE, lhs, rhs, dest)
+
+    def cmpgt(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.CMPGT, lhs, rhs, dest)
+
+    def cmpge(self, lhs: Value, rhs: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        return self._binary(Opcode.CMPGE, lhs, rhs, dest)
+
+    # Data movement ----------------------------------------------------
+    def li(self, imm: int, dest: VirtualRegister | None = None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self.emit(ins.li(dest, imm))
+        return dest
+
+    def copy(self, src: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self.emit(ins.copy_of(dest, src))
+        return dest
+
+    def load(self, addr: Value, dest: VirtualRegister | None = None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self.emit(ins.load(dest, addr))
+        return dest
+
+    def store(self, addr: Value, value: Value) -> None:
+        self.emit(ins.store(addr, value))
+
+    def spill(self, slot: StackSlot, src: Value) -> None:
+        self.emit(ins.spill(slot, src))
+
+    def reload(self, slot: StackSlot, dest: VirtualRegister | None = None) -> VirtualRegister:
+        dest = dest or self.fresh()
+        self.emit(ins.reload(dest, slot))
+        return dest
+
+    # Control flow -----------------------------------------------------
+    def jump(self, target: str) -> None:
+        self.emit(ins.jump(target))
+
+    def br(self, cond: Value, taken: str, not_taken: str) -> None:
+        self.emit(ins.br(cond, taken, not_taken))
+
+    def ret(self, value: Value | None = None) -> None:
+        self.emit(ins.ret(value))
+
+    def nop(self) -> None:
+        self.emit(ins.nop())
+
+    def halt(self) -> None:
+        self.emit(ins.halt())
+
+    # ------------------------------------------------------------------
+    # Structured helpers
+    # ------------------------------------------------------------------
+    def counted_loop(self, name: str, start: int, stop_reg: Value,
+                     step: int = 1) -> tuple[VirtualRegister, str, str]:
+        """Open a counted loop; returns ``(induction_var, body_label, exit_label)``.
+
+        The caller must emit the body into ``body_label`` and finish it by
+        calling :meth:`close_loop`.  The current block must be open
+        (unterminated) when calling.
+        """
+        head = self.function.new_block_name(f"{name}_head")
+        body = self.function.new_block_name(f"{name}_body")
+        exit_ = self.function.new_block_name(f"{name}_exit")
+        ivar = self.li(start, self.fresh(f"{name}_i"))
+        self.jump(head)
+        self.block(head)
+        cond = self.cmplt(ivar, stop_reg)
+        self.br(cond, body, exit_)
+        self.block(body)
+        self._loop_stack = getattr(self, "_loop_stack", [])
+        self._loop_stack.append((ivar, step, head, exit_))
+        return ivar, body, exit_
+
+    def close_loop(self) -> str:
+        """Close the innermost loop opened by :meth:`counted_loop`.
+
+        Emits the induction-variable increment and the back edge, then
+        switches to the exit block.  Returns the exit label.
+        """
+        stack = getattr(self, "_loop_stack", None)
+        if not stack:
+            raise IRError("close_loop() without a matching counted_loop()")
+        ivar, step, head, exit_ = stack.pop()
+        bump = self.add(ivar, Constant(step), dest=ivar)
+        assert bump == ivar
+        self.jump(head)
+        self.block(exit_)
+        return exit_
+
+    def build(self, verify: bool = True) -> Function:
+        """Finish and return the function (verified by default)."""
+        if verify:
+            from .verifier import verify_function
+
+            verify_function(self.function)
+        return self.function

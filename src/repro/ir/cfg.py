@@ -1,0 +1,97 @@
+"""Control-flow-graph traversals and queries.
+
+These helpers are pure functions over :class:`~repro.ir.function.Function`
+so that analyses never need to maintain a separate graph datastructure;
+``networkx`` export is provided for visualization and for property tests
+that cross-check our traversals against a reference implementation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .function import Function
+
+
+def postorder(function: Function) -> list[str]:
+    """Block names in postorder of a DFS from the entry block.
+
+    Unreachable blocks are excluded (they are also rejected by the
+    verifier, but analyses should be robust to them mid-transformation).
+    """
+    visited: set[str] = set()
+    order: list[str] = []
+
+    def visit(name: str) -> None:
+        # Iterative DFS to survive very deep synthetic CFGs.
+        stack: list[tuple[str, int]] = [(name, 0)]
+        visited.add(name)
+        while stack:
+            current, idx = stack[-1]
+            succs = function.block(current).successors()
+            if idx < len(succs):
+                stack[-1] = (current, idx + 1)
+                nxt = succs[idx]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(current)
+                stack.pop()
+
+    visit(function.entry.name)
+    return order
+
+
+def reverse_postorder(function: Function) -> list[str]:
+    """Block names in reverse postorder (the canonical forward-analysis order)."""
+    return list(reversed(postorder(function)))
+
+
+def reachable_blocks(function: Function) -> set[str]:
+    """Names of blocks reachable from the entry."""
+    return set(postorder(function))
+
+
+def linearize(function: Function) -> list[str]:
+    """A deterministic linear layout of the reachable blocks.
+
+    Reverse postorder is used; it keeps loop bodies contiguous for the
+    common reducible CFGs our workloads produce, which makes live
+    intervals computed on the linear order tight.
+    """
+    return reverse_postorder(function)
+
+
+def edges(function: Function) -> list[tuple[str, str]]:
+    """All CFG edges as (source, target) block-name pairs."""
+    result = []
+    for block in function.blocks.values():
+        for succ in block.successors():
+            result.append((block.name, succ))
+    return result
+
+
+def back_edges(function: Function) -> set[tuple[str, str]]:
+    """Edges (u, v) where v dominates u — the loop back edges.
+
+    Requires a reducible CFG for the classical natural-loop
+    interpretation; irreducible graphs still return dominance-based back
+    edges (possibly empty).
+    """
+    from .dominance import dominators
+
+    dom = dominators(function)
+    result: set[tuple[str, str]] = set()
+    for src, dst in edges(function):
+        if dst in dom[src]:
+            result.add((src, dst))
+    return result
+
+
+def to_networkx(function: Function) -> nx.DiGraph:
+    """Export the CFG as a :class:`networkx.DiGraph` over block names."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(function.blocks)
+    graph.add_edges_from(edges(function))
+    return graph

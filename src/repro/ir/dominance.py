@@ -1,0 +1,91 @@
+"""Dominance analysis (iterative Cooper–Harvey–Kennedy algorithm)."""
+
+from __future__ import annotations
+
+from .cfg import reverse_postorder
+from .function import Function
+
+
+def immediate_dominators(function: Function) -> dict[str, str | None]:
+    """Map each reachable block to its immediate dominator.
+
+    The entry block maps to ``None``.  Implements the "engineered"
+    iterative algorithm of Cooper, Harvey and Kennedy — fitting, since
+    the paper cites Cooper & Torczon for its data-flow background.
+    """
+    rpo = reverse_postorder(function)
+    index = {name: i for i, name in enumerate(rpo)}
+    preds = function.predecessors_map()
+    entry = function.entry.name
+
+    idom: dict[str, str | None] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for name in rpo:
+            if name == entry:
+                continue
+            candidates = [p for p in preds[name] if p in idom and p in index]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(name) != new_idom:
+                idom[name] = new_idom
+                changed = True
+
+    result: dict[str, str | None] = {entry: None}
+    for name in rpo:
+        if name != entry:
+            result[name] = idom.get(name)
+    return result
+
+
+def dominators(function: Function) -> dict[str, set[str]]:
+    """Map each reachable block to its full dominator set (including itself)."""
+    idom = immediate_dominators(function)
+    result: dict[str, set[str]] = {}
+    for name in idom:
+        doms = {name}
+        walk = idom[name]
+        while walk is not None:
+            doms.add(walk)
+            walk = idom[walk]
+        result[name] = doms
+    return result
+
+
+def dominator_tree_children(function: Function) -> dict[str, list[str]]:
+    """Map each block to the blocks it immediately dominates."""
+    idom = immediate_dominators(function)
+    children: dict[str, list[str]] = {name: [] for name in idom}
+    for name, parent in idom.items():
+        if parent is not None:
+            children[parent].append(name)
+    return children
+
+
+def dominance_frontier(function: Function) -> dict[str, set[str]]:
+    """The dominance frontier of each reachable block (Cytron et al.)."""
+    idom = immediate_dominators(function)
+    preds = function.predecessors_map()
+    frontier: dict[str, set[str]] = {name: set() for name in idom}
+    for name in idom:
+        block_preds = [p for p in preds[name] if p in idom]
+        if len(block_preds) >= 2:
+            for pred in block_preds:
+                runner = pred
+                while runner != idom[name] and runner is not None:
+                    frontier[runner].add(name)
+                    runner = idom[runner]  # type: ignore[assignment]
+    return frontier

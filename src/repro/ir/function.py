@@ -1,0 +1,213 @@
+"""Functions and modules: containers for the control flow graph."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import IRError
+from .block import BasicBlock
+from .instructions import Instruction
+from .values import StackSlot, Value, VirtualRegister
+
+
+class Function:
+    """A single procedure: an entry block plus a dict of named blocks.
+
+    Block order is insertion order, which the linearizer treats as layout
+    order.  The paper describes its analysis "in the context of a single
+    procedure" (§4), so the function is the unit all analyses operate on.
+    """
+
+    def __init__(self, name: str, params: list[VirtualRegister] | None = None) -> None:
+        self.name = name
+        self.params: list[VirtualRegister] = list(params or [])
+        self.blocks: dict[str, BasicBlock] = {}
+        self._entry: str | None = None
+        self._next_temp = 0
+        self._next_slot = 0
+        # Lazily-built caches of names already in use, updated incrementally
+        # as fresh names are minted.  Rebuilt on first use so that functions
+        # assembled by the parser (bypassing new_vreg/new_slot) stay safe.
+        self._minted_vregs: set[str] | None = None
+        self._minted_slots: set[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block (the first block added unless overridden)."""
+        if self._entry is None:
+            raise IRError(f"function {self.name!r} has no blocks")
+        return self.blocks[self._entry]
+
+    def set_entry(self, name: str) -> None:
+        """Declare the block called *name* as the entry block."""
+        if name not in self.blocks:
+            raise IRError(f"no block named {name!r}")
+        self._entry = name
+
+    def add_block(self, block: BasicBlock | str) -> BasicBlock:
+        """Add *block* (or a new empty block with that name)."""
+        if isinstance(block, str):
+            block = BasicBlock(block)
+        if block.name in self.blocks:
+            raise IRError(f"duplicate block name {block.name!r}")
+        self.blocks[block.name] = block
+        if self._entry is None:
+            self._entry = block.name
+        return block
+
+    def remove_block(self, name: str) -> None:
+        """Remove the block called *name*; it must not be the entry."""
+        if name == self._entry:
+            raise IRError("cannot remove the entry block")
+        if name not in self.blocks:
+            raise IRError(f"no block named {name!r}")
+        del self.blocks[name]
+
+    def block(self, name: str) -> BasicBlock:
+        """Look up a block by name."""
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise IRError(f"no block named {name!r} in function {self.name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Fresh names
+    # ------------------------------------------------------------------
+    def new_vreg(self, hint: str = "t") -> VirtualRegister:
+        """Return a virtual register with a fresh, unused name."""
+        if self._minted_vregs is None:
+            self._minted_vregs = {v.name for v in self.virtual_registers()}
+            self._minted_vregs.update(p.name for p in self.params)
+        while True:
+            candidate = f"{hint}{self._next_temp}"
+            self._next_temp += 1
+            if candidate not in self._minted_vregs:
+                self._minted_vregs.add(candidate)
+                return VirtualRegister(candidate)
+
+    def new_slot(self, hint: str = "slot") -> StackSlot:
+        """Return a stack slot with a fresh, unused name."""
+        if self._minted_slots is None:
+            self._minted_slots = {
+                op.name
+                for inst in self.instructions()
+                for op in inst.operands
+                if isinstance(op, StackSlot)
+            }
+        while True:
+            candidate = f"{hint}{self._next_slot}"
+            self._next_slot += 1
+            if candidate not in self._minted_slots:
+                self._minted_slots.add(candidate)
+                return StackSlot(candidate)
+
+    def new_block_name(self, hint: str = "bb") -> str:
+        """Return an unused block name derived from *hint*."""
+        if hint not in self.blocks:
+            return hint
+        i = 0
+        while f"{hint}{i}" in self.blocks:
+            i += 1
+        return f"{hint}{i}"
+
+    # ------------------------------------------------------------------
+    # Whole-function iteration
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate every instruction in block-insertion order."""
+        for block in self.blocks.values():
+            yield from block.instructions
+
+    def virtual_registers(self) -> set[VirtualRegister]:
+        """All virtual registers referenced anywhere in the function."""
+        regs: set[VirtualRegister] = set(self.params)
+        for inst in self.instructions():
+            for value in list(inst.operands) + ([inst.dest] if inst.dest else []):
+                if isinstance(value, VirtualRegister):
+                    regs.add(value)
+        return regs
+
+    def registers(self) -> set[Value]:
+        """All registers (virtual or physical) referenced in the function."""
+        regs: set[Value] = set(self.params)
+        for inst in self.instructions():
+            for value in list(inst.operands) + ([inst.dest] if inst.dest else []):
+                if value.is_register:
+                    regs.add(value)
+        return regs
+
+    def instruction_count(self) -> int:
+        """Total static instruction count."""
+        return sum(len(b) for b in self.blocks.values())
+
+    # ------------------------------------------------------------------
+    # CFG edges
+    # ------------------------------------------------------------------
+    def successors(self, block: BasicBlock | str) -> list[BasicBlock]:
+        """Successor blocks of *block*."""
+        if isinstance(block, str):
+            block = self.block(block)
+        return [self.block(name) for name in block.successors()]
+
+    def predecessors_map(self) -> dict[str, list[str]]:
+        """Map block name → list of predecessor block names (layout order)."""
+        preds: dict[str, list[str]] = {name: [] for name in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successors():
+                if succ not in preds:
+                    raise IRError(
+                        f"block {block.name!r} targets unknown block {succ!r}"
+                    )
+                preds[succ].append(block.name)
+        return preds
+
+    def copy(self) -> "Function":
+        """Deep-copy the function (blocks and instructions are fresh)."""
+        clone = Function(self.name, list(self.params))
+        for block in self.blocks.values():
+            clone.add_block(block.copy())
+        clone._entry = self._entry
+        clone._next_temp = self._next_temp
+        clone._next_slot = self._next_slot
+        return clone
+
+    def __str__(self) -> str:
+        from .printer import print_function
+
+        return print_function(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Module:
+    """A named collection of functions (the compilation unit)."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+
+    def add_function(self, function: Function) -> Function:
+        """Add *function*; names must be unique within the module."""
+        if function.name in self.functions:
+            raise IRError(f"duplicate function name {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name."""
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function named {name!r}") from None
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __str__(self) -> str:
+        from .printer import print_module
+
+        return print_module(self)

@@ -1,0 +1,346 @@
+"""Three-address instructions.
+
+The instruction set is a small RISC-like core: integer arithmetic and
+logic, comparisons producing 0/1, loads/stores against a flat memory,
+explicit stack-slot spill/reload, and structured control flow (``jump``,
+``br``, ``ret``).  ``nop`` exists because the paper's last-resort
+optimization inserts NOPs so the register file can cool down between
+accesses.
+
+Every instruction knows which registers it *uses* (reads) and *defines*
+(writes); those two sets drive liveness, interference, the interpreter's
+access trace and — centrally for this reproduction — the per-instruction
+power injection of the thermal data flow analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+from ..errors import IRError
+from .values import Constant, StackSlot, Value
+
+
+class Opcode(enum.Enum):
+    """Operation codes of the IR.
+
+    The ``value`` of each member is its textual mnemonic, used by the
+    parser and printer.
+    """
+
+    # Arithmetic / logic (dest, lhs, rhs) or (dest, src) for unary.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    NEG = "neg"
+    NOT = "not"
+    # Comparisons produce 0/1 in dest.
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    # Data movement.
+    LI = "li"          # dest = immediate
+    COPY = "copy"      # dest = src (register-register move)
+    LOAD = "load"      # dest = mem[addr]
+    STORE = "store"    # mem[addr] = value
+    SPILL = "spill"    # slot = register          (store to stack slot)
+    RELOAD = "reload"  # register = slot          (load from stack slot)
+    # Control flow.
+    JUMP = "jump"      # unconditional, one target
+    BR = "br"          # conditional on operand, two targets (taken, fallthrough)
+    RET = "ret"        # optional operand
+    # Misc.
+    NOP = "nop"        # cool-down filler; no uses, no defs
+    HALT = "halt"      # stop the interpreter (used by whole-program workloads)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Opcodes that terminate a basic block.
+TERMINATORS = frozenset({Opcode.JUMP, Opcode.BR, Opcode.RET, Opcode.HALT})
+
+#: Binary arithmetic/logic opcodes (dest, lhs, rhs).
+BINARY_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+    }
+)
+
+#: Unary opcodes (dest, src).
+UNARY_OPS = frozenset({Opcode.NEG, Opcode.NOT})
+
+#: Comparison opcodes (dest, lhs, rhs) -> 0/1.
+COMPARE_OPS = frozenset(
+    {Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPGT, Opcode.CMPGE}
+)
+
+#: Opcodes with commutative operands (used by the scheduler and CSE).
+COMMUTATIVE_OPS = frozenset(
+    {Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.CMPEQ, Opcode.CMPNE}
+)
+
+#: Opcodes that touch memory (for scheduling dependence construction).
+MEMORY_OPS = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.SPILL, Opcode.RELOAD})
+
+
+def _expected_operand_count(opcode: Opcode) -> tuple[int, int]:
+    """Return the (min, max) operand count for *opcode*."""
+    if opcode in BINARY_OPS or opcode in COMPARE_OPS:
+        return (2, 2)
+    if opcode in UNARY_OPS or opcode is Opcode.COPY or opcode is Opcode.LOAD:
+        return (1, 1)
+    if opcode is Opcode.LI:
+        return (1, 1)
+    if opcode is Opcode.STORE:
+        return (2, 2)
+    if opcode is Opcode.SPILL:
+        return (2, 2)  # (slot, register)
+    if opcode is Opcode.RELOAD:
+        return (1, 1)  # (slot,)
+    if opcode is Opcode.BR:
+        return (1, 1)
+    if opcode is Opcode.RET:
+        return (0, 1)
+    if opcode in (Opcode.JUMP, Opcode.NOP, Opcode.HALT):
+        return (0, 0)
+    raise IRError(f"unknown opcode {opcode!r}")
+
+
+class Instruction:
+    """A single three-address instruction.
+
+    Parameters
+    ----------
+    opcode:
+        The operation.
+    dest:
+        The defined register, or ``None`` for instructions without a
+        result (stores, branches, ``nop``...).
+    operands:
+        The source operands, in positional order.  For ``store`` the
+        order is ``(address, value)``; for ``spill`` it is
+        ``(slot, register)``; for ``br`` it is ``(condition,)``.
+    targets:
+        Names of successor basic blocks for control-flow opcodes:
+        ``jump`` has one, ``br`` has two ``(taken, not_taken)``.
+
+    Instructions are mutable — optimization passes replace operands and
+    the register allocator's rewriter replaces virtual with physical
+    registers in place — but the *shape* (opcode arity) is validated at
+    construction and again by the verifier.
+    """
+
+    __slots__ = ("opcode", "dest", "operands", "targets")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dest: Value | None = None,
+        operands: Sequence[Value] = (),
+        targets: Sequence[str] = (),
+    ) -> None:
+        lo, hi = _expected_operand_count(opcode)
+        if not (lo <= len(operands) <= hi):
+            raise IRError(
+                f"{opcode.value}: expected between {lo} and {hi} operands, "
+                f"got {len(operands)}"
+            )
+        if opcode is Opcode.JUMP and len(targets) != 1:
+            raise IRError("jump requires exactly one target")
+        if opcode is Opcode.BR and len(targets) != 2:
+            raise IRError("br requires exactly two targets (taken, not_taken)")
+        if opcode not in (Opcode.JUMP, Opcode.BR) and targets:
+            raise IRError(f"{opcode.value} takes no targets")
+        if opcode is Opcode.LI and not isinstance(operands[0], Constant):
+            raise IRError("li requires a constant operand")
+        if opcode is Opcode.SPILL and not isinstance(operands[0], StackSlot):
+            raise IRError("spill requires a stack-slot first operand")
+        if opcode is Opcode.RELOAD and not isinstance(operands[0], StackSlot):
+            raise IRError("reload requires a stack-slot operand")
+        needs_dest = (
+            opcode in BINARY_OPS
+            or opcode in UNARY_OPS
+            or opcode in COMPARE_OPS
+            or opcode in (Opcode.LI, Opcode.COPY, Opcode.LOAD, Opcode.RELOAD)
+        )
+        if needs_dest and dest is None:
+            raise IRError(f"{opcode.value} requires a destination register")
+        if not needs_dest and dest is not None:
+            raise IRError(f"{opcode.value} does not produce a result")
+        if dest is not None and not dest.is_register:
+            raise IRError(f"{opcode.value}: destination must be a register")
+        self.opcode = opcode
+        self.dest = dest
+        self.operands: list[Value] = list(operands)
+        self.targets: list[str] = list(targets)
+
+    # ------------------------------------------------------------------
+    # Register access sets
+    # ------------------------------------------------------------------
+    def uses(self) -> list[Value]:
+        """Registers read by this instruction, in operand order."""
+        return [op for op in self.operands if op.is_register]
+
+    def defs(self) -> list[Value]:
+        """Registers written by this instruction (zero or one)."""
+        return [self.dest] if self.dest is not None else []
+
+    def registers(self) -> list[Value]:
+        """All registers accessed (uses then defs); duplicates preserved.
+
+        The thermal model charges one access worth of energy per entry,
+        so an instruction such as ``add %a, %a, %a`` heats register
+        ``%a``'s cell three times in one cycle — matching the power
+        density argument of the paper's §1.
+        """
+        return self.uses() + self.defs()
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def touches_memory(self) -> bool:
+        return self.opcode in MEMORY_OPS
+
+    # ------------------------------------------------------------------
+    # Mutation helpers used by rewriters and optimization passes
+    # ------------------------------------------------------------------
+    def replace_uses(self, mapping: dict[Value, Value]) -> None:
+        """Replace operand registers according to *mapping* (in place)."""
+        self.operands = [mapping.get(op, op) for op in self.operands]
+
+    def replace_defs(self, mapping: dict[Value, Value]) -> None:
+        """Replace the destination register according to *mapping* (in place)."""
+        if self.dest is not None:
+            self.dest = mapping.get(self.dest, self.dest)
+
+    def replace_all(self, mapping: dict[Value, Value]) -> None:
+        """Replace both uses and defs according to *mapping* (in place)."""
+        self.replace_uses(mapping)
+        self.replace_defs(mapping)
+
+    def retarget(self, old: str, new: str) -> None:
+        """Replace control-flow target *old* with *new* (in place)."""
+        self.targets = [new if t == old else t for t in self.targets]
+
+    def copy(self) -> "Instruction":
+        """Return a structural copy of this instruction."""
+        return Instruction(self.opcode, self.dest, list(self.operands), list(self.targets))
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        head = (
+            f"{self.dest} = {self.opcode.value}"
+            if self.dest is not None
+            else self.opcode.value
+        )
+        tail = ", ".join([str(op) for op in self.operands] + list(self.targets))
+        return f"{head} {tail}" if tail else head
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instruction {self}>"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (used heavily by the builder and by tests)
+# ----------------------------------------------------------------------
+def binary(opcode: Opcode, dest: Value, lhs: Value, rhs: Value) -> Instruction:
+    """Build a binary arithmetic/logic/compare instruction."""
+    if opcode not in BINARY_OPS and opcode not in COMPARE_OPS:
+        raise IRError(f"{opcode.value} is not a binary opcode")
+    return Instruction(opcode, dest, (lhs, rhs))
+
+
+def unary(opcode: Opcode, dest: Value, src: Value) -> Instruction:
+    """Build a unary instruction (``neg``/``not``)."""
+    if opcode not in UNARY_OPS:
+        raise IRError(f"{opcode.value} is not a unary opcode")
+    return Instruction(opcode, dest, (src,))
+
+
+def li(dest: Value, imm: int) -> Instruction:
+    """Build a load-immediate instruction."""
+    return Instruction(Opcode.LI, dest, (Constant(imm),))
+
+
+def copy_of(dest: Value, src: Value) -> Instruction:
+    """Build a register-register copy."""
+    return Instruction(Opcode.COPY, dest, (src,))
+
+
+def load(dest: Value, addr: Value) -> Instruction:
+    """Build a memory load ``dest = mem[addr]``."""
+    return Instruction(Opcode.LOAD, dest, (addr,))
+
+
+def store(addr: Value, value: Value) -> Instruction:
+    """Build a memory store ``mem[addr] = value``."""
+    return Instruction(Opcode.STORE, None, (addr, value))
+
+
+def spill(slot: StackSlot, src: Value) -> Instruction:
+    """Build a spill of register *src* to *slot*."""
+    return Instruction(Opcode.SPILL, None, (slot, src))
+
+
+def reload(dest: Value, slot: StackSlot) -> Instruction:
+    """Build a reload of *slot* into register *dest*."""
+    return Instruction(Opcode.RELOAD, dest, (slot,))
+
+
+def jump(target: str) -> Instruction:
+    """Build an unconditional jump."""
+    return Instruction(Opcode.JUMP, targets=(target,))
+
+
+def br(cond: Value, taken: str, not_taken: str) -> Instruction:
+    """Build a conditional branch on *cond* (non-zero = taken)."""
+    return Instruction(Opcode.BR, None, (cond,), (taken, not_taken))
+
+
+def ret(value: Value | None = None) -> Instruction:
+    """Build a return, optionally with a value."""
+    return Instruction(Opcode.RET, None, (value,) if value is not None else ())
+
+
+def nop() -> Instruction:
+    """Build a ``nop`` (the paper's cool-down filler)."""
+    return Instruction(Opcode.NOP)
+
+
+def halt() -> Instruction:
+    """Build a ``halt`` terminator."""
+    return Instruction(Opcode.HALT)
+
+
+def iter_register_accesses(instructions: Iterable[Instruction]) -> Iterable[Value]:
+    """Yield every register access (reads and writes) across *instructions*."""
+    for inst in instructions:
+        yield from inst.registers()

@@ -1,0 +1,151 @@
+"""Parser for the textual IR.
+
+Grammar (one construct per line; ``#`` starts a comment):
+
+.. code-block:: text
+
+    module    := function*
+    function  := "func" "@" NAME "(" params? ")" "{" block+ "}"
+    params    := vreg ("," vreg)*
+    block     := LABEL ":" instruction*
+    vreg      := "%" NAME
+    preg      := "r" INT
+    slot      := "@" NAME
+    const     := "-"? INT
+
+Instructions follow the printer's canonical form, e.g.::
+
+    %t1 = add %a, %b
+    %c = li 42
+    store %addr, %t1
+    br %cond, then_block, else_block
+    jump exit
+    ret %t1
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .block import BasicBlock
+from .function import Function, Module
+from .instructions import Instruction, Opcode
+from .values import Constant, PhysicalRegister, StackSlot, Value, VirtualRegister
+
+_OPCODES = {op.value: op for op in Opcode}
+
+_TOKEN_VREG = re.compile(r"^%([A-Za-z_][A-Za-z0-9_.]*)$")
+_TOKEN_PREG = re.compile(r"^r(\d+)$")
+_TOKEN_SLOT = re.compile(r"^@([A-Za-z_][A-Za-z0-9_.]*)$")
+_TOKEN_CONST = re.compile(r"^-?\d+$")
+_TOKEN_LABEL = re.compile(r"^([A-Za-z_][A-Za-z0-9_.]*):$")
+_FUNC_HEADER = re.compile(r"^func\s+@([A-Za-z_][A-Za-z0-9_.]*)\s*\(([^)]*)\)\s*\{$")
+
+
+def _parse_value(token: str, line: int) -> Value:
+    """Parse one operand token into a :class:`Value`."""
+    token = token.strip()
+    if match := _TOKEN_VREG.match(token):
+        return VirtualRegister(match.group(1))
+    if match := _TOKEN_PREG.match(token):
+        return PhysicalRegister(int(match.group(1)))
+    if match := _TOKEN_SLOT.match(token):
+        return StackSlot(match.group(1))
+    if _TOKEN_CONST.match(token):
+        return Constant(int(token))
+    raise ParseError(f"cannot parse operand {token!r}", line)
+
+
+def _is_target_token(token: str) -> bool:
+    """True when *token* looks like a block name rather than a value."""
+    token = token.strip()
+    return bool(re.match(r"^[A-Za-z_][A-Za-z0-9_.]*$", token)) and not _TOKEN_PREG.match(token)
+
+
+def parse_instruction(text: str, line: int = 0) -> Instruction:
+    """Parse one instruction from its canonical textual form."""
+    text = text.strip()
+    dest: Value | None = None
+    if "=" in text:
+        dest_text, _, rest = text.partition("=")
+        dest = _parse_value(dest_text.strip(), line)
+        text = rest.strip()
+    mnemonic, _, tail = text.partition(" ")
+    opcode = _OPCODES.get(mnemonic.strip())
+    if opcode is None:
+        raise ParseError(f"unknown opcode {mnemonic.strip()!r}", line)
+    tokens = [t.strip() for t in tail.split(",") if t.strip()] if tail.strip() else []
+
+    if opcode is Opcode.JUMP:
+        if len(tokens) != 1 or not _is_target_token(tokens[0]):
+            raise ParseError("jump expects one block target", line)
+        return Instruction(opcode, targets=(tokens[0],))
+    if opcode is Opcode.BR:
+        if len(tokens) != 3:
+            raise ParseError("br expects: br %cond, taken, not_taken", line)
+        cond = _parse_value(tokens[0], line)
+        if not (_is_target_token(tokens[1]) and _is_target_token(tokens[2])):
+            raise ParseError("br targets must be block names", line)
+        return Instruction(opcode, None, (cond,), (tokens[1], tokens[2]))
+
+    operands = tuple(_parse_value(t, line) for t in tokens)
+    try:
+        return Instruction(opcode, dest, operands)
+    except Exception as exc:  # re-raise with position info
+        raise ParseError(str(exc), line) from exc
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single function from text (must contain exactly one)."""
+    module = parse_module(text)
+    functions = list(module)
+    if len(functions) != 1:
+        raise ParseError(f"expected exactly one function, found {len(functions)}")
+    return functions[0]
+
+
+def parse_module(text: str) -> Module:
+    """Parse a module containing zero or more functions."""
+    module = Module()
+    function: Function | None = None
+    block: BasicBlock | None = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if header := _FUNC_HEADER.match(line):
+            if function is not None:
+                raise ParseError("nested 'func' — missing closing '}'", line_no)
+            name, params_text = header.group(1), header.group(2)
+            params = []
+            for token in (t.strip() for t in params_text.split(",") if t.strip()):
+                value = _parse_value(token, line_no)
+                if not isinstance(value, VirtualRegister):
+                    raise ParseError("parameters must be virtual registers", line_no)
+                params.append(value)
+            function = Function(name, params)
+            block = None
+            continue
+        if line == "}":
+            if function is None:
+                raise ParseError("'}' outside a function", line_no)
+            if not function.blocks:
+                raise ParseError(f"function @{function.name} has no blocks", line_no)
+            module.add_function(function)
+            function = None
+            block = None
+            continue
+        if function is None:
+            raise ParseError(f"statement outside a function: {line!r}", line_no)
+        if label := _TOKEN_LABEL.match(line):
+            block = function.add_block(BasicBlock(label.group(1)))
+            continue
+        if block is None:
+            raise ParseError("instruction before the first block label", line_no)
+        block.append(parse_instruction(line, line_no))
+
+    if function is not None:
+        raise ParseError("unexpected end of input — missing '}'")
+    return module

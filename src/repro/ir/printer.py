@@ -1,0 +1,57 @@
+"""Textual IR printer — the inverse of :mod:`repro.ir.parser`.
+
+Round-trip fidelity (`parse(print(f))` structurally equals `f`) is a
+property test in the test suite.
+"""
+
+from __future__ import annotations
+
+from .block import BasicBlock
+from .function import Function, Module
+from .instructions import Instruction
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render a single instruction in canonical textual form."""
+    operands = [str(op) for op in inst.operands]
+    parts = operands + list(inst.targets)
+    tail = ", ".join(parts)
+    if inst.dest is not None:
+        if tail:
+            return f"{inst.dest} = {inst.opcode.value} {tail}"
+        return f"{inst.dest} = {inst.opcode.value}"
+    if tail:
+        return f"{inst.opcode.value} {tail}"
+    return inst.opcode.value
+
+
+def print_block(block: BasicBlock) -> str:
+    """Render a basic block with its label and indented instructions."""
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {print_instruction(inst)}" for inst in block.instructions)
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    """Render a whole function, entry block first."""
+    params = ", ".join(str(p) for p in function.params)
+    lines = [f"func @{function.name}({params}) {{"]
+    names = list(function.blocks)
+    # Entry block is printed first regardless of insertion order so that
+    # the parser's "first block is the entry" convention round-trips.
+    entry = function.entry.name
+    ordered = [entry] + [n for n in names if n != entry]
+    for name in ordered:
+        lines.append(print_block(function.blocks[name]))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render every function in the module, separated by blank lines."""
+    return "\n\n".join(print_function(f) for f in module)
+
+
+def format_trace_line(index: int, block: str, inst: Instruction) -> str:
+    """One line of an annotated listing: ``[i] block: instruction``."""
+    return f"[{index:4d}] {block}: {print_instruction(inst)}"

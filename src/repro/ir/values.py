@@ -1,0 +1,101 @@
+"""Value classes for the three-address intermediate representation.
+
+The IR distinguishes four kinds of operand values:
+
+* :class:`Constant` — an integer immediate.
+* :class:`VirtualRegister` — an unbounded compiler temporary (``%v0``);
+  the unit of liveness, interference and register allocation.
+* :class:`PhysicalRegister` — an architectural register (``r3``) with a
+  fixed position in the register file floorplan; produced by the
+  register allocator's rewriter.
+* :class:`StackSlot` — an abstract spill/home location in memory
+  (``@slot0``); accesses to stack slots do not heat the register file.
+
+Values are immutable and hashable; identity of a register is its name,
+so two ``VirtualRegister("v1")`` instances compare equal.  This makes
+sets and dictionaries of registers behave naturally across IR clones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Value:
+    """Abstract base class for IR operand values."""
+
+    __slots__ = ()
+
+    @property
+    def is_register(self) -> bool:
+        """True for virtual and physical registers (the things that heat the RF)."""
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Value):
+    """An integer immediate operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class VirtualRegister(Value):
+    """A compiler temporary, unbounded in number, subject to allocation."""
+
+    name: str
+
+    @property
+    def is_register(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class PhysicalRegister(Value):
+    """An architectural register identified by its index in the register file."""
+
+    index: int
+
+    @property
+    def is_register(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class StackSlot(Value):
+    """An abstract memory home used for spilled values.
+
+    Stack slots deliberately carry no floorplan position: loads/stores to
+    them cost cycles and energy in the memory hierarchy but inject no power
+    into the register file thermal model, which is exactly the trade the
+    paper's "spill critical variables" optimization exploits.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+def vreg(name: str) -> VirtualRegister:
+    """Shorthand constructor for a :class:`VirtualRegister`."""
+    return VirtualRegister(name)
+
+
+def preg(index: int) -> PhysicalRegister:
+    """Shorthand constructor for a :class:`PhysicalRegister`."""
+    return PhysicalRegister(index)
+
+
+def const(value: int) -> Constant:
+    """Shorthand constructor for a :class:`Constant`."""
+    return Constant(value)

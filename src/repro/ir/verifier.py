@@ -1,0 +1,114 @@
+"""Structural IR verifier.
+
+Checks the invariants the analyses and the interpreter rely on:
+
+* every block is terminated, and only the last instruction is a terminator;
+* every branch target names an existing block;
+* every block is reachable from the entry;
+* every register use is dominated by a definition (params define at entry) —
+  a must-reach check via forward data flow over "definitely assigned" sets;
+* no instruction mixes virtual and physical registers unless permitted
+  (a fully rewritten function must use physical registers exclusively).
+"""
+
+from __future__ import annotations
+
+from ..errors import VerificationError
+from .cfg import reachable_blocks, reverse_postorder
+from .function import Function, Module
+from .values import PhysicalRegister, Value, VirtualRegister
+
+
+def verify_function(function: Function, allow_mixed_registers: bool = True) -> None:
+    """Raise :class:`VerificationError` on the first violated invariant."""
+    if not function.blocks:
+        raise VerificationError(f"@{function.name}: function has no blocks")
+
+    for block in function.blocks.values():
+        if block.terminator is None:
+            raise VerificationError(
+                f"@{function.name}/{block.name}: block is not terminated"
+            )
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                raise VerificationError(
+                    f"@{function.name}/{block.name}: terminator {inst} is not last"
+                )
+        for target in block.successors():
+            if target not in function.blocks:
+                raise VerificationError(
+                    f"@{function.name}/{block.name}: unknown branch target {target!r}"
+                )
+
+    reachable = reachable_blocks(function)
+    unreachable = set(function.blocks) - reachable
+    if unreachable:
+        raise VerificationError(
+            f"@{function.name}: unreachable blocks {sorted(unreachable)!r}"
+        )
+
+    _check_definite_assignment(function)
+
+    if not allow_mixed_registers:
+        kinds = {type(r) for r in function.registers()}
+        if VirtualRegister in kinds and PhysicalRegister in kinds:
+            raise VerificationError(
+                f"@{function.name}: mixes virtual and physical registers"
+            )
+
+
+def _check_definite_assignment(function: Function) -> None:
+    """Every register use must be preceded by a def on *all* paths."""
+    # Forward must-analysis: IN[b] = intersection of OUT[preds].
+    preds = function.predecessors_map()
+    rpo = reverse_postorder(function)
+    all_regs: set[Value] = function.registers()
+    entry = function.entry.name
+
+    out_sets: dict[str, set[Value]] = {name: set(all_regs) for name in rpo}
+    out_sets[entry] = _block_defs_check(function, entry, set(function.params))
+
+    changed = True
+    while changed:
+        changed = False
+        for name in rpo:
+            if name == entry:
+                continue
+            incoming = [out_sets[p] for p in preds[name] if p in out_sets]
+            in_set = set.intersection(*incoming) if incoming else set()
+            new_out = _block_defs_check(function, name, in_set)
+            if new_out != out_sets[name]:
+                out_sets[name] = new_out
+                changed = True
+
+    # Final pass raises on the first genuinely unassigned use.
+    final_in: dict[str, set[Value]] = {entry: set(function.params)}
+    for name in rpo:
+        if name == entry:
+            continue
+        incoming = [out_sets[p] for p in preds[name] if p in out_sets]
+        final_in[name] = set.intersection(*incoming) if incoming else set()
+    for name in rpo:
+        assigned = set(final_in[name])
+        for inst in function.block(name).instructions:
+            for use in inst.uses():
+                if use not in assigned:
+                    raise VerificationError(
+                        f"@{function.name}/{name}: {use} used before assignment "
+                        f"in '{inst}'"
+                    )
+            assigned.update(inst.defs())
+
+
+def _block_defs_check(function: Function, name: str, assigned: set[Value]) -> set[Value]:
+    """Transfer 'definitely assigned' through a block, without raising."""
+    current = set(assigned)
+    for inst in function.block(name).instructions:
+        current.update(inst.defs())
+    return current
+
+
+def verify_module(module: Module, allow_mixed_registers: bool = True) -> None:
+    """Verify every function in *module*."""
+    for function in module:
+        verify_function(function, allow_mixed_registers=allow_mixed_registers)

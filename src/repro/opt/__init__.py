@@ -1,0 +1,49 @@
+"""Thermal-aware optimization passes and the compilation pipeline."""
+
+from .banking import BankingReport, analyze_banking
+from .cse import LocalCSEPass
+from .dce import DeadCodeEliminationPass
+from .nops import NopInsertionPass
+from .passes import (
+    FunctionPass,
+    PassManager,
+    PassReport,
+    create_pass,
+    register_pass,
+    registered_passes,
+)
+from .pipeline import (
+    PRE_ALLOCATION_PASSES,
+    CompilationResult,
+    ThermalAwareCompiler,
+)
+from .promote import RegisterPromotionPass
+from .reassign import ReassignPass, spreading_permutation, weighted_register_accesses
+from .schedule import ThermalSchedulePass, min_reuse_distance
+from .spill_critical import SpillCriticalPass
+from .split import SplitLiveRangesPass
+
+__all__ = [
+    "BankingReport",
+    "analyze_banking",
+    "LocalCSEPass",
+    "FunctionPass",
+    "PassManager",
+    "PassReport",
+    "create_pass",
+    "register_pass",
+    "registered_passes",
+    "SpillCriticalPass",
+    "SplitLiveRangesPass",
+    "ThermalSchedulePass",
+    "min_reuse_distance",
+    "RegisterPromotionPass",
+    "NopInsertionPass",
+    "ReassignPass",
+    "weighted_register_accesses",
+    "spreading_permutation",
+    "DeadCodeEliminationPass",
+    "ThermalAwareCompiler",
+    "CompilationResult",
+    "PRE_ALLOCATION_PASSES",
+]

@@ -1,0 +1,131 @@
+"""Register-bank switch-off analysis — the §4 tension, quantified.
+
+Paper §4: *"However, power reduction techniques based on switching off
+register banks could not theoretically be applied after the spread
+register assignment, and a compromise between these types of techniques
+for different optimization metrics can be explored at the compiler
+level."*
+
+This module provides the other side of that compromise: given an
+allocated function on a banked register file, it estimates how much of
+the time each bank could be power-gated.  A bank is gateable over a
+region (we use natural loops plus the remaining straight-line code as
+regions, weighted by static frequency) iff no instruction in the region
+touches any register of the bank.  Spreading policies deliberately touch
+all banks and destroy this opportunity — exactly the paper's point — so
+experiment E9 reports both the thermal spreading metrics and the bank
+idle fraction per policy, making the trade-off measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.machine import MachineDescription
+from ..dataflow.freq import static_profile
+from ..errors import ThermalModelError
+from ..ir.function import Function
+from ..ir.loops import LoopInfo
+from ..ir.values import PhysicalRegister
+
+
+@dataclass(frozen=True)
+class BankingReport:
+    """Bank power-gating opportunity of one allocated function."""
+
+    banks: int
+    #: Per bank: fraction of (frequency-weighted) execution during which
+    #: the bank is untouched and could be switched off.
+    idle_fraction: tuple[float, ...]
+    #: Mean of idle_fraction — the headline "gating opportunity".
+    mean_idle: float
+    #: Estimated leakage saved (W) assuming idle banks are fully gated.
+    leakage_saved: float
+
+    def __str__(self) -> str:
+        per_bank = ", ".join(f"{f:.2f}" for f in self.idle_fraction)
+        return (
+            f"banks={self.banks} idle=[{per_bank}] mean={self.mean_idle:.2f} "
+            f"leakage_saved={self.leakage_saved * 1e3:.3f} mW"
+        )
+
+
+def _regions(function: Function) -> list[set[str]]:
+    """Gating regions: innermost-first natural loops, then leftover blocks.
+
+    Power gating has enter/exit latency, so the realistic granularity is
+    a region executed many times (a loop) or the residual straight-line
+    code, not an individual instruction.
+    """
+    info = LoopInfo(function)
+    regions: list[set[str]] = []
+    covered: set[str] = set()
+    for loop in sorted(info.loops, key=lambda l: -l.depth):
+        body = loop.body - covered
+        if body:
+            regions.append(body)
+            covered |= body
+    rest = set(function.blocks) - covered
+    if rest:
+        regions.append(rest)
+    return regions
+
+
+def _banks_touched(function: Function, blocks: set[str],
+                   machine: MachineDescription) -> set[int]:
+    touched: set[int] = set()
+    geometry = machine.geometry
+    for name in blocks:
+        for inst in function.block(name).instructions:
+            for reg in inst.registers():
+                if not isinstance(reg, PhysicalRegister):
+                    raise ThermalModelError(
+                        "banking analysis needs an allocated function "
+                        f"(found {reg})"
+                    )
+                touched.add(geometry.bank_of(reg.index))
+    return touched
+
+
+def analyze_banking(
+    function: Function, machine: MachineDescription
+) -> BankingReport:
+    """Estimate per-bank switch-off opportunity for an allocated function."""
+    banks = machine.geometry.banks
+    if banks < 2:
+        return BankingReport(
+            banks=banks, idle_fraction=(0.0,) * banks, mean_idle=0.0,
+            leakage_saved=0.0,
+        )
+    profile = static_profile(function)
+    regions = _regions(function)
+
+    # Weight of a region = its share of expected dynamic instructions.
+    weights = []
+    touched_sets = []
+    for blocks in regions:
+        weight = sum(
+            profile.block_freq.get(name, 0.0)
+            * len(function.block(name).instructions)
+            for name in blocks
+        )
+        weights.append(weight)
+        touched_sets.append(_banks_touched(function, blocks, machine))
+    total = sum(weights) or 1.0
+
+    idle = []
+    for bank in range(banks):
+        idle_weight = sum(
+            w for w, touched in zip(weights, touched_sets) if bank not in touched
+        )
+        idle.append(idle_weight / total)
+
+    cells_per_bank = machine.geometry.num_registers / banks
+    leakage_per_bank = machine.energy.leakage_power * cells_per_bank
+    saved = sum(f * leakage_per_bank for f in idle)
+    return BankingReport(
+        banks=banks,
+        idle_fraction=tuple(idle),
+        mean_idle=sum(idle) / banks,
+        leakage_saved=saved,
+    )

@@ -1,0 +1,62 @@
+"""Local common-subexpression elimination (block-scoped value numbering).
+
+A cleanup pass: live-range splitting and promotion can leave duplicate
+pure computations; CSE folds them so that the thermal comparisons in E4
+measure the transformations themselves, not incidental redundancy.
+Duplicated pure instructions are replaced by copies from the register
+already holding the value (the copy itself may then be removed by the
+allocator's coalescing or by DCE when unused).
+
+The analysis is block-local: an expression computed earlier in the same
+block with none of its operands redefined since is reused.  Loads are
+excluded (memory may change); the promotion pass handles those.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.function import Function
+from ..ir.values import Value
+from ..dataflow.available import expression_of
+from .passes import FunctionPass, PassReport, register_pass
+
+
+@register_pass("cse")
+class LocalCSEPass(FunctionPass):
+    """Fold repeated pure expressions within each basic block."""
+
+    def __init__(self, targets: tuple = ()) -> None:
+        self.targets = tuple(targets)  # accepted for registry uniformity
+
+    def run(self, function: Function) -> tuple[Function, PassReport]:
+        clone = function.copy()
+        folded = 0
+        for block in clone.blocks.values():
+            value_table: dict[tuple, Value] = {}
+            new_instructions = []
+            for inst in block.instructions:
+                expr = expression_of(inst)
+                replacement = None
+                if expr is not None:
+                    held = value_table.get(expr)
+                    if held is not None and held != inst.dest:
+                        replacement = ins.copy_of(inst.dest, held)
+                        folded += 1
+                emitted = replacement if replacement is not None else inst
+                # Any redefinition invalidates expressions that read the
+                # register, and the defined register's own table entry.
+                for d in emitted.defs():
+                    value_table = {
+                        e: reg
+                        for e, reg in value_table.items()
+                        if reg != d and str(d) not in e[1]
+                    }
+                if expr is not None and replacement is None:
+                    value_table[expr] = inst.dest
+                new_instructions.append(emitted)
+            block.instructions = new_instructions
+        return clone, PassReport(
+            pass_name=self.name,
+            changed=folded > 0,
+            details={"folded": folded},
+        )

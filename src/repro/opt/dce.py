@@ -1,0 +1,58 @@
+"""Dead code elimination (cleanup pass).
+
+Splitting and promotion can leave pure instructions whose results are
+never read; removing them keeps the optimization comparisons honest
+(no pass gets credit for heating the RF with dead copies).
+"""
+
+from __future__ import annotations
+
+from ..dataflow.liveness import liveness
+from ..ir.function import Function
+from ..ir.instructions import BINARY_OPS, COMPARE_OPS, Opcode, UNARY_OPS
+from .passes import FunctionPass, PassReport, register_pass
+
+#: Opcodes safe to delete when their result is dead.
+_PURE = (
+    BINARY_OPS
+    | UNARY_OPS
+    | COMPARE_OPS
+    | {Opcode.LI, Opcode.COPY, Opcode.RELOAD}
+)
+
+
+@register_pass("dce")
+class DeadCodeEliminationPass(FunctionPass):
+    """Iteratively remove pure instructions with dead destinations."""
+
+    def __init__(self, targets: tuple = ()) -> None:
+        self.targets = tuple(targets)  # accepted for registry uniformity
+
+    def run(self, function: Function) -> tuple[Function, PassReport]:
+        clone = function.copy()
+        removed_total = 0
+        while True:
+            info = liveness(clone)
+            removed = 0
+            for name, block in clone.blocks.items():
+                live_after = info.live_after(name)
+                keep = []
+                for i, inst in enumerate(block.instructions):
+                    dead = (
+                        inst.opcode in _PURE
+                        and inst.dest is not None
+                        and inst.dest not in live_after[i]
+                    )
+                    if dead:
+                        removed += 1
+                    else:
+                        keep.append(inst)
+                block.instructions = keep
+            removed_total += removed
+            if removed == 0:
+                break
+        return clone, PassReport(
+            pass_name=self.name,
+            changed=removed_total > 0,
+            details={"removed": removed_total},
+        )

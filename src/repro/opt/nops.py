@@ -1,0 +1,76 @@
+"""NOP insertion for cool-down — the paper's explicit last resort.
+
+Paper §4: *"the insertion of NOP instructions gives the RF a chance to
+cool down between accesses in extremely hot situations, although it can
+affect overall system performance and should be applied only if no
+other option to cool down the system is feasible."*
+
+The pass inserts a burst of NOPs after every instruction whose
+analysis-predicted post-state exceeds a temperature threshold.  The
+benches measure both effects the sentence predicts: peak temperature
+drops, cycle count rises.
+"""
+
+from __future__ import annotations
+
+from ..core.tdfa import TDFAResult
+from ..ir import instructions as ins
+from ..ir.function import Function
+from .passes import FunctionPass, PassReport, register_pass
+
+
+@register_pass("insert_nops")
+class NopInsertionPass(FunctionPass):
+    """Insert cool-down NOPs after predicted-hot instructions.
+
+    Parameters
+    ----------
+    analysis:
+        A thermal DFA result for the function being transformed; the
+        per-instruction states decide where NOPs go.  Without it the
+        pass is a no-op (it refuses to guess).
+    threshold:
+        Peak node temperature (K) above which an instruction is "hot".
+    burst:
+        Number of NOPs inserted after each hot instruction.
+    targets:
+        Accepted for registry uniformity; unused.
+    """
+
+    def __init__(
+        self,
+        analysis: TDFAResult | None = None,
+        threshold: float = 330.0,
+        burst: int = 2,
+        targets: tuple = (),
+    ) -> None:
+        self.analysis = analysis
+        self.threshold = threshold
+        self.burst = max(1, burst)
+
+    def run(self, function: Function) -> tuple[Function, PassReport]:
+        if self.analysis is None:
+            return function.copy(), PassReport(
+                pass_name=self.name, changed=False, details={"nops": 0}
+            )
+        hot_sites: set[tuple[str, int]] = {
+            (block, idx)
+            for (block, idx), state in self.analysis.after.items()
+            if state.peak > self.threshold
+        }
+        clone = function.copy()
+        inserted = 0
+        for name, block in clone.blocks.items():
+            new_instructions = []
+            for idx, inst in enumerate(block.instructions):
+                new_instructions.append(inst)
+                if (name, idx) in hot_sites and not inst.is_terminator:
+                    for _ in range(self.burst):
+                        new_instructions.append(ins.nop())
+                        inserted += 1
+            block.instructions = new_instructions
+        return clone, PassReport(
+            pass_name=self.name,
+            changed=inserted > 0,
+            details={"nops": inserted, "hot_sites": len(hot_sites)},
+        )

@@ -1,0 +1,93 @@
+"""Pass protocol, registry and pass manager.
+
+Optimization passes transform a function and report what they did; the
+pass manager runs a named sequence (usually the one a
+:class:`~repro.core.rules.ThermalPlan` recommends) and accumulates the
+reports.  Passes are small objects rather than bare functions so they
+can carry configuration and targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ReproError
+from ..ir.function import Function
+from ..ir.verifier import verify_function
+
+
+@dataclass
+class PassReport:
+    """What one pass did to one function."""
+
+    pass_name: str
+    changed: bool
+    details: dict[str, float | int | str] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        info = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"{self.pass_name}: {'changed' if self.changed else 'no-op'} ({info})"
+
+
+class FunctionPass:
+    """Base class: transform a function copy, never mutate the input."""
+
+    name: str = "abstract"
+
+    def run(self, function: Function) -> tuple[Function, PassReport]:
+        """Return (new function, report).  Must keep the IR verifiable."""
+        raise NotImplementedError
+
+
+@dataclass
+class PassManager:
+    """Runs a pass sequence with post-pass verification."""
+
+    passes: list[FunctionPass] = field(default_factory=list)
+    verify_after_each: bool = True
+
+    def add(self, pass_: FunctionPass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, function: Function) -> tuple[Function, list[PassReport]]:
+        current = function
+        reports: list[PassReport] = []
+        for pass_ in self.passes:
+            current, report = pass_.run(current)
+            if self.verify_after_each:
+                verify_function(current)
+            reports.append(report)
+        return current, reports
+
+
+#: Registry: plan pass-name -> factory(targets) -> FunctionPass.
+_REGISTRY: dict[str, Callable[..., FunctionPass]] = {}
+
+
+def register_pass(name: str):
+    """Class decorator registering a pass factory under *name*."""
+
+    def decorate(cls):
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return decorate
+
+
+def create_pass(name: str, **kwargs) -> FunctionPass:
+    """Instantiate a registered pass by plan name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown pass {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def registered_passes() -> list[str]:
+    """Names of all registered passes."""
+    return sorted(_REGISTRY)

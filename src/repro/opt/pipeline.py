@@ -1,0 +1,196 @@
+"""The thermal-aware compilation pipeline.
+
+Paper §4: *"the result of the analysis phase can be used to conduct the
+compilation process achieving a temperature-aware compilation at
+different stages."*  This module wires everything together:
+
+1. baseline register allocation under the configured policy;
+2. thermal data flow analysis of the *virtual* function with the
+   baseline placement (so criticality lands on actionable virtual
+   registers);
+3. the rule engine turns the analysis into a :class:`ThermalPlan`;
+4. pre-allocation passes from the plan (spill, split, schedule,
+   promote) transform the virtual function, followed by CSE + DCE
+   cleanup;
+5. final allocation — switching to the chessboard policy when the plan
+   says it is viable;
+6. post-allocation passes (re-assignment, last-resort NOPs);
+7. a final analysis of the allocated function documents the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.machine import MachineDescription
+from ..core.estimator import ExactPlacement
+from ..core.predictive import AllocationPlacement
+from ..core.rules import RuleConfig, ThermalPlan, evaluate_rules
+from ..core.tdfa import TDFAConfig, TDFAResult, ThermalDataflowAnalysis
+from ..ir.function import Function
+from ..regalloc.assignment import Allocation
+from ..regalloc.linearscan import allocate_linear_scan
+from ..regalloc.policies import AssignmentPolicy, ChessboardPolicy, FirstFreePolicy
+from ..thermal.rcmodel import RFThermalModel
+from .cse import LocalCSEPass
+from .dce import DeadCodeEliminationPass
+from .nops import NopInsertionPass
+from .passes import PassReport, create_pass
+from .promote import RegisterPromotionPass  # noqa: F401  (registry import)
+from .reassign import ReassignPass
+from .schedule import ThermalSchedulePass  # noqa: F401  (registry import)
+from .spill_critical import SpillCriticalPass  # noqa: F401  (registry import)
+from .split import SplitLiveRangesPass  # noqa: F401  (registry import)
+
+#: Plan pass names that transform the pre-allocation (virtual) function.
+PRE_ALLOCATION_PASSES = (
+    "spill_critical",
+    "split_live_ranges",
+    "thermal_schedule",
+    "promote",
+)
+
+
+@dataclass
+class CompilationResult:
+    """Everything the thermal-aware pipeline produced for one function."""
+
+    original: Function
+    optimized_virtual: Function
+    allocated: Function
+    allocation: Allocation
+    plan: ThermalPlan
+    pass_reports: list[PassReport] = field(default_factory=list)
+    analysis_before: TDFAResult | None = None
+    analysis_after: TDFAResult | None = None
+
+    def summary(self) -> dict[str, float]:
+        """Before/after thermal headline numbers."""
+        result: dict[str, float] = {
+            "instructions_before": float(self.original.instruction_count()),
+            "instructions_after": float(self.allocated.instruction_count()),
+        }
+        if self.analysis_before is not None:
+            peak = self.analysis_before.peak_state()
+            result["peak_before"] = peak.peak
+            result["gradient_before"] = peak.max_gradient()
+        if self.analysis_after is not None:
+            peak = self.analysis_after.peak_state()
+            result["peak_after"] = peak.peak
+            result["gradient_after"] = peak.max_gradient()
+        return result
+
+
+class ThermalAwareCompiler:
+    """Analysis-driven thermal-aware compilation (no emulation feedback).
+
+    Parameters
+    ----------
+    machine:
+        Target machine.
+    policy:
+        Baseline assignment policy (default: the hot-spot-prone
+        first-free order, which gives the analysis something to fix).
+    delta / merge:
+        Analysis parameters (paper's δ and the CFG join mode).
+    rule_config:
+        Thresholds of the rule engine.
+    enable_nops:
+        Allow the last-resort NOP rule to actually insert NOPs.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        policy: AssignmentPolicy | None = None,
+        delta: float = 0.05,
+        merge: str = "freq",
+        rule_config: RuleConfig | None = None,
+        model: RFThermalModel | None = None,
+        enable_nops: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.policy = policy or FirstFreePolicy()
+        self.delta = delta
+        self.merge = merge
+        self.rule_config = rule_config or RuleConfig()
+        self.model = model or RFThermalModel(machine.geometry, energy=machine.energy)
+        self.enable_nops = enable_nops
+
+    # ------------------------------------------------------------------
+    def _analyze(self, function: Function, placement) -> TDFAResult:
+        analysis = ThermalDataflowAnalysis(
+            machine=self.machine,
+            model=self.model,
+            placement=placement,
+            config=TDFAConfig(delta=self.delta, merge=self.merge),
+        )
+        return analysis.run(function)
+
+    def compile(self, function: Function) -> CompilationResult:
+        """Run the full pipeline on a virtual-register function."""
+        num_regs = self.machine.geometry.num_registers
+
+        # 1-2: baseline allocation + analysis on the virtual function.
+        baseline_alloc = allocate_linear_scan(function, self.machine, self.policy)
+        baseline_placement = AllocationPlacement(baseline_alloc, num_regs)
+        analysis_before = self._analyze(function, baseline_placement)
+
+        # 3: rules.
+        plan = evaluate_rules(
+            analysis_before, baseline_placement, self.machine, self.rule_config
+        )
+
+        # 4: pre-allocation passes in plan order.
+        reports: list[PassReport] = []
+        current = function
+        use_chessboard = False
+        want_reassign = False
+        want_nops = False
+        for rec in plan.ordered():
+            if rec.pass_name in PRE_ALLOCATION_PASSES:
+                pass_ = create_pass(rec.pass_name, targets=rec.targets)
+                current, report = pass_.run(current)
+                reports.append(report)
+            elif rec.pass_name == "chessboard_assignment":
+                use_chessboard = True
+            elif rec.pass_name == "reassign":
+                want_reassign = True
+            elif rec.pass_name == "insert_nops":
+                want_nops = True
+        current, cse_report = LocalCSEPass().run(current)
+        reports.append(cse_report)
+        current, dce_report = DeadCodeEliminationPass().run(current)
+        reports.append(dce_report)
+
+        # 5: final allocation.
+        final_policy: AssignmentPolicy = (
+            ChessboardPolicy() if use_chessboard else self.policy
+        )
+        allocation = allocate_linear_scan(current, self.machine, final_policy)
+        allocated = allocation.function
+
+        # 6: post-allocation passes.
+        if want_reassign:
+            allocated, report = ReassignPass(machine=self.machine).run(allocated)
+            reports.append(report)
+        if want_nops and self.enable_nops:
+            interim = self._analyze(allocated, ExactPlacement(num_regs))
+            threshold = self.model.params.ambient + self.rule_config.peak_threshold
+            nop_pass = NopInsertionPass(analysis=interim, threshold=threshold)
+            allocated, report = nop_pass.run(allocated)
+            reports.append(report)
+
+        # 7: final analysis.
+        analysis_after = self._analyze(allocated, ExactPlacement(num_regs))
+
+        return CompilationResult(
+            original=function,
+            optimized_virtual=current,
+            allocated=allocated,
+            allocation=allocation,
+            plan=plan,
+            pass_reports=reports,
+            analysis_before=analysis_before,
+            analysis_after=analysis_after,
+        )

@@ -1,0 +1,67 @@
+"""Register promotion (memory → register).
+
+Paper §4: accesses can be made more uniform in time *"using register
+promotion (i.e., promoting some memory-resident variables into
+registers), which would help on avoiding the thermal gradients between
+hot and cold registers, by making more uniform the use of registers in
+time"*.
+
+The pass performs conservative intra-block load forwarding: within a
+basic block, a second ``load`` from the *same address register holding
+the same value* is replaced by a ``copy`` from the previously loaded
+temporary, provided no intervening instruction may write memory and the
+address register is not redefined.  The promoted value then occupies a
+register across the region, adding steady (cooler, distributed) register
+traffic in place of bursty cache traffic.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.function import Function
+from ..ir.instructions import Opcode
+from ..ir.values import Value
+from .passes import FunctionPass, PassReport, register_pass
+
+#: Opcodes that may write memory (kill all promoted values).
+_MEMORY_WRITERS = {Opcode.STORE}
+
+
+@register_pass("promote")
+class RegisterPromotionPass(FunctionPass):
+    """Forward repeated same-address loads through a register."""
+
+    def __init__(self, targets: tuple = ()) -> None:
+        self.targets = tuple(targets)  # accepted for registry uniformity
+
+    def run(self, function: Function) -> tuple[Function, PassReport]:
+        clone = function.copy()
+        promoted = 0
+        for block in clone.blocks.values():
+            available: dict[Value, Value] = {}  # address reg -> value reg
+            new_instructions = []
+            for inst in block.instructions:
+                if inst.opcode in _MEMORY_WRITERS:
+                    available.clear()
+                replacement = None
+                if inst.opcode is Opcode.LOAD:
+                    held = available.get(inst.operands[0])
+                    if held is not None:
+                        replacement = ins.copy_of(inst.dest, held)
+                        promoted += 1
+                # A redefinition of an address or value register invalidates
+                # entries mentioning it — checked *before* registering this
+                # instruction's own load so it doesn't self-invalidate.
+                emitted = replacement if replacement is not None else inst
+                for d in emitted.defs():
+                    for key in [k for k, v in available.items() if k == d or v == d]:
+                        del available[key]
+                if replacement is None and inst.opcode is Opcode.LOAD:
+                    available[inst.operands[0]] = inst.dest
+                new_instructions.append(emitted)
+            block.instructions = new_instructions
+        return clone, PassReport(
+            pass_name=self.name,
+            changed=promoted > 0,
+            details={"loads_promoted": promoted},
+        )

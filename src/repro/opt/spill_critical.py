@@ -1,0 +1,51 @@
+"""Spill-critical-variables pass.
+
+Paper §4: *"For the purposes of thermal management, the greatest benefit
+will be achieved by spilling these 'critical' variables to memory."*
+The pass demotes the targeted virtual registers to stack slots (reusing
+the allocator's spill machinery), trading RF power density for memory
+traffic and extra cycles.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.values import VirtualRegister
+from ..regalloc.spill import insert_spill_code
+from .passes import FunctionPass, PassReport, register_pass
+
+
+@register_pass("spill_critical")
+class SpillCriticalPass(FunctionPass):
+    """Demote the given virtual registers to memory.
+
+    Parameters
+    ----------
+    targets:
+        Virtual registers to spill (typically the top of the
+        critical-variable ranking).  Non-virtual targets are ignored —
+        physical registers cannot be spilled post-assignment.
+    """
+
+    def __init__(self, targets: tuple = ()) -> None:
+        self.targets = tuple(targets)
+
+    def run(self, function: Function) -> tuple[Function, PassReport]:
+        spillable = {
+            t for t in self.targets
+            if isinstance(t, VirtualRegister) and t in function.virtual_registers()
+        }
+        if not spillable:
+            return function.copy(), PassReport(
+                pass_name=self.name, changed=False, details={"spilled": 0}
+            )
+        before = function.instruction_count()
+        result = insert_spill_code(function, spillable)
+        return result, PassReport(
+            pass_name=self.name,
+            changed=True,
+            details={
+                "spilled": len(spillable),
+                "added_instructions": result.instruction_count() - before,
+            },
+        )

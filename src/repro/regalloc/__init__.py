@@ -1,0 +1,41 @@
+"""Register allocation: interference, allocators, assignment policies."""
+
+from .assignment import Allocation, assignment_distance_stats, rewrite_with_assignment
+from .coloring import allocate_graph_coloring
+from .interference import InterferenceGraph, build_interference_graph
+from .linearscan import allocate_linear_scan
+from .policies import (
+    AssignmentContext,
+    AssignmentPolicy,
+    ChessboardPolicy,
+    CoolestFirstPolicy,
+    FarthestFirstPolicy,
+    FirstFreePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    default_policies,
+    policy_by_name,
+)
+from .spill import insert_spill_code, spill_cost
+
+__all__ = [
+    "Allocation",
+    "rewrite_with_assignment",
+    "assignment_distance_stats",
+    "InterferenceGraph",
+    "build_interference_graph",
+    "allocate_linear_scan",
+    "allocate_graph_coloring",
+    "AssignmentContext",
+    "AssignmentPolicy",
+    "FirstFreePolicy",
+    "RandomPolicy",
+    "ChessboardPolicy",
+    "RoundRobinPolicy",
+    "FarthestFirstPolicy",
+    "CoolestFirstPolicy",
+    "default_policies",
+    "policy_by_name",
+    "insert_spill_code",
+    "spill_cost",
+]

@@ -1,0 +1,99 @@
+"""Allocation results and the virtual→physical rewriter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AllocationError
+from ..ir.function import Function
+from ..ir.values import PhysicalRegister, Value, VirtualRegister
+
+
+@dataclass
+class Allocation:
+    """Outcome of register allocation.
+
+    Attributes
+    ----------
+    function:
+        The rewritten function: every virtual register replaced by its
+        physical register; spill code included.
+    original:
+        The input function (untouched).
+    mapping:
+        Final virtual→physical index assignment (covers spill temps).
+    spilled:
+        Virtual registers of the *original* function that were demoted
+        to stack slots across all spill rounds.
+    policy / allocator:
+        Names for bench tables.
+    rounds:
+        Spill-and-retry iterations needed (1 = no spilling).
+    """
+
+    function: Function
+    original: Function
+    mapping: dict[VirtualRegister, int]
+    spilled: set[VirtualRegister] = field(default_factory=set)
+    policy: str = ""
+    allocator: str = ""
+    rounds: int = 1
+
+    @property
+    def spill_count(self) -> int:
+        return len(self.spilled)
+
+    def registers_used(self) -> set[int]:
+        """Distinct physical registers actually assigned."""
+        return set(self.mapping.values())
+
+    def assignment_of(self, reg: VirtualRegister) -> int:
+        try:
+            return self.mapping[reg]
+        except KeyError:
+            raise AllocationError(f"{reg} was not assigned (spilled?)") from None
+
+
+def rewrite_with_assignment(
+    function: Function, mapping: dict[VirtualRegister, int]
+) -> Function:
+    """Return a copy of *function* with virtual registers made physical.
+
+    Every virtual register appearing in the function must be mapped.
+    """
+    clone = function.copy()
+    substitution: dict[Value, Value] = {}
+    for reg in clone.virtual_registers():
+        if reg not in mapping:
+            raise AllocationError(f"no assignment for {reg}")
+        substitution[reg] = PhysicalRegister(mapping[reg])
+    for block in clone.blocks.values():
+        for inst in block.instructions:
+            inst.replace_all(substitution)
+    clone.params = [substitution.get(p, p) for p in clone.params]  # type: ignore[misc]
+    return clone
+
+
+def assignment_distance_stats(
+    allocation: Allocation,
+) -> dict[str, float]:
+    """Mean/min pairwise Manhattan distance between used registers.
+
+    A cheap spatial-spreading score: the chessboard and farthest-first
+    policies should score high, first-free low.
+    """
+    from ..arch.presets import DEFAULT_MACHINE
+
+    used = sorted(allocation.registers_used())
+    if len(used) < 2:
+        return {"mean_distance": 0.0, "min_distance": 0.0}
+    geometry = DEFAULT_MACHINE.geometry
+    distances = [
+        geometry.manhattan_distance(a, b)
+        for i, a in enumerate(used)
+        for b in used[i + 1:]
+    ]
+    return {
+        "mean_distance": sum(distances) / len(distances),
+        "min_distance": float(min(distances)),
+    }

@@ -1,0 +1,147 @@
+"""Chaitin–Briggs graph-coloring register allocation with policy hooks.
+
+Simplify/select with optimistic colouring: nodes of insignificant degree
+are pushed first; when none exists, the cheapest node by Chaitin's spill
+metric is pushed optimistically.  In the select phase the *policy*
+chooses among the permitted colours — the same hook the linear-scan
+allocator exposes, so every Fig. 1 policy runs under both allocators.
+"""
+
+from __future__ import annotations
+
+from ..arch.machine import MachineDescription
+from ..dataflow.freq import static_profile
+from ..dataflow.intervals import linear_order, live_intervals
+from ..errors import AllocationError
+from ..ir.function import Function
+from ..ir.values import VirtualRegister
+from .assignment import Allocation, rewrite_with_assignment
+from .interference import build_interference_graph
+from .policies import AssignmentContext, AssignmentPolicy, FirstFreePolicy
+from .spill import insert_spill_code, spill_cost
+
+
+def _color_once(
+    function: Function,
+    machine: MachineDescription,
+    policy: AssignmentPolicy,
+) -> tuple[dict[VirtualRegister, int], set[VirtualRegister]]:
+    """One simplify/select round: returns (assignment, actual spills)."""
+    graph = build_interference_graph(function)
+    vregs = [r for r in graph.nodes if isinstance(r, VirtualRegister)]
+    k = len(machine.allocatable_registers())
+    allocatable = machine.allocatable_registers()
+
+    order = linear_order(function)
+    intervals = live_intervals(function, order)
+    profile = static_profile(function)
+    block_of_index = [name for name, _ in order.positions]
+
+    def weight(reg: VirtualRegister) -> float:
+        interval = intervals.get(reg)
+        if interval is None:
+            return 0.0
+        return sum(
+            profile.block_freq.get(block_of_index[i], 0.0) for i in interval.accesses
+        )
+
+    def length(reg: VirtualRegister) -> int:
+        interval = intervals.get(reg)
+        return interval.length if interval is not None else 0
+
+    # Simplify phase on a mutable degree map.
+    degrees = {r: sum(1 for n in graph.neighbors(r) if isinstance(n, VirtualRegister))
+               for r in vregs}
+    removed: set[VirtualRegister] = set()
+    stack: list[VirtualRegister] = []
+
+    def remove(reg: VirtualRegister) -> None:
+        removed.add(reg)
+        stack.append(reg)
+        for n in graph.neighbors(reg):
+            if isinstance(n, VirtualRegister) and n not in removed:
+                degrees[n] -= 1
+
+    remaining = set(vregs)
+    while remaining:
+        simplifiable = sorted(
+            (r for r in remaining if degrees[r] < k), key=str
+        )
+        if simplifiable:
+            remove(simplifiable[0])
+            remaining.discard(simplifiable[0])
+            continue
+        # Optimistic push of the cheapest spill candidate.
+        victim = min(
+            sorted(remaining, key=str),
+            key=lambda r: (spill_cost(weight(r), length(r), degrees[r]), str(r)),
+        )
+        remove(victim)
+        remaining.discard(victim)
+
+    # Select phase.
+    assignment: dict[VirtualRegister, int] = {}
+    spills: set[VirtualRegister] = set()
+    while stack:
+        reg = stack.pop()
+        taken = {
+            assignment[n]
+            for n in graph.neighbors(reg)
+            if isinstance(n, VirtualRegister) and n in assignment
+        }
+        permitted = [c for c in allocatable if c not in taken]
+        if not permitted:
+            spills.add(reg)
+            continue
+        context = AssignmentContext(
+            vreg=reg,
+            weighted_accesses=weight(reg),
+            machine=machine,
+            live_assignments={
+                n: assignment[n]
+                for n in graph.neighbors(reg)
+                if isinstance(n, VirtualRegister) and n in assignment
+            },
+        )
+        chosen = policy.choose(sorted(permitted), context)
+        if chosen not in permitted:
+            raise AllocationError(
+                f"policy {policy.name} returned forbidden colour {chosen}"
+            )
+        assignment[reg] = chosen
+
+    return assignment, spills
+
+
+def allocate_graph_coloring(
+    function: Function,
+    machine: MachineDescription,
+    policy: AssignmentPolicy | None = None,
+    max_rounds: int = 32,
+) -> Allocation:
+    """Allocate *function* by iterated graph coloring under *policy*."""
+    policy = policy or FirstFreePolicy()
+    policy.reset(machine)
+    current = function.copy()
+    all_spilled: set[VirtualRegister] = set()
+
+    for round_number in range(1, max_rounds + 1):
+        assignment, spills = _color_once(current, machine, policy)
+        if not spills:
+            rewritten = rewrite_with_assignment(current, assignment)
+            return Allocation(
+                function=rewritten,
+                original=function,
+                mapping=assignment,
+                spilled=all_spilled,
+                policy=policy.name,
+                allocator="graph-coloring",
+                rounds=round_number,
+            )
+        all_spilled.update(spills)
+        current = insert_spill_code(current, spills)
+        policy.reset(machine)
+
+    raise AllocationError(
+        f"graph coloring did not converge after {max_rounds} spill rounds"
+    )

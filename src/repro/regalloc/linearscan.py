@@ -1,0 +1,153 @@
+"""Linear-scan register allocation (Poletto & Sarkar) with policy hooks.
+
+The classic algorithm walks live intervals in start order, expiring dead
+intervals and assigning each new interval a free register.  *Which* free
+register is chosen is the policy hook — the single decision the paper's
+Fig. 1 is about.  When no register is free, the interval ending last is
+spilled, spill code is inserted, and allocation reruns (spill temps have
+single-instruction lifetimes, so the loop terminates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.machine import MachineDescription
+from ..dataflow.freq import static_profile
+from ..dataflow.intervals import LiveInterval, linear_order, live_intervals
+from ..errors import AllocationError
+from ..ir.function import Function
+from ..ir.values import VirtualRegister
+from .assignment import Allocation, rewrite_with_assignment
+from .policies import AssignmentContext, AssignmentPolicy, FirstFreePolicy
+from .spill import insert_spill_code
+
+
+@dataclass
+class _Active:
+    interval: LiveInterval
+    register: int
+
+
+def _weighted_accesses(function: Function) -> dict[VirtualRegister, float]:
+    """Expected dynamic access count per virtual register."""
+    order = linear_order(function)
+    profile = static_profile(function)
+    intervals = live_intervals(function, order)
+    block_of_index = [name for name, _ in order.positions]
+    weights: dict[VirtualRegister, float] = {}
+    for reg, interval in intervals.items():
+        if not isinstance(reg, VirtualRegister):
+            continue
+        total = 0.0
+        for idx in interval.accesses:
+            total += profile.block_freq.get(block_of_index[idx], 0.0)
+        weights[reg] = total
+    return weights
+
+
+def _scan_once(
+    function: Function,
+    machine: MachineDescription,
+    policy: AssignmentPolicy,
+) -> tuple[dict[VirtualRegister, int], set[VirtualRegister]]:
+    """One linear-scan pass: returns (assignment, vregs needing a spill)."""
+    order = linear_order(function)
+    intervals = live_intervals(function, order)
+    vreg_intervals = sorted(
+        (iv for reg, iv in intervals.items() if isinstance(reg, VirtualRegister)),
+        key=lambda iv: (iv.start, iv.end, str(iv.reg)),
+    )
+    weights = _weighted_accesses(function)
+
+    free = set(machine.allocatable_registers())
+    active: list[_Active] = []
+    assignment: dict[VirtualRegister, int] = {}
+    to_spill: set[VirtualRegister] = set()
+
+    for interval in vreg_intervals:
+        # Expire intervals that ended before this one starts.
+        still_active = []
+        for entry in active:
+            if entry.interval.end <= interval.start:
+                free.add(entry.register)
+            else:
+                still_active.append(entry)
+        active = still_active
+
+        if free:
+            context = AssignmentContext(
+                vreg=interval.reg,
+                weighted_accesses=weights.get(interval.reg, 0.0),  # type: ignore[arg-type]
+                machine=machine,
+                live_assignments={
+                    e.interval.reg: e.register for e in active
+                },
+            )
+            chosen = policy.choose(sorted(free), context)
+            if chosen not in free:
+                raise AllocationError(
+                    f"policy {policy.name} returned non-free register {chosen}"
+                )
+            free.discard(chosen)
+            assignment[interval.reg] = chosen  # type: ignore[index]
+            active.append(_Active(interval=interval, register=chosen))
+        else:
+            # Spill the interval with the furthest end (classic heuristic).
+            candidates = active + [_Active(interval=interval, register=-1)]
+            victim = max(
+                candidates, key=lambda e: (e.interval.end, str(e.interval.reg))
+            )
+            if victim.interval is interval:
+                to_spill.add(interval.reg)  # type: ignore[arg-type]
+            else:
+                to_spill.add(victim.interval.reg)  # type: ignore[arg-type]
+                assignment.pop(victim.interval.reg, None)  # type: ignore[arg-type]
+                active.remove(victim)
+                assignment[interval.reg] = victim.register  # type: ignore[index]
+                active.append(_Active(interval=interval, register=victim.register))
+
+    return assignment, to_spill
+
+
+def allocate_linear_scan(
+    function: Function,
+    machine: MachineDescription,
+    policy: AssignmentPolicy | None = None,
+    max_rounds: int = 32,
+) -> Allocation:
+    """Allocate *function* with linear scan under *policy*.
+
+    Raises
+    ------
+    AllocationError
+        If spilling fails to converge within *max_rounds* (indicates a
+        pathological input; cannot happen with ≥ 4 allocatable registers
+        because spill temps live for a single instruction).
+    """
+    policy = policy or FirstFreePolicy()
+    policy.reset(machine)
+    current = function.copy()
+    all_spilled: set[VirtualRegister] = set()
+
+    for round_number in range(1, max_rounds + 1):
+        assignment, to_spill = _scan_once(current, machine, policy)
+        if not to_spill:
+            rewritten = rewrite_with_assignment(current, assignment)
+            return Allocation(
+                function=rewritten,
+                original=function,
+                mapping=assignment,
+                spilled=all_spilled,
+                policy=policy.name,
+                allocator="linear-scan",
+                rounds=round_number,
+            )
+        # Only original registers count in the report; temps are internal.
+        all_spilled.update(to_spill)
+        current = insert_spill_code(current, to_spill)
+        policy.reset(machine)
+
+    raise AllocationError(
+        f"linear scan did not converge after {max_rounds} spill rounds"
+    )

@@ -1,0 +1,244 @@
+"""Register assignment policies — the subject of the paper's Fig. 1.
+
+A policy answers one question: *given the set of currently-free physical
+registers, which one should this variable get?*  The paper's motivating
+example contrasts three answers:
+
+* :class:`FirstFreePolicy` — "the compiler maintains an ordered list of
+  registers and selects the first one that is free.  As the list is
+  always traversed in order, the same small set of registers is chosen
+  again and again" → hot spots (Fig. 1(a)).
+* :class:`RandomPolicy` — uniformly random among the free registers;
+  still produces hot spots because early/central registers recycle
+  faster under short lifetimes (Fig. 1(b)).
+* :class:`ChessboardPolicy` — one colour class of a chessboard over the
+  RF grid, maximizing pairwise distance; homogenizes the map but only
+  while register pressure stays ≤ half the RF (Fig. 1(c) + the §2
+  caveat: under pressure it falls back to the other colour and the
+  advantage collapses).
+
+Beyond the figure, two policies embody the paper's §4 optimization
+sketches: :class:`FarthestFirstPolicy` assigns each variable as far as
+possible from the registers currently in use ("registers in disparate
+regions of the RF"), and :class:`CoolestFirstPolicy` balances the
+*expected access load* (frequency-weighted) across cells, approximating
+the compiler-driven re-assignment of Zhou et al. [3].
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.machine import MachineDescription
+from ..errors import AllocationError
+from ..ir.values import Value
+
+
+@dataclass
+class AssignmentContext:
+    """What a policy may inspect when choosing a register.
+
+    ``weighted_accesses`` is the variable's expected dynamic access
+    count (static accesses × block frequency), the quantity that turns
+    into power density once the variable is pinned to a cell.
+    ``live_assignments`` maps registers currently live at the decision
+    point to their physical indices.
+    """
+
+    vreg: Value
+    weighted_accesses: float
+    machine: MachineDescription
+    live_assignments: dict[Value, int] = field(default_factory=dict)
+
+
+class AssignmentPolicy:
+    """Base class; subclasses implement :meth:`choose`."""
+
+    #: Short name used in bench tables.
+    name: str = "abstract"
+
+    def reset(self, machine: MachineDescription) -> None:
+        """Clear internal state before an allocation run."""
+
+    def choose(self, free: list[int], context: AssignmentContext) -> int:
+        """Pick one index from *free* (non-empty, ascending)."""
+        raise NotImplementedError
+
+    def _check(self, free: list[int]) -> None:
+        if not free:
+            raise AllocationError(f"policy {self.name}: no free registers")
+
+
+class FirstFreePolicy(AssignmentPolicy):
+    """Deterministic ordered choice — Fig. 1(a)."""
+
+    name = "first-free"
+
+    def choose(self, free: list[int], context: AssignmentContext) -> int:
+        self._check(free)
+        return free[0]
+
+
+class RandomPolicy(AssignmentPolicy):
+    """Uniformly random choice among free registers — Fig. 1(b)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self, machine: MachineDescription) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, free: list[int], context: AssignmentContext) -> int:
+        self._check(free)
+        return self._rng.choice(free)
+
+
+class ChessboardPolicy(AssignmentPolicy):
+    """Cycle through one chessboard colour class — Fig. 1(c).
+
+    While any register of the preferred colour is free the policy stays
+    on that colour, *cycling* through the class so that accesses are
+    "distributed uniformly across a large surface" (§2), not clustered
+    at the low indices.  Once pressure exceeds half the RF it must use
+    the other colour — exactly the failure mode §2 warns about, measured
+    by experiment E5.
+    """
+
+    name = "chessboard"
+
+    def __init__(self, color: int = 0) -> None:
+        if color not in (0, 1):
+            raise AllocationError("chessboard color must be 0 or 1")
+        self.color = color
+        self._cursor = 0
+
+    def reset(self, machine: MachineDescription) -> None:
+        self._cursor = 0
+
+    def choose(self, free: list[int], context: AssignmentContext) -> int:
+        self._check(free)
+        geometry = context.machine.geometry
+        preferred = [r for r in free if geometry.chessboard_color(r) == self.color]
+        pool = preferred if preferred else free
+        n = context.machine.geometry.num_registers
+        for offset in range(n):
+            candidate = (self._cursor + offset) % n
+            if candidate in pool:
+                self._cursor = (candidate + 1) % n
+                return candidate
+        return pool[0]  # unreachable given _check, kept for safety
+
+
+class RoundRobinPolicy(AssignmentPolicy):
+    """Cycle through the register file, spreading assignments in time."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self, machine: MachineDescription) -> None:
+        self._cursor = 0
+
+    def choose(self, free: list[int], context: AssignmentContext) -> int:
+        self._check(free)
+        n = context.machine.geometry.num_registers
+        for offset in range(n):
+            candidate = (self._cursor + offset) % n
+            if candidate in free:
+                self._cursor = (candidate + 1) % n
+                return candidate
+        return free[0]  # unreachable given _check, kept for safety
+
+
+class FarthestFirstPolicy(AssignmentPolicy):
+    """Maximize Manhattan distance to the registers currently live.
+
+    Implements §4's "assigned to registers in disparate regions of the
+    RF".  Ties break toward the lowest index for determinism.
+    """
+
+    name = "farthest"
+
+    def choose(self, free: list[int], context: AssignmentContext) -> int:
+        self._check(free)
+        geometry = context.machine.geometry
+        occupied = sorted(set(context.live_assignments.values()))
+        if not occupied:
+            # Start from the centre: maximizes future spreading room.
+            centre = geometry.index(geometry.rows // 2, geometry.cols // 2)
+            return min(free, key=lambda r: (geometry.manhattan_distance(r, centre), r))
+        return max(
+            free,
+            key=lambda r: (
+                min(geometry.manhattan_distance(r, o) for o in occupied),
+                -r,
+            ),
+        )
+
+
+class CoolestFirstPolicy(AssignmentPolicy):
+    """Balance expected access load over the RF with spatial smoothing.
+
+    Maintains an accumulated load map (expected accesses assigned to each
+    cell so far, diffused over neighbours with an exponential kernel) and
+    picks the free register with the lowest local load — a static proxy
+    for "assign to the coolest register".  This approximates the
+    temperature/power-density-driven re-assignment of Zhou et al. (DAC
+    2008), the paper's reference [3], and serves as the informed baseline
+    in the optimization experiments.
+    """
+
+    name = "coolest"
+
+    def __init__(self, kernel_radius: float = 1.5) -> None:
+        self.kernel_radius = kernel_radius
+        self._load: np.ndarray | None = None
+        self._kernel: np.ndarray | None = None
+
+    def reset(self, machine: MachineDescription) -> None:
+        n = machine.geometry.num_registers
+        self._load = np.zeros(n)
+        geometry = machine.geometry
+        kernel = np.zeros((n, n))
+        for a in range(n):
+            for b in range(n):
+                d = geometry.manhattan_distance(a, b)
+                kernel[a, b] = np.exp(-d / self.kernel_radius)
+        self._kernel = kernel
+
+    def choose(self, free: list[int], context: AssignmentContext) -> int:
+        self._check(free)
+        if self._load is None or self._kernel is None:
+            self.reset(context.machine)
+        assert self._load is not None and self._kernel is not None
+        local_heat = self._kernel @ self._load
+        chosen = min(free, key=lambda r: (local_heat[r], r))
+        self._load[chosen] += max(context.weighted_accesses, 1.0)
+        return chosen
+
+
+def default_policies(seed: int = 0) -> list[AssignmentPolicy]:
+    """The policy set every comparative bench sweeps (Fig. 1 + §4)."""
+    return [
+        FirstFreePolicy(),
+        RandomPolicy(seed=seed),
+        ChessboardPolicy(),
+        RoundRobinPolicy(),
+        FarthestFirstPolicy(),
+        CoolestFirstPolicy(),
+    ]
+
+
+def policy_by_name(name: str, seed: int = 0) -> AssignmentPolicy:
+    """Look up a policy by its bench-table name."""
+    for policy in default_policies(seed=seed):
+        if policy.name == name:
+            return policy
+    raise AllocationError(f"unknown policy {name!r}")

@@ -1,0 +1,19 @@
+"""Execution + thermal emulation: the feedback-driven reference flow."""
+
+from .accuracy import AccuracyReport, compare_maps, compare_to_emulation
+from .emulator import EmulationResult, ThermalEmulator
+from .interpreter import ExecutionResult, Interpreter, RegisterAccess
+from .tracegen import accesses_to_power_trace, mean_register_power
+
+__all__ = [
+    "Interpreter",
+    "ExecutionResult",
+    "RegisterAccess",
+    "ThermalEmulator",
+    "EmulationResult",
+    "accesses_to_power_trace",
+    "mean_register_power",
+    "AccuracyReport",
+    "compare_maps",
+    "compare_to_emulation",
+]

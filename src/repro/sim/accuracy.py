@@ -1,0 +1,69 @@
+"""Prediction-accuracy scoring: analysis vs. emulation (experiment E3).
+
+The paper's value proposition is that a compile-time analysis can stand
+in for the feedback-driven emulation flow.  This module quantifies how
+well: field correlation and RMSE between the analysis's predicted map
+and the emulator's ground truth, plus the compile-time speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..thermal.metrics import correlation, rmse
+from ..thermal.state import ThermalState
+from .emulator import EmulationResult
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """How closely a predicted thermal map matches emulated ground truth."""
+
+    pearson_r: float          # per-register field correlation
+    rmse_kelvin: float        # per-register field RMSE (K)
+    peak_error_kelvin: float  # |predicted peak - emulated peak|
+    hottest_register_match: bool  # did prediction find the hottest register?
+    predicted_seconds: float
+    emulated_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Emulation wall time / analysis wall time."""
+        if self.predicted_seconds <= 0:
+            return float("inf")
+        return self.emulated_seconds / self.predicted_seconds
+
+
+def compare_maps(
+    predicted: ThermalState,
+    reference: ThermalState,
+    predicted_seconds: float = 0.0,
+    emulated_seconds: float = 0.0,
+) -> AccuracyReport:
+    """Score *predicted* against *reference* on per-register temperatures."""
+    p = predicted.register_temperatures()
+    r = reference.register_temperatures()
+    return AccuracyReport(
+        pearson_r=correlation(p, r),
+        rmse_kelvin=rmse(p, r),
+        peak_error_kelvin=float(abs(p.max() - r.max())),
+        hottest_register_match=bool(int(np.argmax(p)) == int(np.argmax(r))),
+        predicted_seconds=predicted_seconds,
+        emulated_seconds=emulated_seconds,
+    )
+
+
+def compare_to_emulation(
+    predicted: ThermalState,
+    emulation: EmulationResult,
+    predicted_seconds: float = 0.0,
+) -> AccuracyReport:
+    """Score a predicted map against an :class:`EmulationResult`."""
+    return compare_maps(
+        predicted,
+        emulation.steady_state,
+        predicted_seconds=predicted_seconds,
+        emulated_seconds=emulation.wall_time_seconds,
+    )

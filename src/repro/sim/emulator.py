@@ -1,0 +1,155 @@
+"""The feedback-driven thermal emulation flow (the state of the art).
+
+The paper's §1: *"State-of-the-art thermal emulation tools require
+compiled programs in order to characterize the thermal state of the
+processor; this limits their usage, in practice, to feedback-driven
+optimization frameworks."*  This module is that tool, rebuilt in
+simulation: execute the allocated program, convert the register access
+log into power, and integrate the RC network through time.  Its output
+is the ground truth against which the thermal data flow analysis is
+scored (experiment E3), and the thermal maps of Fig. 1 are its
+steady-state fields.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..arch.machine import MachineDescription
+from ..ir.function import Function
+from ..thermal.rcmodel import RFThermalModel
+from ..thermal.state import ThermalState
+from ..thermal.trace import ThermalTrace
+from .interpreter import ExecutionResult, Interpreter
+from .tracegen import accesses_to_power_trace, mean_register_power
+
+
+@dataclass
+class EmulationResult:
+    """Everything the feedback flow produces for one program run."""
+
+    execution: ExecutionResult
+    thermal_trace: ThermalTrace
+    final_state: ThermalState
+    steady_state: ThermalState
+    access_counts: dict[int, int] = field(default_factory=dict)
+    wall_time_seconds: float = 0.0
+
+    @property
+    def peak_temperature(self) -> float:
+        """Hottest node temperature reached at any time (K)."""
+        return float(max(s.peak for s in self.thermal_trace))
+
+    @property
+    def cycles(self) -> int:
+        return self.execution.cycles
+
+
+class ThermalEmulator:
+    """Interpreter + RC network = the reference thermal characterization.
+
+    Parameters
+    ----------
+    machine:
+        Target machine (geometry, latencies, energy).
+    model:
+        Thermal model; defaults to one node per register cell.
+    window:
+        Cycles per thermal integration step.  Smaller = finer transient
+        resolution, slower emulation; the steady-state map is unaffected.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        model: RFThermalModel | None = None,
+        window: int = 64,
+    ) -> None:
+        self.machine = machine
+        self.model = model or RFThermalModel(
+            machine.geometry, energy=machine.energy
+        )
+        self.window = window
+
+    def run(
+        self,
+        function: Function,
+        args: list[int] | None = None,
+        memory: dict[int, int] | None = None,
+        include_leakage: bool = True,
+        initial_state: ThermalState | None = None,
+    ) -> EmulationResult:
+        """Execute *function* and integrate its thermal response.
+
+        The function must already be register-allocated (physical
+        registers only) — exactly the "requires compiled programs"
+        restriction of the emulation flow the paper criticizes.
+        """
+        started = time.perf_counter()
+        interpreter = Interpreter(machine=self.machine)
+        execution = interpreter.run(function, args=args, memory=memory)
+
+        power_trace = accesses_to_power_trace(
+            execution.accesses,
+            execution.cycles,
+            self.model.grid,
+            self.machine.energy,
+            window=self.window,
+        )
+
+        state = initial_state or self.model.ambient_state()
+        thermal_trace = ThermalTrace(grid=self.model.grid, dt=power_trace.dt)
+        thermal_trace.append(state)
+        for sample in power_trace.samples:
+            power = sample
+            if include_leakage:
+                power = sample + self.model.leakage_vector(
+                    state if self.machine.energy.leakage_temp_coeff else None
+                )
+            state = self.model.step(state, power, dt=power_trace.dt)
+            thermal_trace.append(state)
+
+        mean_power = mean_register_power(
+            execution.accesses,
+            execution.cycles,
+            self.machine.energy,
+            self.machine.geometry.num_registers,
+        )
+        steady = self._steady_with_optional_leakage(mean_power, include_leakage)
+
+        return EmulationResult(
+            execution=execution,
+            thermal_trace=thermal_trace,
+            final_state=state,
+            steady_state=steady,
+            access_counts=execution.access_counts(),
+            wall_time_seconds=time.perf_counter() - started,
+        )
+
+    def _steady_with_optional_leakage(
+        self, mean_power: dict[int, float], include_leakage: bool
+    ) -> ThermalState:
+        vector = self.model.power_vector(mean_power)
+        if not include_leakage:
+            return self.model.steady_state(vector)
+        if self.machine.energy.leakage_temp_coeff:
+            return self.model.steady_state_with_leakage(vector)
+        return self.model.steady_state(vector + self.model.leakage_vector())
+
+    def steady_map(
+        self,
+        function: Function,
+        args: list[int] | None = None,
+        memory: dict[int, int] | None = None,
+    ) -> ThermalState:
+        """Only the steady-state map (the Fig. 1 visual), computed fast."""
+        interpreter = Interpreter(machine=self.machine)
+        execution = interpreter.run(function, args=args, memory=memory)
+        mean_power = mean_register_power(
+            execution.accesses,
+            execution.cycles,
+            self.machine.energy,
+            self.machine.geometry.num_registers,
+        )
+        return self._steady_with_optional_leakage(mean_power, include_leakage=True)

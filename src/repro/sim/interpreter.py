@@ -1,0 +1,257 @@
+"""Concrete IR interpreter producing register access traces.
+
+This is one half of the feedback-driven reference flow the paper aims to
+replace: run the compiled program, log every register file access with
+its cycle, and hand the log to the thermal solver.  (The other half is
+:mod:`repro.sim.emulator`.)
+
+Semantics: 32-bit two's-complement integers, C-style truncating
+division, shift counts masked to 0–31.  Memory is a flat integer-indexed
+word store; stack slots are a separate namespace (they never touch the
+register file, which is the whole point of spilling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.machine import MachineDescription
+from ..errors import SimulationError
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Opcode
+from ..ir.values import Constant, PhysicalRegister, StackSlot, Value
+
+_MASK = 0xFFFFFFFF
+
+
+def _wrap(value: int) -> int:
+    """Wrap to signed 32-bit."""
+    value &= _MASK
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+@dataclass(frozen=True)
+class RegisterAccess:
+    """One register file access: which register, when, read or write."""
+
+    cycle: int
+    register: Value
+    is_write: bool
+
+    @property
+    def physical_index(self) -> int:
+        """Physical register index; raises for virtual registers."""
+        if isinstance(self.register, PhysicalRegister):
+            return self.register.index
+        raise SimulationError(
+            f"access trace entry for non-physical register {self.register}"
+        )
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one interpreter run."""
+
+    return_value: int | None
+    cycles: int
+    instructions_executed: int
+    accesses: list[RegisterAccess] = field(default_factory=list)
+    memory: dict[int, int] = field(default_factory=dict)
+    block_counts: dict[str, int] = field(default_factory=dict)
+
+    def access_counts(self) -> dict[int, int]:
+        """Accesses per physical register index (the power-density map)."""
+        counts: dict[int, int] = {}
+        for access in self.accesses:
+            idx = access.physical_index
+            counts[idx] = counts.get(idx, 0) + 1
+        return counts
+
+
+class Interpreter:
+    """Executes a function, logging every register access with its cycle.
+
+    Parameters
+    ----------
+    machine:
+        Supplies per-opcode latencies; when omitted every instruction
+        takes one cycle (useful for semantics-only tests).
+    trace_accesses:
+        Disable to run faster when only the return value matters.
+    max_steps:
+        Instruction budget; exceeded → :class:`SimulationError` (guards
+        against accidentally non-terminating workloads).
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription | None = None,
+        trace_accesses: bool = True,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        self.machine = machine
+        self.trace_accesses = trace_accesses
+        self.max_steps = max_steps
+
+    def run(
+        self,
+        function: Function,
+        args: list[int] | None = None,
+        memory: dict[int, int] | None = None,
+    ) -> ExecutionResult:
+        """Execute *function* with *args* bound to its parameters."""
+        args = args or []
+        if len(args) != len(function.params):
+            raise SimulationError(
+                f"@{function.name} takes {len(function.params)} args, got {len(args)}"
+            )
+        registers: dict[Value, int] = {
+            param: _wrap(value) for param, value in zip(function.params, args)
+        }
+        slots: dict[StackSlot, int] = {}
+        mem: dict[int, int] = dict(memory or {})
+
+        accesses: list[RegisterAccess] = []
+        block_counts: dict[str, int] = {}
+        cycle = 0
+        steps = 0
+        block = function.entry
+        index = 0
+
+        def read(value: Value) -> int:
+            if isinstance(value, Constant):
+                return value.value
+            if isinstance(value, StackSlot):
+                raise SimulationError(f"stack slot {value} read as operand")
+            if value not in registers:
+                raise SimulationError(f"read of undefined register {value}")
+            if self.trace_accesses:
+                accesses.append(RegisterAccess(cycle, value, is_write=False))
+            return registers[value]
+
+        def write(reg: Value, value: int) -> None:
+            registers[reg] = _wrap(value)
+            if self.trace_accesses:
+                accesses.append(RegisterAccess(cycle, reg, is_write=True))
+
+        while True:
+            if index >= len(block.instructions):
+                raise SimulationError(
+                    f"fell off the end of block {block.name!r} (unterminated?)"
+                )
+            inst = block.instructions[index]
+            steps += 1
+            if steps > self.max_steps:
+                raise SimulationError(
+                    f"execution exceeded {self.max_steps} instructions"
+                )
+            if index == 0:
+                block_counts[block.name] = block_counts.get(block.name, 0) + 1
+
+            latency = (
+                self.machine.instruction_latency(inst.opcode)
+                if self.machine is not None
+                else 1
+            )
+
+            op = inst.opcode
+            next_block: str | None = None
+            return_value: int | None = None
+            finished = False
+
+            if op is Opcode.LI:
+                write(inst.dest, read(inst.operands[0]))
+            elif op is Opcode.COPY:
+                write(inst.dest, read(inst.operands[0]))
+            elif op is Opcode.LOAD:
+                addr = read(inst.operands[0])
+                write(inst.dest, mem.get(addr, 0))
+            elif op is Opcode.STORE:
+                addr = read(inst.operands[0])
+                mem[addr] = _wrap(read(inst.operands[1]))
+            elif op is Opcode.SPILL:
+                slot = inst.operands[0]
+                assert isinstance(slot, StackSlot)
+                slots[slot] = _wrap(read(inst.operands[1]))
+            elif op is Opcode.RELOAD:
+                slot = inst.operands[0]
+                assert isinstance(slot, StackSlot)
+                if slot not in slots:
+                    raise SimulationError(f"reload of unwritten slot {slot}")
+                write(inst.dest, slots[slot])
+            elif op is Opcode.NOP:
+                pass
+            elif op is Opcode.JUMP:
+                next_block = inst.targets[0]
+            elif op is Opcode.BR:
+                next_block = inst.targets[0] if read(inst.operands[0]) else inst.targets[1]
+            elif op is Opcode.RET:
+                return_value = read(inst.operands[0]) if inst.operands else None
+                finished = True
+            elif op is Opcode.HALT:
+                finished = True
+            else:
+                write(inst.dest, self._alu(inst, read))
+
+            cycle += latency
+            if finished:
+                return ExecutionResult(
+                    return_value=return_value,
+                    cycles=cycle,
+                    instructions_executed=steps,
+                    accesses=accesses,
+                    memory=mem,
+                    block_counts=block_counts,
+                )
+            if next_block is not None:
+                block = function.block(next_block)
+                index = 0
+            else:
+                index += 1
+
+    @staticmethod
+    def _alu(inst: Instruction, read) -> int:
+        op = inst.opcode
+        if op is Opcode.NEG:
+            return -read(inst.operands[0])
+        if op is Opcode.NOT:
+            return ~read(inst.operands[0])
+        a = read(inst.operands[0])
+        b = read(inst.operands[1])
+        if op is Opcode.ADD:
+            return a + b
+        if op is Opcode.SUB:
+            return a - b
+        if op is Opcode.MUL:
+            return a * b
+        if op is Opcode.DIV:
+            if b == 0:
+                raise SimulationError("division by zero")
+            return int(a / b)  # truncate toward zero
+        if op is Opcode.REM:
+            if b == 0:
+                raise SimulationError("remainder by zero")
+            return a - int(a / b) * b
+        if op is Opcode.AND:
+            return a & b
+        if op is Opcode.OR:
+            return a | b
+        if op is Opcode.XOR:
+            return a ^ b
+        if op is Opcode.SHL:
+            return a << (b & 31)
+        if op is Opcode.SHR:
+            return (a & _MASK) >> (b & 31)
+        if op is Opcode.CMPEQ:
+            return int(a == b)
+        if op is Opcode.CMPNE:
+            return int(a != b)
+        if op is Opcode.CMPLT:
+            return int(a < b)
+        if op is Opcode.CMPLE:
+            return int(a <= b)
+        if op is Opcode.CMPGT:
+            return int(a > b)
+        if op is Opcode.CMPGE:
+            return int(a >= b)
+        raise SimulationError(f"unhandled opcode {op}")

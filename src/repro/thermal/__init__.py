@@ -1,0 +1,47 @@
+"""Thermal substrate: floorplan discretization, RC network, metrics, maps."""
+
+from .chip import BlockRegion, ChipLayout, ChipPowerModel, ChipThermalModel
+from .floorplan import ThermalGrid
+from .maps import RAMP, render_map, render_register_map, render_side_by_side
+from .metrics import (
+    ThermalSummary,
+    correlation,
+    gradient_field,
+    peak_delta,
+    rmse,
+    summarize,
+    temporal_mean_of_peaks,
+    temporal_peak,
+    time_above,
+    uniformity,
+)
+from .rcmodel import RFThermalModel, ThermalParams
+from .state import ThermalState
+from .trace import PowerTrace, ThermalTrace
+
+__all__ = [
+    "ChipLayout",
+    "ChipThermalModel",
+    "ChipPowerModel",
+    "BlockRegion",
+    "ThermalGrid",
+    "ThermalState",
+    "RFThermalModel",
+    "ThermalParams",
+    "PowerTrace",
+    "ThermalTrace",
+    "ThermalSummary",
+    "summarize",
+    "peak_delta",
+    "uniformity",
+    "gradient_field",
+    "correlation",
+    "rmse",
+    "temporal_peak",
+    "temporal_mean_of_peaks",
+    "time_above",
+    "render_map",
+    "render_side_by_side",
+    "render_register_map",
+    "RAMP",
+]

@@ -1,0 +1,230 @@
+"""Chip-level thermal model: register file + ALU + D-cache on one die.
+
+Paper §5: *"In the long-term, our goal is to develop comprehensive data
+flow thermal analyses and rules relating to all parts of the
+processor."*  This module is that extension: the RF no longer floats in
+isolation — it shares a silicon substrate with an ALU block (heated by
+every executed operation) and a D-cache block (heated by loads, stores
+and the spill/reload traffic that the §4 spilling optimization
+*creates*).  Heat diffuses between blocks, so optimizations that move
+traffic between units move heat with it — measurable as experiment E11.
+
+Implementation: the chip is a uniform cell grid (same cell size as the
+RF) over a rectangular die; each block claims a sub-rectangle.  The
+existing :class:`~repro.thermal.rcmodel.RFThermalModel` machinery builds
+the RC network over the full die grid unchanged — the chip is just a
+bigger "register file geometry" whose cells are owned by blocks.
+
+Default layout (RF 8×8 → die 12 rows × 16 cols of RF-sized cells)::
+
+        0        8        16
+      0 +--------+--------+
+        |  ALU   |   RF   |
+      8 +--------+--------+
+        |     D-CACHE     |
+     12 +-----------------+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.machine import MachineDescription
+from ..arch.registerfile import RegisterFileGeometry
+from ..errors import ThermalModelError
+from ..ir.instructions import (
+    BINARY_OPS,
+    COMPARE_OPS,
+    UNARY_OPS,
+    Instruction,
+    Opcode,
+)
+from .floorplan import ThermalGrid
+from .rcmodel import RFThermalModel, ThermalParams
+from .state import ThermalState
+
+
+@dataclass(frozen=True)
+class BlockRegion:
+    """A functional block's cell rectangle on the die (row/col, inclusive-exclusive)."""
+
+    name: str
+    row0: int
+    col0: int
+    row1: int
+    col1: int
+
+    def cells(self, die_cols: int) -> list[int]:
+        """Die cell indices covered by this block (row-major)."""
+        return [
+            r * die_cols + c
+            for r in range(self.row0, self.row1)
+            for c in range(self.col0, self.col1)
+        ]
+
+    @property
+    def cell_count(self) -> int:
+        return (self.row1 - self.row0) * (self.col1 - self.col0)
+
+
+class ChipLayout:
+    """Die floorplan: where each functional block sits on the cell grid."""
+
+    def __init__(self, rf_geometry: RegisterFileGeometry) -> None:
+        rows, cols = rf_geometry.rows, rf_geometry.cols
+        self.rf_geometry = rf_geometry
+        # ALU to the left of the RF, D-cache along the bottom (half the
+        # RF's height).  Proportions follow typical embedded core floorplans
+        # where the cache dwarfs the RF.
+        cache_rows = max(2, rows // 2)
+        self.die_rows = rows + cache_rows
+        self.die_cols = 2 * cols
+        self.alu = BlockRegion("alu", 0, 0, rows, cols)
+        self.rf = BlockRegion("rf", 0, cols, rows, 2 * cols)
+        self.cache = BlockRegion("dcache", rows, 0, self.die_rows, self.die_cols)
+        self.die_geometry = RegisterFileGeometry(
+            rows=self.die_rows,
+            cols=self.die_cols,
+            cell_width=rf_geometry.cell_width,
+            cell_height=rf_geometry.cell_height,
+        )
+
+    @property
+    def blocks(self) -> list[BlockRegion]:
+        return [self.alu, self.rf, self.cache]
+
+    def rf_cell(self, register_index: int) -> int:
+        """Die cell index of architectural register *register_index*."""
+        row, col = self.rf_geometry.position(register_index)
+        return (self.rf.row0 + row) * self.die_cols + (self.rf.col0 + col)
+
+    def block_cells(self, name: str) -> list[int]:
+        for block in self.blocks:
+            if block.name == name:
+                return block.cells(self.die_cols)
+        raise ThermalModelError(f"no block named {name!r}")
+
+    def region_of(self, name: str) -> BlockRegion:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise ThermalModelError(f"no block named {name!r}")
+
+
+class ChipThermalModel(RFThermalModel):
+    """RC network over the whole die, with block-aware queries."""
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        layout: ChipLayout | None = None,
+        params: ThermalParams | None = None,
+    ) -> None:
+        self.layout = layout or ChipLayout(machine.geometry)
+        self.machine = machine
+        super().__init__(
+            geometry=self.layout.die_geometry,
+            grid=ThermalGrid(self.layout.die_geometry),
+            params=params,
+            energy=machine.energy,
+        )
+
+    def block_peak(self, state: ThermalState, block: str) -> float:
+        """Hottest node temperature inside the named block (K)."""
+        cells = self.layout.block_cells(block)
+        return float(state.temperatures[cells].max())
+
+    def block_mean(self, state: ThermalState, block: str) -> float:
+        """Mean node temperature inside the named block (K)."""
+        cells = self.layout.block_cells(block)
+        return float(state.temperatures[cells].mean())
+
+    def register_temperature(self, state: ThermalState, register: int) -> float:
+        """Temperature of one architectural register on the die (K)."""
+        return float(state.temperatures[self.layout.rf_cell(register)])
+
+
+#: Opcodes whose execution heats the ALU block.
+_ALU_OPS = BINARY_OPS | UNARY_OPS | COMPARE_OPS | {Opcode.LI, Opcode.COPY}
+#: Opcodes whose execution heats the D-cache block.
+_CACHE_OPS = {Opcode.LOAD, Opcode.STORE, Opcode.SPILL, Opcode.RELOAD}
+
+
+class ChipPowerModel:
+    """Per-instruction power over the die (duck-typed like
+    :class:`~repro.core.estimator.InstructionPowerModel`).
+
+    * register reads/writes heat the accessed cells of the RF block;
+    * every ALU-class operation heats the ALU block uniformly;
+    * every memory-class operation (including spill/reload!) heats the
+      D-cache block uniformly;
+    * leakage applies to every die cell, optionally temperature-fed.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        model: ChipThermalModel,
+        placement=None,
+    ) -> None:
+        from ..core.estimator import ExactPlacement
+
+        self.machine = machine
+        self.model = model
+        self.placement = placement or ExactPlacement(
+            machine.geometry.num_registers
+        )
+        layout = model.layout
+        n = layout.die_geometry.num_registers
+        self._rf_cells = np.array(
+            [layout.rf_cell(i) for i in range(machine.geometry.num_registers)]
+        )
+        alu_cells = layout.block_cells("alu")
+        cache_cells = layout.block_cells("dcache")
+        self._alu_spread = np.zeros(n)
+        self._alu_spread[alu_cells] = 1.0 / len(alu_cells)
+        self._cache_spread = np.zeros(n)
+        self._cache_spread[cache_cells] = 1.0 / len(cache_cells)
+        self._dynamic_cache: dict[int, np.ndarray] = {}
+
+    @property
+    def has_leakage_feedback(self) -> bool:
+        return self.machine.energy.leakage_temp_coeff != 0.0
+
+    def dynamic_power(self, inst: Instruction) -> np.ndarray:
+        cached = self._dynamic_cache.get(id(inst))
+        if cached is not None:
+            return cached
+        energy = self.machine.energy
+        n = self.model.layout.die_geometry.num_registers
+        power = np.zeros(n)
+        # Register file accesses at their cells.
+        reg_power = np.zeros(self.machine.geometry.num_registers)
+        for reg in inst.uses():
+            reg_power += self.placement.distribution(reg) * energy.access_power(
+                is_write=False
+            )
+        for reg in inst.defs():
+            reg_power += self.placement.distribution(reg) * energy.access_power(
+                is_write=True
+            )
+        np.add.at(power, self._rf_cells, reg_power)
+        # Functional unit heat.
+        cycle = energy.cycle_time
+        if inst.opcode in _ALU_OPS:
+            power += self._alu_spread * (energy.alu_energy / cycle)
+        if inst.opcode in _CACHE_OPS:
+            power += self._cache_spread * (energy.cache_access_energy / cycle)
+        self._dynamic_cache[id(inst)] = power
+        return power
+
+    def total_power(
+        self, inst: Instruction, state: ThermalState, include_leakage: bool = True
+    ) -> np.ndarray:
+        power = self.dynamic_power(inst)
+        if include_leakage:
+            feedback = self.has_leakage_feedback
+            power = power + self.model.leakage_vector(state if feedback else None)
+        return power

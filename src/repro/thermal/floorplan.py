@@ -1,0 +1,170 @@
+"""Thermal discretization of the register file floorplan.
+
+The paper's §3: *"The thermal state is a continuous function that can
+only be approximated, typically as a discrete set of points.  The
+fidelity of the analysis will depend on the granularity of the
+approximation."*  :class:`ThermalGrid` is that discrete set of points —
+an ``node_rows × node_cols`` mesh over the RF bounding box, decoupled
+from the register cell grid so granularity can be swept (experiment E6)
+from one node for the whole RF up to several nodes per register cell.
+
+Power attribution uses exact rectangle-overlap fractions: the power of a
+register access is split over the thermal nodes its cell overlaps,
+proportionally to area, and a register's observed temperature is the
+area-weighted mean of its covering nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.registerfile import RegisterFileGeometry
+from ..errors import ThermalModelError
+
+
+@dataclass(frozen=True)
+class _Rect:
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def overlap_area(self, other: "_Rect") -> float:
+        dx = min(self.x1, other.x1) - max(self.x0, other.x0)
+        dy = min(self.y1, other.y1) - max(self.y0, other.y0)
+        return max(0.0, dx) * max(0.0, dy)
+
+
+class ThermalGrid:
+    """Mesh of thermal nodes over the register file.
+
+    Parameters
+    ----------
+    geometry:
+        Register file layout being discretized.
+    node_rows, node_cols:
+        Mesh dimensions.  Defaults to one node per register cell, the
+        natural resolution for register-level thermal maps (Fig. 1).
+    """
+
+    def __init__(
+        self,
+        geometry: RegisterFileGeometry,
+        node_rows: int | None = None,
+        node_cols: int | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.node_rows = node_rows if node_rows is not None else geometry.rows
+        self.node_cols = node_cols if node_cols is not None else geometry.cols
+        if self.node_rows <= 0 or self.node_cols <= 0:
+            raise ThermalModelError("grid dimensions must be positive")
+        self._node_w = geometry.width / self.node_cols
+        self._node_h = geometry.height / self.node_rows
+        self._mapping = self._build_mapping()
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.node_rows * self.node_cols
+
+    @property
+    def node_width(self) -> float:
+        """Width of one node region in metres."""
+        return self._node_w
+
+    @property
+    def node_height(self) -> float:
+        """Height of one node region in metres."""
+        return self._node_h
+
+    @property
+    def node_area(self) -> float:
+        """Area of one node region in m²."""
+        return self._node_w * self._node_h
+
+    def node_position(self, node: int) -> tuple[int, int]:
+        """(row, col) of a node; row-major numbering."""
+        if not 0 <= node < self.num_nodes:
+            raise ThermalModelError(f"node {node} out of range")
+        return divmod(node, self.node_cols)
+
+    def node_index(self, row: int, col: int) -> int:
+        if not (0 <= row < self.node_rows and 0 <= col < self.node_cols):
+            raise ThermalModelError(f"node ({row}, {col}) out of range")
+        return row * self.node_cols + col
+
+    # ------------------------------------------------------------------
+    # Register <-> node attribution
+    # ------------------------------------------------------------------
+    def _node_rect(self, node: int) -> _Rect:
+        row, col = self.node_position(node)
+        return _Rect(
+            col * self._node_w,
+            row * self._node_h,
+            (col + 1) * self._node_w,
+            (row + 1) * self._node_h,
+        )
+
+    def _register_rect(self, reg: int) -> _Rect:
+        row, col = self.geometry.position(reg)
+        return _Rect(
+            col * self.geometry.cell_width,
+            row * self.geometry.cell_height,
+            (col + 1) * self.geometry.cell_width,
+            (row + 1) * self.geometry.cell_height,
+        )
+
+    def _build_mapping(self) -> np.ndarray:
+        """(num_nodes × num_registers) overlap-fraction matrix.
+
+        Column r sums to 1: the fraction of register r's power landing in
+        each node.
+        """
+        mapping = np.zeros((self.num_nodes, self.geometry.num_registers))
+        node_rects = [self._node_rect(n) for n in range(self.num_nodes)]
+        for reg in range(self.geometry.num_registers):
+            reg_rect = self._register_rect(reg)
+            cell_area = self.geometry.cell_area
+            # Only nodes overlapping the register's bounding box matter;
+            # with modest grid sizes a full scan is cheap and simple.
+            for node, rect in enumerate(node_rects):
+                area = rect.overlap_area(reg_rect)
+                if area > 0:
+                    mapping[node, reg] = area / cell_area
+        return mapping
+
+    @property
+    def mapping(self) -> np.ndarray:
+        """Read-only overlap-fraction matrix (nodes × registers)."""
+        return self._mapping
+
+    def power_vector(self, register_power: dict[int, float]) -> np.ndarray:
+        """Distribute per-register power (W) onto the node mesh."""
+        reg_vec = np.zeros(self.geometry.num_registers)
+        for reg, power in register_power.items():
+            if not 0 <= reg < self.geometry.num_registers:
+                raise ThermalModelError(f"register {reg} out of range")
+            reg_vec[reg] += power
+        return self._mapping @ reg_vec
+
+    def register_temperature(self, node_temps: np.ndarray, reg: int) -> float:
+        """Area-weighted temperature of register *reg* (K)."""
+        weights = self._mapping[:, reg]
+        total = weights.sum()
+        if total <= 0:
+            raise ThermalModelError(f"register {reg} maps to no node")
+        return float(weights @ node_temps / total)
+
+    def register_temperatures(self, node_temps: np.ndarray) -> np.ndarray:
+        """Temperatures of all registers (K), area-weighted."""
+        weights = self._mapping
+        sums = weights.sum(axis=0)
+        return (weights.T @ node_temps) / sums
+
+    def cells_per_node(self) -> np.ndarray:
+        """Equivalent register-cell count covered by each node."""
+        return self._mapping.sum(axis=1)

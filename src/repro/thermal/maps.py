@@ -1,0 +1,82 @@
+"""ASCII rendering of thermal maps — the reproduction of Fig. 1's visuals.
+
+The original figure shows false-colour maps for three register
+assignment policies.  In a terminal we render the same fields with a
+density character ramp, plus side-by-side composition so the bench
+output mirrors the figure layout (a | b | c).
+"""
+
+from __future__ import annotations
+
+from .state import ThermalState
+
+#: Cold → hot character ramp.
+RAMP = " .:-=+*#%@"
+
+
+def render_map(
+    state: ThermalState,
+    t_min: float | None = None,
+    t_max: float | None = None,
+    title: str | None = None,
+) -> str:
+    """Render one thermal state as an ASCII block.
+
+    *t_min*/*t_max* pin the colour scale so multiple maps share it
+    (essential when comparing policies, as Fig. 1 does).
+    """
+    m = state.as_matrix()
+    lo = state.min if t_min is None else t_min
+    hi = state.peak if t_max is None else t_max
+    span = max(hi - lo, 1e-12)
+    lines = []
+    if title is not None:
+        lines.append(title)
+    for row in m:
+        chars = []
+        for t in row:
+            level = int((t - lo) / span * (len(RAMP) - 1) + 0.5)
+            level = min(max(level, 0), len(RAMP) - 1)
+            chars.append(RAMP[level] * 2)  # double width ≈ square aspect
+        lines.append("".join(chars))
+    lines.append(f"[{lo:.2f}K .. {hi:.2f}K]")
+    return "\n".join(lines)
+
+
+def render_side_by_side(
+    states: list[ThermalState],
+    titles: list[str] | None = None,
+    gap: str = "   ",
+) -> str:
+    """Render several maps side by side on a shared colour scale."""
+    if not states:
+        return ""
+    lo = min(s.min for s in states)
+    hi = max(s.peak for s in states)
+    titles = titles or ["" for _ in states]
+    blocks = [
+        render_map(s, t_min=lo, t_max=hi, title=t).splitlines()
+        for s, t in zip(states, titles)
+    ]
+    height = max(len(b) for b in blocks)
+    widths = [max(len(line) for line in b) for b in blocks]
+    rows = []
+    for i in range(height):
+        cells = []
+        for block, width in zip(blocks, widths):
+            line = block[i] if i < len(block) else ""
+            cells.append(line.ljust(width))
+        rows.append(gap.join(cells).rstrip())
+    return "\n".join(rows)
+
+
+def render_register_map(state: ThermalState, per_row: int | None = None) -> str:
+    """Numeric per-register temperature table (K), one row per RF row."""
+    geometry = state.grid.geometry
+    per_row = per_row or geometry.cols
+    temps = state.register_temperatures()
+    lines = []
+    for start in range(0, geometry.num_registers, per_row):
+        row = temps[start:start + per_row]
+        lines.append(" ".join(f"{t:7.2f}" for t in row))
+    return "\n".join(lines)

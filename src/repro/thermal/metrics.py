@@ -1,0 +1,117 @@
+"""Scalar thermal metrics used by every experiment table.
+
+The paper's claims are about hot spots, steep gradients and map
+homogeneity; these functions turn a :class:`ThermalState` (or a trace of
+them) into the numbers the bench tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .state import ThermalState
+
+
+@dataclass(frozen=True)
+class ThermalSummary:
+    """One row of a thermal comparison table."""
+
+    peak: float          # hottest node (K)
+    mean: float          # spatial mean (K)
+    spread: float        # peak - min (K)
+    gradient: float      # max adjacent-node difference (K)
+    std: float           # spatial standard deviation (K)
+    hotspots: int        # nodes more than `hotspot_margin` above the mean
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "peak": self.peak,
+            "mean": self.mean,
+            "spread": self.spread,
+            "gradient": self.gradient,
+            "std": self.std,
+            "hotspots": float(self.hotspots),
+        }
+
+
+def summarize(state: ThermalState, hotspot_margin: float = 5.0) -> ThermalSummary:
+    """Summarize one thermal state.
+
+    *hotspot_margin* is the excess (K) above the spatial mean beyond
+    which a node counts as a hot spot.
+    """
+    temps = state.temperatures
+    mean = float(temps.mean())
+    return ThermalSummary(
+        peak=state.peak,
+        mean=mean,
+        spread=state.spread,
+        gradient=state.max_gradient(),
+        std=state.std,
+        hotspots=int((temps > mean + hotspot_margin).sum()),
+    )
+
+
+def peak_delta(state: ThermalState, ambient: float) -> float:
+    """Peak temperature rise above ambient (K)."""
+    return state.peak - ambient
+
+
+def uniformity(state: ThermalState) -> float:
+    """1 / (1 + spatial std): 1.0 for a perfectly homogenized map.
+
+    The chessboard policy of Fig. 1(c) is the high-uniformity reference.
+    """
+    return 1.0 / (1.0 + state.std)
+
+
+def gradient_field(state: ThermalState) -> np.ndarray:
+    """Per-node maximum gradient magnitude to any 4-neighbour (K)."""
+    m = state.as_matrix()
+    grad = np.zeros_like(m)
+    if m.shape[1] > 1:
+        d = np.abs(np.diff(m, axis=1))
+        grad[:, :-1] = np.maximum(grad[:, :-1], d)
+        grad[:, 1:] = np.maximum(grad[:, 1:], d)
+    if m.shape[0] > 1:
+        d = np.abs(np.diff(m, axis=0))
+        grad[:-1, :] = np.maximum(grad[:-1, :], d)
+        grad[1:, :] = np.maximum(grad[1:, :], d)
+    return grad
+
+
+def temporal_peak(trace: list[ThermalState]) -> float:
+    """Highest node temperature across a thermal trace (K)."""
+    return max(state.peak for state in trace)
+
+
+def temporal_mean_of_peaks(trace: list[ThermalState]) -> float:
+    """Mean over time of the per-state peak temperature (K)."""
+    return float(np.mean([state.peak for state in trace]))
+
+
+def time_above(trace: list[ThermalState], threshold: float) -> int:
+    """Number of trace samples whose peak exceeds *threshold* (K)."""
+    return sum(1 for state in trace if state.peak > threshold)
+
+
+def correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation between two fields (accuracy experiment E3).
+
+    Degenerate (constant) fields correlate as 1.0 if equal-shaped and
+    both constant, else 0.0 — avoids NaNs in edge-case workloads.
+    """
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    if a.std() == 0.0 or b.std() == 0.0:
+        return 1.0 if a.std() == b.std() == 0.0 else 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def rmse(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square error between two fields (K)."""
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    return float(np.sqrt(np.mean((a - b) ** 2)))

@@ -1,0 +1,283 @@
+"""Compact RC thermal network of the register file (HotSpot-style).
+
+Each thermal node of a :class:`~repro.thermal.floorplan.ThermalGrid` gets:
+
+* a lateral conductance to each 4-neighbour through an effective silicon
+  spreading layer,
+* a vertical conductance to ambient through the die/package stack,
+* a thermal capacitance.
+
+The temperature field obeys ``C dT/dt = P - G (T - T_amb)`` with ``G``
+symmetric positive definite, so
+
+* steady state is a single SPD solve, and
+* a transient step of duration ``dt`` under constant power has the exact
+  closed form ``T' = T_ss + e^{-C⁻¹G dt}(T - T_ss)`` — we precompute the
+  matrix exponential once per step size, making per-instruction stepping
+  a dense mat-vec.
+
+Thermal acceleration
+--------------------
+Real RF thermal time constants are milliseconds — millions of cycles —
+while our analyses step cycle by cycle.  ``ThermalParams.acceleration``
+divides the capacitance so steady state is approached within thousands
+of cycles.  This rescales *time only*: the steady-state field
+``T_amb + G⁻¹P`` is capacitance-independent, so every spatial claim
+(hot-spot locations, gradients, policy rankings — all of Fig. 1) is
+invariant, which is why the substitution is sound.  A test asserts this
+invariance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from ..arch.energy import EnergyModel
+from ..arch.registerfile import RegisterFileGeometry
+from ..errors import ConvergenceError, ThermalModelError
+from .floorplan import ThermalGrid
+from .state import ThermalState
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Physical constants of the RC network.
+
+    Defaults are calibrated (see ``tests/thermal/test_calibration.py``)
+    so that one register written every cycle at the default energy model
+    sits ~3 K above an idle RF with the excess roughly halving per cell
+    of distance, and a tight loop hammering a handful of neighbouring
+    registers builds a 10–20 K hot spot — the regime in which the cited
+    RF-reliability papers report their maps.
+
+    Parameters
+    ----------
+    k_lateral:
+        Effective lateral conductivity × its layer thickness is derived
+        from this (W/m·K).  Silicon bulk is ~150; the default is bulk
+        silicon through a thin effective spreading layer.
+    spread_thickness:
+        Effective thickness (m) of the lateral spreading layer.
+    r_vertical_area:
+        Specific vertical resistance junction→ambient (K·m²/W).
+    c_areal:
+        Areal heat capacity of the stack (J/K·m²) *before* acceleration.
+    acceleration:
+        Capacitance divisor (dimensionless); see module docstring.
+    ambient:
+        Ambient/package temperature (K).
+    """
+
+    k_lateral: float = 150.0
+    spread_thickness: float = 5.0e-6
+    r_vertical_area: float = 3.0e-6
+    c_areal: float = 815.0
+    acceleration: float = 1.0e4
+    ambient: float = 318.15
+
+    def __post_init__(self) -> None:
+        if min(self.k_lateral, self.spread_thickness, self.r_vertical_area,
+               self.c_areal, self.acceleration) <= 0:
+            raise ThermalModelError("all thermal parameters must be positive")
+
+
+class RFThermalModel:
+    """The RC network over a thermal grid, with cached solvers.
+
+    Parameters
+    ----------
+    geometry:
+        Register file layout.
+    grid:
+        Thermal discretization (defaults to one node per register cell).
+    params:
+        Physical constants.
+    energy:
+        Energy model used for leakage injection (dynamic access power is
+        supplied by callers per instruction/cycle).
+    """
+
+    def __init__(
+        self,
+        geometry: RegisterFileGeometry,
+        grid: ThermalGrid | None = None,
+        params: ThermalParams | None = None,
+        energy: EnergyModel | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.grid = grid or ThermalGrid(geometry)
+        self.params = params or ThermalParams()
+        self.energy = energy or EnergyModel()
+        self._conductance = self._build_conductance()
+        self._capacitance = self._build_capacitance()
+        self._cho = scipy.linalg.cho_factor(self._conductance)
+        self._step_cache: dict[float, np.ndarray] = {}
+        self._cells_per_node = self.grid.cells_per_node()
+
+    # ------------------------------------------------------------------
+    # Matrix construction
+    # ------------------------------------------------------------------
+    def _build_conductance(self) -> np.ndarray:
+        grid = self.grid
+        n = grid.num_nodes
+        g = np.zeros((n, n))
+        p = self.params
+        # Lateral conductances between 4-neighbours.
+        for node in range(n):
+            row, col = grid.node_position(node)
+            for drow, dcol in ((0, 1), (1, 0)):
+                nrow, ncol = row + drow, col + dcol
+                if nrow >= grid.node_rows or ncol >= grid.node_cols:
+                    continue
+                other = grid.node_index(nrow, ncol)
+                if dcol:  # horizontal neighbour: face = height × thickness
+                    cond = p.k_lateral * p.spread_thickness * (
+                        grid.node_height / grid.node_width
+                    )
+                else:  # vertical neighbour
+                    cond = p.k_lateral * p.spread_thickness * (
+                        grid.node_width / grid.node_height
+                    )
+                g[node, node] += cond
+                g[other, other] += cond
+                g[node, other] -= cond
+                g[other, node] -= cond
+        # Vertical conductance to ambient.
+        g_vert = grid.node_area / p.r_vertical_area
+        g[np.diag_indices(n)] += g_vert
+        return g
+
+    def _build_capacitance(self) -> np.ndarray:
+        cap = self.params.c_areal * self.grid.node_area / self.params.acceleration
+        return np.full(self.grid.num_nodes, cap)
+
+    @property
+    def conductance(self) -> np.ndarray:
+        """The SPD conductance matrix G (W/K)."""
+        return self._conductance
+
+    @property
+    def capacitance(self) -> np.ndarray:
+        """Per-node thermal capacitance (J/K), acceleration applied."""
+        return self._capacitance
+
+    def time_constant(self) -> float:
+        """Dominant thermal time constant (s), acceleration applied."""
+        a = self._conductance / self._capacitance[:, None]
+        eigvals = np.linalg.eigvalsh((a + a.T) / 2.0)
+        return float(1.0 / eigvals.min())
+
+    # ------------------------------------------------------------------
+    # Power helpers
+    # ------------------------------------------------------------------
+    def ambient_state(self) -> ThermalState:
+        """The all-ambient state used as analysis entry value."""
+        return ThermalState.uniform(self.grid, self.params.ambient)
+
+    def power_vector(self, register_power: dict[int, float]) -> np.ndarray:
+        """Per-register power (W) distributed onto the node mesh."""
+        return self.grid.power_vector(register_power)
+
+    def leakage_vector(self, state: ThermalState | None = None) -> np.ndarray:
+        """Leakage power per node (W), optionally temperature-dependent."""
+        if state is None or self.energy.leakage_temp_coeff == 0.0:
+            per_cell = self.energy.leakage_power
+            return per_cell * self._cells_per_node
+        temps = state.temperatures
+        per_node = np.array(
+            [self.energy.leakage_at(t) for t in temps]
+        ) * self._cells_per_node
+        return per_node
+
+    # ------------------------------------------------------------------
+    # Solvers
+    # ------------------------------------------------------------------
+    def steady_state(self, power: np.ndarray | dict[int, float]) -> ThermalState:
+        """Steady-state field for constant *power* (leakage not included)."""
+        p = self.power_vector(power) if isinstance(power, dict) else np.asarray(power)
+        if p.shape != (self.grid.num_nodes,):
+            raise ThermalModelError("power vector has wrong length")
+        rise = scipy.linalg.cho_solve(self._cho, p)
+        return ThermalState(self.grid, self.params.ambient + rise)
+
+    def steady_state_with_leakage(
+        self,
+        dynamic_power: np.ndarray | dict[int, float],
+        tol: float = 1e-6,
+        max_iterations: int = 200,
+    ) -> ThermalState:
+        """Steady state including temperature-dependent leakage.
+
+        Fixed-point iterates ``T ← T_amb + G⁻¹(P_dyn + P_leak(T))``.
+        Divergence (thermal runaway) raises :class:`ConvergenceError`
+        with the last iterate attached — the genuine non-convergence
+        case the paper's §4 anticipates.
+        """
+        p_dyn = (
+            self.power_vector(dynamic_power)
+            if isinstance(dynamic_power, dict)
+            else np.asarray(dynamic_power)
+        )
+        state = self.ambient_state()
+        for iteration in range(max_iterations):
+            total = p_dyn + self.leakage_vector(state)
+            new_state = self.steady_state(total)
+            delta = new_state.max_abs_diff(state)
+            if new_state.peak > 1000.0:
+                raise ConvergenceError(
+                    "thermal runaway: leakage feedback diverges",
+                    partial_result=new_state,
+                    iterations=iteration + 1,
+                )
+            if delta < tol:
+                return new_state
+            state = new_state
+        raise ConvergenceError(
+            f"leakage fixed point not reached in {max_iterations} iterations",
+            partial_result=state,
+            iterations=max_iterations,
+        )
+
+    def _step_operator(self, dt: float) -> np.ndarray:
+        """``e^{-C⁻¹G dt}`` cached per step size."""
+        cached = self._step_cache.get(dt)
+        if cached is None:
+            a = self._conductance / self._capacitance[:, None]
+            cached = scipy.linalg.expm(-a * dt)
+            self._step_cache[dt] = cached
+        return cached
+
+    def step(
+        self,
+        state: ThermalState,
+        power: np.ndarray | dict[int, float],
+        dt: float | None = None,
+        cycles: int = 1,
+    ) -> ThermalState:
+        """Advance *state* by ``cycles`` steps of ``dt`` under constant power.
+
+        Exact for the linear network (no discretization error): the state
+        relaxes toward the steady state of *power* with the true matrix
+        exponential.  Leakage is **not** added implicitly; callers include
+        it in *power* so that both linear and feedback modes are explicit.
+        """
+        if dt is None:
+            dt = self.energy.cycle_time
+        if dt <= 0 or cycles <= 0:
+            raise ThermalModelError("dt and cycles must be positive")
+        p = self.power_vector(power) if isinstance(power, dict) else np.asarray(power)
+        target = self.steady_state(p)
+        op = self._step_operator(dt * cycles) if cycles > 1 else self._step_operator(dt)
+        if cycles > 1:
+            # e^{-A(k·dt)} — compute directly instead of powering.
+            op = self._step_operator(dt * cycles)
+        deviation = state.temperatures - target.temperatures
+        new_temps = target.temperatures + op @ deviation
+        return ThermalState(self.grid, new_temps)
+
+    def relax(self, state: ThermalState, dt: float, cycles: int = 1) -> ThermalState:
+        """Advance *state* with zero power (pure cooling toward ambient)."""
+        return self.step(state, np.zeros(self.grid.num_nodes), dt=dt, cycles=cycles)

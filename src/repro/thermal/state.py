@@ -1,0 +1,161 @@
+"""Thermal state: the value propagated by the thermal data flow analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from .floorplan import ThermalGrid
+
+
+class ThermalState:
+    """A temperature field sampled at the grid's thermal nodes.
+
+    Instances are treated as immutable by all analyses (operations
+    return fresh states); the underlying array is flagged read-only to
+    enforce this.
+    """
+
+    __slots__ = ("grid", "_temps")
+
+    def __init__(self, grid: ThermalGrid, temperatures: np.ndarray) -> None:
+        temps = np.asarray(temperatures, dtype=float)
+        if temps.shape != (grid.num_nodes,):
+            raise ThermalModelError(
+                f"expected {grid.num_nodes} node temperatures, got shape {temps.shape}"
+            )
+        temps = temps.copy()
+        temps.flags.writeable = False
+        self.grid = grid
+        self._temps = temps
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, grid: ThermalGrid, temperature: float) -> "ThermalState":
+        """A spatially uniform state (e.g. ambient at analysis entry)."""
+        return cls(grid, np.full(grid.num_nodes, float(temperature)))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def temperatures(self) -> np.ndarray:
+        """Node temperatures (K), read-only, flat row-major."""
+        return self._temps
+
+    def as_matrix(self) -> np.ndarray:
+        """Node temperatures reshaped to (node_rows, node_cols)."""
+        return self._temps.reshape(self.grid.node_rows, self.grid.node_cols)
+
+    def register_temperature(self, reg: int) -> float:
+        """Temperature of one architectural register (K)."""
+        return self.grid.register_temperature(self._temps, reg)
+
+    def register_temperatures(self) -> np.ndarray:
+        """Temperatures of every architectural register (K)."""
+        return self.grid.register_temperatures(self._temps)
+
+    # ------------------------------------------------------------------
+    # Scalar summaries
+    # ------------------------------------------------------------------
+    @property
+    def peak(self) -> float:
+        """Hottest node temperature (K)."""
+        return float(self._temps.max())
+
+    @property
+    def mean(self) -> float:
+        """Mean node temperature (K)."""
+        return float(self._temps.mean())
+
+    @property
+    def min(self) -> float:
+        """Coolest node temperature (K)."""
+        return float(self._temps.min())
+
+    @property
+    def spread(self) -> float:
+        """Peak-to-valley temperature difference (K)."""
+        return self.peak - self.min
+
+    @property
+    def std(self) -> float:
+        """Spatial standard deviation (K) — the homogeneity metric."""
+        return float(self._temps.std())
+
+    def max_gradient(self) -> float:
+        """Largest temperature difference between adjacent nodes (K).
+
+        This is the "steep thermal gradient" of the paper's §1 — the
+        reliability hazard the whole analysis exists to predict.
+        """
+        m = self.as_matrix()
+        grads = [0.0]
+        if m.shape[1] > 1:
+            grads.append(float(np.abs(np.diff(m, axis=1)).max()))
+        if m.shape[0] > 1:
+            grads.append(float(np.abs(np.diff(m, axis=0)).max()))
+        return max(grads)
+
+    # ------------------------------------------------------------------
+    # Comparison / combination (the DFA lattice operations)
+    # ------------------------------------------------------------------
+    def max_abs_diff(self, other: "ThermalState") -> float:
+        """L∞ distance to *other* — the δ of the convergence test."""
+        self._check_compatible(other)
+        return float(np.abs(self._temps - other._temps).max())
+
+    def merge_max(self, others: list["ThermalState"]) -> "ThermalState":
+        """Element-wise maximum — the conservative CFG join."""
+        temps = self._temps
+        for other in others:
+            self._check_compatible(other)
+            temps = np.maximum(temps, other._temps)
+        return ThermalState(self.grid, temps)
+
+    @staticmethod
+    def weighted_mean(
+        states: list["ThermalState"], weights: list[float]
+    ) -> "ThermalState":
+        """Convex combination of states (frequency-weighted CFG join)."""
+        if not states:
+            raise ThermalModelError("weighted_mean of no states")
+        if len(states) != len(weights):
+            raise ThermalModelError("states and weights length mismatch")
+        total = sum(weights)
+        if total <= 0:
+            # Degenerate profile: fall back to plain mean.
+            weights = [1.0] * len(states)
+            total = float(len(states))
+        grid = states[0].grid
+        acc = np.zeros(grid.num_nodes)
+        for state, w in zip(states, weights):
+            states[0]._check_compatible(state)
+            acc += (w / total) * state._temps
+        return ThermalState(grid, acc)
+
+    def _check_compatible(self, other: "ThermalState") -> None:
+        if other.grid.num_nodes != self.grid.num_nodes:
+            raise ThermalModelError("thermal states live on different grids")
+
+    # ------------------------------------------------------------------
+    # Protocols
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ThermalState):
+            return NotImplemented
+        return (
+            self.grid.num_nodes == other.grid.num_nodes
+            and bool(np.array_equal(self._temps, other._temps))
+        )
+
+    def __hash__(self) -> int:  # states are value-like but unhashable by content
+        raise TypeError("ThermalState is not hashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ThermalState peak={self.peak:.2f}K mean={self.mean:.2f}K "
+            f"spread={self.spread:.3f}K>"
+        )

@@ -1,0 +1,89 @@
+"""Power and thermal traces: time series over the node mesh.
+
+The feedback-driven reference flow (:mod:`repro.sim.emulator`) produces
+these; the accuracy experiment compares the analysis's predicted states
+against the emulator's :class:`ThermalTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from .floorplan import ThermalGrid
+from .state import ThermalState
+
+
+@dataclass
+class PowerTrace:
+    """Per-sample node power vectors (W), fixed sample period (s)."""
+
+    grid: ThermalGrid
+    dt: float
+    samples: list[np.ndarray] = field(default_factory=list)
+
+    def append(self, power: np.ndarray) -> None:
+        power = np.asarray(power, dtype=float)
+        if power.shape != (self.grid.num_nodes,):
+            raise ThermalModelError("power sample has wrong length")
+        self.samples.append(power)
+
+    def total_energy(self) -> float:
+        """Energy (J) integrated over the whole trace."""
+        if not self.samples:
+            return 0.0
+        return float(np.sum(self.samples) * self.dt)
+
+    def mean_power(self) -> np.ndarray:
+        """Time-averaged node power (W)."""
+        if not self.samples:
+            return np.zeros(self.grid.num_nodes)
+        return np.mean(self.samples, axis=0)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+@dataclass
+class ThermalTrace:
+    """Thermal states sampled at a fixed period."""
+
+    grid: ThermalGrid
+    dt: float
+    states: list[ThermalState] = field(default_factory=list)
+
+    def append(self, state: ThermalState) -> None:
+        if state.grid.num_nodes != self.grid.num_nodes:
+            raise ThermalModelError("state lives on a different grid")
+        self.states.append(state)
+
+    @property
+    def final(self) -> ThermalState:
+        if not self.states:
+            raise ThermalModelError("empty thermal trace")
+        return self.states[-1]
+
+    def peak_over_time(self) -> np.ndarray:
+        """Per-sample peak temperature (K)."""
+        return np.array([s.peak for s in self.states])
+
+    def gradient_over_time(self) -> np.ndarray:
+        """Per-sample maximum spatial gradient (K)."""
+        return np.array([s.max_gradient() for s in self.states])
+
+    def time_average(self) -> ThermalState:
+        """Time-averaged field (the long-exposure 'photo' of Fig. 1)."""
+        if not self.states:
+            raise ThermalModelError("empty thermal trace")
+        acc = np.zeros(self.grid.num_nodes)
+        for state in self.states:
+            acc += state.temperatures
+        return ThermalState(self.grid, acc / len(self.states))
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self):
+        return iter(self.states)

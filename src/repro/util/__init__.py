@@ -1,0 +1,5 @@
+"""Small shared utilities (table formatting, banners)."""
+
+from .tables import banner, format_table
+
+__all__ = ["format_table", "banner"]

@@ -1,0 +1,53 @@
+"""Plain-text table formatting for bench output.
+
+Every bench prints its experiment as an aligned table (the "rows the
+paper reports"); this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+    min_width: int = 6,
+) -> str:
+    """Render *rows* under *headers* with aligned columns.
+
+    Floats are formatted with *float_format*; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    lines = [fmt_line(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def banner(title: str, char: str = "=", width: int = 72) -> str:
+    """A section banner for bench output."""
+    pad = max(0, width - len(title) - 2)
+    left = pad // 2
+    right = pad - left
+    return f"{char * left} {title} {char * right}"

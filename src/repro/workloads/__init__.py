@@ -1,0 +1,26 @@
+"""Benchmark kernels and synthetic workload generators."""
+
+from .generators import pressure_program, random_loop_program, random_program
+from .kernels import Workload, w32
+from .suite import (
+    full_suite,
+    load,
+    pressure_sweep,
+    random_suite,
+    small_suite,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "w32",
+    "load",
+    "workload_names",
+    "full_suite",
+    "small_suite",
+    "pressure_sweep",
+    "random_suite",
+    "pressure_program",
+    "random_program",
+    "random_loop_program",
+]

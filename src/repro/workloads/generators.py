@@ -1,0 +1,220 @@
+"""Synthetic workload generators.
+
+Two families:
+
+* :func:`pressure_program` — a loop keeping exactly *k* accumulators
+  simultaneously live, the knob for the chessboard-caveat sweep (E5:
+  "if register pressure is high ... thermal gradients may still appear
+  even trying to apply the chessboard pattern").
+* :func:`random_program` — seeded random arithmetic over a configurable
+  CFG skeleton (straight-line chains, diamonds, loops), used by the
+  property-based tests as a source of arbitrary-but-valid IR and by the
+  robustness benches.
+
+All generators are deterministic in their arguments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..ir.builder import FunctionBuilder
+from ..ir.function import Function
+from ..ir.values import Constant
+from .kernels import Workload, w32
+
+
+def pressure_program(
+    live_count: int, iterations: int = 50, hot_every: int = 4, hot_extra: int = 3
+) -> Workload:
+    """A loop with exactly *live_count* accumulators live throughout.
+
+    Every accumulator is touched each iteration (so all stay live across
+    the back edge: pressure ≈ live_count + loop bookkeeping), but every
+    ``hot_every``-th accumulator receives ``hot_extra`` additional update
+    operations per iteration.  This skew — "certain registers are
+    accessed more than others" (§2) — is what makes thermal gradients
+    reappear under high pressure even for the chessboard policy, the
+    exact failure mode experiment E5 measures.
+    """
+    if live_count < 1:
+        raise ValueError("live_count must be at least 1")
+    hot = [j % max(1, hot_every) == 0 for j in range(live_count)]
+
+    # Python reference.
+    accs = [w32(i * 3 + 1) for i in range(live_count)]
+    for it in range(iterations):
+        carry = accs[-1]
+        for j in range(live_count):
+            prev = accs[j]
+            accs[j] = w32(accs[j] + w32(carry ^ (it + j)))
+            if hot[j]:
+                for extra in range(hot_extra):
+                    accs[j] = w32(accs[j] ^ w32(accs[j] + (it + extra)))
+            carry = prev
+    expected = 0
+    for v in accs:
+        expected = w32(expected ^ v)
+
+    bld = FunctionBuilder(f"pressure{live_count}")
+    bld.block("entry")
+    acc_regs = [bld.li(w32(i * 3 + 1), bld.fresh(f"acc{i}_")) for i in range(live_count)]
+    limit = bld.li(iterations)
+    it, _body, _exit = bld.counted_loop("it", 0, limit)
+    carry = bld.copy(acc_regs[-1])
+    for j, acc in enumerate(acc_regs):
+        prev = bld.copy(acc)
+        ij = bld.add(it, Constant(j)) if j else bld.copy(it)
+        mixed = bld.xor(carry, ij)
+        bld.add(acc, mixed, dest=acc)
+        if hot[j]:
+            for extra in range(hot_extra):
+                bump = bld.add(acc, bld.add(it, Constant(extra)) if extra else it)
+                bld.xor(acc, bump, dest=acc)
+        carry = prev
+    bld.close_loop()
+    result = acc_regs[0]
+    for acc in acc_regs[1:]:
+        result = bld.xor(result, acc)
+    bld.ret(result)
+
+    return Workload(
+        name=f"pressure{live_count}",
+        description=f"synthetic loop holding {live_count} accumulators live "
+        f"({sum(hot)} hot)",
+        function=bld.build(),
+        expected_return=expected,
+    )
+
+
+def random_program(
+    seed: int = 0,
+    num_blocks: int = 4,
+    ops_per_block: int = 6,
+    num_seeds: int = 3,
+    with_diamond: bool = True,
+) -> Function:
+    """A seeded random (but always valid) virtual-register function.
+
+    The CFG is a chain of *num_blocks* blocks holding random binary
+    operations over previously defined registers, optionally with one
+    branch diamond in the middle.  Operations avoid ``div``/``rem`` so
+    any input executes safely.
+
+    The result is *valid IR* (verified), but makes no promise of useful
+    computation — its role is fuzzing and robustness benches; loops with
+    oracles come from :func:`random_loop_program`.
+    """
+    rng = random.Random(seed)
+    bld = FunctionBuilder(f"rand{seed}")
+    bld.block("entry")
+    pool = [bld.li(rng.randrange(1, 50)) for _ in range(max(1, num_seeds))]
+    ops = ["add", "sub", "mul", "and_", "or_", "xor"]
+
+    def emit_ops(count: int) -> None:
+        for _ in range(count):
+            op = rng.choice(ops)
+            lhs = rng.choice(pool)
+            rhs = rng.choice(pool + [Constant(rng.randrange(1, 16))])
+            pool.append(getattr(bld, op)(lhs, rhs))
+            if len(pool) > 12:
+                pool.pop(0)
+
+    diamond_at = num_blocks // 2 if with_diamond and num_blocks >= 3 else -1
+    for b in range(num_blocks):
+        if b > 0:
+            bld.jump(f"b{b}")
+            bld.block(f"b{b}")
+        emit_ops(ops_per_block)
+        if b == diamond_at:
+            cond = bld.cmplt(pool[-1], pool[-2])
+            bld.br(cond, f"then{b}", f"else{b}")
+            # Registers defined inside one arm are not defined on the other
+            # path, so the arms must not leak values into the shared pool.
+            saved_pool = list(pool)
+            bld.block(f"then{b}")
+            emit_ops(max(1, ops_per_block // 2))
+            bld.jump(f"join{b}")
+            pool[:] = saved_pool
+            bld.block(f"else{b}")
+            emit_ops(max(1, ops_per_block // 2))
+            bld.jump(f"join{b}")
+            pool[:] = saved_pool
+            bld.block(f"join{b}")
+            emit_ops(1)
+
+    bld.ret(pool[-1])
+    return bld.build()
+
+
+def random_loop_program(
+    seed: int = 0,
+    body_ops: int = 8,
+    iterations: int = 20,
+    live_vars: int = 4,
+) -> Workload:
+    """A seeded random loop kernel with a Python-computed oracle.
+
+    Unlike :func:`random_program`, this generator mirrors the generated
+    IR in Python so the interpreter's output can be asserted; used by
+    the integration tests as a second kernel family.
+    """
+    rng = random.Random(seed)
+    n_vars = max(2, live_vars)
+    init = [rng.randrange(1, 40) for _ in range(n_vars)]
+    steps: list[tuple[str, int, int, int]] = []  # (op, dst, src_a, src_b)
+    op_choices = ["add", "sub", "xor", "and", "or"]
+    for _ in range(body_ops):
+        steps.append(
+            (
+                rng.choice(op_choices),
+                rng.randrange(n_vars),
+                rng.randrange(n_vars),
+                rng.randrange(n_vars),
+            )
+        )
+
+    # Python reference.
+    vals = [w32(v) for v in init]
+    py_ops = {
+        "add": lambda a, b: w32(a + b),
+        "sub": lambda a, b: w32(a - b),
+        "xor": lambda a, b: w32(a ^ b),
+        "and": lambda a, b: w32(a & b),
+        "or": lambda a, b: w32(a | b),
+    }
+    for it in range(iterations):
+        for op, dst, sa, sb in steps:
+            vals[dst] = py_ops[op](vals[sa], w32(vals[sb] + it))
+    expected = 0
+    for v in vals:
+        expected = w32(expected ^ v)
+
+    bld = FunctionBuilder(f"randloop{seed}")
+    bld.block("entry")
+    regs = [bld.li(v, bld.fresh(f"v{i}_")) for i, v in enumerate(init)]
+    limit = bld.li(iterations)
+    it, _body, _exit = bld.counted_loop("it", 0, limit)
+    ir_ops = {
+        "add": bld.add,
+        "sub": bld.sub,
+        "xor": bld.xor,
+        "and": bld.and_,
+        "or": bld.or_,
+    }
+    for op, dst, sa, sb in steps:
+        shifted = bld.add(regs[sb], it)
+        ir_ops[op](regs[sa], shifted, dest=regs[dst])
+    bld.close_loop()
+    result = regs[0]
+    for reg in regs[1:]:
+        result = bld.xor(result, reg)
+    bld.ret(result)
+
+    return Workload(
+        name=f"randloop{seed}",
+        description=f"seeded random loop (seed={seed}, {body_ops} ops, "
+        f"{n_vars} live vars)",
+        function=bld.build(),
+        expected_return=expected,
+    )

@@ -1,0 +1,778 @@
+"""Workload kernels: the benchmark programs of the evaluation.
+
+The paper motivates RF thermal stress with loop-dominated embedded/media
+code; this suite provides exactly that, each kernel built with the
+:class:`~repro.ir.builder.FunctionBuilder` and paired with a plain
+Python reference implementation so the interpreter's result can be
+asserted bit-exactly (32-bit wrapped semantics).
+
+Kernels and what they stress:
+
+========== ==========================================================
+dot        streaming loads, one hot accumulator
+saxpy      streaming loads/stores, two hot registers
+fir        unrolled taps: many simultaneously-live coefficient regs
+iir        loop-carried filter state: a fixed set of very hot registers
+matmul     triple nested loop, medium pressure
+dct8       straight-line butterflies: high ILP, scheduler playground
+conv3x3    2-D stencil: nested loops + 9 hot coefficient registers
+crc32      bit loop: two registers hammered every cycle
+histogram  data-dependent addressing, load-modify-store
+viterbi    add-compare-select on branch-free selects, hot state regs
+sort       bubble sort: control-heavy, data-dependent branches
+fib        two registers ping-ponging every iteration (tiny, hottest)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.builder import FunctionBuilder
+from ..ir.function import Function
+from ..ir.values import Constant
+
+_MASK = 0xFFFFFFFF
+
+
+def w32(value: int) -> int:
+    """Wrap to signed 32-bit (the interpreter's arithmetic)."""
+    value &= _MASK
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+@dataclass
+class Workload:
+    """A runnable benchmark program with its input data and oracle."""
+
+    name: str
+    description: str
+    function: Function
+    args: list[int] = field(default_factory=list)
+    memory: dict[int, int] = field(default_factory=dict)
+    expected_return: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Workload {self.name}: {self.function.instruction_count()} insts>"
+
+
+# ----------------------------------------------------------------------
+# Input data generators (deterministic, no RNG needed)
+# ----------------------------------------------------------------------
+def _data(n: int, base: int, mult: int = 7, add: int = 3, mod: int = 97) -> list[int]:
+    return [(i * mult + add) % mod for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# dot product
+# ----------------------------------------------------------------------
+def dot(n: int = 64) -> Workload:
+    """Dot product of two n-vectors (A at 0, B at 1000)."""
+    a = _data(n, 0)
+    b = _data(n, 0, mult=5, add=11, mod=89)
+    expected = 0
+    for i in range(n):
+        expected = w32(expected + w32(a[i] * b[i]))
+
+    bld = FunctionBuilder("dot")
+    bld.block("entry")
+    acc = bld.li(0)
+    limit = bld.li(n)
+    base_b = bld.li(1000)
+    i, _body, _exit = bld.counted_loop("i", 0, limit)
+    av = bld.load(i)
+    baddr = bld.add(base_b, i)
+    bv = bld.load(baddr)
+    prod = bld.mul(av, bv)
+    bld.add(acc, prod, dest=acc)
+    bld.close_loop()
+    bld.ret(acc)
+
+    memory = {addr: v for addr, v in enumerate(a)}
+    memory.update({1000 + addr: v for addr, v in enumerate(b)})
+    return Workload(
+        name="dot",
+        description="dot product: streaming loads, one hot accumulator",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# saxpy
+# ----------------------------------------------------------------------
+def saxpy(n: int = 64, a_scalar: int = 13) -> Workload:
+    """Y = a·X + Y (X at 0, Y at 1000); returns Σ Y."""
+    x = _data(n, 0)
+    y = _data(n, 0, mult=3, add=1, mod=53)
+    expected = 0
+    out = list(y)
+    for i in range(n):
+        out[i] = w32(w32(a_scalar * x[i]) + y[i])
+        expected = w32(expected + out[i])
+
+    bld = FunctionBuilder("saxpy")
+    bld.block("entry")
+    acc = bld.li(0)
+    limit = bld.li(n)
+    scalar = bld.li(a_scalar)
+    base_y = bld.li(1000)
+    i, _body, _exit = bld.counted_loop("i", 0, limit)
+    xv = bld.load(i)
+    yaddr = bld.add(base_y, i)
+    yv = bld.load(yaddr)
+    ax = bld.mul(scalar, xv)
+    newy = bld.add(ax, yv)
+    bld.store(yaddr, newy)
+    bld.add(acc, newy, dest=acc)
+    bld.close_loop()
+    bld.ret(acc)
+
+    memory = {addr: v for addr, v in enumerate(x)}
+    memory.update({1000 + addr: v for addr, v in enumerate(y)})
+    return Workload(
+        name="saxpy",
+        description="saxpy: streaming loads/stores, two hot registers",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# FIR filter (taps unrolled)
+# ----------------------------------------------------------------------
+def fir(n: int = 48, taps: tuple[int, ...] = (3, -5, 7, 11, -2, 4, 9, -1)) -> Workload:
+    """FIR with unrolled taps held in registers; returns an XOR checksum."""
+    k = len(taps)
+    x = _data(n + k, 0, mult=11, add=5, mod=71)
+    expected = 0
+    for i in range(n):
+        acc = 0
+        for j, c in enumerate(taps):
+            acc = w32(acc + w32(c * x[i + j]))
+        expected = w32(expected ^ acc)
+
+    bld = FunctionBuilder("fir")
+    bld.block("entry")
+    checksum = bld.li(0)
+    limit = bld.li(n)
+    coeff_regs = [bld.li(c) for c in taps]
+    i, _body, _exit = bld.counted_loop("i", 0, limit)
+    acc = bld.li(0)
+    for j, creg in enumerate(coeff_regs):
+        addr = bld.add(i, Constant(j)) if j else i
+        xv = bld.load(addr)
+        term = bld.mul(creg, xv)
+        acc = bld.add(acc, term, dest=acc)
+    bld.xor(checksum, acc, dest=checksum)
+    bld.close_loop()
+    bld.ret(checksum)
+
+    memory = {addr: v for addr, v in enumerate(x)}
+    return Workload(
+        name="fir",
+        description=f"{k}-tap FIR, taps unrolled into {k} live coefficient registers",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# IIR biquad (integer, shift-scaled)
+# ----------------------------------------------------------------------
+def iir(n: int = 64) -> Workload:
+    """Direct-form-I biquad with loop-carried state registers."""
+    b0, b1, b2, a1, a2 = 5, 3, 2, 1, 1
+    x = _data(n, 0, mult=13, add=7, mod=61)
+    expected = 0
+    x1 = x2 = y1 = y2 = 0
+    for i in range(n):
+        acc = w32(
+            w32(b0 * x[i]) + w32(b1 * x1) + w32(b2 * x2)
+            - w32(a1 * y1) - w32(a2 * y2)
+        )
+        y = w32((acc & _MASK) >> 4)
+        x2, x1 = x1, x[i]
+        y2, y1 = y1, y
+        expected = w32(expected ^ y)
+
+    bld = FunctionBuilder("iir")
+    bld.block("entry")
+    checksum = bld.li(0)
+    limit = bld.li(n)
+    rb0, rb1, rb2, ra1, ra2 = (bld.li(c) for c in (b0, b1, b2, a1, a2))
+    x1r = bld.li(0)
+    x2r = bld.li(0)
+    y1r = bld.li(0)
+    y2r = bld.li(0)
+    four = bld.li(4)
+    i, _body, _exit = bld.counted_loop("i", 0, limit)
+    xv = bld.load(i)
+    t0 = bld.mul(rb0, xv)
+    t1 = bld.mul(rb1, x1r)
+    t2 = bld.mul(rb2, x2r)
+    t3 = bld.mul(ra1, y1r)
+    t4 = bld.mul(ra2, y2r)
+    s0 = bld.add(t0, t1)
+    s1 = bld.add(s0, t2)
+    s2 = bld.sub(s1, t3)
+    acc = bld.sub(s2, t4)
+    y = bld.shr(acc, four)
+    bld.copy(x1r, dest=x2r)
+    bld.copy(xv, dest=x1r)
+    bld.copy(y1r, dest=y2r)
+    bld.copy(y, dest=y1r)
+    bld.xor(checksum, y, dest=checksum)
+    bld.close_loop()
+    bld.ret(checksum)
+
+    memory = {addr: v for addr, v in enumerate(x)}
+    return Workload(
+        name="iir",
+        description="biquad IIR: four loop-carried state registers stay hot",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# matrix multiply
+# ----------------------------------------------------------------------
+def matmul(n: int = 8) -> Workload:
+    """C = A·B for n×n matrices (A@0, B@10000, C@20000); returns Σ C."""
+    a = [[(i * n + j + 1) % 17 for j in range(n)] for i in range(n)]
+    b = [[(i * 3 + j * 5 + 2) % 19 for j in range(n)] for i in range(n)]
+    expected = 0
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for kk in range(n):
+                acc = w32(acc + w32(a[i][kk] * b[kk][j]))
+            expected = w32(expected + acc)
+
+    bld = FunctionBuilder("matmul")
+    bld.block("entry")
+    total = bld.li(0)
+    limit = bld.li(n)
+    base_b = bld.li(10000)
+    base_c = bld.li(20000)
+    nreg = bld.li(n)
+    i, _ib, _ie = bld.counted_loop("i", 0, limit)
+    row_a = bld.mul(i, nreg)
+    j, _jb, _je = bld.counted_loop("j", 0, limit)
+    acc = bld.li(0)
+    k, _kb, _ke = bld.counted_loop("k", 0, limit)
+    a_addr = bld.add(row_a, k)
+    av = bld.load(a_addr)
+    row_b = bld.mul(k, nreg)
+    b_off = bld.add(row_b, j)
+    b_addr = bld.add(base_b, b_off)
+    bv = bld.load(b_addr)
+    prod = bld.mul(av, bv)
+    acc = bld.add(acc, prod, dest=acc)
+    bld.close_loop()  # k
+    c_off = bld.add(row_a, j)
+    c_addr = bld.add(base_c, c_off)
+    bld.store(c_addr, acc)
+    total = bld.add(total, acc, dest=total)
+    bld.close_loop()  # j
+    bld.close_loop()  # i
+    bld.ret(total)
+
+    memory: dict[int, int] = {}
+    for i_ in range(n):
+        for j_ in range(n):
+            memory[i_ * n + j_] = a[i_][j_]
+            memory[10000 + i_ * n + j_] = b[i_][j_]
+    return Workload(
+        name="matmul",
+        description=f"{n}x{n} matrix multiply, triple nested loop",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# 8-point DCT-like butterfly (straight-line, repeated over blocks)
+# ----------------------------------------------------------------------
+def dct8(blocks: int = 12) -> Workload:
+    """Butterfly transform on 8-sample blocks; returns an XOR checksum.
+
+    Straight-line body with high instruction-level parallelism — the
+    thermal scheduler's best case.
+    """
+    n = blocks * 8
+    x = _data(n, 0, mult=9, add=2, mod=101)
+    expected = 0
+    for b in range(blocks):
+        s = x[b * 8:(b + 1) * 8]
+        a0, a1 = w32(s[0] + s[7]), w32(s[0] - s[7])
+        a2, a3 = w32(s[1] + s[6]), w32(s[1] - s[6])
+        a4, a5 = w32(s[2] + s[5]), w32(s[2] - s[5])
+        a6, a7 = w32(s[3] + s[4]), w32(s[3] - s[4])
+        b0, b1 = w32(a0 + a6), w32(a0 - a6)
+        b2, b3 = w32(a2 + a4), w32(a2 - a4)
+        c0 = w32(b0 + b2)
+        c1 = w32(b1 + b3)
+        c2 = w32(a1 + a3)
+        c3 = w32(a5 + a7)
+        out = w32(w32(c0 ^ c1) + w32(c2 ^ c3))
+        expected = w32(expected ^ out)
+
+    bld = FunctionBuilder("dct8")
+    bld.block("entry")
+    checksum = bld.li(0)
+    limit = bld.li(blocks)
+    eight = bld.li(8)
+    b, _body, _exit = bld.counted_loop("b", 0, limit)
+    base = bld.mul(b, eight)
+    s = []
+    for j in range(8):
+        addr = bld.add(base, Constant(j)) if j else base
+        s.append(bld.load(addr))
+    a0 = bld.add(s[0], s[7]); a1 = bld.sub(s[0], s[7])  # noqa: E702
+    a2 = bld.add(s[1], s[6]); a3 = bld.sub(s[1], s[6])  # noqa: E702
+    a4 = bld.add(s[2], s[5]); a5 = bld.sub(s[2], s[5])  # noqa: E702
+    a6 = bld.add(s[3], s[4]); a7 = bld.sub(s[3], s[4])  # noqa: E702
+    b0 = bld.add(a0, a6); b1 = bld.sub(a0, a6)  # noqa: E702
+    b2 = bld.add(a2, a4); b3 = bld.sub(a2, a4)  # noqa: E702
+    c0 = bld.add(b0, b2)
+    c1 = bld.add(b1, b3)
+    c2 = bld.add(a1, a3)
+    c3 = bld.add(a5, a7)
+    x0 = bld.xor(c0, c1)
+    x1 = bld.xor(c2, c3)
+    out = bld.add(x0, x1)
+    bld.xor(checksum, out, dest=checksum)
+    bld.close_loop()
+    bld.ret(checksum)
+
+    memory = {addr: v for addr, v in enumerate(x)}
+    return Workload(
+        name="dct8",
+        description="8-point butterfly blocks: straight-line, high ILP",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# 3x3 convolution
+# ----------------------------------------------------------------------
+def conv3x3(width: int = 10, height: int = 10) -> Workload:
+    """3×3 stencil over a width×height image; returns Σ outputs."""
+    kernel = (1, 2, 1, 2, 4, 2, 1, 2, 1)
+    img = [
+        [(i * 5 + j * 3 + 1) % 31 for j in range(width)] for i in range(height)
+    ]
+    expected = 0
+    for i in range(height - 2):
+        for j in range(width - 2):
+            acc = 0
+            for ki in range(3):
+                for kj in range(3):
+                    acc = w32(acc + w32(kernel[ki * 3 + kj] * img[i + ki][j + kj]))
+            expected = w32(expected + acc)
+
+    bld = FunctionBuilder("conv3x3")
+    bld.block("entry")
+    total = bld.li(0)
+    h_limit = bld.li(height - 2)
+    w_limit = bld.li(width - 2)
+    wreg = bld.li(width)
+    kregs = [bld.li(c) for c in kernel]
+    i, _ib, _ie = bld.counted_loop("i", 0, h_limit)
+    row = bld.mul(i, wreg)
+    j, _jb, _je = bld.counted_loop("j", 0, w_limit)
+    acc = bld.li(0)
+    for ki in range(3):
+        for kj in range(3):
+            roff = bld.add(row, Constant(ki * width + kj)) if (ki or kj) else row
+            addr = bld.add(roff, j)
+            pixel = bld.load(addr)
+            term = bld.mul(kregs[ki * 3 + kj], pixel)
+            acc = bld.add(acc, term, dest=acc)
+    total = bld.add(total, acc, dest=total)
+    bld.close_loop()
+    bld.close_loop()
+    bld.ret(total)
+
+    memory = {
+        i_ * width + j_: img[i_][j_]
+        for i_ in range(height)
+        for j_ in range(width)
+    }
+    return Workload(
+        name="conv3x3",
+        description="3x3 stencil: nested loops, nine hot coefficient registers",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# CRC-32
+# ----------------------------------------------------------------------
+def crc32(n: int = 24) -> Workload:
+    """Bitwise CRC-32 (poly 0xEDB88320) over n bytes; two registers hammered."""
+    poly = 0xEDB88320
+    data = [(i * 17 + 9) % 256 for i in range(n)]
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            mask = -(crc & 1) & _MASK
+            crc = ((crc >> 1) ^ (poly & mask)) & _MASK
+    expected = w32(crc)
+
+    bld = FunctionBuilder("crc32")
+    bld.block("entry")
+    crc_reg = bld.li(w32(0xFFFFFFFF))
+    limit = bld.li(n)
+    poly_reg = bld.li(w32(poly))
+    one = bld.li(1)
+    eight = bld.li(8)
+    i, _ib, _ie = bld.counted_loop("i", 0, limit)
+    byte = bld.load(i)
+    crc_reg = bld.xor(crc_reg, byte, dest=crc_reg)
+    k, _kb, _ke = bld.counted_loop("k", 0, eight)
+    bit = bld.and_(crc_reg, one)
+    mask = bld.neg(bit)
+    masked = bld.and_(poly_reg, mask)
+    shifted = bld.shr(crc_reg, one)
+    crc_reg = bld.xor(shifted, masked, dest=crc_reg)
+    bld.close_loop()
+    bld.close_loop()
+    bld.ret(crc_reg)
+
+    memory = {addr: v for addr, v in enumerate(data)}
+    return Workload(
+        name="crc32",
+        description="bitwise CRC-32: crc register touched every cycle",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# histogram
+# ----------------------------------------------------------------------
+def histogram(n: int = 64, bins: int = 8) -> Workload:
+    """Bin n samples (data@0, bins@50000); returns Σ bin·count."""
+    data = _data(n, 0, mult=23, add=5, mod=103)
+    counts = [0] * bins
+    for v in data:
+        counts[v % bins] += 1
+    expected = 0
+    for b, c in enumerate(counts):
+        expected = w32(expected + w32(b * c))
+
+    bld = FunctionBuilder("histogram")
+    bld.block("entry")
+    limit = bld.li(n)
+    bins_reg = bld.li(bins)
+    base = bld.li(50000)
+    one = bld.li(1)
+    i, _ib, _ie = bld.counted_loop("i", 0, limit)
+    v = bld.load(i)
+    b = bld.rem(v, bins_reg)
+    addr = bld.add(base, b)
+    count = bld.load(addr)
+    bumped = bld.add(count, one)
+    bld.store(addr, bumped)
+    bld.close_loop()
+    # Reduce: sum b * count[b].
+    total = bld.li(0)
+    blim = bld.li(bins)
+    b2, _bb, _be = bld.counted_loop("b", 0, blim)
+    addr2 = bld.add(base, b2)
+    c2 = bld.load(addr2)
+    term = bld.mul(b2, c2)
+    total = bld.add(total, term, dest=total)
+    bld.close_loop()
+    bld.ret(total)
+
+    memory = {addr: v for addr, v in enumerate(data)}
+    memory.update({50000 + b_: 0 for b_ in range(bins)})
+    return Workload(
+        name="histogram",
+        description="histogram: data-dependent addressing, load-modify-store",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# Viterbi add-compare-select
+# ----------------------------------------------------------------------
+def viterbi(n: int = 32) -> Workload:
+    """Two-state ACS recursion with branch-free selects; returns final metric."""
+    bm = _data(2 * n, 0, mult=19, add=3, mod=47)
+    m0, m1 = 0, 8
+    for t in range(n):
+        c00 = w32(m0 + bm[2 * t])
+        c10 = w32(m1 + bm[2 * t + 1])
+        c01 = w32(m0 + bm[2 * t + 1])
+        c11 = w32(m1 + bm[2 * t])
+        n0 = min(c00, c10)
+        n1 = min(c01, c11)
+        m0, m1 = n0, n1
+    expected = w32(min(m0, m1))
+
+    def emit_min(bld: FunctionBuilder, a, b):
+        lt = bld.cmplt(a, b)
+        diff = bld.sub(b, a)
+        scaled = bld.mul(lt, diff)
+        return bld.sub(b, scaled)
+
+    bld = FunctionBuilder("viterbi")
+    bld.block("entry")
+    limit = bld.li(n)
+    two = bld.li(2)
+    m0r = bld.li(0)
+    m1r = bld.li(8)
+    t, _tb, _te = bld.counted_loop("t", 0, limit)
+    off = bld.mul(t, two)
+    bm0 = bld.load(off)
+    addr1 = bld.add(off, Constant(1))
+    bm1 = bld.load(addr1)
+    c00 = bld.add(m0r, bm0)
+    c10 = bld.add(m1r, bm1)
+    c01 = bld.add(m0r, bm1)
+    c11 = bld.add(m1r, bm0)
+    n0 = emit_min(bld, c00, c10)
+    n1 = emit_min(bld, c01, c11)
+    bld.copy(n0, dest=m0r)
+    bld.copy(n1, dest=m1r)
+    bld.close_loop()
+    result = emit_min(bld, m0r, m1r)
+    bld.ret(result)
+
+    memory = {addr: v for addr, v in enumerate(bm)}
+    return Workload(
+        name="viterbi",
+        description="Viterbi ACS: hot path-metric registers, branch-free selects",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# bubble sort
+# ----------------------------------------------------------------------
+def sort(n: int = 16) -> Workload:
+    """Bubble sort of n words in memory; returns Σ i·A[i] of the result."""
+    data = [((i * 29 + 13) % 83) for i in range(n)]
+    ref = sorted(data)
+    expected = 0
+    for i, v in enumerate(ref):
+        expected = w32(expected + w32(i * v))
+
+    bld = FunctionBuilder("sort")
+    bld.block("entry")
+    n1 = bld.li(n - 1)
+    i, _ib, _ie = bld.counted_loop("i", 0, n1)
+    bound = bld.sub(n1, i)
+    j, _jb, _je = bld.counted_loop("j", 0, bound)
+    a = bld.load(j)
+    j1 = bld.add(j, Constant(1))
+    b = bld.load(j1)
+    swap = bld.cmpgt(a, b)
+    bld.br(swap, "do_swap", "no_swap")
+    bld.block("do_swap")
+    bld.store(j, b)
+    bld.store(j1, a)
+    bld.jump("no_swap")
+    bld.block("no_swap")
+    bld.close_loop()
+    bld.close_loop()
+    # Checksum.
+    total = bld.li(0)
+    limit = bld.li(n)
+    k, _kb, _ke = bld.counted_loop("k", 0, limit)
+    v = bld.load(k)
+    term = bld.mul(k, v)
+    total = bld.add(total, term, dest=total)
+    bld.close_loop()
+    bld.ret(total)
+
+    memory = {addr: v for addr, v in enumerate(data)}
+    return Workload(
+        name="sort",
+        description="bubble sort: control-heavy, data-dependent branches",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# naive string search
+# ----------------------------------------------------------------------
+def strsearch(text_len: int = 64, pattern: str = "abcab") -> Workload:
+    """Count occurrences of a short pattern in a byte string (text@0, pat@5000).
+
+    Stresses data-dependent inner-loop exits: the match loop aborts on
+    the first mismatch, so block frequencies are genuinely input-shaped.
+    """
+    # Deterministic text over a 3-letter alphabet seeded with the pattern.
+    alphabet = "abc"
+    text = "".join(alphabet[(i * 7 + i // 5) % 3] for i in range(text_len))
+    expected = 0
+    m = len(pattern)
+    for i in range(text_len - m + 1):
+        if text[i:i + m] == pattern:
+            expected += 1
+    expected = w32(expected)
+
+    bld = FunctionBuilder("strsearch")
+    bld.block("entry")
+    count = bld.li(0)
+    limit = bld.li(text_len - m + 1)
+    pat_base = bld.li(5000)
+    mreg = bld.li(m)
+    one = bld.li(1)
+    i, _ib, _ie = bld.counted_loop("i", 0, limit)
+    # Inner comparison loop with early exit on mismatch.
+    j = bld.li(0, bld.fresh("j"))
+    bld.jump("cmp_head")
+    bld.block("cmp_head")
+    more = bld.cmplt(j, mreg)
+    bld.br(more, "cmp_body", "matched")
+    bld.block("cmp_body")
+    taddr = bld.add(i, j)
+    tchar = bld.load(taddr)
+    paddr = bld.add(pat_base, j)
+    pchar = bld.load(paddr)
+    same = bld.cmpeq(tchar, pchar)
+    bld.br(same, "advance", "mismatch")
+    bld.block("advance")
+    bld.add(j, one, dest=j)
+    bld.jump("cmp_head")
+    bld.block("matched")
+    count = bld.add(count, one, dest=count)
+    bld.jump("next")
+    bld.block("mismatch")
+    bld.jump("next")
+    bld.block("next")
+    bld.close_loop()
+    bld.ret(count)
+
+    memory = {addr: ord(ch) for addr, ch in enumerate(text)}
+    memory.update({5000 + addr: ord(ch) for addr, ch in enumerate(pattern)})
+    return Workload(
+        name="strsearch",
+        description="naive string search: data-dependent early-exit loops",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# FFT radix-2 butterfly stage (integer, scaled)
+# ----------------------------------------------------------------------
+def fft_stage(pairs: int = 24) -> Workload:
+    """One radix-2 butterfly stage over interleaved re/im pairs.
+
+    a' = a + w·b, b' = a − w·b with integer twiddles scaled by 2⁴;
+    returns an XOR checksum.  Four loads, two multiplies, and shared
+    sub-expressions per iteration — a dense, ILP-rich loop body.
+    """
+    w_re, w_im = 11, 13  # scaled twiddle factor
+    data = _data(4 * pairs, 0, mult=29, add=7, mod=57)
+    expected = 0
+    for p in range(pairs):
+        ar, ai = data[4 * p], data[4 * p + 1]
+        br, bi = data[4 * p + 2], data[4 * p + 3]
+        tr = w32(w32(w_re * br) - w32(w_im * bi))
+        ti = w32(w32(w_re * bi) + w32(w_im * br))
+        tr = w32((tr & 0xFFFFFFFF) >> 4)
+        ti = w32((ti & 0xFFFFFFFF) >> 4)
+        out = w32(w32(ar + tr) ^ w32(ai + ti)) ^ w32(w32(ar - tr) + w32(ai - ti))
+        expected = w32(expected ^ w32(out))
+
+    bld = FunctionBuilder("fft_stage")
+    bld.block("entry")
+    checksum = bld.li(0)
+    limit = bld.li(pairs)
+    wre = bld.li(w_re)
+    wim = bld.li(w_im)
+    four = bld.li(4)
+    shift = bld.li(4)
+    p, _pb, _pe = bld.counted_loop("p", 0, limit)
+    base = bld.mul(p, four)
+    ar = bld.load(base)
+    a1 = bld.add(base, Constant(1))
+    ai = bld.load(a1)
+    a2 = bld.add(base, Constant(2))
+    br = bld.load(a2)
+    a3 = bld.add(base, Constant(3))
+    bi = bld.load(a3)
+    m0 = bld.mul(wre, br)
+    m1 = bld.mul(wim, bi)
+    m2 = bld.mul(wre, bi)
+    m3 = bld.mul(wim, br)
+    tr0 = bld.sub(m0, m1)
+    ti0 = bld.add(m2, m3)
+    tr = bld.shr(tr0, shift)
+    ti = bld.shr(ti0, shift)
+    s0 = bld.add(ar, tr)
+    s1 = bld.add(ai, ti)
+    s2 = bld.sub(ar, tr)
+    s3 = bld.sub(ai, ti)
+    x0 = bld.xor(s0, s1)
+    x1 = bld.add(s2, s3)
+    out = bld.xor(x0, x1)
+    bld.xor(checksum, out, dest=checksum)
+    bld.close_loop()
+    bld.ret(checksum)
+
+    memory = {addr: v for addr, v in enumerate(data)}
+    return Workload(
+        name="fft_stage",
+        description="radix-2 FFT butterfly stage: dense ILP-rich loop body",
+        function=bld.build(),
+        memory=memory,
+        expected_return=expected,
+    )
+
+
+# ----------------------------------------------------------------------
+# fibonacci
+# ----------------------------------------------------------------------
+def fib(n: int = 40) -> Workload:
+    """Iterative Fibonacci: two registers ping-pong every iteration."""
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, w32(a + b)
+    expected = a
+
+    bld = FunctionBuilder("fib")
+    bld.block("entry")
+    a_reg = bld.li(0)
+    b_reg = bld.li(1)
+    limit = bld.li(n)
+    _i, _body, _exit = bld.counted_loop("i", 0, limit)
+    t = bld.add(a_reg, b_reg)
+    bld.copy(b_reg, dest=a_reg)
+    bld.copy(t, dest=b_reg)
+    bld.close_loop()
+    bld.ret(a_reg)
+
+    return Workload(
+        name="fib",
+        description="iterative Fibonacci: the minimal two-hot-register loop",
+        function=bld.build(),
+        expected_return=expected,
+    )

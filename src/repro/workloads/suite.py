@@ -1,0 +1,65 @@
+"""The named workload suite every bench sweeps."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import kernels
+from .generators import pressure_program, random_loop_program
+from .kernels import Workload
+
+#: Factory registry: name -> zero-argument builder of the default variant.
+_FACTORIES: dict[str, Callable[[], Workload]] = {
+    "dot": kernels.dot,
+    "saxpy": kernels.saxpy,
+    "fir": kernels.fir,
+    "iir": kernels.iir,
+    "matmul": kernels.matmul,
+    "dct8": kernels.dct8,
+    "conv3x3": kernels.conv3x3,
+    "crc32": kernels.crc32,
+    "histogram": kernels.histogram,
+    "viterbi": kernels.viterbi,
+    "sort": kernels.sort,
+    "strsearch": kernels.strsearch,
+    "fft_stage": kernels.fft_stage,
+    "fib": kernels.fib,
+}
+
+
+def workload_names() -> list[str]:
+    """Names of all kernels in the suite, in canonical order."""
+    return list(_FACTORIES)
+
+
+def load(name: str) -> Workload:
+    """Build the default variant of the named workload."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from None
+    return factory()
+
+
+def full_suite() -> list[Workload]:
+    """Every kernel at its default size."""
+    return [factory() for factory in _FACTORIES.values()]
+
+
+def small_suite() -> list[Workload]:
+    """A fast five-kernel subset used by the quicker benches and tests."""
+    return [kernels.fir(), kernels.iir(), kernels.crc32(), kernels.fib(),
+            kernels.dct8()]
+
+
+def pressure_sweep(levels: list[int] | None = None, iterations: int = 50) -> list[Workload]:
+    """The E5 pressure sweep: one synthetic workload per live-count level."""
+    levels = levels or [4, 8, 16, 24, 32, 40, 48]
+    return [pressure_program(k, iterations=iterations) for k in levels]
+
+
+def random_suite(count: int = 5, **kwargs) -> list[Workload]:
+    """Seeded random-loop kernels with oracles."""
+    return [random_loop_program(seed=s, **kwargs) for s in range(count)]

@@ -1,0 +1,66 @@
+"""Energy model: access energy, bitwidth scaling, leakage curves."""
+
+import math
+
+import pytest
+
+from repro.arch import EnergyModel
+from repro.errors import ThermalModelError
+
+
+class TestAccessEnergy:
+    def test_writes_cost_more_than_reads(self):
+        em = EnergyModel()
+        assert em.access_energy(is_write=True) > em.access_energy(is_write=False)
+
+    def test_power_is_energy_over_cycle(self):
+        em = EnergyModel(read_energy=4e-12, cycle_time=1e-9)
+        assert em.access_power(is_write=False) == pytest.approx(4e-3)
+
+    def test_bitwidth_scaling_disabled_by_default(self):
+        em = EnergyModel()
+        assert em.access_energy(False, bitwidth=8) == em.access_energy(False)
+
+    def test_bitwidth_scaling(self):
+        em = EnergyModel(bitwidth_scaling=True)
+        full = em.access_energy(False, bitwidth=32)
+        half = em.access_energy(False, bitwidth=16)
+        assert half == pytest.approx(full / 2)
+
+    def test_bitwidth_clamped(self):
+        em = EnergyModel(bitwidth_scaling=True)
+        assert em.access_energy(False, bitwidth=64) == em.access_energy(False, 32)
+        assert em.access_energy(False, bitwidth=0) == pytest.approx(
+            em.access_energy(False, 32) / 32
+        )
+
+    def test_invalid_construction(self):
+        with pytest.raises(ThermalModelError):
+            EnergyModel(read_energy=-1.0)
+        with pytest.raises(ThermalModelError):
+            EnergyModel(cycle_time=0.0)
+
+
+class TestLeakage:
+    def test_constant_without_coefficient(self):
+        em = EnergyModel(leakage_power=1e-5, leakage_temp_coeff=0.0)
+        assert em.leakage_at(300.0) == em.leakage_at(400.0) == 1e-5
+
+    def test_exponential_growth(self):
+        em = EnergyModel(leakage_power=1e-5, leakage_temp_coeff=0.03,
+                         leakage_ref_temp=318.15)
+        at_ref = em.leakage_at(318.15)
+        plus_ten = em.leakage_at(328.15)
+        assert at_ref == pytest.approx(1e-5)
+        assert plus_ten == pytest.approx(1e-5 * math.exp(0.3))
+
+    def test_overflow_clamped(self):
+        em = EnergyModel(leakage_temp_coeff=0.05)
+        assert math.isfinite(em.leakage_at(1e6))
+
+    def test_with_leakage_feedback_copy(self):
+        base = EnergyModel()
+        fed = base.with_leakage_feedback(0.04)
+        assert fed.leakage_temp_coeff == 0.04
+        assert base.leakage_temp_coeff == 0.0
+        assert fed.read_energy == base.read_energy

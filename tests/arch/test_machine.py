@@ -1,0 +1,69 @@
+"""Machine description: allocatable sets, latencies, presets."""
+
+import pytest
+
+from repro.arch import (
+    MachineDescription,
+    RegisterFileGeometry,
+    banked_rf64,
+    rf16,
+    rf32,
+    rf64,
+)
+from repro.errors import ThermalModelError
+from repro.ir import Opcode
+
+
+class TestAllocatable:
+    def test_default_all_allocatable(self):
+        m = rf64()
+        assert m.allocatable_registers() == list(range(64))
+
+    def test_reserved_excluded(self):
+        m = MachineDescription(
+            geometry=RegisterFileGeometry(rows=2, cols=2),
+            reserved_registers=(0, 3),
+        )
+        assert m.allocatable_registers() == [1, 2]
+
+    def test_reserved_out_of_range_rejected(self):
+        with pytest.raises(ThermalModelError):
+            MachineDescription(
+                geometry=RegisterFileGeometry(rows=2, cols=2),
+                reserved_registers=(9,),
+            )
+
+    def test_all_reserved_rejected(self):
+        with pytest.raises(ThermalModelError):
+            MachineDescription(
+                geometry=RegisterFileGeometry(rows=1, cols=2),
+                reserved_registers=(0, 1),
+            )
+
+
+class TestLatency:
+    def test_memory_ops_slower(self):
+        m = rf64()
+        assert m.instruction_latency(Opcode.LOAD) == m.load_latency > 1
+        assert m.instruction_latency(Opcode.RELOAD) == m.load_latency
+        assert m.instruction_latency(Opcode.ADD) == 1
+
+    def test_long_ops(self):
+        m = rf64()
+        assert m.instruction_latency(Opcode.DIV) > m.instruction_latency(Opcode.MUL) > 1
+
+
+class TestPresets:
+    def test_sizes(self):
+        assert rf64().num_registers == 64
+        assert rf32().num_registers == 32
+        assert rf16().num_registers == 16
+
+    def test_banked(self):
+        m = banked_rf64(banks=4)
+        assert m.geometry.banks == 4
+        assert m.num_registers == 64
+
+    def test_leakage_feedback_knob(self):
+        assert rf64().energy.leakage_temp_coeff == 0.0
+        assert rf64(leakage_feedback=0.03).energy.leakage_temp_coeff == 0.03

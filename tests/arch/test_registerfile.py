@@ -1,0 +1,108 @@
+"""Register file geometry: positions, banks, chessboard, distances."""
+
+import pytest
+
+from repro.arch import RegisterFileGeometry
+from repro.errors import ThermalModelError
+
+
+class TestLayout:
+    def test_row_major_numbering(self):
+        geo = RegisterFileGeometry(rows=4, cols=8)
+        assert geo.position(0) == (0, 0)
+        assert geo.position(7) == (0, 7)
+        assert geo.position(8) == (1, 0)
+        assert geo.position(31) == (3, 7)
+
+    def test_index_position_inverse(self):
+        geo = RegisterFileGeometry(rows=8, cols=8)
+        for i in range(geo.num_registers):
+            r, c = geo.position(i)
+            assert geo.index(r, c) == i
+
+    def test_dimensions(self):
+        geo = RegisterFileGeometry(rows=4, cols=8, cell_width=2e-6, cell_height=3e-6)
+        assert geo.width == pytest.approx(16e-6)
+        assert geo.height == pytest.approx(12e-6)
+        assert geo.cell_area == pytest.approx(6e-12)
+
+    def test_center(self):
+        geo = RegisterFileGeometry(rows=2, cols=2, cell_width=10e-6, cell_height=10e-6)
+        assert geo.center(0) == (pytest.approx(5e-6), pytest.approx(5e-6))
+        assert geo.center(3) == (pytest.approx(15e-6), pytest.approx(15e-6))
+
+    def test_out_of_range(self):
+        geo = RegisterFileGeometry(rows=2, cols=2)
+        with pytest.raises(ThermalModelError):
+            geo.position(4)
+        with pytest.raises(ThermalModelError):
+            geo.index(2, 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ThermalModelError):
+            RegisterFileGeometry(rows=0, cols=4)
+        with pytest.raises(ThermalModelError):
+            RegisterFileGeometry(rows=4, cols=4, cell_width=-1.0)
+
+
+class TestBanks:
+    def test_banks_partition_registers(self):
+        geo = RegisterFileGeometry(rows=4, cols=8, banks=4)
+        all_regs = set()
+        for bank in range(4):
+            regs = geo.registers_in_bank(bank)
+            assert len(regs) == 8
+            all_regs.update(regs)
+        assert all_regs == set(range(32))
+
+    def test_bank_of_contiguous_ranges(self):
+        geo = RegisterFileGeometry(rows=4, cols=8, banks=2)
+        assert geo.bank_of(0) == 0
+        assert geo.bank_of(15) == 0
+        assert geo.bank_of(16) == 1
+        assert geo.bank_of(31) == 1
+
+    def test_bank_of_matches_registers_in_bank(self):
+        geo = RegisterFileGeometry(rows=8, cols=8, banks=4)
+        for bank in range(4):
+            for reg in geo.registers_in_bank(bank):
+                assert geo.bank_of(reg) == bank
+
+    def test_banks_must_divide_register_count(self):
+        with pytest.raises(ThermalModelError):
+            RegisterFileGeometry(rows=4, cols=8, banks=5)
+
+    def test_bank_out_of_range(self):
+        geo = RegisterFileGeometry(rows=4, cols=8, banks=2)
+        with pytest.raises(ThermalModelError):
+            geo.registers_in_bank(2)
+
+
+class TestDistanceAndChessboard:
+    def test_manhattan_distance(self):
+        geo = RegisterFileGeometry(rows=8, cols=8)
+        assert geo.manhattan_distance(0, 0) == 0
+        assert geo.manhattan_distance(0, 1) == 1
+        assert geo.manhattan_distance(0, 8) == 1
+        assert geo.manhattan_distance(0, 63) == 14
+
+    def test_chessboard_colors_alternate(self):
+        geo = RegisterFileGeometry(rows=8, cols=8)
+        assert geo.chessboard_color(0) == 0
+        assert geo.chessboard_color(1) == 1
+        assert geo.chessboard_color(8) == 1  # next row offsets by one
+        assert geo.chessboard_color(9) == 0
+
+    def test_chessboard_classes_halve_the_rf(self):
+        geo = RegisterFileGeometry(rows=8, cols=8)
+        class0 = geo.chessboard_registers(0)
+        class1 = geo.chessboard_registers(1)
+        assert len(class0) == len(class1) == 32
+        assert set(class0) | set(class1) == set(range(64))
+
+    def test_chessboard_neighbors_differ(self):
+        geo = RegisterFileGeometry(rows=8, cols=8)
+        for reg in geo.chessboard_registers(0):
+            row, col = geo.position(reg)
+            if col + 1 < geo.cols:
+                assert geo.chessboard_color(geo.index(row, col + 1)) == 1

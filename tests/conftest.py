@@ -1,0 +1,120 @@
+"""Shared fixtures: canonical functions and machines used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import MachineDescription, RegisterFileGeometry, rf16, rf64
+from repro.ir import parse_function
+
+STRAIGHTLINE_SRC = """
+func @straight(%a, %b) {
+entry:
+  %t0 = add %a, %b
+  %t1 = mul %t0, %a
+  %t2 = sub %t1, %b
+  ret %t2
+}
+"""
+
+LOOP_SRC = """
+func @loop(%n) {
+entry:
+  %acc = li 0
+  %i = li 0
+  jump head
+head:
+  %c = cmplt %i, %n
+  br %c, body, exit
+body:
+  %sq = mul %i, %i
+  %acc = add %acc, %sq
+  %i = add %i, 1
+  jump head
+exit:
+  ret %acc
+}
+"""
+
+DIAMOND_SRC = """
+func @diamond(%x) {
+entry:
+  %c = cmplt %x, 10
+  br %c, small, big
+small:
+  %r0 = add %x, 1
+  jump join
+big:
+  %r1 = mul %x, 2
+  jump join
+join:
+  %out = add %x, %x
+  ret %out
+}
+"""
+
+NESTED_SRC = """
+func @nested(%n) {
+entry:
+  %total = li 0
+  %i = li 0
+  jump ohead
+ohead:
+  %c0 = cmplt %i, %n
+  br %c0, oinit, oexit
+oinit:
+  %j = li 0
+  jump ihead
+ihead:
+  %c1 = cmplt %j, %n
+  br %c1, ibody, iexit
+ibody:
+  %p = mul %i, %j
+  %total = add %total, %p
+  %j = add %j, 1
+  jump ihead
+iexit:
+  %i = add %i, 1
+  jump ohead
+oexit:
+  ret %total
+}
+"""
+
+
+@pytest.fixture
+def straightline():
+    return parse_function(STRAIGHTLINE_SRC)
+
+
+@pytest.fixture
+def loop():
+    return parse_function(LOOP_SRC)
+
+
+@pytest.fixture
+def diamond():
+    return parse_function(DIAMOND_SRC)
+
+
+@pytest.fixture
+def nested():
+    return parse_function(NESTED_SRC)
+
+
+@pytest.fixture
+def machine():
+    """The default 8×8 evaluation machine."""
+    return rf64()
+
+
+@pytest.fixture
+def small_machine():
+    """A 4×4 machine that forces pressure."""
+    return rf16()
+
+
+@pytest.fixture
+def tiny_machine():
+    """A 2×2 machine that forces spilling on almost anything."""
+    return MachineDescription(name="rf4", geometry=RegisterFileGeometry(rows=2, cols=2))

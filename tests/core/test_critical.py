@@ -1,0 +1,91 @@
+"""Critical-variable identification."""
+
+import pytest
+
+from repro.arch import rf64
+from repro.core import (
+    AllocationPlacement,
+    ExactPlacement,
+    analyze,
+    hotspot_contribution_map,
+    rank_critical_variables,
+)
+from repro.ir.values import vreg
+from repro.regalloc import FirstFreePolicy, allocate_linear_scan
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def setup(machine):
+    wl = load("fib")  # %a/%b ping-pong: clear critical pair
+    allocation = allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+    placement = AllocationPlacement(allocation, 64)
+    result = analyze(wl.function, machine, delta=0.01, placement=placement)
+    return wl, allocation, placement, result
+
+
+class TestRanking:
+    def test_loop_variables_rank_above_entry_constants(self, setup):
+        wl, _alloc, placement, result = setup
+        ranking = rank_critical_variables(result, placement)
+        assert ranking, "ranking must not be empty"
+        top_names = {str(cv.reg) for cv in ranking[:3]}
+        # The fib loop registers dominate; the loop bound %t2 (limit) is
+        # read every iteration too, so accept any loop-resident register.
+        loop_regs = {"%t0", "%t1", "%t2", "%t3", "%l_i4", "%i_i0"}
+        assert top_names & loop_regs
+
+    def test_scores_non_negative_and_sorted(self, setup):
+        _wl, _alloc, placement, result = setup
+        ranking = rank_critical_variables(result, placement)
+        scores = [cv.score for cv in ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s >= 0 for s in scores)
+
+    def test_top_k_truncation(self, setup):
+        _wl, _alloc, placement, result = setup
+        assert len(rank_critical_variables(result, placement, top_k=2)) == 2
+
+    def test_spilled_variables_excluded(self, machine):
+        """Variables with zero placement mass (memory-resident) don't rank."""
+        wl = load("fib")
+        allocation = allocate_linear_scan(wl.function, machine)
+        mapping = dict(allocation.mapping)
+        # Pretend the hottest variable was spilled.
+        victim = next(iter(mapping))
+        del mapping[victim]
+        placement = AllocationPlacement.from_mapping(mapping, 64)
+        result = analyze(wl.function, machine, delta=0.05, placement=placement)
+        ranking = rank_critical_variables(result, placement)
+        assert victim not in {cv.reg for cv in ranking}
+
+    def test_accesses_counted(self, setup):
+        _wl, _alloc, placement, result = setup
+        ranking = rank_critical_variables(result, placement)
+        by_name = {str(cv.reg): cv for cv in ranking}
+        # fib's %t0 (a) is defined once + copied/used every iteration.
+        for cv in ranking:
+            assert cv.accesses >= 1
+            assert cv.peak_excess >= 0.0
+
+
+class TestContributionMap:
+    def test_mass_where_assigned(self, setup):
+        _wl, alloc, placement, result = setup
+        contributions = hotspot_contribution_map(result, placement)
+        for reg, contribution in contributions.items():
+            if reg in alloc.mapping:
+                assert contribution[alloc.mapping[reg]] > 0.0
+
+    def test_loop_register_contributes_most(self, setup):
+        _wl, _alloc, placement, result = setup
+        contributions = hotspot_contribution_map(result, placement)
+        totals = {str(r): c.sum() for r, c in contributions.items()}
+        # Loop-resident registers out-contribute the one-shot entry li's.
+        hottest = max(totals, key=totals.get)
+        assert totals[hottest] > 5.0

@@ -1,0 +1,140 @@
+"""Instruction power model and placements."""
+
+import numpy as np
+import pytest
+
+from repro.arch import EnergyModel, MachineDescription, RegisterFileGeometry, rf64
+from repro.core.estimator import ExactPlacement, InstructionPowerModel
+from repro.dataflow import bitwidth_analysis
+from repro.errors import ThermalModelError
+from repro.ir import parse_function, parse_instruction
+from repro.thermal import RFThermalModel
+
+
+@pytest.fixture
+def machine():
+    return rf64()
+
+
+@pytest.fixture
+def model(machine):
+    return RFThermalModel(machine.geometry, energy=machine.energy)
+
+
+@pytest.fixture
+def power_model(machine, model):
+    return InstructionPowerModel(
+        machine=machine,
+        model=model,
+        placement=ExactPlacement(machine.geometry.num_registers),
+    )
+
+
+class TestExactPlacement:
+    def test_one_hot(self):
+        placement = ExactPlacement(64)
+        from repro.ir.values import preg
+
+        dist = placement.distribution(preg(5))
+        assert dist[5] == 1.0
+        assert dist.sum() == 1.0
+
+    def test_virtual_register_rejected(self):
+        placement = ExactPlacement(64)
+        from repro.ir.values import vreg
+
+        with pytest.raises(ThermalModelError, match="physical"):
+            placement.distribution(vreg("v"))
+
+    def test_out_of_range_rejected(self):
+        from repro.ir.values import preg
+
+        with pytest.raises(ThermalModelError):
+            ExactPlacement(4).distribution(preg(9))
+
+
+class TestDynamicPower:
+    def test_power_proportional_to_accesses(self, power_model, machine):
+        one_read = parse_instruction("r1 = copy r0")
+        three_access = parse_instruction("r0 = add r0, r0")
+        p1 = power_model.dynamic_power(one_read).sum()
+        p3 = power_model.dynamic_power(three_access).sum()
+        em = machine.energy
+        assert p1 == pytest.approx(
+            (em.access_power(False) + em.access_power(True))
+        )
+        assert p3 == pytest.approx(
+            (2 * em.access_power(False) + em.access_power(True))
+        )
+
+    def test_power_lands_on_accessed_cells(self, power_model):
+        inst = parse_instruction("r10 = add r20, r30")
+        power = power_model.dynamic_power(inst)
+        hot = set(np.nonzero(power)[0])
+        assert hot == {10, 20, 30}
+
+    def test_nop_injects_nothing(self, power_model):
+        assert power_model.dynamic_power(parse_instruction("nop")).sum() == 0.0
+
+    def test_constants_free(self, power_model):
+        inst = parse_instruction("r1 = li 42")
+        power = power_model.dynamic_power(inst)
+        assert np.nonzero(power)[0].tolist() == [1]
+
+    def test_caching_returns_same_array(self, power_model):
+        inst = parse_instruction("r1 = add r2, r3")
+        assert power_model.dynamic_power(inst) is power_model.dynamic_power(inst)
+
+
+class TestLeakage:
+    def test_total_power_includes_leakage(self, machine, model, power_model):
+        inst = parse_instruction("nop")
+        state = model.ambient_state()
+        total = power_model.total_power(inst, state, include_leakage=True)
+        assert total.sum() == pytest.approx(model.leakage_vector().sum())
+        bare = power_model.total_power(inst, state, include_leakage=False)
+        assert bare.sum() == 0.0
+
+    def test_feedback_flag(self, model):
+        hot_machine = MachineDescription(
+            geometry=RegisterFileGeometry(rows=8, cols=8),
+            energy=EnergyModel(leakage_temp_coeff=0.05),
+        )
+        pm = InstructionPowerModel(
+            machine=hot_machine,
+            model=RFThermalModel(hot_machine.geometry, energy=hot_machine.energy),
+            placement=ExactPlacement(64),
+        )
+        assert pm.has_leakage_feedback
+
+
+class TestBitwidthScaling:
+    def test_narrow_values_cost_less(self):
+        geometry = RegisterFileGeometry(rows=8, cols=8)
+        machine = MachineDescription(
+            geometry=geometry, energy=EnergyModel(bitwidth_scaling=True)
+        )
+        model = RFThermalModel(geometry, energy=machine.energy)
+        src = """
+        func @f() {
+        entry:
+          %one = li 1
+          %big = li 100000
+          %x = add %one, %one
+          %y = add %big, %big
+          ret %y
+        }
+        """
+        f = parse_function(src)
+        widths = bitwidth_analysis(f)
+        from repro.core.predictive import UniformPlacement
+
+        pm = InstructionPowerModel(
+            machine=machine,
+            model=model,
+            placement=UniformPlacement(machine),
+            bitwidths=widths,
+        )
+        narrow = pm.dynamic_power(f.entry.instructions[2]).sum()
+        wide = pm.dynamic_power(f.entry.instructions[3]).sum()
+        assert narrow < wide

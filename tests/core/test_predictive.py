@@ -1,0 +1,157 @@
+"""Pre-allocation placement models (the paper's 'more ambitious' mode)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf64
+from repro.core import AllocationPlacement, PolicyPlacement, UniformPlacement
+from repro.ir.values import preg, vreg
+from repro.regalloc import (
+    ChessboardPolicy,
+    FirstFreePolicy,
+    RandomPolicy,
+    allocate_linear_scan,
+)
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def fir_function():
+    return load("fir").function
+
+
+class TestUniformPlacement:
+    def test_distribution_sums_to_one(self, machine):
+        placement = UniformPlacement(machine)
+        assert placement.distribution(vreg("x")).sum() == pytest.approx(1.0)
+
+    def test_respects_reserved_registers(self):
+        from repro.arch import MachineDescription, RegisterFileGeometry
+
+        m = MachineDescription(
+            geometry=RegisterFileGeometry(rows=2, cols=2),
+            reserved_registers=(0,),
+        )
+        dist = UniformPlacement(m).distribution(vreg("x"))
+        assert dist[0] == 0.0
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_physical_registers_stay_one_hot(self, machine):
+        dist = UniformPlacement(machine).distribution(preg(9))
+        assert dist[9] == 1.0
+
+
+class TestAllocationPlacement:
+    def test_matches_allocation(self, machine, fir_function):
+        allocation = allocate_linear_scan(fir_function, machine)
+        placement = AllocationPlacement(allocation, 64)
+        for vr, idx in allocation.mapping.items():
+            dist = placement.distribution(vr)
+            assert dist[idx] == 1.0
+
+    def test_unmapped_register_gets_zero_vector(self, machine, fir_function):
+        allocation = allocate_linear_scan(fir_function, machine)
+        placement = AllocationPlacement(allocation, 64)
+        assert placement.distribution(vreg("ghost")).sum() == 0.0
+
+    def test_from_mapping(self):
+        placement = AllocationPlacement.from_mapping({vreg("a"): 3}, 16)
+        assert placement.distribution(vreg("a"))[3] == 1.0
+
+
+class TestPolicyPlacement:
+    def test_deterministic_policy_gives_one_hot(self, machine, fir_function):
+        placement = PolicyPlacement(
+            fir_function, machine,
+            policy_factory=lambda seed: FirstFreePolicy(),
+            samples=4,
+        )
+        reference = allocate_linear_scan(fir_function, machine, FirstFreePolicy())
+        for vr, idx in reference.mapping.items():
+            dist = placement.distribution(vr)
+            assert dist[idx] == pytest.approx(1.0)
+
+    def test_random_policy_spreads_mass(self, machine, fir_function):
+        placement = PolicyPlacement(
+            fir_function, machine,
+            policy_factory=lambda seed: RandomPolicy(seed=seed),
+            samples=16,
+        )
+        # Pick any virtual register: its mass should not be concentrated.
+        some_vreg = next(iter(fir_function.virtual_registers()))
+        dist = placement.distribution(some_vreg)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist.max() < 1.0  # spread over several samples
+
+    def test_chessboard_mass_on_preferred_color(self, machine, fir_function):
+        placement = PolicyPlacement(
+            fir_function, machine,
+            policy_factory=lambda seed: ChessboardPolicy(),
+            samples=2,
+        )
+        geometry = machine.geometry
+        for vr in fir_function.virtual_registers():
+            dist = placement.distribution(vr)
+            if dist.sum() == 0:
+                continue
+            for idx in np.nonzero(dist)[0]:
+                assert geometry.chessboard_color(int(idx)) == 0
+
+    def test_spill_probability_zero_on_big_machine(self, machine, fir_function):
+        placement = PolicyPlacement(fir_function, machine, samples=2)
+        for vr in fir_function.virtual_registers():
+            assert placement.spill_probability(vr) == pytest.approx(0.0)
+
+    def test_spill_probability_under_pressure(self, fir_function):
+        from repro.arch import MachineDescription, RegisterFileGeometry
+
+        tiny = MachineDescription(
+            geometry=RegisterFileGeometry(rows=2, cols=2)
+        )
+        placement = PolicyPlacement(fir_function, tiny, samples=2)
+        spilled_any = any(
+            placement.spill_probability(vr) > 0.0
+            for vr in fir_function.virtual_registers()
+        )
+        assert spilled_any
+
+    def test_invalid_samples(self, machine, fir_function):
+        from repro.errors import ThermalModelError
+
+        with pytest.raises(ThermalModelError):
+            PolicyPlacement(fir_function, machine, samples=0)
+
+
+class TestPredictiveAnalysis:
+    def test_tdfa_runs_preallocation(self, machine, fir_function):
+        """The paper's headline: analysis before register allocation."""
+        from repro.core import analyze
+
+        placement = PolicyPlacement(fir_function, machine, samples=4)
+        result = analyze(fir_function, machine, delta=0.05, placement=placement)
+        assert result.converged
+        assert result.peak_state().peak > 318.15
+
+    def test_predictive_matches_exact_for_deterministic_policy(
+        self, machine, fir_function
+    ):
+        """First-free is fully predictable pre-allocation: the predictive
+        analysis must agree with the post-assignment analysis."""
+        from repro.core import ExactPlacement, analyze
+
+        placement = PolicyPlacement(
+            fir_function, machine,
+            policy_factory=lambda seed: FirstFreePolicy(), samples=1,
+        )
+        predictive = analyze(fir_function, machine, delta=0.01,
+                             placement=placement)
+        allocation = allocate_linear_scan(fir_function, machine, FirstFreePolicy())
+        exact = analyze(allocation.function, machine, delta=0.01)
+        assert predictive.peak_state().peak == pytest.approx(
+            exact.peak_state().peak, abs=0.05
+        )

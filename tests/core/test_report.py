@@ -1,0 +1,54 @@
+"""Report rendering smoke tests."""
+
+import pytest
+
+from repro.arch import rf64
+from repro.core import (
+    ExactPlacement,
+    analyze,
+    convergence_table,
+    evaluate_rules,
+    format_result,
+    rank_critical_variables,
+)
+from repro.regalloc import allocate_linear_scan
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def result_and_placement():
+    machine = rf64()
+    wl = load("fir")
+    allocated = allocate_linear_scan(wl.function, machine).function
+    result = analyze(allocated, machine, delta=0.05)
+    return machine, result, ExactPlacement(64)
+
+
+def test_format_result_mentions_convergence(result_and_placement):
+    _m, result, _p = result_and_placement
+    text = format_result(result)
+    assert "converged" in text
+    assert "hottest instructions" in text
+    assert "peak thermal map" in text
+
+
+def test_format_result_with_criticals_and_plan(result_and_placement):
+    machine, result, placement = result_and_placement
+    criticals = rank_critical_variables(result, placement, top_k=3)
+    plan = evaluate_rules(result, placement, machine)
+    text = format_result(result, criticals=criticals, plan=plan)
+    assert "critical variables" in text
+    assert "thermal plan" in text
+
+
+def test_format_result_without_map(result_and_placement):
+    _m, result, _p = result_and_placement
+    assert "peak thermal map" not in format_result(result, show_map=False)
+
+
+def test_convergence_table_columns(result_and_placement):
+    _m, result, _p = result_and_placement
+    table = convergence_table([(0.05, result), (0.01, result)])
+    lines = table.splitlines()
+    assert "delta" in lines[0]
+    assert len(lines) == 3

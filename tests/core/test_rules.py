@@ -1,0 +1,103 @@
+"""The §4 rule engine: firing conditions and plan ordering."""
+
+import pytest
+
+from repro.arch import rf16, rf64
+from repro.core import (
+    AllocationPlacement,
+    RuleConfig,
+    analyze,
+    evaluate_rules,
+)
+from repro.regalloc import allocate_linear_scan
+from repro.workloads import load, pressure_program
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+def plan_for(workload, machine, config=None, delta=0.05):
+    allocation = allocate_linear_scan(workload.function, machine)
+    placement = AllocationPlacement(allocation, machine.geometry.num_registers)
+    result = analyze(workload.function, machine, delta=delta, placement=placement)
+    return evaluate_rules(result, placement, machine, config)
+
+
+class TestRuleFiring:
+    def test_hotspot_kernel_triggers_spill_or_reassign(self, machine):
+        # fib concentrates heat on two registers; with a threshold below
+        # its predicted gradient the spread-or-spill rule must fire.
+        config = RuleConfig(gradient_threshold=0.2)
+        plan = plan_for(load("fib"), machine, config=config)
+        names = plan.pass_names()
+        assert "spill_critical" in names or "reassign" in names
+
+    def test_quiet_program_triggers_little(self, machine, straightline):
+        from repro.workloads.kernels import Workload
+
+        wl = Workload(name="s", description="", function=straightline)
+        plan = plan_for(wl, machine, config=RuleConfig(gradient_threshold=5.0))
+        assert "spill_critical" not in plan.pass_names()
+
+    def test_chessboard_viable_at_low_pressure(self, machine):
+        plan = plan_for(load("fib"), machine)
+        assert "chessboard_assignment" in plan.pass_names()
+
+    def test_chessboard_not_viable_at_high_pressure(self):
+        machine = rf16()  # 16 registers; pressure > 8 kills the chessboard
+        plan = plan_for(pressure_program(12, iterations=30), machine)
+        assert "chessboard_assignment" not in plan.pass_names()
+
+    def test_nop_rule_gated_by_threshold(self, machine):
+        low_bar = RuleConfig(peak_threshold=0.05)
+        plan = plan_for(load("fir"), machine, config=low_bar)
+        assert "insert_nops" in plan.pass_names()
+        high_bar = RuleConfig(peak_threshold=500.0)
+        plan = plan_for(load("fir"), machine, config=high_bar)
+        assert "insert_nops" not in plan.pass_names()
+
+    def test_schedule_rule_on_dependent_code(self, machine):
+        plan = plan_for(load("iir"), machine)
+        assert "thermal_schedule" in plan.pass_names()
+
+
+class TestPlanStructure:
+    def test_nops_always_last(self, machine):
+        config = RuleConfig(peak_threshold=0.05)  # force the NOP rule on
+        plan = plan_for(load("fir"), machine, config=config)
+        names = plan.pass_names()
+        assert names[-1] == "insert_nops"
+
+    def test_ordered_by_priority(self, machine):
+        plan = plan_for(load("iir"), machine)
+        priorities = [r.priority for r in plan.ordered()]
+        assert priorities == sorted(priorities)
+
+    def test_plan_reports_headline_numbers(self, machine):
+        plan = plan_for(load("fir"), machine)
+        assert plan.peak > 318.0
+        assert plan.pressure > 0
+        assert plan.function_name == "fir"
+
+    def test_str_rendering(self, machine):
+        plan = plan_for(load("fir"), machine)
+        text = str(plan)
+        assert "thermal plan" in text
+        for rec in plan.ordered():
+            assert rec.pass_name in text
+
+
+class TestRecommendationContent:
+    def test_spill_targets_are_critical_registers(self, machine):
+        plan = plan_for(load("fib"), machine)
+        spill = [r for r in plan.ordered() if r.pass_name == "spill_critical"]
+        if spill:
+            assert len(spill[0].targets) >= 1
+
+    def test_rationales_are_informative(self, machine):
+        plan = plan_for(load("iir"), machine)
+        for rec in plan.ordered():
+            assert rec.rationale
+            assert rec.expected_effect

@@ -1,0 +1,152 @@
+"""Affine function summaries: extraction exactness and composition."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf16, rf64
+from repro.core import (
+    TDFAConfig,
+    ThermalDataflowAnalysis,
+    compose_pipeline,
+    summarize_function,
+)
+from repro.errors import DataflowError
+from repro.regalloc import allocate_linear_scan
+from repro.thermal import RFThermalModel, ThermalState
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    # 16-entry RF keeps the (nodes+1) probe runs fast.
+    return rf16()
+
+
+@pytest.fixture(scope="module")
+def model(machine):
+    return RFThermalModel(machine.geometry, energy=machine.energy)
+
+
+@pytest.fixture(scope="module")
+def allocated(machine):
+    out = {}
+    for name in ("fib", "crc32"):
+        wl = load(name)
+        out[name] = allocate_linear_scan(wl.function, machine).function
+    return out
+
+
+@pytest.fixture(scope="module")
+def summaries(machine, model, allocated):
+    return {
+        name: summarize_function(func, machine, model=model, delta=0.002)
+        for name, func in allocated.items()
+    }
+
+
+def run_tdfa(machine, model, function, entry_state=None, delta=0.002):
+    analysis = ThermalDataflowAnalysis(
+        machine=machine, model=model, config=TDFAConfig(delta=delta)
+    )
+    return analysis.run(function, entry_state=entry_state)
+
+
+class TestExtraction:
+    def test_apply_matches_direct_analysis_at_ambient(
+        self, machine, model, allocated, summaries
+    ):
+        direct = run_tdfa(machine, model, allocated["fib"]).exit_state()
+        via_summary = summaries["fib"].apply(model.ambient_state())
+        assert direct.max_abs_diff(via_summary) < 0.02
+
+    def test_apply_matches_on_arbitrary_entry_state(
+        self, machine, model, allocated, summaries
+    ):
+        """The affine map must predict exits from *any* entry state."""
+        rng = np.random.default_rng(7)
+        entry = ThermalState(
+            model.grid,
+            model.params.ambient + rng.uniform(0, 10, model.grid.num_nodes),
+        )
+        direct = run_tdfa(
+            machine, model, allocated["fib"], entry_state=entry
+        ).exit_state()
+        predicted = summaries["fib"].apply(entry)
+        assert direct.max_abs_diff(predicted) < 0.05
+
+    def test_contraction_strictly_below_one(self, summaries):
+        for summary in summaries.values():
+            assert 0.0 < summary.contraction_factor() < 1.0
+
+    def test_longer_function_contracts_more(self, summaries):
+        # crc32 runs far more weighted instructions than fib: more of the
+        # entry state is forgotten.
+        assert (
+            summaries["crc32"].contraction_factor()
+            < summaries["fib"].contraction_factor()
+        )
+
+    def test_ambient_peak_recorded(self, summaries):
+        for summary in summaries.values():
+            assert summary.ambient_peak > 318.15
+
+
+class TestComposition:
+    def test_compose_matches_sequential_analyses(
+        self, machine, model, allocated, summaries
+    ):
+        """summary(g) ∘ summary(f) == analyze g starting from f's exit."""
+        f_exit = run_tdfa(machine, model, allocated["fib"]).exit_state()
+        direct = run_tdfa(
+            machine, model, allocated["crc32"], entry_state=f_exit
+        ).exit_state()
+        composed = summaries["crc32"].compose(summaries["fib"])
+        predicted = composed.apply(model.ambient_state())
+        assert direct.max_abs_diff(predicted) < 0.05
+
+    def test_pipeline_helper_order(self, model, summaries):
+        ab = compose_pipeline([summaries["fib"], summaries["crc32"]])
+        manual = summaries["crc32"].compose(summaries["fib"])
+        assert np.allclose(ab.matrix, manual.matrix)
+        assert np.allclose(ab.offset, manual.offset)
+        assert ab.function_name == "fib;crc32"
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(DataflowError):
+            compose_pipeline([])
+
+    def test_fixed_point_is_steady_schedule(self, model, summaries):
+        """Applying the summary to its fixed point returns the fixed point."""
+        summary = summaries["fib"]
+        steady = summary.fixed_point()
+        assert steady is not None
+        state = ThermalState(model.grid, steady)
+        again = summary.apply(state)
+        assert again.max_abs_diff(state) < 1e-6
+
+    def test_repeated_application_converges_to_fixed_point(
+        self, model, summaries
+    ):
+        summary = summaries["crc32"]
+        steady = ThermalState(model.grid, summary.fixed_point())
+        state = model.ambient_state()
+        for _ in range(60):
+            state = summary.apply(state)
+        assert state.max_abs_diff(steady) < 0.01
+
+
+class TestValidation:
+    def test_max_merge_rejected(self, machine, allocated):
+        with pytest.raises(DataflowError, match="affine merge"):
+            summarize_function(allocated["fib"], machine, merge="max")
+
+    def test_leakage_feedback_rejected(self, allocated):
+        leaky = rf16(leakage_feedback=0.05)
+        func = allocate_linear_scan(load("fib").function, leaky).function
+        with pytest.raises(DataflowError, match="linear thermal model"):
+            summarize_function(func, leaky)
+
+    def test_grid_mismatch_rejected(self, machine, summaries):
+        big_model = RFThermalModel(rf64().geometry)
+        with pytest.raises(DataflowError, match="grid"):
+            summaries["fib"].apply(big_model.ambient_state())

@@ -1,0 +1,153 @@
+"""The thermal data flow analysis (Fig. 2): convergence, states, merges."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf64
+from repro.core import TDFAConfig, ThermalDataflowAnalysis, analyze
+from repro.errors import ConvergenceError, DataflowError
+from repro.regalloc import allocate_linear_scan
+from repro.sim import Interpreter
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def allocated_fir(machine):
+    return allocate_linear_scan(load("fir").function, machine).function
+
+
+class TestConvergence:
+    def test_converges_on_loop_kernel(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.01)
+        assert result.converged
+        assert result.final_delta <= 0.01
+
+    def test_iterations_grow_as_delta_shrinks(self, machine, allocated_fir):
+        loose = analyze(allocated_fir, machine, delta=0.5)
+        tight = analyze(allocated_fir, machine, delta=0.001)
+        assert tight.iterations > loose.iterations
+
+    def test_delta_history_eventually_decreases(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.01)
+        history = [d for d in result.delta_history if np.isfinite(d)]
+        assert history[-1] < history[0]
+
+    def test_straightline_converges_in_few_sweeps(self, machine, straightline):
+        allocated = allocate_linear_scan(straightline, machine).function
+        result = analyze(allocated, machine, delta=0.01)
+        # No loops: the second sweep already sees an unchanged state.
+        assert result.iterations <= 3
+
+    def test_nonconvergence_reported_with_runaway_leakage(self, straightline):
+        hot_machine = rf64(leakage_feedback=0.5)
+        # Crank the leakage baseline so the fixed point escapes.
+        from repro.arch import EnergyModel, MachineDescription
+
+        hot_machine = MachineDescription(
+            geometry=hot_machine.geometry,
+            energy=EnergyModel(leakage_power=5e-3, leakage_temp_coeff=0.5),
+        )
+        wl = load("fib")
+        allocated = allocate_linear_scan(wl.function, hot_machine).function
+        result = analyze(allocated, hot_machine, delta=0.001, max_iterations=300)
+        assert not result.converged
+
+    def test_raise_on_divergence_flag(self):
+        from repro.arch import EnergyModel, MachineDescription, RegisterFileGeometry
+
+        hot_machine = MachineDescription(
+            geometry=RegisterFileGeometry(rows=8, cols=8),
+            energy=EnergyModel(leakage_power=5e-3, leakage_temp_coeff=0.5),
+        )
+        wl = load("fib")
+        allocated = allocate_linear_scan(wl.function, hot_machine).function
+        analysis = ThermalDataflowAnalysis(
+            machine=hot_machine,
+            config=TDFAConfig(delta=0.001, max_iterations=200,
+                              raise_on_divergence=True),
+        )
+        with pytest.raises(ConvergenceError) as err:
+            analysis.run(allocated)
+        assert err.value.partial_result is not None
+
+
+class TestResultContents:
+    def test_state_after_every_instruction(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.05)
+        for name, block in allocated_fir.blocks.items():
+            for idx in range(len(block.instructions)):
+                state = result.state_after(name, idx)
+                assert state.peak >= machine.energy.leakage_power  # sane
+
+    def test_temperatures_at_least_ambient(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.05)
+        ambient = 318.15
+        for state in result.after.values():
+            assert state.min >= ambient - 1e-9
+
+    def test_loop_body_hotter_than_entry(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.01)
+        entry_out = result.block_out["entry"]
+        hottest = result.peak_state()
+        assert hottest.peak > entry_out.peak
+
+    def test_peak_state_dominates_all(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.05)
+        peak = result.peak_state()
+        for state in result.after.values():
+            assert np.all(peak.temperatures >= state.temperatures - 1e-12)
+
+    def test_hottest_instructions_sorted(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.05)
+        top = result.hottest_instructions(5)
+        peaks = [p for (_b, _i, p) in top]
+        assert peaks == sorted(peaks, reverse=True)
+
+    def test_exit_state_present(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.05)
+        assert result.exit_state().peak >= 318.15
+
+    def test_frequency_weighted_state(self, machine, allocated_fir):
+        result = analyze(allocated_fir, machine, delta=0.05)
+        weighted = result.frequency_weighted_state()
+        assert weighted.peak <= result.peak_state().peak + 1e-9
+
+
+class TestMergeModes:
+    @pytest.mark.parametrize("merge", ["max", "mean", "freq"])
+    def test_all_modes_converge(self, machine, allocated_fir, merge):
+        result = analyze(allocated_fir, machine, delta=0.05, merge=merge)
+        assert result.converged
+
+    def test_max_merge_at_least_freq_merge(self, machine, allocated_fir):
+        by_max = analyze(allocated_fir, machine, delta=0.01, merge="max")
+        by_freq = analyze(allocated_fir, machine, delta=0.01, merge="freq")
+        assert by_max.peak_state().peak >= by_freq.peak_state().peak - 1e-6
+
+    def test_invalid_merge_rejected(self):
+        with pytest.raises(DataflowError):
+            TDFAConfig(merge="nonsense")
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(DataflowError):
+            TDFAConfig(delta=0.0)
+
+
+class TestAgainstEmulation:
+    def test_prediction_correlates_with_ground_truth(self, machine):
+        from repro.sim import ThermalEmulator, compare_to_emulation
+
+        wl = load("iir")
+        allocation = allocate_linear_scan(wl.function, machine)
+        result = analyze(allocation.function, machine, delta=0.005)
+        emulation = ThermalEmulator(machine).run(
+            allocation.function, args=wl.args, memory=dict(wl.memory)
+        )
+        report = compare_to_emulation(result.peak_state(), emulation)
+        assert report.pearson_r > 0.8
+        assert report.rmse_kelvin < 2.0

@@ -1,0 +1,79 @@
+"""Available expressions: must-analysis semantics."""
+
+from repro.dataflow import available_expressions, expression_of
+from repro.ir import parse_function, parse_instruction
+
+
+class TestExpressionExtraction:
+    def test_binary_is_expression(self):
+        expr = expression_of(parse_instruction("%c = add %a, %b"))
+        assert expr == ("add", ("%a", "%b"))
+
+    def test_commutative_canonicalization(self):
+        a = expression_of(parse_instruction("%c = add %b, %a"))
+        b = expression_of(parse_instruction("%c = add %a, %b"))
+        assert a == b
+
+    def test_non_commutative_keeps_order(self):
+        a = expression_of(parse_instruction("%c = sub %b, %a"))
+        b = expression_of(parse_instruction("%c = sub %a, %b"))
+        assert a != b
+
+    def test_loads_are_not_expressions(self):
+        assert expression_of(parse_instruction("%c = load %a")) is None
+        assert expression_of(parse_instruction("%c = li 4")) is None
+
+
+class TestAvailability:
+    def test_expression_available_after_computation(self):
+        src = """
+        func @f(%a, %b) {
+        entry:
+          %t = add %a, %b
+          jump next
+        next:
+          %u = add %a, %b
+          ret %u
+        }
+        """
+        info = available_expressions(parse_function(src))
+        assert ("add", ("%a", "%b")) in info.avail_in["next"]
+
+    def test_redefinition_kills(self):
+        src = """
+        func @f(%a, %b) {
+        entry:
+          %t = add %a, %b
+          %a = li 0
+          jump next
+        next:
+          ret %a
+        }
+        """
+        info = available_expressions(parse_function(src))
+        assert ("add", ("%a", "%b")) not in info.avail_in["next"]
+
+    def test_must_semantics_at_join(self):
+        src = """
+        func @f(%a, %b, %c) {
+        entry:
+          br %c, left, right
+        left:
+          %t = add %a, %b
+          %s = mul %a, %b
+          jump join
+        right:
+          %u = add %a, %b
+          jump join
+        join:
+          ret %a
+        }
+        """
+        info = available_expressions(parse_function(src))
+        # add computed on both paths; mul only on one.
+        assert ("add", ("%a", "%b")) in info.avail_in["join"]
+        assert ("mul", ("%a", "%b")) not in info.avail_in["join"]
+
+    def test_entry_has_nothing(self, straightline):
+        info = available_expressions(straightline)
+        assert info.avail_in["entry"] == frozenset()

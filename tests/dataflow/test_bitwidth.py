@@ -1,0 +1,106 @@
+"""Bitwidth (interval) analysis: ranges, widening, derived widths."""
+
+from repro.dataflow import bitwidth_analysis
+from repro.dataflow.bitwidth import BOOL, TOP, Interval
+from repro.ir import parse_function
+from repro.ir.values import vreg
+
+
+class TestIntervalType:
+    def test_clamping_to_word(self):
+        iv = Interval(-(2**40), 2**40)
+        assert iv.lo == -(2**31)
+        assert iv.hi == 2**31 - 1
+
+    def test_hull(self):
+        assert Interval(0, 5).hull(Interval(3, 9)) == Interval(0, 9)
+
+    def test_bitwidth_positive(self):
+        assert Interval(0, 1).bitwidth == 1
+        assert Interval(0, 255).bitwidth == 8
+        assert Interval(0, 256).bitwidth == 9
+
+    def test_bitwidth_negative_needs_sign_bit(self):
+        assert Interval(-1, 0).bitwidth == 1
+        assert Interval(-128, 127).bitwidth == 8
+        assert Interval(-129, 0).bitwidth == 9
+
+    def test_widening(self):
+        grown = Interval(0, 10).widen(Interval(0, 5))
+        assert grown.hi == 2**31 - 1
+        assert grown.lo == 0
+        stable = Interval(0, 5).widen(Interval(0, 5))
+        assert stable == Interval(0, 5)
+
+
+class TestAnalysis:
+    def test_constants_exact(self):
+        f = parse_function(
+            "func @f() {\nentry:\n  %a = li 12\n  ret %a\n}\n"
+        )
+        info = bitwidth_analysis(f)
+        assert info.intervals[vreg("a")] == Interval(12, 12)
+        assert info.width(vreg("a")) == 4
+
+    def test_comparison_is_boolean(self, loop):
+        info = bitwidth_analysis(loop)
+        assert info.intervals[vreg("c")] == BOOL
+        assert info.width(vreg("c")) == 1
+
+    def test_add_of_constants(self):
+        src = """
+        func @f() {
+        entry:
+          %a = li 100
+          %b = li 27
+          %c = add %a, %b
+          ret %c
+        }
+        """
+        info = bitwidth_analysis(parse_function(src))
+        assert info.intervals[vreg("c")] == Interval(127, 127)
+
+    def test_params_unknown(self, straightline):
+        info = bitwidth_analysis(straightline)
+        assert info.width(vreg("a")) == 32
+
+    def test_loop_counter_widens_and_terminates(self, loop):
+        # %i = %i + 1 in a loop must widen rather than iterate 2^31 times.
+        info = bitwidth_analysis(loop, max_sweeps=64)
+        assert info.intervals[vreg("i")].lo >= 0
+        assert info.intervals[vreg("i")].hi == 2**31 - 1
+
+    def test_shift_narrowing(self):
+        src = """
+        func @f() {
+        entry:
+          %a = li 255
+          %s = li 4
+          %b = shr %a, %s
+          ret %b
+        }
+        """
+        info = bitwidth_analysis(parse_function(src))
+        assert info.intervals[vreg("b")] == Interval(15, 15)
+        assert info.width(vreg("b")) == 4
+
+    def test_and_mask_narrowing(self):
+        src = """
+        func @f(%x) {
+        entry:
+          %m = li 7
+          %b = and %x, %m
+          ret %b
+        }
+        """
+        info = bitwidth_analysis(parse_function(src))
+        assert info.intervals[vreg("b")].hi <= 7
+        assert info.width(vreg("b")) <= 3
+
+    def test_mean_width(self, loop):
+        info = bitwidth_analysis(loop)
+        assert 1.0 <= info.mean_width() <= 32.0
+
+    def test_unknown_register_defaults_to_word(self, loop):
+        info = bitwidth_analysis(loop)
+        assert info.width(vreg("never_defined")) == 32

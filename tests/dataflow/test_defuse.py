@@ -1,0 +1,47 @@
+"""Def-use chains: counts and def→use links."""
+
+from repro.dataflow import def_use_chains
+from repro.ir import parse_function
+from repro.ir.values import vreg
+
+
+def test_access_counts(loop):
+    chains = def_use_chains(loop)
+    # %i: defs in entry + body; uses in head cmp, body mul (twice), body add.
+    assert chains.def_count(vreg("i")) == 2
+    assert chains.use_count(vreg("i")) == 4
+    assert chains.access_count(vreg("i")) == 6
+
+
+def test_du_links(loop):
+    chains = def_use_chains(loop)
+    uses_of_entry_def = chains.uses_of_def(vreg("acc"), ("entry", 0))
+    # entry def of %acc reaches the body add and the exit ret.
+    assert ("body", 1, 0) in uses_of_entry_def
+    assert ("exit", 0, 0) in uses_of_entry_def
+
+
+def test_dead_register_detected():
+    src = """
+    func @f() {
+    entry:
+      %dead = li 5
+      %live = li 1
+      ret %live
+    }
+    """
+    chains = def_use_chains(parse_function(src))
+    assert chains.is_dead(vreg("dead"))
+    assert not chains.is_dead(vreg("live"))
+
+
+def test_multiple_uses_same_instruction(straightline):
+    chains = def_use_chains(straightline)
+    # %a used at entry[0] operand 0 and entry[1] operand 1.
+    assert chains.use_count(vreg("a")) == 2
+
+
+def test_params_have_no_defs(straightline):
+    chains = def_use_chains(straightline)
+    assert chains.def_count(vreg("a")) == 0
+    assert chains.use_count(vreg("a")) > 0

@@ -1,0 +1,93 @@
+"""Generic solver: directions, meets, convergence guard."""
+
+import pytest
+
+from repro.dataflow.framework import (
+    DataflowProblem,
+    Direction,
+    SetIntersectionProblem,
+    SetUnionProblem,
+    solve,
+)
+from repro.errors import DataflowError
+from repro.ir import parse_function
+
+
+class ReachableNamesProblem(SetUnionProblem):
+    """Toy forward problem: which block names can have executed."""
+
+    direction = Direction.FORWARD
+
+    def transfer(self, function, block_name, value):
+        return value | {block_name}
+
+
+class NamesToExitProblem(SetUnionProblem):
+    """Toy backward problem: which block names may still execute."""
+
+    direction = Direction.BACKWARD
+
+    def transfer(self, function, block_name, value):
+        return value | {block_name}
+
+
+def test_forward_accumulates_paths(diamond):
+    result = solve(diamond, ReachableNamesProblem())
+    assert result.exit("join") == {"entry", "small", "big", "join"}
+    assert result.entry("small") == {"entry"}
+
+
+def test_forward_loop_reaches_fixed_point(loop):
+    result = solve(loop, ReachableNamesProblem())
+    assert result.exit("head") >= {"entry", "head", "body"}
+    assert result.iterations >= 2  # loop requires at least one extra sweep
+
+
+def test_backward_collects_successors(diamond):
+    result = solve(diamond, NamesToExitProblem())
+    # in_values = at block entry (program order).
+    assert result.entry("entry") == {"entry", "small", "big", "join"}
+    assert result.entry("join") == {"join"}
+
+
+class UnboundedProblem(DataflowProblem):
+    """A lattice of infinite height: values grow forever around a loop."""
+
+    direction = Direction.FORWARD
+
+    def boundary(self, function):
+        return 0
+
+    def initial(self, function):
+        return 0
+
+    def meet(self, values):
+        return max(values) if values else 0
+
+    def transfer(self, function, block_name, value):
+        return value + 1  # grows without bound through the back edge
+
+
+def test_non_convergent_problem_raises(loop):
+    with pytest.raises(DataflowError, match="did not converge"):
+        solve(loop, UnboundedProblem(), max_iterations=10)
+
+
+class MustPassProblem(SetIntersectionProblem):
+    """Toy must-problem: block names on *every* path from entry."""
+
+    direction = Direction.FORWARD
+
+    def universe(self, function):
+        return frozenset(function.blocks)
+
+    def transfer(self, function, block_name, value):
+        return value | {block_name}
+
+
+def test_intersection_meet(diamond):
+    result = solve(diamond, MustPassProblem())
+    # join is reached via small OR big: only entry (and join) are guaranteed.
+    assert result.entry("join") == {"entry", "small", "big"} & result.entry("join") | {"entry"}
+    assert "small" not in result.entry("join") or "big" not in result.entry("join")
+    assert result.exit("join") >= {"entry", "join"}

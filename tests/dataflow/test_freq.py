@@ -1,0 +1,102 @@
+"""Static execution-frequency estimation."""
+
+import pytest
+
+from repro.dataflow import edge_probabilities, static_profile
+from repro.errors import DataflowError
+from repro.ir import parse_function
+
+
+class TestEdgeProbabilities:
+    def test_unconditional_edges_are_certain(self, loop):
+        probs = edge_probabilities(loop)
+        assert probs[("entry", "head")] == 1.0
+        assert probs[("body", "head")] == 1.0
+
+    def test_loop_branch_favours_staying(self, loop):
+        probs = edge_probabilities(loop, loop_back_prob=0.9)
+        assert probs[("head", "body")] == pytest.approx(0.9)
+        assert probs[("head", "exit")] == pytest.approx(0.1)
+
+    def test_non_loop_branch_splits_evenly(self, diamond):
+        probs = edge_probabilities(diamond)
+        assert probs[("entry", "small")] == pytest.approx(0.5)
+        assert probs[("entry", "big")] == pytest.approx(0.5)
+
+    def test_outgoing_probabilities_sum_to_one(self, nested):
+        probs = edge_probabilities(nested)
+        outgoing: dict[str, float] = {}
+        for (src, _dst), p in probs.items():
+            outgoing[src] = outgoing.get(src, 0.0) + p
+        for block, total in outgoing.items():
+            assert total == pytest.approx(1.0), block
+
+    def test_invalid_prob_rejected(self, loop):
+        with pytest.raises(DataflowError):
+            edge_probabilities(loop, loop_back_prob=1.0)
+
+
+class TestBlockFrequencies:
+    def test_entry_is_one(self, loop, diamond, nested):
+        for f in (loop, diamond, nested):
+            assert static_profile(f).block_freq["entry"] == pytest.approx(1.0)
+
+    def test_loop_trip_count(self, loop):
+        profile = static_profile(loop, loop_back_prob=0.9)
+        # Expected header executions: 1 / (1 - 0.9) = 10.
+        assert profile.block_freq["head"] == pytest.approx(10.0)
+        assert profile.block_freq["body"] == pytest.approx(9.0)
+        assert profile.block_freq["exit"] == pytest.approx(1.0)
+
+    def test_nested_loops_multiply(self, nested):
+        profile = static_profile(nested, loop_back_prob=0.9)
+        # Inner body ≈ outer trips × inner trips.
+        assert profile.block_freq["ibody"] > 5 * profile.block_freq["oinit"]
+
+    def test_diamond_splits(self, diamond):
+        profile = static_profile(diamond)
+        assert profile.block_freq["small"] == pytest.approx(0.5)
+        assert profile.block_freq["big"] == pytest.approx(0.5)
+        assert profile.block_freq["join"] == pytest.approx(1.0)
+
+    def test_edge_freq(self, loop):
+        profile = static_profile(loop)
+        assert profile.edge_freq("head", "body") == pytest.approx(
+            profile.block_freq["head"] * 0.9
+        )
+
+    def test_weighted_instruction_total(self, loop):
+        profile = static_profile(loop)
+        total = profile.total_weighted_instructions()
+        manual = sum(
+            profile.block_freq[name] * len(block.instructions)
+            for name, block in loop.blocks.items()
+        )
+        assert total == pytest.approx(manual)
+
+
+class TestPathologies:
+    def test_infinite_loop_damped(self):
+        src = """
+        func @spin() {
+        entry:
+          jump spin
+        spin:
+          %x = li 1
+          jump spin
+        }
+        """
+        profile = static_profile(parse_function(src))
+        assert profile.block_freq["spin"] > 1.0  # finite, damped
+
+    def test_branch_to_same_target(self):
+        src = """
+        func @f(%c) {
+        entry:
+          br %c, out, out
+        out:
+          ret
+        }
+        """
+        profile = static_profile(parse_function(src))
+        assert profile.block_freq["out"] == pytest.approx(1.0)

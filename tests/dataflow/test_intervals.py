@@ -1,0 +1,83 @@
+"""Linear order and live intervals."""
+
+from repro.dataflow import (
+    linear_order,
+    live_intervals,
+    liveness,
+    pressure_profile,
+)
+from repro.ir.values import vreg
+
+
+class TestLinearOrder:
+    def test_covers_all_instructions(self, nested):
+        order = linear_order(nested)
+        assert len(order) == nested.instruction_count()
+
+    def test_entry_first(self, loop):
+        order = linear_order(loop)
+        assert order.block_order[0] == "entry"
+        assert order.positions[0] == ("entry", 0)
+
+    def test_index_of_inverse(self, loop):
+        order = linear_order(loop)
+        for idx, (block, i) in enumerate(order.positions):
+            assert order.index_of(block, i) == idx
+            assert order.instruction_at(idx) is loop.block(block).instructions[i]
+
+    def test_iteration_protocol(self, straightline):
+        order = linear_order(straightline)
+        seen = [idx for idx, _inst in order]
+        assert seen == list(range(len(order)))
+
+
+class TestLiveIntervals:
+    def test_interval_covers_def_to_last_use(self, straightline):
+        intervals = live_intervals(straightline)
+        t0 = intervals[vreg("t0")]
+        # def at index 0, last use at index 1.
+        assert t0.start == 0
+        assert t0.end >= 2
+
+    def test_loop_carried_interval_spans_loop(self, loop):
+        order = linear_order(loop)
+        intervals = live_intervals(loop, order)
+        acc = intervals[vreg("acc")]
+        # %acc is live from entry through the whole loop to the ret.
+        last_index = len(order) - 1
+        assert acc.start <= 1
+        assert acc.end >= last_index  # ret uses it at the very end
+
+    def test_access_positions_recorded(self, loop):
+        intervals = live_intervals(loop)
+        i_interval = intervals[vreg("i")]
+        assert i_interval.access_count == 6  # 2 defs + 4 uses
+        assert i_interval.accesses == sorted(i_interval.accesses)
+
+    def test_density(self, loop):
+        intervals = live_intervals(loop)
+        # %c lives one instruction (cmp -> br): maximal density.
+        c = intervals[vreg("c")]
+        assert c.density >= 0.5
+
+    def test_overlap_matches_interference_intuition(self, loop):
+        intervals = live_intervals(loop)
+        assert intervals[vreg("acc")].overlaps(intervals[vreg("i")])
+        assert intervals[vreg("n")].overlaps(intervals[vreg("acc")])
+
+    def test_params_start_at_zero(self, straightline):
+        intervals = live_intervals(straightline)
+        assert intervals[vreg("a")].start == 0
+        assert intervals[vreg("b")].start == 0
+
+
+class TestPressureProfile:
+    def test_profile_length(self, loop):
+        order = linear_order(loop)
+        profile = pressure_profile(loop, order)
+        assert len(profile) == len(order) + 1
+
+    def test_profile_peak_at_least_liveness_pressure(self, loop):
+        # Interval pressure over-approximates instantaneous liveness.
+        profile = pressure_profile(loop)
+        assert max(profile) >= liveness(loop).max_pressure() - 1

@@ -1,0 +1,80 @@
+"""Live-variable analysis on the canonical shapes."""
+
+from repro.dataflow import liveness
+from repro.ir import parse_function
+from repro.ir.values import vreg
+
+
+class TestBlockLevel:
+    def test_straightline(self, straightline):
+        info = liveness(straightline)
+        assert info.live_in["entry"] == frozenset({vreg("a"), vreg("b")})
+        assert info.live_out["entry"] == frozenset()
+
+    def test_loop_carried_values_live_at_header(self, loop):
+        info = liveness(loop)
+        assert vreg("acc") in info.live_in["head"]
+        assert vreg("i") in info.live_in["head"]
+        assert vreg("n") in info.live_in["head"]
+
+    def test_dead_after_last_use(self, loop):
+        info = liveness(loop)
+        # %c is consumed by the branch; nothing outlives head.
+        assert vreg("c") not in info.live_out["head"]
+
+    def test_value_live_across_branch_arms(self, diamond):
+        info = liveness(diamond)
+        # %x is used in join, so it is live through both arms.
+        assert vreg("x") in info.live_out["small"] or vreg("x") in info.live_in["small"]
+        assert vreg("x") in info.live_in["big"]
+
+
+class TestInstructionLevel:
+    def test_per_instruction_chain(self, straightline):
+        info = liveness(straightline)
+        before = info.live_before("entry")
+        after = info.live_after("entry")
+        # Before the first add, params are live.
+        assert before[0] >= {vreg("a"), vreg("b")}
+        # After the final ret, nothing is live.
+        assert after[-1] == set()
+        # %t0 dies at the mul that consumes it.
+        assert vreg("t0") in before[1]
+        assert vreg("t0") not in after[1]
+
+    def test_def_kills_liveness_backwards(self, loop):
+        info = liveness(loop)
+        before = info.live_before("body")
+        # %sq is not live before its defining mul.
+        assert vreg("sq") not in before[0]
+        assert vreg("sq") in info.live_after("body")[0]
+
+
+class TestPressure:
+    def test_max_pressure_straightline(self, straightline):
+        # a, b live together, then t1+b, never more than ~2-3.
+        assert liveness(straightline).max_pressure() <= 3
+
+    def test_max_pressure_loop(self, loop):
+        # n, acc, i (+c/sq transients) live through the loop.
+        pressure = liveness(loop).max_pressure()
+        assert 3 <= pressure <= 5
+
+    def test_pressure_scales_with_generator(self):
+        from repro.workloads import pressure_program
+
+        low = pressure_program(4).function
+        high = pressure_program(16).function
+        assert liveness(high).max_pressure() >= liveness(low).max_pressure() + 10
+
+    def test_dead_code_not_live(self):
+        src = """
+        func @f() {
+        entry:
+          %dead = li 42
+          %live = li 1
+          ret %live
+        }
+        """
+        info = liveness(parse_function(src))
+        assert vreg("dead") not in info.live_after("entry")[0]

@@ -1,0 +1,57 @@
+"""Reaching definitions on straightline, branching and loop code."""
+
+from repro.dataflow import reaching_definitions
+from repro.ir.values import vreg
+
+
+def test_straightline_single_defs(straightline):
+    info = reaching_definitions(straightline)
+    sites = info.defs_reaching("entry", 2, vreg("t1"))
+    assert sites == {("entry", 1)}
+
+
+def test_kill_within_block():
+    from repro.ir import parse_function
+
+    src = """
+    func @f() {
+    entry:
+      %a = li 1
+      %a = li 2
+      %b = copy %a
+      ret %b
+    }
+    """
+    info = reaching_definitions(parse_function(src))
+    # Only the second definition of %a reaches the copy.
+    assert info.defs_reaching("entry", 2, vreg("a")) == {("entry", 1)}
+
+
+def test_merge_at_join(diamond):
+    info = reaching_definitions(diamond)
+    # %x's incoming (parameter) definition is unaffected, but both arm
+    # definitions flow into the join.
+    r0 = info.all_def_sites(vreg("r0"))
+    r1 = info.all_def_sites(vreg("r1"))
+    assert r0 == {("small", 0)}
+    assert r1 == {("big", 0)}
+    reaching_join = {
+        (reg, site)
+        for reg, site in info.reach_in["join"]
+        if reg in (vreg("r0"), vreg("r1"))
+    }
+    assert (vreg("r0"), ("small", 0)) in reaching_join
+    assert (vreg("r1"), ("big", 0)) in reaching_join
+
+
+def test_loop_definitions_reach_around(loop):
+    info = reaching_definitions(loop)
+    # Both the entry li and the body add of %acc reach the loop header.
+    sites = info.defs_reaching("head", 0, vreg("acc"))
+    assert sites == {("entry", 0), ("body", 1)}
+
+
+def test_exit_sees_both(loop):
+    info = reaching_definitions(loop)
+    sites = info.defs_reaching("exit", 0, vreg("acc"))
+    assert sites == {("entry", 0), ("body", 1)}

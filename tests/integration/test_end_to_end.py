@@ -1,0 +1,187 @@
+"""Integration tests: the paper's claims, end to end.
+
+Each test here is a miniature version of one experiment from DESIGN.md —
+small enough to run in seconds, strong enough to catch a regression in
+the claim's *shape*.
+"""
+
+import pytest
+
+from repro.arch import rf64
+from repro.core import (
+    AllocationPlacement,
+    ExactPlacement,
+    PolicyPlacement,
+    UniformPlacement,
+    analyze,
+    rank_critical_variables,
+)
+from repro.regalloc import (
+    ChessboardPolicy,
+    FirstFreePolicy,
+    RandomPolicy,
+    allocate_linear_scan,
+)
+from repro.sim import ThermalEmulator, compare_to_emulation
+from repro.thermal import summarize
+from repro.workloads import load, pressure_program
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def emulator(machine):
+    return ThermalEmulator(machine)
+
+
+class TestFig1Shape:
+    """Fig. 1: first-free and random form hot spots; chessboard does not."""
+
+    @pytest.fixture(scope="class")
+    def maps(self, machine, emulator):
+        wl = load("fir")
+        results = {}
+        for policy in (FirstFreePolicy(), RandomPolicy(seed=1), ChessboardPolicy()):
+            allocation = allocate_linear_scan(wl.function, machine, policy)
+            results[policy.name] = emulator.steady_map(
+                allocation.function, memory=dict(wl.memory)
+            )
+        return results
+
+    def test_first_free_has_worst_gradient(self, maps):
+        assert (
+            maps["first-free"].max_gradient()
+            > maps["chessboard"].max_gradient()
+        )
+
+    def test_chessboard_most_uniform(self, maps):
+        assert maps["chessboard"].std < maps["first-free"].std
+        assert maps["chessboard"].std < maps["random"].std
+
+    def test_first_free_highest_peak(self, maps):
+        assert maps["first-free"].peak >= maps["chessboard"].peak
+
+
+class TestPressureCaveat:
+    """§2: the chessboard advantage collapses at high register pressure."""
+
+    @staticmethod
+    def _chessboard_allocation(machine, pressure_level):
+        wl = pressure_program(pressure_level, iterations=30)
+        return allocate_linear_scan(wl.function, machine, ChessboardPolicy())
+
+    def test_adjacency_appears_past_half_the_rf(self, machine):
+        """The structural collapse: one colour class suffices below half
+        the RF (no two used cells adjacent); past half it cannot."""
+        geometry = machine.geometry
+
+        def adjacent_pairs(allocation):
+            used = sorted(allocation.registers_used())
+            return sum(
+                1
+                for i, a in enumerate(used)
+                for b in used[i + 1:]
+                if geometry.manhattan_distance(a, b) == 1
+            )
+
+        assert adjacent_pairs(self._chessboard_allocation(machine, 8)) == 0
+        assert adjacent_pairs(self._chessboard_allocation(machine, 48)) > 0
+
+    def test_homogeneity_degrades_under_pressure(self, machine, emulator):
+        def sigma_at(pressure_level):
+            allocation = self._chessboard_allocation(machine, pressure_level)
+            return emulator.steady_map(allocation.function).std
+
+        assert sigma_at(48) > sigma_at(8)
+
+
+class TestAnalysisAccuracy:
+    """E3: the analysis predicts what the emulator measures."""
+
+    @pytest.mark.parametrize("name", ["fir", "iir", "crc32", "fib"])
+    def test_correlation_above_threshold(self, machine, emulator, name):
+        wl = load(name)
+        allocation = allocate_linear_scan(wl.function, machine)
+        analysis = analyze(allocation.function, machine, delta=0.005)
+        assert analysis.converged
+        emulation = emulator.run(
+            allocation.function, args=wl.args, memory=dict(wl.memory)
+        )
+        report = compare_to_emulation(analysis.peak_state(), emulation)
+        assert report.pearson_r > 0.75, name
+
+    def test_hottest_register_found(self, machine, emulator):
+        wl = load("fib")
+        allocation = allocate_linear_scan(wl.function, machine)
+        analysis = analyze(allocation.function, machine, delta=0.005)
+        emulation = emulator.run(allocation.function, memory=dict(wl.memory))
+        report = compare_to_emulation(analysis.peak_state(), emulation)
+        assert report.hottest_register_match
+
+
+class TestPredictiveMode:
+    """E7: pre-allocation analysis ranks the same critical variables."""
+
+    def test_policy_placement_beats_uniform(self, machine, emulator):
+        wl = load("fib")
+        allocation = allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+        emulation = emulator.run(allocation.function, memory=dict(wl.memory))
+
+        informed = PolicyPlacement(
+            wl.function, machine,
+            policy_factory=lambda seed: FirstFreePolicy(), samples=1,
+        )
+        naive = UniformPlacement(machine)
+        informed_result = analyze(
+            wl.function, machine, delta=0.01, placement=informed
+        )
+        naive_result = analyze(wl.function, machine, delta=0.01, placement=naive)
+
+        informed_report = compare_to_emulation(
+            informed_result.peak_state(), emulation
+        )
+        naive_report = compare_to_emulation(naive_result.peak_state(), emulation)
+        assert informed_report.pearson_r > naive_report.pearson_r
+
+    def test_critical_ranking_stable_across_modes(self, machine):
+        """Predictive and post-assignment modes agree on the top variable."""
+        wl = load("fib")
+        allocation = allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+
+        predictive = PolicyPlacement(
+            wl.function, machine,
+            policy_factory=lambda seed: FirstFreePolicy(), samples=1,
+        )
+        pre = analyze(wl.function, machine, delta=0.01, placement=predictive)
+        pre_top = rank_critical_variables(pre, predictive, top_k=2)
+
+        exact = AllocationPlacement(allocation, 64)
+        post = analyze(wl.function, machine, delta=0.01, placement=exact)
+        post_top = rank_critical_variables(post, exact, top_k=2)
+
+        assert {str(cv.reg) for cv in pre_top} == {str(cv.reg) for cv in post_top}
+
+
+class TestAnalysisVsEmulationCost:
+    """§1/§4: analysis avoids the 'time-consuming thermal simulation'."""
+
+    def test_analysis_faster_than_emulation_on_long_run(self, machine):
+        import time
+
+        from repro.workloads.kernels import crc32
+
+        wl = crc32(n=96)  # long dynamic run, short static body
+        allocation = allocate_linear_scan(wl.function, machine)
+
+        t0 = time.perf_counter()
+        analysis = analyze(allocation.function, machine, delta=0.05)
+        analysis_time = time.perf_counter() - t0
+
+        emulator = ThermalEmulator(machine, window=16)
+        emulation = emulator.run(allocation.function, memory=dict(wl.memory))
+
+        assert analysis.converged
+        assert emulation.wall_time_seconds > analysis_time

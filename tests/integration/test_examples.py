@@ -1,0 +1,32 @@
+"""Every shipped example must run to completion (exit code 0).
+
+Examples are the documentation users execute first; this keeps them from
+rotting as the library evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_cleanly(example):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example} produced no output"

@@ -1,0 +1,88 @@
+"""Basic block invariants: termination, insertion, body replacement."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.block import BasicBlock
+from repro.ir.values import vreg
+
+
+def make_block():
+    block = BasicBlock("b")
+    block.append(ins.li(vreg("a"), 1))
+    block.append(ins.li(vreg("b"), 2))
+    block.append(ins.jump("next"))
+    return block
+
+
+class TestTermination:
+    def test_terminator_is_last(self):
+        block = make_block()
+        assert block.terminator is block.instructions[-1]
+
+    def test_append_past_terminator_rejected(self):
+        block = make_block()
+        with pytest.raises(IRError):
+            block.append(ins.nop())
+
+    def test_unterminated_block_has_no_terminator(self):
+        block = BasicBlock("b")
+        block.append(ins.nop())
+        assert block.terminator is None
+
+    def test_body_excludes_terminator(self):
+        block = make_block()
+        assert len(block.body) == 2
+        assert all(not i.is_terminator for i in block.body)
+
+    def test_successors(self):
+        assert make_block().successors() == ["next"]
+        cond = BasicBlock("c")
+        cond.append(ins.br(vreg("x"), "t", "f"))
+        assert cond.successors() == ["t", "f"]
+
+
+class TestMutation:
+    def test_insert_before_terminator(self):
+        block = make_block()
+        marker = ins.nop()
+        block.insert_before_terminator(marker)
+        assert block.instructions[-2] is marker
+        assert block.terminator.opcode.value == "jump"
+
+    def test_insert_terminator_mid_block_rejected(self):
+        block = make_block()
+        with pytest.raises(IRError):
+            block.insert(0, ins.ret())
+
+    def test_remove_by_identity(self):
+        block = make_block()
+        victim = block.instructions[0]
+        block.remove(victim)
+        assert victim not in block.instructions
+
+    def test_remove_missing_raises(self):
+        block = make_block()
+        with pytest.raises(IRError):
+            block.remove(ins.nop())
+
+    def test_replace_body_keeps_terminator(self):
+        block = make_block()
+        block.replace_body([ins.nop()])
+        assert len(block) == 2
+        assert block.terminator.opcode.value == "jump"
+
+    def test_copy_deep(self):
+        block = make_block()
+        clone = block.copy()
+        clone.instructions[0].replace_defs({vreg("a"): vreg("z")})
+        assert block.instructions[0].dest == vreg("a")
+
+
+class TestValidation:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(IRError):
+            BasicBlock("bad name")
+        with pytest.raises(IRError):
+            BasicBlock("")

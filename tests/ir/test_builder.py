@@ -1,0 +1,128 @@
+"""FunctionBuilder: emission, structured loops, verification on build."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Opcode, verify_function
+from repro.ir.builder import FunctionBuilder
+from repro.sim import Interpreter
+
+
+class TestEmission:
+    def test_simple_expression(self):
+        b = FunctionBuilder("f", params=["x"])
+        b.block("entry")
+        t = b.add(b.param("x"), b.param("x"))
+        b.ret(t)
+        f = b.build()
+        assert f.instruction_count() == 2
+
+    def test_emit_without_block_rejected(self):
+        b = FunctionBuilder("f")
+        with pytest.raises(IRError):
+            b.li(1)
+
+    def test_unknown_param_rejected(self):
+        b = FunctionBuilder("f", params=["x"])
+        with pytest.raises(IRError):
+            b.param("y")
+
+    def test_fresh_names_unique(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        names = {b.fresh().name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_dest_override(self):
+        b = FunctionBuilder("f", params=["x"])
+        b.block("entry")
+        acc = b.li(0)
+        out = b.add(acc, b.param("x"), dest=acc)
+        assert out == acc
+
+    def test_all_binary_helpers_emit_correct_opcodes(self):
+        b = FunctionBuilder("f", params=["x", "y"])
+        b.block("entry")
+        x, y = b.param("x"), b.param("y")
+        helpers = {
+            Opcode.ADD: b.add, Opcode.SUB: b.sub, Opcode.MUL: b.mul,
+            Opcode.DIV: b.div, Opcode.REM: b.rem, Opcode.AND: b.and_,
+            Opcode.OR: b.or_, Opcode.XOR: b.xor, Opcode.SHL: b.shl,
+            Opcode.SHR: b.shr, Opcode.CMPEQ: b.cmpeq, Opcode.CMPNE: b.cmpne,
+            Opcode.CMPLT: b.cmplt, Opcode.CMPLE: b.cmple,
+            Opcode.CMPGT: b.cmpgt, Opcode.CMPGE: b.cmpge,
+        }
+        for opcode, helper in helpers.items():
+            helper(x, y)
+        b.ret()
+        emitted = [i.opcode for i in b.function.entry.instructions[:-1]]
+        assert emitted == list(helpers)
+
+
+class TestStructuredLoops:
+    def test_counted_loop_executes_correctly(self):
+        b = FunctionBuilder("sum", params=["n"])
+        b.block("entry")
+        acc = b.li(0)
+        i, _body, _exit = b.counted_loop("l", 0, b.param("n"))
+        b.add(acc, i, dest=acc)
+        b.close_loop()
+        b.ret(acc)
+        f = b.build()
+        result = Interpreter().run(f, args=[10])
+        assert result.return_value == sum(range(10))
+
+    def test_nested_loops(self):
+        b = FunctionBuilder("prodsum", params=["n"])
+        b.block("entry")
+        acc = b.li(0)
+        i, _b1, _e1 = b.counted_loop("i", 0, b.param("n"))
+        j, _b2, _e2 = b.counted_loop("j", 0, b.param("n"))
+        p = b.mul(i, j)
+        b.add(acc, p, dest=acc)
+        b.close_loop()
+        b.close_loop()
+        b.ret(acc)
+        result = Interpreter().run(b.build(), args=[5])
+        expected = sum(i * j for i in range(5) for j in range(5))
+        assert result.return_value == expected
+
+    def test_close_without_open_rejected(self):
+        b = FunctionBuilder("f")
+        b.block("entry")
+        with pytest.raises(IRError):
+            b.close_loop()
+
+    def test_loop_with_step(self):
+        b = FunctionBuilder("evens")
+        b.block("entry")
+        acc = b.li(0)
+        limit = b.li(10)
+        i, _body, _exit = b.counted_loop("l", 0, limit, step=2)
+        b.add(acc, i, dest=acc)
+        b.close_loop()
+        b.ret(acc)
+        result = Interpreter().run(b.build())
+        assert result.return_value == sum(range(0, 10, 2))
+
+
+class TestBuild:
+    def test_build_verifies_by_default(self):
+        b = FunctionBuilder("broken")
+        b.block("entry")
+        b.li(1)  # no terminator
+        with pytest.raises(Exception):
+            b.build()
+
+    def test_build_can_skip_verification(self):
+        b = FunctionBuilder("broken")
+        b.block("entry")
+        b.li(1)
+        f = b.build(verify=False)
+        assert f.instruction_count() == 1
+
+    def test_built_functions_always_verify(self, machine):
+        from repro.workloads import full_suite
+
+        for wl in full_suite():
+            verify_function(wl.function)

@@ -1,0 +1,79 @@
+"""CFG traversals cross-checked against networkx where possible."""
+
+import networkx as nx
+
+from repro.ir import (
+    back_edges,
+    edges,
+    linearize,
+    parse_function,
+    postorder,
+    reachable_blocks,
+    reverse_postorder,
+    to_networkx,
+)
+
+
+class TestOrders:
+    def test_rpo_starts_at_entry(self, loop, diamond, nested):
+        for f in (loop, diamond, nested):
+            assert reverse_postorder(f)[0] == "entry"
+
+    def test_rpo_is_reversed_postorder(self, nested):
+        assert reverse_postorder(nested) == list(reversed(postorder(nested)))
+
+    def test_rpo_visits_each_reachable_block_once(self, nested):
+        rpo = reverse_postorder(nested)
+        assert len(rpo) == len(set(rpo)) == len(nested.blocks)
+
+    def test_rpo_topological_on_acyclic(self, diamond):
+        rpo = reverse_postorder(diamond)
+        position = {name: i for i, name in enumerate(rpo)}
+        for src, dst in edges(diamond):
+            assert position[src] < position[dst]
+
+    def test_linearize_matches_rpo(self, loop):
+        assert linearize(loop) == reverse_postorder(loop)
+
+
+class TestEdges:
+    def test_edge_set(self, diamond):
+        # join ends in ret, so it contributes no outgoing edges.
+        assert set(edges(diamond)) == {
+            ("entry", "small"),
+            ("entry", "big"),
+            ("small", "join"),
+            ("big", "join"),
+        }
+
+    def test_back_edges_in_loop(self, loop):
+        assert back_edges(loop) == {("body", "head")}
+
+    def test_back_edges_nested(self, nested):
+        assert back_edges(nested) == {("ibody", "ihead"), ("iexit", "ohead")}
+
+    def test_no_back_edges_in_dag(self, diamond, straightline):
+        assert back_edges(diamond) == set()
+        assert back_edges(straightline) == set()
+
+
+class TestReachability:
+    def test_all_reachable(self, nested):
+        assert reachable_blocks(nested) == set(nested.blocks)
+
+    def test_networkx_agreement(self, nested):
+        graph = to_networkx(nested)
+        nx_reach = nx.descendants(graph, "entry") | {"entry"}
+        assert reachable_blocks(nested) == nx_reach
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-block chain: the iterative DFS must not hit recursion limits.
+        lines = ["func @deep() {"]
+        for i in range(5000):
+            lines.append(f"b{i}:")
+            lines.append(f"  jump b{i + 1}")
+        lines.append("b5000:")
+        lines.append("  ret")
+        lines.append("}")
+        f = parse_function("\n".join(lines))
+        assert len(reverse_postorder(f)) == 5001

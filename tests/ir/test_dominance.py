@@ -1,0 +1,73 @@
+"""Dominance analysis cross-checked against networkx's implementation."""
+
+import networkx as nx
+
+from repro.ir import (
+    dominance_frontier,
+    dominator_tree_children,
+    dominators,
+    immediate_dominators,
+    to_networkx,
+)
+
+
+class TestImmediateDominators:
+    def test_entry_has_none(self, diamond):
+        assert immediate_dominators(diamond)["entry"] is None
+
+    def test_diamond(self, diamond):
+        idom = immediate_dominators(diamond)
+        assert idom["small"] == "entry"
+        assert idom["big"] == "entry"
+        assert idom["join"] == "entry"  # neither arm dominates the join
+
+    def test_loop(self, loop):
+        idom = immediate_dominators(loop)
+        assert idom["head"] == "entry"
+        assert idom["body"] == "head"
+        assert idom["exit"] == "head"
+
+    def test_matches_networkx(self, loop, diamond, nested):
+        for f in (loop, diamond, nested):
+            ours = immediate_dominators(f)
+            reference = nx.immediate_dominators(to_networkx(f), "entry")
+            for name, parent in ours.items():
+                if parent is None:
+                    # networkx ≥3.6 omits the start node; older versions
+                    # map it to itself.  Accept both.
+                    assert reference.get(name, name) == name
+                else:
+                    assert reference[name] == parent
+
+
+class TestDominatorSets:
+    def test_every_block_dominates_itself(self, nested):
+        for name, doms in dominators(nested).items():
+            assert name in doms
+
+    def test_entry_dominates_everything(self, nested):
+        for doms in dominators(nested).values():
+            assert "entry" in doms
+
+    def test_loop_body_dominated_by_header(self, loop):
+        assert "head" in dominators(loop)["body"]
+
+
+class TestTreeAndFrontier:
+    def test_tree_children_inverse_of_idom(self, nested):
+        idom = immediate_dominators(nested)
+        children = dominator_tree_children(nested)
+        for name, parent in idom.items():
+            if parent is not None:
+                assert name in children[parent]
+
+    def test_diamond_frontier(self, diamond):
+        frontier = dominance_frontier(diamond)
+        assert frontier["small"] == {"join"}
+        assert frontier["big"] == {"join"}
+        assert frontier["join"] == set()
+
+    def test_loop_frontier_contains_header(self, loop):
+        frontier = dominance_frontier(loop)
+        # body's frontier is the loop header (the join of the back edge).
+        assert "head" in frontier["body"]

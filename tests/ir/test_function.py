@@ -1,0 +1,113 @@
+"""Function container behaviour: blocks, fresh names, copies, CFG maps."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function, Module
+from repro.ir.values import vreg
+
+
+class TestBlocks:
+    def test_first_block_becomes_entry(self, loop):
+        assert loop.entry.name == "entry"
+
+    def test_duplicate_block_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        with pytest.raises(IRError):
+            f.add_block("a")
+
+    def test_missing_block_lookup(self, loop):
+        with pytest.raises(IRError):
+            loop.block("nope")
+
+    def test_entry_removal_rejected(self, loop):
+        with pytest.raises(IRError):
+            loop.remove_block("entry")
+
+    def test_set_entry(self):
+        f = Function("f")
+        f.add_block("a")
+        f.add_block("b")
+        f.set_entry("b")
+        assert f.entry.name == "b"
+
+
+class TestFreshNames:
+    def test_new_vreg_avoids_existing(self, loop):
+        for _ in range(20):
+            reg = loop.new_vreg()
+            assert reg not in loop.virtual_registers() or reg.name.startswith("t")
+        names = {loop.new_vreg().name for _ in range(10)}
+        assert len(names) == 10
+
+    def test_new_vreg_avoids_parsed_names(self, loop):
+        # %acc exists in the parsed function; 'acc' hints must not collide.
+        seen = {v.name for v in loop.virtual_registers()}
+        fresh = loop.new_vreg("acc")
+        assert fresh.name not in seen
+
+    def test_new_slot_unique(self, loop):
+        slots = {loop.new_slot().name for _ in range(5)}
+        assert len(slots) == 5
+
+    def test_new_block_name(self, loop):
+        assert loop.new_block_name("entry") != "entry"
+        assert loop.new_block_name("fresh") == "fresh"
+
+
+class TestIteration:
+    def test_instruction_count(self, loop):
+        assert loop.instruction_count() == sum(
+            len(b) for b in loop.blocks.values()
+        )
+
+    def test_virtual_registers_includes_params(self, loop):
+        assert vreg("n") in loop.virtual_registers()
+
+    def test_predecessors_map(self, loop):
+        preds = loop.predecessors_map()
+        assert set(preds["head"]) == {"entry", "body"}
+        assert preds["entry"] == []
+
+    def test_predecessors_rejects_dangling_target(self):
+        f = Function("f")
+        b = f.add_block("entry")
+        b.append(ins.jump("nowhere"))
+        with pytest.raises(IRError):
+            f.predecessors_map()
+
+    def test_successors(self, loop):
+        succ_names = [b.name for b in loop.successors("head")]
+        assert succ_names == ["body", "exit"]
+
+
+class TestCopy:
+    def test_copy_is_deep(self, loop):
+        clone = loop.copy()
+        clone.block("body").instructions[0].replace_defs(
+            {vreg("sq"): vreg("zz")}
+        )
+        assert loop.block("body").instructions[0].dest == vreg("sq")
+
+    def test_copy_preserves_entry(self, diamond):
+        assert diamond.copy().entry.name == diamond.entry.name
+
+
+class TestModule:
+    def test_module_add_and_lookup(self, loop):
+        mod = Module("m")
+        mod.add_function(loop)
+        assert mod.function("loop") is loop
+
+    def test_duplicate_function_rejected(self, loop):
+        mod = Module("m")
+        mod.add_function(loop)
+        with pytest.raises(IRError):
+            mod.add_function(loop.copy())
+
+    def test_missing_function(self):
+        with pytest.raises(IRError):
+            Module("m").function("ghost")

@@ -1,0 +1,124 @@
+"""Instruction construction rules, access sets, and mutation helpers."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import instructions as ins
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.values import Constant, StackSlot, vreg
+
+
+class TestConstruction:
+    def test_binary_requires_two_operands(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, vreg("d"), (vreg("a"),))
+
+    def test_binary_requires_destination(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, None, (vreg("a"), vreg("b")))
+
+    def test_store_refuses_destination(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.STORE, vreg("d"), (vreg("a"), vreg("v")))
+
+    def test_li_requires_constant(self):
+        with pytest.raises(IRError):
+            ins.Instruction(Opcode.LI, vreg("d"), (vreg("a"),))
+
+    def test_jump_requires_one_target(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.JUMP, targets=())
+        with pytest.raises(IRError):
+            Instruction(Opcode.JUMP, targets=("a", "b"))
+
+    def test_br_requires_two_targets(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.BR, None, (vreg("c"),), ("only",))
+
+    def test_non_branch_refuses_targets(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, vreg("d"), (vreg("a"), vreg("b")), ("x",))
+
+    def test_spill_requires_slot_operand(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.SPILL, None, (vreg("not_a_slot"), vreg("v")))
+
+    def test_destination_must_be_register(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, Constant(1), (vreg("a"), vreg("b")))
+
+    def test_ret_optional_operand(self):
+        assert ins.ret().operands == []
+        assert ins.ret(vreg("x")).operands == [vreg("x")]
+
+
+class TestAccessSets:
+    def test_uses_excludes_constants(self):
+        inst = ins.binary(Opcode.ADD, vreg("d"), vreg("a"), Constant(1))
+        assert inst.uses() == [vreg("a")]
+        assert inst.defs() == [vreg("d")]
+
+    def test_registers_preserves_duplicates(self):
+        inst = ins.binary(Opcode.ADD, vreg("a"), vreg("a"), vreg("a"))
+        # Two reads plus one write of the same register = three accesses.
+        assert inst.registers() == [vreg("a"), vreg("a"), vreg("a")]
+
+    def test_store_has_no_defs(self):
+        inst = ins.store(vreg("addr"), vreg("v"))
+        assert inst.defs() == []
+        assert inst.uses() == [vreg("addr"), vreg("v")]
+
+    def test_spill_uses_register_not_slot(self):
+        inst = ins.spill(StackSlot("s"), vreg("v"))
+        assert inst.uses() == [vreg("v")]
+
+    def test_nop_accesses_nothing(self):
+        assert ins.nop().registers() == []
+
+    def test_iter_register_accesses(self):
+        insts = [
+            ins.binary(Opcode.ADD, vreg("c"), vreg("a"), vreg("b")),
+            ins.copy_of(vreg("d"), vreg("c")),
+        ]
+        accesses = list(ins.iter_register_accesses(insts))
+        assert accesses == [vreg("a"), vreg("b"), vreg("c"), vreg("c"), vreg("d")]
+
+
+class TestMutation:
+    def test_replace_uses_only(self):
+        inst = ins.binary(Opcode.ADD, vreg("a"), vreg("a"), vreg("b"))
+        inst.replace_uses({vreg("a"): vreg("x")})
+        assert inst.operands == [vreg("x"), vreg("b")]
+        assert inst.dest == vreg("a")
+
+    def test_replace_defs_only(self):
+        inst = ins.binary(Opcode.ADD, vreg("a"), vreg("a"), vreg("b"))
+        inst.replace_defs({vreg("a"): vreg("x")})
+        assert inst.dest == vreg("x")
+        assert inst.operands == [vreg("a"), vreg("b")]
+
+    def test_retarget(self):
+        inst = ins.br(vreg("c"), "then", "else")
+        inst.retarget("else", "other")
+        assert inst.targets == ["then", "other"]
+
+    def test_copy_is_independent(self):
+        inst = ins.binary(Opcode.ADD, vreg("d"), vreg("a"), vreg("b"))
+        clone = inst.copy()
+        clone.replace_uses({vreg("a"): vreg("z")})
+        assert inst.operands == [vreg("a"), vreg("b")]
+
+
+class TestClassification:
+    def test_terminators(self):
+        assert ins.jump("x").is_terminator
+        assert ins.br(vreg("c"), "a", "b").is_terminator
+        assert ins.ret().is_terminator
+        assert ins.halt().is_terminator
+        assert not ins.nop().is_terminator
+
+    def test_memory_ops(self):
+        assert ins.load(vreg("d"), vreg("a")).touches_memory
+        assert ins.store(vreg("a"), vreg("v")).touches_memory
+        assert ins.spill(StackSlot("s"), vreg("v")).touches_memory
+        assert not ins.nop().touches_memory

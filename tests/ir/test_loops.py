@@ -1,0 +1,78 @@
+"""Natural loop discovery and nesting."""
+
+from repro.ir import LoopInfo, parse_function
+
+
+class TestSimpleLoop:
+    def test_one_loop_found(self, loop):
+        info = LoopInfo(loop)
+        assert len(info.loops) == 1
+        assert info.loops[0].header == "head"
+        assert info.loops[0].body == {"head", "body"}
+        assert info.loops[0].latches == {"body"}
+
+    def test_depths(self, loop):
+        info = LoopInfo(loop)
+        assert info.depth("head") == 1
+        assert info.depth("body") == 1
+        assert info.depth("entry") == 0
+        assert info.depth("exit") == 0
+
+
+class TestNestedLoops:
+    def test_two_loops(self, nested):
+        info = LoopInfo(nested)
+        headers = {l.header for l in info.loops}
+        assert headers == {"ohead", "ihead"}
+
+    def test_nesting_parent(self, nested):
+        info = LoopInfo(nested)
+        inner = next(l for l in info.loops if l.header == "ihead")
+        outer = next(l for l in info.loops if l.header == "ohead")
+        assert inner.parent is outer
+        assert outer.parent is None
+        assert inner.depth == 2
+        assert outer.depth == 1
+
+    def test_depth_lookup(self, nested):
+        info = LoopInfo(nested)
+        assert info.depth("ibody") == 2
+        assert info.depth("oinit") == 1
+        assert info.depth("entry") == 0
+
+    def test_innermost(self, nested):
+        info = LoopInfo(nested)
+        assert info.innermost("ibody").header == "ihead"
+        assert info.innermost("oinit").header == "ohead"
+        assert info.innermost("entry") is None
+
+
+class TestSharedHeader:
+    def test_two_latches_merge_into_one_loop(self):
+        src = """
+        func @f(%n) {
+        entry:
+          jump head
+        head:
+          %c = cmplt %n, 10
+          br %c, a, b
+        a:
+          jump head
+        b:
+          %d = cmplt %n, 20
+          br %d, head, out
+        out:
+          ret
+        }
+        """
+        info = LoopInfo(parse_function(src))
+        assert len(info.loops) == 1
+        assert info.loops[0].latches == {"a", "b"}
+        assert info.loops[0].body == {"head", "a", "b"}
+
+
+class TestNoLoops:
+    def test_dag_has_none(self, diamond, straightline):
+        assert LoopInfo(diamond).loops == []
+        assert LoopInfo(straightline).loops == []
+        assert LoopInfo(diamond).headers() == set()

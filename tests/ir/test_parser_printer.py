@@ -1,0 +1,109 @@
+"""Parser/printer round trips and parse error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir import (
+    parse_function,
+    parse_instruction,
+    parse_module,
+    print_function,
+    print_instruction,
+)
+from repro.ir.values import Constant, PhysicalRegister, StackSlot, vreg
+from tests.conftest import DIAMOND_SRC, LOOP_SRC, NESTED_SRC, STRAIGHTLINE_SRC
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "src", [STRAIGHTLINE_SRC, LOOP_SRC, DIAMOND_SRC, NESTED_SRC]
+    )
+    def test_print_parse_fixed_point(self, src):
+        f = parse_function(src)
+        once = print_function(f)
+        twice = print_function(parse_function(once))
+        assert once == twice
+
+    def test_physical_registers_round_trip(self):
+        inst = parse_instruction("r1 = add r2, r3")
+        assert inst.dest == PhysicalRegister(1)
+        assert print_instruction(inst) == "r1 = add r2, r3"
+
+    def test_stack_slots_round_trip(self):
+        inst = parse_instruction("spill @s0, %v")
+        assert inst.operands[0] == StackSlot("s0")
+        assert print_instruction(inst) == "spill @s0, %v"
+
+    def test_negative_constant(self):
+        inst = parse_instruction("%d = li -42")
+        assert inst.operands[0] == Constant(-42)
+
+    def test_comments_and_blanks_ignored(self):
+        src = """
+        # leading comment
+        func @f() {
+        entry:  # trailing comment
+          %a = li 1
+
+          ret %a
+        }
+        """
+        f = parse_function(src)
+        assert f.instruction_count() == 2
+
+
+class TestInstructionForms:
+    def test_branch(self):
+        inst = parse_instruction("br %c, yes, no")
+        assert inst.operands == [vreg("c")]
+        assert inst.targets == ["yes", "no"]
+
+    def test_jump(self):
+        assert parse_instruction("jump out").targets == ["out"]
+
+    def test_ret_void(self):
+        assert parse_instruction("ret").operands == []
+
+    def test_nop(self):
+        assert parse_instruction("nop").registers() == []
+
+    def test_store_two_operands(self):
+        inst = parse_instruction("store %addr, %v")
+        assert len(inst.operands) == 2
+
+
+class TestErrors:
+    def test_unknown_opcode_reports_line(self):
+        with pytest.raises(ParseError) as err:
+            parse_module("func @f() {\nentry:\n  %a = frobnicate %b\n}\n")
+        assert err.value.line == 3
+
+    def test_missing_close_brace(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f() {\nentry:\n  ret\n")
+
+    def test_instruction_outside_function(self):
+        with pytest.raises(ParseError):
+            parse_module("%a = li 1\n")
+
+    def test_instruction_before_label(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f() {\n  %a = li 1\n}\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(ParseError):
+            parse_instruction("%a = add %b, $$$")
+
+    def test_jump_to_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instruction("jump %reg")
+
+    def test_parse_function_requires_exactly_one(self):
+        two = "func @a() {\nentry:\n  ret\n}\nfunc @b() {\nentry:\n  ret\n}\n"
+        with pytest.raises(ParseError):
+            parse_function(two)
+        assert len(list(parse_module(two))) == 2
+
+    def test_non_vreg_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("func @f(r1) {\nentry:\n  ret\n}\n")

@@ -1,0 +1,58 @@
+"""Value semantics: equality by name/index, register classification."""
+
+import pytest
+
+from repro.ir.values import (
+    Constant,
+    PhysicalRegister,
+    StackSlot,
+    VirtualRegister,
+    const,
+    preg,
+    vreg,
+)
+
+
+class TestEquality:
+    def test_virtual_registers_equal_by_name(self):
+        assert VirtualRegister("a") == VirtualRegister("a")
+        assert VirtualRegister("a") != VirtualRegister("b")
+
+    def test_physical_registers_equal_by_index(self):
+        assert PhysicalRegister(3) == PhysicalRegister(3)
+        assert PhysicalRegister(3) != PhysicalRegister(4)
+
+    def test_constants_equal_by_value(self):
+        assert Constant(7) == Constant(7)
+        assert Constant(7) != Constant(8)
+
+    def test_different_kinds_never_equal(self):
+        assert VirtualRegister("3") != PhysicalRegister(3)
+        assert Constant(0) != StackSlot("0")
+
+    def test_values_usable_in_sets(self):
+        regs = {vreg("a"), vreg("a"), vreg("b"), preg(0), preg(0)}
+        assert len(regs) == 3
+
+
+class TestClassification:
+    def test_registers_flagged(self):
+        assert vreg("x").is_register
+        assert preg(1).is_register
+
+    def test_non_registers_not_flagged(self):
+        assert not const(5).is_register
+        assert not StackSlot("s").is_register
+
+
+class TestRendering:
+    def test_textual_forms(self):
+        assert str(vreg("abc")) == "%abc"
+        assert str(preg(12)) == "r12"
+        assert str(const(-4)) == "-4"
+        assert str(StackSlot("sp0")) == "@sp0"
+
+    def test_shorthand_constructors(self):
+        assert vreg("v") == VirtualRegister("v")
+        assert preg(2) == PhysicalRegister(2)
+        assert const(9) == Constant(9)

@@ -1,0 +1,102 @@
+"""Verifier: every structural invariant has a failing case."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import instructions as ins
+from repro.ir import parse_function, verify_function
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.values import preg, vreg
+
+
+def test_valid_functions_pass(straightline, loop, diamond, nested):
+    for f in (straightline, loop, diamond, nested):
+        verify_function(f)
+
+
+def test_unterminated_block():
+    f = Function("f")
+    block = f.add_block("entry")
+    block.append(ins.li(vreg("a"), 1))
+    with pytest.raises(VerificationError, match="not terminated"):
+        verify_function(f)
+
+
+def test_terminator_not_last():
+    f = Function("f")
+    block = f.add_block("entry")
+    block.instructions = [ins.ret(), ins.nop(), ins.ret()]
+    with pytest.raises(VerificationError, match="not last"):
+        verify_function(f)
+
+
+def test_unknown_branch_target():
+    f = Function("f")
+    block = f.add_block("entry")
+    block.append(ins.jump("ghost"))
+    with pytest.raises(VerificationError, match="unknown branch target"):
+        verify_function(f)
+
+
+def test_unreachable_block():
+    f = Function("f")
+    f.add_block("entry").append(ins.ret())
+    f.add_block("island").append(ins.ret())
+    with pytest.raises(VerificationError, match="unreachable"):
+        verify_function(f)
+
+
+def test_use_before_def():
+    src = """
+    func @f() {
+    entry:
+      %b = add %a, %a
+      ret %b
+    }
+    """
+    with pytest.raises(VerificationError, match="used before assignment"):
+        verify_function(parse_function(src))
+
+
+def test_use_defined_on_only_one_path():
+    src = """
+    func @f(%x) {
+    entry:
+      br %x, defs, skips
+    defs:
+      %v = li 1
+      jump join
+    skips:
+      jump join
+    join:
+      %w = add %v, %v
+      ret %w
+    }
+    """
+    with pytest.raises(VerificationError, match="used before assignment"):
+        verify_function(parse_function(src))
+
+
+def test_params_count_as_defined(straightline):
+    verify_function(straightline)  # %a, %b are params
+
+
+def test_loop_carried_use_is_fine(loop):
+    verify_function(loop)  # %acc defined in entry, used in body via head
+
+
+def test_mixed_registers_flagged_when_disallowed():
+    f = Function("f")
+    block = f.add_block("entry")
+    block.append(ins.li(vreg("a"), 1))
+    block.append(ins.binary(ins.Opcode.ADD, preg(0), vreg("a"), vreg("a")))
+    block.append(ins.ret())
+    verify_function(f)  # allowed by default
+    with pytest.raises(VerificationError, match="mixes"):
+        verify_function(f, allow_mixed_registers=False)
+
+
+def test_empty_function_rejected():
+    with pytest.raises(VerificationError, match="no blocks"):
+        verify_function(Function("empty"))

@@ -1,0 +1,69 @@
+"""Bank switch-off analysis."""
+
+import pytest
+
+from repro.arch import banked_rf64, rf64
+from repro.errors import ThermalModelError
+from repro.opt import analyze_banking
+from repro.regalloc import (
+    ChessboardPolicy,
+    FirstFreePolicy,
+    RoundRobinPolicy,
+    allocate_linear_scan,
+)
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return banked_rf64(banks=4)
+
+
+class TestBankingReport:
+    def test_first_free_leaves_banks_idle(self, machine):
+        wl = load("fir")  # ~14 registers: fits in bank 0-1 under first-free
+        allocation = allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+        report = analyze_banking(allocation.function, machine)
+        assert report.banks == 4
+        assert report.mean_idle > 0.25
+        assert report.leakage_saved > 0.0
+
+    def test_round_robin_destroys_idleness(self, machine):
+        wl = load("fir")
+        ff = allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+        rr = allocate_linear_scan(wl.function, machine, RoundRobinPolicy())
+        idle_ff = analyze_banking(ff.function, machine).mean_idle
+        idle_rr = analyze_banking(rr.function, machine).mean_idle
+        assert idle_rr < idle_ff
+
+    def test_chessboard_touches_many_banks(self, machine):
+        wl = load("fir")
+        cb = allocate_linear_scan(wl.function, machine, ChessboardPolicy())
+        report = analyze_banking(cb.function, machine)
+        # The cycling chessboard spreads across the RF: little idleness.
+        assert report.mean_idle < 0.5
+
+    def test_idle_fractions_in_unit_interval(self, machine):
+        wl = load("iir")
+        allocation = allocate_linear_scan(wl.function, machine)
+        report = analyze_banking(allocation.function, machine)
+        assert all(0.0 <= f <= 1.0 for f in report.idle_fraction)
+        assert len(report.idle_fraction) == 4
+
+    def test_unbanked_rf_reports_zero(self):
+        plain = rf64()
+        wl = load("fib")
+        allocation = allocate_linear_scan(wl.function, plain)
+        report = analyze_banking(allocation.function, plain)
+        assert report.mean_idle == 0.0
+        assert report.leakage_saved == 0.0
+
+    def test_virtual_function_rejected(self, machine):
+        with pytest.raises(ThermalModelError, match="allocated"):
+            analyze_banking(load("fib").function, machine)
+
+    def test_str_rendering(self, machine):
+        wl = load("fib")
+        allocation = allocate_linear_scan(wl.function, machine)
+        text = str(analyze_banking(allocation.function, machine))
+        assert "banks=4" in text

@@ -1,0 +1,112 @@
+"""Local CSE pass."""
+
+import pytest
+
+from repro.ir import Opcode, parse_function, verify_function
+from repro.opt import LocalCSEPass
+from repro.sim import Interpreter
+from repro.workloads import load, random_loop_program
+
+
+class TestFolding:
+    def test_folds_duplicate_expression(self):
+        src = """
+        func @f(%a, %b) {
+        entry:
+          %x = add %a, %b
+          %y = add %a, %b
+          %z = mul %x, %y
+          ret %z
+        }
+        """
+        f = parse_function(src)
+        transformed, report = LocalCSEPass().run(f)
+        assert report.details["folded"] == 1
+        copies = [i for i in transformed.instructions() if i.opcode is Opcode.COPY]
+        assert len(copies) == 1
+        interp = Interpreter()
+        assert (
+            interp.run(transformed, args=[3, 4]).return_value
+            == interp.run(f, args=[3, 4]).return_value
+        )
+
+    def test_commutative_operands_fold(self):
+        src = """
+        func @f(%a, %b) {
+        entry:
+          %x = add %a, %b
+          %y = add %b, %a
+          %z = sub %x, %y
+          ret %z
+        }
+        """
+        transformed, report = LocalCSEPass().run(parse_function(src))
+        assert report.details["folded"] == 1
+
+    def test_redefinition_blocks_fold(self):
+        src = """
+        func @f(%a, %b) {
+        entry:
+          %x = add %a, %b
+          %a = li 0
+          %y = add %a, %b
+          %z = sub %x, %y
+          ret %z
+        }
+        """
+        f = parse_function(src)
+        transformed, report = LocalCSEPass().run(f)
+        assert report.details["folded"] == 0
+        interp = Interpreter()
+        assert (
+            interp.run(transformed, args=[5, 6]).return_value
+            == interp.run(f, args=[5, 6]).return_value
+        )
+
+    def test_loads_not_folded(self):
+        src = """
+        func @f(%p) {
+        entry:
+          %x = load %p
+          %y = load %p
+          %z = add %x, %y
+          ret %z
+        }
+        """
+        _t, report = LocalCSEPass().run(parse_function(src))
+        assert report.details["folded"] == 0
+
+    def test_cross_block_not_folded(self):
+        # Local pass: expressions do not survive block boundaries.
+        src = """
+        func @f(%a, %b) {
+        entry:
+          %x = add %a, %b
+          jump next
+        next:
+          %y = add %a, %b
+          %z = sub %x, %y
+          ret %z
+        }
+        """
+        _t, report = LocalCSEPass().run(parse_function(src))
+        assert report.details["folded"] == 0
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("name", ["fir", "dct8", "sort"])
+    def test_suite_equivalence(self, name):
+        wl = load(name)
+        transformed, _report = LocalCSEPass().run(wl.function)
+        verify_function(transformed)
+        result = Interpreter().run(
+            transformed, args=wl.args, memory=dict(wl.memory)
+        )
+        assert result.return_value == wl.expected_return
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_programs(self, seed):
+        wl = random_loop_program(seed=seed)
+        transformed, _report = LocalCSEPass().run(wl.function)
+        verify_function(transformed)
+        assert Interpreter().run(transformed).return_value == wl.expected_return

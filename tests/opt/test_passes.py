@@ -1,0 +1,63 @@
+"""Pass registry and pass manager."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.opt import (
+    DeadCodeEliminationPass,
+    PassManager,
+    PassReport,
+    create_pass,
+    registered_passes,
+)
+
+
+class TestRegistry:
+    def test_all_expected_passes_registered(self):
+        names = registered_passes()
+        for expected in (
+            "spill_critical",
+            "split_live_ranges",
+            "thermal_schedule",
+            "promote",
+            "insert_nops",
+            "reassign",
+            "dce",
+        ):
+            assert expected in names
+
+    def test_create_by_name(self):
+        pass_ = create_pass("dce")
+        assert pass_.name == "dce"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown pass"):
+            create_pass("definitely_not_a_pass")
+
+
+class TestPassManager:
+    def test_sequencing_and_reports(self, loop):
+        manager = PassManager()
+        manager.add(DeadCodeEliminationPass()).add(DeadCodeEliminationPass())
+        result, reports = manager.run(loop)
+        assert len(reports) == 2
+        assert all(isinstance(r, PassReport) for r in reports)
+
+    def test_verification_catches_broken_pass(self, loop):
+        class BreakerPass(DeadCodeEliminationPass):
+            def run(self, function):
+                clone = function.copy()
+                # Drop the terminator of the entry block.
+                clone.entry.instructions.pop()
+                return clone, PassReport(pass_name="breaker", changed=True)
+
+        manager = PassManager(passes=[BreakerPass()])
+        with pytest.raises(Exception):
+            manager.run(loop)
+
+    def test_input_never_mutated(self, loop):
+        snapshot = str(loop)
+        PassManager(passes=[DeadCodeEliminationPass()]).run(loop)
+        assert str(loop) == snapshot

@@ -1,0 +1,97 @@
+"""The full thermal-aware compilation pipeline."""
+
+import pytest
+
+from repro.arch import rf64
+from repro.ir import verify_function
+from repro.opt import ThermalAwareCompiler
+from repro.regalloc import FirstFreePolicy, allocate_linear_scan
+from repro.sim import Interpreter, ThermalEmulator
+from repro.workloads import load, small_suite
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def compiler(machine):
+    return ThermalAwareCompiler(machine)
+
+
+class TestCorrectness:
+    def test_suite_semantics_preserved(self, compiler):
+        interp = Interpreter()
+        for wl in small_suite():
+            result = compiler.compile(wl.function)
+            verify_function(result.allocated, allow_mixed_registers=False)
+            out = interp.run(
+                result.allocated, args=wl.args, memory=dict(wl.memory)
+            )
+            assert out.return_value == wl.expected_return, wl.name
+
+    def test_result_contains_both_analyses(self, compiler):
+        result = compiler.compile(load("fir").function)
+        assert result.analysis_before is not None
+        assert result.analysis_after is not None
+        assert result.plan.function_name == "fir"
+
+    def test_summary_keys(self, compiler):
+        summary = compiler.compile(load("fib").function).summary()
+        for key in (
+            "instructions_before",
+            "instructions_after",
+            "peak_before",
+            "peak_after",
+            "gradient_before",
+            "gradient_after",
+        ):
+            assert key in summary
+
+
+class TestThermalEffect:
+    def test_emulated_gradient_improves_on_hot_kernel(self, machine, compiler):
+        """The pipeline's whole point: less gradient than first-free."""
+        wl = load("fib")
+        baseline = allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+        optimized = compiler.compile(wl.function)
+
+        emulator = ThermalEmulator(machine)
+        before = emulator.run(baseline.function, memory=dict(wl.memory))
+        after = emulator.run(optimized.allocated, memory=dict(wl.memory))
+        assert after.execution.return_value == before.execution.return_value
+        assert (
+            after.steady_state.max_gradient()
+            < before.steady_state.max_gradient()
+        )
+
+    def test_nops_can_be_disabled(self, machine):
+        from repro.core.rules import RuleConfig
+        from repro.ir import Opcode
+
+        compiler = ThermalAwareCompiler(
+            machine,
+            rule_config=RuleConfig(peak_threshold=0.01),  # force the NOP rule
+            enable_nops=False,
+        )
+        result = compiler.compile(load("fib").function)
+        nops = sum(
+            1 for i in result.allocated.instructions() if i.opcode is Opcode.NOP
+        )
+        assert nops == 0
+
+    def test_nops_inserted_when_enabled(self, machine):
+        from repro.core.rules import RuleConfig
+        from repro.ir import Opcode
+
+        compiler = ThermalAwareCompiler(
+            machine,
+            rule_config=RuleConfig(peak_threshold=0.01),
+            enable_nops=True,
+        )
+        result = compiler.compile(load("fib").function)
+        nops = sum(
+            1 for i in result.allocated.instructions() if i.opcode is Opcode.NOP
+        )
+        assert nops > 0

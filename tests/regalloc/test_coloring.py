@@ -1,0 +1,67 @@
+"""Graph-coloring allocation: correctness, coloring validity, spilling."""
+
+import pytest
+
+from repro.ir import verify_function
+from repro.regalloc import (
+    allocate_graph_coloring,
+    build_interference_graph,
+    default_policies,
+)
+from repro.sim import Interpreter
+from repro.workloads import load, small_suite
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("policy", default_policies(), ids=lambda p: p.name)
+    def test_semantics_preserved_under_every_policy(self, machine, policy):
+        wl = load("iir")
+        allocation = allocate_graph_coloring(wl.function, machine, policy)
+        verify_function(allocation.function, allow_mixed_registers=False)
+        result = Interpreter().run(
+            allocation.function, args=wl.args, memory=dict(wl.memory)
+        )
+        assert result.return_value == wl.expected_return
+
+    def test_coloring_is_proper(self, machine, nested):
+        allocation = allocate_graph_coloring(nested, machine)
+        graph = build_interference_graph(nested)
+        for a in allocation.mapping:
+            for b in allocation.mapping:
+                if a != b and graph.interferes(a, b):
+                    assert allocation.mapping[a] != allocation.mapping[b]
+
+    def test_uses_fewer_or_equal_colors_than_linear_scan(self, machine, nested):
+        from repro.regalloc import allocate_linear_scan
+
+        gc = allocate_graph_coloring(nested, machine)
+        ls = allocate_linear_scan(nested, machine)
+        # Chaitin-Briggs should never need more colours than linear scan
+        # for these small reducible programs.
+        assert len(gc.registers_used()) <= len(ls.registers_used())
+
+
+class TestSpilling:
+    def test_spills_when_pressure_exceeds_k(self, tiny_machine):
+        wl = load("fir")
+        allocation = allocate_graph_coloring(wl.function, tiny_machine)
+        assert allocation.spill_count > 0
+        verify_function(allocation.function, allow_mixed_registers=False)
+        result = Interpreter().run(
+            allocation.function, args=wl.args, memory=dict(wl.memory)
+        )
+        assert result.return_value == wl.expected_return
+
+    def test_suite_on_small_machine(self, small_machine):
+        for wl in small_suite():
+            allocation = allocate_graph_coloring(wl.function, small_machine)
+            result = Interpreter().run(
+                allocation.function, args=wl.args, memory=dict(wl.memory)
+            )
+            assert result.return_value == wl.expected_return, wl.name
+
+
+class TestMetadata:
+    def test_allocator_name(self, machine, loop):
+        allocation = allocate_graph_coloring(loop, machine)
+        assert allocation.allocator == "graph-coloring"

@@ -1,0 +1,103 @@
+"""Interference graph construction."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.ir.values import vreg
+from repro.regalloc import build_interference_graph
+
+
+class TestBasicInterference:
+    def test_overlapping_lifetimes_interfere(self, loop):
+        graph = build_interference_graph(loop)
+        assert graph.interferes(vreg("acc"), vreg("i"))
+        assert graph.interferes(vreg("n"), vreg("acc"))
+        assert graph.interferes(vreg("n"), vreg("i"))
+
+    def test_symmetry(self, loop):
+        graph = build_interference_graph(loop)
+        for a in graph.nodes:
+            for b in graph.neighbors(a):
+                assert graph.interferes(b, a)
+
+    def test_no_self_interference(self, loop):
+        graph = build_interference_graph(loop)
+        for reg in graph.nodes:
+            assert not graph.interferes(reg, reg)
+
+    def test_disjoint_lifetimes_do_not_interfere(self):
+        src = """
+        func @f() {
+        entry:
+          %a = li 1
+          %b = add %a, %a
+          %c = li 2
+          %d = add %c, %c
+          ret %d
+        }
+        """
+        graph = build_interference_graph(parse_function(src))
+        assert not graph.interferes(vreg("a"), vreg("c"))
+        assert not graph.interferes(vreg("b"), vreg("d"))
+
+    def test_params_mutually_interfere(self, straightline):
+        graph = build_interference_graph(straightline)
+        assert graph.interferes(vreg("a"), vreg("b"))
+
+
+class TestCopySpecialCase:
+    def test_copy_source_dest_do_not_interfere_through_copy(self):
+        src = """
+        func @f(%x) {
+        entry:
+          %y = copy %x
+          ret %y
+        }
+        """
+        graph = build_interference_graph(parse_function(src))
+        assert not graph.interferes(vreg("x"), vreg("y"))
+
+    def test_copy_value_may_share_until_redefinition(self):
+        # While neither is redefined, x and y hold the same value, so
+        # sharing a register is safe (copy coalescing) — no interference.
+        src = """
+        func @f(%x) {
+        entry:
+          %y = copy %x
+          %z = add %y, %x
+          ret %z
+        }
+        """
+        graph = build_interference_graph(parse_function(src))
+        assert not graph.interferes(vreg("x"), vreg("y"))
+
+    def test_copy_source_redefined_forces_interference(self):
+        src = """
+        func @f(%x) {
+        entry:
+          %y = copy %x
+          %x = li 0
+          %z = add %y, %x
+          ret %z
+        }
+        """
+        graph = build_interference_graph(parse_function(src))
+        assert graph.interferes(vreg("x"), vreg("y"))
+
+
+class TestGraphQueries:
+    def test_degree(self, loop):
+        graph = build_interference_graph(loop)
+        assert graph.degree(vreg("acc")) >= 2
+
+    def test_clique_lower_bound_at_least_pressure_core(self, loop):
+        graph = build_interference_graph(loop)
+        # n, acc, i (and c or sq) are simultaneously live.
+        assert graph.max_clique_lower_bound() >= 3
+
+    def test_networkx_export(self, loop):
+        graph = build_interference_graph(loop)
+        nxg = graph.to_networkx()
+        assert set(nxg.nodes) == set(graph.nodes)
+        for a, b in nxg.edges:
+            assert graph.interferes(a, b)

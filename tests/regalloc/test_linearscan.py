@@ -1,0 +1,97 @@
+"""Linear scan allocation: correctness under every policy, spilling."""
+
+import pytest
+
+from repro.arch import MachineDescription, RegisterFileGeometry
+from repro.ir import verify_function
+from repro.ir.values import PhysicalRegister
+from repro.regalloc import (
+    allocate_linear_scan,
+    build_interference_graph,
+    default_policies,
+)
+from repro.sim import Interpreter
+from repro.workloads import load, small_suite
+
+
+def run_both(workload, allocation):
+    interp = Interpreter()
+    before = interp.run(
+        workload.function, args=workload.args, memory=dict(workload.memory)
+    )
+    after = interp.run(
+        allocation.function, args=workload.args, memory=dict(workload.memory)
+    )
+    return before, after
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("policy", default_policies(), ids=lambda p: p.name)
+    def test_semantics_preserved_under_every_policy(self, machine, policy):
+        wl = load("fir")
+        allocation = allocate_linear_scan(wl.function, machine, policy)
+        verify_function(allocation.function, allow_mixed_registers=False)
+        before, after = run_both(wl, allocation)
+        assert after.return_value == before.return_value == wl.expected_return
+
+    def test_whole_suite_first_free(self, machine):
+        for wl in small_suite():
+            allocation = allocate_linear_scan(wl.function, machine)
+            _before, after = run_both(wl, allocation)
+            assert after.return_value == wl.expected_return, wl.name
+
+    def test_assignment_respects_interference(self, machine, loop):
+        allocation = allocate_linear_scan(loop, machine)
+        graph = build_interference_graph(loop)
+        for a in allocation.mapping:
+            for b in allocation.mapping:
+                if a != b and graph.interferes(a, b):
+                    assert allocation.mapping[a] != allocation.mapping[b]
+
+    def test_no_virtual_registers_remain(self, machine, loop):
+        allocation = allocate_linear_scan(loop, machine)
+        for inst in allocation.function.instructions():
+            for reg in inst.registers():
+                assert isinstance(reg, PhysicalRegister)
+
+
+class TestSpilling:
+    def test_spills_on_tiny_machine(self, tiny_machine):
+        wl = load("fir")  # needs ~10 registers
+        allocation = allocate_linear_scan(wl.function, tiny_machine)
+        assert allocation.spill_count > 0
+        assert allocation.rounds > 1
+        verify_function(allocation.function, allow_mixed_registers=False)
+        _before, after = run_both(wl, allocation)
+        assert after.return_value == wl.expected_return
+
+    def test_spill_preserves_whole_suite(self, small_machine):
+        for wl in small_suite():
+            allocation = allocate_linear_scan(wl.function, small_machine)
+            _before, after = run_both(wl, allocation)
+            assert after.return_value == wl.expected_return, wl.name
+
+    def test_no_spill_on_large_machine(self, machine, loop):
+        allocation = allocate_linear_scan(loop, machine)
+        assert allocation.spill_count == 0
+        assert allocation.rounds == 1
+
+
+class TestResultMetadata:
+    def test_names_recorded(self, machine, loop):
+        from repro.regalloc import ChessboardPolicy
+
+        allocation = allocate_linear_scan(loop, machine, ChessboardPolicy())
+        assert allocation.policy == "chessboard"
+        assert allocation.allocator == "linear-scan"
+
+    def test_registers_used(self, machine, loop):
+        allocation = allocate_linear_scan(loop, machine)
+        used = allocation.registers_used()
+        assert used == set(allocation.mapping.values())
+        assert len(used) <= 64
+
+    def test_original_untouched(self, machine, loop):
+        snapshot = str(loop)
+        allocate_linear_scan(loop, machine)
+        assert str(loop) == snapshot

@@ -1,0 +1,166 @@
+"""Assignment policies — the Fig. 1 decision procedures."""
+
+import pytest
+
+from repro.arch import rf64
+from repro.errors import AllocationError
+from repro.ir.values import vreg
+from repro.regalloc import (
+    AssignmentContext,
+    ChessboardPolicy,
+    CoolestFirstPolicy,
+    FarthestFirstPolicy,
+    FirstFreePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    default_policies,
+    policy_by_name,
+)
+
+
+@pytest.fixture
+def machine():
+    return rf64()
+
+
+def ctx(machine, live=None, weight=1.0):
+    return AssignmentContext(
+        vreg=vreg("v"),
+        weighted_accesses=weight,
+        machine=machine,
+        live_assignments=live or {},
+    )
+
+
+class TestFirstFree:
+    def test_always_lowest(self, machine):
+        policy = FirstFreePolicy()
+        assert policy.choose([5, 2, 9], ctx(machine)) == 5  # list is given sorted
+        assert policy.choose(list(range(64)), ctx(machine)) == 0
+
+    def test_empty_free_list_raises(self, machine):
+        with pytest.raises(AllocationError):
+            FirstFreePolicy().choose([], ctx(machine))
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self, machine):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        free = list(range(64))
+        seq_a = [a.choose(free, ctx(machine)) for _ in range(20)]
+        seq_b = [b.choose(free, ctx(machine)) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_reset_restarts_sequence(self, machine):
+        policy = RandomPolicy(seed=3)
+        free = list(range(64))
+        first = [policy.choose(free, ctx(machine)) for _ in range(10)]
+        policy.reset(machine)
+        second = [policy.choose(free, ctx(machine)) for _ in range(10)]
+        assert first == second
+
+    def test_spreads_over_many_draws(self, machine):
+        policy = RandomPolicy(seed=0)
+        free = list(range(64))
+        chosen = {policy.choose(free, ctx(machine)) for _ in range(200)}
+        assert len(chosen) > 30  # roughly uniform coverage
+
+
+class TestChessboard:
+    def test_prefers_color_class(self, machine):
+        policy = ChessboardPolicy(color=0)
+        geometry = machine.geometry
+        chosen = policy.choose(list(range(64)), ctx(machine))
+        assert geometry.chessboard_color(chosen) == 0
+
+    def test_falls_back_under_pressure(self, machine):
+        """The §2 caveat: once the preferred colour is gone, use the other."""
+        policy = ChessboardPolicy(color=0)
+        geometry = machine.geometry
+        only_color1 = [r for r in range(64) if geometry.chessboard_color(r) == 1]
+        chosen = policy.choose(only_color1, ctx(machine))
+        assert geometry.chessboard_color(chosen) == 1
+
+    def test_invalid_color(self):
+        with pytest.raises(AllocationError):
+            ChessboardPolicy(color=2)
+
+
+class TestRoundRobin:
+    def test_cycles_through_registers(self, machine):
+        policy = RoundRobinPolicy()
+        policy.reset(machine)
+        free = list(range(64))
+        seq = [policy.choose(free, ctx(machine)) for _ in range(6)]
+        assert seq == [0, 1, 2, 3, 4, 5]
+
+    def test_skips_taken(self, machine):
+        policy = RoundRobinPolicy()
+        policy.reset(machine)
+        assert policy.choose([0, 1, 2], ctx(machine)) == 0
+        assert policy.choose([5, 9], ctx(machine)) == 5
+        assert policy.choose([2, 9], ctx(machine)) == 9
+
+    def test_wraps_around(self, machine):
+        policy = RoundRobinPolicy()
+        policy.reset(machine)
+        policy._cursor = 63
+        assert policy.choose([63], ctx(machine)) == 63
+        assert policy.choose([0, 1], ctx(machine)) == 0
+
+
+class TestFarthestFirst:
+    def test_first_pick_near_centre(self, machine):
+        policy = FarthestFirstPolicy()
+        chosen = policy.choose(list(range(64)), ctx(machine))
+        row, col = machine.geometry.position(chosen)
+        assert 2 <= row <= 5 and 2 <= col <= 5
+
+    def test_second_pick_far_from_first(self, machine):
+        policy = FarthestFirstPolicy()
+        live = {vreg("a"): 0}  # corner occupied
+        chosen = policy.choose(list(range(1, 64)), ctx(machine, live=live))
+        assert machine.geometry.manhattan_distance(chosen, 0) >= 10
+
+    def test_maximizes_min_distance(self, machine):
+        policy = FarthestFirstPolicy()
+        live = {vreg("a"): 0, vreg("b"): 63}  # opposite corners
+        chosen = policy.choose(
+            [r for r in range(64) if r not in (0, 63)], ctx(machine, live=live)
+        )
+        dist = min(
+            machine.geometry.manhattan_distance(chosen, 0),
+            machine.geometry.manhattan_distance(chosen, 63),
+        )
+        assert dist >= 6  # roughly equidistant
+
+
+class TestCoolestFirst:
+    def test_avoids_loaded_neighbourhood(self, machine):
+        policy = CoolestFirstPolicy()
+        policy.reset(machine)
+        # Load up register 0's neighbourhood heavily.
+        for _ in range(5):
+            chosen = policy.choose([0], ctx(machine, weight=100.0))
+            assert chosen == 0
+        far = policy.choose([1, 63], ctx(machine, weight=1.0))
+        assert far == 63
+
+    def test_balances_over_sequence(self, machine):
+        policy = CoolestFirstPolicy()
+        policy.reset(machine)
+        free = list(range(64))
+        picks = [policy.choose(free, ctx(machine, weight=10.0)) for _ in range(16)]
+        assert len(set(picks)) == 16  # never doubles up while space remains
+
+
+class TestRegistry:
+    def test_default_policies_unique_names(self):
+        names = [p.name for p in default_policies()]
+        assert len(names) == len(set(names)) == 6
+
+    def test_lookup_by_name(self):
+        assert policy_by_name("chessboard").name == "chessboard"
+        with pytest.raises(AllocationError):
+            policy_by_name("nonexistent")

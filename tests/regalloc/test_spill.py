@@ -1,0 +1,80 @@
+"""Spill code insertion in isolation."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.ir import Opcode, parse_function, verify_function
+from repro.ir.values import PhysicalRegister, vreg
+from repro.regalloc import insert_spill_code, spill_cost
+from repro.sim import Interpreter
+
+
+class TestSpillInsertion:
+    def test_spilled_register_leaves_long_lifetimes(self, loop):
+        spilled = insert_spill_code(loop, {vreg("acc")})
+        verify_function(spilled)
+        # %acc itself no longer appears as a direct operand anywhere
+        # except nowhere: every use goes through a reload temp.
+        for inst in spilled.instructions():
+            if inst.opcode not in (Opcode.SPILL, Opcode.RELOAD):
+                assert vreg("acc") not in inst.uses()
+                assert vreg("acc") not in inst.defs()
+
+    def test_semantics_preserved(self, loop):
+        spilled = insert_spill_code(loop, {vreg("acc"), vreg("i")})
+        verify_function(spilled)
+        interp = Interpreter()
+        assert (
+            interp.run(spilled, args=[10]).return_value
+            == interp.run(loop, args=[10]).return_value
+        )
+
+    def test_param_spill_stores_on_entry(self, straightline):
+        spilled = insert_spill_code(straightline, {vreg("a")})
+        first = spilled.entry.instructions[0]
+        assert first.opcode is Opcode.SPILL
+        interp = Interpreter()
+        assert (
+            interp.run(spilled, args=[6, 7]).return_value
+            == interp.run(straightline, args=[6, 7]).return_value
+        )
+
+    def test_empty_spill_set_copies(self, loop):
+        clone = insert_spill_code(loop, set())
+        assert str(clone) == str(loop)
+        assert clone is not loop
+
+    def test_instruction_count_grows(self, loop):
+        spilled = insert_spill_code(loop, {vreg("acc")})
+        assert spilled.instruction_count() > loop.instruction_count()
+
+    def test_physical_register_rejected(self, loop):
+        with pytest.raises(AllocationError):
+            insert_spill_code(loop, {PhysicalRegister(0)})
+
+    def test_repeated_use_in_one_instruction_single_reload(self):
+        src = """
+        func @f(%x) {
+        entry:
+          %y = mul %x, %x
+          ret %y
+        }
+        """
+        f = parse_function(src)
+        spilled = insert_spill_code(f, {vreg("x")})
+        reloads = [
+            i for i in spilled.instructions() if i.opcode is Opcode.RELOAD
+        ]
+        assert len(reloads) == 1  # both operands share one reload
+        assert Interpreter().run(spilled, args=[9]).return_value == 81
+
+
+class TestSpillCost:
+    def test_high_weight_costly(self):
+        assert spill_cost(1000.0, 10, 3) > spill_cost(1.0, 10, 3)
+
+    def test_high_degree_cheap(self):
+        assert spill_cost(10.0, 10, 20) < spill_cost(10.0, 10, 1)
+
+    def test_long_interval_cheap(self):
+        assert spill_cost(10.0, 100, 3) < spill_cost(10.0, 2, 3)

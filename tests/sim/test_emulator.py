@@ -1,0 +1,91 @@
+"""Thermal emulator: the feedback-driven reference flow."""
+
+import pytest
+
+from repro.arch import rf64
+from repro.regalloc import allocate_linear_scan
+from repro.sim import ThermalEmulator, compare_maps, compare_to_emulation
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def emulator(machine):
+    return ThermalEmulator(machine, window=64)
+
+
+@pytest.fixture(scope="module")
+def allocated(machine):
+    wl = load("fib")
+    return wl, allocate_linear_scan(wl.function, machine).function
+
+
+class TestEmulation:
+    def test_execution_result_included(self, emulator, allocated):
+        wl, func = allocated
+        result = emulator.run(func, memory=dict(wl.memory))
+        assert result.execution.return_value == wl.expected_return
+        assert result.cycles == result.execution.cycles
+
+    def test_thermal_trace_grows_monotonically_early(self, emulator, allocated):
+        wl, func = allocated
+        result = emulator.run(func, memory=dict(wl.memory))
+        peaks = result.thermal_trace.peak_over_time()
+        assert peaks[0] <= peaks[-1] + 1e-9
+        assert len(result.thermal_trace) >= 2
+
+    def test_access_counts_match_execution(self, emulator, allocated):
+        wl, func = allocated
+        result = emulator.run(func, memory=dict(wl.memory))
+        assert result.access_counts == result.execution.access_counts()
+        assert sum(result.access_counts.values()) == len(result.execution.accesses)
+
+    def test_long_run_final_approaches_steady(self, machine):
+        """For a long steady loop the transient must approach the
+        steady-state map built from average power."""
+        wl = load("crc32")
+        func = allocate_linear_scan(wl.function, machine).function
+        emulator = ThermalEmulator(machine, window=32)
+        result = emulator.run(func, memory=dict(wl.memory))
+        report = compare_maps(result.final_state, result.steady_state)
+        assert report.pearson_r > 0.95
+
+    def test_steady_map_shortcut_matches_full_run(self, emulator, allocated):
+        wl, func = allocated
+        full = emulator.run(func, memory=dict(wl.memory))
+        quick = emulator.steady_map(func, memory=dict(wl.memory))
+        assert quick.max_abs_diff(full.steady_state) < 1e-9
+
+    def test_leakage_inclusion_raises_floor(self, machine, allocated):
+        wl, func = allocated
+        emulator = ThermalEmulator(machine)
+        with_leak = emulator.run(func, memory=dict(wl.memory), include_leakage=True)
+        without = emulator.run(func, memory=dict(wl.memory), include_leakage=False)
+        assert with_leak.steady_state.mean > without.steady_state.mean
+
+    def test_wall_time_recorded(self, emulator, allocated):
+        wl, func = allocated
+        result = emulator.run(func, memory=dict(wl.memory))
+        assert result.wall_time_seconds > 0.0
+
+
+class TestAccuracyReports:
+    def test_identical_maps_score_perfectly(self, emulator, allocated):
+        wl, func = allocated
+        result = emulator.run(func, memory=dict(wl.memory))
+        report = compare_to_emulation(result.steady_state, result)
+        assert report.pearson_r == pytest.approx(1.0)
+        assert report.rmse_kelvin == pytest.approx(0.0, abs=1e-12)
+        assert report.hottest_register_match
+        assert report.peak_error_kelvin == pytest.approx(0.0, abs=1e-12)
+
+    def test_speedup_infinite_for_zero_predict_time(self, emulator, allocated):
+        wl, func = allocated
+        result = emulator.run(func, memory=dict(wl.memory))
+        report = compare_to_emulation(result.steady_state, result,
+                                      predicted_seconds=0.0)
+        assert report.speedup == float("inf")

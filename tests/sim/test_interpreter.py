@@ -1,0 +1,172 @@
+"""IR interpreter semantics: opcodes, wrapping, traces, faults."""
+
+import pytest
+
+from repro.arch import rf64
+from repro.errors import SimulationError
+from repro.ir import parse_function
+from repro.sim import Interpreter
+
+
+def run_expr(body: str, args=(), memory=None, params="%a, %b"):
+    if not args:
+        params = ""
+    src = f"func @f({params}) {{\nentry:\n{body}\n}}\n"
+    f = parse_function(src)
+    return Interpreter().run(f, args=list(args), memory=memory or {})
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, -1),
+            ("mul", -3, 4, -12),
+            ("div", 7, 2, 3),
+            ("div", -7, 2, -3),  # truncation toward zero, not floor
+            ("rem", 7, 2, 1),
+            ("rem", -7, 2, -1),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 5, 32),
+            ("shr", 32, 5, 1),
+        ],
+    )
+    def test_binary_ops(self, op, a, b, expected):
+        result = run_expr(f"  %r = {op} %a, %b\n  ret %r", args=(a, b))
+        assert result.return_value == expected
+
+    def test_shr_is_logical(self):
+        # -1 >> 1 on wrapped 32-bit = 0x7FFFFFFF.
+        result = run_expr("  %r = shr %a, %b\n  ret %r", args=(-1, 1))
+        assert result.return_value == 0x7FFFFFFF
+
+    def test_shift_count_masked(self):
+        result = run_expr("  %r = shl %a, %b\n  ret %r", args=(1, 33))
+        assert result.return_value == 2  # 33 & 31 == 1
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("cmpeq", 3, 3, 1), ("cmpeq", 3, 4, 0),
+            ("cmpne", 3, 4, 1), ("cmplt", -1, 0, 1),
+            ("cmple", 3, 3, 1), ("cmpgt", 4, 3, 1),
+            ("cmpge", 2, 3, 0),
+        ],
+    )
+    def test_comparisons(self, op, a, b, expected):
+        result = run_expr(f"  %r = {op} %a, %b\n  ret %r", args=(a, b))
+        assert result.return_value == expected
+
+    def test_unary(self):
+        assert run_expr("  %r = neg %a\n  ret %r", args=(5, 0)).return_value == -5
+        assert run_expr("  %r = not %a\n  ret %r", args=(0, 0)).return_value == -1
+
+    def test_wrapping_overflow(self):
+        result = run_expr(
+            "  %r = mul %a, %b\n  ret %r", args=(2**30, 4)
+        )
+        assert result.return_value == 0  # 2^32 wraps to 0
+
+    def test_division_by_zero(self):
+        with pytest.raises(SimulationError, match="division by zero"):
+            run_expr("  %r = div %a, %b\n  ret %r", args=(1, 0))
+        with pytest.raises(SimulationError, match="remainder by zero"):
+            run_expr("  %r = rem %a, %b\n  ret %r", args=(1, 0))
+
+
+class TestMemoryAndControl:
+    def test_load_store(self):
+        result = run_expr(
+            "  store %a, %b\n  %r = load %a\n  ret %r", args=(100, 42)
+        )
+        assert result.return_value == 42
+        assert result.memory[100] == 42
+
+    def test_uninitialized_memory_reads_zero(self):
+        assert run_expr("  %r = load %a\n  ret %r", args=(5, 0)).return_value == 0
+
+    def test_branching(self, diamond):
+        interp = Interpreter()
+        small = interp.run(diamond, args=[3])
+        big = interp.run(diamond, args=[30])
+        assert small.block_counts.get("small") == 1
+        assert big.block_counts.get("big") == 1
+
+    def test_loop_executes_n_times(self, loop):
+        result = Interpreter().run(loop, args=[7])
+        assert result.return_value == sum(i * i for i in range(7))
+        assert result.block_counts["body"] == 7
+        assert result.block_counts["head"] == 8
+
+    def test_ret_void(self):
+        result = run_expr("  ret")
+        assert result.return_value is None
+
+    def test_halt(self):
+        result = run_expr("  %x = li 3\n  halt")
+        assert result.return_value is None
+
+
+class TestFaults:
+    def test_undefined_register_read(self):
+        src = "func @f() {\nentry:\n  ret %ghost\n}\n"
+        # Verifier would reject; the interpreter must too when run raw.
+        f = parse_function(src)
+        with pytest.raises(SimulationError, match="undefined register"):
+            Interpreter().run(f)
+
+    def test_wrong_arity(self, loop):
+        with pytest.raises(SimulationError, match="takes 1 args"):
+            Interpreter().run(loop, args=[])
+
+    def test_max_steps_guard(self):
+        src = """
+        func @spin() {
+        entry:
+          jump entry
+        }
+        """
+        f = parse_function(src)
+        with pytest.raises(SimulationError, match="exceeded"):
+            Interpreter(max_steps=100).run(f)
+
+    def test_unwritten_slot_reload(self):
+        src = "func @f(%x) {\nentry:\n  %v = reload @s\n  ret %v\n}\n"
+        f = parse_function(src)
+        with pytest.raises(SimulationError, match="unwritten slot"):
+            Interpreter().run(f, args=[1])
+
+
+class TestTracing:
+    def test_access_trace_counts(self):
+        result = run_expr("  %r = add %a, %b\n  ret %r", args=(1, 2))
+        # add reads a, b and writes r; ret reads r.
+        assert len(result.accesses) == 4
+        reads = [a for a in result.accesses if not a.is_write]
+        writes = [a for a in result.accesses if a.is_write]
+        assert len(reads) == 3
+        assert len(writes) == 1
+
+    def test_cycles_respect_latency(self):
+        machine = rf64()
+        src = "func @f(%p) {\nentry:\n  %v = load %p\n  ret %v\n}\n"
+        f = parse_function(src)
+        slow = Interpreter(machine=machine).run(f, args=[0])
+        fast = Interpreter().run(f, args=[0])
+        assert slow.cycles > fast.cycles
+
+    def test_trace_disabled(self):
+        src = "func @f() {\nentry:\n  %v = li 1\n  ret %v\n}\n"
+        f = parse_function(src)
+        result = Interpreter(trace_accesses=False).run(f)
+        assert result.accesses == []
+        assert result.return_value == 1
+
+    def test_physical_index_accessor(self):
+        src = "func @f() {\nentry:\n  r3 = li 1\n  ret r3\n}\n"
+        f = parse_function(src)
+        result = Interpreter().run(f)
+        assert {a.physical_index for a in result.accesses} == {3}

@@ -1,0 +1,82 @@
+"""Access trace → power trace: energy conservation and windowing."""
+
+import numpy as np
+import pytest
+
+from repro.arch import EnergyModel, RegisterFileGeometry
+from repro.errors import SimulationError
+from repro.ir.values import preg
+from repro.sim import accesses_to_power_trace, mean_register_power
+from repro.sim.interpreter import RegisterAccess
+from repro.thermal import ThermalGrid
+
+
+@pytest.fixture
+def grid():
+    return ThermalGrid(RegisterFileGeometry(rows=4, cols=4))
+
+
+@pytest.fixture
+def energy():
+    return EnergyModel(read_energy=4e-12, write_energy=6e-12, cycle_time=1e-9)
+
+
+def make_accesses(spec):
+    """spec: list of (cycle, index, is_write)."""
+    return [RegisterAccess(c, preg(i), w) for c, i, w in spec]
+
+
+class TestEnergyConservation:
+    def test_total_energy_matches_accesses(self, grid, energy):
+        accesses = make_accesses(
+            [(0, 0, False), (1, 0, True), (5, 3, False), (200, 9, True)]
+        )
+        trace = accesses_to_power_trace(accesses, 256, grid, energy, window=64)
+        expected = 2 * 4e-12 + 2 * 6e-12
+        assert trace.total_energy() == pytest.approx(expected)
+
+    def test_windows_cover_trace(self, grid, energy):
+        accesses = make_accesses([(i, 0, False) for i in range(100)])
+        trace = accesses_to_power_trace(accesses, 100, grid, energy, window=32)
+        assert len(trace) == 4  # ceil(100/32)
+
+    def test_power_in_correct_window(self, grid, energy):
+        accesses = make_accesses([(70, 5, True)])
+        trace = accesses_to_power_trace(accesses, 128, grid, energy, window=64)
+        assert trace.samples[0].sum() == 0.0
+        assert trace.samples[1].sum() > 0.0
+
+    def test_late_access_clamped_to_last_window(self, grid, energy):
+        accesses = make_accesses([(1000, 5, True)])
+        trace = accesses_to_power_trace(accesses, 128, grid, energy, window=64)
+        assert trace.samples[-1].sum() > 0.0
+
+
+class TestValidation:
+    def test_bad_window(self, grid, energy):
+        with pytest.raises(SimulationError):
+            accesses_to_power_trace([], 10, grid, energy, window=0)
+
+    def test_out_of_range_register(self, grid, energy):
+        accesses = make_accesses([(0, 99, False)])
+        with pytest.raises(SimulationError):
+            accesses_to_power_trace(accesses, 10, grid, energy)
+
+
+class TestMeanPower:
+    def test_average_over_duration(self, energy):
+        accesses = make_accesses([(0, 2, True), (1, 2, True)])
+        power = mean_register_power(accesses, 100, energy, 16)
+        # Two writes over 100 cycles.
+        assert power[2] == pytest.approx(2 * 6e-12 / (100 * 1e-9))
+        assert set(power) == {2}
+
+    def test_consistent_with_power_trace_mean(self, grid, energy):
+        accesses = make_accesses(
+            [(i, i % 16, i % 2 == 0) for i in range(128)]
+        )
+        trace = accesses_to_power_trace(accesses, 128, grid, energy, window=64)
+        mean_from_trace = trace.mean_power()
+        mean_direct = mean_register_power(accesses, 128, energy, 16)
+        vec = grid.power_vector(mean_direct)
+        assert np.allclose(mean_from_trace, vec)

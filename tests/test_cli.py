@@ -1,0 +1,89 @@
+"""CLI: every subcommand through main(argv)."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import LOOP_SRC
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "kernel.ir"
+    path.write_text(LOOP_SRC)
+    return str(path)
+
+
+class TestWorkloadsCommand:
+    def test_lists_suite(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fir", "iir", "crc32", "fib"):
+            assert name in out
+
+
+class TestAnalyzeCommand:
+    def test_on_named_workload(self, capsys):
+        assert main(["analyze", "--workload", "fib", "--delta", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "critical variables" in out
+
+    def test_on_ir_file(self, capsys, ir_file):
+        assert main(["analyze", ir_file, "--no-map"]) == 0
+        out = capsys.readouterr().out
+        assert "thermal data flow analysis of @loop" in out
+        assert "peak thermal map" not in out
+
+    def test_policy_selection(self, capsys):
+        assert main(
+            ["analyze", "--workload", "fib", "--policy", "chessboard"]
+        ) == 0
+
+    def test_merge_selection(self, capsys):
+        assert main(["analyze", "--workload", "fib", "--merge", "max"]) == 0
+
+    def test_missing_input_fails(self, capsys):
+        assert main(["analyze"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["analyze", "/nonexistent/file.ir"]) == 1
+
+    def test_unknown_workload_fails(self, capsys):
+        assert main(["analyze", "--workload", "nope"]) == 1
+        assert "available" in capsys.readouterr().err
+
+
+class TestCompileCommand:
+    def test_pipeline_summary(self, capsys):
+        assert main(["compile", "--workload", "fib"]) == 0
+        out = capsys.readouterr().out
+        assert "thermal plan" in out
+        assert "instructions" in out
+
+    def test_machine_selection(self, capsys):
+        assert main(["compile", "--workload", "fib", "--machine", "rf32"]) == 0
+
+
+class TestEmulateCommand:
+    def test_basic(self, capsys):
+        assert main(["emulate", "--workload", "fib"]) == 0
+        out = capsys.readouterr().out
+        assert "return value: 102334155" in out
+        assert "steady map" in out
+
+    def test_with_accuracy(self, capsys):
+        assert main(
+            ["emulate", "--workload", "fib", "--compare-analysis"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "analysis:" in out
+        assert "r=" in out
+
+
+class TestFig1Command:
+    def test_renders_three_maps(self, capsys):
+        assert main(["fig1", "--workload", "fib"]) == 0
+        out = capsys.readouterr().out
+        for name in ("first-free", "random", "chessboard"):
+            assert name in out

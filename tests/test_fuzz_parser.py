@@ -1,0 +1,75 @@
+"""Parser robustness fuzzing.
+
+The contract: for *any* input text, `parse_module` either succeeds or
+raises :class:`ParseError` — never an unrelated exception.  Hypothesis
+drives both arbitrary text and structured mutations of valid programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.ir import parse_module, print_function
+from repro.workloads import random_program
+
+_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(text=st.text(max_size=400))
+@_SETTINGS
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse_module(text)
+    except ParseError:
+        pass  # the only acceptable failure mode
+
+
+@given(
+    text=st.text(
+        alphabet=st.sampled_from(list("funcentry %@rjlabd=+-,(){}:0123456789 \n")),
+        max_size=300,
+    )
+)
+@_SETTINGS
+def test_ir_flavoured_text_never_crashes(text):
+    try:
+        parse_module(text)
+    except ParseError:
+        pass
+
+
+@given(seed=st.integers(0, 10_000), cut=st.integers(0, 100))
+@_SETTINGS
+def test_truncated_valid_programs_never_crash(seed, cut):
+    """Prefixes of valid programs parse or raise ParseError cleanly."""
+    text = print_function(random_program(seed=seed, num_blocks=3))
+    lines = text.splitlines()
+    truncated = "\n".join(lines[: max(1, len(lines) - cut % max(1, len(lines)))])
+    try:
+        parse_module(truncated)
+    except ParseError:
+        pass
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    position=st.integers(0, 500),
+    junk=st.text(max_size=10),
+)
+@_SETTINGS
+def test_corrupted_valid_programs_never_crash(seed, position, junk):
+    """Splicing junk into a valid program parses or raises ParseError."""
+    text = print_function(random_program(seed=seed, num_blocks=2))
+    pos = position % (len(text) + 1)
+    corrupted = text[:pos] + junk + text[pos:]
+    try:
+        parse_module(corrupted)
+    except ParseError:
+        pass

@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategy sources:
+* random-but-valid IR from the seeded workload generators;
+* random thermal fields and power vectors.
+
+Each property captures an invariant the reproduction's claims depend on:
+parser/printer round trips, allocation correctness under arbitrary
+policies, semantics preservation of every transformation, and the
+physical sanity of the thermal operators (monotonicity, contraction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import RegisterFileGeometry, rf16, rf64
+from repro.ir import parse_function, print_function, verify_function
+from repro.regalloc import (
+    allocate_graph_coloring,
+    allocate_linear_scan,
+    build_interference_graph,
+    default_policies,
+)
+from repro.sim import Interpreter
+from repro.thermal import RFThermalModel, ThermalGrid, ThermalState
+from repro.workloads import pressure_program, random_loop_program, random_program
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MACHINE = rf64()
+SMALL_MACHINE = rf16()
+
+
+# ----------------------------------------------------------------------
+# IR round trips
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_print_parse_round_trip(seed):
+    f = random_program(seed=seed)
+    text = print_function(f)
+    again = print_function(parse_function(text))
+    assert text == again
+
+
+@given(seed=st.integers(0, 10_000), blocks=st.integers(1, 6), ops=st.integers(1, 10))
+@_SETTINGS
+def test_generated_ir_always_verifies(seed, blocks, ops):
+    f = random_program(seed=seed, num_blocks=blocks, ops_per_block=ops)
+    verify_function(f)
+
+
+# ----------------------------------------------------------------------
+# Allocation correctness under arbitrary policies and machines
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(0, 500),
+    policy_index=st.integers(0, 5),
+    small=st.booleans(),
+)
+@_SETTINGS
+def test_linear_scan_preserves_semantics(seed, policy_index, small):
+    wl = random_loop_program(seed=seed, body_ops=6, live_vars=4, iterations=8)
+    machine = SMALL_MACHINE if small else MACHINE
+    policy = default_policies(seed=seed)[policy_index]
+    allocation = allocate_linear_scan(wl.function, machine, policy)
+    verify_function(allocation.function, allow_mixed_registers=False)
+    result = Interpreter().run(allocation.function)
+    assert result.return_value == wl.expected_return
+
+
+@given(seed=st.integers(0, 500), policy_index=st.integers(0, 5))
+@_SETTINGS
+def test_graph_coloring_is_proper_coloring(seed, policy_index):
+    wl = random_loop_program(seed=seed, body_ops=8, live_vars=5, iterations=4)
+    policy = default_policies(seed=seed)[policy_index]
+    allocation = allocate_graph_coloring(wl.function, MACHINE, policy)
+    graph = build_interference_graph(wl.function)
+    for a in allocation.mapping:
+        for b in allocation.mapping:
+            if a != b and graph.interferes(a, b):
+                assert allocation.mapping[a] != allocation.mapping[b]
+
+
+@given(k=st.integers(2, 20))
+@_SETTINGS
+def test_spilling_terminates_under_extreme_pressure(k):
+    from repro.arch import MachineDescription
+
+    tiny = MachineDescription(
+        name="rf4", geometry=RegisterFileGeometry(rows=2, cols=2)
+    )
+    wl = pressure_program(k, iterations=3)
+    allocation = allocate_linear_scan(wl.function, tiny)
+    result = Interpreter().run(allocation.function)
+    assert result.return_value == wl.expected_return
+
+
+# ----------------------------------------------------------------------
+# Transformation passes never change program meaning
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 500), chunk=st.integers(1, 4))
+@_SETTINGS
+def test_split_pass_preserves_semantics(seed, chunk):
+    from repro.opt import SplitLiveRangesPass
+
+    wl = random_loop_program(seed=seed, body_ops=8, live_vars=4, iterations=6)
+    targets = tuple(sorted(wl.function.virtual_registers(), key=str))
+    transformed, _report = SplitLiveRangesPass(targets=targets, chunk=chunk).run(
+        wl.function
+    )
+    verify_function(transformed)
+    assert Interpreter().run(transformed).return_value == wl.expected_return
+
+
+@given(seed=st.integers(0, 500))
+@_SETTINGS
+def test_schedule_pass_preserves_semantics(seed):
+    from repro.opt import ThermalSchedulePass
+
+    wl = random_loop_program(seed=seed, body_ops=10, live_vars=5, iterations=6)
+    transformed, _report = ThermalSchedulePass().run(wl.function)
+    verify_function(transformed)
+    assert Interpreter().run(transformed).return_value == wl.expected_return
+
+
+@given(seed=st.integers(0, 500))
+@_SETTINGS
+def test_dce_preserves_semantics(seed):
+    from repro.opt import DeadCodeEliminationPass
+
+    wl = random_loop_program(seed=seed, body_ops=8, live_vars=4, iterations=6)
+    transformed, _report = DeadCodeEliminationPass().run(wl.function)
+    assert Interpreter().run(transformed).return_value == wl.expected_return
+
+
+@given(seed=st.integers(0, 200))
+@_SETTINGS
+def test_reassign_preserves_semantics(seed):
+    from repro.opt import ReassignPass
+
+    wl = random_loop_program(seed=seed, body_ops=6, live_vars=4, iterations=5)
+    allocation = allocate_linear_scan(wl.function, MACHINE)
+    transformed, _report = ReassignPass(machine=MACHINE).run(allocation.function)
+    verify_function(transformed, allow_mixed_registers=False)
+    assert Interpreter().run(transformed).return_value == wl.expected_return
+
+
+# ----------------------------------------------------------------------
+# Thermal operator physics
+# ----------------------------------------------------------------------
+_GEO = RegisterFileGeometry(rows=4, cols=4)
+_MODEL = RFThermalModel(_GEO)
+
+
+@st.composite
+def power_vectors(draw):
+    values = draw(
+        st.lists(st.floats(0.0, 1e-2), min_size=16, max_size=16)
+    )
+    return np.array(values)
+
+
+@st.composite
+def thermal_fields(draw):
+    values = draw(
+        st.lists(st.floats(300.0, 400.0), min_size=16, max_size=16)
+    )
+    return ThermalState(_MODEL.grid, np.array(values))
+
+
+@given(p=power_vectors())
+@_SETTINGS
+def test_steady_state_at_least_ambient(p):
+    ss = _MODEL.steady_state(p)
+    assert ss.min >= _MODEL.params.ambient - 1e-9
+
+
+@given(p=power_vectors(), q=power_vectors())
+@_SETTINGS
+def test_more_power_never_cools(p, q):
+    """Monotonicity: adding power can only raise every node temperature."""
+    base = _MODEL.steady_state(p)
+    more = _MODEL.steady_state(p + q)
+    assert np.all(more.temperatures >= base.temperatures - 1e-9)
+
+
+@given(state=thermal_fields(), p=power_vectors())
+@_SETTINGS
+def test_step_is_contraction(state, p):
+    """Two different states stepped under equal power move closer —
+    the property that makes the paper's Fig. 2 iteration converge."""
+    other = ThermalState(_MODEL.grid, state.temperatures + 5.0)
+    stepped_a = _MODEL.step(state, p, dt=1e-9, cycles=10)
+    stepped_b = _MODEL.step(other, p, dt=1e-9, cycles=10)
+    before = state.max_abs_diff(other)
+    after = stepped_a.max_abs_diff(stepped_b)
+    assert after < before
+
+
+@given(state=thermal_fields())
+@_SETTINGS
+def test_merge_max_upper_bounds_inputs(state):
+    shifted = ThermalState(_MODEL.grid, state.temperatures[::-1].copy())
+    merged = state.merge_max([shifted])
+    assert np.all(merged.temperatures >= state.temperatures - 1e-12)
+    assert np.all(merged.temperatures >= shifted.temperatures - 1e-12)
+
+
+@given(p=power_vectors(), scale=st.floats(0.1, 10.0))
+@_SETTINGS
+def test_steady_state_linearity(p, scale):
+    rise1 = _MODEL.steady_state(p).temperatures - _MODEL.params.ambient
+    rise2 = _MODEL.steady_state(p * scale).temperatures - _MODEL.params.ambient
+    assert np.allclose(rise2, rise1 * scale, rtol=1e-8, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Interpreter arithmetic matches Python's wrapped semantics
+# ----------------------------------------------------------------------
+@given(a=st.integers(-(2**31), 2**31 - 1), b=st.integers(-(2**31), 2**31 - 1))
+@_SETTINGS
+def test_interpreter_add_wraps_like_reference(a, b):
+    from repro.workloads import w32
+
+    src = "func @f(%a, %b) {\nentry:\n  %r = add %a, %b\n  ret %r\n}\n"
+    f = parse_function(src)
+    result = Interpreter().run(f, args=[a, b])
+    assert result.return_value == w32(a + b)
+
+
+@given(a=st.integers(-(2**31), 2**31 - 1), b=st.integers(-(2**31), 2**31 - 1))
+@_SETTINGS
+def test_interpreter_mul_wraps_like_reference(a, b):
+    from repro.workloads import w32
+
+    src = "func @f(%a, %b) {\nentry:\n  %r = mul %a, %b\n  ret %r\n}\n"
+    f = parse_function(src)
+    result = Interpreter().run(f, args=[a, b])
+    assert result.return_value == w32(w32(a) * w32(b))

@@ -1,0 +1,125 @@
+"""Public API surface: everything README/docstrings promise exists and works."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstring_quickstart_works(self):
+        """The module docstring's quickstart must run verbatim-ish."""
+        from repro import analyze, rf64
+        from repro.regalloc import allocate_linear_scan
+        from repro.workloads import load
+
+        machine = rf64()
+        allocated = allocate_linear_scan(load("fir").function, machine)
+        result = analyze(allocated.function, machine, delta=0.05)
+        assert result.converged
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro.ir", "repro.dataflow", "repro.arch", "repro.thermal",
+         "repro.regalloc", "repro.core", "repro.opt", "repro.sim",
+         "repro.workloads", "repro.util"],
+    )
+    def test_all_lists_are_accurate(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestAssignmentDistanceStats:
+    def test_spread_policies_score_higher(self):
+        from repro.arch import rf64
+        from repro.regalloc import (
+            FarthestFirstPolicy,
+            FirstFreePolicy,
+            allocate_linear_scan,
+            assignment_distance_stats,
+        )
+        from repro.workloads import load
+
+        machine = rf64()
+        wl = load("fir")
+        compact = assignment_distance_stats(
+            allocate_linear_scan(wl.function, machine, FirstFreePolicy())
+        )
+        spread = assignment_distance_stats(
+            allocate_linear_scan(wl.function, machine, FarthestFirstPolicy())
+        )
+        assert spread["mean_distance"] > compact["mean_distance"]
+
+    def test_degenerate_single_register(self):
+        from repro.arch import rf64
+        from repro.ir import parse_function
+        from repro.regalloc import allocate_linear_scan, assignment_distance_stats
+
+        f = parse_function(
+            "func @tiny() {\nentry:\n  %a = li 1\n  ret %a\n}\n"
+        )
+        stats = assignment_distance_stats(allocate_linear_scan(f, rf64()))
+        assert stats == {"mean_distance": 0.0, "min_distance": 0.0}
+
+
+class TestModulePrinting:
+    def test_module_round_trip(self):
+        from repro.ir import Module, parse_function, parse_module, print_module
+
+        mod = Module("m")
+        mod.add_function(parse_function(
+            "func @a(%x) {\nentry:\n  ret %x\n}\n"
+        ))
+        mod.add_function(parse_function(
+            "func @b() {\nentry:\n  %v = li 3\n  ret %v\n}\n"
+        ))
+        text = print_module(mod)
+        again = parse_module(text)
+        assert print_module(again) == text
+        assert [f.name for f in again] == ["a", "b"]
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import (
+            AllocationError,
+            ConvergenceError,
+            DataflowError,
+            IRError,
+            ParseError,
+            ReproError,
+            SimulationError,
+            ThermalModelError,
+            VerificationError,
+        )
+
+        for err in (IRError, ParseError, VerificationError, DataflowError,
+                    AllocationError, ThermalModelError, SimulationError,
+                    ConvergenceError):
+            assert issubclass(err, ReproError)
+
+    def test_parse_error_carries_line(self):
+        from repro import ParseError
+
+        err = ParseError("bad token", line=7)
+        assert err.line == 7
+        assert "line 7" in str(err)
+
+    def test_convergence_error_carries_partial_result(self):
+        from repro import ConvergenceError
+
+        err = ConvergenceError("diverged", partial_result={"x": 1}, iterations=5)
+        assert err.partial_result == {"x": 1}
+        assert err.iterations == 5

@@ -1,0 +1,55 @@
+"""The documented calibration claims of the default thermal parameters.
+
+These tests pin the regime the reproduction's experiments rely on: if a
+future parameter change breaks them, every Fig. 1-style comparison needs
+re-examination.
+"""
+
+import pytest
+
+from repro.arch import EnergyModel, RegisterFileGeometry
+from repro.thermal import RFThermalModel
+
+
+@pytest.fixture
+def model():
+    return RFThermalModel(RegisterFileGeometry(rows=8, cols=8))
+
+
+@pytest.fixture
+def energy():
+    return EnergyModel()
+
+
+def test_single_hammered_register_rise(model, energy):
+    """One register written every cycle sits ~3 K above idle (docstring)."""
+    power = energy.access_power(is_write=True)
+    ss = model.steady_state({27: power})
+    rise = ss.peak - model.params.ambient
+    assert 1.5 <= rise <= 6.0
+
+
+def test_excess_halves_within_a_cell_or_two(model, energy):
+    power = energy.access_power(is_write=True)
+    ss = model.steady_state({27: power})
+    temps = ss.as_matrix()
+    r, c = divmod(27, 8)
+    self_rise = temps[r, c] - model.params.ambient
+    neighbour_rise = temps[r, c + 1] - model.params.ambient
+    assert neighbour_rise < 0.6 * self_rise
+    assert neighbour_rise > 0.1 * self_rise  # but diffusion is visible
+
+
+def test_tight_loop_working_set_builds_real_hotspot(model, energy):
+    """A cluster of hammered registers reaches a 5-20 K hot spot."""
+    power = energy.access_power(is_write=True)
+    cluster = {0: 2 * power, 1: 2 * power, 8: 2 * power, 9: 2 * power}
+    ss = model.steady_state(cluster)
+    rise = ss.peak - model.params.ambient
+    assert 5.0 <= rise <= 25.0
+
+
+def test_settling_within_thousands_of_cycles(model):
+    """Acceleration brings the time constant into the simulated regime."""
+    tau_cycles = model.time_constant() / 1e-9
+    assert 50 <= tau_cycles <= 5000

@@ -1,0 +1,161 @@
+"""Chip-level thermal model: layout, power attribution, heat migration."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf64
+from repro.core import TDFAConfig, ThermalDataflowAnalysis
+from repro.errors import ThermalModelError
+from repro.ir import parse_instruction
+from repro.regalloc import allocate_linear_scan
+from repro.thermal import ChipLayout, ChipPowerModel, ChipThermalModel
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def layout(machine):
+    return ChipLayout(machine.geometry)
+
+
+@pytest.fixture(scope="module")
+def chip(machine, layout):
+    return ChipThermalModel(machine, layout=layout)
+
+
+@pytest.fixture(scope="module")
+def power_model(machine, chip):
+    return ChipPowerModel(machine, chip)
+
+
+class TestLayout:
+    def test_blocks_tile_the_die(self, layout):
+        cells = []
+        for block in layout.blocks:
+            cells.extend(block.cells(layout.die_cols))
+        die = layout.die_rows * layout.die_cols
+        assert sorted(cells) == list(range(die))
+
+    def test_rf_cells_inside_rf_block(self, machine, layout):
+        rf_block_cells = set(layout.block_cells("rf"))
+        for reg in range(machine.geometry.num_registers):
+            assert layout.rf_cell(reg) in rf_block_cells
+
+    def test_rf_cell_bijective(self, machine, layout):
+        cells = {layout.rf_cell(r) for r in range(machine.geometry.num_registers)}
+        assert len(cells) == machine.geometry.num_registers
+
+    def test_unknown_block_rejected(self, layout):
+        with pytest.raises(ThermalModelError):
+            layout.block_cells("fpu")
+
+
+class TestPowerAttribution:
+    def test_register_access_heats_rf_cell(self, layout, power_model):
+        inst = parse_instruction("r10 = add r20, r30")
+        power = power_model.dynamic_power(inst)
+        for reg in (10, 20, 30):
+            assert power[layout.rf_cell(reg)] > 0.0
+        # The ALU block heats too (it executed the add).
+        alu = layout.block_cells("alu")
+        assert power[alu].sum() > 0.0
+        # The cache stays cold.
+        cache = layout.block_cells("dcache")
+        assert power[cache].sum() == 0.0
+
+    def test_memory_op_heats_cache(self, layout, power_model):
+        inst = parse_instruction("r1 = load r2")
+        power = power_model.dynamic_power(inst)
+        cache = layout.block_cells("dcache")
+        assert power[cache].sum() > 0.0
+
+    def test_spill_heats_cache_not_alu(self, layout, power_model):
+        inst = parse_instruction("spill @s, r3")
+        power = power_model.dynamic_power(inst)
+        assert power[layout.block_cells("dcache")].sum() > 0.0
+        assert power[layout.block_cells("alu")].sum() == 0.0
+
+    def test_nop_heats_nothing(self, power_model):
+        assert power_model.dynamic_power(parse_instruction("nop")).sum() == 0.0
+
+    def test_energy_conservation(self, machine, power_model):
+        inst = parse_instruction("r1 = add r2, r3")
+        power = power_model.dynamic_power(inst)
+        em = machine.energy
+        expected = (
+            2 * em.access_power(False)
+            + em.access_power(True)
+            + em.alu_energy / em.cycle_time
+        )
+        assert power.sum() == pytest.approx(expected)
+
+
+class TestChipQueries:
+    def test_block_peak_and_mean(self, chip):
+        state = chip.steady_state({0: 0.0})
+        for block in ("rf", "alu", "dcache"):
+            assert chip.block_peak(state, block) == pytest.approx(
+                chip.params.ambient
+            )
+            assert chip.block_mean(state, block) == pytest.approx(
+                chip.params.ambient
+            )
+
+    def test_heat_diffuses_between_blocks(self, machine, chip, layout):
+        """A hot RF warms the adjacent ALU more than the far cache corner."""
+        hot = {layout.rf_cell(r): 5e-3 for r in range(8)}  # RF row 0
+        # Build power on die-cell indices directly.
+        power = np.zeros(layout.die_geometry.num_registers)
+        for cell, p in hot.items():
+            power[cell] = p
+        state = chip.steady_state(power)
+        alu_mean = chip.block_mean(state, "alu")
+        cache_mean = chip.block_mean(state, "dcache")
+        assert alu_mean > chip.params.ambient
+        assert alu_mean > cache_mean  # ALU is adjacent, cache is farther
+
+
+class TestChipAnalysis:
+    def test_tdfa_runs_on_chip_model(self, machine, chip, power_model):
+        wl = load("fib")
+        allocated = allocate_linear_scan(wl.function, machine).function
+        analysis = ThermalDataflowAnalysis(
+            machine=machine,
+            model=chip,
+            power_model=power_model,
+            config=TDFAConfig(delta=0.05),
+        )
+        result = analysis.run(allocated)
+        assert result.converged
+        peak = result.peak_state()
+        # fib has no memory traffic: RF and ALU heat, cache stays cool.
+        assert chip.block_peak(peak, "rf") > chip.block_mean(peak, "dcache")
+
+    def test_spilling_migrates_heat_to_cache(self, machine, chip):
+        """The §4 trade measured chip-wide: spill traffic heats the cache."""
+        from repro.ir.values import VirtualRegister
+        from repro.regalloc import insert_spill_code
+
+        wl = load("iir")
+        victims = {
+            v for v in wl.function.virtual_registers()
+            if isinstance(v, VirtualRegister)
+        }
+        victims = set(sorted(victims, key=str)[:3])
+        spilled_fn = insert_spill_code(wl.function, victims)
+
+        def cache_peak(function):
+            allocated = allocate_linear_scan(function, machine).function
+            power_model = ChipPowerModel(machine, chip)
+            analysis = ThermalDataflowAnalysis(
+                machine=machine, model=chip, power_model=power_model,
+                config=TDFAConfig(delta=0.02),
+            )
+            result = analysis.run(allocated)
+            return chip.block_peak(result.peak_state(), "dcache")
+
+        assert cache_peak(spilled_fn) > cache_peak(wl.function)

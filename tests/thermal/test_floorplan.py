@@ -1,0 +1,89 @@
+"""Thermal grid: register↔node attribution at every granularity."""
+
+import numpy as np
+import pytest
+
+from repro.arch import RegisterFileGeometry
+from repro.errors import ThermalModelError
+from repro.thermal import ThermalGrid
+
+
+@pytest.fixture
+def geo():
+    return RegisterFileGeometry(rows=8, cols=8)
+
+
+class TestMappingInvariants:
+    @pytest.mark.parametrize("nodes", [(1, 1), (2, 2), (4, 4), (8, 8), (16, 16), (3, 5)])
+    def test_columns_sum_to_one(self, geo, nodes):
+        grid = ThermalGrid(geo, *nodes)
+        sums = grid.mapping.sum(axis=0)
+        assert np.allclose(sums, 1.0)
+
+    def test_default_grid_is_identity(self, geo):
+        grid = ThermalGrid(geo)
+        assert grid.num_nodes == geo.num_registers
+        assert np.allclose(grid.mapping, np.eye(64))
+
+    def test_single_node_aggregates_everything(self, geo):
+        grid = ThermalGrid(geo, 1, 1)
+        assert grid.mapping.shape == (1, 64)
+        assert np.allclose(grid.mapping, 1.0)
+
+    def test_cells_per_node_totals_registers(self, geo):
+        for nodes in [(2, 2), (8, 8), (16, 16)]:
+            grid = ThermalGrid(geo, *nodes)
+            assert grid.cells_per_node().sum() == pytest.approx(64.0)
+
+    def test_fine_grid_splits_cells(self, geo):
+        grid = ThermalGrid(geo, 16, 16)
+        # Each register covers exactly 4 fine nodes at 1/4 each.
+        col = grid.mapping[:, 0]
+        assert (col > 0).sum() == 4
+        assert np.allclose(col[col > 0], 0.25)
+
+
+class TestPowerAttribution:
+    def test_power_conserved(self, geo):
+        for nodes in [(1, 1), (4, 4), (8, 8), (16, 16)]:
+            grid = ThermalGrid(geo, *nodes)
+            power = grid.power_vector({0: 1.0, 27: 2.5, 63: 0.5})
+            assert power.sum() == pytest.approx(4.0)
+
+    def test_power_lands_on_right_node(self, geo):
+        grid = ThermalGrid(geo, 8, 8)
+        power = grid.power_vector({27: 1.0})
+        assert power[27] == pytest.approx(1.0)
+        assert power.sum() == pytest.approx(1.0)
+
+    def test_bad_register_rejected(self, geo):
+        grid = ThermalGrid(geo)
+        with pytest.raises(ThermalModelError):
+            grid.power_vector({99: 1.0})
+
+
+class TestTemperatureReadback:
+    def test_register_temperature_identity_grid(self, geo):
+        grid = ThermalGrid(geo)
+        temps = np.arange(64, dtype=float)
+        assert grid.register_temperature(temps, 10) == pytest.approx(10.0)
+
+    def test_register_temperatures_vectorized(self, geo):
+        grid = ThermalGrid(geo, 4, 4)
+        temps = np.random.default_rng(0).normal(320, 2, grid.num_nodes)
+        all_temps = grid.register_temperatures(temps)
+        for reg in range(64):
+            assert all_temps[reg] == pytest.approx(
+                grid.register_temperature(temps, reg)
+            )
+
+    def test_coarse_grid_averages(self, geo):
+        grid = ThermalGrid(geo, 1, 1)
+        temps = np.array([321.5])
+        assert grid.register_temperature(temps, 42) == pytest.approx(321.5)
+
+
+class TestValidation:
+    def test_bad_dimensions(self, geo):
+        with pytest.raises(ThermalModelError):
+            ThermalGrid(geo, 0, 4)

@@ -1,0 +1,74 @@
+"""ASCII thermal map rendering."""
+
+import numpy as np
+import pytest
+
+from repro.arch import RegisterFileGeometry
+from repro.thermal import (
+    RAMP,
+    ThermalGrid,
+    ThermalState,
+    render_map,
+    render_register_map,
+    render_side_by_side,
+)
+
+
+@pytest.fixture
+def grid():
+    return ThermalGrid(RegisterFileGeometry(rows=4, cols=4))
+
+
+class TestSingleMap:
+    def test_dimensions(self, grid):
+        text = render_map(ThermalState.uniform(grid, 300.0))
+        lines = text.splitlines()
+        assert len(lines) == 4 + 1  # rows + scale line
+        assert all(len(line) == 8 for line in lines[:4])  # double-width cells
+
+    def test_title(self, grid):
+        text = render_map(ThermalState.uniform(grid, 300.0), title="(a)")
+        assert text.splitlines()[0] == "(a)"
+
+    def test_hot_cell_gets_densest_char(self, grid):
+        temps = np.full(16, 300.0)
+        temps[0] = 350.0
+        text = render_map(ThermalState(grid, temps))
+        assert RAMP[-1] in text.splitlines()[0]
+
+    def test_pinned_scale(self, grid):
+        temps = np.full(16, 310.0)
+        text = render_map(ThermalState(grid, temps), t_min=300.0, t_max=340.0)
+        # 310 in [300, 340] is low-ish: should not use the hottest glyph.
+        assert RAMP[-1] not in text.splitlines()[0]
+
+
+class TestSideBySide:
+    def test_shared_scale_and_layout(self, grid):
+        cool = ThermalState.uniform(grid, 300.0)
+        temps = np.full(16, 300.0)
+        temps[5] = 330.0
+        hot = ThermalState(grid, temps)
+        text = render_side_by_side([cool, hot], titles=["(a)", "(b)"])
+        lines = text.splitlines()
+        assert "(a)" in lines[0] and "(b)" in lines[0]
+        # The cool map renders entirely with the coldest glyph because the
+        # scale is shared with the hot map.
+        body = "\n".join(lines[1:5])
+        left_halves = [line[:8] for line in lines[1:5]]
+        assert all(ch in (RAMP[0], " ") for half in left_halves for ch in half)
+
+    def test_empty_list(self):
+        assert render_side_by_side([]) == ""
+
+
+class TestRegisterMap:
+    def test_numeric_table_shape(self, grid):
+        text = render_register_map(ThermalState.uniform(grid, 300.0))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line.split()) == 4 for line in lines)
+
+    def test_values_rendered(self, grid):
+        text = render_register_map(ThermalState.uniform(grid, 321.5))
+        assert "321.50" in text

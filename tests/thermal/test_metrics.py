@@ -1,0 +1,99 @@
+"""Thermal metrics: summaries, correlation/RMSE edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.arch import RegisterFileGeometry
+from repro.thermal import (
+    ThermalGrid,
+    ThermalState,
+    correlation,
+    gradient_field,
+    peak_delta,
+    rmse,
+    summarize,
+    temporal_mean_of_peaks,
+    temporal_peak,
+    time_above,
+    uniformity,
+)
+
+
+@pytest.fixture
+def grid():
+    return ThermalGrid(RegisterFileGeometry(rows=4, cols=4))
+
+
+class TestSummaries:
+    def test_summarize_uniform(self, grid):
+        s = summarize(ThermalState.uniform(grid, 320.0))
+        assert s.peak == s.mean == 320.0
+        assert s.spread == s.gradient == s.std == 0.0
+        assert s.hotspots == 0
+
+    def test_hotspot_counting(self, grid):
+        temps = np.full(16, 300.0)
+        temps[0] = 310.0  # mean ≈ 300.6; margin 5 → one hotspot
+        s = summarize(ThermalState(grid, temps), hotspot_margin=5.0)
+        assert s.hotspots == 1
+
+    def test_as_dict_round_trip(self, grid):
+        s = summarize(ThermalState.uniform(grid, 300.0))
+        d = s.as_dict()
+        assert set(d) == {"peak", "mean", "spread", "gradient", "std", "hotspots"}
+
+    def test_peak_delta(self, grid):
+        state = ThermalState.uniform(grid, 330.0)
+        assert peak_delta(state, 318.15) == pytest.approx(11.85)
+
+    def test_uniformity_bounds(self, grid):
+        flat = ThermalState.uniform(grid, 300.0)
+        assert uniformity(flat) == 1.0
+        bumpy = ThermalState(grid, np.linspace(300, 340, 16))
+        assert 0.0 < uniformity(bumpy) < 1.0
+
+
+class TestGradientField:
+    def test_single_hot_cell(self, grid):
+        temps = np.full(16, 300.0)
+        temps[5] = 306.0
+        field = gradient_field(ThermalState(grid, temps))
+        assert field.reshape(-1)[5] == pytest.approx(6.0)
+        # Cells adjacent to the hot cell see the same gradient.
+        assert field.reshape(-1)[4] == pytest.approx(6.0)
+        # Far corner sees nothing.
+        assert field.reshape(-1)[15] == pytest.approx(0.0)
+
+
+class TestFieldComparison:
+    def test_correlation_perfect(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert correlation(a, a * 2 + 5) == pytest.approx(1.0)
+
+    def test_correlation_inverse(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_correlation_constant_fields(self):
+        const = np.full(4, 7.0)
+        varying = np.array([1.0, 2.0, 3.0, 4.0])
+        assert correlation(const, const) == 1.0
+        assert correlation(const, varying) == 0.0
+
+    def test_rmse(self):
+        a = np.zeros(4)
+        b = np.full(4, 2.0)
+        assert rmse(a, b) == pytest.approx(2.0)
+        assert rmse(a, a) == 0.0
+
+
+class TestTemporal:
+    def test_trace_metrics(self, grid):
+        trace = [
+            ThermalState.uniform(grid, 300.0),
+            ThermalState.uniform(grid, 320.0),
+            ThermalState.uniform(grid, 310.0),
+        ]
+        assert temporal_peak(trace) == 320.0
+        assert temporal_mean_of_peaks(trace) == pytest.approx(310.0)
+        assert time_above(trace, 305.0) == 2

@@ -1,0 +1,181 @@
+"""RC network physics: steady state, exact stepping, linearity, runaway."""
+
+import numpy as np
+import pytest
+
+from repro.arch import EnergyModel, RegisterFileGeometry
+from repro.errors import ConvergenceError, ThermalModelError
+from repro.thermal import RFThermalModel, ThermalGrid, ThermalParams
+
+
+@pytest.fixture
+def geo():
+    return RegisterFileGeometry(rows=8, cols=8)
+
+
+@pytest.fixture
+def model(geo):
+    return RFThermalModel(geo)
+
+
+HOT = 27  # an interior register
+
+
+class TestSteadyState:
+    def test_zero_power_is_ambient(self, model):
+        ss = model.steady_state(np.zeros(model.grid.num_nodes))
+        assert ss.peak == pytest.approx(model.params.ambient)
+        assert ss.spread == pytest.approx(0.0)
+
+    def test_uniform_power_uniform_rise(self, model):
+        ss = model.steady_state({i: 1e-3 for i in range(64)})
+        assert ss.spread == pytest.approx(0.0, abs=1e-9)
+        assert ss.peak > model.params.ambient
+
+    def test_point_source_peaks_at_source(self, model):
+        ss = model.steady_state({HOT: 5e-3})
+        temps = ss.as_matrix()
+        r, c = divmod(HOT, 8)
+        assert temps[r, c] == ss.peak
+
+    def test_monotone_decay_with_distance(self, model):
+        ss = model.steady_state({HOT: 5e-3})
+        temps = ss.as_matrix()
+        r, c = divmod(HOT, 8)
+        row = temps[r]
+        # Temperatures decrease monotonically moving right from the source.
+        diffs = np.diff(row[c:])
+        assert np.all(diffs < 0)
+
+    def test_superposition(self, model):
+        """The linear network obeys superposition exactly."""
+        p1 = model.power_vector({10: 2e-3})
+        p2 = model.power_vector({53: 3e-3})
+        t1 = model.steady_state(p1).temperatures - model.params.ambient
+        t2 = model.steady_state(p2).temperatures - model.params.ambient
+        t12 = model.steady_state(p1 + p2).temperatures - model.params.ambient
+        assert np.allclose(t12, t1 + t2)
+
+    def test_power_scaling_linearity(self, model):
+        t1 = model.steady_state({HOT: 1e-3}).temperatures - model.params.ambient
+        t3 = model.steady_state({HOT: 3e-3}).temperatures - model.params.ambient
+        assert np.allclose(t3, 3 * t1)
+
+    def test_wrong_length_rejected(self, model):
+        with pytest.raises(ThermalModelError):
+            model.steady_state(np.zeros(7))
+
+
+class TestTransient:
+    def test_step_relaxes_toward_steady_state(self, model):
+        power = model.power_vector({HOT: 5e-3})
+        target = model.steady_state(power)
+        state = model.ambient_state()
+        previous_gap = target.max_abs_diff(state)
+        for _ in range(5):
+            state = model.step(state, power, cycles=100)
+            gap = target.max_abs_diff(state)
+            assert gap < previous_gap
+            previous_gap = gap
+        assert previous_gap < 1.0
+
+    def test_two_half_steps_equal_one_full_step(self, model):
+        """The exponential integrator composes exactly."""
+        power = model.power_vector({HOT: 5e-3})
+        state = model.ambient_state()
+        one = model.step(state, power, dt=2e-7)
+        half = model.step(model.step(state, power, dt=1e-7), power, dt=1e-7)
+        assert np.allclose(one.temperatures, half.temperatures, atol=1e-9)
+
+    def test_steady_state_is_step_fixed_point(self, model):
+        power = model.power_vector({HOT: 5e-3})
+        ss = model.steady_state(power)
+        stepped = model.step(ss, power, cycles=500)
+        assert ss.max_abs_diff(stepped) < 1e-9
+
+    def test_relax_cools_to_ambient(self, model):
+        power = model.power_vector({HOT: 5e-3})
+        hot = model.steady_state(power)
+        cooled = model.relax(hot, dt=1e-9, cycles=50_000)
+        assert cooled.peak - model.params.ambient < 0.05
+
+    def test_invalid_step_args(self, model):
+        state = model.ambient_state()
+        with pytest.raises(ThermalModelError):
+            model.step(state, np.zeros(64), dt=-1.0)
+        with pytest.raises(ThermalModelError):
+            model.step(state, np.zeros(64), cycles=0)
+
+
+class TestAccelerationInvariance:
+    def test_steady_state_independent_of_capacitance(self, geo):
+        """The documented soundness argument for thermal acceleration."""
+        slow = RFThermalModel(geo, params=ThermalParams(acceleration=1.0))
+        fast = RFThermalModel(geo, params=ThermalParams(acceleration=1e6))
+        p = {HOT: 5e-3, 3: 1e-3}
+        assert np.allclose(
+            slow.steady_state(p).temperatures,
+            fast.steady_state(p).temperatures,
+        )
+
+    def test_acceleration_shortens_time_constant(self, geo):
+        slow = RFThermalModel(geo, params=ThermalParams(acceleration=1.0))
+        fast = RFThermalModel(geo, params=ThermalParams(acceleration=1e4))
+        assert fast.time_constant() == pytest.approx(
+            slow.time_constant() / 1e4, rel=1e-6
+        )
+
+
+class TestLeakage:
+    def test_constant_leakage_vector(self, geo):
+        model = RFThermalModel(geo, energy=EnergyModel(leakage_power=2e-6))
+        leak = model.leakage_vector()
+        assert leak.sum() == pytest.approx(2e-6 * 64)
+
+    def test_temperature_dependent_leakage_grows(self, geo):
+        energy = EnergyModel(leakage_power=1e-5, leakage_temp_coeff=0.03)
+        model = RFThermalModel(geo, energy=energy)
+        cold = model.ambient_state()
+        hot_temps = np.full(64, model.params.ambient + 20.0)
+        from repro.thermal import ThermalState
+
+        hot = ThermalState(model.grid, hot_temps)
+        assert model.leakage_vector(hot).sum() > model.leakage_vector(cold).sum()
+
+    def test_mild_feedback_converges(self, geo):
+        energy = EnergyModel(leakage_power=1e-5, leakage_temp_coeff=0.02)
+        model = RFThermalModel(geo, energy=energy)
+        ss = model.steady_state_with_leakage({HOT: 3e-3})
+        assert ss.peak > model.params.ambient
+
+    def test_runaway_detected(self, geo):
+        """Strong feedback diverges — the genuine non-convergence case."""
+        energy = EnergyModel(leakage_power=5e-3, leakage_temp_coeff=0.5)
+        model = RFThermalModel(geo, energy=energy)
+        with pytest.raises(ConvergenceError) as err:
+            model.steady_state_with_leakage({HOT: 6e-3})
+        assert err.value.partial_result is not None
+
+
+class TestConductanceStructure:
+    def test_symmetric_positive_definite(self, model):
+        g = model.conductance
+        assert np.allclose(g, g.T)
+        eigvals = np.linalg.eigvalsh(g)
+        assert np.all(eigvals > 0)
+
+    def test_interior_node_has_four_neighbours(self, model):
+        g = model.conductance
+        row = g[27]
+        off_diagonal = np.count_nonzero(row) - 1
+        assert off_diagonal == 4
+
+    def test_corner_node_has_two_neighbours(self, model):
+        g = model.conductance
+        assert np.count_nonzero(g[0]) - 1 == 2
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ThermalModelError):
+            ThermalParams(acceleration=0.0)
+        with pytest.raises(ThermalModelError):
+            ThermalParams(k_lateral=-1.0)

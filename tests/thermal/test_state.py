@@ -1,0 +1,121 @@
+"""ThermalState: immutability, metrics, lattice operations."""
+
+import numpy as np
+import pytest
+
+from repro.arch import RegisterFileGeometry
+from repro.errors import ThermalModelError
+from repro.thermal import ThermalGrid, ThermalState
+
+
+@pytest.fixture
+def grid():
+    return ThermalGrid(RegisterFileGeometry(rows=4, cols=4))
+
+
+def make_state(grid, values):
+    return ThermalState(grid, np.array(values, dtype=float))
+
+
+class TestConstruction:
+    def test_uniform(self, grid):
+        state = ThermalState.uniform(grid, 318.15)
+        assert state.peak == state.mean == state.min == 318.15
+        assert state.spread == 0.0
+
+    def test_wrong_shape_rejected(self, grid):
+        with pytest.raises(ThermalModelError):
+            ThermalState(grid, np.zeros(5))
+
+    def test_read_only(self, grid):
+        state = ThermalState.uniform(grid, 300.0)
+        with pytest.raises(ValueError):
+            state.temperatures[0] = 999.0
+
+    def test_input_array_not_aliased(self, grid):
+        values = np.full(16, 300.0)
+        state = ThermalState(grid, values)
+        values[0] = 999.0
+        assert state.peak == 300.0
+
+
+class TestMetrics:
+    def test_peak_mean_min(self, grid):
+        temps = [300.0] * 15 + [310.0]
+        state = make_state(grid, temps)
+        assert state.peak == 310.0
+        assert state.min == 300.0
+        assert state.spread == 10.0
+        assert state.mean == pytest.approx(300.625)
+
+    def test_max_gradient_horizontal(self, grid):
+        temps = np.full(16, 300.0)
+        temps[5] = 308.0  # neighbours at 300 -> gradient 8
+        state = ThermalState(grid, temps)
+        assert state.max_gradient() == pytest.approx(8.0)
+
+    def test_gradient_zero_for_uniform(self, grid):
+        assert ThermalState.uniform(grid, 300.0).max_gradient() == 0.0
+
+    def test_as_matrix_shape(self, grid):
+        m = ThermalState.uniform(grid, 300.0).as_matrix()
+        assert m.shape == (4, 4)
+
+    def test_register_temperature(self, grid):
+        temps = np.arange(16, dtype=float) + 300.0
+        state = ThermalState(grid, temps)
+        assert state.register_temperature(7) == pytest.approx(307.0)
+        assert state.register_temperatures()[7] == pytest.approx(307.0)
+
+
+class TestLatticeOps:
+    def test_max_abs_diff(self, grid):
+        a = ThermalState.uniform(grid, 300.0)
+        temps = np.full(16, 300.0)
+        temps[3] = 302.5
+        b = ThermalState(grid, temps)
+        assert a.max_abs_diff(b) == pytest.approx(2.5)
+        assert b.max_abs_diff(a) == pytest.approx(2.5)
+
+    def test_merge_max_dominates_inputs(self, grid):
+        rng = np.random.default_rng(1)
+        states = [ThermalState(grid, rng.normal(300, 3, 16)) for _ in range(3)]
+        merged = states[0].merge_max(states[1:])
+        for state in states:
+            assert np.all(merged.temperatures >= state.temperatures - 1e-12)
+
+    def test_weighted_mean_is_convex(self, grid):
+        a = ThermalState.uniform(grid, 300.0)
+        b = ThermalState.uniform(grid, 310.0)
+        mixed = ThermalState.weighted_mean([a, b], [3.0, 1.0])
+        assert mixed.mean == pytest.approx(302.5)
+
+    def test_weighted_mean_zero_weights_falls_back(self, grid):
+        a = ThermalState.uniform(grid, 300.0)
+        b = ThermalState.uniform(grid, 310.0)
+        mixed = ThermalState.weighted_mean([a, b], [0.0, 0.0])
+        assert mixed.mean == pytest.approx(305.0)
+
+    def test_weighted_mean_validation(self, grid):
+        a = ThermalState.uniform(grid, 300.0)
+        with pytest.raises(ThermalModelError):
+            ThermalState.weighted_mean([], [])
+        with pytest.raises(ThermalModelError):
+            ThermalState.weighted_mean([a], [1.0, 2.0])
+
+    def test_incompatible_grids_rejected(self, grid):
+        other_grid = ThermalGrid(RegisterFileGeometry(rows=2, cols=2))
+        a = ThermalState.uniform(grid, 300.0)
+        b = ThermalState.uniform(other_grid, 300.0)
+        with pytest.raises(ThermalModelError):
+            a.max_abs_diff(b)
+
+    def test_equality_by_value(self, grid):
+        a = ThermalState.uniform(grid, 300.0)
+        b = ThermalState.uniform(grid, 300.0)
+        assert a == b
+        assert not (a != b)
+
+    def test_unhashable(self, grid):
+        with pytest.raises(TypeError):
+            hash(ThermalState.uniform(grid, 300.0))

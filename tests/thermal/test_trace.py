@@ -1,0 +1,74 @@
+"""Power and thermal trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.arch import RegisterFileGeometry
+from repro.errors import ThermalModelError
+from repro.thermal import PowerTrace, ThermalGrid, ThermalState, ThermalTrace
+
+
+@pytest.fixture
+def grid():
+    return ThermalGrid(RegisterFileGeometry(rows=4, cols=4))
+
+
+class TestPowerTrace:
+    def test_energy_integration(self, grid):
+        trace = PowerTrace(grid=grid, dt=1e-6)
+        trace.append(np.full(16, 1.0))   # 16 W for 1 µs
+        trace.append(np.full(16, 2.0))   # 32 W for 1 µs
+        assert trace.total_energy() == pytest.approx(48e-6)
+
+    def test_mean_power(self, grid):
+        trace = PowerTrace(grid=grid, dt=1e-6)
+        trace.append(np.zeros(16))
+        trace.append(np.full(16, 4.0))
+        assert np.allclose(trace.mean_power(), 2.0)
+
+    def test_empty_trace(self, grid):
+        trace = PowerTrace(grid=grid, dt=1e-6)
+        assert trace.total_energy() == 0.0
+        assert np.allclose(trace.mean_power(), 0.0)
+        assert len(trace) == 0
+
+    def test_wrong_shape_rejected(self, grid):
+        trace = PowerTrace(grid=grid, dt=1e-6)
+        with pytest.raises(ThermalModelError):
+            trace.append(np.zeros(5))
+
+
+class TestThermalTrace:
+    def test_final_and_len(self, grid):
+        trace = ThermalTrace(grid=grid, dt=1e-6)
+        a = ThermalState.uniform(grid, 300.0)
+        b = ThermalState.uniform(grid, 305.0)
+        trace.append(a)
+        trace.append(b)
+        assert trace.final == b
+        assert len(trace) == 2
+
+    def test_final_on_empty_raises(self, grid):
+        with pytest.raises(ThermalModelError):
+            _ = ThermalTrace(grid=grid, dt=1e-6).final
+
+    def test_peak_and_gradient_series(self, grid):
+        trace = ThermalTrace(grid=grid, dt=1e-6)
+        trace.append(ThermalState.uniform(grid, 300.0))
+        temps = np.full(16, 300.0)
+        temps[3] = 312.0
+        trace.append(ThermalState(grid, temps))
+        assert list(trace.peak_over_time()) == [300.0, 312.0]
+        assert trace.gradient_over_time()[1] == pytest.approx(12.0)
+
+    def test_time_average(self, grid):
+        trace = ThermalTrace(grid=grid, dt=1e-6)
+        trace.append(ThermalState.uniform(grid, 300.0))
+        trace.append(ThermalState.uniform(grid, 310.0))
+        assert trace.time_average().mean == pytest.approx(305.0)
+
+    def test_grid_mismatch_rejected(self, grid):
+        other = ThermalGrid(RegisterFileGeometry(rows=2, cols=2))
+        trace = ThermalTrace(grid=grid, dt=1e-6)
+        with pytest.raises(ThermalModelError):
+            trace.append(ThermalState.uniform(other, 300.0))

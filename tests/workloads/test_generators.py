@@ -1,0 +1,75 @@
+"""Synthetic generators: pressure control, determinism, validity."""
+
+import pytest
+
+from repro.dataflow import liveness
+from repro.ir import verify_function
+from repro.sim import Interpreter
+from repro.workloads import (
+    pressure_program,
+    random_loop_program,
+    random_program,
+)
+
+
+class TestPressureProgram:
+    @pytest.mark.parametrize("k", [1, 4, 8, 16, 32])
+    def test_oracle_holds(self, k):
+        wl = pressure_program(k, iterations=10)
+        result = Interpreter().run(wl.function)
+        assert result.return_value == wl.expected_return
+
+    @pytest.mark.parametrize("k", [4, 8, 16, 32])
+    def test_pressure_tracks_live_count(self, k):
+        wl = pressure_program(k, iterations=5)
+        pressure = liveness(wl.function).max_pressure()
+        # All k accumulators plus a handful of loop temporaries.
+        assert k <= pressure <= k + 6
+
+    def test_invalid_live_count(self):
+        with pytest.raises(ValueError):
+            pressure_program(0)
+
+
+class TestRandomLoopProgram:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_oracle_holds_across_seeds(self, seed):
+        wl = random_loop_program(seed=seed)
+        result = Interpreter().run(wl.function)
+        assert result.return_value == wl.expected_return
+
+    def test_deterministic_per_seed(self):
+        a = random_loop_program(seed=3)
+        b = random_loop_program(seed=3)
+        assert str(a.function) == str(b.function)
+        assert a.expected_return == b.expected_return
+
+    def test_seeds_differ(self):
+        a = random_loop_program(seed=0)
+        b = random_loop_program(seed=1)
+        assert str(a.function) != str(b.function)
+
+    def test_size_knobs(self):
+        small = random_loop_program(seed=0, body_ops=4, live_vars=2)
+        large = random_loop_program(seed=0, body_ops=20, live_vars=8)
+        assert (
+            large.function.instruction_count()
+            > small.function.instruction_count()
+        )
+
+
+class TestRandomProgram:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_valid_ir(self, seed):
+        verify_function(random_program(seed=seed))
+
+    def test_diamond_shape_present(self):
+        f = random_program(seed=0, num_blocks=5, with_diamond=True)
+        names = set(f.blocks)
+        assert any(n.startswith("then") for n in names)
+        assert any(n.startswith("join") for n in names)
+
+    def test_executes_without_fault(self):
+        f = random_program(seed=4)
+        result = Interpreter().run(f)
+        assert result.return_value is not None

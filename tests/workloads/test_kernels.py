@@ -1,0 +1,68 @@
+"""Workload kernels: oracles, structure, determinism."""
+
+import pytest
+
+from repro.ir import verify_function
+from repro.sim import Interpreter
+from repro.workloads import full_suite, load, workload_names
+
+
+class TestOracles:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_kernel_matches_python_reference(self, name):
+        wl = load(name)
+        result = Interpreter().run(
+            wl.function, args=wl.args, memory=dict(wl.memory)
+        )
+        assert result.return_value == wl.expected_return
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load("not_a_kernel")
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_kernels_verify(self, name):
+        verify_function(load(name).function)
+
+    def test_suite_sizes(self):
+        assert len(full_suite()) == len(workload_names()) == 14
+
+    def test_descriptions_present(self):
+        for wl in full_suite():
+            assert wl.description
+            assert wl.name == wl.function.name or wl.name.startswith(wl.function.name)
+
+    def test_kernels_have_loops_except_none(self):
+        from repro.ir import LoopInfo
+
+        for wl in full_suite():
+            assert LoopInfo(wl.function).loops, f"{wl.name} should loop"
+
+
+class TestDeterminism:
+    def test_same_kernel_twice_identical(self):
+        a = load("fir")
+        b = load("fir")
+        assert str(a.function) == str(b.function)
+        assert a.memory == b.memory
+        assert a.expected_return == b.expected_return
+
+    def test_parameterized_variants_differ(self):
+        from repro.workloads.kernels import matmul
+
+        small = matmul(4)
+        large = matmul(8)
+        assert small.expected_return != large.expected_return
+
+
+class TestSizesScale:
+    def test_matmul_dynamic_count_scales_cubically(self):
+        from repro.workloads.kernels import matmul
+
+        interp = Interpreter(trace_accesses=False)
+        small = interp.run(matmul(4).function, memory=dict(matmul(4).memory))
+        large = interp.run(matmul(8).function, memory=dict(matmul(8).memory))
+        ratio = large.instructions_executed / small.instructions_executed
+        assert ratio > 4.0  # roughly 8x for cubic scaling
