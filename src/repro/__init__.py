@@ -42,16 +42,22 @@ from .arch import (
     rf64,
 )
 from .core import (
+    AffineTransfer,
     AllocationPlacement,
+    BlockTransferCache,
     ExactPlacement,
+    FunctionSummary,
     PolicyPlacement,
     TDFAConfig,
     TDFAResult,
     ThermalDataflowAnalysis,
     UniformPlacement,
     analyze,
+    compile_block,
+    compose_pipeline,
     evaluate_rules,
     rank_critical_variables,
+    summarize_function,
 )
 from .errors import (
     AllocationError,
@@ -85,6 +91,12 @@ __all__ = [
     "TDFAConfig",
     "TDFAResult",
     "analyze",
+    "AffineTransfer",
+    "BlockTransferCache",
+    "compile_block",
+    "FunctionSummary",
+    "summarize_function",
+    "compose_pipeline",
     "ExactPlacement",
     "UniformPlacement",
     "PolicyPlacement",

@@ -68,6 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="convergence threshold in Kelvin (default 0.01)")
     p_an.add_argument("--merge", choices=["max", "mean", "freq"], default="freq",
                       help="CFG join mode (default freq)")
+    p_an.add_argument("--engine", choices=["auto", "compiled", "stepped"],
+                      default="auto",
+                      help="fixed-point engine: compiled block transfers or "
+                           "the per-instruction stepped loop (default auto)")
     p_an.add_argument("--policy", default="first-free",
                       help="assignment policy for allocation (default first-free)")
     p_an.add_argument("--no-map", action="store_true",
@@ -114,7 +118,8 @@ def cmd_analyze(args) -> int:
         function, machine, policy_by_name(args.policy)
     )
     result = analyze(
-        allocation.function, machine, delta=args.delta, merge=args.merge
+        allocation.function, machine, delta=args.delta, merge=args.merge,
+        engine=args.engine,
     )
     placement = ExactPlacement(machine.geometry.num_registers)
     criticals = rank_critical_variables(result, placement, top_k=args.top)

@@ -11,11 +11,18 @@ from .report import convergence_table, format_result
 from .rules import Recommendation, RuleConfig, ThermalPlan, evaluate_rules
 from .summaries import FunctionSummary, compose_pipeline, summarize_function
 from .tdfa import (
+    ENGINE_MODES,
     MERGE_MODES,
     TDFAConfig,
     TDFAResult,
     ThermalDataflowAnalysis,
     analyze,
+)
+from .transfer import (
+    AffineTransfer,
+    BlockTransferCache,
+    CompiledBlock,
+    compile_block,
 )
 
 __all__ = [
@@ -23,7 +30,12 @@ __all__ = [
     "TDFAConfig",
     "TDFAResult",
     "MERGE_MODES",
+    "ENGINE_MODES",
     "analyze",
+    "AffineTransfer",
+    "BlockTransferCache",
+    "CompiledBlock",
+    "compile_block",
     "PlacementModel",
     "ExactPlacement",
     "InstructionPowerModel",

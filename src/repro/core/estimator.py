@@ -79,7 +79,10 @@ class InstructionPowerModel:
     Dynamic access power is cached per instruction (it depends only on
     the instruction and the placement, both fixed during an analysis
     run); leakage is added per evaluation because it may depend on the
-    current temperature.
+    current temperature.  The cache is keyed by the instruction object
+    itself (identity hash) — not ``id(inst)``, whose values can be
+    reused once an instruction is garbage-collected in a long-lived
+    session — so entries can never alias across instructions.
     """
 
     def __init__(
@@ -93,7 +96,7 @@ class InstructionPowerModel:
         self.model = model
         self.placement = placement
         self.bitwidths = bitwidths
-        self._dynamic_cache: dict[int, np.ndarray] = {}
+        self._dynamic_cache: dict[Instruction, np.ndarray] = {}
 
     def _access_width(self, reg: Value) -> int:
         if self.bitwidths is None:
@@ -102,7 +105,7 @@ class InstructionPowerModel:
 
     def dynamic_power(self, inst: Instruction) -> np.ndarray:
         """Node power (W) from this instruction's register accesses."""
-        cached = self._dynamic_cache.get(id(inst))
+        cached = self._dynamic_cache.get(inst)
         if cached is not None:
             return cached
         energy = self.machine.energy
@@ -117,7 +120,7 @@ class InstructionPowerModel:
                 is_write=True, bitwidth=self._access_width(reg)
             )
         node_power = self.model.grid.mapping @ reg_power
-        self._dynamic_cache[id(inst)] = node_power
+        self._dynamic_cache[inst] = node_power
         return node_power
 
     def total_power(

@@ -23,6 +23,13 @@ each virtual register:
   pipeline uses so criticality lands on virtual registers (the entities
   the spill/split passes can act on).
 
+All predictive placements yield *state-independent* per-instruction
+powers (a distribution is fixed once sampled), so pre-allocation
+analyses are linear and run under the compiled block-transfer engine
+(:mod:`repro.core.transfer`) by default — the probability smearing
+costs nothing extra: it is folded into each block's ``(A_B, b_B)`` map
+at compile time, once.
+
 Experiment E7 scores all of these against emulated ground truth.
 """
 

@@ -24,7 +24,8 @@ def format_result(
     status = "converged" if result.converged else "DID NOT CONVERGE"
     out.write(
         f"thermal data flow analysis of @{result.function.name}: {status} "
-        f"after {result.iterations} iteration(s), final δ={result.final_delta:.4g}K\n"
+        f"after {result.iterations} iteration(s), final δ={result.final_delta:.4g}K "
+        f"[{result.engine} engine]\n"
     )
     out.write(
         f"  peak={summary.peak:.2f}K  spread={summary.spread:.2f}K  "

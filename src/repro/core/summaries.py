@@ -17,10 +17,17 @@ mat-vecs instead of re-running the analysis.  This is the natural
 building block for interprocedural / multi-kernel thermal reasoning
 (media pipelines: conv → dct → crc ...).
 
-Extraction is exact, not a finite-difference approximation: the map is
-affine, so probing it with the ambient state plus one unit perturbation
-per thermal node reconstructs ``A`` and ``b`` precisely (up to the
-analysis's own δ).
+Extraction is **exact**: the converged analysis satisfies a linear
+system — per block, ``out_B = A_B·in_B + b_B`` with the compiled block
+transfer of :mod:`repro.core.transfer`, and ``in_B`` a fixed convex
+combination of predecessor outs (plus the entry state at the entry
+block).  Solving that system symbolically for the block outs as affine
+functions of the entry state, then combining the exit blocks under the
+converged (static) merge weights, yields ``A`` and ``b`` in closed form
+— one LU factorization instead of the (nodes + 1) full analysis runs
+the original probe-based extraction performed.  The probe path is
+retained (``method="probe"``) as an independent cross-check; a property
+test asserts both extractions agree.
 
 Restrictions (validated): linear thermal model (no leakage-temperature
 feedback) and an affine merge mode (``freq`` or ``mean``) — with ``max``
@@ -32,14 +39,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.linalg
 
 from ..arch.machine import MachineDescription
+from ..dataflow.freq import static_profile
 from ..errors import DataflowError
+from ..ir.cfg import reverse_postorder
 from ..ir.function import Function
 from ..thermal.rcmodel import RFThermalModel
 from ..thermal.state import ThermalState
-from .estimator import PlacementModel
+from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
 from .tdfa import TDFAConfig, ThermalDataflowAnalysis
+from .transfer import BlockTransferCache, affine_merge_plan, normalized_weights
 
 
 @dataclass(frozen=True)
@@ -111,6 +122,68 @@ class FunctionSummary:
         )
 
 
+def _extract_exact(
+    function: Function,
+    model: RFThermalModel,
+    cache: BlockTransferCache,
+    merge: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve the converged analysis symbolically for its affine exit map.
+
+    Unknowns are the block-exit states, stacked; each satisfies
+    ``out_B = A_B (Σ_P w_{P,B} out_P + e_B T_entry) + b_B`` with static
+    merge weights, so ``(I − M)·X = E·T_entry + c`` is linear and the
+    exit map follows from one factorization with (nodes + 1) right-hand
+    sides.  *cache* is shared with the convergence-check analysis run,
+    so every block is compiled exactly once per summary.
+    """
+    profile = static_profile(function)
+    rpo = reverse_postorder(function)
+    rpo_set = set(rpo)
+    preds = function.predecessors_map()
+    entry = function.entry.name
+    n = model.grid.num_nodes
+    m = len(rpo)
+    index = {name: i for i, name in enumerate(rpo)}
+    plan = affine_merge_plan(function, rpo, preds, profile, merge, entry)
+
+    big = np.eye(m * n)  # becomes I − M in place
+    rhs = np.zeros((m * n, n + 1))  # [E | c]
+    for name in rpo:
+        i = index[name]
+        compiled = cache.block(function.block(name))
+        a_block = compiled.transfer.matrix
+        rows = slice(i * n, (i + 1) * n)
+        rhs[rows, n] = compiled.transfer.offset
+        for src, w in plan[name]:
+            if src is None:
+                rhs[rows, :n] += w * a_block
+            else:
+                j = index[src]
+                big[rows, j * n:(j + 1) * n] -= w * a_block
+
+    solution = scipy.linalg.solve(big, rhs)
+
+    exits = [
+        name
+        for name, block in function.blocks.items()
+        if not block.successors() and name in rpo_set
+    ]
+    if not exits:
+        # Infinite loop: exit_state() falls back to every analyzed block.
+        exits = list(rpo)
+    exit_weights = normalized_weights(
+        [profile.block_freq.get(name, 0.0) for name in exits]
+    )
+    matrix = np.zeros((n, n))
+    offset = np.zeros(n)
+    for name, w in zip(exits, exit_weights):
+        rows = slice(index[name] * n, (index[name] + 1) * n)
+        matrix += w * solution[rows, :n]
+        offset += w * solution[rows, n]
+    return matrix, offset
+
+
 def summarize_function(
     function: Function,
     machine: MachineDescription,
@@ -119,13 +192,17 @@ def summarize_function(
     delta: float = 0.005,
     merge: str = "freq",
     probe: float = 1.0,
+    method: str = "exact",
 ) -> FunctionSummary:
     """Extract the affine exit map of *function*.
 
-    Runs the analysis once from ambient and once per thermal node from
-    ``ambient + probe·e_i``; column *i* of A is the scaled difference of
-    exit states.  Cost: (nodes + 1) analysis runs — amortized by reusing
-    the summary for every subsequent composition/application.
+    ``method="exact"`` (default) composes the compiled block transfers
+    along the converged merge weights and solves for the exit map in
+    closed form — one analysis run (for convergence diagnostics and the
+    ambient peak) plus one linear solve.  ``method="probe"`` is the
+    original finite-probe extraction: one analysis from ambient and one
+    per thermal node from ``ambient + probe·e_i``, (nodes + 1) runs in
+    total — retained as an independent cross-check of the exact path.
     """
     if merge not in ("freq", "mean"):
         raise DataflowError(
@@ -136,12 +213,27 @@ def summarize_function(
             "summaries require a linear thermal model "
             "(leakage_temp_coeff must be 0)"
         )
+    if method not in ("exact", "probe"):
+        raise DataflowError(
+            f"method must be 'exact' or 'probe', got {method!r}"
+        )
     model = model or RFThermalModel(machine.geometry, energy=machine.energy)
+    # One power model + transfer cache serves both the convergence-check
+    # run and the exact extraction: blocks compile exactly once.
+    power_model = InstructionPowerModel(
+        machine=machine,
+        model=model,
+        placement=placement or ExactPlacement(machine.geometry.num_registers),
+    )
+    cache = BlockTransferCache(
+        model, power_model, machine.energy.cycle_time, include_leakage=True
+    )
     analysis = ThermalDataflowAnalysis(
         machine=machine,
         model=model,
-        placement=placement,
         config=TDFAConfig(delta=delta, merge=merge),
+        power_model=power_model,
+        transfer_cache=cache,
     )
 
     ambient = model.ambient_state()
@@ -150,18 +242,21 @@ def summarize_function(
         raise DataflowError(
             f"analysis of @{function.name} did not converge; cannot summarize"
         )
-    base_exit = base_result.exit_state().temperatures
 
     n = model.grid.num_nodes
-    matrix = np.zeros((n, n))
-    for i in range(n):
-        perturbed = ambient.temperatures.copy()
-        perturbed[i] += probe
-        entry = ThermalState(model.grid, perturbed)
-        result = analysis.run(function, entry_state=entry)
-        matrix[:, i] = (result.exit_state().temperatures - base_exit) / probe
+    if method == "exact":
+        matrix, offset = _extract_exact(function, model, cache, merge)
+    else:
+        base_exit = base_result.exit_state().temperatures
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            perturbed = ambient.temperatures.copy()
+            perturbed[i] += probe
+            entry = ThermalState(model.grid, perturbed)
+            result = analysis.run(function, entry_state=entry)
+            matrix[:, i] = (result.exit_state().temperatures - base_exit) / probe
+        offset = base_exit - matrix @ ambient.temperatures
 
-    offset = base_exit - matrix @ ambient.temperatures
     return FunctionSummary(
         function_name=function.name,
         matrix=matrix,

@@ -35,6 +35,25 @@ Our realization fills in the parts the two-page paper leaves open:
   diverges under runaway coefficients.  ``TDFAResult.converged`` and the
   δ-history expose both behaviours; by default non-convergence is
   reported, not raised.
+
+Engines
+-------
+Two interchangeable fixed-point engines implement the sweep:
+
+* ``"compiled"`` (default for linear models) — every basic block's
+  per-instruction affine steps are pre-composed into one ``(A_B, b_B)``
+  map (:mod:`repro.core.transfer`); the sweep iterates **block-level**
+  maps only and the per-instruction ``after`` states are materialized in
+  a single reconstruction sweep after convergence.  Exact for the linear
+  model, and typically an order of magnitude faster on loop kernels.
+* ``"stepped"`` — the literal Fig. 2 loop, one RC step per instruction
+  per sweep.  Required whenever leakage feeds back on temperature (the
+  per-instruction transfer is then state-dependent, hence not affine).
+
+``TDFAConfig.engine`` selects one; ``"auto"`` picks ``compiled`` exactly
+when the power model has no leakage feedback.  Both engines share merge
+semantics and δ-convergence, and agree to within the analysis δ — an
+equivalence test asserts it across the workload suite.
 """
 
 from __future__ import annotations
@@ -52,9 +71,13 @@ from ..ir.function import Function
 from ..thermal.rcmodel import RFThermalModel
 from ..thermal.state import ThermalState
 from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
+from .transfer import BlockTransferCache, affine_merge_plan
 
 #: Valid CFG merge modes.
 MERGE_MODES = ("max", "mean", "freq")
+
+#: Valid fixed-point engines ("auto" resolves per power model).
+ENGINE_MODES = ("auto", "compiled", "stepped")
 
 
 @dataclass(frozen=True)
@@ -65,8 +88,13 @@ class TDFAConfig:
     instruction's thermal state changed by more than δ between sweeps.
     ``max_iterations`` is the paper's "reasonable number of iterations";
     exceeding it flags non-convergence.  ``merge`` selects the CFG join.
-    ``raise_on_divergence`` switches non-convergence from a reported
-    outcome to a :class:`ConvergenceError`.
+    ``engine`` selects the fixed-point engine: ``"compiled"`` sweeps
+    pre-composed block-level affine maps (linear models only),
+    ``"stepped"`` is the literal per-instruction Fig. 2 loop, and
+    ``"auto"`` (default) picks ``compiled`` whenever the power model has
+    no leakage-temperature feedback.  ``raise_on_divergence`` switches
+    non-convergence from a reported outcome to a
+    :class:`ConvergenceError`.
     """
 
     delta: float = 0.01
@@ -74,6 +102,7 @@ class TDFAConfig:
     merge: str = "freq"
     include_leakage: bool = True
     raise_on_divergence: bool = False
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -82,6 +111,8 @@ class TDFAConfig:
             raise DataflowError("max_iterations must be at least 1")
         if self.merge not in MERGE_MODES:
             raise DataflowError(f"merge must be one of {MERGE_MODES}")
+        if self.engine not in ENGINE_MODES:
+            raise DataflowError(f"engine must be one of {ENGINE_MODES}")
 
 
 @dataclass
@@ -103,6 +134,8 @@ class TDFAResult:
     block_out: dict[str, ThermalState]
     profile: StaticProfile
     wall_time_seconds: float = 0.0
+    #: Which fixed-point engine actually ran ("compiled" or "stepped").
+    engine: str = "stepped"
 
     def state_after(self, block: str, index: int) -> ThermalState:
         """Thermal state immediately after instruction *index* of *block*."""
@@ -180,6 +213,12 @@ class ThermalDataflowAnalysis:
         ``has_leakage_feedback`` works; the chip-level model
         (:class:`~repro.thermal.chip.ChipPowerModel`) uses this hook.
         When given, *placement* is ignored (the power model owns it).
+    transfer_cache:
+        Pre-populated :class:`~repro.core.transfer.BlockTransferCache`
+        to reuse across runs (and with exact summary extraction) so
+        blocks are not recompiled.  Must have been built against this
+        analysis's model, power model, cycle time and leakage setting —
+        a mismatched cache is silently ignored and a fresh one built.
     """
 
     def __init__(
@@ -189,12 +228,36 @@ class ThermalDataflowAnalysis:
         placement: PlacementModel | None = None,
         config: TDFAConfig | None = None,
         power_model=None,
+        transfer_cache: BlockTransferCache | None = None,
     ) -> None:
         self.machine = machine
         self.model = model or RFThermalModel(machine.geometry, energy=machine.energy)
         self.placement = placement or ExactPlacement(machine.geometry.num_registers)
         self.config = config or TDFAConfig()
         self.power_model = power_model
+        self.transfer_cache = transfer_cache
+
+    def resolve_engine(self, power_model=None) -> str:
+        """The engine that :meth:`run` will actually use.
+
+        Resolves ``"auto"`` against the power model's linearity and
+        rejects ``"compiled"`` when leakage feedback makes the
+        per-instruction transfer non-affine.
+        """
+        power_model = power_model or self.power_model or InstructionPowerModel(
+            machine=self.machine, model=self.model, placement=self.placement
+        )
+        linear = not power_model.has_leakage_feedback
+        engine = self.config.engine
+        if engine == "auto":
+            return "compiled" if linear else "stepped"
+        if engine == "compiled" and not linear:
+            raise DataflowError(
+                "engine='compiled' requires a linear thermal model; this "
+                "power model has leakage-temperature feedback — use "
+                "engine='stepped' (or 'auto')"
+            )
+        return engine
 
     def run(
         self, function: Function, entry_state: ThermalState | None = None
@@ -211,6 +274,7 @@ class ThermalDataflowAnalysis:
         power_model = self.power_model or InstructionPowerModel(
             machine=self.machine, model=self.model, placement=self.placement
         )
+        engine = self.resolve_engine(power_model)
         profile = static_profile(function)
         rpo = reverse_postorder(function)
         preds = function.predecessors_map()
@@ -218,33 +282,9 @@ class ThermalDataflowAnalysis:
         ambient = entry_state or self.model.ambient_state()
         dt = self.machine.energy.cycle_time
 
-        # Pre-compute, per instruction, the steady-state target of its
-        # constant power — valid whenever leakage has no feedback, which
-        # makes the per-instruction step a single mat-vec.
-        linear = not power_model.has_leakage_feedback
-
         block_in: dict[str, ThermalState] = {name: ambient for name in rpo}
         block_out: dict[str, ThermalState] = {name: ambient for name in rpo}
         after: dict[tuple[str, int], ThermalState] = {}
-
-        target_cache: dict[int, ThermalState] = {}
-
-        def step(state: ThermalState, inst) -> ThermalState:
-            if linear:
-                target = target_cache.get(id(inst))
-                if target is None:
-                    power = power_model.total_power(
-                        inst, state, include_leakage=config.include_leakage
-                    )
-                    target = self.model.steady_state(power)
-                    target_cache[id(inst)] = target
-                op = self.model._step_operator(dt)
-                deviation = state.temperatures - target.temperatures
-                return ThermalState(state.grid, target.temperatures + op @ deviation)
-            power = power_model.total_power(
-                inst, state, include_leakage=config.include_leakage
-            )
-            return self.model.step(state, power, dt=dt)
 
         def merge(name: str) -> ThermalState:
             sources = [p for p in preds[name] if p in block_out]
@@ -266,6 +306,178 @@ class ThermalDataflowAnalysis:
             ]
             return ThermalState.weighted_mean(states, weights)
 
+        if engine == "compiled":
+            converged, iterations, delta_history = self._iterate_compiled(
+                function, rpo, preds, profile, entry, ambient,
+                block_in, block_out, after, power_model, dt,
+            )
+        else:
+            converged, iterations, delta_history = self._iterate_stepped(
+                function, rpo, merge, block_in, block_out, after,
+                power_model, dt,
+            )
+
+        result = TDFAResult(
+            function=function,
+            config=config,
+            converged=converged,
+            iterations=iterations,
+            delta_history=delta_history,
+            after=after,
+            block_in=block_in,
+            block_out=block_out,
+            profile=profile,
+            wall_time_seconds=time.perf_counter() - started,
+            engine=engine,
+        )
+        if not converged and config.raise_on_divergence:
+            raise ConvergenceError(
+                f"thermal DFA did not converge within {config.max_iterations} "
+                f"iterations (last sweep δ={result.final_delta:.4g} K) — the "
+                "paper's prescription: re-optimize the program for thermal "
+                "predictability",
+                partial_result=result,
+                iterations=iterations,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Fixed-point engines
+    # ------------------------------------------------------------------
+    def _iterate_compiled(
+        self, function, rpo, preds, profile, entry, ambient,
+        block_in, block_out, after, power_model, dt,
+    ) -> tuple[bool, int, list[float]]:
+        """Block-granular sweep over pre-composed affine transfers.
+
+        The sweep runs entirely on raw temperature vectors: merges are
+        replayed from the static weight plan (one weighted vector sum)
+        and each block is one mat-vec.  Convergence is measured on block
+        boundary states; because every compiled transfer's linear part
+        is an ∞-norm contraction, interior per-instruction changes are
+        bounded by the block-entry changes, so the block-level δ test is
+        at least as strict as the stepped engine's per-instruction test.
+        Interior states are materialized once, in the final
+        reconstruction sweep.
+        """
+        config = self.config
+        cache = self.transfer_cache
+        if (
+            cache is None
+            or cache.model is not self.model
+            or cache.power_model is not power_model
+            or cache.dt != dt
+            or cache.include_leakage != config.include_leakage
+        ):
+            cache = BlockTransferCache(
+                self.model, power_model, dt,
+                include_leakage=config.include_leakage,
+            )
+        compiled = {name: cache.block(function.block(name)) for name in rpo}
+        matrices = {name: compiled[name].transfer.matrix for name in rpo}
+        offsets = {name: compiled[name].transfer.offset for name in rpo}
+
+        amb = ambient.temperatures
+        grid = ambient.grid
+        t_in = {name: amb for name in rpo}
+        t_out = {name: amb for name in rpo}
+
+        affine = config.merge in ("freq", "mean")
+        if affine:
+            plan = affine_merge_plan(
+                function, rpo, preds, profile, config.merge, entry
+            )
+        else:  # max merge: element-wise maximum over the same sources
+            rpo_set = set(rpo)
+            max_sources: dict[str, list[str | None]] = {}
+            for name in rpo:
+                sources: list[str | None] = [
+                    p for p in preds[name] if p in rpo_set
+                ]
+                if name == entry:
+                    sources = sources + [None]
+                max_sources[name] = sources or [None]
+
+        iterations = 0
+        delta_history: list[float] = []
+        converged = False
+        while iterations < config.max_iterations:
+            iterations += 1
+            # First sweep has no previous state to diff against — same
+            # "change = inf" convention as the stepped engine.
+            first = iterations == 1
+            sweep_delta = float("inf") if first else 0.0
+            for name in rpo:
+                if affine:
+                    pairs = plan[name]
+                    if len(pairs) == 1:
+                        src = pairs[0][0]
+                        vec = t_out[src] if src is not None else amb
+                    else:
+                        vec = sum(
+                            w * (t_out[s] if s is not None else amb)
+                            for s, w in pairs
+                        )
+                else:
+                    arrays = [
+                        t_out[s] if s is not None else amb
+                        for s in max_sources[name]
+                    ]
+                    vec = arrays[0] if len(arrays) == 1 else np.maximum.reduce(arrays)
+                new_out = matrices[name] @ vec + offsets[name]
+                if not first:
+                    sweep_delta = max(
+                        sweep_delta,
+                        float(np.abs(vec - t_in[name]).max()),
+                        float(np.abs(new_out - t_out[name]).max()),
+                    )
+                t_in[name] = vec
+                t_out[name] = new_out
+            delta_history.append(sweep_delta)
+            if sweep_delta <= config.delta:
+                converged = True
+                break
+            if any(t.max() > 1000.0 for t in t_out.values()):
+                break
+
+        # Single reconstruction sweep: per-instruction after-states from
+        # the converged block-entry states.
+        for name in rpo:
+            block_in[name] = ThermalState(grid, t_in[name])
+            block_out[name] = ThermalState(grid, t_out[name])
+            for idx, temps in enumerate(compiled[name].reconstruct(t_in[name])):
+                after[(name, idx)] = ThermalState(grid, temps)
+        return converged, iterations, delta_history
+
+    def _iterate_stepped(
+        self, function, rpo, merge, block_in, block_out, after, power_model, dt
+    ) -> tuple[bool, int, list[float]]:
+        """The literal Fig. 2 loop: one RC step per instruction per sweep."""
+        config = self.config
+        linear = not power_model.has_leakage_feedback
+
+        # Steady-state targets are constant in the linear regime; cached
+        # under the stable (block, index) key — never id(inst), whose
+        # values can be reused after garbage collection.
+        target_cache: dict[tuple[str, int], ThermalState] = {}
+
+        def step(state: ThermalState, inst, key: tuple[str, int]) -> ThermalState:
+            if linear:
+                target = target_cache.get(key)
+                if target is None:
+                    power = power_model.total_power(
+                        inst, state, include_leakage=config.include_leakage
+                    )
+                    target = self.model.steady_state(power)
+                    target_cache[key] = target
+                op = self.model.step_operator(dt)
+                deviation = state.temperatures - target.temperatures
+                return ThermalState(state.grid, target.temperatures + op @ deviation)
+            power = power_model.total_power(
+                inst, state, include_leakage=config.include_leakage
+            )
+            return self.model.step(state, power, dt=dt)
+
         iterations = 0
         delta_history: list[float] = []
         converged = False
@@ -276,7 +488,7 @@ class ThermalDataflowAnalysis:
                 state = merge(name)
                 block_in[name] = state
                 for idx, inst in enumerate(function.block(name).instructions):
-                    new_state = step(state, inst)
+                    new_state = step(state, inst, (name, idx))
                     previous = after.get((name, idx))
                     if previous is not None:
                         change = new_state.max_abs_diff(previous)
@@ -295,29 +507,7 @@ class ThermalDataflowAnalysis:
             # Early divergence detection: runaway temperatures.
             if any(s.peak > 1000.0 for s in block_out.values()):
                 break
-
-        result = TDFAResult(
-            function=function,
-            config=config,
-            converged=converged,
-            iterations=iterations,
-            delta_history=delta_history,
-            after=after,
-            block_in=block_in,
-            block_out=block_out,
-            profile=profile,
-            wall_time_seconds=time.perf_counter() - started,
-        )
-        if not converged and config.raise_on_divergence:
-            raise ConvergenceError(
-                f"thermal DFA did not converge within {config.max_iterations} "
-                f"iterations (last sweep δ={result.final_delta:.4g} K) — the "
-                "paper's prescription: re-optimize the program for thermal "
-                "predictability",
-                partial_result=result,
-                iterations=iterations,
-            )
-        return result
+        return converged, iterations, delta_history
 
 
 def analyze(
@@ -328,12 +518,15 @@ def analyze(
     max_iterations: int = 2000,
     placement: PlacementModel | None = None,
     model: RFThermalModel | None = None,
+    engine: str = "auto",
 ) -> TDFAResult:
     """One-call convenience wrapper around :class:`ThermalDataflowAnalysis`."""
     analysis = ThermalDataflowAnalysis(
         machine=machine,
         model=model,
         placement=placement,
-        config=TDFAConfig(delta=delta, merge=merge, max_iterations=max_iterations),
+        config=TDFAConfig(
+            delta=delta, merge=merge, max_iterations=max_iterations, engine=engine
+        ),
     )
     return analysis.run(function)

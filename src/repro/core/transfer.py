@@ -1,0 +1,290 @@
+"""Compiled affine block transfers for the thermal data flow analysis.
+
+Why block transfers compose
+---------------------------
+In the linear regime (no leakage-temperature feedback) one cycle of the
+RC network under instruction *I*'s constant power is the affine map
+
+    T' = op · T + (I − op) · T_ss(P_I),          op = e^{−C⁻¹G·dt},
+
+(:meth:`~repro.thermal.rcmodel.RFThermalModel.affine_step`; the
+compiler below evaluates the same map in batched form via
+:meth:`~repro.thermal.rcmodel.RFThermalModel.steady_state_many`).
+Affine maps are closed under composition, so an entire basic block B
+with instructions I₁ … I_k collapses into a single pair
+
+    T_out = A_B · T_in + b_B,        A_B = opᵏ,
+    b_B   = Σ_j op^{k−j} (I − op) T_ss(P_{I_j}),
+
+computed once per block.  The fixed-point sweep of
+:class:`~repro.core.tdfa.ThermalDataflowAnalysis` then iterates **one
+mat-vec per block** instead of one per instruction — the analysis cost
+drops from O(sweeps × instructions × nodes²) to O(sweeps × blocks ×
+nodes² + instructions × nodes³ / compile) — and the per-instruction
+states required by the paper's Fig. 2 output are materialized in a
+single reconstruction sweep after convergence.
+
+Because ``op`` is non-negative with row sums strictly below 1 (the
+network always leaks heat to ambient), every :class:`AffineTransfer`
+built here is an ∞-norm contraction; block-level convergence of the
+sweep therefore bounds per-instruction convergence, and compositions of
+block maps along converged (static) merge weights yield the *exact*
+whole-function affine summary (:mod:`repro.core.summaries`).
+
+Cache keys are *stable*: a compiled block is keyed by ``(block name,
+instruction count)`` and per-instruction data by position, never by
+``id(inst)`` — object ids can be reused after garbage collection in
+long-lived sessions, which made the previous id-keyed target cache
+fragile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataflowError
+from ..ir.block import BasicBlock
+from ..thermal.rcmodel import RFThermalModel
+from ..thermal.state import ThermalState
+
+#: Stable identity of a compiled block: (block name, instruction count).
+#: The count guards against in-place block edits between compilations.
+BlockKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class AffineTransfer:
+    """An affine map ``T ↦ matrix · T + offset`` on node temperatures.
+
+    The unit of composition for the compiled engine: one instruction,
+    one basic block, or any chain thereof.  ``key`` is a stable,
+    human-readable identity used for caching and diagnostics.
+    """
+
+    matrix: np.ndarray
+    offset: np.ndarray
+    key: str = ""
+
+    @classmethod
+    def identity(cls, num_nodes: int, key: str = "id") -> "AffineTransfer":
+        return cls(np.eye(num_nodes), np.zeros(num_nodes), key=key)
+
+    @classmethod
+    def from_step(
+        cls, op: np.ndarray, target: np.ndarray, key: str = ""
+    ) -> "AffineTransfer":
+        """One relaxation step toward *target*: ``T' = target + op(T − target)``."""
+        return cls(op, target - op @ target, key=key)
+
+    def apply(self, temperatures: np.ndarray) -> np.ndarray:
+        """Map a raw temperature vector (one mat-vec plus an add)."""
+        return self.matrix @ temperatures + self.offset
+
+    def apply_state(self, state: ThermalState) -> ThermalState:
+        """Map a :class:`ThermalState` (grid is preserved)."""
+        return ThermalState(state.grid, self.apply(state.temperatures))
+
+    def then(self, outer: "AffineTransfer") -> "AffineTransfer":
+        """The composition *self first, then outer*."""
+        return AffineTransfer(
+            matrix=outer.matrix @ self.matrix,
+            offset=outer.matrix @ self.offset + outer.offset,
+            key=f"{self.key};{outer.key}",
+        )
+
+    def contraction_factor(self) -> float:
+        """∞-norm of the linear part (< 1 for any RC-derived transfer)."""
+        return float(np.abs(self.matrix).sum(axis=1).max())
+
+
+@dataclass(frozen=True)
+class CompiledBlock:
+    """A basic block's pre-composed transfer plus reconstruction data.
+
+    ``transfer`` maps the block-entry state straight to the block-exit
+    state.  ``step_op`` and ``targets`` (the per-instruction steady
+    states, in program order) replay the interior: given the converged
+    block-entry state, one pass over ``targets`` materializes the
+    after-state of every instruction — the single reconstruction sweep
+    of the compiled engine.
+    """
+
+    key: BlockKey
+    transfer: AffineTransfer
+    step_op: np.ndarray
+    targets: tuple[np.ndarray, ...]
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.targets)
+
+    def reconstruct(self, entry: np.ndarray) -> list[np.ndarray]:
+        """Per-instruction after-states from the block-entry vector."""
+        states: list[np.ndarray] = []
+        temps = entry
+        op = self.step_op
+        for target in self.targets:
+            temps = target + op @ (temps - target)
+            states.append(temps)
+        return states
+
+
+def compile_block(
+    block: BasicBlock,
+    model: RFThermalModel,
+    power_model,
+    dt: float,
+    include_leakage: bool = True,
+) -> CompiledBlock:
+    """Pre-compose *block*'s per-instruction affine steps into one map.
+
+    Requires the linear regime: *power_model* must not have
+    leakage-temperature feedback (the per-instruction power, and hence
+    its steady-state target, must be state-independent).
+    """
+    if getattr(power_model, "has_leakage_feedback", False):
+        raise DataflowError(
+            "cannot compile block transfers with leakage-temperature "
+            "feedback: the per-instruction step is not affine "
+            "(use the stepped engine)"
+        )
+    n = model.grid.num_nodes
+    op = model.step_operator(dt)
+    # Reference state for power evaluation: with no feedback the power is
+    # state-independent, so ambient is as good as any.
+    ambient = model.ambient_state()
+    insts = block.instructions
+    offset = np.zeros(n)
+    targets: tuple[np.ndarray, ...] = ()
+    if insts:
+        # One batched SPD solve for every instruction's steady state,
+        # then one (n×n)@(n×k) product for all relaxation offsets.
+        powers = np.stack(
+            [
+                power_model.total_power(
+                    inst, ambient, include_leakage=include_leakage
+                )
+                for inst in insts
+            ],
+            axis=1,
+        )
+        target_cols = model.steady_state_many(powers)
+        kicks = target_cols - op @ target_cols  # (I − op)·target, per column
+        # Horner accumulation of b_B = Σ_j op^{k−j} (I − op) target_j.
+        for j in range(len(insts)):
+            offset = op @ offset + kicks[:, j]
+        targets = tuple(target_cols.T)
+    matrix = np.linalg.matrix_power(op, len(insts))
+    key: BlockKey = (block.name, len(insts))
+    return CompiledBlock(
+        key=key,
+        transfer=AffineTransfer(matrix, offset, key=f"block:{block.name}"),
+        step_op=op,
+        targets=targets,
+    )
+
+
+def normalized_weights(raw: list[float]) -> list[float]:
+    """Normalize merge weights exactly like :meth:`ThermalState.weighted_mean`.
+
+    A non-positive total falls back to the plain mean, matching the
+    numeric merge's behaviour for degenerate static profiles.
+    """
+    total = sum(raw)
+    if total <= 0:
+        return [1.0 / len(raw)] * len(raw)
+    return [w / total for w in raw]
+
+
+#: One block's merge recipe: ``(source, weight)`` pairs where source
+#: ``None`` denotes the function's entry state.
+MergePlan = dict[str, list[tuple[str | None, float]]]
+
+
+def affine_merge_plan(
+    function, rpo: list[str], preds, profile, merge: str, entry: str
+) -> MergePlan:
+    """Static merge weights of the affine CFG joins (``freq``/``mean``).
+
+    Because the static profile is fixed, the convex combination each
+    block's in-state takes of its predecessors' out-states never changes
+    across sweeps — so it can be computed once and replayed as plain
+    weighted vector sums (the compiled engine) or solved against
+    symbolically (exact summary extraction).  The weight bookkeeping
+    mirrors :class:`~repro.core.tdfa.ThermalDataflowAnalysis`'s numeric
+    merge, including the entry-state injection at the entry block and
+    the degenerate-profile fallback.
+    """
+    if merge not in ("freq", "mean"):
+        raise DataflowError(
+            f"only the affine merges ('freq'/'mean') have a static plan, "
+            f"got {merge!r}"
+        )
+    rpo_set = set(rpo)
+    plan: MergePlan = {}
+    for name in rpo:
+        sources: list[str | None] = [p for p in preds[name] if p in rpo_set]
+        if name == entry:
+            sources = sources + [None]
+        if not sources:
+            # Unreachable for rpo blocks in practice; the numeric merge
+            # would feed the entry state here.
+            sources = [None]
+        if len(sources) == 1:
+            weights = [1.0]
+        elif merge == "mean":
+            weights = [1.0 / len(sources)] * len(sources)
+        else:  # freq
+            weights = normalized_weights([
+                profile.edge_freq(src, name) if src is not None else 1.0
+                for src in sources
+            ])
+        plan[name] = list(zip(sources, weights))
+    return plan
+
+
+class BlockTransferCache:
+    """Lazily compiled block transfers for one analysis configuration.
+
+    One cache serves one (model, power model, dt, leakage) combination —
+    exactly the quantities a compiled transfer bakes in.  Entries are
+    keyed by the stable :data:`BlockKey`, so a block whose instruction
+    list changed length recompiles instead of serving stale data.
+    """
+
+    def __init__(
+        self,
+        model: RFThermalModel,
+        power_model,
+        dt: float,
+        include_leakage: bool = True,
+    ) -> None:
+        self.model = model
+        self.power_model = power_model
+        self.dt = dt
+        self.include_leakage = include_leakage
+        self._compiled: dict[BlockKey, CompiledBlock] = {}
+
+    def block(self, block: BasicBlock) -> CompiledBlock:
+        """The compiled transfer of *block* (compiling on first use)."""
+        key: BlockKey = (block.name, len(block.instructions))
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = compile_block(
+                block,
+                self.model,
+                self.power_model,
+                self.dt,
+                include_leakage=self.include_leakage,
+            )
+            self._compiled[key] = compiled
+        return compiled
+
+    def compile_function(self, function) -> dict[str, CompiledBlock]:
+        """Compiled transfers for every block of *function*, by name."""
+        return {name: self.block(block) for name, block in function.blocks.items()}
+
+    def __len__(self) -> int:
+        return len(self._compiled)

@@ -108,10 +108,9 @@ def solve(
     if problem.direction is Direction.FORWARD:
         boundary_blocks = {function.entry.name}
     else:
+        # May be empty (an infinite loop with no exit block): every block
+        # then starts from its optimistic initial value.
         boundary_blocks = {name for name in rpo if not succs[name]}
-        if not boundary_blocks:
-            # An infinite loop with no exit: treat every block optimistically.
-            boundary_blocks = set()
 
     in_values: dict[str, T] = {}
     out_values: dict[str, T] = {}

@@ -91,8 +91,10 @@ class ThermalAwareCompiler:
     policy:
         Baseline assignment policy (default: the hot-spot-prone
         first-free order, which gives the analysis something to fix).
-    delta / merge:
-        Analysis parameters (paper's δ and the CFG join mode).
+    delta / merge / engine:
+        Analysis parameters (paper's δ, the CFG join mode, and the
+        fixed-point engine — ``"auto"`` uses compiled block transfers
+        whenever the thermal model is linear).
     rule_config:
         Thresholds of the rule engine.
     enable_nops:
@@ -108,6 +110,7 @@ class ThermalAwareCompiler:
         rule_config: RuleConfig | None = None,
         model: RFThermalModel | None = None,
         enable_nops: bool = True,
+        engine: str = "auto",
     ) -> None:
         self.machine = machine
         self.policy = policy or FirstFreePolicy()
@@ -116,6 +119,7 @@ class ThermalAwareCompiler:
         self.rule_config = rule_config or RuleConfig()
         self.model = model or RFThermalModel(machine.geometry, energy=machine.energy)
         self.enable_nops = enable_nops
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def _analyze(self, function: Function, placement) -> TDFAResult:
@@ -123,7 +127,8 @@ class ThermalAwareCompiler:
             machine=self.machine,
             model=self.model,
             placement=placement,
-            config=TDFAConfig(delta=self.delta, merge=self.merge),
+            config=TDFAConfig(delta=self.delta, merge=self.merge,
+                              engine=self.engine),
         )
         return analysis.run(function)
 

@@ -187,14 +187,16 @@ class ChipPowerModel:
         self._alu_spread[alu_cells] = 1.0 / len(alu_cells)
         self._cache_spread = np.zeros(n)
         self._cache_spread[cache_cells] = 1.0 / len(cache_cells)
-        self._dynamic_cache: dict[int, np.ndarray] = {}
+        # Keyed by the instruction object (identity hash), never id():
+        # holding the key prevents GC id reuse from aliasing entries.
+        self._dynamic_cache: dict[Instruction, np.ndarray] = {}
 
     @property
     def has_leakage_feedback(self) -> bool:
         return self.machine.energy.leakage_temp_coeff != 0.0
 
     def dynamic_power(self, inst: Instruction) -> np.ndarray:
-        cached = self._dynamic_cache.get(id(inst))
+        cached = self._dynamic_cache.get(inst)
         if cached is not None:
             return cached
         energy = self.machine.energy
@@ -217,7 +219,7 @@ class ChipPowerModel:
             power += self._alu_spread * (energy.alu_energy / cycle)
         if inst.opcode in _CACHE_OPS:
             power += self._cache_spread * (energy.cache_access_energy / cycle)
-        self._dynamic_cache[id(inst)] = power
+        self._dynamic_cache[inst] = power
         return power
 
     def total_power(

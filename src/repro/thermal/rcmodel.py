@@ -203,6 +203,23 @@ class RFThermalModel:
         rise = scipy.linalg.cho_solve(self._cho, p)
         return ThermalState(self.grid, self.params.ambient + rise)
 
+    def steady_state_many(self, powers: np.ndarray) -> np.ndarray:
+        """Steady-state temperatures for many power vectors at once.
+
+        *powers* has shape ``(num_nodes, k)`` — one column per power
+        vector; the result has the same shape.  A single Cholesky
+        back-substitution serves all *k* columns, which is how the
+        block-transfer compiler (:mod:`repro.core.transfer`) amortizes
+        solver overhead across a whole block's instructions.
+        """
+        p = np.asarray(powers, dtype=float)
+        if p.ndim != 2 or p.shape[0] != self.grid.num_nodes:
+            raise ThermalModelError(
+                f"expected ({self.grid.num_nodes}, k) power matrix, "
+                f"got shape {p.shape}"
+            )
+        return self.params.ambient + scipy.linalg.cho_solve(self._cho, p)
+
     def steady_state_with_leakage(
         self,
         dynamic_power: np.ndarray | dict[int, float],
@@ -241,14 +258,39 @@ class RFThermalModel:
             iterations=max_iterations,
         )
 
-    def _step_operator(self, dt: float) -> np.ndarray:
-        """``e^{-C⁻¹G dt}`` cached per step size."""
+    def step_operator(self, dt: float) -> np.ndarray:
+        """``e^{-C⁻¹G dt}`` cached per step size.
+
+        The linear part of every transient step: ``T' = T_ss + op (T −
+        T_ss)``.  The returned array is shared with the cache — treat it
+        as read-only.  As a sub-stochastic non-negative matrix its ∞-norm
+        is strictly below 1, which is what makes per-step and per-block
+        affine transfers contractions.
+        """
         cached = self._step_cache.get(dt)
         if cached is None:
             a = self._conductance / self._capacitance[:, None]
             cached = scipy.linalg.expm(-a * dt)
             self._step_cache[dt] = cached
         return cached
+
+    # Backwards-compatible private alias (pre-1.1 callers).
+    _step_operator = step_operator
+
+    def affine_step(
+        self, power: np.ndarray | dict[int, float], dt: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The affine map of one ``dt`` step under constant *power*.
+
+        Returns ``(A, b)`` with ``T' = A·T + b``: ``A`` is the step
+        operator and ``b = (I − A)·T_ss(power)``.  This is the building
+        block the compiled transfer engine composes into whole-block
+        maps (:mod:`repro.core.transfer`).  ``A`` is shared with the
+        operator cache; ``b`` is freshly allocated.
+        """
+        op = self.step_operator(dt)
+        target = self.steady_state(power).temperatures
+        return op, target - op @ target
 
     def step(
         self,
@@ -270,10 +312,8 @@ class RFThermalModel:
             raise ThermalModelError("dt and cycles must be positive")
         p = self.power_vector(power) if isinstance(power, dict) else np.asarray(power)
         target = self.steady_state(p)
-        op = self._step_operator(dt * cycles) if cycles > 1 else self._step_operator(dt)
-        if cycles > 1:
-            # e^{-A(k·dt)} — compute directly instead of powering.
-            op = self._step_operator(dt * cycles)
+        # e^{-A(k·dt)} — computed directly instead of powering the 1-step map.
+        op = self.step_operator(dt * cycles)
         deviation = state.temperatures - target.temperatures
         new_temps = target.temperatures + op @ deviation
         return ThermalState(self.grid, new_temps)

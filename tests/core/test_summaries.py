@@ -135,6 +135,86 @@ class TestComposition:
         assert state.max_abs_diff(steady) < 0.01
 
 
+@pytest.fixture(scope="module")
+def tight_summaries(machine, model, allocated):
+    """Exact and probe extractions at a δ tight enough to compare them."""
+    out = {}
+    for name in ("fib", "crc32"):
+        out[name] = {
+            method: summarize_function(
+                allocated[name], machine, model=model, delta=1e-11, method=method
+            )
+            for method in ("exact", "probe")
+        }
+    return out
+
+
+class TestExactExtraction:
+    """The closed-form extraction against the probe-based cross-check."""
+
+    @pytest.mark.parametrize("kernel", ["fib", "crc32"])
+    def test_exact_equals_probe_summaries(self, tight_summaries, kernel):
+        """Property: both extraction methods recover the same affine map."""
+        exact = tight_summaries[kernel]["exact"]
+        probe = tight_summaries[kernel]["probe"]
+        assert np.abs(exact.matrix - probe.matrix).max() < 1e-6
+        assert np.abs(exact.offset - probe.offset).max() < 1e-6
+
+    def test_exact_equals_probe_under_mean_merge(self, machine, model, allocated):
+        exact = summarize_function(
+            allocated["fib"], machine, model=model, delta=1e-11,
+            merge="mean", method="exact",
+        )
+        probe = summarize_function(
+            allocated["fib"], machine, model=model, delta=1e-11,
+            merge="mean", method="probe",
+        )
+        assert np.abs(exact.matrix - probe.matrix).max() < 1e-6
+        assert np.abs(exact.offset - probe.offset).max() < 1e-6
+
+    def test_exact_runs_a_single_analysis(
+        self, machine, model, allocated, monkeypatch
+    ):
+        """Acceptance: no more (nodes + 1) runs in the linear case."""
+        from repro.core.tdfa import ThermalDataflowAnalysis as TDFA
+
+        calls: list[str] = []
+        original = TDFA.run
+
+        def counting_run(self, function, entry_state=None):
+            calls.append(function.name)
+            return original(self, function, entry_state)
+
+        monkeypatch.setattr(TDFA, "run", counting_run)
+        summarize_function(allocated["fib"], machine, model=model, delta=0.002)
+        assert len(calls) == 1
+
+    def test_compose_agrees_between_methods(self, tight_summaries):
+        via_exact = tight_summaries["crc32"]["exact"].compose(
+            tight_summaries["fib"]["exact"]
+        )
+        via_probe = tight_summaries["crc32"]["probe"].compose(
+            tight_summaries["fib"]["probe"]
+        )
+        assert np.abs(via_exact.matrix - via_probe.matrix).max() < 1e-5
+        assert np.abs(via_exact.offset - via_probe.offset).max() < 1e-5
+
+    def test_fixed_point_agrees_between_methods(self, tight_summaries):
+        exact_fp = tight_summaries["crc32"]["exact"].fixed_point()
+        probe_fp = tight_summaries["crc32"]["probe"].fixed_point()
+        assert exact_fp is not None and probe_fp is not None
+        assert np.abs(exact_fp - probe_fp).max() < 1e-5
+
+    def test_exact_fixed_point_is_invariant(self, model, tight_summaries):
+        summary = tight_summaries["fib"]["exact"]
+        steady = ThermalState(model.grid, summary.fixed_point())
+        assert summary.apply(steady).max_abs_diff(steady) < 1e-9
+
+    def test_invalid_method_rejected(self, machine, allocated):
+        with pytest.raises(DataflowError, match="method"):
+            summarize_function(allocated["fib"], machine, method="bisect")
+
+
 class TestValidation:
     def test_max_merge_rejected(self, machine, allocated):
         with pytest.raises(DataflowError, match="affine merge"):

@@ -1,0 +1,298 @@
+"""Compiled affine block transfers: composition, caching, engine parity."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf16, rf64
+from repro.core import (
+    AffineTransfer,
+    BlockTransferCache,
+    TDFAConfig,
+    ThermalDataflowAnalysis,
+    compile_block,
+)
+from repro.core.estimator import ExactPlacement, InstructionPowerModel
+from repro.errors import DataflowError
+from repro.regalloc import allocate_linear_scan
+from repro.thermal import RFThermalModel, ThermalState
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def model(machine):
+    return RFThermalModel(machine.geometry, energy=machine.energy)
+
+
+@pytest.fixture(scope="module")
+def power_model(machine, model):
+    return InstructionPowerModel(
+        machine=machine,
+        model=model,
+        placement=ExactPlacement(machine.geometry.num_registers),
+    )
+
+
+@pytest.fixture(scope="module")
+def allocated_fir(machine):
+    return allocate_linear_scan(load("fir").function, machine).function
+
+
+class TestAffineTransfer:
+    def test_identity_is_noop(self, model):
+        n = model.grid.num_nodes
+        ident = AffineTransfer.identity(n)
+        temps = model.ambient_state().temperatures
+        assert np.array_equal(ident.apply(temps), temps)
+
+    def test_then_composes_in_order(self, model):
+        n = model.grid.num_nodes
+        rng = np.random.default_rng(3)
+        f = AffineTransfer(rng.uniform(size=(n, n)), rng.uniform(size=n), key="f")
+        g = AffineTransfer(rng.uniform(size=(n, n)), rng.uniform(size=n), key="g")
+        x = rng.uniform(size=n)
+        assert np.allclose(f.then(g).apply(x), g.apply(f.apply(x)))
+        assert f.then(g).key == "f;g"
+
+    def test_apply_state_preserves_grid(self, model):
+        n = model.grid.num_nodes
+        ident = AffineTransfer.identity(n)
+        state = model.ambient_state()
+        assert ident.apply_state(state).grid is state.grid
+
+    def test_from_step_relaxes_toward_target(self, model, machine):
+        dt = machine.energy.cycle_time
+        op = model.step_operator(dt)
+        target = np.full(model.grid.num_nodes, 330.0)
+        step = AffineTransfer.from_step(op, target)
+        temps = model.ambient_state().temperatures
+        moved = step.apply(temps)
+        # One step moves every node strictly toward the hotter target.
+        assert np.all(moved > temps)
+        assert np.all(moved < target)
+
+    def test_rc_transfers_are_contractions(self, model, power_model, machine,
+                                           allocated_fir):
+        dt = machine.energy.cycle_time
+        for block in allocated_fir.blocks.values():
+            compiled = compile_block(block, model, power_model, dt)
+            if block.instructions:
+                assert compiled.transfer.contraction_factor() < 1.0
+
+
+class TestCompileBlock:
+    def test_block_transfer_equals_instruction_chain(
+        self, machine, model, power_model, allocated_fir
+    ):
+        """A_B, b_B must reproduce stepping every instruction in order."""
+        dt = machine.energy.cycle_time
+        ambient = model.ambient_state()
+        for block in allocated_fir.blocks.values():
+            compiled = compile_block(block, model, power_model, dt)
+            temps = ambient.temperatures
+            for inst in block.instructions:
+                power = power_model.total_power(inst, ambient)
+                target = model.steady_state(power).temperatures
+                op = model.step_operator(dt)
+                temps = target + op @ (temps - target)
+            assert np.allclose(
+                compiled.transfer.apply(ambient.temperatures), temps, atol=1e-9
+            )
+
+    def test_reconstruct_matches_transfer_endpoint(
+        self, machine, model, power_model, allocated_fir
+    ):
+        dt = machine.energy.cycle_time
+        entry = model.ambient_state().temperatures + 2.0
+        for block in allocated_fir.blocks.values():
+            compiled = compile_block(block, model, power_model, dt)
+            states = compiled.reconstruct(entry)
+            assert len(states) == len(block.instructions)
+            if states:
+                assert np.allclose(
+                    states[-1], compiled.transfer.apply(entry), atol=1e-9
+                )
+
+    def test_leakage_feedback_rejected(self, allocated_fir):
+        leaky = rf16(leakage_feedback=0.05)
+        leaky_model = RFThermalModel(leaky.geometry, energy=leaky.energy)
+        pm = InstructionPowerModel(
+            machine=leaky,
+            model=leaky_model,
+            placement=ExactPlacement(leaky.geometry.num_registers),
+        )
+        func = allocate_linear_scan(load("fib").function, leaky).function
+        with pytest.raises(DataflowError, match="stepped"):
+            compile_block(
+                func.entry, leaky_model, pm, leaky.energy.cycle_time
+            )
+
+
+class TestBlockTransferCache:
+    def test_cache_hit_returns_same_object(
+        self, machine, model, power_model, allocated_fir
+    ):
+        cache = BlockTransferCache(model, power_model, machine.energy.cycle_time)
+        block = allocated_fir.entry
+        assert cache.block(block) is cache.block(block)
+        assert len(cache) == 1
+
+    def test_stable_key_recompiles_on_length_change(
+        self, machine, model, power_model, allocated_fir
+    ):
+        """The (name, instruction count) key must not serve stale data."""
+        cache = BlockTransferCache(model, power_model, machine.energy.cycle_time)
+        block = allocated_fir.entry
+        first = cache.block(block)
+        # Simulate an in-place edit (shorter block under the same name).
+        from repro.ir.block import BasicBlock
+
+        shorter = BasicBlock(block.name, block.instructions[:-2])
+        second = cache.block(shorter)
+        assert second is not first
+        assert second.num_instructions == first.num_instructions - 2
+
+    def test_compile_function_covers_all_blocks(
+        self, machine, model, power_model, allocated_fir
+    ):
+        cache = BlockTransferCache(model, power_model, machine.energy.cycle_time)
+        compiled = cache.compile_function(allocated_fir)
+        assert set(compiled) == set(allocated_fir.blocks)
+
+    def test_analysis_reuses_supplied_cache(
+        self, machine, model, power_model, allocated_fir
+    ):
+        """A matching transfer_cache is shared across runs: no recompiles."""
+        cache = BlockTransferCache(model, power_model, machine.energy.cycle_time)
+        analysis = ThermalDataflowAnalysis(
+            machine,
+            model=model,
+            power_model=power_model,
+            transfer_cache=cache,
+            config=TDFAConfig(delta=0.05),
+        )
+        analysis.run(allocated_fir)
+        populated = len(cache)
+        assert populated == len(allocated_fir.blocks)
+        before = {key: cache.block(allocated_fir.block(key[0]))
+                  for key in list(cache._compiled)}
+        analysis.run(allocated_fir)
+        assert len(cache) == populated
+        for key, compiled in before.items():
+            assert cache.block(allocated_fir.block(key[0])) is compiled
+
+    def test_mismatched_cache_ignored(self, machine, model, power_model,
+                                      allocated_fir):
+        """A cache built for a different dt must not serve stale transfers."""
+        stale = BlockTransferCache(
+            model, power_model, machine.energy.cycle_time * 2
+        )
+        analysis = ThermalDataflowAnalysis(
+            machine,
+            model=model,
+            power_model=power_model,
+            transfer_cache=stale,
+            config=TDFAConfig(delta=0.05),
+        )
+        result = analysis.run(allocated_fir)
+        assert result.converged
+        assert len(stale) == 0  # never consulted
+
+
+class TestEngineSelection:
+    def test_auto_resolves_compiled_for_linear(self, machine, allocated_fir):
+        analysis = ThermalDataflowAnalysis(machine)
+        assert analysis.resolve_engine() == "compiled"
+        result = analysis.run(allocated_fir)
+        assert result.engine == "compiled"
+
+    def test_auto_resolves_stepped_with_feedback(self):
+        leaky = rf16(leakage_feedback=0.05)
+        func = allocate_linear_scan(load("fib").function, leaky).function
+        analysis = ThermalDataflowAnalysis(leaky)
+        assert analysis.resolve_engine() == "stepped"
+        assert analysis.run(func).engine == "stepped"
+
+    def test_forced_compiled_with_feedback_rejected(self):
+        leaky = rf16(leakage_feedback=0.05)
+        analysis = ThermalDataflowAnalysis(
+            leaky, config=TDFAConfig(engine="compiled")
+        )
+        with pytest.raises(DataflowError, match="leakage"):
+            analysis.resolve_engine()
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(DataflowError, match="engine"):
+            TDFAConfig(engine="warp")
+
+
+class TestEngineEquivalence:
+    """Acceptance: compiled and stepped agree within 2·δ on every kernel."""
+
+    DELTA = 0.01
+
+    @pytest.mark.parametrize("merge", ["freq", "mean"])
+    @pytest.mark.parametrize(
+        "kernel", ["fib", "fir", "crc32", "matmul", "sort", "histogram"]
+    )
+    def test_engines_agree_within_two_delta(self, machine, kernel, merge):
+        func = allocate_linear_scan(load(kernel).function, machine).function
+        model = RFThermalModel(machine.geometry, energy=machine.energy)
+        results = {}
+        for engine in ("compiled", "stepped"):
+            analysis = ThermalDataflowAnalysis(
+                machine,
+                model=model,
+                config=TDFAConfig(delta=self.DELTA, merge=merge, engine=engine),
+            )
+            results[engine] = analysis.run(func)
+        compiled, stepped = results["compiled"], results["stepped"]
+        assert compiled.converged and stepped.converged
+        assert set(compiled.after) == set(stepped.after)
+        worst = max(
+            compiled.after[key].max_abs_diff(stepped.after[key])
+            for key in stepped.after
+        )
+        assert worst <= 2 * self.DELTA
+        assert (
+            compiled.exit_state().max_abs_diff(stepped.exit_state())
+            <= 2 * self.DELTA
+        )
+
+    def test_engines_agree_on_max_merge(self, machine):
+        """The block transfer is merge-independent, so max joins work too."""
+        func = allocate_linear_scan(load("crc32").function, machine).function
+        compiled = ThermalDataflowAnalysis(
+            machine, config=TDFAConfig(delta=0.01, merge="max", engine="compiled")
+        ).run(func)
+        stepped = ThermalDataflowAnalysis(
+            machine, config=TDFAConfig(delta=0.01, merge="max", engine="stepped")
+        ).run(func)
+        worst = max(
+            compiled.after[key].max_abs_diff(stepped.after[key])
+            for key in stepped.after
+        )
+        assert worst <= 2 * 0.01
+
+    def test_engines_agree_from_arbitrary_entry_state(self, machine):
+        func = allocate_linear_scan(load("iir").function, machine).function
+        model = RFThermalModel(machine.geometry, energy=machine.energy)
+        rng = np.random.default_rng(11)
+        entry = ThermalState(
+            model.grid,
+            model.params.ambient + rng.uniform(0, 15, model.grid.num_nodes),
+        )
+        results = [
+            ThermalDataflowAnalysis(
+                machine, model=model,
+                config=TDFAConfig(delta=0.005, engine=engine),
+            ).run(func, entry_state=entry)
+            for engine in ("compiled", "stepped")
+        ]
+        assert results[0].exit_state().max_abs_diff(
+            results[1].exit_state()
+        ) <= 0.01

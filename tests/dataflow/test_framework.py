@@ -50,6 +50,30 @@ def test_backward_collects_successors(diamond):
     assert result.entry("join") == {"join"}
 
 
+INFINITE_LOOP_SRC = """
+func @forever(%n) {
+entry:
+  %i = li 0
+  jump head
+head:
+  %i = add %i, 1
+  jump head
+}
+"""
+
+
+def test_backward_on_exitless_cfg_converges():
+    """Regression: a backward problem over a CFG with no exit block must
+    still reach a fixed point from the optimistic initial values instead
+    of looping or crashing on an empty boundary set."""
+    function = parse_function(INFINITE_LOOP_SRC)
+    result = solve(function, NamesToExitProblem())
+    # Every block flows around the loop through head.
+    assert result.entry("head") >= {"head"}
+    assert result.entry("entry") >= {"entry", "head"}
+    assert result.iterations >= 1
+
+
 class UnboundedProblem(DataflowProblem):
     """A lattice of infinite height: values grow forever around a loop."""
 

@@ -42,6 +42,13 @@ class TestAnalyzeCommand:
     def test_merge_selection(self, capsys):
         assert main(["analyze", "--workload", "fib", "--merge", "max"]) == 0
 
+    @pytest.mark.parametrize("engine", ["auto", "compiled", "stepped"])
+    def test_engine_selection(self, capsys, engine):
+        assert main(
+            ["analyze", "--workload", "fib", "--engine", engine]
+        ) == 0
+        assert "converged" in capsys.readouterr().out
+
     def test_missing_input_fails(self, capsys):
         assert main(["analyze"]) == 1
         assert "error" in capsys.readouterr().err

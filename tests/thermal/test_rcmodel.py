@@ -157,6 +157,54 @@ class TestLeakage:
         assert err.value.partial_result is not None
 
 
+class TestAffineStepAPI:
+    """Public step_operator/affine_step/steady_state_many surface."""
+
+    DT = 1e-9
+
+    def test_step_operator_is_substochastic(self, model):
+        op = model.step_operator(self.DT)
+        assert np.all(op >= -1e-15)
+        assert np.abs(op).sum(axis=1).max() < 1.0
+
+    def test_private_alias_preserved(self, model):
+        assert np.array_equal(model._step_operator(self.DT),
+                              model.step_operator(self.DT))
+
+    def test_affine_step_reproduces_step(self, model):
+        """T' = A·T + b must equal the closed-form step() exactly."""
+        power = model.power_vector({HOT: 5e-3})
+        a, b = model.affine_step(power, self.DT)
+        state = model.ambient_state()
+        via_affine = a @ state.temperatures + b
+        via_step = model.step(state, power, dt=self.DT).temperatures
+        assert np.allclose(via_affine, via_step, atol=1e-12)
+
+    def test_affine_step_fixed_point_is_steady_state(self, model):
+        power = model.power_vector({HOT: 5e-3})
+        a, b = model.affine_step(power, self.DT)
+        steady = model.steady_state(power).temperatures
+        assert np.allclose(a @ steady + b, steady, atol=1e-9)
+
+    def test_steady_state_many_matches_single_solves(self, model):
+        powers = np.stack(
+            [model.power_vector({HOT: 5e-3}),
+             model.power_vector({0: 1e-3}),
+             np.zeros(model.grid.num_nodes)],
+            axis=1,
+        )
+        batched = model.steady_state_many(powers)
+        for j in range(powers.shape[1]):
+            single = model.steady_state(powers[:, j]).temperatures
+            assert np.allclose(batched[:, j], single, atol=1e-12)
+
+    def test_steady_state_many_rejects_bad_shape(self, model):
+        with pytest.raises(ThermalModelError):
+            model.steady_state_many(np.zeros(model.grid.num_nodes))
+        with pytest.raises(ThermalModelError):
+            model.steady_state_many(np.zeros((3, model.grid.num_nodes)))
+
+
 class TestConductanceStructure:
     def test_symmetric_positive_definite(self, model):
         g = model.conductance
