@@ -44,10 +44,12 @@ from .arch import (
 from .core import (
     AffineTransfer,
     AllocationPlacement,
+    AnalysisContext,
     BlockTransferCache,
     ExactPlacement,
     FunctionSummary,
     PolicyPlacement,
+    SuiteReport,
     TDFAConfig,
     TDFAResult,
     ThermalDataflowAnalysis,
@@ -57,6 +59,7 @@ from .core import (
     compose_pipeline,
     evaluate_rules,
     rank_critical_variables,
+    run_suite,
     summarize_function,
 )
 from .errors import (
@@ -74,7 +77,7 @@ from .opt import ThermalAwareCompiler
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -91,6 +94,9 @@ __all__ = [
     "TDFAConfig",
     "TDFAResult",
     "analyze",
+    "AnalysisContext",
+    "SuiteReport",
+    "run_suite",
     "AffineTransfer",
     "BlockTransferCache",
     "compile_block",

@@ -2,7 +2,14 @@
 
 from .energy import EnergyModel
 from .machine import MachineDescription
-from .presets import DEFAULT_MACHINE, banked_rf64, rf16, rf32, rf64
+from .presets import (
+    DEFAULT_MACHINE,
+    MACHINE_PRESETS,
+    banked_rf64,
+    rf16,
+    rf32,
+    rf64,
+)
 from .registerfile import RegisterFileGeometry
 
 __all__ = [
@@ -14,4 +21,5 @@ __all__ = [
     "rf32",
     "rf64",
     "banked_rf64",
+    "MACHINE_PRESETS",
 ]

@@ -53,3 +53,7 @@ def banked_rf64(banks: int = 4) -> MachineDescription:
 
 
 DEFAULT_MACHINE = rf64()
+
+#: Name → factory registry of the CLI-selectable presets.  The single
+#: source of truth for every surface that takes a ``--machine`` name.
+MACHINE_PRESETS = {"rf16": rf16, "rf32": rf32, "rf64": rf64}

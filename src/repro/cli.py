@@ -8,6 +8,9 @@ Subcommands
                before/after comparison.
 ``emulate``    run the feedback-driven reference flow (ground truth).
 ``fig1``       render the Fig. 1 policy comparison for a workload.
+``suite``      analyze the whole workload suite (plus optional scenario
+               generators) through one shared analysis context and
+               write a machine-readable JSON report.
 ``workloads``  list the built-in workload suite.
 
 Examples
@@ -17,7 +20,9 @@ Examples
     python -m repro workloads
     python -m repro analyze --workload fir --delta 0.01
     python -m repro analyze path/to/kernel.ir --policy chessboard
-    python -m repro compile --workload iir
+    python -m repro compile --workload iir --engine compiled --merge mean
+    python -m repro suite --json BENCH_suite.json
+    python -m repro suite --quick --chip --pressure
     python -m repro fig1 --workload fir
 """
 
@@ -27,13 +32,14 @@ import argparse
 import sys
 from pathlib import Path
 
-from .arch import MachineDescription, rf16, rf32, rf64
+from .arch import MACHINE_PRESETS, MachineDescription
 from .core import (
     ExactPlacement,
     analyze,
     evaluate_rules,
     format_result,
     rank_critical_variables,
+    run_suite,
 )
 from .errors import ReproError
 from .ir import parse_function
@@ -44,7 +50,7 @@ from .thermal import render_side_by_side, summarize
 from .util import format_table
 from .workloads import full_suite, load, workload_names
 
-_MACHINES = {"rf16": rf16, "rf32": rf32, "rf64": rf64}
+_MACHINES = MACHINE_PRESETS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,6 +88,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_co = sub.add_parser("compile", help="thermal-aware compilation pipeline")
     add_input_args(p_co)
     p_co.add_argument("--delta", type=float, default=0.05)
+    p_co.add_argument("--merge", choices=["max", "mean", "freq"], default="freq",
+                      help="CFG join mode for the pipeline analyses "
+                           "(default freq)")
+    p_co.add_argument("--engine", choices=["auto", "compiled", "stepped"],
+                      default="auto",
+                      help="fixed-point engine for the pipeline analyses "
+                           "(default auto)")
 
     p_em = sub.add_parser("emulate", help="feedback-driven thermal emulation")
     add_input_args(p_em)
@@ -91,6 +104,40 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_f1 = sub.add_parser("fig1", help="Fig. 1 policy comparison maps")
     add_input_args(p_f1)
+
+    p_su = sub.add_parser(
+        "suite",
+        help="analyze the whole workload suite through one shared context",
+    )
+    p_su.add_argument("--workloads", "-w", nargs="+", metavar="NAME",
+                      help="kernel subset (default: the full suite)")
+    p_su.add_argument("--machine", "-m", choices=sorted(_MACHINES),
+                      default="rf64",
+                      help="target register file preset (default rf64)")
+    p_su.add_argument("--delta", type=float, default=0.01,
+                      help="convergence threshold in Kelvin (default 0.01)")
+    p_su.add_argument("--merge", choices=["max", "mean", "freq"],
+                      default="freq", help="CFG join mode (default freq)")
+    p_su.add_argument("--engine", choices=["auto", "compiled", "stepped"],
+                      default="auto", help="fixed-point engine (default auto)")
+    p_su.add_argument("--policy", default="first-free",
+                      help="assignment policy for allocation "
+                           "(default first-free)")
+    p_su.add_argument("--chip", action="store_true",
+                      help="analyze on the die-level chip model "
+                           "(RF + ALU + D-cache)")
+    p_su.add_argument("--pressure", action="store_true",
+                      help="also run the E5 pressure-scenario generators")
+    p_su.add_argument("--random", type=int, default=0, metavar="N",
+                      help="also run N seeded random-loop scenarios")
+    p_su.add_argument("--quick", action="store_true",
+                      help="five-kernel subset (CI smoke mode)")
+    p_su.add_argument("--processes", type=int, default=1,
+                      help="worker processes (default 1: one process, "
+                           "one shared context)")
+    p_su.add_argument("--json", metavar="PATH", dest="json_path",
+                      help="write the machine-readable report "
+                           "(e.g. BENCH_suite.json)")
 
     sub.add_parser("workloads", help="list the built-in workload suite")
     return parser
@@ -132,7 +179,9 @@ def cmd_analyze(args) -> int:
 def cmd_compile(args) -> int:
     machine = _machine(args)
     function, _run_args, _memory = _load_function(args)
-    compiler = ThermalAwareCompiler(machine, delta=args.delta)
+    compiler = ThermalAwareCompiler(
+        machine, delta=args.delta, merge=args.merge, engine=args.engine
+    )
     result = compiler.compile(function)
     print(result.plan)
     print()
@@ -204,6 +253,57 @@ def cmd_fig1(args) -> int:
     return 0
 
 
+def cmd_suite(args) -> int:
+    report = run_suite(
+        names=args.workloads,
+        machine_name=args.machine,
+        chip=args.chip,
+        delta=args.delta,
+        merge=args.merge,
+        engine=args.engine,
+        policy=args.policy,
+        quick=args.quick,
+        include_pressure=args.pressure,
+        random_count=args.random,
+        processes=args.processes,
+    )
+    rows = [
+        (
+            item.name,
+            item.instructions,
+            item.engine + (f"/{item.sweep}" if item.sweep else ""),
+            "yes" if item.converged else "NO",
+            item.iterations,
+            item.wall_time_seconds * 1e3,
+            item.peak_delta_kelvin,
+            item.gradient_kelvin,
+        )
+        for item in report.items
+    ]
+    print(format_table(
+        ["kernel", "insts", "engine", "conv", "sweeps", "time (ms)",
+         "peak dT (K)", "gradient (K)"],
+        rows,
+    ))
+    totals = report.totals()
+    print()
+    print(f"{int(totals['kernels'])} kernels, "
+          f"{int(totals['instructions'])} instructions on "
+          f"{report.machine} ({report.model} model), "
+          f"{report.processes} process(es): "
+          f"analysis {totals['analysis_seconds'] * 1e3:.1f} ms, "
+          f"wall {totals['wall_time_seconds'] * 1e3:.1f} ms")
+    if report.context_stats:
+        stats = report.context_stats
+        print(f"shared context: {stats['analyses']} analyses, "
+              f"{stats['block_compiles']} block compiles, "
+              f"{stats['block_hits']} cache hits")
+    if args.json_path:
+        report.write_json(args.json_path)
+        print(f"report written to {args.json_path}")
+    return 0 if report.all_converged else 2
+
+
 def cmd_workloads(_args) -> int:
     rows = []
     for wl in full_suite():
@@ -219,6 +319,7 @@ _COMMANDS = {
     "compile": cmd_compile,
     "emulate": cmd_emulate,
     "fig1": cmd_fig1,
+    "suite": cmd_suite,
     "workloads": cmd_workloads,
 }
 

@@ -1,5 +1,6 @@
 """The paper's contribution: thermal data flow analysis and its clients."""
 
+from .context import AnalysisContext
 from .critical import (
     CriticalVariable,
     hotspot_contribution_map,
@@ -9,10 +10,12 @@ from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
 from .predictive import AllocationPlacement, PolicyPlacement, UniformPlacement
 from .report import convergence_table, format_result
 from .rules import Recommendation, RuleConfig, ThermalPlan, evaluate_rules
+from .suite_runner import SuiteItem, SuiteReport, run_suite
 from .summaries import FunctionSummary, compose_pipeline, summarize_function
 from .tdfa import (
     ENGINE_MODES,
     MERGE_MODES,
+    SWEEP_MODES,
     TDFAConfig,
     TDFAResult,
     ThermalDataflowAnalysis,
@@ -22,7 +25,9 @@ from .transfer import (
     AffineTransfer,
     BlockTransferCache,
     CompiledBlock,
+    CompiledSweep,
     compile_block,
+    compile_sweep,
 )
 
 __all__ = [
@@ -31,11 +36,18 @@ __all__ = [
     "TDFAResult",
     "MERGE_MODES",
     "ENGINE_MODES",
+    "SWEEP_MODES",
     "analyze",
+    "AnalysisContext",
+    "SuiteItem",
+    "SuiteReport",
+    "run_suite",
     "AffineTransfer",
     "BlockTransferCache",
     "CompiledBlock",
+    "CompiledSweep",
     "compile_block",
+    "compile_sweep",
     "PlacementModel",
     "ExactPlacement",
     "InstructionPowerModel",

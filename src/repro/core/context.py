@@ -1,0 +1,273 @@
+"""Shared analysis runtime: one context from block sweeps to suite runs.
+
+PR 1 made the fixed-point engine affine-compiled, but every pipeline
+stage and every CLI invocation still rebuilt its own thermal model,
+factorized the same conductance matrix, re-exponentiated the same step
+operator and recompiled the same block transfers.  The
+:class:`AnalysisContext` is the fix: it owns, exactly once,
+
+* the thermal model (whose Cholesky factorization and ``expm`` step
+  operators are cached *inside* the model, so sharing the model shares
+  the operator caches),
+* one power model per placement (so per-instruction dynamic power is
+  cached once per placement, not once per analysis), and
+* one :class:`~repro.core.transfer.BlockTransferCache` per power model
+  (so block transfers and composed sweeps compile once, ever).
+
+Everything that analyzes — a single :func:`~repro.core.tdfa.analyze`
+call, the before/after/rule-evaluation analyses inside
+:class:`~repro.opt.pipeline.ThermalAwareCompiler`, or a whole suite run
+(:mod:`repro.core.suite_runner`) — can go through one context and pay
+model construction and compilation once.  Caches are identity-keyed
+(see :mod:`repro.core.transfer`): a transformed function is a new
+object and can never be served stale transfers, while analyzing the
+same function object twice is all cache hits.  For in-place CFG edits
+call :meth:`AnalysisContext.invalidate`.
+
+Die-level analyses get the same treatment through
+:meth:`AnalysisContext.for_chip`, which swaps in the
+:class:`~repro.thermal.chip.ChipThermalModel` /
+:class:`~repro.thermal.chip.ChipPowerModel` pair while reusing all the
+shared-cache machinery unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from ..arch.machine import MachineDescription
+from ..dataflow.freq import StaticProfile, static_profile
+from ..ir.function import Function
+from ..thermal.rcmodel import RFThermalModel
+from ..thermal.state import ThermalState
+from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
+from .tdfa import TDFAConfig, TDFAResult, ThermalDataflowAnalysis
+from .transfer import BlockTransferCache
+
+#: A profile cache entry: the CFG signature it was computed from.
+_ProfileKey = tuple[tuple[str, tuple[str, ...]], ...]
+
+
+def _cfg_signature(function: Function) -> _ProfileKey:
+    """Shape of the CFG (names + successors): all a static profile sees."""
+    return tuple(
+        (name, tuple(block.successors()))
+        for name, block in function.blocks.items()
+    )
+
+
+class AnalysisContext:
+    """Shared thermal model, operator caches and transfer caches.
+
+    Parameters
+    ----------
+    machine:
+        Target machine description.
+    model:
+        Thermal model to share (default: a fresh per-register
+        :class:`~repro.thermal.rcmodel.RFThermalModel`).  Use
+        :meth:`for_chip` for the die-level model.
+    config:
+        Default analysis configuration; per-call overrides go through
+        :meth:`analyze`'s keyword arguments.
+    power_model_factory:
+        ``placement -> power model`` hook; defaults to
+        :class:`~repro.core.estimator.InstructionPowerModel` over the
+        shared model.  :meth:`for_chip` installs the chip equivalent.
+    """
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        model: RFThermalModel | None = None,
+        config: TDFAConfig | None = None,
+        power_model_factory: Callable[[PlacementModel], object] | None = None,
+    ) -> None:
+        self.machine = machine
+        self.model = model or RFThermalModel(
+            machine.geometry, energy=machine.energy
+        )
+        self.config = config or TDFAConfig()
+        self.exact_placement = ExactPlacement(machine.geometry.num_registers)
+        self._power_model_factory = power_model_factory or (
+            lambda placement: InstructionPowerModel(
+                machine=self.machine, model=self.model, placement=placement
+            )
+        )
+        self._power_models: dict[PlacementModel, object] = {}
+        # Keyed by the power model object (identity hash, strong ref) —
+        # never id(), whose values can be recycled after GC.
+        self._caches: dict[tuple[object, bool], BlockTransferCache] = {}
+        self._profiles: dict[Function, tuple[_ProfileKey, StaticProfile]] = {}
+        self._analyses_run = 0
+        # Counters of caches dropped by a full invalidate(), so stats
+        # stay monotone across resets.
+        self._retired_stats = {
+            "block_compiles": 0,
+            "block_hits": 0,
+            "sweep_compiles": 0,
+            "sweep_hits": 0,
+        }
+
+    @classmethod
+    def for_chip(
+        cls,
+        machine: MachineDescription,
+        layout=None,
+        config: TDFAConfig | None = None,
+    ) -> "AnalysisContext":
+        """A context over the die-level chip model (RF + ALU + D-cache).
+
+        The chip model is a bigger RC network over the same machinery,
+        so the compiled engine, batched sweeps and all shared caches
+        apply unchanged; leakage-feedback configurations still resolve
+        to the stepped engine exactly as at RF level.
+        """
+        from ..thermal.chip import ChipPowerModel, ChipThermalModel
+
+        model = ChipThermalModel(machine, layout=layout)
+        return cls(
+            machine,
+            model=model,
+            config=config,
+            power_model_factory=lambda placement: ChipPowerModel(
+                machine, model, placement=placement
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Shared components
+    # ------------------------------------------------------------------
+    def power_model(self, placement: PlacementModel | None = None):
+        """The shared power model for *placement* (default: exact)."""
+        placement = placement or self.exact_placement
+        cached = self._power_models.get(placement)
+        if cached is None:
+            cached = self._power_model_factory(placement)
+            self._power_models[placement] = cached
+        return cached
+
+    def transfer_cache(
+        self, power_model=None, include_leakage: bool = True
+    ) -> BlockTransferCache:
+        """The shared transfer cache serving *power_model*."""
+        power_model = power_model or self.power_model()
+        key = (power_model, include_leakage)
+        cached = self._caches.get(key)
+        if cached is None:
+            cached = BlockTransferCache(
+                self.model,
+                power_model,
+                self.machine.energy.cycle_time,
+                include_leakage=include_leakage,
+            )
+            self._caches[key] = cached
+        return cached
+
+    def static_profile(self, function: Function) -> StaticProfile:
+        """The static execution profile of *function*, cached per object."""
+        signature = _cfg_signature(function)
+        cached = self._profiles.get(function)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        profile = static_profile(function)
+        self._profiles[function] = (signature, profile)
+        return profile
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def analysis(
+        self,
+        config: TDFAConfig | None = None,
+        placement: PlacementModel | None = None,
+        power_model=None,
+    ) -> ThermalDataflowAnalysis:
+        """A :class:`ThermalDataflowAnalysis` wired to the shared caches."""
+        config = config or self.config
+        power_model = power_model or self.power_model(placement)
+        return ThermalDataflowAnalysis(
+            machine=self.machine,
+            model=self.model,
+            placement=placement or self.exact_placement,
+            config=config,
+            power_model=power_model,
+            transfer_cache=self.transfer_cache(
+                power_model, include_leakage=config.include_leakage
+            ),
+            context=self,
+        )
+
+    def analyze(
+        self,
+        function: Function,
+        entry_state: ThermalState | None = None,
+        placement: PlacementModel | None = None,
+        power_model=None,
+        **overrides,
+    ) -> TDFAResult:
+        """Analyze *function* through the shared context.
+
+        Keyword *overrides* (``delta=…``, ``merge=…``, ``engine=…``,
+        ``sweep=…``, …) are applied on top of the context's default
+        :class:`TDFAConfig` for this call only.
+        """
+        config = replace(self.config, **overrides) if overrides else self.config
+        analysis = self.analysis(config, placement, power_model)
+        self._analyses_run += 1
+        return analysis.run(function, entry_state=entry_state)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        """Aggregate counters: analyses run, compiles paid, hits served."""
+        totals = {
+            "analyses": self._analyses_run,
+            "power_models": len(self._power_models),
+            "transfer_caches": len(self._caches),
+            **self._retired_stats,
+        }
+        for cache in self._caches.values():
+            for key, value in cache.stats.as_dict().items():
+                totals[key] += value
+        return totals
+
+    def invalidate(self, function: Function | None = None) -> None:
+        """Drop cached artifacts (of *function*, or reset everything).
+
+        With a *function*: drop its compiled blocks, sweeps and profile
+        — needed only after *in-place* CFG edits (transformed functions
+        are new objects and miss the identity-keyed caches naturally).
+
+        With no argument: full reset — power models and transfer caches
+        included.  Caches hold strong references and grow with every
+        distinct function and placement analyzed (each compiled sweep
+        is a few dense ``(m·n, m·n)`` matrices), so a very long-lived
+        context serving unbounded function churn — e.g. one compiler
+        pipeline per request — should reset periodically; counters in
+        :attr:`stats` survive a reset.
+        """
+        if function is None:
+            for cache in self._caches.values():
+                for key, value in cache.stats.as_dict().items():
+                    self._retired_stats[key] += value
+            self._power_models.clear()
+            self._caches.clear()
+            self._profiles.clear()
+            return
+        for cache in self._caches.values():
+            cache.invalidate(function)
+        self._profiles.pop(function, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats
+        return (
+            f"<AnalysisContext {self.machine.geometry.num_registers}r "
+            f"model={type(self.model).__name__} "
+            f"analyses={stats['analyses']} "
+            f"block_compiles={stats['block_compiles']} "
+            f"block_hits={stats['block_hits']}>"
+        )

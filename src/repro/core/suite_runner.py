@@ -1,0 +1,287 @@
+"""Whole-suite thermal analysis through one shared context.
+
+The paper analyzes one kernel per invocation; the batched analysis
+runtime turns that into a throughput service: :func:`run_suite`
+allocates and analyzes every kernel of the workload suite — plus,
+optionally, the E5 pressure-scenario and seeded random-loop generators
+— through a **single shared** :class:`~repro.core.context.AnalysisContext`,
+so the thermal model is built and factorized once, step operators are
+exponentiated once, and the per-kernel cost is the sweep itself.
+
+The report is machine-readable (``SuiteReport.to_dict()`` /
+``write_json()``): one record per kernel with convergence, engine,
+thermal headline numbers and wall time, plus context-level totals
+(block compiles vs. cache hits) that quantify the amortization.  The
+CLI ``suite`` subcommand writes it as ``BENCH_suite.json``; CI archives
+those files so the performance trajectory accumulates per commit.
+
+Scaling out: ``processes > 1`` fans the suite across worker processes
+(one shared context *per worker* — contexts hold process-local solver
+state and do not pickle).  The default, ``processes=1``, runs the whole
+suite in-process through one context.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+from ..arch import MACHINE_PRESETS
+from ..regalloc.linearscan import allocate_linear_scan
+from ..regalloc.policies import policy_by_name
+from ..workloads import (
+    full_suite,
+    load,
+    pressure_sweep,
+    random_loop_program,
+    small_suite,
+)
+from .context import AnalysisContext
+
+#: Report schema identifier (bump on incompatible changes).
+SCHEMA = "repro.suite/1"
+
+_MACHINES = MACHINE_PRESETS
+
+
+@dataclass(frozen=True)
+class SuiteItem:
+    """One analyzed kernel of a suite run."""
+
+    name: str
+    instructions: int
+    blocks: int
+    engine: str
+    sweep: str
+    converged: bool
+    iterations: int
+    wall_time_seconds: float
+    peak_kelvin: float
+    peak_delta_kelvin: float
+    gradient_kelvin: float
+
+
+@dataclass
+class SuiteReport:
+    """Machine-readable result of one suite run."""
+
+    machine: str
+    model: str                    # "rf" or "chip"
+    delta: float
+    merge: str
+    engine: str
+    policy: str
+    processes: int
+    items: list[SuiteItem] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+    context_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(item.converged for item in self.items)
+
+    def totals(self) -> dict[str, float]:
+        return {
+            "kernels": len(self.items),
+            "instructions": sum(i.instructions for i in self.items),
+            "analysis_seconds": sum(i.wall_time_seconds for i in self.items),
+            "wall_time_seconds": self.wall_time_seconds,
+            "converged": sum(1 for i in self.items if i.converged),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "machine": self.machine,
+            "model": self.model,
+            "delta": self.delta,
+            "merge": self.merge,
+            "engine": self.engine,
+            "policy": self.policy,
+            "processes": self.processes,
+            "totals": self.totals(),
+            "context_stats": dict(self.context_stats),
+            "results": [asdict(item) for item in self.items],
+        }
+
+    def write_json(self, path) -> None:
+        """Write the report (e.g. as ``BENCH_suite.json``)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _workload_specs(
+    names: list[str] | None,
+    quick: bool,
+    include_pressure: bool,
+    random_count: int,
+) -> list[tuple[str, object]]:
+    """Picklable build-recipes for every workload of the run."""
+    specs: list[tuple[str, object]] = []
+    if names:
+        specs += [("kernel", name) for name in names]
+    elif quick:
+        specs += [("small_suite", i) for i in range(len(small_suite()))]
+    else:
+        specs += [("kernel", wl.name) for wl in full_suite()]
+    if include_pressure:
+        specs += [("pressure", i) for i in range(len(pressure_sweep()))]
+    if random_count > 0:
+        specs += [("random", seed) for seed in range(random_count)]
+    return specs
+
+
+def _build_workload(spec: tuple[str, object]):
+    kind, arg = spec
+    if kind == "kernel":
+        return load(arg)
+    if kind == "small_suite":
+        return small_suite()[arg]
+    if kind == "pressure":
+        return pressure_sweep()[arg]
+    if kind == "random":
+        return random_loop_program(seed=arg)
+    raise ValueError(f"unknown workload spec {spec!r}")
+
+
+def analyze_workload(
+    workload,
+    context: AnalysisContext,
+    delta: float,
+    merge: str,
+    engine: str,
+    policy: str,
+) -> SuiteItem:
+    """Allocate and analyze one workload through *context*."""
+    allocated = allocate_linear_scan(
+        workload.function, context.machine, policy_by_name(policy)
+    ).function
+    result = context.analyze(
+        allocated, delta=delta, merge=merge, engine=engine
+    )
+    peak = result.peak_state()
+    ambient = context.model.params.ambient
+    return SuiteItem(
+        name=workload.name,
+        instructions=allocated.instruction_count(),
+        blocks=len(allocated.blocks),
+        engine=result.engine,
+        sweep=result.sweep,
+        converged=result.converged,
+        iterations=result.iterations,
+        wall_time_seconds=result.wall_time_seconds,
+        peak_kelvin=peak.peak,
+        peak_delta_kelvin=peak.peak - ambient,
+        gradient_kelvin=peak.max_gradient(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Multiprocessing support: one context per worker process.
+# ----------------------------------------------------------------------
+_WORKER_CTX: AnalysisContext | None = None
+_WORKER_ARGS: dict | None = None
+
+
+def _init_worker(machine_name: str, chip: bool, delta: float, merge: str,
+                 engine: str, policy: str) -> None:
+    global _WORKER_CTX, _WORKER_ARGS
+    machine = _MACHINES[machine_name]()
+    _WORKER_CTX = (
+        AnalysisContext.for_chip(machine) if chip else AnalysisContext(machine)
+    )
+    _WORKER_ARGS = {
+        "delta": delta, "merge": merge, "engine": engine, "policy": policy
+    }
+
+
+def _run_spec(spec: tuple[str, object]) -> SuiteItem:
+    assert _WORKER_CTX is not None and _WORKER_ARGS is not None
+    return analyze_workload(_build_workload(spec), _WORKER_CTX, **_WORKER_ARGS)
+
+
+def run_suite(
+    names: list[str] | None = None,
+    machine_name: str = "rf64",
+    *,
+    context: AnalysisContext | None = None,
+    chip: bool = False,
+    delta: float = 0.01,
+    merge: str = "freq",
+    engine: str = "auto",
+    policy: str = "first-free",
+    quick: bool = False,
+    include_pressure: bool = False,
+    random_count: int = 0,
+    processes: int = 1,
+) -> SuiteReport:
+    """Analyze the workload suite through one shared context.
+
+    Parameters
+    ----------
+    names:
+        Kernel subset (default: the full 14-kernel suite, or the
+        five-kernel small suite with ``quick=True``).
+    context:
+        Use this shared context instead of building one (single-process
+        only).  ``chip=True`` builds a die-level context.
+    include_pressure / random_count:
+        Also run the E5 pressure-sweep scenarios and/or *N* seeded
+        random-loop scenarios through the same context.
+    processes:
+        Fan out across worker processes, one shared context per worker
+        (the default 1 keeps everything in one process through a single
+        context).
+    """
+    if machine_name not in _MACHINES:
+        raise ValueError(
+            f"unknown machine {machine_name!r}; available: {sorted(_MACHINES)}"
+        )
+    if context is not None and processes > 1:
+        raise ValueError(
+            "a shared context cannot cross process boundaries: pass either "
+            "context= (single process) or processes>1, not both"
+        )
+    specs = _workload_specs(names, quick, include_pressure, random_count)
+    started = time.perf_counter()
+
+    if processes > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(
+            processes,
+            initializer=_init_worker,
+            initargs=(machine_name, chip, delta, merge, engine, policy),
+        ) as pool:
+            items = pool.map(_run_spec, specs)
+        context_stats: dict[str, int] = {}
+    else:
+        if context is None:
+            machine = _MACHINES[machine_name]()
+            context = (
+                AnalysisContext.for_chip(machine)
+                if chip
+                else AnalysisContext(machine)
+            )
+        items = [
+            analyze_workload(
+                _build_workload(spec), context, delta, merge, engine, policy
+            )
+            for spec in specs
+        ]
+        context_stats = context.stats
+
+    return SuiteReport(
+        machine=machine_name,
+        model="chip" if chip else "rf",
+        delta=delta,
+        merge=merge,
+        engine=engine,
+        policy=policy,
+        processes=processes,
+        items=items,
+        wall_time_seconds=time.perf_counter() - started,
+        context_stats=context_stats,
+    )

@@ -54,6 +54,21 @@ Two interchangeable fixed-point engines implement the sweep:
 when the power model has no leakage feedback.  Both engines share merge
 semantics and δ-convergence, and agree to within the analysis δ — an
 equivalence test asserts it across the workload suite.
+
+The compiled engine additionally has two sweep strategies
+(``TDFAConfig.sweep``): ``"batched"`` (default under the affine
+``freq``/``mean`` merges) runs one whole Gauss–Seidel sweep as a single
+stacked ``(m·n, m·n)`` mat-vec over the concatenated block-exit states
+(:class:`~repro.core.transfer.CompiledSweep`), while ``"blockwise"``
+is the per-block Python loop (and the only strategy for the non-affine
+``max`` merge).  Both visit the same fixed point with the same
+Gauss–Seidel iteration structure.
+
+Analyses *retain* their compiled transfers: an engine-built
+:class:`~repro.core.transfer.BlockTransferCache` is kept on the
+analysis object, so repeated ``run()`` calls — and every analysis
+sharing one :class:`~repro.core.context.AnalysisContext` — pay block
+compilation once, not once per run.
 """
 
 from __future__ import annotations
@@ -79,6 +94,9 @@ MERGE_MODES = ("max", "mean", "freq")
 #: Valid fixed-point engines ("auto" resolves per power model).
 ENGINE_MODES = ("auto", "compiled", "stepped")
 
+#: Valid compiled-engine sweep strategies ("auto" resolves per merge).
+SWEEP_MODES = ("auto", "batched", "blockwise")
+
 
 @dataclass(frozen=True)
 class TDFAConfig:
@@ -92,9 +110,13 @@ class TDFAConfig:
     pre-composed block-level affine maps (linear models only),
     ``"stepped"`` is the literal per-instruction Fig. 2 loop, and
     ``"auto"`` (default) picks ``compiled`` whenever the power model has
-    no leakage-temperature feedback.  ``raise_on_divergence`` switches
-    non-convergence from a reported outcome to a
-    :class:`ConvergenceError`.
+    no leakage-temperature feedback.  ``sweep`` selects the compiled
+    engine's sweep strategy: ``"batched"`` runs one whole sweep as a
+    single stacked mat-vec (affine merges only), ``"blockwise"`` is the
+    per-block loop, and ``"auto"`` (default) picks ``batched`` exactly
+    when the merge is affine (``freq``/``mean``).
+    ``raise_on_divergence`` switches non-convergence from a reported
+    outcome to a :class:`ConvergenceError`.
     """
 
     delta: float = 0.01
@@ -103,6 +125,7 @@ class TDFAConfig:
     include_leakage: bool = True
     raise_on_divergence: bool = False
     engine: str = "auto"
+    sweep: str = "auto"
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -113,6 +136,13 @@ class TDFAConfig:
             raise DataflowError(f"merge must be one of {MERGE_MODES}")
         if self.engine not in ENGINE_MODES:
             raise DataflowError(f"engine must be one of {ENGINE_MODES}")
+        if self.sweep not in SWEEP_MODES:
+            raise DataflowError(f"sweep must be one of {SWEEP_MODES}")
+        if self.sweep == "batched" and self.merge == "max":
+            raise DataflowError(
+                "sweep='batched' requires an affine merge ('freq'/'mean'); "
+                "max joins are not affine — use sweep='blockwise' (or 'auto')"
+            )
 
 
 @dataclass
@@ -136,6 +166,9 @@ class TDFAResult:
     wall_time_seconds: float = 0.0
     #: Which fixed-point engine actually ran ("compiled" or "stepped").
     engine: str = "stepped"
+    #: Which sweep strategy the compiled engine used ("batched" or
+    #: "blockwise"; empty for the stepped engine).
+    sweep: str = ""
 
     def state_after(self, block: str, index: int) -> ThermalState:
         """Thermal state immediately after instruction *index* of *block*."""
@@ -219,6 +252,12 @@ class ThermalDataflowAnalysis:
         blocks are not recompiled.  Must have been built against this
         analysis's model, power model, cycle time and leakage setting —
         a mismatched cache is silently ignored and a fresh one built.
+        When omitted, the analysis builds one on first compiled run and
+        *keeps it*, so repeated runs never recompile.
+    context:
+        Owning :class:`~repro.core.context.AnalysisContext`, if any.
+        Used to share per-function artifacts (static profiles) beyond
+        what the transfer cache covers; plain analyses pass ``None``.
     """
 
     def __init__(
@@ -229,13 +268,20 @@ class ThermalDataflowAnalysis:
         config: TDFAConfig | None = None,
         power_model=None,
         transfer_cache: BlockTransferCache | None = None,
+        context=None,
     ) -> None:
         self.machine = machine
         self.model = model or RFThermalModel(machine.geometry, energy=machine.energy)
         self.placement = placement or ExactPlacement(machine.geometry.num_registers)
         self.config = config or TDFAConfig()
-        self.power_model = power_model
+        # Materialized once: the power model is a pure function of
+        # (machine, model, placement), and a stable identity is what
+        # lets the transfer cache match across runs.
+        self.power_model = power_model or InstructionPowerModel(
+            machine=self.machine, model=self.model, placement=self.placement
+        )
         self.transfer_cache = transfer_cache
+        self.context = context
 
     def resolve_engine(self, power_model=None) -> str:
         """The engine that :meth:`run` will actually use.
@@ -244,9 +290,7 @@ class ThermalDataflowAnalysis:
         rejects ``"compiled"`` when leakage feedback makes the
         per-instruction transfer non-affine.
         """
-        power_model = power_model or self.power_model or InstructionPowerModel(
-            machine=self.machine, model=self.model, placement=self.placement
-        )
+        power_model = power_model or self.power_model
         linear = not power_model.has_leakage_feedback
         engine = self.config.engine
         if engine == "auto":
@@ -258,6 +302,12 @@ class ThermalDataflowAnalysis:
                 "engine='stepped' (or 'auto')"
             )
         return engine
+
+    def resolve_sweep(self) -> str:
+        """The compiled-engine sweep strategy :meth:`run` will use."""
+        if self.config.sweep == "auto":
+            return "batched" if self.config.merge in ("freq", "mean") else "blockwise"
+        return self.config.sweep
 
     def run(
         self, function: Function, entry_state: ThermalState | None = None
@@ -271,11 +321,13 @@ class ThermalDataflowAnalysis:
         """
         started = time.perf_counter()
         config = self.config
-        power_model = self.power_model or InstructionPowerModel(
-            machine=self.machine, model=self.model, placement=self.placement
-        )
+        power_model = self.power_model
         engine = self.resolve_engine(power_model)
-        profile = static_profile(function)
+        sweep = self.resolve_sweep() if engine == "compiled" else ""
+        if self.context is not None:
+            profile = self.context.static_profile(function)
+        else:
+            profile = static_profile(function)
         rpo = reverse_postorder(function)
         preds = function.predecessors_map()
         entry = function.entry.name
@@ -307,7 +359,11 @@ class ThermalDataflowAnalysis:
             return ThermalState.weighted_mean(states, weights)
 
         if engine == "compiled":
-            converged, iterations, delta_history = self._iterate_compiled(
+            iterate = (
+                self._iterate_batched if sweep == "batched"
+                else self._iterate_blockwise
+            )
+            converged, iterations, delta_history = iterate(
                 function, rpo, preds, profile, entry, ambient,
                 block_in, block_out, after, power_model, dt,
             )
@@ -329,6 +385,7 @@ class ThermalDataflowAnalysis:
             profile=profile,
             wall_time_seconds=time.perf_counter() - started,
             engine=engine,
+            sweep=sweep,
         )
         if not converged and config.raise_on_divergence:
             raise ConvergenceError(
@@ -344,7 +401,98 @@ class ThermalDataflowAnalysis:
     # ------------------------------------------------------------------
     # Fixed-point engines
     # ------------------------------------------------------------------
-    def _iterate_compiled(
+    def _ensure_cache(self, power_model, dt) -> BlockTransferCache:
+        """The transfer cache compiled runs use, built (and kept) once.
+
+        A supplied cache is honoured when it matches this analysis's
+        model, power model, step size and leakage setting; otherwise a
+        fresh cache is built and *retained* on the analysis, so repeated
+        runs — the before/after/rule analyses of a pipeline, or a whole
+        suite through one context — amortize block compilation.
+        """
+        cache = self.transfer_cache
+        if (
+            cache is None
+            or cache.model is not self.model
+            or cache.power_model is not power_model
+            or cache.dt != dt
+            or cache.include_leakage != self.config.include_leakage
+        ):
+            cache = BlockTransferCache(
+                self.model, power_model, dt,
+                include_leakage=self.config.include_leakage,
+            )
+            self.transfer_cache = cache
+        return cache
+
+    def _iterate_batched(
+        self, function, rpo, preds, profile, entry, ambient,
+        block_in, block_out, after, power_model, dt,
+    ) -> tuple[bool, int, list[float]]:
+        """Two stacked mat-vecs per sweep over the composed sweep map.
+
+        The whole Gauss–Seidel sweep — merge every block's predecessors
+        and apply its transfer, in reverse post-order — is pre-composed
+        into a single affine map on the ``(m·n,)`` stacked vector of
+        block-exit states (:class:`~repro.core.transfer.CompiledSweep`),
+        so each iteration is two ``(m·n)²`` mat-vecs (entry states and
+        exit states) with no Python loop.  Convergence is measured on
+        exactly the quantities the blockwise sweep measures — the
+        change of every block's entry and exit state — so iteration
+        counts and delta histories match the blockwise engine sweep for
+        sweep.  After convergence, interior states are materialized in
+        one reconstruction sweep from the final entry states.
+        """
+        config = self.config
+        cache = self._ensure_cache(power_model, dt)
+        compiled = {name: cache.block(function.block(name)) for name in rpo}
+        plan = affine_merge_plan(function, rpo, preds, profile, config.merge, entry)
+        sweep = cache.sweep(function, rpo, plan, config.merge, compiled)
+
+        amb = ambient.temperatures
+        grid = ambient.grid
+        n = grid.num_nodes
+        outs = np.tile(amb, len(rpo))
+        ins = outs
+        in_term, out_term = sweep.entry_terms(amb)
+
+        iterations = 0
+        delta_history: list[float] = []
+        converged = False
+        while iterations < config.max_iterations:
+            iterations += 1
+            new_ins, new_outs = sweep.apply(outs, in_term, out_term)
+            # First sweep has no previous state to diff against — same
+            # "change = inf" convention as the other engines.
+            if iterations == 1:
+                sweep_delta = float("inf")
+            else:
+                sweep_delta = max(
+                    float(np.abs(new_ins - ins).max()),
+                    float(np.abs(new_outs - outs).max()),
+                )
+            ins = new_ins
+            outs = new_outs
+            delta_history.append(sweep_delta)
+            if sweep_delta <= config.delta:
+                converged = True
+                break
+            if outs.max() > 1000.0:
+                break
+
+        # One reconstruction sweep per block: per-instruction states and
+        # exit states all derive from the final sweep's entry states.
+        ins_per_block = ins.reshape(len(rpo), n)
+        for i, name in enumerate(rpo):
+            vec = ins_per_block[i]
+            states = compiled[name].reconstruct(vec)
+            block_in[name] = ThermalState(grid, vec)
+            block_out[name] = ThermalState(grid, states[-1] if states else vec)
+            for idx, temps in enumerate(states):
+                after[(name, idx)] = ThermalState(grid, temps)
+        return converged, iterations, delta_history
+
+    def _iterate_blockwise(
         self, function, rpo, preds, profile, entry, ambient,
         block_in, block_out, after, power_model, dt,
     ) -> tuple[bool, int, list[float]]:
@@ -361,18 +509,7 @@ class ThermalDataflowAnalysis:
         reconstruction sweep.
         """
         config = self.config
-        cache = self.transfer_cache
-        if (
-            cache is None
-            or cache.model is not self.model
-            or cache.power_model is not power_model
-            or cache.dt != dt
-            or cache.include_leakage != config.include_leakage
-        ):
-            cache = BlockTransferCache(
-                self.model, power_model, dt,
-                include_leakage=config.include_leakage,
-            )
+        cache = self._ensure_cache(power_model, dt)
         compiled = {name: cache.block(function.block(name)) for name in rpo}
         matrices = {name: compiled[name].transfer.matrix for name in rpo}
         offsets = {name: compiled[name].transfer.offset for name in rpo}

@@ -31,11 +31,33 @@ sweep therefore bounds per-instruction convergence, and compositions of
 block maps along converged (static) merge weights yield the *exact*
 whole-function affine summary (:mod:`repro.core.summaries`).
 
-Cache keys are *stable*: a compiled block is keyed by ``(block name,
-instruction count)`` and per-instruction data by position, never by
-``id(inst)`` — object ids can be reused after garbage collection in
-long-lived sessions, which made the previous id-keyed target cache
-fragile.
+Why whole sweeps compose too
+----------------------------
+Under an affine merge (``freq``/``mean``) the merge weights are static,
+so one entire Gauss–Seidel sweep over the blocks in reverse post-order —
+merge each block's predecessors, apply its transfer, in order, reading
+already-updated outs — is itself an affine map on the *stacked* vector
+of block-exit states:
+
+    V' = S · V + E · T_entry + g,        V = [out_B₁; …; out_Bₘ],
+
+with ``S`` of shape ``(m·n, m·n)``.  :func:`compile_sweep` builds that
+map once by symbolic substitution along the sweep order (plus its
+pre-transfer twin for the block-entry states); the batched fixed-point
+engine then runs **two stacked mat-vecs per sweep** for the whole
+function instead of a Python loop of per-block merges and mat-vecs,
+with delta histories and iteration counts identical to the blockwise
+Gauss–Seidel sweep.
+
+Cache keys are *identity-stable*: compiled blocks are keyed by the
+:class:`~repro.ir.block.BasicBlock` object itself (the cache holds a
+strong reference, so ids can never be recycled under it) and validated
+against the current instruction count; compiled sweeps are keyed by the
+function object and validated against the CFG signature (block names,
+instruction counts, successor lists).  A transformed function is a new
+object, so it can never be served another function's transfers — this
+is what lets one :class:`~repro.core.context.AnalysisContext` safely
+share a cache across every analysis of a pipeline or suite run.
 """
 
 from __future__ import annotations
@@ -49,8 +71,8 @@ from ..ir.block import BasicBlock
 from ..thermal.rcmodel import RFThermalModel
 from ..thermal.state import ThermalState
 
-#: Stable identity of a compiled block: (block name, instruction count).
-#: The count guards against in-place block edits between compilations.
+#: Human-readable identity of a compiled block: (block name, instruction
+#: count).  Diagnostics only — the cache itself keys by object identity.
 BlockKey = tuple[str, int]
 
 
@@ -245,13 +267,183 @@ def affine_merge_plan(
     return plan
 
 
+#: A function's CFG signature: what a compiled sweep bakes in besides
+#: the block transfers themselves (names, counts, successor lists fix
+#: both the merge weights and the substitution order).
+SweepSignature = tuple[tuple[str, int, tuple[str, ...]], ...]
+
+
+def sweep_signature(function, rpo: list[str]) -> SweepSignature:
+    """The CFG signature a compiled sweep is validated against."""
+    return tuple(
+        (
+            name,
+            len(function.block(name).instructions),
+            tuple(function.block(name).successors()),
+        )
+        for name in rpo
+    )
+
+
+@dataclass(frozen=True)
+class CompiledSweep:
+    """One whole Gauss–Seidel sweep as a single stacked affine map.
+
+    ``matrix``/``entry_matrix``/``offset`` give the block-*exit* states
+    after one sweep: ``V' = matrix · V + entry_matrix · T_entry +
+    offset`` on the stacked ``(m·n,)`` vector of exit states, ordered
+    by ``rpo``.  ``in_matrix``/``in_entry_matrix``/``in_offset`` give
+    the same sweep's block-*entry* states (the Gauss–Seidel merge of
+    already-updated and previous-sweep exits) — the second stacked
+    mat-vec that lets the batched engine measure convergence on exactly
+    the quantities the blockwise loop measures, sweep for sweep.
+    """
+
+    rpo: tuple[str, ...]
+    signature: SweepSignature
+    matrix: np.ndarray            # S_out, (m·n, m·n)
+    entry_matrix: np.ndarray      # E_out, (m·n, n)
+    offset: np.ndarray            # g_out, (m·n,)
+    in_matrix: np.ndarray         # S_in, (m·n, m·n)
+    in_entry_matrix: np.ndarray   # E_in, (m·n, n)
+    in_offset: np.ndarray         # g_in, (m·n,)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.rpo)
+
+    def entry_terms(self, t_entry: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The constant (entry-state) parts of one run's sweeps:
+        ``(E_in·T_entry + g_in, E_out·T_entry + g_out)``."""
+        return (
+            self.in_entry_matrix @ t_entry + self.in_offset,
+            self.entry_matrix @ t_entry + self.offset,
+        )
+
+    def apply(
+        self, stacked: np.ndarray, in_term: np.ndarray, out_term: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One sweep from the previous exits: ``(entry states, exit states)``."""
+        return (
+            self.in_matrix @ stacked + in_term,
+            self.matrix @ stacked + out_term,
+        )
+
+
+def compile_sweep(
+    compiled: dict[str, CompiledBlock],
+    plan: MergePlan,
+    rpo: list[str],
+    num_nodes: int,
+    signature: SweepSignature,
+) -> CompiledSweep:
+    """Compose one Gauss–Seidel sweep into a single stacked affine map.
+
+    Walks the blocks in sweep (reverse post-) order keeping, for each
+    already-processed block, its new out-state as an affine expression
+    of the *previous* sweep's outs; predecessors processed earlier in
+    the same sweep substitute their expression (that is what makes the
+    composed map Gauss–Seidel rather than Jacobi, preserving the
+    blockwise engine's iteration counts).  Expressions are kept
+    block-sparse — a block's out only references the few outs its merge
+    chain actually reaches — so composition stays cheap on loop CFGs.
+    """
+    n = num_nodes
+    m = len(rpo)
+    index = {name: i for i, name in enumerate(rpo)}
+    eye = np.eye(n)
+
+    matrix = np.zeros((m * n, m * n))
+    entry_matrix = np.zeros((m * n, n))
+    offset = np.zeros(m * n)
+    in_matrix = np.zeros((m * n, m * n))
+    in_entry_matrix = np.zeros((m * n, n))
+    in_offset = np.zeros(m * n)
+
+    # Per processed block: (deps: {j: (n, n)}, entry: (n, n) | None, off)
+    exprs: list[tuple[dict[int, np.ndarray], np.ndarray | None, np.ndarray]] = []
+    for i, name in enumerate(rpo):
+        block = compiled[name]
+        a_block = block.transfer.matrix
+        deps: dict[int, np.ndarray] = {}
+        ent: np.ndarray | None = None
+        off = np.zeros(n)
+        for src, w in plan[name]:
+            if src is None:
+                ent = w * eye if ent is None else ent + w * eye
+                continue
+            j = index[src]
+            if j < i:  # updated earlier this sweep: substitute its expression
+                dj, ej, oj = exprs[j]
+                for k, mat in dj.items():
+                    deps[k] = deps.get(k, 0.0) + w * mat
+                if ej is not None:
+                    ent = w * ej if ent is None else ent + w * ej
+                off += w * oj
+            else:      # still the previous sweep's value (self/back edges)
+                deps[j] = deps.get(j, 0.0) + w * eye
+
+        rows = slice(i * n, (i + 1) * n)
+        # The pre-transfer expression IS this block's entry state.
+        for k, mat in deps.items():
+            in_matrix[rows, k * n:(k + 1) * n] = mat
+        if ent is not None:
+            in_entry_matrix[rows] = ent
+        in_offset[rows] = off
+
+        deps = {k: a_block @ mat for k, mat in deps.items()}
+        ent = a_block @ ent if ent is not None else None
+        off = a_block @ off + block.transfer.offset
+        exprs.append((deps, ent, off))
+
+        for k, mat in deps.items():
+            matrix[rows, k * n:(k + 1) * n] = mat
+        if ent is not None:
+            entry_matrix[rows] = ent
+        offset[rows] = off
+
+    return CompiledSweep(
+        rpo=tuple(rpo),
+        signature=signature,
+        matrix=matrix,
+        entry_matrix=entry_matrix,
+        offset=offset,
+        in_matrix=in_matrix,
+        in_entry_matrix=in_entry_matrix,
+        in_offset=in_offset,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/compile counters of one :class:`BlockTransferCache`."""
+
+    block_compiles: int = 0
+    block_hits: int = 0
+    sweep_compiles: int = 0
+    sweep_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "block_compiles": self.block_compiles,
+            "block_hits": self.block_hits,
+            "sweep_compiles": self.sweep_compiles,
+            "sweep_hits": self.sweep_hits,
+        }
+
+
 class BlockTransferCache:
     """Lazily compiled block transfers for one analysis configuration.
 
     One cache serves one (model, power model, dt, leakage) combination —
-    exactly the quantities a compiled transfer bakes in.  Entries are
-    keyed by the stable :data:`BlockKey`, so a block whose instruction
-    list changed length recompiles instead of serving stale data.
+    exactly the quantities a compiled transfer bakes in.  Compiled
+    blocks are keyed by the block *object* (a strong reference, so ids
+    can never be recycled underneath the cache) and validated against
+    the current instruction count; compiled whole-function sweeps are
+    keyed by the function object and validated against the CFG
+    signature.  Transformed functions are new objects and therefore
+    miss — never alias — which is what makes the cache safe to share
+    across every analysis of an :class:`~repro.core.context.AnalysisContext`.
     """
 
     def __init__(
@@ -265,26 +457,74 @@ class BlockTransferCache:
         self.power_model = power_model
         self.dt = dt
         self.include_leakage = include_leakage
-        self._compiled: dict[BlockKey, CompiledBlock] = {}
+        self.stats = CacheStats()
+        self._compiled: dict[BasicBlock, CompiledBlock] = {}
+        self._sweeps: dict[tuple[object, str], CompiledSweep] = {}
 
     def block(self, block: BasicBlock) -> CompiledBlock:
         """The compiled transfer of *block* (compiling on first use)."""
-        key: BlockKey = (block.name, len(block.instructions))
-        compiled = self._compiled.get(key)
-        if compiled is None:
-            compiled = compile_block(
-                block,
-                self.model,
-                self.power_model,
-                self.dt,
-                include_leakage=self.include_leakage,
-            )
-            self._compiled[key] = compiled
+        compiled = self._compiled.get(block)
+        if compiled is not None and compiled.num_instructions == len(
+            block.instructions
+        ):
+            self.stats.block_hits += 1
+            return compiled
+        compiled = compile_block(
+            block,
+            self.model,
+            self.power_model,
+            self.dt,
+            include_leakage=self.include_leakage,
+        )
+        self._compiled[block] = compiled
+        self.stats.block_compiles += 1
         return compiled
 
     def compile_function(self, function) -> dict[str, CompiledBlock]:
         """Compiled transfers for every block of *function*, by name."""
         return {name: self.block(block) for name, block in function.blocks.items()}
+
+    def sweep(
+        self,
+        function,
+        rpo: list[str],
+        plan: MergePlan,
+        merge: str,
+        compiled: dict[str, CompiledBlock],
+    ) -> CompiledSweep:
+        """The composed Gauss–Seidel sweep of *function* under *merge*.
+
+        Cached per (function object, merge mode) and validated against
+        the CFG signature, so an in-place CFG edit recompiles instead of
+        serving a stale sweep.
+        """
+        signature = sweep_signature(function, rpo)
+        key = (function, merge)
+        cached = self._sweeps.get(key)
+        if cached is not None and cached.signature == signature:
+            self.stats.sweep_hits += 1
+            return cached
+        built = compile_sweep(
+            compiled, plan, rpo, self.model.grid.num_nodes, signature
+        )
+        self._sweeps[key] = built
+        self.stats.sweep_compiles += 1
+        return built
+
+    def invalidate(self, function=None) -> None:
+        """Drop compiled artifacts (of *function*, or everything).
+
+        Call after transforming a function *in place*; functions rebuilt
+        as new objects never alias and need no invalidation.
+        """
+        if function is None:
+            self._compiled.clear()
+            self._sweeps.clear()
+            return
+        for block in function.blocks.values():
+            self._compiled.pop(block, None)
+        for key in [k for k in self._sweeps if k[0] is function]:
+            del self._sweeps[key]
 
     def __len__(self) -> int:
         return len(self._compiled)

@@ -23,10 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..arch.machine import MachineDescription
+from ..core.context import AnalysisContext
 from ..core.estimator import ExactPlacement
 from ..core.predictive import AllocationPlacement
 from ..core.rules import RuleConfig, ThermalPlan, evaluate_rules
-from ..core.tdfa import TDFAConfig, TDFAResult, ThermalDataflowAnalysis
+from ..core.tdfa import TDFAConfig, TDFAResult
 from ..ir.function import Function
 from ..regalloc.assignment import Allocation
 from ..regalloc.linearscan import allocate_linear_scan
@@ -99,6 +100,14 @@ class ThermalAwareCompiler:
         Thresholds of the rule engine.
     enable_nops:
         Allow the last-resort NOP rule to actually insert NOPs.
+    context:
+        Shared :class:`~repro.core.context.AnalysisContext`.  Every
+        analysis the pipeline runs — baseline (before), interim (NOP
+        rule) and final (after) — goes through this one context, so the
+        thermal model is built and factorized once and block transfers
+        compile at most once per (function version, placement).  Pass a
+        long-lived context to amortize further across many ``compile()``
+        calls; by default the compiler creates its own.
     """
 
     def __init__(
@@ -111,26 +120,27 @@ class ThermalAwareCompiler:
         model: RFThermalModel | None = None,
         enable_nops: bool = True,
         engine: str = "auto",
+        context: AnalysisContext | None = None,
     ) -> None:
         self.machine = machine
         self.policy = policy or FirstFreePolicy()
         self.delta = delta
         self.merge = merge
         self.rule_config = rule_config or RuleConfig()
-        self.model = model or RFThermalModel(machine.geometry, energy=machine.energy)
+        self.context = context or AnalysisContext(machine, model=model)
+        self.model = self.context.model
         self.enable_nops = enable_nops
         self.engine = engine
 
     # ------------------------------------------------------------------
     def _analyze(self, function: Function, placement) -> TDFAResult:
-        analysis = ThermalDataflowAnalysis(
-            machine=self.machine,
-            model=self.model,
+        return self.context.analyze(
+            function,
             placement=placement,
-            config=TDFAConfig(delta=self.delta, merge=self.merge,
-                              engine=self.engine),
+            delta=self.delta,
+            merge=self.merge,
+            engine=self.engine,
         )
-        return analysis.run(function)
 
     def compile(self, function: Function) -> CompilationResult:
         """Run the full pipeline on a virtual-register function."""

@@ -41,6 +41,7 @@ from ..ir.instructions import (
     Instruction,
     Opcode,
 )
+from ..ir.values import PhysicalRegister
 from .floorplan import ThermalGrid
 from .rcmodel import RFThermalModel, ThermalParams
 from .state import ThermalState
@@ -183,10 +184,20 @@ class ChipPowerModel:
         )
         alu_cells = layout.block_cells("alu")
         cache_cells = layout.block_cells("dcache")
-        self._alu_spread = np.zeros(n)
-        self._alu_spread[alu_cells] = 1.0 / len(alu_cells)
-        self._cache_spread = np.zeros(n)
-        self._cache_spread[cache_cells] = 1.0 / len(cache_cells)
+        energy = machine.energy
+        cycle = energy.cycle_time
+        # Precomputed access-power constants and per-block power vectors:
+        # dynamic_power only gathers indices and adds these.
+        self._read_power = energy.access_power(is_write=False)
+        self._write_power = energy.access_power(is_write=True)
+        self._alu_power = np.zeros(n)
+        self._alu_power[alu_cells] = energy.alu_energy / cycle / len(alu_cells)
+        self._cache_power = np.zeros(n)
+        self._cache_power[cache_cells] = (
+            energy.cache_access_energy / cycle / len(cache_cells)
+        )
+        self._exact_placement = isinstance(self.placement, ExactPlacement)
+        self._num_registers = machine.geometry.num_registers
         # Keyed by the instruction object (identity hash), never id():
         # holding the key prevents GC id reuse from aliasing entries.
         self._dynamic_cache: dict[Instruction, np.ndarray] = {}
@@ -195,30 +206,50 @@ class ChipPowerModel:
     def has_leakage_feedback(self) -> bool:
         return self.machine.energy.leakage_temp_coeff != 0.0
 
+    def _register_power(self, uses, defs) -> np.ndarray:
+        """Per-architectural-register access power of one instruction."""
+        reg_power = np.zeros(self._num_registers)
+        if self._exact_placement and all(
+            isinstance(r, PhysicalRegister) and 0 <= r.index < self._num_registers
+            for r in uses
+        ) and all(
+            isinstance(r, PhysicalRegister) and 0 <= r.index < self._num_registers
+            for r in defs
+        ):
+            # One-hot placements reduce to index scatters; np.add.at
+            # accumulates repeated operands exactly like the loop did.
+            if uses:
+                np.add.at(
+                    reg_power, [r.index for r in uses], self._read_power
+                )
+            if defs:
+                np.add.at(
+                    reg_power, [r.index for r in defs], self._write_power
+                )
+            return reg_power
+        # General placements (predictive distributions, or values the
+        # exact placement must reject with its own diagnostics).
+        for reg in uses:
+            reg_power += self.placement.distribution(reg) * self._read_power
+        for reg in defs:
+            reg_power += self.placement.distribution(reg) * self._write_power
+        return reg_power
+
     def dynamic_power(self, inst: Instruction) -> np.ndarray:
         cached = self._dynamic_cache.get(inst)
         if cached is not None:
             return cached
-        energy = self.machine.energy
         n = self.model.layout.die_geometry.num_registers
         power = np.zeros(n)
         # Register file accesses at their cells.
-        reg_power = np.zeros(self.machine.geometry.num_registers)
-        for reg in inst.uses():
-            reg_power += self.placement.distribution(reg) * energy.access_power(
-                is_write=False
-            )
-        for reg in inst.defs():
-            reg_power += self.placement.distribution(reg) * energy.access_power(
-                is_write=True
-            )
-        np.add.at(power, self._rf_cells, reg_power)
+        np.add.at(power, self._rf_cells, self._register_power(
+            inst.uses(), inst.defs()
+        ))
         # Functional unit heat.
-        cycle = energy.cycle_time
         if inst.opcode in _ALU_OPS:
-            power += self._alu_spread * (energy.alu_energy / cycle)
+            power += self._alu_power
         if inst.opcode in _CACHE_OPS:
-            power += self._cache_spread * (energy.cache_access_energy / cycle)
+            power += self._cache_power
         self._dynamic_cache[inst] = power
         return power
 

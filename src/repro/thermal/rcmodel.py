@@ -30,6 +30,7 @@ invariance.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -274,8 +275,19 @@ class RFThermalModel:
             self._step_cache[dt] = cached
         return cached
 
-    # Backwards-compatible private alias (pre-1.1 callers).
-    _step_operator = step_operator
+    def _step_operator(self, dt: float) -> np.ndarray:
+        """Deprecated pre-1.1 alias of :meth:`step_operator`.
+
+        Kept one release for external callers; internal code uses the
+        public name exclusively.
+        """
+        warnings.warn(
+            "RFThermalModel._step_operator is deprecated; use the public "
+            "step_operator instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.step_operator(dt)
 
     def affine_step(
         self, power: np.ndarray | dict[int, float], dt: float

@@ -1,0 +1,212 @@
+"""AnalysisContext: shared models, cache reuse, pipeline integration."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf16, rf64
+from repro.core import AnalysisContext, TDFAConfig, ThermalDataflowAnalysis
+from repro.errors import DataflowError
+from repro.opt import ThermalAwareCompiler
+from repro.regalloc import allocate_linear_scan
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+@pytest.fixture(scope="module")
+def allocated_fir(machine):
+    return allocate_linear_scan(load("fir").function, machine).function
+
+
+@pytest.fixture(scope="module")
+def allocated_crc(machine):
+    return allocate_linear_scan(load("crc32").function, machine).function
+
+
+class TestSharedComponents:
+    def test_power_model_shared_per_placement(self, machine):
+        ctx = AnalysisContext(machine)
+        assert ctx.power_model() is ctx.power_model()
+        assert ctx.power_model() is ctx.power_model(ctx.exact_placement)
+
+    def test_transfer_cache_shared_per_power_model(self, machine):
+        ctx = AnalysisContext(machine)
+        assert ctx.transfer_cache() is ctx.transfer_cache()
+        other = ctx.transfer_cache(include_leakage=False)
+        assert other is not ctx.transfer_cache()
+
+    def test_analyses_share_the_model(self, machine):
+        ctx = AnalysisContext(machine)
+        first = ctx.analysis()
+        second = ctx.analysis()
+        assert first.model is ctx.model
+        assert second.model is ctx.model
+        assert first.transfer_cache is second.transfer_cache
+
+    def test_static_profile_cached_per_function(self, machine, allocated_fir):
+        ctx = AnalysisContext(machine)
+        assert ctx.static_profile(allocated_fir) is ctx.static_profile(
+            allocated_fir
+        )
+
+
+class TestCacheReuse:
+    def test_second_analysis_hits_the_cache(self, machine, allocated_fir):
+        ctx = AnalysisContext(machine)
+        ctx.analyze(allocated_fir)
+        compiles = ctx.stats["block_compiles"]
+        assert compiles == len(allocated_fir.blocks)
+        first_hits = ctx.stats["block_hits"]
+        ctx.analyze(allocated_fir)
+        assert ctx.stats["block_compiles"] == compiles  # nothing recompiled
+        assert ctx.stats["block_hits"] > first_hits
+
+    def test_sweep_compiled_once(self, machine, allocated_fir):
+        ctx = AnalysisContext(machine)
+        ctx.analyze(allocated_fir)
+        ctx.analyze(allocated_fir)
+        assert ctx.stats["sweep_compiles"] == 1
+        assert ctx.stats["sweep_hits"] == 1
+
+    def test_results_identical_across_cached_runs(self, machine, allocated_fir):
+        ctx = AnalysisContext(machine)
+        first = ctx.analyze(allocated_fir, delta=0.005)
+        second = ctx.analyze(allocated_fir, delta=0.005)
+        assert first.iterations == second.iterations
+        for key in first.after:
+            assert np.array_equal(
+                first.after[key].temperatures, second.after[key].temperatures
+            )
+
+    def test_transformed_function_does_not_alias(self, machine, allocated_fir):
+        """A transformed (rebuilt) function must recompile, never reuse."""
+        from repro.opt import ReassignPass
+
+        ctx = AnalysisContext(machine)
+        baseline = ctx.analyze(allocated_fir)
+        compiles = ctx.stats["block_compiles"]
+        transformed, _report = ReassignPass(machine=machine).run(allocated_fir)
+        result = ctx.analyze(transformed)
+        # Same block names and instruction counts, different objects:
+        # identity keying forces a fresh compile for every block.
+        assert ctx.stats["block_compiles"] == compiles + len(transformed.blocks)
+        assert result.converged and baseline.converged
+
+    def test_invalidate_forces_recompile(self, machine, allocated_fir):
+        ctx = AnalysisContext(machine)
+        ctx.analyze(allocated_fir)
+        compiles = ctx.stats["block_compiles"]
+        ctx.invalidate(allocated_fir)
+        ctx.analyze(allocated_fir)
+        assert ctx.stats["block_compiles"] == compiles + len(
+            allocated_fir.blocks
+        )
+
+    def test_full_reset_drops_caches_but_keeps_counters(
+        self, machine, allocated_fir
+    ):
+        ctx = AnalysisContext(machine)
+        ctx.analyze(allocated_fir)
+        before = ctx.stats
+        assert before["transfer_caches"] == 1
+        ctx.invalidate()
+        after = ctx.stats
+        assert after["transfer_caches"] == 0
+        assert after["power_models"] == 0
+        assert after["block_compiles"] == before["block_compiles"]
+        # The context keeps working after a reset.
+        result = ctx.analyze(allocated_fir)
+        assert result.converged
+        assert ctx.stats["block_compiles"] == 2 * before["block_compiles"]
+
+    def test_distinct_functions_tracked_separately(
+        self, machine, allocated_fir, allocated_crc
+    ):
+        ctx = AnalysisContext(machine)
+        ctx.analyze(allocated_fir)
+        ctx.analyze(allocated_crc)
+        expected = len(allocated_fir.blocks) + len(allocated_crc.blocks)
+        assert ctx.stats["block_compiles"] == expected
+
+
+class TestAnalyzeOverrides:
+    def test_overrides_apply_per_call(self, machine, allocated_fir):
+        ctx = AnalysisContext(machine, config=TDFAConfig(delta=0.5))
+        loose = ctx.analyze(allocated_fir)
+        tight = ctx.analyze(allocated_fir, delta=0.001)
+        assert tight.iterations > loose.iterations
+        assert ctx.config.delta == 0.5  # default untouched
+
+    def test_engine_override(self, machine, allocated_fir):
+        ctx = AnalysisContext(machine)
+        stepped = ctx.analyze(allocated_fir, engine="stepped")
+        assert stepped.engine == "stepped"
+        compiled = ctx.analyze(allocated_fir)
+        assert compiled.engine == "compiled"
+
+    def test_bad_override_rejected(self, machine, allocated_fir):
+        ctx = AnalysisContext(machine)
+        with pytest.raises(DataflowError):
+            ctx.analyze(allocated_fir, merge="nonsense")
+
+
+class TestPipelineIntegration:
+    def test_pipeline_analyses_share_one_context(self, machine):
+        ctx = AnalysisContext(machine)
+        compiler = ThermalAwareCompiler(machine, context=ctx)
+        result = compiler.compile(load("fir").function)
+        assert compiler.context is ctx
+        assert compiler.model is ctx.model
+        # At least the before and after analyses ran through the context.
+        assert ctx.stats["analyses"] >= 2
+        assert result.analysis_before is not None
+        assert result.analysis_after is not None
+
+    def test_default_pipeline_builds_its_own_context(self, machine):
+        compiler = ThermalAwareCompiler(machine)
+        compiler.compile(load("fib").function)
+        assert compiler.context.stats["analyses"] >= 2
+
+    def test_repeated_compiles_amortize_through_shared_context(self, machine):
+        ctx = AnalysisContext(machine)
+        compiler = ThermalAwareCompiler(machine, context=ctx)
+        compiler.compile(load("fib").function)
+        after_first = ctx.stats["block_compiles"]
+        compiler.compile(load("fib").function)
+        # The second compile() analyzes new function objects (the pass
+        # pipeline rebuilds them), so compiles grow — but the context,
+        # model and factorizations are shared, and nothing aliases.
+        assert ctx.stats["block_compiles"] >= after_first
+        assert ctx.stats["analyses"] >= 4
+
+    def test_pipeline_results_unchanged_by_sharing(self, machine):
+        fresh = ThermalAwareCompiler(machine).compile(load("fib").function)
+        shared = ThermalAwareCompiler(
+            machine, context=AnalysisContext(machine)
+        ).compile(load("fib").function)
+        assert (
+            fresh.analysis_after.peak_state().peak
+            == pytest.approx(shared.analysis_after.peak_state().peak)
+        )
+
+
+class TestChipContext:
+    def test_for_chip_runs_compiled(self, machine):
+        from repro.thermal import ChipThermalModel
+
+        ctx = AnalysisContext.for_chip(machine)
+        assert isinstance(ctx.model, ChipThermalModel)
+        allocated = allocate_linear_scan(load("fib").function, machine).function
+        result = ctx.analyze(allocated, delta=0.02)
+        assert result.converged
+        assert result.engine == "compiled"
+
+    def test_chip_context_with_leakage_feedback_steps(self):
+        leaky = rf16(leakage_feedback=0.05)
+        ctx = AnalysisContext.for_chip(leaky)
+        allocated = allocate_linear_scan(load("fib").function, leaky).function
+        result = ctx.analyze(allocated, delta=0.05)
+        assert result.engine == "stepped"

@@ -1,0 +1,129 @@
+"""The suite runner: one shared context from kernels to JSON report."""
+
+import json
+
+import pytest
+
+from repro.arch import rf64
+from repro.core import AnalysisContext, SuiteReport, run_suite
+from repro.core.suite_runner import SCHEMA, _build_workload, _workload_specs
+from repro.workloads import small_suite, workload_names
+
+
+class TestWorkloadSpecs:
+    def test_default_covers_full_suite(self):
+        specs = _workload_specs(None, quick=False, include_pressure=False,
+                                random_count=0)
+        assert [arg for _kind, arg in specs] == workload_names()
+
+    def test_quick_covers_small_suite(self):
+        specs = _workload_specs(None, quick=True, include_pressure=False,
+                                random_count=0)
+        names = [_build_workload(s).name for s in specs]
+        assert names == [wl.name for wl in small_suite()]
+
+    def test_generators_included_on_request(self):
+        specs = _workload_specs(["fib"], quick=False, include_pressure=True,
+                                random_count=2)
+        kinds = [kind for kind, _arg in specs]
+        assert kinds.count("pressure") >= 5
+        assert kinds.count("random") == 2
+        for spec in specs:
+            assert _build_workload(spec).function is not None
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            run_suite(names=["fib"], machine_name="rf1024")
+
+    def test_context_with_multiprocessing_rejected(self):
+        with pytest.raises(ValueError, match="process boundaries"):
+            run_suite(
+                names=["fib"], context=AnalysisContext(rf64()), processes=2
+            )
+
+
+class TestSingleProcessRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_suite(names=["fib", "crc32", "fir"], delta=0.02)
+
+    def test_all_items_converge_under_compiled_engine(self, report):
+        assert report.all_converged
+        for item in report.items:
+            assert item.engine == "compiled"
+            assert item.sweep == "batched"
+            assert item.iterations >= 2
+            assert item.peak_delta_kelvin > 0
+
+    def test_context_stats_show_one_shared_context(self, report):
+        stats = report.context_stats
+        assert stats["analyses"] == 3
+        assert stats["transfer_caches"] == 1
+        assert stats["block_compiles"] > 0
+
+    def test_totals(self, report):
+        totals = report.totals()
+        assert totals["kernels"] == 3
+        assert totals["converged"] == 3
+        assert totals["instructions"] == sum(
+            i.instructions for i in report.items
+        )
+
+    def test_supplied_context_is_used(self):
+        ctx = AnalysisContext(rf64())
+        report = run_suite(names=["fib"], context=ctx, delta=0.02)
+        assert ctx.stats["analyses"] == 1
+        assert report.context_stats["analyses"] == 1
+
+    def test_context_persists_across_suite_runs(self):
+        """A long-lived context keeps one model/cache across runs.
+
+        Workload factories build fresh IR per run, so block transfers
+        recompile (identity keying — nothing can alias), but the model,
+        its factorizations and the power model are shared throughout.
+        """
+        ctx = AnalysisContext(rf64())
+        run_suite(names=["fib", "crc32"], context=ctx, delta=0.02)
+        run_suite(names=["fib", "crc32"], context=ctx, delta=0.02)
+        stats = ctx.stats
+        assert stats["analyses"] == 4
+        assert stats["power_models"] == 1
+        assert stats["transfer_caches"] == 1
+
+
+class TestReport:
+    def test_json_roundtrip(self, tmp_path):
+        report = run_suite(names=["fib"], delta=0.05)
+        path = tmp_path / "BENCH_suite.json"
+        report.write_json(path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA
+        assert data["machine"] == "rf64"
+        assert data["totals"]["kernels"] == 1
+        (item,) = data["results"]
+        assert item["name"] == "fib"
+        assert item["converged"] is True
+        assert item["engine"] == "compiled"
+        assert isinstance(item["wall_time_seconds"], float)
+
+    def test_report_is_plain_data(self):
+        report = run_suite(names=["fib"], delta=0.05)
+        assert isinstance(report, SuiteReport)
+        json.dumps(report.to_dict())  # fully serializable
+
+    def test_chip_model_reported(self):
+        report = run_suite(names=["fib"], delta=0.05, chip=True)
+        assert report.model == "chip"
+        assert report.all_converged
+
+
+class TestMultiprocessing:
+    def test_two_workers_cover_the_suite(self):
+        report = run_suite(
+            names=["fib", "crc32", "fir", "iir"], delta=0.05, processes=2
+        )
+        assert report.processes == 2
+        assert {i.name for i in report.items} == {"fib", "crc32", "fir", "iir"}
+        assert report.all_converged
+        # Per-worker contexts cannot be aggregated across processes.
+        assert report.context_stats == {}

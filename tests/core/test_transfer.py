@@ -178,12 +178,14 @@ class TestBlockTransferCache:
         analysis.run(allocated_fir)
         populated = len(cache)
         assert populated == len(allocated_fir.blocks)
-        before = {key: cache.block(allocated_fir.block(key[0]))
-                  for key in list(cache._compiled)}
+        compiles_after_first = cache.stats.block_compiles
+        before = {name: cache.block(block)
+                  for name, block in allocated_fir.blocks.items()}
         analysis.run(allocated_fir)
         assert len(cache) == populated
-        for key, compiled in before.items():
-            assert cache.block(allocated_fir.block(key[0])) is compiled
+        assert cache.stats.block_compiles == compiles_after_first
+        for name, block in allocated_fir.blocks.items():
+            assert cache.block(block) is before[name]
 
     def test_mismatched_cache_ignored(self, machine, model, power_model,
                                       allocated_fir):
@@ -230,6 +232,84 @@ class TestEngineSelection:
             TDFAConfig(engine="warp")
 
 
+class TestSweepStrategies:
+    """The batched stacked sweep vs. the blockwise Gauss–Seidel loop."""
+
+    DELTA = 0.005
+
+    @pytest.mark.parametrize("merge", ["freq", "mean"])
+    @pytest.mark.parametrize("kernel", ["fir", "crc32", "sort", "matmul"])
+    def test_batched_matches_blockwise_exactly_in_structure(
+        self, machine, model, kernel, merge
+    ):
+        """Same Gauss–Seidel composition: identical iteration counts."""
+        func = allocate_linear_scan(load(kernel).function, machine).function
+        results = {}
+        for sweep in ("batched", "blockwise"):
+            analysis = ThermalDataflowAnalysis(
+                machine,
+                model=model,
+                config=TDFAConfig(delta=self.DELTA, merge=merge, sweep=sweep),
+            )
+            results[sweep] = analysis.run(func)
+        batched, blockwise = results["batched"], results["blockwise"]
+        assert batched.sweep == "batched"
+        assert blockwise.sweep == "blockwise"
+        assert batched.converged and blockwise.converged
+        assert batched.iterations == blockwise.iterations
+        worst = max(
+            batched.after[key].max_abs_diff(blockwise.after[key])
+            for key in blockwise.after
+        )
+        assert worst <= 2 * self.DELTA
+
+    def test_batched_from_arbitrary_entry_state(self, machine, model):
+        func = allocate_linear_scan(load("iir").function, machine).function
+        rng = np.random.default_rng(7)
+        entry = ThermalState(
+            model.grid,
+            model.params.ambient + rng.uniform(0, 12, model.grid.num_nodes),
+        )
+        results = [
+            ThermalDataflowAnalysis(
+                machine, model=model,
+                config=TDFAConfig(delta=self.DELTA, sweep=sweep),
+            ).run(func, entry_state=entry)
+            for sweep in ("batched", "blockwise")
+        ]
+        assert results[0].exit_state().max_abs_diff(
+            results[1].exit_state()
+        ) <= 2 * self.DELTA
+
+    def test_auto_resolves_batched_for_affine_merges(self, machine,
+                                                     allocated_fir):
+        analysis = ThermalDataflowAnalysis(machine)
+        assert analysis.resolve_sweep() == "batched"
+        assert analysis.run(allocated_fir).sweep == "batched"
+
+    def test_auto_resolves_blockwise_for_max_merge(self, machine,
+                                                   allocated_fir):
+        analysis = ThermalDataflowAnalysis(
+            machine, config=TDFAConfig(merge="max")
+        )
+        assert analysis.resolve_sweep() == "blockwise"
+        assert analysis.run(allocated_fir).sweep == "blockwise"
+
+    def test_batched_with_max_merge_rejected(self):
+        with pytest.raises(DataflowError, match="affine merge"):
+            TDFAConfig(merge="max", sweep="batched")
+
+    def test_invalid_sweep_rejected(self):
+        with pytest.raises(DataflowError, match="sweep"):
+            TDFAConfig(sweep="warp")
+
+    def test_stepped_engine_reports_no_sweep(self, machine, allocated_fir):
+        result = ThermalDataflowAnalysis(
+            machine, config=TDFAConfig(engine="stepped")
+        ).run(allocated_fir)
+        assert result.sweep == ""
+
+
 class TestEngineEquivalence:
     """Acceptance: compiled and stepped agree within 2·δ on every kernel."""
 
@@ -262,6 +342,30 @@ class TestEngineEquivalence:
             compiled.exit_state().max_abs_diff(stepped.exit_state())
             <= 2 * self.DELTA
         )
+
+    def test_batched_agrees_with_stepped_on_every_suite_kernel(self, machine):
+        """Acceptance: the batched sweep within 2·δ of stepped, suite-wide."""
+        from repro.thermal import RFThermalModel
+        from repro.workloads import full_suite
+
+        delta = 0.02
+        model = RFThermalModel(machine.geometry, energy=machine.energy)
+        for wl in full_suite():
+            func = allocate_linear_scan(wl.function, machine).function
+            batched = ThermalDataflowAnalysis(
+                machine, model=model,
+                config=TDFAConfig(delta=delta, sweep="batched"),
+            ).run(func)
+            stepped = ThermalDataflowAnalysis(
+                machine, model=model,
+                config=TDFAConfig(delta=delta, engine="stepped"),
+            ).run(func)
+            assert batched.converged and stepped.converged, wl.name
+            worst = max(
+                batched.after[key].max_abs_diff(stepped.after[key])
+                for key in stepped.after
+            )
+            assert worst <= 2 * delta, wl.name
 
     def test_engines_agree_on_max_merge(self, machine):
         """The block transfer is merge-independent, so max joins work too."""

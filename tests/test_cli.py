@@ -71,6 +71,52 @@ class TestCompileCommand:
     def test_machine_selection(self, capsys):
         assert main(["compile", "--workload", "fib", "--machine", "rf32"]) == 0
 
+    @pytest.mark.parametrize("engine", ["auto", "compiled", "stepped"])
+    def test_engine_selection(self, capsys, engine):
+        assert main(
+            ["compile", "--workload", "fib", "--engine", engine]
+        ) == 0
+        assert "thermal plan" in capsys.readouterr().out
+
+    def test_merge_selection(self, capsys):
+        assert main(
+            ["compile", "--workload", "fib", "--merge", "mean"]
+        ) == 0
+
+
+class TestSuiteCommand:
+    def test_subset_run(self, capsys):
+        assert main(["suite", "--workloads", "fib", "crc32",
+                     "--delta", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "fib" in out and "crc32" in out
+        assert "shared context" in out
+        assert "2 kernels" in out
+
+    def test_json_report_written(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_suite.json"
+        assert main(["suite", "--workloads", "fib", "--delta", "0.05",
+                     "--json", str(path)]) == 0
+        assert path.exists()
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["results"][0]["name"] == "fib"
+
+    def test_quick_mode(self, capsys):
+        assert main(["suite", "--quick", "--delta", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "5 kernels" in out
+
+    def test_chip_mode(self, capsys):
+        assert main(["suite", "--workloads", "fib", "--chip",
+                     "--delta", "0.05"]) == 0
+        assert "chip model" in capsys.readouterr().out
+
+    def test_unknown_workload_fails(self, capsys):
+        assert main(["suite", "--workloads", "nope"]) == 1
+        assert "available" in capsys.readouterr().err
+
 
 class TestEmulateCommand:
     def test_basic(self, capsys):

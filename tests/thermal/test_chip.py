@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.arch import rf64
-from repro.core import TDFAConfig, ThermalDataflowAnalysis
+from repro.core import AnalysisContext, TDFAConfig, ThermalDataflowAnalysis
 from repro.errors import ThermalModelError
 from repro.ir import parse_instruction
 from repro.regalloc import allocate_linear_scan
 from repro.thermal import ChipLayout, ChipPowerModel, ChipThermalModel
-from repro.workloads import load
+from repro.workloads import load, small_suite
 
 
 @pytest.fixture(scope="module")
@@ -159,3 +159,61 @@ class TestChipAnalysis:
             return chip.block_peak(result.peak_state(), "dcache")
 
         assert cache_peak(spilled_fn) > cache_peak(wl.function)
+
+
+class TestChipEngineAgreement:
+    """Compiled and stepped fixed points agree on the die-level model."""
+
+    DELTA = 0.01
+
+    @pytest.mark.parametrize(
+        "kernel", [wl.name for wl in small_suite()]
+    )
+    def test_engines_agree_within_two_delta(self, machine, chip, kernel):
+        func = allocate_linear_scan(load(kernel).function, machine).function
+        results = {}
+        for engine in ("compiled", "stepped"):
+            analysis = ThermalDataflowAnalysis(
+                machine,
+                model=chip,
+                power_model=ChipPowerModel(machine, chip),
+                config=TDFAConfig(delta=self.DELTA, engine=engine),
+            )
+            results[engine] = analysis.run(func)
+        compiled, stepped = results["compiled"], results["stepped"]
+        assert compiled.converged and stepped.converged
+        assert set(compiled.after) == set(stepped.after)
+        worst = max(
+            compiled.after[key].max_abs_diff(stepped.after[key])
+            for key in stepped.after
+        )
+        assert worst <= 2 * self.DELTA, kernel
+
+    def test_batched_sweep_matches_blockwise_on_chip(self, machine, chip):
+        func = allocate_linear_scan(load("iir").function, machine).function
+        results = {}
+        for sweep in ("batched", "blockwise"):
+            analysis = ThermalDataflowAnalysis(
+                machine,
+                model=chip,
+                power_model=ChipPowerModel(machine, chip),
+                config=TDFAConfig(delta=self.DELTA, engine="compiled",
+                                  sweep=sweep),
+            )
+            results[sweep] = analysis.run(func)
+        batched, blockwise = results["batched"], results["blockwise"]
+        assert batched.iterations == blockwise.iterations
+        worst = max(
+            batched.after[key].max_abs_diff(blockwise.after[key])
+            for key in blockwise.after
+        )
+        assert worst <= 2 * self.DELTA
+
+    def test_chip_context_reuses_compiled_blocks(self, machine):
+        ctx = AnalysisContext.for_chip(machine)
+        func = allocate_linear_scan(load("fib").function, machine).function
+        ctx.analyze(func, delta=self.DELTA)
+        compiles = ctx.stats["block_compiles"]
+        ctx.analyze(func, delta=self.DELTA)
+        assert ctx.stats["block_compiles"] == compiles
+        assert ctx.stats["block_hits"] >= len(func.blocks)
