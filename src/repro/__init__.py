@@ -14,7 +14,12 @@ substrate it needs:
 * :mod:`repro.thermal` — HotSpot-style RC thermal network;
 * :mod:`repro.regalloc` — allocators and the Fig. 1 assignment policies;
 * :mod:`repro.core` — **the thermal data flow analysis** (Fig. 2),
+  the shared :class:`~repro.core.context.AnalysisContext` runtime,
   predictive pre-allocation placements, critical variables, rules;
+* :mod:`repro.service` — the declarative request/response front-end:
+  frozen request dataclasses, :class:`~repro.service.AnalysisService`,
+  the schema-versioned :class:`~repro.service.ResultEnvelope` and the
+  line-delimited JSON pipe server;
 * :mod:`repro.opt` — the §4 optimizations and the full pipeline;
 * :mod:`repro.sim` — interpreter + thermal emulator (the feedback-driven
   reference flow) and accuracy scoring;
@@ -22,13 +27,33 @@ substrate it needs:
 
 Quickstart
 ----------
+The service API is the front door: describe the run as a request, get a
+uniform envelope back, and let every request in the process share one
+analysis runtime (thermal model, factorizations, compiled transfers).
+
+>>> from repro.service import AnalysisRequest, AnalysisService
+>>> service = AnalysisService()
+>>> envelope = service.execute(AnalysisRequest(workload="fir", delta=0.05))
+>>> envelope.converged
+True
+>>> round(envelope.result["peak_delta_kelvin"], 1) > 0
+True
+
+Requests round-trip through JSON (``request.to_dict()``,
+``envelope.to_json()``), ``service.submit(request)`` returns a future
+off the service's thread pool, and ``python -m repro serve`` exposes
+the same surface over a line-delimited JSON pipe.
+
+The classic function API still works and now shares the same runtime —
+``analyze`` / ``run_suite`` below delegate to a process-wide default
+service:
+
 >>> from repro import analyze, rf64
 >>> from repro.workloads import load
 >>> from repro.regalloc import allocate_linear_scan
 >>> machine = rf64()
 >>> allocated = allocate_linear_scan(load("fir").function, machine)
->>> result = analyze(allocated.function, machine, delta=0.05)
->>> result.converged
+>>> analyze(allocated.function, machine, delta=0.05).converged
 True
 """
 
@@ -54,14 +79,15 @@ from .core import (
     TDFAResult,
     ThermalDataflowAnalysis,
     UniformPlacement,
-    analyze,
     compile_block,
     compose_pipeline,
     evaluate_rules,
     rank_critical_variables,
-    run_suite,
     summarize_function,
 )
+from .core import analyze as _core_analyze
+from .core import run_suite as _core_run_suite
+from .core.estimator import PlacementModel
 from .errors import (
     AllocationError,
     ConvergenceError,
@@ -71,13 +97,91 @@ from .errors import (
     ReproError,
     SimulationError,
     ThermalModelError,
+    UnknownWorkloadError,
     VerificationError,
 )
+from .ir.function import Function
 from .opt import ThermalAwareCompiler
+from .service import (
+    AnalysisRequest,
+    AnalysisService,
+    CompileRequest,
+    EmulateRequest,
+    ResultEnvelope,
+    SuiteRequest,
+    default_service,
+    serve_forever,
+)
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def analyze(
+    function: Function,
+    machine: MachineDescription,
+    delta: float = 0.01,
+    merge: str = "freq",
+    max_iterations: int = 2000,
+    placement: PlacementModel | None = None,
+    model: RFThermalModel | None = None,
+    engine: str = "auto",
+) -> TDFAResult:
+    """Analyze *function* through the process-wide default service.
+
+    Compatibility shim over :meth:`AnalysisContext.analyze
+    <repro.core.context.AnalysisContext.analyze>`: same signature and
+    result as the pre-1.2 free function, but repeated calls share the
+    default service's context for *machine* — the thermal model is
+    factorized once per process, not once per call.  Passing an
+    explicit *model* opts out of sharing (the model is the cache).
+    """
+    if model is not None:
+        return _core_analyze(
+            function, machine, delta=delta, merge=merge,
+            max_iterations=max_iterations, placement=placement,
+            model=model, engine=engine,
+        )
+    context = default_service().context_for(machine)
+    with context.lock:
+        return context.analyze(
+            function,
+            placement=placement,
+            delta=delta,
+            merge=merge,
+            max_iterations=max_iterations,
+            engine=engine,
+        )
+
+
+def run_suite(
+    names: list[str] | None = None,
+    machine_name: str = "rf64",
+    *,
+    context: AnalysisContext | None = None,
+    chip: bool = False,
+    **kwargs,
+) -> SuiteReport:
+    """Run the workload suite through the process-wide default service.
+
+    Compatibility shim over :func:`repro.core.suite_runner.run_suite`:
+    identical signature and report, but single-process runs without an
+    explicit *context* are served by the default service's shared
+    context for ``(machine_name, chip)`` — so suite runs amortize the
+    same runtime the other entry points use.
+    """
+    if context is None and kwargs.get("processes", 1) == 1:
+        service = default_service()
+        context = service.context_for(machine_name, chip=chip)
+        with context.lock:
+            return _core_run_suite(
+                names, machine_name, context=context, chip=chip, **kwargs
+            )
+    return _core_run_suite(
+        names, machine_name, context=context, chip=chip, **kwargs
+    )
+
 
 __all__ = [
     "__version__",
@@ -109,6 +213,15 @@ __all__ = [
     "AllocationPlacement",
     "rank_critical_variables",
     "evaluate_rules",
+    # service front-end
+    "AnalysisService",
+    "AnalysisRequest",
+    "CompileRequest",
+    "EmulateRequest",
+    "SuiteRequest",
+    "ResultEnvelope",
+    "default_service",
+    "serve_forever",
     # thermal substrate
     "RFThermalModel",
     "ThermalGrid",
@@ -125,6 +238,7 @@ __all__ = [
     "VerificationError",
     "DataflowError",
     "AllocationError",
+    "UnknownWorkloadError",
     "ThermalModelError",
     "SimulationError",
     "ConvergenceError",

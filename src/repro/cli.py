@@ -1,4 +1,12 @@
-"""Command-line interface.
+"""Command-line interface: a thin client of the analysis service.
+
+Every subcommand builds one declarative request
+(:mod:`repro.service.requests`), executes it through the process-wide
+:class:`~repro.service.AnalysisService`, and prints the resulting
+:class:`~repro.service.ResultEnvelope` — so ``analyze``, ``compile``
+and ``emulate`` invocations in one process share a single
+:class:`~repro.core.context.AnalysisContext` (thermal model, operator
+caches, compiled block transfers) instead of rebuilding it per command.
 
 Subcommands
 -----------
@@ -12,6 +20,10 @@ Subcommands
                generators) through one shared analysis context and
                write a machine-readable JSON report.
 ``workloads``  list the built-in workload suite.
+``serve``      serve line-delimited JSON requests from stdin (one
+               request per line, one envelope per line on stdout).
+
+Exit codes: 0 success, 1 error, 2 the analysis did not converge.
 
 Examples
 --------
@@ -21,34 +33,33 @@ Examples
     python -m repro analyze --workload fir --delta 0.01
     python -m repro analyze path/to/kernel.ir --policy chessboard
     python -m repro compile --workload iir --engine compiled --merge mean
+    python -m repro emulate --workload fib --compare-analysis --engine stepped
     python -m repro suite --json BENCH_suite.json
     python -m repro suite --quick --chip --pressure
     python -m repro fig1 --workload fir
+    echo '{"kind": "analyze", "workload": "fir"}' | python -m repro serve
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
-from .arch import MACHINE_PRESETS, MachineDescription
-from .core import (
-    ExactPlacement,
-    analyze,
-    evaluate_rules,
-    format_result,
-    rank_critical_variables,
-    run_suite,
+from .arch import MACHINE_PRESETS
+from .core.suite_runner import SuiteReport
+from .errors import ReproError, UnknownWorkloadError
+from .service import (
+    AnalysisRequest,
+    AnalysisService,
+    CompileRequest,
+    EmulateRequest,
+    Fig1Request,
+    ResultEnvelope,
+    SuiteRequest,
+    WorkloadListRequest,
+    default_service,
+    serve_forever,
 )
-from .errors import ReproError
-from .ir import parse_function
-from .opt import ThermalAwareCompiler
-from .regalloc import allocate_linear_scan, policy_by_name
-from .sim import ThermalEmulator, compare_to_emulation
-from .thermal import render_side_by_side, summarize
-from .util import format_table
-from .workloads import full_suite, load, workload_names
 
 _MACHINES = MACHINE_PRESETS
 
@@ -68,39 +79,51 @@ def _build_parser() -> argparse.ArgumentParser:
             help="target register file preset (default rf64)",
         )
 
+    def add_analysis_args(p: argparse.ArgumentParser, delta: float) -> None:
+        p.add_argument("--delta", type=float, default=delta,
+                       help=f"convergence threshold in Kelvin (default {delta})")
+        p.add_argument("--merge", choices=["max", "mean", "freq"],
+                       default="freq", help="CFG join mode (default freq)")
+        p.add_argument("--engine", choices=["auto", "compiled", "stepped"],
+                       default="auto",
+                       help="fixed-point engine: compiled block transfers or "
+                            "the per-instruction stepped loop (default auto)")
+
+    def add_stats_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--stats", action="store_true",
+                       help="print the shared analysis context's cache stats")
+
     p_an = sub.add_parser("analyze", help="run the thermal data flow analysis")
     add_input_args(p_an)
-    p_an.add_argument("--delta", type=float, default=0.01,
-                      help="convergence threshold in Kelvin (default 0.01)")
-    p_an.add_argument("--merge", choices=["max", "mean", "freq"], default="freq",
-                      help="CFG join mode (default freq)")
-    p_an.add_argument("--engine", choices=["auto", "compiled", "stepped"],
-                      default="auto",
-                      help="fixed-point engine: compiled block transfers or "
-                           "the per-instruction stepped loop (default auto)")
+    add_analysis_args(p_an, delta=0.01)
+    p_an.add_argument("--max-iterations", type=int, default=2000,
+                      help="iteration budget before reporting non-convergence "
+                           "(default 2000)")
     p_an.add_argument("--policy", default="first-free",
                       help="assignment policy for allocation (default first-free)")
+    p_an.add_argument("--chip", action="store_true",
+                      help="analyze on the die-level chip model "
+                           "(RF + ALU + D-cache)")
     p_an.add_argument("--no-map", action="store_true",
                       help="suppress the ASCII thermal map")
     p_an.add_argument("--top", type=int, default=5,
                       help="number of critical variables to report")
+    add_stats_arg(p_an)
 
     p_co = sub.add_parser("compile", help="thermal-aware compilation pipeline")
     add_input_args(p_co)
-    p_co.add_argument("--delta", type=float, default=0.05)
-    p_co.add_argument("--merge", choices=["max", "mean", "freq"], default="freq",
-                      help="CFG join mode for the pipeline analyses "
-                           "(default freq)")
-    p_co.add_argument("--engine", choices=["auto", "compiled", "stepped"],
-                      default="auto",
-                      help="fixed-point engine for the pipeline analyses "
-                           "(default auto)")
+    add_analysis_args(p_co, delta=0.05)
+    p_co.add_argument("--policy", default="first-free",
+                      help="baseline assignment policy (default first-free)")
+    add_stats_arg(p_co)
 
     p_em = sub.add_parser("emulate", help="feedback-driven thermal emulation")
     add_input_args(p_em)
     p_em.add_argument("--policy", default="first-free")
     p_em.add_argument("--compare-analysis", action="store_true",
                       help="also run the analysis and report its accuracy")
+    add_analysis_args(p_em, delta=0.01)
+    add_stats_arg(p_em)
 
     p_f1 = sub.add_parser("fig1", help="Fig. 1 policy comparison maps")
     add_input_args(p_f1)
@@ -140,123 +163,90 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(e.g. BENCH_suite.json)")
 
     sub.add_parser("workloads", help="list the built-in workload suite")
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="serve line-delimited JSON requests from stdin",
+    )
+    p_sv.add_argument("--max-workers", type=int, default=4,
+                      help="service thread-pool width (default 4)")
     return parser
 
 
-def _load_function(args) -> tuple:
-    """Resolve (function, args list, memory dict) from CLI arguments."""
-    if args.workload:
-        wl = load(args.workload)
-        return wl.function, wl.args, dict(wl.memory)
-    if args.ir_file:
-        text = Path(args.ir_file).read_text()
-        return parse_function(text), [], {}
-    raise ReproError("provide an IR file or --workload NAME")
-
-
-def _machine(args) -> MachineDescription:
-    return _MACHINES[args.machine]()
+def _print_envelope(envelope: ResultEnvelope, stats: bool = False) -> int:
+    """Render one envelope the way the pre-service CLI printed results."""
+    if not envelope.ok:
+        print(f"error: {envelope.error_message()}", file=sys.stderr)
+        return envelope.exit_code
+    rendered = envelope.rendered
+    if rendered:
+        print(rendered.rstrip("\n"))
+    if stats and envelope.context_stats:
+        s = envelope.context_stats
+        print(
+            f"context: {s.get('analyses', 0)} analyses, "
+            f"{s.get('block_compiles', 0)} block compiles, "
+            f"{s.get('block_hits', 0)} block hits, "
+            f"{s.get('operator_hits', 0)} operator hits"
+        )
+    return envelope.exit_code
 
 
 def cmd_analyze(args) -> int:
-    machine = _machine(args)
-    function, _run_args, _memory = _load_function(args)
-    allocation = allocate_linear_scan(
-        function, machine, policy_by_name(args.policy)
-    )
-    result = analyze(
-        allocation.function, machine, delta=args.delta, merge=args.merge,
+    request = AnalysisRequest(
+        workload=args.workload,
+        ir_path=args.ir_file,
+        machine=args.machine,
+        chip=args.chip,
+        policy=args.policy,
+        delta=args.delta,
+        merge=args.merge,
         engine=args.engine,
+        max_iterations=args.max_iterations,
+        top=args.top,
+        show_map=not args.no_map,
     )
-    placement = ExactPlacement(machine.geometry.num_registers)
-    criticals = rank_critical_variables(result, placement, top_k=args.top)
-    plan = evaluate_rules(result, placement, machine)
-    print(format_result(result, criticals=criticals, plan=plan,
-                        show_map=not args.no_map))
-    return 0 if result.converged else 2
+    return _print_envelope(default_service().execute(request), stats=args.stats)
 
 
 def cmd_compile(args) -> int:
-    machine = _machine(args)
-    function, _run_args, _memory = _load_function(args)
-    compiler = ThermalAwareCompiler(
-        machine, delta=args.delta, merge=args.merge, engine=args.engine
+    request = CompileRequest(
+        workload=args.workload,
+        ir_path=args.ir_file,
+        machine=args.machine,
+        policy=args.policy,
+        delta=args.delta,
+        merge=args.merge,
+        engine=args.engine,
     )
-    result = compiler.compile(function)
-    print(result.plan)
-    print()
-    for report in result.pass_reports:
-        print(f"  {report}")
-    summary = result.summary()
-    print()
-    print(format_table(
-        ["metric", "before", "after"],
-        [
-            ("instructions", summary["instructions_before"],
-             summary["instructions_after"]),
-            ("predicted peak (K)", summary.get("peak_before", float("nan")),
-             summary.get("peak_after", float("nan"))),
-            ("predicted gradient (K)", summary.get("gradient_before", float("nan")),
-             summary.get("gradient_after", float("nan"))),
-        ],
-    ))
-    return 0
+    return _print_envelope(default_service().execute(request), stats=args.stats)
 
 
 def cmd_emulate(args) -> int:
-    machine = _machine(args)
-    function, run_args, memory = _load_function(args)
-    allocation = allocate_linear_scan(
-        function, machine, policy_by_name(args.policy)
+    request = EmulateRequest(
+        workload=args.workload,
+        ir_path=args.ir_file,
+        machine=args.machine,
+        policy=args.policy,
+        compare_analysis=args.compare_analysis,
+        delta=args.delta,
+        merge=args.merge,
+        engine=args.engine,
     )
-    emulator = ThermalEmulator(machine)
-    result = emulator.run(allocation.function, args=run_args, memory=memory)
-    s = summarize(result.steady_state)
-    print(f"return value: {result.execution.return_value}")
-    print(f"cycles:       {result.cycles}")
-    print(f"steady map:   peak={s.peak:.2f}K spread={s.spread:.2f}K "
-          f"gradient={s.gradient:.2f}K sigma={s.std:.3f}K")
-    if args.compare_analysis:
-        analysis = analyze(allocation.function, machine, delta=0.01)
-        report = compare_to_emulation(
-            analysis.peak_state(), result,
-            predicted_seconds=analysis.wall_time_seconds,
-        )
-        print(f"analysis:     r={report.pearson_r:.3f} "
-              f"rmse={report.rmse_kelvin:.3f}K "
-              f"hottest={'ok' if report.hottest_register_match else 'missed'} "
-              f"speedup={report.speedup:.1f}x")
-    return 0
+    return _print_envelope(default_service().execute(request), stats=args.stats)
 
 
 def cmd_fig1(args) -> int:
-    machine = _machine(args)
-    function, run_args, memory = _load_function(args)
-    emulator = ThermalEmulator(machine)
-    states, titles, rows = [], [], []
-    for name in ("first-free", "random", "chessboard"):
-        allocation = allocate_linear_scan(
-            function, machine, policy_by_name(name, seed=1)
-        )
-        state = emulator.steady_map(
-            allocation.function, args=run_args, memory=dict(memory)
-        )
-        states.append(state)
-        titles.append(name)
-        s = summarize(state)
-        rows.append((name, s.peak - 318.15, s.gradient, s.std))
-    print(render_side_by_side(states, titles=titles))
-    print()
-    print(format_table(
-        ["policy", "peak dT (K)", "gradient (K)", "sigma (K)"], rows
-    ))
-    return 0
+    request = Fig1Request(
+        workload=args.workload, ir_path=args.ir_file, machine=args.machine
+    )
+    return _print_envelope(default_service().execute(request))
 
 
 def cmd_suite(args) -> int:
-    report = run_suite(
-        names=args.workloads,
-        machine_name=args.machine,
+    request = SuiteRequest(
+        workloads=tuple(args.workloads) if args.workloads else None,
+        machine=args.machine,
         chip=args.chip,
         delta=args.delta,
         merge=args.merge,
@@ -267,50 +257,23 @@ def cmd_suite(args) -> int:
         random_count=args.random,
         processes=args.processes,
     )
-    rows = [
-        (
-            item.name,
-            item.instructions,
-            item.engine + (f"/{item.sweep}" if item.sweep else ""),
-            "yes" if item.converged else "NO",
-            item.iterations,
-            item.wall_time_seconds * 1e3,
-            item.peak_delta_kelvin,
-            item.gradient_kelvin,
+    envelope = default_service().execute(request)
+    code = _print_envelope(envelope)
+    if envelope.ok and args.json_path:
+        SuiteReport.from_dict(envelope.result["report"]).write_json(
+            args.json_path
         )
-        for item in report.items
-    ]
-    print(format_table(
-        ["kernel", "insts", "engine", "conv", "sweeps", "time (ms)",
-         "peak dT (K)", "gradient (K)"],
-        rows,
-    ))
-    totals = report.totals()
-    print()
-    print(f"{int(totals['kernels'])} kernels, "
-          f"{int(totals['instructions'])} instructions on "
-          f"{report.machine} ({report.model} model), "
-          f"{report.processes} process(es): "
-          f"analysis {totals['analysis_seconds'] * 1e3:.1f} ms, "
-          f"wall {totals['wall_time_seconds'] * 1e3:.1f} ms")
-    if report.context_stats:
-        stats = report.context_stats
-        print(f"shared context: {stats['analyses']} analyses, "
-              f"{stats['block_compiles']} block compiles, "
-              f"{stats['block_hits']} cache hits")
-    if args.json_path:
-        report.write_json(args.json_path)
         print(f"report written to {args.json_path}")
-    return 0 if report.all_converged else 2
+    return code
 
 
 def cmd_workloads(_args) -> int:
-    rows = []
-    for wl in full_suite():
-        rows.append(
-            (wl.name, wl.function.instruction_count(), wl.description)
-        )
-    print(format_table(["name", "insts", "description"], rows))
+    return _print_envelope(default_service().execute(WorkloadListRequest()))
+
+
+def cmd_serve(args) -> int:
+    with AnalysisService(max_workers=args.max_workers) as service:
+        serve_forever(service)
     return 0
 
 
@@ -321,6 +284,7 @@ _COMMANDS = {
     "fig1": cmd_fig1,
     "suite": cmd_suite,
     "workloads": cmd_workloads,
+    "serve": cmd_serve,
 }
 
 
@@ -330,15 +294,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except UnknownWorkloadError as exc:
+        # Only the workload-registry miss — a KeyError from anywhere
+        # else is a bug and must surface as one.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except KeyError as exc:
-        print(f"error: unknown workload {exc}; "
-              f"available: {', '.join(workload_names())}", file=sys.stderr)
         return 1
 
 

@@ -33,6 +33,7 @@ shared-cache machinery unchanged.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 from typing import Callable
 
@@ -101,6 +102,11 @@ class AnalysisContext:
         self._caches: dict[tuple[object, bool], BlockTransferCache] = {}
         self._profiles: dict[Function, tuple[_ProfileKey, StaticProfile]] = {}
         self._analyses_run = 0
+        # Guards every model/cache mutation when the context is shared
+        # across threads (the AnalysisService submits concurrent
+        # requests against one context).  Reentrant: a pipeline holding
+        # the lock runs nested analyses through the same context.
+        self.lock = threading.RLock()
         # Counters of caches dropped by a full invalidate(), so stats
         # stay monotone across resets.
         self._retired_stats = {
@@ -228,6 +234,8 @@ class AnalysisContext:
             "analyses": self._analyses_run,
             "power_models": len(self._power_models),
             "transfer_caches": len(self._caches),
+            "operator_builds": self.model.operator_builds,
+            "operator_hits": self.model.operator_hits,
             **self._retired_stats,
         }
         for cache in self._caches.values():

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 
 from ..arch import MACHINE_PRESETS
 from ..regalloc.linearscan import allocate_linear_scan
@@ -110,6 +111,35 @@ class SuiteReport:
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SuiteReport":
+        """Revive a report from its ``to_dict`` form.
+
+        Inverse of :meth:`to_dict` up to derived fields (``schema``,
+        ``totals`` are recomputed): ``SuiteReport.from_dict(r.to_dict())
+        == r`` — what lets persisted ``BENCH_suite.json`` files be
+        reloaded for trending across commits.
+        """
+        item_fields = {f.name for f in dataclass_fields(SuiteItem)}
+        items = [
+            SuiteItem(**{k: v for k, v in record.items() if k in item_fields})
+            for record in data.get("results", [])
+        ]
+        return cls(
+            machine=data["machine"],
+            model=data["model"],
+            delta=data["delta"],
+            merge=data["merge"],
+            engine=data["engine"],
+            policy=data["policy"],
+            processes=data["processes"],
+            items=items,
+            wall_time_seconds=data.get("wall_time_seconds",
+                                       data.get("totals", {})
+                                       .get("wall_time_seconds", 0.0)),
+            context_stats=dict(data.get("context_stats", {})),
+        )
 
 
 def _workload_specs(

@@ -45,6 +45,34 @@ class AllocationError(ReproError):
     """Register allocation failed (e.g. unsatisfiable pressure without spills)."""
 
 
+class UnknownWorkloadError(ReproError, KeyError):
+    """A workload name did not resolve against the built-in suite.
+
+    Doubles as a :class:`KeyError` because the workload registry is a
+    mapping and pre-1.2 callers caught ``KeyError``; new code should
+    catch this class (or :class:`ReproError`) instead.
+
+    Attributes
+    ----------
+    name:
+        The unknown workload name.
+    available:
+        The valid names, in canonical suite order.
+    """
+
+    def __init__(self, name: str, available: list[str] | None = None) -> None:
+        self.name = name
+        self.available = list(available or [])
+        message = f"unknown workload {name!r}"
+        if self.available:
+            message += f"; available: {', '.join(self.available)}"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; keep it readable.
+        return self.args[0]
+
+
 class ThermalModelError(ReproError):
     """Invalid thermal model construction or use."""
 

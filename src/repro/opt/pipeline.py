@@ -96,6 +96,13 @@ class ThermalAwareCompiler:
         Analysis parameters (paper's δ, the CFG join mode, and the
         fixed-point engine — ``"auto"`` uses compiled block transfers
         whenever the thermal model is linear).
+    config:
+        Full :class:`~repro.core.tdfa.TDFAConfig` for the pipeline
+        analyses.  Takes precedence over the individual
+        *delta*/*merge*/*engine* arguments (which survive as
+        conveniences for the common case); this is how the service
+        layer's :class:`~repro.service.requests.CompileRequest` maps
+        its analysis surface onto the pipeline in one value.
     rule_config:
         Thresholds of the rule engine.
     enable_nops:
@@ -121,25 +128,33 @@ class ThermalAwareCompiler:
         enable_nops: bool = True,
         engine: str = "auto",
         context: AnalysisContext | None = None,
+        config: TDFAConfig | None = None,
     ) -> None:
         self.machine = machine
         self.policy = policy or FirstFreePolicy()
-        self.delta = delta
-        self.merge = merge
+        self.config = config or TDFAConfig(
+            delta=delta, merge=merge, engine=engine
+        )
+        self.delta = self.config.delta
+        self.merge = self.config.merge
+        self.engine = self.config.engine
         self.rule_config = rule_config or RuleConfig()
         self.context = context or AnalysisContext(machine, model=model)
         self.model = self.context.model
         self.enable_nops = enable_nops
-        self.engine = engine
 
     # ------------------------------------------------------------------
     def _analyze(self, function: Function, placement) -> TDFAResult:
+        config = self.config
         return self.context.analyze(
             function,
             placement=placement,
-            delta=self.delta,
-            merge=self.merge,
-            engine=self.engine,
+            delta=config.delta,
+            merge=config.merge,
+            engine=config.engine,
+            sweep=config.sweep,
+            max_iterations=config.max_iterations,
+            include_leakage=config.include_leakage,
         )
 
     def compile(self, function: Function) -> CompilationResult:

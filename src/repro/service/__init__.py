@@ -1,0 +1,64 @@
+"""Service-grade front-end: declarative requests over the shared runtime.
+
+The public analysis API as a request/response service:
+
+* :mod:`repro.service.requests` — frozen, JSON-round-trippable request
+  dataclasses (:class:`AnalysisRequest`, :class:`CompileRequest`,
+  :class:`EmulateRequest`, :class:`SuiteRequest`, …) capturing every
+  run parameter in one value;
+* :mod:`repro.service.envelope` — the uniform, schema-versioned
+  :class:`ResultEnvelope` every request resolves to;
+* :mod:`repro.service.service` — :class:`AnalysisService`, owning one
+  shared :class:`~repro.core.context.AnalysisContext` per
+  ``(machine, chip)`` pair, with synchronous :meth:`~AnalysisService.execute`
+  and thread-pooled :meth:`~AnalysisService.submit`;
+* :mod:`repro.service.frontend` — :func:`serve_forever`, the
+  line-delimited JSON pipe front-end (``python -m repro serve``).
+
+Quickstart::
+
+    from repro.service import AnalysisRequest, AnalysisService
+
+    service = AnalysisService()
+    envelope = service.execute(AnalysisRequest(workload="fir", delta=0.05))
+    envelope.result["peak_delta_kelvin"]    # headline numbers
+    envelope.context_stats["analyses"]      # shared-runtime evidence
+    envelope.to_json()                      # schema-versioned wire form
+"""
+
+from .envelope import SCHEMA, ResultEnvelope
+from .frontend import serve_forever
+from .requests import (
+    REQUEST_KINDS,
+    AnalysisRequest,
+    CompileRequest,
+    EmulateRequest,
+    Fig1Request,
+    InvalidRequest,
+    Request,
+    SuiteRequest,
+    WorkloadListRequest,
+    request_from_dict,
+    request_from_json,
+)
+from .service import AnalysisService, default_service, reset_default_service
+
+__all__ = [
+    "SCHEMA",
+    "Request",
+    "AnalysisRequest",
+    "CompileRequest",
+    "EmulateRequest",
+    "Fig1Request",
+    "SuiteRequest",
+    "WorkloadListRequest",
+    "InvalidRequest",
+    "REQUEST_KINDS",
+    "request_from_dict",
+    "request_from_json",
+    "ResultEnvelope",
+    "AnalysisService",
+    "default_service",
+    "reset_default_service",
+    "serve_forever",
+]

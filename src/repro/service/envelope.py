@@ -1,0 +1,114 @@
+"""The uniform response type of the analysis service.
+
+Every request kind — analysis, compilation, emulation, suite run,
+listing — resolves to one :class:`ResultEnvelope`: the request echo, a
+typed (JSON-plain) result payload, the wall time the service spent, and
+a snapshot of the serving context's cache statistics (the observable
+evidence that requests share one :class:`~repro.core.context.AnalysisContext`).
+
+The envelope is schema-versioned (:data:`SCHEMA`, bump on incompatible
+changes) and round-trips losslessly: ``ResultEnvelope.from_dict(env.to_dict())
+== env`` and likewise through ``to_json``/``from_json`` — the wire
+format of the line-delimited JSON front-end.  The full field-by-field
+schema is documented in ``benchmarks/README.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .requests import Request, request_from_dict
+
+#: Envelope schema identifier (bump on incompatible changes).
+SCHEMA = "repro.service/1"
+
+
+@dataclass(frozen=True)
+class ResultEnvelope:
+    """What the service returns for any request.
+
+    Attributes
+    ----------
+    request:
+        Echo of the request that produced this result.
+    ok:
+        ``True`` when execution succeeded; ``False`` means *error* holds
+        ``{"type": ..., "message": ...}`` and *result* is empty.
+    result:
+        Kind-specific payload of plain JSON types.  Human-readable
+        output lives under ``result["rendered"]``; convergence-bearing
+        kinds carry ``result["converged"]``.
+    wall_time_seconds:
+        Service-side wall time for this request.
+    context_stats:
+        Snapshot of the serving context's aggregate cache counters
+        (:attr:`repro.core.context.AnalysisContext.stats`) taken right
+        after execution — ``analyses`` > 1 with nonzero hit counters is
+        the shared-runtime amortization, observable per response.
+    """
+
+    request: Request
+    ok: bool = True
+    result: dict[str, Any] = field(default_factory=dict)
+    error: dict[str, str] | None = None
+    wall_time_seconds: float = 0.0
+    context_stats: dict[str, int] = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        """Convergence of the underlying run (vacuously true if N/A)."""
+        return bool(self.result.get("converged", True))
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit semantics: 0 ok, 1 error, 2 did-not-converge."""
+        if not self.ok:
+            return 1
+        return 0 if self.converged else 2
+
+    @property
+    def rendered(self) -> str:
+        """The human-readable report, if the executor produced one."""
+        return str(self.result.get("rendered", ""))
+
+    def error_message(self) -> str:
+        return (self.error or {}).get("message", "")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "request": self.request.to_dict(),
+            "ok": self.ok,
+            "result": self.result,
+            "error": self.error,
+            "wall_time_seconds": self.wall_time_seconds,
+            "context_stats": self.context_stats,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResultEnvelope":
+        return cls(
+            request=request_from_dict(data["request"]),
+            ok=bool(data.get("ok", True)),
+            result=dict(data.get("result") or {}),
+            error=dict(data["error"]) if data.get("error") else None,
+            wall_time_seconds=float(data.get("wall_time_seconds", 0.0)),
+            context_stats=dict(data.get("context_stats") or {}),
+            schema=str(data.get("schema", SCHEMA)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultEnvelope":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,345 @@
+"""Request executors: one function per request kind.
+
+Each executor takes ``(service, request)``, runs the work through the
+service's shared :class:`~repro.core.context.AnalysisContext` for the
+request's ``(machine, chip)`` pair, and returns ``(payload, context)``
+— the JSON-plain result dict that lands in the
+:class:`~repro.service.envelope.ResultEnvelope` and the context whose
+stats to snapshot (``None`` for context-free kinds).
+
+Executors hold the context's lock for the whole context-touching
+section: the shared model, power models and transfer caches mutate on
+cache misses, and the lock is what makes concurrent ``submit()`` safe
+while keeping results bit-identical to a serial run (asserted by
+``tests/service/test_service.py``).
+
+The ``rendered`` entry of every payload is the exact human-readable
+report the pre-1.2 CLI printed — the CLI is now a thin client that
+prints envelopes.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..core.critical import rank_critical_variables
+from ..core.report import format_result
+from ..core.rules import evaluate_rules
+from ..core.suite_runner import SuiteReport, run_suite
+from ..errors import ReproError
+from ..regalloc.policies import policy_by_name
+from ..sim import compare_to_emulation
+from ..thermal import render_side_by_side, summarize
+from ..util import format_table
+from ..workloads import full_suite
+from .requests import (
+    AnalysisRequest,
+    CompileRequest,
+    EmulateRequest,
+    Fig1Request,
+    Request,
+    SuiteRequest,
+    WorkloadListRequest,
+)
+
+
+def _peak_payload(result, ambient: float) -> dict:
+    """Convergence + thermal headline numbers shared by analyze kinds."""
+    peak = result.peak_state()
+    return {
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "engine": result.engine,
+        "sweep": result.sweep,
+        "final_delta_kelvin": result.final_delta,
+        "analysis_seconds": result.wall_time_seconds,
+        "peak_kelvin": peak.peak,
+        "peak_delta_kelvin": peak.peak - ambient,
+        "gradient_kelvin": peak.max_gradient(),
+    }
+
+
+def execute_analyze(service, request: AnalysisRequest):
+    machine = service.machine(request.machine)
+    context = service.context_for(request.machine, chip=request.chip)
+    function, _args, _memory = service.resolve_input(request)
+    with context.lock:
+        allocated = service.allocation(function, machine, request.policy)
+        result = context.analyze(
+            allocated,
+            delta=request.delta,
+            merge=request.merge,
+            engine=request.engine,
+            sweep=request.sweep,
+            max_iterations=request.max_iterations,
+            include_leakage=request.include_leakage,
+        )
+        payload = {
+            "function": allocated.name,
+            "instructions": allocated.instruction_count(),
+            **_peak_payload(result, context.model.params.ambient),
+        }
+        if request.chip:
+            status = "converged" if result.converged else "DID NOT CONVERGE"
+            payload["rendered"] = (
+                f"thermal data flow analysis of @{allocated.name} "
+                f"(chip model): {status} after {result.iterations} "
+                f"iteration(s) [{result.engine} engine] — "
+                f"peak dT {payload['peak_delta_kelvin']:.2f}K, "
+                f"gradient {payload['gradient_kelvin']:.2f}K"
+            )
+        else:
+            criticals = rank_critical_variables(
+                result, context.exact_placement, top_k=request.top
+            )
+            plan = evaluate_rules(result, context.exact_placement, machine)
+            payload["critical_variables"] = [str(c.reg) for c in criticals]
+            payload["rendered"] = format_result(
+                result, criticals=criticals, plan=plan,
+                show_map=request.show_map,
+            )
+    return payload, context
+
+
+def execute_compile(service, request: CompileRequest):
+    from ..opt.pipeline import ThermalAwareCompiler
+
+    machine = service.machine(request.machine)
+    context = service.context_for(request.machine)
+    function, _args, _memory = service.resolve_input(request)
+    with context.lock:
+        compiler = ThermalAwareCompiler(
+            machine,
+            policy=policy_by_name(request.policy),
+            config=request.config(),
+            enable_nops=request.enable_nops,
+            context=context,
+        )
+        result = compiler.compile(function)
+    summary = result.summary()
+    out = StringIO()
+    out.write(str(result.plan))
+    out.write("\n\n")
+    for report in result.pass_reports:
+        out.write(f"  {report}\n")
+    out.write("\n")
+    out.write(format_table(
+        ["metric", "before", "after"],
+        [
+            ("instructions", summary["instructions_before"],
+             summary["instructions_after"]),
+            ("predicted peak (K)", summary.get("peak_before", float("nan")),
+             summary.get("peak_after", float("nan"))),
+            ("predicted gradient (K)", summary.get("gradient_before", float("nan")),
+             summary.get("gradient_after", float("nan"))),
+        ],
+    ))
+    payload = {
+        "function": result.original.name,
+        "summary": summary,
+        "pass_reports": [str(report) for report in result.pass_reports],
+        "plan": str(result.plan),
+        "rendered": out.getvalue(),
+    }
+    return payload, context
+
+
+def execute_emulate(service, request: EmulateRequest):
+    machine = service.machine(request.machine)
+    context = service.context_for(request.machine)
+    function, run_args, memory = service.resolve_input(request)
+    with context.lock:
+        allocated = service.allocation(function, machine, request.policy)
+        emulator = service.emulator(request.machine)
+        em = emulator.run(allocated, args=run_args, memory=dict(memory))
+        s = summarize(em.steady_state)
+        out = StringIO()
+        out.write(f"return value: {em.execution.return_value}\n")
+        out.write(f"cycles:       {em.cycles}\n")
+        out.write(
+            f"steady map:   peak={s.peak:.2f}K spread={s.spread:.2f}K "
+            f"gradient={s.gradient:.2f}K sigma={s.std:.3f}K\n"
+        )
+        payload = {
+            "return_value": em.execution.return_value,
+            "cycles": em.cycles,
+            "peak_kelvin": s.peak,
+            "spread_kelvin": s.spread,
+            "gradient_kelvin": s.gradient,
+            "sigma_kelvin": s.std,
+            "emulated_seconds": em.wall_time_seconds,
+        }
+        if request.compare_analysis:
+            analysis = context.analyze(
+                allocated,
+                delta=request.delta,
+                merge=request.merge,
+                engine=request.engine,
+            )
+            report = compare_to_emulation(
+                analysis.peak_state(), em,
+                predicted_seconds=analysis.wall_time_seconds,
+            )
+            payload["analysis"] = {
+                "delta": request.delta,
+                "merge": request.merge,
+                "engine": analysis.engine,
+                "converged": analysis.converged,
+                "pearson_r": report.pearson_r,
+                "rmse_kelvin": report.rmse_kelvin,
+                "peak_error_kelvin": report.peak_error_kelvin,
+                "hottest_register_match": report.hottest_register_match,
+                "speedup": report.speedup,
+            }
+            out.write(
+                f"analysis:     r={report.pearson_r:.3f} "
+                f"rmse={report.rmse_kelvin:.3f}K "
+                f"hottest="
+                f"{'ok' if report.hottest_register_match else 'missed'} "
+                f"speedup={report.speedup:.1f}x\n"
+            )
+        payload["rendered"] = out.getvalue()
+    return payload, context
+
+
+def execute_fig1(service, request: Fig1Request):
+    machine = service.machine(request.machine)
+    context = service.context_for(request.machine)
+    function, run_args, memory = service.resolve_input(request)
+    from ..regalloc.linearscan import allocate_linear_scan
+
+    with context.lock:
+        emulator = service.emulator(request.machine)
+        ambient = emulator.model.params.ambient
+        states, titles, rows, policies = [], [], [], []
+        for name in ("first-free", "random", "chessboard"):
+            allocation = allocate_linear_scan(
+                function, machine, policy_by_name(name, seed=1)
+            )
+            state = emulator.steady_map(
+                allocation.function, args=run_args, memory=dict(memory)
+            )
+            states.append(state)
+            titles.append(name)
+            s = summarize(state)
+            rows.append((name, s.peak - ambient, s.gradient, s.std))
+            policies.append({
+                "policy": name,
+                "peak_delta_kelvin": s.peak - ambient,
+                "gradient_kelvin": s.gradient,
+                "sigma_kelvin": s.std,
+            })
+        out = StringIO()
+        out.write(render_side_by_side(states, titles=titles))
+        out.write("\n\n")
+        out.write(format_table(
+            ["policy", "peak dT (K)", "gradient (K)", "sigma (K)"], rows
+        ))
+    return {"policies": policies, "rendered": out.getvalue()}, context
+
+
+def render_suite_report(report: SuiteReport) -> str:
+    """The suite table + totals exactly as the CLI prints them."""
+    rows = [
+        (
+            item.name,
+            item.instructions,
+            item.engine + (f"/{item.sweep}" if item.sweep else ""),
+            "yes" if item.converged else "NO",
+            item.iterations,
+            item.wall_time_seconds * 1e3,
+            item.peak_delta_kelvin,
+            item.gradient_kelvin,
+        )
+        for item in report.items
+    ]
+    out = StringIO()
+    out.write(format_table(
+        ["kernel", "insts", "engine", "conv", "sweeps", "time (ms)",
+         "peak dT (K)", "gradient (K)"],
+        rows,
+    ))
+    totals = report.totals()
+    out.write("\n\n")
+    out.write(
+        f"{int(totals['kernels'])} kernels, "
+        f"{int(totals['instructions'])} instructions on "
+        f"{report.machine} ({report.model} model), "
+        f"{report.processes} process(es): "
+        f"analysis {totals['analysis_seconds'] * 1e3:.1f} ms, "
+        f"wall {totals['wall_time_seconds'] * 1e3:.1f} ms\n"
+    )
+    if report.context_stats:
+        stats = report.context_stats
+        out.write(
+            f"shared context: {stats['analyses']} analyses, "
+            f"{stats['block_compiles']} block compiles, "
+            f"{stats['block_hits']} cache hits\n"
+        )
+    return out.getvalue()
+
+
+def execute_suite(service, request: SuiteRequest):
+    names = list(request.workloads) if request.workloads else None
+    common = dict(
+        names=names,
+        machine_name=request.machine,
+        chip=request.chip,
+        delta=request.delta,
+        merge=request.merge,
+        engine=request.engine,
+        policy=request.policy,
+        quick=request.quick,
+        include_pressure=request.include_pressure,
+        random_count=request.random_count,
+    )
+    if request.processes > 1:
+        # Contexts hold process-local solver state and do not pickle:
+        # the fan-out path builds one context per worker process.
+        report = run_suite(processes=request.processes, **common)
+        context = None
+    else:
+        context = service.context_for(request.machine, chip=request.chip)
+        with context.lock:
+            report = run_suite(context=context, **common)
+    payload = {
+        "converged": report.all_converged,
+        "report": report.to_dict(),
+        "rendered": render_suite_report(report),
+    }
+    return payload, context
+
+
+def execute_workloads(service, request: WorkloadListRequest):
+    rows = [
+        (wl.name, wl.function.instruction_count(), wl.description)
+        for wl in full_suite()
+    ]
+    payload = {
+        "workloads": [
+            {"name": name, "instructions": insts, "description": desc}
+            for name, insts, desc in rows
+        ],
+        "rendered": format_table(["name", "insts", "description"], rows),
+    }
+    return payload, None
+
+
+#: Request class -> executor.
+EXECUTORS = {
+    AnalysisRequest: execute_analyze,
+    CompileRequest: execute_compile,
+    EmulateRequest: execute_emulate,
+    Fig1Request: execute_fig1,
+    SuiteRequest: execute_suite,
+    WorkloadListRequest: execute_workloads,
+}
+
+
+def executor_for(request: Request):
+    executor = EXECUTORS.get(type(request))
+    if executor is None:
+        raise ReproError(
+            f"no executor for request type {type(request).__name__}"
+        )
+    return executor

@@ -1,0 +1,103 @@
+"""Minimal async front-end: line-delimited JSON over a pipe.
+
+One request per input line (a JSON object with a ``"kind"``
+discriminator — see :mod:`repro.service.requests`), one
+:class:`~repro.service.envelope.ResultEnvelope` per output line, in
+request order.  Lines are dispatched onto the service's thread pool as
+they arrive, so independent requests overlap while responses still come
+back in order — callers may tag requests with ``"request_id"`` and
+match on the echo instead of relying on ordering.
+
+This is the shape the ROADMAP's "async service front-end over the
+shared context" asks for, kept deliberately transport-free: anything
+that can write lines to a pipe (a shell, a socat bridge, a scheduler
+repeatedly querying its thermal oracle) can drive it.  CI's
+``bench-smoke`` job pipes two requests through ``python -m repro serve``
+and checks both envelopes::
+
+    printf '%s\n%s\n' \
+      '{"kind": "analyze", "workload": "fir", "delta": 0.05}' \
+      '{"kind": "analyze", "workload": "fir", "delta": 0.05}' \
+      | python -m repro serve
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from typing import IO, Iterable
+
+from .envelope import ResultEnvelope
+from .requests import InvalidRequest, request_from_json
+from .service import AnalysisService, default_service
+
+
+def _protocol_error(line: str, exc: Exception) -> dict:
+    """An error envelope for lines that never became requests.
+
+    Echoes an :class:`~repro.service.requests.InvalidRequest` carrying
+    the offending text, so the response is still a fully revivable
+    envelope (``ResultEnvelope.from_json`` works on every output line).
+    """
+    return ResultEnvelope(
+        request=InvalidRequest(raw=line),
+        ok=False,
+        error={"type": type(exc).__name__, "message": str(exc)},
+    ).to_dict()
+
+
+def _write(out: IO[str], payload: dict) -> None:
+    out.write(json.dumps(payload, sort_keys=True))
+    out.write("\n")
+    out.flush()
+
+
+def serve_forever(
+    service: AnalysisService | None = None,
+    lines: Iterable[str] | None = None,
+    out: IO[str] | None = None,
+) -> int:
+    """Serve requests from *lines* until EOF; returns lines answered.
+
+    Defaults: the process-wide default service, ``sys.stdin`` and
+    ``sys.stdout`` — i.e. ``python -m repro serve``.  Every input line
+    is answered, malformed ones with an ``ok=false`` error object, so a
+    driving process can always match responses to requests by count (or
+    by ``request_id`` echo).
+    """
+    service = service or default_service()
+    lines = lines if lines is not None else sys.stdin
+    out = out or sys.stdout
+
+    answered = 0
+    #: (input-order) futures not yet written; popped as they complete.
+    pending: deque = deque()
+
+    def drain(block: bool) -> None:
+        nonlocal answered
+        while pending and (block or pending[0][1].done()):
+            line, future = pending.popleft()
+            try:
+                envelope: ResultEnvelope = future.result()
+                _write(out, envelope.to_dict())
+            except Exception as exc:  # defensive: a service must answer
+                _write(out, _protocol_error(line, exc))
+            answered += 1
+
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            request = request_from_json(line)
+        except Exception as exc:
+            # Flush earlier answers first so output stays in order.
+            drain(block=True)
+            _write(out, _protocol_error(line, exc))
+            answered += 1
+            continue
+        pending.append((line, service.submit(request)))
+        drain(block=False)
+    drain(block=True)
+    return answered

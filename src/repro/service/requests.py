@@ -1,0 +1,297 @@
+"""Declarative analysis requests: everything a run needs, in one value.
+
+The pre-1.2 public API smeared run parameters across free-function
+keyword arguments and ``argparse`` flags — input source here, machine
+preset there, ``TDFAConfig`` fields somewhere else.  This module folds
+each entry point's full parameter surface into one **frozen,
+JSON-round-trippable dataclass**:
+
+=====================  ==============================================
+:class:`AnalysisRequest`  one thermal data flow analysis (CLI ``analyze``)
+:class:`CompileRequest`   the thermal-aware pipeline (CLI ``compile``)
+:class:`EmulateRequest`   the feedback-driven reference flow (CLI ``emulate``)
+:class:`SuiteRequest`     a whole-suite run (CLI ``suite``)
+:class:`Fig1Request`      the Fig. 1 policy comparison (CLI ``fig1``)
+:class:`WorkloadListRequest`  list the built-in suite (CLI ``workloads``)
+=====================  ==============================================
+
+A request says *what* to run; the :class:`~repro.service.AnalysisService`
+decides *how* (which shared :class:`~repro.core.context.AnalysisContext`
+serves it, what is already cached).  ``to_dict()`` / ``from_dict()``
+round-trip through plain JSON types — ``request_from_dict`` dispatches
+on the ``"kind"`` discriminator, which is how the line-delimited JSON
+front-end (:mod:`repro.service.frontend`) revives requests off a pipe.
+
+Input sources
+-------------
+The input-bearing requests accept exactly one of
+
+* ``workload`` — a built-in workload name (``repro.workloads.load``);
+* ``ir_text`` — the textual IR of one function;
+* ``ir_path`` — path to a textual IR file;
+* ``function`` — an in-memory :class:`~repro.ir.function.Function`
+  (programmatic use only; serialized as ``ir_text`` by ``to_dict``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+from ..core.tdfa import TDFAConfig
+from ..errors import ReproError
+from ..ir.function import Function
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base of every service request.
+
+    ``request_id`` is an optional caller-chosen correlation token; the
+    service echoes it (inside the request echo of every
+    :class:`~repro.service.envelope.ResultEnvelope`), which is what lets
+    pipelined front-end clients match responses to requests.
+    """
+
+    #: Discriminator used by ``to_dict``/``request_from_dict``.
+    kind: ClassVar[str] = ""
+
+    request_id: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation, ``{"kind": ..., field: value, ...}``.
+
+        A ``function`` object (not JSON-representable) is serialized to
+        its textual IR and carried in ``ir_text``.
+        """
+        data: dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            if f.name == "function":
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            data[f.name] = value
+        function = getattr(self, "function", None)
+        if function is not None and not data.get("ir_text"):
+            from ..ir.printer import print_function
+
+            data["ir_text"] = print_function(function)
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Request":
+        """Revive a request of this class from ``to_dict`` output."""
+        if cls is Request:
+            return request_from_dict(data)
+        payload = dict(data)
+        kind = payload.pop("kind", cls.kind)
+        if kind != cls.kind:
+            raise ReproError(
+                f"request kind {kind!r} does not match {cls.__name__} "
+                f"(expected {cls.kind!r})"
+            )
+        known = {f.name for f in fields(cls) if f.init}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ReproError(
+                f"unknown field(s) for {kind!r} request: {', '.join(unknown)}"
+            )
+        for f in fields(cls):
+            if f.name in payload and isinstance(payload[f.name], list):
+                payload[f.name] = tuple(payload[f.name])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class _InputRequest(Request):
+    """Shared input-source + machine-preset surface."""
+
+    workload: str | None = None
+    ir_text: str | None = None
+    ir_path: str | None = None
+    function: Function | None = None
+    machine: str = "rf64"
+
+    def input_sources(self) -> list[str]:
+        """Names of the input fields actually set (should be exactly one)."""
+        return [
+            name
+            for name in ("workload", "ir_text", "ir_path", "function")
+            if getattr(self, name) is not None
+        ]
+
+
+@dataclass(frozen=True)
+class AnalysisRequest(_InputRequest):
+    """One thermal data flow analysis of one function.
+
+    Mirrors ``python -m repro analyze`` flag for flag: the function is
+    register-allocated under *policy*, analyzed under the ``TDFAConfig``
+    fields, and (RF model only) ranked for critical variables and run
+    through the rule engine.  ``chip=True`` analyzes on the die-level
+    model instead.
+    """
+
+    kind: ClassVar[str] = "analyze"
+
+    chip: bool = False
+    policy: str = "first-free"
+    delta: float = 0.01
+    merge: str = "freq"
+    engine: str = "auto"
+    sweep: str = "auto"
+    max_iterations: int = 2000
+    include_leakage: bool = True
+    top: int = 5
+    show_map: bool = True
+
+    def config(self) -> TDFAConfig:
+        return TDFAConfig(
+            delta=self.delta,
+            merge=self.merge,
+            engine=self.engine,
+            sweep=self.sweep,
+            max_iterations=self.max_iterations,
+            include_leakage=self.include_leakage,
+        )
+
+
+@dataclass(frozen=True)
+class CompileRequest(_InputRequest):
+    """The full thermal-aware compilation pipeline on one function."""
+
+    kind: ClassVar[str] = "compile"
+
+    policy: str = "first-free"
+    delta: float = 0.05
+    merge: str = "freq"
+    engine: str = "auto"
+    sweep: str = "auto"
+    max_iterations: int = 2000
+    include_leakage: bool = True
+    enable_nops: bool = True
+
+    def config(self) -> TDFAConfig:
+        return TDFAConfig(
+            delta=self.delta,
+            merge=self.merge,
+            engine=self.engine,
+            sweep=self.sweep,
+            max_iterations=self.max_iterations,
+            include_leakage=self.include_leakage,
+        )
+
+
+@dataclass(frozen=True)
+class EmulateRequest(_InputRequest):
+    """The feedback-driven reference flow (interpreter + RC integration).
+
+    With ``compare_analysis=True`` the analysis runs too — under the
+    standard analysis knobs (*delta*/*merge*/*engine*), not a hardcoded
+    configuration — and the envelope carries the accuracy report.
+    """
+
+    kind: ClassVar[str] = "emulate"
+
+    policy: str = "first-free"
+    compare_analysis: bool = False
+    delta: float = 0.01
+    merge: str = "freq"
+    engine: str = "auto"
+
+
+@dataclass(frozen=True)
+class Fig1Request(_InputRequest):
+    """The Fig. 1 policy comparison: emulated maps for three policies."""
+
+    kind: ClassVar[str] = "fig1"
+
+
+@dataclass(frozen=True)
+class SuiteRequest(Request):
+    """A whole-suite analysis run through one shared context.
+
+    Mirrors ``python -m repro suite``: the named *workloads* subset (or
+    the full/quick suite), optional pressure/random scenario generators,
+    the die-level ``chip`` model and multi-process fan-out.
+    """
+
+    kind: ClassVar[str] = "suite"
+
+    workloads: tuple[str, ...] | None = None
+    machine: str = "rf64"
+    chip: bool = False
+    delta: float = 0.01
+    merge: str = "freq"
+    engine: str = "auto"
+    policy: str = "first-free"
+    quick: bool = False
+    include_pressure: bool = False
+    random_count: int = 0
+    processes: int = 1
+
+
+@dataclass(frozen=True)
+class WorkloadListRequest(Request):
+    """List the built-in workload suite."""
+
+    kind: ClassVar[str] = "workloads"
+
+
+@dataclass(frozen=True)
+class InvalidRequest(Request):
+    """Echo placeholder for input that never became a request.
+
+    The line-delimited front-end answers *every* line with an envelope;
+    when a line is malformed (bad JSON, unknown kind), the error
+    envelope echoes this request with the offending text in ``raw`` —
+    so clients can still revive every response line with
+    ``ResultEnvelope.from_json``.  Executing one always fails.
+    """
+
+    kind: ClassVar[str] = "invalid"
+
+    raw: str | None = None
+
+
+#: kind discriminator -> request class, for ``request_from_dict``.
+REQUEST_KINDS: dict[str, type[Request]] = {
+    cls.kind: cls
+    for cls in (
+        AnalysisRequest,
+        CompileRequest,
+        EmulateRequest,
+        Fig1Request,
+        SuiteRequest,
+        WorkloadListRequest,
+        InvalidRequest,
+    )
+}
+
+
+def request_from_dict(data: dict[str, Any]) -> Request:
+    """Revive any request from its ``to_dict`` form (``"kind"`` dispatch)."""
+    if not isinstance(data, dict):
+        raise ReproError(f"a request must be a JSON object, got {type(data).__name__}")
+    kind = data.get("kind")
+    cls = REQUEST_KINDS.get(kind)
+    if cls is None:
+        raise ReproError(
+            f"unknown request kind {kind!r}; "
+            f"expected one of: {', '.join(sorted(REQUEST_KINDS))}"
+        )
+    return cls.from_dict(data)
+
+
+def request_from_json(text: str) -> Request:
+    """Revive any request from one JSON document (front-end line format)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed request JSON: {exc}") from None
+    return request_from_dict(data)

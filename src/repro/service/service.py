@@ -1,0 +1,352 @@
+"""The analysis service: one shared runtime behind every entry point.
+
+The paper's pitch is thermal prediction as a *compiler service* — cheap
+enough to consult at every decision point instead of the
+emulate-and-recompile loop.  :class:`AnalysisService` is that service
+boundary: it owns one :class:`~repro.core.context.AnalysisContext` per
+``(machine, chip)`` pair, executes any
+:class:`~repro.service.requests.Request` against the right context, and
+returns a uniform :class:`~repro.service.envelope.ResultEnvelope`.
+
+Within one process every client — the six CLI subcommands, the
+compatibility shims ``repro.analyze`` / ``repro.run_suite``, the
+line-delimited JSON front-end (:mod:`repro.service.frontend`), direct
+library use — shares the same thermal models, factorizations, step
+operators and compiled block transfers.  The envelope's
+``context_stats`` make the sharing observable per response.
+
+Concurrency: :meth:`submit` dispatches requests onto a thread pool and
+returns :class:`~concurrent.futures.Future` objects, so many requests
+can be in flight against one service.  Correctness under concurrency is
+by construction: every executor holds its context's lock across the
+context-touching section (model/cache mutation is never concurrent), so
+results are identical to a serial run — a concurrent-agreement test
+asserts it.
+
+Service-level caches (workloads by name, parsed IR by text, allocations
+by ``(function, machine, policy)``) give repeated requests *identical
+input objects*, which is what lets the identity-keyed transfer caches
+serve block-level hits across requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+from ..arch import MACHINE_PRESETS, MachineDescription
+from ..core.context import AnalysisContext
+from ..errors import ReproError
+from ..ir.function import Function
+from ..workloads import load
+from .envelope import ResultEnvelope
+from .executors import executor_for
+from .requests import Request
+
+#: Exceptions `execute` converts into error envelopes: everything the
+#: library deliberately raises (`ReproError` covers the whole hierarchy,
+#: `UnknownWorkloadError` included; `run_suite` raises `ValueError` for
+#: invalid combinations), plus input-file problems.  Genuine bugs —
+#: `KeyError`, `AttributeError`, `TypeError` — still propagate.
+_REQUEST_ERRORS = (ReproError, FileNotFoundError, IsADirectoryError,
+                   PermissionError, ValueError)
+
+
+#: FIFO bounds on the service-level identity caches, so a long-lived
+#: serve process under unbounded distinct-input churn (many different
+#: ir_text programs, a machine-geometry sweep) holds steady-state
+#: memory instead of growing per distinct input.  Eviction only costs
+#: future cache hits — each cached object is self-contained.
+_MAX_CONTEXTS = 16
+_MAX_FUNCTIONS = 256
+_MAX_ALLOCATIONS = 512
+
+
+def _evict_oldest(cache: dict, cap: int) -> None:
+    """Drop insertion-order-oldest entries until *cache* fits *cap*."""
+    while len(cache) > cap:
+        cache.pop(next(iter(cache)))
+
+
+class AnalysisService:
+    """Declarative request execution over shared analysis contexts.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width for :meth:`submit` (the pool is created
+        lazily; plain :meth:`execute` never starts threads).
+
+    The identity caches (contexts, parsed IR, allocations) are
+    FIFO-bounded (:data:`_MAX_CONTEXTS` etc.): unbounded distinct-input
+    churn evicts oldest entries rather than growing without limit.
+    Within a context, cache growth across many analyses of *distinct*
+    functions is the concern of
+    :meth:`AnalysisContext.invalidate <repro.core.context.AnalysisContext.invalidate>`.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        self.max_workers = max_workers
+        self._contexts: dict[tuple[MachineDescription, bool], AnalysisContext] = {}
+        self._machines: dict[str, MachineDescription] = {}
+        self._workloads: dict[str, Any] = {}
+        self._functions: dict[str, Function] = {}
+        self._allocations: dict[tuple[Function, MachineDescription, str], Function] = {}
+        self._emulators: dict[str, Any] = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()  # guards the service-level dicts
+        self._requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Shared components
+    # ------------------------------------------------------------------
+    def machine(self, name: str) -> MachineDescription:
+        """The machine preset *name* (one instance per service)."""
+        with self._lock:
+            cached = self._machines.get(name)
+            if cached is None:
+                factory = MACHINE_PRESETS.get(name)
+                if factory is None:
+                    raise ReproError(
+                        f"unknown machine {name!r}; "
+                        f"available: {', '.join(sorted(MACHINE_PRESETS))}"
+                    )
+                cached = factory()
+                self._machines[name] = cached
+            return cached
+
+    def context_for(
+        self, machine: str | MachineDescription, chip: bool = False
+    ) -> AnalysisContext:
+        """The shared context serving *(machine, chip)*, created once.
+
+        *machine* may be a preset name or a full
+        :class:`~repro.arch.MachineDescription`; descriptions hash by
+        value, so ``"rf64"`` and ``rf64()`` resolve to the same context.
+        """
+        if isinstance(machine, str):
+            machine = self.machine(machine)
+        key = (machine, chip)
+        with self._lock:
+            context = self._contexts.get(key)
+            if context is None:
+                context = (
+                    AnalysisContext.for_chip(machine)
+                    if chip
+                    else AnalysisContext(machine)
+                )
+                self._contexts[key] = context
+                _evict_oldest(self._contexts, _MAX_CONTEXTS)
+            return context
+
+    def workload(self, name: str):
+        """The built-in workload *name*, loaded once per service.
+
+        Serving the *same* workload object to every request is what
+        makes the identity-keyed transfer caches hit across requests.
+        """
+        with self._lock:
+            cached = self._workloads.get(name)
+            if cached is None:
+                cached = load(name)
+                self._workloads[name] = cached
+            return cached
+
+    def parse_ir(self, text: str) -> Function:
+        """Parse IR *text*, cached by content."""
+        from ..ir import parse_function
+
+        with self._lock:
+            cached = self._functions.get(text)
+            if cached is None:
+                cached = parse_function(text)
+                self._functions[text] = cached
+                _evict_oldest(self._functions, _MAX_FUNCTIONS)
+            return cached
+
+    def resolve_input(self, request) -> tuple[Function, list[int], dict[int, int]]:
+        """Resolve a request's input source to (function, args, memory)."""
+        sources = request.input_sources()
+        if len(sources) > 1:
+            raise ReproError(
+                f"ambiguous input: {', '.join(sources)} are all set — "
+                "provide exactly one of workload/ir_text/ir_path/function"
+            )
+        if request.workload is not None:
+            wl = self.workload(request.workload)
+            return wl.function, list(wl.args), dict(wl.memory)
+        if request.function is not None:
+            return request.function, [], {}
+        if request.ir_text is not None:
+            return self.parse_ir(request.ir_text), [], {}
+        if request.ir_path is not None:
+            from pathlib import Path
+
+            return self.parse_ir(Path(request.ir_path).read_text()), [], {}
+        raise ReproError("provide an IR file or --workload NAME")
+
+    def allocation(
+        self, function: Function, machine: MachineDescription, policy: str
+    ) -> Function:
+        """Register-allocate *function*, cached per (function, machine, policy).
+
+        Repeated requests against the same input get the identical
+        allocated function object — and with it, all-hit block
+        transfers from the shared context.
+        """
+        from ..regalloc.linearscan import allocate_linear_scan
+        from ..regalloc.policies import policy_by_name
+
+        key = (function, machine, policy)
+        with self._lock:
+            cached = self._allocations.get(key)
+        if cached is not None:
+            return cached
+        allocated = allocate_linear_scan(
+            function, machine, policy_by_name(policy)
+        ).function
+        with self._lock:
+            allocated = self._allocations.setdefault(key, allocated)
+            _evict_oldest(self._allocations, _MAX_ALLOCATIONS)
+            return allocated
+
+    def emulator(self, machine_name: str):
+        """The shared emulator for *machine_name* (RF model).
+
+        Built over the RF context's thermal model, so emulation and
+        analysis share one operator cache.
+        """
+        from ..sim import ThermalEmulator
+
+        with self._lock:
+            cached = self._emulators.get(machine_name)
+        if cached is not None:
+            return cached
+        context = self.context_for(machine_name)
+        emulator = ThermalEmulator(self.machine(machine_name), model=context.model)
+        with self._lock:
+            return self._emulators.setdefault(machine_name, emulator)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, request: Request) -> ResultEnvelope:
+        """Run *request* to completion and return its envelope.
+
+        Library-level failures (unknown workload, bad IR, missing file,
+        invalid configuration) become ``ok=False`` envelopes carrying
+        ``{"type", "message"}`` — a service must answer, not die.
+        """
+        started = time.perf_counter()
+        try:
+            executor = executor_for(request)
+            payload, context = executor(self, request)
+            if context is not None:
+                with context.lock:
+                    stats = dict(context.stats)
+            else:
+                stats = {}
+            envelope = ResultEnvelope(
+                request=request,
+                ok=True,
+                result=payload,
+                wall_time_seconds=time.perf_counter() - started,
+                context_stats=stats,
+            )
+        except _REQUEST_ERRORS as exc:
+            envelope = ResultEnvelope(
+                request=request,
+                ok=False,
+                error={"type": type(exc).__name__, "message": str(exc)},
+                wall_time_seconds=time.perf_counter() - started,
+            )
+        with self._lock:
+            self._requests_served += 1
+        return envelope
+
+    def submit(self, request: Request) -> Future:
+        """Schedule *request* on the service pool; returns its future.
+
+        Futures resolve to :class:`ResultEnvelope` (never raise for
+        library-level failures — see :meth:`execute`).
+        """
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-service",
+                )
+            pool = self._pool
+        return pool.submit(self.execute, request)
+
+    def map(self, requests: list[Request]) -> list[ResultEnvelope]:
+        """Submit *requests* concurrently and gather envelopes in order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Service-level counters plus per-context cache stats."""
+        with self._lock:
+            contexts = dict(self._contexts)
+            served = self._requests_served
+        per_context = {}
+        for (machine, chip), context in contexts.items():
+            label = f"{machine.name}/{'chip' if chip else 'rf'}"
+            with context.lock:
+                per_context[label] = dict(context.stats)
+        return {
+            "requests_served": served,
+            "contexts": per_context,
+            "workloads_cached": len(self._workloads),
+            "allocations_cached": len(self._allocations),
+        }
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AnalysisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AnalysisService contexts={len(self._contexts)} "
+            f"served={self._requests_served}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# The module-level default service: what the compatibility shims and the
+# CLI share, so every entry point in a process amortizes one runtime.
+# ----------------------------------------------------------------------
+_default_service: AnalysisService | None = None
+_default_lock = threading.Lock()
+
+
+def default_service() -> AnalysisService:
+    """The process-wide shared service, created on first use."""
+    global _default_service
+    with _default_lock:
+        if _default_service is None:
+            _default_service = AnalysisService()
+        return _default_service
+
+
+def reset_default_service() -> None:
+    """Drop the process-wide service (tests; long-lived processes)."""
+    global _default_service
+    with _default_lock:
+        service, _default_service = _default_service, None
+    if service is not None:
+        service.close()

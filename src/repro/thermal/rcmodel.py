@@ -30,7 +30,6 @@ invariance.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -117,6 +116,12 @@ class RFThermalModel:
         self._cho = scipy.linalg.cho_factor(self._conductance)
         self._step_cache: dict[float, np.ndarray] = {}
         self._cells_per_node = self.grid.cells_per_node()
+        #: Step-operator cache traffic: ``expm`` evaluations paid vs.
+        #: requests served from cache.  Sharing one model across many
+        #: analyses (the point of AnalysisContext / AnalysisService)
+        #: shows up here as hits without builds.
+        self.operator_builds = 0
+        self.operator_hits = 0
 
     # ------------------------------------------------------------------
     # Matrix construction
@@ -273,21 +278,10 @@ class RFThermalModel:
             a = self._conductance / self._capacitance[:, None]
             cached = scipy.linalg.expm(-a * dt)
             self._step_cache[dt] = cached
+            self.operator_builds += 1
+        else:
+            self.operator_hits += 1
         return cached
-
-    def _step_operator(self, dt: float) -> np.ndarray:
-        """Deprecated pre-1.1 alias of :meth:`step_operator`.
-
-        Kept one release for external callers; internal code uses the
-        public name exclusively.
-        """
-        warnings.warn(
-            "RFThermalModel._step_operator is deprecated; use the public "
-            "step_operator instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.step_operator(dt)
 
     def affine_step(
         self, power: np.ndarray | dict[int, float], dt: float

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..errors import UnknownWorkloadError
 from . import kernels
 from .generators import pressure_program, random_loop_program
 from .kernels import Workload
@@ -37,9 +38,7 @@ def load(name: str) -> Workload:
     try:
         factory = _FACTORIES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {workload_names()}"
-        ) from None
+        raise UnknownWorkloadError(name, workload_names()) from None
     return factory()
 
 

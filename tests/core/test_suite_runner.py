@@ -111,6 +111,19 @@ class TestReport:
         assert isinstance(report, SuiteReport)
         json.dumps(report.to_dict())  # fully serializable
 
+    def test_dict_round_trip_is_lossless(self):
+        report = run_suite(names=["fib", "crc32"], delta=0.05)
+        assert SuiteReport.from_dict(report.to_dict()) == report
+
+    def test_round_trip_through_json_text(self):
+        report = run_suite(names=["fib"], delta=0.05, chip=True)
+        revived = SuiteReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert revived == report
+        assert revived.items[0].name == "fib"
+        assert revived.model == "chip"
+
     def test_chip_model_reported(self):
         report = run_suite(names=["fib"], delta=0.05, chip=True)
         assert report.model == "chip"

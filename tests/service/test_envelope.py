@@ -1,0 +1,77 @@
+"""ResultEnvelope: schema, exit semantics, lossless round-trips."""
+
+import json
+
+import pytest
+
+from repro.service import AnalysisRequest, ResultEnvelope, SuiteRequest
+from repro.service.envelope import SCHEMA
+
+GOOD = ResultEnvelope(
+    request=AnalysisRequest(workload="fir", delta=0.05, request_id="r1"),
+    ok=True,
+    result={"converged": True, "peak_kelvin": 320.25, "rendered": "report\n"},
+    wall_time_seconds=0.0125,
+    context_stats={"analyses": 3, "block_hits": 7},
+)
+DIVERGED = ResultEnvelope(
+    request=AnalysisRequest(workload="fib", max_iterations=1),
+    ok=True,
+    result={"converged": False, "iterations": 1},
+)
+FAILED = ResultEnvelope(
+    request=AnalysisRequest(workload="nope"),
+    ok=False,
+    error={"type": "UnknownWorkloadError", "message": "unknown workload 'nope'"},
+)
+
+
+class TestSchema:
+    def test_version_field_present(self):
+        assert GOOD.schema == SCHEMA == "repro.service/1"
+        assert GOOD.to_dict()["schema"] == SCHEMA
+
+    def test_to_json_is_strict_json(self):
+        data = json.loads(GOOD.to_json())
+        assert data["request"]["kind"] == "analyze"
+        assert data["request"]["request_id"] == "r1"
+        assert data["ok"] is True
+
+
+class TestExitSemantics:
+    def test_converged_success_is_zero(self):
+        assert GOOD.exit_code == 0
+        assert GOOD.converged
+
+    def test_non_convergence_is_two(self):
+        assert DIVERGED.exit_code == 2
+        assert not DIVERGED.converged
+
+    def test_error_is_one(self):
+        assert FAILED.exit_code == 1
+        assert FAILED.error_message() == "unknown workload 'nope'"
+
+    def test_convergence_vacuously_true_without_field(self):
+        env = ResultEnvelope(request=SuiteRequest(), result={"rendered": "x"})
+        assert env.converged and env.exit_code == 0
+
+    def test_rendered_view(self):
+        assert GOOD.rendered == "report\n"
+        assert FAILED.rendered == ""
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("envelope", [GOOD, DIVERGED, FAILED],
+                             ids=["good", "diverged", "failed"])
+    def test_dict_round_trip_is_lossless(self, envelope):
+        assert ResultEnvelope.from_dict(envelope.to_dict()) == envelope
+
+    @pytest.mark.parametrize("envelope", [GOOD, DIVERGED, FAILED],
+                             ids=["good", "diverged", "failed"])
+    def test_json_round_trip_is_lossless(self, envelope):
+        assert ResultEnvelope.from_json(envelope.to_json()) == envelope
+
+    def test_request_revived_with_type(self):
+        revived = ResultEnvelope.from_json(GOOD.to_json())
+        assert isinstance(revived.request, AnalysisRequest)
+        assert revived.request.delta == 0.05

@@ -1,0 +1,90 @@
+"""The line-delimited JSON front-end: one envelope per request line."""
+
+import io
+import json
+
+from repro.service import AnalysisService, serve_forever
+from repro.service.envelope import SCHEMA
+
+
+def _serve(lines, **service_kwargs):
+    out = io.StringIO()
+    with AnalysisService(**service_kwargs) as service:
+        answered = serve_forever(service, lines, out)
+    parsed = [json.loads(line) for line in out.getvalue().splitlines()]
+    return answered, parsed
+
+
+class TestServeForever:
+    def test_two_requests_two_envelopes(self):
+        answered, envelopes = _serve([
+            '{"kind": "analyze", "workload": "fir", "delta": 0.05}',
+            '{"kind": "analyze", "workload": "fib", "delta": 0.05,'
+            ' "request_id": "second"}',
+        ])
+        assert answered == 2 and len(envelopes) == 2
+        for env in envelopes:
+            assert env["schema"] == SCHEMA
+            assert env["ok"] is True
+            assert env["result"]["converged"] is True
+        # Responses come back in request order with the id echoed.
+        assert envelopes[0]["request"]["workload"] == "fir"
+        assert envelopes[1]["request"]["request_id"] == "second"
+
+    def test_pipelined_requests_stay_ordered(self):
+        lines = [
+            json.dumps({"kind": "analyze", "workload": name, "delta": 0.05,
+                        "request_id": f"r{i}"})
+            for i, name in enumerate(["fib", "crc32", "fir", "iir", "fib"])
+        ]
+        answered, envelopes = _serve(lines, max_workers=4)
+        assert answered == len(lines)
+        assert [e["request"]["request_id"] for e in envelopes] == [
+            "r0", "r1", "r2", "r3", "r4"
+        ]
+
+    def test_malformed_line_answered_not_fatal(self):
+        answered, envelopes = _serve([
+            "this is not json",
+            '{"kind": "analyze", "workload": "fib", "delta": 0.05}',
+        ])
+        assert answered == 2
+        assert envelopes[0]["ok"] is False
+        assert envelopes[0]["request"]["kind"] == "invalid"
+        assert envelopes[0]["request"]["raw"] == "this is not json"
+        assert "malformed" in envelopes[0]["error"]["message"]
+        assert envelopes[1]["ok"] is True
+
+    def test_every_output_line_is_a_revivable_envelope(self):
+        from repro.service import InvalidRequest, ResultEnvelope
+
+        _answered, envelopes = _serve([
+            "not json at all",
+            '{"kind": "workloads"}',
+        ])
+        revived = [ResultEnvelope.from_dict(env) for env in envelopes]
+        assert isinstance(revived[0].request, InvalidRequest)
+        assert revived[0].request.raw == "not json at all"
+        assert revived[1].ok
+
+    def test_unknown_kind_answered(self):
+        _answered, envelopes = _serve(['{"kind": "transmogrify"}'])
+        assert envelopes[0]["ok"] is False
+        assert "unknown request kind" in envelopes[0]["error"]["message"]
+
+    def test_execution_errors_become_envelopes(self):
+        _answered, envelopes = _serve([
+            '{"kind": "analyze", "workload": "nope"}',
+        ])
+        assert envelopes[0]["ok"] is False
+        assert envelopes[0]["error"]["type"] == "UnknownWorkloadError"
+        assert "available" in envelopes[0]["error"]["message"]
+
+    def test_blank_lines_skipped(self):
+        answered, envelopes = _serve([
+            "", "   ",
+            '{"kind": "workloads"}',
+            "\n",
+        ])
+        assert answered == 1 and len(envelopes) == 1
+        assert len(envelopes[0]["result"]["workloads"]) == 14

@@ -1,0 +1,125 @@
+"""Request dataclasses: JSON round-trips, kind dispatch, validation."""
+
+import json
+
+import pytest
+
+from repro.core.tdfa import TDFAConfig
+from repro.errors import ReproError
+from repro.ir import parse_function
+from repro.service import (
+    REQUEST_KINDS,
+    AnalysisRequest,
+    CompileRequest,
+    EmulateRequest,
+    Fig1Request,
+    SuiteRequest,
+    WorkloadListRequest,
+    request_from_dict,
+    request_from_json,
+)
+from tests.conftest import LOOP_SRC
+
+ALL_REQUESTS = [
+    AnalysisRequest(workload="fir", delta=0.05, merge="max",
+                    engine="stepped", policy="chessboard", top=3,
+                    show_map=False, request_id="a1"),
+    AnalysisRequest(ir_path="/tmp/k.ir", machine="rf32", chip=True),
+    CompileRequest(workload="iir", delta=0.1, enable_nops=False),
+    EmulateRequest(workload="fib", compare_analysis=True, engine="stepped",
+                   delta=0.02, merge="mean"),
+    Fig1Request(workload="fir", machine="rf16"),
+    SuiteRequest(workloads=("fib", "crc32"), quick=False, chip=True,
+                 include_pressure=True, random_count=2, processes=3),
+    SuiteRequest(),
+    WorkloadListRequest(request_id="w-9"),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("request_", ALL_REQUESTS,
+                             ids=lambda r: f"{r.kind}-{id(r) % 997}")
+    def test_dict_round_trip(self, request_):
+        revived = request_from_dict(request_.to_dict())
+        assert revived == request_
+        assert type(revived) is type(request_)
+
+    @pytest.mark.parametrize("request_", ALL_REQUESTS,
+                             ids=lambda r: f"{r.kind}-{id(r) % 997}")
+    def test_json_round_trip(self, request_):
+        text = request_.to_json()
+        json.loads(text)  # valid strict JSON
+        assert request_from_json(text) == request_
+
+    def test_kind_discriminator_in_dict(self):
+        for request_ in ALL_REQUESTS:
+            assert request_.to_dict()["kind"] == request_.kind
+
+    def test_workloads_tuple_survives_json(self):
+        request = SuiteRequest(workloads=("fib", "fir"))
+        revived = request_from_json(request.to_json())
+        assert revived.workloads == ("fib", "fir")
+        assert isinstance(revived.workloads, tuple)
+
+
+class TestFunctionSerialization:
+    def test_function_object_becomes_ir_text(self):
+        function = parse_function(LOOP_SRC)
+        request = AnalysisRequest(function=function)
+        data = request.to_dict()
+        assert "function" not in data
+        assert "@loop" in data["ir_text"]
+        # Revived request parses back to an equivalent function.
+        revived = request_from_dict(data)
+        assert revived.function is None
+        assert parse_function(revived.ir_text).name == "loop"
+
+    def test_explicit_ir_text_not_clobbered(self):
+        request = AnalysisRequest(ir_text=LOOP_SRC)
+        assert request.to_dict()["ir_text"] == LOOP_SRC
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown request kind"):
+            request_from_dict({"kind": "transmogrify"})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown request kind"):
+            request_from_dict({"workload": "fib"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ReproError, match="unknown field"):
+            request_from_dict({"kind": "analyze", "detla": 0.01})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError, match="JSON object"):
+            request_from_dict(["analyze"])
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ReproError, match="malformed"):
+            request_from_json("{nope")
+
+    def test_registry_covers_all_kinds(self):
+        assert set(REQUEST_KINDS) == {
+            "analyze", "compile", "emulate", "fig1", "suite", "workloads",
+            "invalid",
+        }
+
+
+class TestConfigMapping:
+    def test_analysis_request_config(self):
+        request = AnalysisRequest(delta=0.2, merge="mean", engine="stepped",
+                                  max_iterations=7, include_leakage=False)
+        config = request.config()
+        assert config == TDFAConfig(delta=0.2, merge="mean", engine="stepped",
+                                    max_iterations=7, include_leakage=False)
+
+    def test_compile_request_default_delta_matches_pipeline(self):
+        assert CompileRequest().delta == 0.05
+
+    def test_input_sources_listed(self):
+        assert AnalysisRequest(workload="fib").input_sources() == ["workload"]
+        assert AnalysisRequest().input_sources() == []
+        both = AnalysisRequest(workload="fib", ir_text="x")
+        assert set(both.input_sources()) == {"workload", "ir_text"}

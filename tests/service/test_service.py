@@ -1,0 +1,278 @@
+"""AnalysisService: shared contexts, caching across requests, concurrency."""
+
+import pytest
+
+from repro.service import (
+    AnalysisRequest,
+    AnalysisService,
+    CompileRequest,
+    EmulateRequest,
+    Fig1Request,
+    SuiteRequest,
+    WorkloadListRequest,
+    default_service,
+)
+from repro.workloads import small_suite
+from tests.conftest import LOOP_SRC
+
+
+@pytest.fixture
+def service():
+    with AnalysisService() as svc:
+        yield svc
+
+
+class TestExecuteKinds:
+    def test_analyze_workload(self, service):
+        env = service.execute(AnalysisRequest(workload="fib", delta=0.05))
+        assert env.ok and env.exit_code == 0
+        assert env.result["converged"]
+        assert env.result["engine"] in ("compiled", "stepped")
+        assert env.result["peak_delta_kelvin"] > 0
+        assert "thermal data flow analysis of @fib" in env.rendered
+        assert env.context_stats["analyses"] == 1
+        assert env.wall_time_seconds > 0
+
+    def test_analyze_ir_text(self, service):
+        env = service.execute(AnalysisRequest(ir_text=LOOP_SRC, delta=0.05))
+        assert env.ok and env.result["function"] == "loop"
+
+    def test_analyze_ir_path(self, service, tmp_path):
+        path = tmp_path / "k.ir"
+        path.write_text(LOOP_SRC)
+        env = service.execute(AnalysisRequest(ir_path=str(path), delta=0.05))
+        assert env.ok and env.result["function"] == "loop"
+
+    def test_analyze_function_object(self, service):
+        from repro.ir import parse_function
+
+        env = service.execute(
+            AnalysisRequest(function=parse_function(LOOP_SRC), delta=0.05)
+        )
+        assert env.ok and env.result["function"] == "loop"
+
+    def test_analyze_chip_model(self, service):
+        env = service.execute(
+            AnalysisRequest(workload="fib", chip=True, delta=0.05)
+        )
+        assert env.ok and env.result["converged"]
+        assert "chip model" in env.rendered
+
+    def test_compile(self, service):
+        env = service.execute(CompileRequest(workload="fib"))
+        assert env.ok
+        assert "thermal plan" in env.rendered
+        assert env.result["summary"]["instructions_after"] > 0
+
+    def test_emulate(self, service):
+        env = service.execute(EmulateRequest(workload="fib"))
+        assert env.ok
+        assert env.result["return_value"] == 102334155
+        assert "steady map" in env.rendered
+
+    def test_fig1(self, service):
+        env = service.execute(Fig1Request(workload="fib"))
+        assert env.ok
+        assert [p["policy"] for p in env.result["policies"]] == [
+            "first-free", "random", "chessboard"
+        ]
+
+    def test_suite(self, service):
+        env = service.execute(
+            SuiteRequest(workloads=("fib", "crc32"), delta=0.05)
+        )
+        assert env.ok and env.result["converged"]
+        report = env.result["report"]
+        assert report["schema"] == "repro.suite/1"
+        assert [r["name"] for r in report["results"]] == ["fib", "crc32"]
+
+    def test_workload_list(self, service):
+        env = service.execute(WorkloadListRequest())
+        assert env.ok
+        assert len(env.result["workloads"]) == 14
+        assert env.context_stats == {}
+
+
+class TestErrorEnvelopes:
+    def test_unknown_workload(self, service):
+        env = service.execute(AnalysisRequest(workload="nope"))
+        assert not env.ok and env.exit_code == 1
+        assert env.error["type"] == "UnknownWorkloadError"
+        assert "available" in env.error_message()
+
+    def test_missing_input(self, service):
+        env = service.execute(AnalysisRequest())
+        assert not env.ok and "provide an IR file" in env.error_message()
+
+    def test_ambiguous_input(self, service):
+        env = service.execute(
+            AnalysisRequest(workload="fib", ir_text=LOOP_SRC)
+        )
+        assert not env.ok and "ambiguous" in env.error_message()
+
+    def test_missing_file(self, service):
+        env = service.execute(AnalysisRequest(ir_path="/nonexistent/k.ir"))
+        assert not env.ok and env.error["type"] == "FileNotFoundError"
+
+    def test_unknown_machine(self, service):
+        env = service.execute(AnalysisRequest(workload="fib", machine="rf9"))
+        assert not env.ok and "unknown machine" in env.error_message()
+
+    def test_bad_config(self, service):
+        env = service.execute(AnalysisRequest(workload="fib", delta=-1.0))
+        assert not env.ok and "delta" in env.error_message()
+
+
+class TestSharedContext:
+    """The point of the service: every request amortizes one runtime."""
+
+    def test_repeated_analyze_hits_block_caches(self, service):
+        first = service.execute(AnalysisRequest(workload="fib", delta=0.05))
+        assert first.context_stats["block_hits"] == 0
+        second = service.execute(AnalysisRequest(workload="fib", delta=0.05))
+        # Same workload object, same cached allocation -> identity-keyed
+        # transfer caches serve every block from cache.
+        assert second.context_stats["block_hits"] > 0
+        assert (second.context_stats["block_compiles"]
+                == first.context_stats["block_compiles"])
+        assert second.context_stats["analyses"] == 2
+
+    def test_analyze_then_compile_share_context(self, service):
+        """Acceptance: analyze then compile reports context cache hits."""
+        first = service.execute(AnalysisRequest(workload="fib", delta=0.05))
+        env = service.execute(CompileRequest(workload="fib"))
+        # One context served both: the compile envelope sees the analyze
+        # run in the same counters, and the shared thermal model serves
+        # its step operator from cache instead of re-exponentiating.
+        assert env.context_stats["analyses"] > first.context_stats["analyses"]
+        assert env.context_stats["operator_hits"] > 0
+        assert env.context_stats["transfer_caches"] >= 1
+
+    def test_analyze_then_emulate_compare_hits_caches(self, service):
+        service.execute(AnalysisRequest(workload="fib", delta=0.01))
+        env = service.execute(
+            EmulateRequest(workload="fib", compare_analysis=True)
+        )
+        # compare-analysis re-analyzes the identical allocated function.
+        assert env.ok and env.context_stats["block_hits"] > 0
+
+    def test_chip_and_rf_contexts_are_distinct(self, service):
+        rf = service.context_for("rf64")
+        chip = service.context_for("rf64", chip=True)
+        assert rf is not chip
+        assert service.context_for("rf64") is rf
+
+    def test_context_by_machine_value(self, service):
+        from repro.arch import rf64
+
+        assert service.context_for(rf64()) is service.context_for("rf64")
+
+    def test_service_stats(self, service):
+        service.execute(AnalysisRequest(workload="fib", delta=0.05))
+        stats = service.stats()
+        assert stats["requests_served"] == 1
+        assert stats["workloads_cached"] == 1
+        assert "rf64/rf" in stats["contexts"]
+
+
+class TestEmulateAnalysisFlags:
+    """CLI `--compare-analysis` used to hardcode delta and drop flags."""
+
+    def test_flags_reach_the_analysis(self, service):
+        env = service.execute(EmulateRequest(
+            workload="fib", compare_analysis=True,
+            delta=0.02, merge="mean", engine="stepped",
+        ))
+        assert env.ok
+        analysis = env.result["analysis"]
+        assert analysis["delta"] == 0.02
+        assert analysis["merge"] == "mean"
+        assert analysis["engine"] == "stepped"  # resolved engine, echoed
+        assert analysis["converged"]
+
+    def test_default_engine_resolves_to_compiled(self, service):
+        env = service.execute(
+            EmulateRequest(workload="fib", compare_analysis=True)
+        )
+        assert env.result["analysis"]["engine"] == "compiled"
+
+
+class TestConcurrency:
+    """Acceptance: concurrent submit() == serial execution, exactly."""
+
+    QUICK = [wl.name for wl in small_suite()]
+
+    @staticmethod
+    def _headline(envelope):
+        result = envelope.result
+        return (
+            result["iterations"],
+            result["peak_kelvin"],
+            result["peak_delta_kelvin"],
+            result["gradient_kelvin"],
+        )
+
+    def test_concurrent_quick_suite_matches_serial(self):
+        requests = [
+            AnalysisRequest(workload=name, delta=0.01) for name in self.QUICK
+        ]
+        with AnalysisService() as serial_svc:
+            serial = [serial_svc.execute(r) for r in requests]
+        with AnalysisService(max_workers=4) as concurrent_svc:
+            futures = [concurrent_svc.submit(r) for r in requests * 2]
+            concurrent = [f.result() for f in futures]
+        assert all(env.ok for env in serial + concurrent)
+        expected = [self._headline(env) for env in serial]
+        # Both passes over the concurrently-served requests agree with
+        # the serial run bit for bit: the context lock serializes cache
+        # mutation, so sharing changes cost, never results.
+        assert [self._headline(e) for e in concurrent[:len(requests)]] == expected
+        assert [self._headline(e) for e in concurrent[len(requests):]] == expected
+
+    def test_concurrent_mixed_kinds_against_one_context(self):
+        with AnalysisService(max_workers=4) as svc:
+            futures = [
+                svc.submit(AnalysisRequest(workload="fib", delta=0.05)),
+                svc.submit(CompileRequest(workload="fib")),
+                svc.submit(EmulateRequest(workload="fib")),
+                svc.submit(AnalysisRequest(workload="crc32", delta=0.05)),
+            ]
+            envelopes = [f.result() for f in futures]
+        assert all(env.ok for env in envelopes)
+        assert envelopes[2].result["return_value"] == 102334155
+
+    def test_map_preserves_request_order(self):
+        with AnalysisService(max_workers=4) as svc:
+            envelopes = svc.map([
+                AnalysisRequest(workload="fib", delta=0.05, request_id="a"),
+                AnalysisRequest(workload="crc32", delta=0.05, request_id="b"),
+            ])
+        assert [e.request.request_id for e in envelopes] == ["a", "b"]
+
+
+class TestDefaultService:
+    def test_process_wide_singleton(self):
+        assert default_service() is default_service()
+
+    def test_top_level_shims_share_default_runtime(self):
+        import repro
+        from repro.regalloc import allocate_linear_scan
+        from repro.workloads import load
+
+        machine = repro.rf64()
+        context = default_service().context_for(machine)
+        before = context.stats["analyses"]
+        allocated = allocate_linear_scan(load("fib").function, machine)
+        result = repro.analyze(allocated.function, machine, delta=0.05)
+        assert result.converged
+        assert context.stats["analyses"] == before + 1
+
+    def test_run_suite_shim_uses_default_context(self):
+        import repro
+
+        context = default_service().context_for("rf64")
+        before = context.stats["analyses"]
+        report = repro.run_suite(names=["fib"], delta=0.05)
+        assert report.all_converged
+        assert context.stats["analyses"] == before + 1
+        assert report.context_stats["analyses"] == before + 1

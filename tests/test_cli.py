@@ -133,6 +133,73 @@ class TestEmulateCommand:
         assert "analysis:" in out
         assert "r=" in out
 
+    def test_analysis_flags_threaded_through(self, capsys):
+        """--delta/--merge/--engine reach the comparison analysis."""
+        assert main(
+            ["emulate", "--workload", "fib", "--compare-analysis",
+             "--delta", "0.02", "--merge", "mean", "--engine", "stepped"]
+        ) == 0
+        assert "analysis:" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """0 converged, 2 did not converge, 1 bad input — per subcommand."""
+
+    def test_converged_is_zero(self, capsys):
+        assert main(["analyze", "--workload", "fib", "--delta", "0.05"]) == 0
+
+    def test_non_convergence_is_two(self, capsys):
+        assert main(["analyze", "--workload", "fib",
+                     "--max-iterations", "1"]) == 2
+        assert "DID NOT CONVERGE" in capsys.readouterr().out
+
+    def test_bad_input_is_one(self, capsys):
+        assert main(["analyze"]) == 1
+        assert main(["analyze", "/nonexistent/file.ir"]) == 1
+        assert main(["analyze", "--workload", "nope"]) == 1
+
+    def test_suite_bad_workload_is_one(self, capsys):
+        assert main(["suite", "--workloads", "nope"]) == 1
+
+
+class TestSharedServiceAcrossCommands:
+    def test_analyze_chip_flag(self, capsys):
+        assert main(["analyze", "--workload", "fib", "--chip",
+                     "--delta", "0.05"]) == 0
+        assert "chip model" in capsys.readouterr().out
+
+    @staticmethod
+    def _analyses_count(out: str) -> int:
+        line = next(l for l in out.splitlines() if l.startswith("context:"))
+        return int(line.split()[1])
+
+    def test_stats_line_shows_shared_context(self, capsys):
+        assert main(["analyze", "--workload", "fib", "--delta", "0.05",
+                     "--stats"]) == 0
+        first = self._analyses_count(capsys.readouterr().out)
+        assert main(["compile", "--workload", "fib", "--stats"]) == 0
+        second = self._analyses_count(capsys.readouterr().out)
+        # Both commands ran through one process-wide context: the
+        # compile invocation sees the analyze run in the counters.
+        assert second > first
+
+
+class TestServeCommand:
+    def test_pipe_two_requests(self, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            '{"kind": "analyze", "workload": "fir", "delta": 0.05}\n'
+            '{"kind": "analyze", "workload": "fib", "delta": 0.05}\n'
+        ))
+        assert main(["serve"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        envelopes = [json.loads(line) for line in lines]
+        assert len(envelopes) == 2
+        assert all(env["ok"] and env["result"]["converged"]
+                   for env in envelopes)
+
 
 class TestFig1Command:
     def test_renders_three_maps(self, capsys):

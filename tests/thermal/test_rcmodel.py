@@ -167,10 +167,12 @@ class TestAffineStepAPI:
         assert np.all(op >= -1e-15)
         assert np.abs(op).sum(axis=1).max() < 1.0
 
-    def test_private_alias_deprecated_but_working(self, model):
-        with pytest.warns(DeprecationWarning, match="step_operator"):
-            aliased = model._step_operator(self.DT)
-        assert np.array_equal(aliased, model.step_operator(self.DT))
+    def test_operator_cache_counters(self, model):
+        builds, hits = model.operator_builds, model.operator_hits
+        model.step_operator(self.DT)
+        assert model.operator_builds >= builds  # may already be cached
+        model.step_operator(self.DT)
+        assert model.operator_hits > hits
 
     def test_affine_step_reproduces_step(self, model):
         """T' = A·T + b must equal the closed-form step() exactly."""
