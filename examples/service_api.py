@@ -18,6 +18,7 @@ from repro.service import (
     AnalysisService,
     CompileRequest,
     EmulateRequest,
+    PipelineRequest,
     ResultEnvelope,
     request_from_json,
 )
@@ -79,7 +80,38 @@ for env in envelopes:
         f"gradient={env.result['gradient_kelvin']:.2f}K"
     )
 
-# 5. The JSON wire form: what `python -m repro serve` speaks, one
+# 5. A whole pipeline of kernels as one thermal program: the entry
+#    state of each stage is the exit state of the previous one.  The
+#    stacked strategy materializes every stage's states; running it
+#    again is served from the context's pipeline cache, and the
+#    composed strategy evaluates the same chain via exact affine
+#    summaries — O(1) per repeated kernel.
+pipeline = PipelineRequest(stages=("fib", "crc32", "fib", "dct8", "fib"))
+first = service.execute(pipeline)
+totals = first.result["report"]["totals"]
+print(
+    f"pipeline:    {totals['stages']:.0f} stages "
+    f"({totals['distinct_kernels']:.0f} distinct), "
+    f"exit dT={totals['exit_delta_kelvin']:.2f}K "
+    f"[{first.wall_time_seconds * 1e3:.1f} ms cold]"
+)
+warm = service.execute(pipeline)
+composed = service.execute(
+    PipelineRequest(stages=("fib", "crc32", "fib", "dct8", "fib"),
+                    strategy="composed")
+)
+agree = abs(
+    warm.result["report"]["totals"]["exit_peak_kelvin"]
+    - composed.result["report"]["totals"]["exit_peak_kelvin"]
+)
+print(
+    f"warm:        {warm.wall_time_seconds * 1e3:.1f} ms "
+    f"(pipeline hits={warm.context_stats['pipeline_hits']}, "
+    f"solve hits={warm.context_stats['solve_hits']}); "
+    f"stacked vs composed |d exit peak|={agree:.2e}K"
+)
+
+# 6. The JSON wire form: what `python -m repro serve` speaks, one
 #    request and one envelope per line.
 wire_request = request_from_json(
     '{"kind": "analyze", "workload": "fib", "delta": 0.05}'

@@ -73,6 +73,8 @@ from .core import (
     BlockTransferCache,
     ExactPlacement,
     FunctionSummary,
+    PipelineAnalysis,
+    PipelineReport,
     PolicyPlacement,
     SuiteReport,
     TDFAConfig,
@@ -83,7 +85,9 @@ from .core import (
     compose_pipeline,
     evaluate_rules,
     rank_critical_variables,
+    run_pipeline,
     summarize_function,
+    summarize_in_context,
 )
 from .core import analyze as _core_analyze
 from .core import run_suite as _core_run_suite
@@ -115,7 +119,7 @@ from .service import (
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def analyze(
@@ -201,11 +205,15 @@ __all__ = [
     "AnalysisContext",
     "SuiteReport",
     "run_suite",
+    "PipelineAnalysis",
+    "PipelineReport",
+    "run_pipeline",
     "AffineTransfer",
     "BlockTransferCache",
     "compile_block",
     "FunctionSummary",
     "summarize_function",
+    "summarize_in_context",
     "compose_pipeline",
     "ExactPlacement",
     "UniformPlacement",

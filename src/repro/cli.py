@@ -19,6 +19,10 @@ Subcommands
 ``suite``      analyze the whole workload suite (plus optional scenario
                generators) through one shared analysis context and
                write a machine-readable JSON report.
+``pipeline``   analyze an ordered pipeline of kernels as one thermal
+               program (entry of stage k+1 = exit of stage k), via the
+               stacked pipeline sweep, exact summary composition or the
+               sequential carry-through reference.
 ``workloads``  list the built-in workload suite.
 ``serve``      serve line-delimited JSON requests from stdin (one
                request per line, one envelope per line on stdout).
@@ -36,6 +40,8 @@ Examples
     python -m repro emulate --workload fib --compare-analysis --engine stepped
     python -m repro suite --json BENCH_suite.json
     python -m repro suite --quick --chip --pressure
+    python -m repro pipeline fib crc32 fib --strategy stacked
+    python -m repro pipeline --random 10 --seed 3 --json BENCH_pipeline.json
     python -m repro fig1 --workload fir
     echo '{"kind": "analyze", "workload": "fir"}' | python -m repro serve
 """
@@ -46,6 +52,7 @@ import argparse
 import sys
 
 from .arch import MACHINE_PRESETS
+from .core.pipeline_runner import PipelineReport
 from .core.suite_runner import SuiteReport
 from .errors import ReproError, UnknownWorkloadError
 from .service import (
@@ -54,6 +61,7 @@ from .service import (
     CompileRequest,
     EmulateRequest,
     Fig1Request,
+    PipelineRequest,
     ResultEnvelope,
     SuiteRequest,
     WorkloadListRequest,
@@ -162,6 +170,47 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the machine-readable report "
                            "(e.g. BENCH_suite.json)")
 
+    p_pl = sub.add_parser(
+        "pipeline",
+        help="analyze a pipeline of kernels as one thermal program",
+    )
+    p_pl.add_argument("stages", nargs="*", metavar="NAME",
+                      help="ordered workload names (repeats allowed); the "
+                           "entry state of each stage is the exit state of "
+                           "the previous one")
+    p_pl.add_argument("--machine", "-m", choices=sorted(_MACHINES),
+                      default="rf64",
+                      help="target register file preset (default rf64)")
+    p_pl.add_argument("--strategy",
+                      choices=["stacked", "composed", "sequential"],
+                      default="stacked",
+                      help="pipeline engine: one stacked pipeline-wide "
+                           "fixed point, exact summary composition, or the "
+                           "per-kernel carry-through reference "
+                           "(default stacked)")
+    p_pl.add_argument("--delta", type=float, default=0.01,
+                      help="convergence threshold in Kelvin (default 0.01)")
+    p_pl.add_argument("--merge", choices=["max", "mean", "freq"],
+                      default="freq", help="CFG join mode (default freq; "
+                      "max requires --strategy sequential)")
+    p_pl.add_argument("--engine", choices=["auto", "compiled", "stepped"],
+                      default="auto", help="fixed-point engine for the "
+                      "sequential strategy (default auto)")
+    p_pl.add_argument("--policy", default="first-free",
+                      help="assignment policy for allocation "
+                           "(default first-free)")
+    p_pl.add_argument("--chip", action="store_true",
+                      help="analyze on the die-level chip model")
+    p_pl.add_argument("--random", type=int, default=0, metavar="N",
+                      help="generate a seeded random N-stage pipeline "
+                           "instead of naming stages")
+    p_pl.add_argument("--seed", type=int, default=0,
+                      help="seed for --random (default 0)")
+    p_pl.add_argument("--json", metavar="PATH", dest="json_path",
+                      help="write the machine-readable report "
+                           "(e.g. BENCH_pipeline.json)")
+    add_stats_arg(p_pl)
+
     sub.add_parser("workloads", help="list the built-in workload suite")
 
     p_sv = sub.add_parser(
@@ -267,6 +316,50 @@ def cmd_suite(args) -> int:
     return code
 
 
+def cmd_pipeline(args) -> int:
+    stages: tuple[str, ...] | None = None
+    ir_texts: tuple[str, ...] | None = None
+    if args.random > 0 and args.stages:
+        print(
+            "error: name stages or generate them with --random, not both",
+            file=sys.stderr,
+        )
+        return 1
+    if args.random > 0:
+        # Seeded random pipelines carry generated kernels the service
+        # cannot load by name; ship each stage as its textual IR
+        # (repeated stages share one text, hence one parsed object).
+        from .ir.printer import print_function
+        from .workloads import random_pipeline
+
+        ir_texts = tuple(
+            print_function(workload.function)
+            for workload in random_pipeline(seed=args.seed,
+                                            length=args.random)
+        )
+    else:
+        stages = tuple(args.stages)
+    request = PipelineRequest(
+        stages=stages,
+        ir_texts=ir_texts,
+        machine=args.machine,
+        chip=args.chip,
+        strategy=args.strategy,
+        policy=args.policy,
+        delta=args.delta,
+        merge=args.merge,
+        engine=args.engine,
+    )
+    envelope = default_service().execute(request)
+    code = _print_envelope(envelope, stats=args.stats)
+    if envelope.ok and args.json_path:
+        PipelineReport.from_dict(envelope.result["report"]).write_json(
+            args.json_path
+        )
+        print(f"report written to {args.json_path}")
+    return code
+
+
 def cmd_workloads(_args) -> int:
     return _print_envelope(default_service().execute(WorkloadListRequest()))
 
@@ -283,6 +376,7 @@ _COMMANDS = {
     "emulate": cmd_emulate,
     "fig1": cmd_fig1,
     "suite": cmd_suite,
+    "pipeline": cmd_pipeline,
     "workloads": cmd_workloads,
     "serve": cmd_serve,
 }

@@ -1,6 +1,14 @@
 """The paper's contribution: thermal data flow analysis and its clients."""
 
 from .context import AnalysisContext
+from .pipeline_runner import (
+    PIPELINE_STRATEGIES,
+    PipelineAnalysis,
+    PipelineReport,
+    PipelineStageItem,
+    analyze_pipeline,
+    run_pipeline,
+)
 from .critical import (
     CriticalVariable,
     hotspot_contribution_map,
@@ -11,22 +19,31 @@ from .predictive import AllocationPlacement, PolicyPlacement, UniformPlacement
 from .report import convergence_table, format_result
 from .rules import Recommendation, RuleConfig, ThermalPlan, evaluate_rules
 from .suite_runner import SuiteItem, SuiteReport, run_suite
-from .summaries import FunctionSummary, compose_pipeline, summarize_function
+from .summaries import (
+    FunctionSummary,
+    compose_pipeline,
+    summarize_function,
+    summarize_in_context,
+)
 from .tdfa import (
     ENGINE_MODES,
     MERGE_MODES,
+    STOP_MODES,
     SWEEP_MODES,
     TDFAConfig,
     TDFAResult,
     ThermalDataflowAnalysis,
     analyze,
+    converged_by,
 )
 from .transfer import (
     AffineTransfer,
     BlockTransferCache,
     CompiledBlock,
+    CompiledPipelineSweep,
     CompiledSweep,
     compile_block,
+    compile_pipeline_sweep,
     compile_sweep,
 )
 
@@ -37,7 +54,9 @@ __all__ = [
     "MERGE_MODES",
     "ENGINE_MODES",
     "SWEEP_MODES",
+    "STOP_MODES",
     "analyze",
+    "converged_by",
     "AnalysisContext",
     "SuiteItem",
     "SuiteReport",
@@ -46,8 +65,16 @@ __all__ = [
     "BlockTransferCache",
     "CompiledBlock",
     "CompiledSweep",
+    "CompiledPipelineSweep",
     "compile_block",
     "compile_sweep",
+    "compile_pipeline_sweep",
+    "PIPELINE_STRATEGIES",
+    "PipelineAnalysis",
+    "PipelineReport",
+    "PipelineStageItem",
+    "analyze_pipeline",
+    "run_pipeline",
     "PlacementModel",
     "ExactPlacement",
     "InstructionPowerModel",
@@ -65,5 +92,6 @@ __all__ = [
     "convergence_table",
     "FunctionSummary",
     "summarize_function",
+    "summarize_in_context",
     "compose_pipeline",
 ]

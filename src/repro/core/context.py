@@ -101,7 +101,23 @@ class AnalysisContext:
         # never id(), whose values can be recycled after GC.
         self._caches: dict[tuple[object, bool], BlockTransferCache] = {}
         self._profiles: dict[Function, tuple[_ProfileKey, StaticProfile]] = {}
+        # Exact affine summaries, keyed by (function object, merge,
+        # include_leakage) and validated against the CFG signature
+        # (names, instruction counts, successors) a summary bakes in.
+        self._summaries: dict[
+            tuple[Function, str, bool], tuple[object, object]
+        ] = {}
+        # Exact block-out solutions (the linear system behind summary
+        # extraction and stacked-pipeline warm starts), same keying.
+        self._solutions: dict[
+            tuple[Function, str, bool], tuple[object, object, object, object]
+        ] = {}
         self._analyses_run = 0
+        self._pipelines_run = 0
+        self._summary_compiles = 0
+        self._summary_hits = 0
+        self._solve_compiles = 0
+        self._solve_hits = 0
         # Guards every model/cache mutation when the context is shared
         # across threads (the AnalysisService submits concurrent
         # requests against one context).  Reentrant: a pipeline holding
@@ -114,6 +130,8 @@ class AnalysisContext:
             "block_hits": 0,
             "sweep_compiles": 0,
             "sweep_hits": 0,
+            "pipeline_compiles": 0,
+            "pipeline_hits": 0,
         }
 
     @classmethod
@@ -225,6 +243,110 @@ class AnalysisContext:
         return analysis.run(function, entry_state=entry_state)
 
     # ------------------------------------------------------------------
+    # Interprocedural layer: summaries and whole-pipeline analyses
+    # ------------------------------------------------------------------
+    def block_solution(
+        self,
+        function: Function,
+        merge: str | None = None,
+        include_leakage: bool | None = None,
+    ):
+        """The exact affine block-out maps of *function*, solved once.
+
+        Returns ``(solution, rpo, index)`` as produced by the linear
+        system behind exact summary extraction (rows ``i·n:(i+1)·n`` of
+        *solution* hold block ``rpo[i]``'s ``[A | b]`` over the entry
+        state).  Cached per (function object, merge, include_leakage)
+        and validated against the CFG signature — this is the one
+        linear solve per distinct kernel that both summary extraction
+        and the stacked pipeline's warm start amortize.
+        """
+        from ..ir.cfg import reverse_postorder
+        from .summaries import _solve_block_system
+        from .transfer import sweep_signature
+
+        merge = merge or self.config.merge
+        if include_leakage is None:
+            include_leakage = self.config.include_leakage
+        signature = sweep_signature(function, reverse_postorder(function))
+        key = (function, merge, include_leakage)
+        cached = self._solutions.get(key)
+        if cached is not None and cached[0] == signature:
+            self._solve_hits += 1
+            return cached[1], cached[2], cached[3]
+        solution, rpo, index = _solve_block_system(
+            function,
+            self.model,
+            self.transfer_cache(
+                self.power_model(), include_leakage=include_leakage
+            ),
+            merge,
+            self.static_profile(function),
+        )
+        self._solutions[key] = (signature, solution, rpo, index)
+        self._solve_compiles += 1
+        return solution, rpo, index
+
+    def summary(
+        self,
+        function: Function,
+        merge: str | None = None,
+        include_leakage: bool | None = None,
+    ):
+        """The exact affine exit map of *function*, extracted once.
+
+        Cached per (function object, merge, include_leakage) and
+        validated against the CFG signature, so repeated pipeline stages
+        cost one linear solve for the first occurrence and O(1)
+        afterwards.  See
+        :func:`repro.core.summaries.summarize_in_context`.
+        """
+        from ..ir.cfg import reverse_postorder
+        from .summaries import summarize_in_context
+        from .transfer import sweep_signature
+
+        merge = merge or self.config.merge
+        if include_leakage is None:
+            include_leakage = self.config.include_leakage
+        signature = sweep_signature(function, reverse_postorder(function))
+        key = (function, merge, include_leakage)
+        cached = self._summaries.get(key)
+        if cached is not None and cached[0] == signature:
+            self._summary_hits += 1
+            return cached[1]
+        summary = summarize_in_context(
+            function, self, merge=merge, include_leakage=include_leakage
+        )
+        self._summaries[key] = (signature, summary)
+        self._summary_compiles += 1
+        return summary
+
+    def analyze_pipeline(
+        self,
+        functions: list[Function],
+        strategy: str = "stacked",
+        entry_state: ThermalState | None = None,
+        **overrides,
+    ):
+        """Analyze *functions* as one thermal pipeline.
+
+        The entry state of stage ``k+1`` is the exit state of stage
+        ``k``.  *strategy* selects how: ``"stacked"`` (one pipeline-wide
+        stacked affine fixed point), ``"composed"`` (exact summary
+        composition, one linear solve per distinct kernel) or
+        ``"sequential"`` (per-kernel carry-through — the reference, and
+        the only strategy for non-affine configurations).  Returns a
+        :class:`repro.core.pipeline_runner.PipelineAnalysis`.
+        """
+        from .pipeline_runner import analyze_pipeline as _impl
+
+        self._pipelines_run += 1
+        return _impl(
+            self, functions, strategy=strategy, entry_state=entry_state,
+            **overrides,
+        )
+
+    # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
     @property
@@ -232,6 +354,11 @@ class AnalysisContext:
         """Aggregate counters: analyses run, compiles paid, hits served."""
         totals = {
             "analyses": self._analyses_run,
+            "pipelines": self._pipelines_run,
+            "summary_compiles": self._summary_compiles,
+            "summary_hits": self._summary_hits,
+            "solve_compiles": self._solve_compiles,
+            "solve_hits": self._solve_hits,
             "power_models": len(self._power_models),
             "transfer_caches": len(self._caches),
             "operator_builds": self.model.operator_builds,
@@ -265,10 +392,16 @@ class AnalysisContext:
             self._power_models.clear()
             self._caches.clear()
             self._profiles.clear()
+            self._summaries.clear()
+            self._solutions.clear()
             return
         for cache in self._caches.values():
             cache.invalidate(function)
         self._profiles.pop(function, None)
+        for key in [k for k in self._summaries if k[0] is function]:
+            del self._summaries[key]
+        for key in [k for k in self._solutions if k[0] is function]:
+            del self._solutions[key]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.stats

@@ -1,0 +1,623 @@
+"""Cross-function pipeline analysis: one thermal program, many kernels.
+
+The paper analyzes one kernel at a time, but real schedules run
+*sequences* of tasks whose thermal state carries from one to the next
+(conv → dct → crc …): the entry state of kernel ``k+1`` is the exit
+state of kernel ``k``.  This module is the first interprocedural layer
+of the reproduction — it analyzes a whole pipeline of kernels as one
+thermal program, with three interchangeable strategies:
+
+``"sequential"``
+    Per-kernel carry-through: analyze stage 0 from the pipeline entry
+    state, feed its exit state into stage 1, and so on.  The reference
+    semantics, and the only strategy for non-affine configurations
+    (``max`` joins, leakage-temperature feedback).
+``"composed"``
+    Exact summary composition: each *distinct* kernel's affine exit map
+    ``T_exit = A·T_in + b`` is extracted once (one linear solve, via the
+    shared context's summary cache — no fixed-point run at all), then
+    the pipeline is evaluated with two mat-vecs per stage — O(1) per
+    repeated kernel.
+``"stacked"``
+    One pipeline-wide affine fixed point: every stage's compiled
+    Gauss–Seidel sweep is chained — stage ``k``'s entry substituting
+    stage ``k−1``'s already-updated exit expression — into a single
+    stacked ``(Σ m_k·n, Σ m_k·n)`` map
+    (:func:`~repro.core.transfer.compile_pipeline_sweep`), iterated with
+    two stacked mat-vecs per sweep.  Entry-state information crosses
+    every stage boundary *within* one sweep, and the per-instruction
+    states of every stage are materialized in one reconstruction pass.
+
+All three strategies converge to the same fixed point (the stacked map's
+fixed point satisfies, stage by stage, exactly the sequential
+carry-through equations; the composed summaries solve those equations in
+closed form), so they agree within the usual 2δ tolerance — asserted
+suite-wide by the pipeline correctness tests and
+``benchmarks/bench_pipeline.py``.
+
+:func:`run_pipeline` is the report-level entry point (CLI ``pipeline``
+subcommand, ``PipelineRequest`` executor): it resolves workload names,
+allocates each distinct stage once (identity-keyed caches then serve
+repeated kernels for free), analyzes through one shared
+:class:`~repro.core.context.AnalysisContext` and emits a
+machine-readable :class:`PipelineReport` (``BENCH_pipeline.json``;
+schema in ``benchmarks/README.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field, replace
+from dataclasses import fields as dataclass_fields
+
+import numpy as np
+
+from ..arch import MACHINE_PRESETS
+from ..errors import DataflowError
+from ..ir.cfg import reverse_postorder
+from ..ir.function import Function
+from ..regalloc.linearscan import allocate_linear_scan
+from ..regalloc.policies import policy_by_name
+from ..thermal.state import ThermalState
+from ..workloads import load
+from .context import AnalysisContext
+from .summaries import FunctionSummary, compose_pipeline, exit_weight_plan
+from .tdfa import TDFAResult, converged_by
+from .transfer import affine_merge_plan
+
+#: Report schema identifier (bump on incompatible changes).
+SCHEMA = "repro.pipeline/1"
+
+#: Valid pipeline analysis strategies.
+PIPELINE_STRATEGIES = ("stacked", "composed", "sequential")
+
+
+@dataclass
+class PipelineAnalysis:
+    """Rich result of one pipeline analysis (any strategy).
+
+    ``entry_states[k]`` / ``exit_states[k]`` bracket stage *k*;
+    ``exit_states[k]`` is ``entry_states[k+1]``.  ``stage_results``
+    holds one full :class:`~repro.core.tdfa.TDFAResult` per stage for
+    the state-materializing strategies (``sequential`` / ``stacked``)
+    and is ``None`` for ``composed``, which only tracks boundary states.
+    ``summary`` is the composed whole-pipeline affine map (``composed``
+    strategy only).
+    """
+
+    strategy: str
+    functions: list[Function]
+    entry_states: list[ThermalState]
+    exit_states: list[ThermalState]
+    stage_results: list[TDFAResult] | None
+    summary: FunctionSummary | None
+    converged: bool
+    iterations: int
+    wall_time_seconds: float = 0.0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.functions)
+
+    def exit_state(self) -> ThermalState:
+        """The whole pipeline's exit state (last stage's exit)."""
+        return self.exit_states[-1]
+
+
+def _require_affine(context: AnalysisContext, config, strategy: str) -> None:
+    """Stacked/composed strategies need the linear, affine-merge regime."""
+    if config.merge not in ("freq", "mean"):
+        raise DataflowError(
+            f"pipeline strategy {strategy!r} requires an affine merge "
+            f"('freq'/'mean'), got {config.merge!r} — use "
+            "strategy='sequential' for max joins"
+        )
+    if config.engine == "stepped":
+        raise DataflowError(
+            f"pipeline strategy {strategy!r} runs on compiled affine maps; "
+            "engine='stepped' only composes with strategy='sequential'"
+        )
+    power_model = context.power_model()
+    if getattr(power_model, "has_leakage_feedback", False):
+        raise DataflowError(
+            f"pipeline strategy {strategy!r} requires a linear thermal "
+            "model (no leakage-temperature feedback) — use "
+            "strategy='sequential'"
+        )
+
+
+def analyze_pipeline(
+    context: AnalysisContext,
+    functions: list[Function],
+    strategy: str = "stacked",
+    entry_state: ThermalState | None = None,
+    **overrides,
+) -> PipelineAnalysis:
+    """Analyze *functions* as one pipeline through *context*.
+
+    Implementation behind
+    :meth:`AnalysisContext.analyze_pipeline
+    <repro.core.context.AnalysisContext.analyze_pipeline>`; keyword
+    *overrides* (``delta=…``, ``merge=…``, …) apply on top of the
+    context's default :class:`~repro.core.tdfa.TDFAConfig`.
+    """
+    if not functions:
+        raise DataflowError("cannot analyze an empty pipeline")
+    if strategy not in PIPELINE_STRATEGIES:
+        raise DataflowError(
+            f"strategy must be one of {PIPELINE_STRATEGIES}, got {strategy!r}"
+        )
+    # Pipelines default to the error-bound stop rule: every strategy
+    # must land within δ of the true fixed point for the cross-strategy
+    # 2δ agreement to hold (see tdfa.converged_by).  An explicit
+    # stop=… override still wins.
+    overrides = {"stop": "bound", **overrides}
+    config = replace(context.config, **overrides)
+    started = time.perf_counter()
+    entry = entry_state or context.model.ambient_state()
+
+    if strategy == "sequential":
+        analysis = _analyze_sequential(context, functions, entry, overrides)
+    elif strategy == "composed":
+        _require_affine(context, config, strategy)
+        analysis = _analyze_composed(context, functions, entry, config)
+    else:
+        _require_affine(context, config, strategy)
+        analysis = _analyze_stacked(context, functions, entry, config)
+    analysis.wall_time_seconds = time.perf_counter() - started
+    return analysis
+
+
+def _analyze_sequential(
+    context: AnalysisContext,
+    functions: list[Function],
+    entry: ThermalState,
+    overrides: dict,
+) -> PipelineAnalysis:
+    """Per-kernel carry-through: K analyses, exit feeding entry."""
+    entry_states: list[ThermalState] = []
+    exit_states: list[ThermalState] = []
+    results: list[TDFAResult] = []
+    state = entry
+    for function in functions:
+        entry_states.append(state)
+        result = context.analyze(function, entry_state=state, **overrides)
+        results.append(result)
+        state = result.exit_state()
+        exit_states.append(state)
+    return PipelineAnalysis(
+        strategy="sequential",
+        functions=list(functions),
+        entry_states=entry_states,
+        exit_states=exit_states,
+        stage_results=results,
+        summary=None,
+        converged=all(r.converged for r in results),
+        iterations=sum(r.iterations for r in results),
+    )
+
+
+def _analyze_composed(
+    context: AnalysisContext,
+    functions: list[Function],
+    entry: ThermalState,
+    config,
+) -> PipelineAnalysis:
+    """Exact summary composition: one linear solve per distinct kernel."""
+    entry_states: list[ThermalState] = []
+    exit_states: list[ThermalState] = []
+    summaries: list[FunctionSummary] = []
+    state = entry
+    for function in functions:
+        summary = context.summary(
+            function,
+            merge=config.merge,
+            include_leakage=config.include_leakage,
+        )
+        summaries.append(summary)
+        entry_states.append(state)
+        state = summary.apply(state)
+        exit_states.append(state)
+    return PipelineAnalysis(
+        strategy="composed",
+        functions=list(functions),
+        entry_states=entry_states,
+        exit_states=exit_states,
+        stage_results=None,
+        summary=compose_pipeline(summaries),
+        converged=True,  # closed form: the exact fixed point, no sweeps
+        iterations=0,
+    )
+
+
+def _analyze_stacked(
+    context: AnalysisContext,
+    functions: list[Function],
+    entry: ThermalState,
+    config,
+) -> PipelineAnalysis:
+    """One pipeline-wide stacked affine fixed point."""
+    power_model = context.power_model()
+    cache = context.transfer_cache(
+        power_model, include_leakage=config.include_leakage
+    )
+    grid = context.model.grid
+    n = grid.num_nodes
+
+    rpos: list[list[str]] = []
+    profiles = []
+    compiled_stages = []
+    stage_sweeps = []
+    exit_plans = []
+    for function in functions:
+        profile = context.static_profile(function)
+        rpo = reverse_postorder(function)
+        preds = function.predecessors_map()
+        compiled = {name: cache.block(function.block(name)) for name in rpo}
+        plan = affine_merge_plan(
+            function, rpo, preds, profile, config.merge, function.entry.name
+        )
+        sweep = cache.sweep(function, rpo, plan, config.merge, compiled)
+        index = {name: i for i, name in enumerate(rpo)}
+        exit_plans.append(
+            [(index[name], w) for name, w in
+             exit_weight_plan(function, rpo, profile)]
+        )
+        rpos.append(rpo)
+        profiles.append(profile)
+        compiled_stages.append(compiled)
+        stage_sweeps.append(sweep)
+    pipeline = cache.pipeline(
+        list(functions), stage_sweeps, exit_plans, config.merge
+    )
+
+    # Warm start: every stage's block system is linear, so its exact
+    # block-out fixed point given the entry state is one cached solve
+    # per *distinct* kernel (context.block_solution — the same solve
+    # summary extraction uses).  Chaining those solutions through the
+    # exit extractors initializes the stacked vector essentially at the
+    # pipeline-wide fixed point; the Gauss–Seidel sweeps below then
+    # *verify* convergence under the configured stop rule (and do all
+    # the work whenever a stage was not solvable-warm, e.g. right after
+    # an invalidation).
+    entry_vec = entry.temperatures
+    outs = np.empty(pipeline.stacked_size)
+    t_stage = entry_vec
+    for k, function in enumerate(functions):
+        solution, _rpo, _index = context.block_solution(
+            function, config.merge,
+            include_leakage=config.include_leakage,
+        )
+        rows = pipeline.stage_slice(k)
+        outs[rows] = solution[:, :n] @ t_stage + solution[:, n]
+        t_stage = pipeline.exit_matrices[k] @ outs[rows]
+    ins = outs
+
+    # The fixed-point loop — identical in shape to the batched
+    # single-function engine, over the pipeline-wide stacked vector.
+    iterations = 0
+    delta_history: list[float] = []
+    converged = False
+    prev_delta = float("inf")
+    while iterations < config.max_iterations:
+        iterations += 1
+        new_ins, new_outs = pipeline.apply(outs, entry_vec)
+        if iterations == 1:
+            sweep_delta = float("inf")
+        else:
+            sweep_delta = max(
+                float(np.abs(new_ins - ins).max()),
+                float(np.abs(new_outs - outs).max()),
+            )
+        ins = new_ins
+        outs = new_outs
+        delta_history.append(sweep_delta)
+        if converged_by(config.stop, config.delta, sweep_delta, prev_delta):
+            converged = True
+            break
+        prev_delta = sweep_delta
+        if outs.max() > 1000.0:
+            break
+
+    # One reconstruction pass per stage: per-instruction states, block
+    # boundaries, and the stage-to-stage entry/exit chain.
+    entry_states: list[ThermalState] = []
+    exit_states: list[ThermalState] = []
+    results: list[TDFAResult] = []
+    state = entry
+    for k, function in enumerate(functions):
+        rpo = rpos[k]
+        ins_per_block = ins[pipeline.stage_slice(k)].reshape(len(rpo), n)
+        block_in: dict[str, ThermalState] = {}
+        block_out: dict[str, ThermalState] = {}
+        after: dict[tuple[str, int], ThermalState] = {}
+        for i, name in enumerate(rpo):
+            vec = ins_per_block[i]
+            states = compiled_stages[k][name].reconstruct(vec)
+            block_in[name] = ThermalState(grid, vec)
+            block_out[name] = ThermalState(grid, states[-1] if states else vec)
+            for idx, temps in enumerate(states):
+                after[(name, idx)] = ThermalState(grid, temps)
+        result = TDFAResult(
+            function=function,
+            config=config,
+            converged=converged,
+            iterations=iterations,
+            delta_history=delta_history,
+            after=after,
+            block_in=block_in,
+            block_out=block_out,
+            profile=profiles[k],
+            engine="compiled",
+            sweep="stacked",
+        )
+        results.append(result)
+        entry_states.append(state)
+        state = result.exit_state()
+        exit_states.append(state)
+    return PipelineAnalysis(
+        strategy="stacked",
+        functions=list(functions),
+        entry_states=entry_states,
+        exit_states=exit_states,
+        stage_results=results,
+        summary=None,
+        converged=converged,
+        iterations=iterations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Report layer: machine-readable pipeline runs (BENCH_pipeline.json)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PipelineStageItem:
+    """One stage of an analyzed pipeline."""
+
+    name: str
+    policy: str
+    instructions: int
+    blocks: int
+    entry_peak_kelvin: float
+    exit_peak_kelvin: float
+    exit_delta_kelvin: float
+    #: Peak anywhere inside the stage (``None`` for the composed
+    #: strategy, which materializes boundary states only).
+    peak_kelvin: float | None
+
+
+@dataclass
+class PipelineReport:
+    """Machine-readable result of one pipeline run."""
+
+    machine: str
+    model: str                    # "rf" or "chip"
+    strategy: str
+    delta: float
+    merge: str
+    stages: list[PipelineStageItem] = field(default_factory=list)
+    converged: bool = True
+    iterations: int = 0
+    wall_time_seconds: float = 0.0
+    context_stats: dict[str, int] = field(default_factory=dict)
+    #: Count of distinct analyzed (kernel, policy) pairs.  Set from the
+    #: actual function objects when built by :func:`run_pipeline`
+    #: (two ir_text stages may share a function *name* yet be distinct
+    #: kernels); ``None`` falls back to distinct (name, policy) pairs.
+    distinct_kernels: int | None = None
+
+    def totals(self) -> dict[str, float]:
+        distinct = (
+            self.distinct_kernels
+            if self.distinct_kernels is not None
+            else len({(item.name, item.policy) for item in self.stages})
+        )
+        return {
+            "stages": len(self.stages),
+            "distinct_kernels": distinct,
+            "instructions": sum(i.instructions for i in self.stages),
+            "exit_peak_kelvin": (
+                self.stages[-1].exit_peak_kelvin if self.stages else 0.0
+            ),
+            "exit_delta_kelvin": (
+                self.stages[-1].exit_delta_kelvin if self.stages else 0.0
+            ),
+            "wall_time_seconds": self.wall_time_seconds,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "machine": self.machine,
+            "model": self.model,
+            "strategy": self.strategy,
+            "delta": self.delta,
+            "merge": self.merge,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "totals": self.totals(),
+            "context_stats": dict(self.context_stats),
+            "stages": [asdict(item) for item in self.stages],
+        }
+
+    def write_json(self, path) -> None:
+        """Write the report (e.g. as ``BENCH_pipeline.json``)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineReport":
+        """Revive a report from its ``to_dict`` form (inverse up to
+        the derived ``schema``/``totals`` fields)."""
+        item_fields = {f.name for f in dataclass_fields(PipelineStageItem)}
+        stages = [
+            PipelineStageItem(
+                **{k: v for k, v in record.items() if k in item_fields}
+            )
+            for record in data.get("stages", [])
+        ]
+        return cls(
+            machine=data["machine"],
+            model=data["model"],
+            strategy=data["strategy"],
+            delta=data["delta"],
+            merge=data["merge"],
+            stages=stages,
+            converged=bool(data.get("converged", True)),
+            iterations=int(data.get("iterations", 0)),
+            wall_time_seconds=float(
+                data.get("wall_time_seconds",
+                         data.get("totals", {}).get("wall_time_seconds", 0.0))
+            ),
+            context_stats=dict(data.get("context_stats", {})),
+            distinct_kernels=(
+                int(distinct) if (distinct := data.get("totals", {})
+                                  .get("distinct_kernels")) is not None
+                else None
+            ),
+        )
+
+
+def run_pipeline(
+    stages,
+    machine_name: str = "rf64",
+    *,
+    context: AnalysisContext | None = None,
+    chip: bool = False,
+    strategy: str = "stacked",
+    delta: float = 0.01,
+    merge: str = "freq",
+    engine: str = "auto",
+    policy: str = "first-free",
+    policies: list[str] | None = None,
+    max_iterations: int = 2000,
+    entry_state: ThermalState | None = None,
+    allocator=None,
+) -> PipelineReport:
+    """Allocate and analyze a pipeline of kernels, returning its report.
+
+    Parameters
+    ----------
+    stages:
+        Ordered pipeline: workload names (``repro.workloads.load``)
+        and/or :class:`~repro.workloads.Workload` objects, freely mixed.
+        Repeated names resolve to one shared workload object, so the
+        identity-keyed caches compile each distinct kernel once.
+    policies:
+        Per-stage register-allocation policy names (default: *policy*
+        for every stage).  Stages sharing (kernel, policy) share one
+        allocated function object.
+    strategy / delta / merge / engine:
+        See :func:`analyze_pipeline`.
+    context:
+        Use this shared context instead of building one
+        (``chip=True`` builds a die-level context otherwise).
+    allocator:
+        Optional ``(virtual_function, policy_name) -> allocated_function``
+        hook.  The service passes its identity-cached allocation here so
+        repeated requests resolve to the *same* allocated objects and
+        the transfer caches hit across requests.
+    """
+    stages = list(stages)
+    if not stages:
+        raise DataflowError("cannot run an empty pipeline")
+    if context is None:
+        if machine_name not in MACHINE_PRESETS:
+            raise DataflowError(
+                f"unknown machine {machine_name!r}; "
+                f"available: {sorted(MACHINE_PRESETS)}"
+            )
+        machine = MACHINE_PRESETS[machine_name]()
+        context = (
+            AnalysisContext.for_chip(machine)
+            if chip
+            else AnalysisContext(machine)
+        )
+    machine = context.machine
+    stage_policies = (
+        list(policies) if policies is not None else [policy] * len(stages)
+    )
+    if len(stage_policies) != len(stages):
+        raise DataflowError(
+            f"got {len(stage_policies)} policies for {len(stages)} stages "
+            "— provide exactly one policy per stage (or a single default)"
+        )
+
+    # Resolve stages to allocated functions, deduplicating so repeated
+    # (kernel, policy) pairs share one function object — the identity
+    # keys the transfer and summary caches hit on.
+    loaded: dict[str, object] = {}
+    allocated: dict[tuple[int, str], Function] = {}
+    names: list[str] = []
+    functions: list[Function] = []
+    workloads = []  # strong refs keep id() keys stable
+    for spec, stage_policy in zip(stages, stage_policies):
+        if isinstance(spec, str):
+            if spec not in loaded:
+                loaded[spec] = load(spec)
+            workload = loaded[spec]
+        else:
+            workload = spec
+        workloads.append(workload)
+        key = (id(workload), stage_policy)
+        function = allocated.get(key)
+        if function is None:
+            if allocator is not None:
+                function = allocator(workload.function, stage_policy)
+            else:
+                function = allocate_linear_scan(
+                    workload.function, machine, policy_by_name(stage_policy)
+                ).function
+            allocated[key] = function
+        names.append(workload.name)
+        functions.append(function)
+
+    analysis = context.analyze_pipeline(
+        functions,
+        strategy=strategy,
+        entry_state=entry_state,
+        delta=delta,
+        merge=merge,
+        engine=engine,
+        max_iterations=max_iterations,
+    )
+
+    ambient = context.model.params.ambient
+    items = [
+        PipelineStageItem(
+            name=name,
+            policy=stage_policy,
+            instructions=function.instruction_count(),
+            blocks=len(function.blocks),
+            entry_peak_kelvin=float(
+                analysis.entry_states[k].temperatures.max()
+            ),
+            exit_peak_kelvin=float(analysis.exit_states[k].temperatures.max()),
+            exit_delta_kelvin=float(
+                analysis.exit_states[k].temperatures.max() - ambient
+            ),
+            peak_kelvin=(
+                analysis.stage_results[k].peak_state().peak
+                if analysis.stage_results is not None
+                else None
+            ),
+        )
+        for k, (name, function, stage_policy) in enumerate(
+            zip(names, functions, stage_policies)
+        )
+    ]
+    return PipelineReport(
+        machine=machine.name,
+        model="chip" if chip else "rf",
+        strategy=strategy,
+        delta=delta,
+        merge=merge,
+        stages=items,
+        converged=analysis.converged,
+        iterations=analysis.iterations,
+        wall_time_seconds=analysis.wall_time_seconds,
+        context_stats=dict(context.stats),
+        distinct_kernels=len(allocated),
+    )

@@ -227,9 +227,36 @@ def _init_worker(machine_name: str, chip: bool, delta: float, merge: str,
     }
 
 
-def _run_spec(spec: tuple[str, object]) -> SuiteItem:
+def _run_spec(spec: tuple[str, object]) -> tuple[int, SuiteItem, dict]:
+    """Analyze one spec in a worker; returns ``(pid, item, stats)``.
+
+    The stats snapshot rides along with every item so the parent can
+    recover each worker context's final counters: per worker (pid) the
+    element-wise maximum over its snapshots *is* the snapshot taken at
+    that worker's last completed item — counters only grow — and summing
+    those per-worker totals reconstructs the whole run's amortization
+    numbers (previously dropped: multi-process reports shipped
+    ``context_stats = {}``).
+    """
+    import os
+
     assert _WORKER_CTX is not None and _WORKER_ARGS is not None
-    return analyze_workload(_build_workload(spec), _WORKER_CTX, **_WORKER_ARGS)
+    item = analyze_workload(_build_workload(spec), _WORKER_CTX, **_WORKER_ARGS)
+    return os.getpid(), item, dict(_WORKER_CTX.stats)
+
+
+def _merge_worker_stats(records: list[tuple[int, SuiteItem, dict]]) -> dict:
+    """Sum each worker's final context stats across workers."""
+    per_worker: dict[int, dict] = {}
+    for pid, _item, stats in records:
+        acc = per_worker.setdefault(pid, {})
+        for key, value in stats.items():
+            acc[key] = max(acc.get(key, 0), value)
+    totals: dict = {}
+    for stats in per_worker.values():
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
 
 
 def run_suite(
@@ -285,8 +312,11 @@ def run_suite(
             initializer=_init_worker,
             initargs=(machine_name, chip, delta, merge, engine, policy),
         ) as pool:
-            items = pool.map(_run_spec, specs)
-        context_stats: dict[str, int] = {}
+            records = pool.map(_run_spec, specs)
+        items = [item for _pid, item, _stats in records]
+        # Per-worker context stats, summed — so multi-process reports
+        # carry real amortization totals instead of an empty dict.
+        context_stats = _merge_worker_stats(records)
     else:
         if context is None:
             machine = _MACHINES[machine_name]()

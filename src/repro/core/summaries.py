@@ -122,24 +122,50 @@ class FunctionSummary:
         )
 
 
-def _extract_exact(
+def exit_weight_plan(
+    function: Function, rpo: list[str], profile
+) -> list[tuple[str, float]]:
+    """The freq-normalized exit-block weights of *function*.
+
+    The ``(block name, weight)`` convex combination whose weighted sum
+    of block-out states *is* the function's exit state — the same
+    bookkeeping as :meth:`~repro.core.tdfa.TDFAResult.exit_state`,
+    shared by exact summary extraction and the stacked pipeline sweep.
+    """
+    rpo_set = set(rpo)
+    exits = [
+        name
+        for name, block in function.blocks.items()
+        if not block.successors() and name in rpo_set
+    ]
+    if not exits:
+        # Infinite loop: exit_state() falls back to every analyzed block.
+        exits = list(rpo)
+    weights = normalized_weights(
+        [profile.block_freq.get(name, 0.0) for name in exits]
+    )
+    return list(zip(exits, weights))
+
+
+def _solve_block_system(
     function: Function,
     model: RFThermalModel,
     cache: BlockTransferCache,
     merge: str,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Solve the converged analysis symbolically for its affine exit map.
+    profile,
+) -> tuple[np.ndarray, list[str], dict[str, int]]:
+    """Solve the converged analysis symbolically for its block-out maps.
 
     Unknowns are the block-exit states, stacked; each satisfies
     ``out_B = A_B (Σ_P w_{P,B} out_P + e_B T_entry) + b_B`` with static
-    merge weights, so ``(I − M)·X = E·T_entry + c`` is linear and the
-    exit map follows from one factorization with (nodes + 1) right-hand
-    sides.  *cache* is shared with the convergence-check analysis run,
-    so every block is compiled exactly once per summary.
+    merge weights, so ``(I − M)·X = E·T_entry + c`` is linear and every
+    block's affine out-map follows from one factorization with
+    (nodes + 1) right-hand sides.  Returns ``(solution, rpo, index)``
+    where rows ``i·n:(i+1)·n`` of *solution* hold ``[A_i | b_i]`` for
+    block ``rpo[i]``.  *cache* is shared with any analysis run over the
+    same configuration, so every block is compiled exactly once.
     """
-    profile = static_profile(function)
     rpo = reverse_postorder(function)
-    rpo_set = set(rpo)
     preds = function.predecessors_map()
     entry = function.entry.name
     n = model.grid.num_nodes
@@ -163,25 +189,41 @@ def _extract_exact(
                 big[rows, j * n:(j + 1) * n] -= w * a_block
 
     solution = scipy.linalg.solve(big, rhs)
+    return solution, rpo, index
 
-    exits = [
-        name
-        for name, block in function.blocks.items()
-        if not block.successors() and name in rpo_set
-    ]
-    if not exits:
-        # Infinite loop: exit_state() falls back to every analyzed block.
-        exits = list(rpo)
-    exit_weights = normalized_weights(
-        [profile.block_freq.get(name, 0.0) for name in exits]
-    )
+
+def _exit_map_from_solution(
+    solution: np.ndarray,
+    rpo: list[str],
+    index: dict[str, int],
+    function: Function,
+    profile,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine solved block-out maps into the function's exit map."""
     matrix = np.zeros((n, n))
     offset = np.zeros(n)
-    for name, w in zip(exits, exit_weights):
+    for name, w in exit_weight_plan(function, rpo, profile):
         rows = slice(index[name] * n, (index[name] + 1) * n)
         matrix += w * solution[rows, :n]
         offset += w * solution[rows, n]
     return matrix, offset
+
+
+def _extract_exact(
+    function: Function,
+    model: RFThermalModel,
+    cache: BlockTransferCache,
+    merge: str,
+    profile=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve the converged analysis symbolically for its affine exit map."""
+    profile = profile or static_profile(function)
+    n = model.grid.num_nodes
+    solution, rpo, index = _solve_block_system(
+        function, model, cache, merge, profile
+    )
+    return _exit_map_from_solution(solution, rpo, index, function, profile, n)
 
 
 def summarize_function(
@@ -262,6 +304,84 @@ def summarize_function(
         matrix=matrix,
         offset=offset,
         ambient_peak=base_result.peak_state().peak,
+        grid_nodes=n,
+    )
+
+
+def summarize_in_context(
+    function: Function,
+    context,
+    merge: str = "freq",
+    include_leakage: bool = True,
+) -> FunctionSummary:
+    """Extract *function*'s exact affine exit map through a shared context.
+
+    The batched-runtime variant of :func:`summarize_function`
+    (``method="exact"``): block transfers come from the context's shared
+    :class:`~repro.core.transfer.BlockTransferCache` (so a pipeline of
+    repeated kernels compiles each distinct kernel once), and **no
+    fixed-point run happens at all** — the cost per distinct kernel is
+    the one linear solve, with the ambient-entry peak materialized from
+    the solved block maps in a single reconstruction pass.  The affine
+    contraction argument (see :mod:`repro.core.transfer`) guarantees the
+    iterative analysis converges to exactly this map's fixed point, so
+    skipping the convergence-check run loses no information for linear
+    models.
+
+    Restrictions match the exact method: an affine merge and a power
+    model without leakage-temperature feedback.
+    """
+    if merge not in ("freq", "mean"):
+        raise DataflowError(
+            f"summaries require an affine merge ('freq'/'mean'), got {merge!r}"
+        )
+    power_model = context.power_model()
+    if getattr(power_model, "has_leakage_feedback", False):
+        raise DataflowError(
+            "summaries require a linear thermal model "
+            "(no leakage-temperature feedback)"
+        )
+    model = context.model
+    cache = context.transfer_cache(power_model, include_leakage=include_leakage)
+    profile = context.static_profile(function)
+    n = model.grid.num_nodes
+
+    # The one linear solve — shared (and cached) with the stacked
+    # pipeline's warm start via the context's solution cache.
+    solution, rpo, index = context.block_solution(
+        function, merge, include_leakage=include_leakage
+    )
+    matrix, offset = _exit_map_from_solution(
+        solution, rpo, index, function, profile, n
+    )
+
+    # Ambient-entry peak from the solved block maps: evaluate every
+    # block's out at ambient, merge to block entries, and replay the
+    # per-instruction interiors — one reconstruction pass, no sweeps.
+    amb = model.ambient_state().temperatures
+    outs = {
+        name: solution[index[name] * n:(index[name] + 1) * n, :n] @ amb
+        + solution[index[name] * n:(index[name] + 1) * n, n]
+        for name in rpo
+    }
+    plan = affine_merge_plan(
+        function, rpo, function.predecessors_map(), profile, merge,
+        function.entry.name,
+    )
+    peak = float(amb.max())
+    for name in rpo:
+        entry_vec = sum(
+            w * (outs[src] if src is not None else amb)
+            for src, w in plan[name]
+        )
+        for temps in cache.block(function.block(name)).reconstruct(entry_vec):
+            peak = max(peak, float(temps.max()))
+
+    return FunctionSummary(
+        function_name=function.name,
+        matrix=matrix,
+        offset=offset,
+        ambient_peak=peak,
         grid_nodes=n,
     )
 

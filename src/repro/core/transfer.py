@@ -414,6 +414,188 @@ def compile_sweep(
     )
 
 
+#: One stage's exit recipe inside a pipeline: ``(rpo index, weight)``
+#: pairs — the freq-weighted convex combination of exit-block out-states
+#: that *is* the stage's exit state (mirrors ``TDFAResult.exit_state``).
+ExitPlan = list[tuple[int, float]]
+
+
+@dataclass(frozen=True)
+class CompiledPipelineSweep:
+    """One Gauss–Seidel sweep over a whole *pipeline* of functions.
+
+    The interprocedural extension of :class:`CompiledSweep`: the blocks
+    of every pipeline stage are stacked into one vector (stage 0's
+    blocks first, in reverse post-order, then stage 1's, …) and one
+    sweep of the whole pipeline — each stage's entry state being the
+    freq-weighted exit of the *previous* stage, already updated this
+    sweep — is a single affine map
+
+        V' = P · V + E · T_entry + g
+
+    on the stacked ``(Σ_k m_k·n,)`` vector of block-exit states, with a
+    pre-transfer twin for the block-entry states so convergence is
+    measured on exactly the quantities per-stage analyses measure.
+
+    **Representation.**  Every cross-stage coupling in ``P`` factors
+    through the ``n``-dimensional stage-entry bottleneck (stage *k* sees
+    stage *k−1* only through the exit state ``W_{k−1}·V_{k−1}``), so the
+    map is stored *factored* — per-stage sweeps plus exit extractors —
+    and :meth:`apply` chains the stages, substituting each stage's
+    just-updated exit into the next.  One sweep costs
+    ``O(Σ_k (m_k·n)²)`` instead of the ``O((Σ_k m_k·n)²)`` a dense
+    stacked matrix would pay; :meth:`dense` materializes the explicit
+    ``(Σ m_k·n, Σ m_k·n)`` matrices for validation, and a property test
+    asserts both forms are the same affine map.
+
+    Because each stage substitutes the previous stage's *updated* exit,
+    entry-state information propagates through every stage within one
+    sweep; the fixed point satisfies, stage by stage, the same equations
+    as a sequential per-kernel carry-through (entry of stage ``k+1`` =
+    exit of stage ``k``), so the strategies agree at convergence.
+
+    ``exit_matrices[k]`` extracts stage *k*'s exit state from its slice
+    of the stacked vector — ``T_exit,k = exit_matrices[k] @ V_k``.
+    """
+
+    rpos: tuple[tuple[str, ...], ...]
+    signatures: tuple[SweepSignature, ...]
+    starts: tuple[int, ...]            # stacked-row offset of each stage
+    num_nodes: int
+    stage_sweeps: tuple[CompiledSweep, ...]
+    exit_matrices: tuple[np.ndarray, ...]  # per stage, (n, m_k · n)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.rpos)
+
+    @property
+    def stacked_size(self) -> int:
+        return self.starts[-1] + self.stage_sweeps[-1].matrix.shape[0]
+
+    def stage_slice(self, k: int) -> slice:
+        end = (
+            self.starts[k + 1]
+            if k + 1 < len(self.starts)
+            else self.stacked_size
+        )
+        return slice(self.starts[k], end)
+
+    def apply(
+        self, stacked: np.ndarray, t_entry: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One pipeline sweep: ``(block-entry states, block-exit states)``.
+
+        Gauss–Seidel across stages: stage *k* reads its entry state from
+        stage *k−1*'s exits as updated *this* sweep.
+        """
+        ins = np.empty_like(stacked)
+        outs = np.empty_like(stacked)
+        entry = t_entry
+        for k, sweep in enumerate(self.stage_sweeps):
+            rows = self.stage_slice(k)
+            previous = stacked[rows]
+            ins[rows] = (
+                sweep.in_matrix @ previous
+                + sweep.in_entry_matrix @ entry
+                + sweep.in_offset
+            )
+            outs[rows] = (
+                sweep.matrix @ previous
+                + sweep.entry_matrix @ entry
+                + sweep.offset
+            )
+            entry = self.exit_matrices[k] @ outs[rows]
+        return ins, outs
+
+    def stage_exit(self, stacked: np.ndarray, k: int) -> np.ndarray:
+        """Stage *k*'s exit state from the stacked exit vector."""
+        return self.exit_matrices[k] @ stacked[self.stage_slice(k)]
+
+    def dense(self) -> tuple[np.ndarray, ...]:
+        """The explicit stacked affine map, by symbolic substitution.
+
+        Returns ``(P, E, g, P_in, E_in, g_in)`` with ``P`` of shape
+        ``(Σ m_k·n, Σ m_k·n)`` such that one :meth:`apply` sweep equals
+        ``(P_in·V + E_in·T + g_in, P·V + E·T + g)``.  Validation and
+        analysis only — :meth:`apply` never pays the dense product.
+        """
+        n = self.num_nodes
+        total = self.stacked_size
+        matrix = np.zeros((total, total))
+        entry_matrix = np.zeros((total, n))
+        offset = np.zeros(total)
+        in_matrix = np.zeros((total, total))
+        in_entry_matrix = np.zeros((total, n))
+        in_offset = np.zeros(total)
+        for k, sweep in enumerate(self.stage_sweeps):
+            rows = self.stage_slice(k)
+            if k == 0:
+                # Stage 0's entry is the pipeline entry state itself.
+                t_dep = np.zeros((n, total))
+                t_ent = np.eye(n)
+                t_off = np.zeros(n)
+            else:
+                prev = self.stage_slice(k - 1)
+                t_dep = self.exit_matrices[k - 1] @ matrix[prev]
+                t_ent = self.exit_matrices[k - 1] @ entry_matrix[prev]
+                t_off = self.exit_matrices[k - 1] @ offset[prev]
+            matrix[rows] = sweep.entry_matrix @ t_dep
+            matrix[rows, rows] += sweep.matrix
+            entry_matrix[rows] = sweep.entry_matrix @ t_ent
+            offset[rows] = sweep.offset + sweep.entry_matrix @ t_off
+            in_matrix[rows] = sweep.in_entry_matrix @ t_dep
+            in_matrix[rows, rows] += sweep.in_matrix
+            in_entry_matrix[rows] = sweep.in_entry_matrix @ t_ent
+            in_offset[rows] = sweep.in_offset + sweep.in_entry_matrix @ t_off
+        return (
+            matrix, entry_matrix, offset,
+            in_matrix, in_entry_matrix, in_offset,
+        )
+
+
+def compile_pipeline_sweep(
+    stage_sweeps: list[CompiledSweep],
+    exit_plans: list[ExitPlan],
+    num_nodes: int,
+) -> CompiledPipelineSweep:
+    """Chain per-stage sweeps into one pipeline-wide affine fixed point.
+
+    Stage ``k``'s entry state is the exit-plan combination of stage
+    ``k−1``'s updated exits — chaining the per-stage sweep maps through
+    that substitution makes the whole pipeline one affine map on the
+    stacked block-exit vector, exactly as :func:`compile_sweep` chains
+    blocks within one function (see
+    :class:`CompiledPipelineSweep` for the factored representation).
+    """
+    if not stage_sweeps:
+        raise DataflowError("cannot compile an empty pipeline sweep")
+    if len(stage_sweeps) != len(exit_plans):
+        raise DataflowError("one exit plan per pipeline stage required")
+    n = num_nodes
+    sizes = [sweep.matrix.shape[0] for sweep in stage_sweeps]
+    starts = [0]
+    for size in sizes[:-1]:
+        starts.append(starts[-1] + size)
+
+    exit_matrices: list[np.ndarray] = []
+    for k, plan in enumerate(exit_plans):
+        exit_w = np.zeros((n, sizes[k]))
+        for block_index, weight in plan:
+            cols = slice(block_index * n, (block_index + 1) * n)
+            exit_w[:, cols] += weight * np.eye(n)
+        exit_matrices.append(exit_w)
+
+    return CompiledPipelineSweep(
+        rpos=tuple(sweep.rpo for sweep in stage_sweeps),
+        signatures=tuple(sweep.signature for sweep in stage_sweeps),
+        starts=tuple(starts),
+        num_nodes=n,
+        stage_sweeps=tuple(stage_sweeps),
+        exit_matrices=tuple(exit_matrices),
+    )
+
+
 @dataclass
 class CacheStats:
     """Hit/compile counters of one :class:`BlockTransferCache`."""
@@ -422,6 +604,8 @@ class CacheStats:
     block_hits: int = 0
     sweep_compiles: int = 0
     sweep_hits: int = 0
+    pipeline_compiles: int = 0
+    pipeline_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -429,6 +613,8 @@ class CacheStats:
             "block_hits": self.block_hits,
             "sweep_compiles": self.sweep_compiles,
             "sweep_hits": self.sweep_hits,
+            "pipeline_compiles": self.pipeline_compiles,
+            "pipeline_hits": self.pipeline_hits,
         }
 
 
@@ -460,6 +646,9 @@ class BlockTransferCache:
         self.stats = CacheStats()
         self._compiled: dict[BasicBlock, CompiledBlock] = {}
         self._sweeps: dict[tuple[object, str], CompiledSweep] = {}
+        self._pipelines: dict[
+            tuple[tuple[object, ...], str], CompiledPipelineSweep
+        ] = {}
 
     def block(self, block: BasicBlock) -> CompiledBlock:
         """The compiled transfer of *block* (compiling on first use)."""
@@ -511,6 +700,33 @@ class BlockTransferCache:
         self.stats.sweep_compiles += 1
         return built
 
+    def pipeline(
+        self,
+        functions: list,
+        stage_sweeps: list[CompiledSweep],
+        exit_plans: list[ExitPlan],
+        merge: str,
+    ) -> CompiledPipelineSweep:
+        """The stacked pipeline sweep of *functions*, compiled once.
+
+        Cached per (tuple of function objects, merge mode) and validated
+        against every stage's CFG signature — a pipeline of repeated
+        kernels (same function objects) compiles once and re-analyzes
+        from cache.
+        """
+        key = (tuple(functions), merge)
+        signatures = tuple(sweep.signature for sweep in stage_sweeps)
+        cached = self._pipelines.get(key)
+        if cached is not None and cached.signatures == signatures:
+            self.stats.pipeline_hits += 1
+            return cached
+        built = compile_pipeline_sweep(
+            stage_sweeps, exit_plans, self.model.grid.num_nodes
+        )
+        self._pipelines[key] = built
+        self.stats.pipeline_compiles += 1
+        return built
+
     def invalidate(self, function=None) -> None:
         """Drop compiled artifacts (of *function*, or everything).
 
@@ -520,11 +736,17 @@ class BlockTransferCache:
         if function is None:
             self._compiled.clear()
             self._sweeps.clear()
+            self._pipelines.clear()
             return
         for block in function.blocks.values():
             self._compiled.pop(block, None)
         for key in [k for k in self._sweeps if k[0] is function]:
             del self._sweeps[key]
+        for key in [
+            k for k in self._pipelines
+            if any(stage is function for stage in k[0])
+        ]:
+            del self._pipelines[key]
 
     def __len__(self) -> int:
         return len(self._compiled)

@@ -35,6 +35,7 @@ from .requests import (
     EmulateRequest,
     Fig1Request,
     InvalidRequest,
+    PipelineRequest,
     Request,
     SuiteRequest,
     WorkloadListRequest,
@@ -51,6 +52,7 @@ __all__ = [
     "EmulateRequest",
     "Fig1Request",
     "SuiteRequest",
+    "PipelineRequest",
     "WorkloadListRequest",
     "InvalidRequest",
     "REQUEST_KINDS",

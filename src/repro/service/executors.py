@@ -37,6 +37,7 @@ from .requests import (
     CompileRequest,
     EmulateRequest,
     Fig1Request,
+    PipelineRequest,
     Request,
     SuiteRequest,
     WorkloadListRequest,
@@ -61,9 +62,9 @@ def _peak_payload(result, ambient: float) -> dict:
 
 def execute_analyze(service, request: AnalysisRequest):
     machine = service.machine(request.machine)
-    context = service.context_for(request.machine, chip=request.chip)
     function, _args, _memory = service.resolve_input(request)
-    with context.lock:
+    with service.pinned_context(request.machine, chip=request.chip) as context, \
+            context.lock:
         allocated = service.allocation(function, machine, request.policy)
         result = context.analyze(
             allocated,
@@ -105,9 +106,8 @@ def execute_compile(service, request: CompileRequest):
     from ..opt.pipeline import ThermalAwareCompiler
 
     machine = service.machine(request.machine)
-    context = service.context_for(request.machine)
     function, _args, _memory = service.resolve_input(request)
-    with context.lock:
+    with service.pinned_context(request.machine) as context, context.lock:
         compiler = ThermalAwareCompiler(
             machine,
             policy=policy_by_name(request.policy),
@@ -146,9 +146,8 @@ def execute_compile(service, request: CompileRequest):
 
 def execute_emulate(service, request: EmulateRequest):
     machine = service.machine(request.machine)
-    context = service.context_for(request.machine)
     function, run_args, memory = service.resolve_input(request)
-    with context.lock:
+    with service.pinned_context(request.machine) as context, context.lock:
         allocated = service.allocation(function, machine, request.policy)
         emulator = service.emulator(request.machine)
         em = emulator.run(allocated, args=run_args, memory=dict(memory))
@@ -204,11 +203,10 @@ def execute_emulate(service, request: EmulateRequest):
 
 def execute_fig1(service, request: Fig1Request):
     machine = service.machine(request.machine)
-    context = service.context_for(request.machine)
     function, run_args, memory = service.resolve_input(request)
     from ..regalloc.linearscan import allocate_linear_scan
 
-    with context.lock:
+    with service.pinned_context(request.machine) as context, context.lock:
         emulator = service.emulator(request.machine)
         ambient = emulator.model.params.ambient
         states, titles, rows, policies = [], [], [], []
@@ -299,13 +297,120 @@ def execute_suite(service, request: SuiteRequest):
         report = run_suite(processes=request.processes, **common)
         context = None
     else:
-        context = service.context_for(request.machine, chip=request.chip)
-        with context.lock:
+        with service.pinned_context(
+            request.machine, chip=request.chip
+        ) as context, context.lock:
             report = run_suite(context=context, **common)
     payload = {
         "converged": report.all_converged,
         "report": report.to_dict(),
         "rendered": render_suite_report(report),
+    }
+    return payload, context
+
+
+def render_pipeline_report(report) -> str:
+    """The pipeline table + totals exactly as the CLI prints them."""
+    ambient_rel = "dT (K)"
+    rows = [
+        (
+            f"{k}",
+            item.name,
+            item.policy,
+            item.instructions,
+            item.entry_peak_kelvin,
+            item.exit_peak_kelvin,
+            item.exit_delta_kelvin,
+            "-" if item.peak_kelvin is None else f"{item.peak_kelvin:.2f}",
+        )
+        for k, item in enumerate(report.stages)
+    ]
+    out = StringIO()
+    out.write(format_table(
+        ["stage", "kernel", "policy", "insts", "entry (K)", "exit (K)",
+         f"exit {ambient_rel}", "peak (K)"],
+        rows,
+    ))
+    totals = report.totals()
+    out.write("\n\n")
+    out.write(
+        f"{int(totals['stages'])} stage(s), "
+        f"{int(totals['distinct_kernels'])} distinct kernel(s), "
+        f"{int(totals['instructions'])} instructions on "
+        f"{report.machine} ({report.model} model) "
+        f"[{report.strategy} strategy]: "
+        f"{'converged' if report.converged else 'DID NOT CONVERGE'} "
+        f"after {report.iterations} sweep(s), "
+        f"exit dT {totals['exit_delta_kelvin']:.2f}K, "
+        f"wall {totals['wall_time_seconds'] * 1e3:.1f} ms\n"
+    )
+    if report.context_stats:
+        stats = report.context_stats
+        out.write(
+            f"shared context: {stats.get('block_compiles', 0)} block "
+            f"compiles, {stats.get('block_hits', 0)} block hits, "
+            f"{stats.get('pipeline_compiles', 0)} pipeline compiles, "
+            f"{stats.get('pipeline_hits', 0)} pipeline hits, "
+            f"{stats.get('summary_compiles', 0)} summary solves\n"
+        )
+    return out.getvalue()
+
+
+def execute_pipeline(service, request: PipelineRequest):
+    from ..core.pipeline_runner import run_pipeline
+    from ..workloads.kernels import Workload
+
+    if request.stages is not None and request.ir_texts is not None:
+        raise ReproError(
+            "ambiguous pipeline input: provide stages (workload names) "
+            "or ir_texts, not both"
+        )
+    if request.stages is None and request.ir_texts is None:
+        raise ReproError(
+            "a pipeline needs stages (workload names) or ir_texts"
+        )
+    specs = request.stages if request.stages is not None else request.ir_texts
+    if not specs:
+        raise ReproError("a pipeline needs at least one stage")
+
+    machine = service.machine(request.machine)
+    if request.stages is not None:
+        # Workload objects come from the service cache, so repeated
+        # requests (and repeated stages) share identity.
+        stages = [service.workload(name) for name in request.stages]
+    else:
+        stages = []
+        for text in request.ir_texts:
+            function = service.parse_ir(text)
+            stages.append(Workload(
+                name=function.name,
+                description="pipeline stage from ir_text",
+                function=function,
+                expected_return=None,
+            ))
+
+    with service.pinned_context(
+        request.machine, chip=request.chip
+    ) as context, context.lock:
+        report = run_pipeline(
+            stages,
+            context=context,
+            chip=request.chip,
+            strategy=request.strategy,
+            delta=request.delta,
+            merge=request.merge,
+            engine=request.engine,
+            policy=request.policy,
+            policies=list(request.policies) if request.policies else None,
+            max_iterations=request.max_iterations,
+            allocator=lambda function, policy: service.allocation(
+                function, machine, policy
+            ),
+        )
+    payload = {
+        "converged": report.converged,
+        "report": report.to_dict(),
+        "rendered": render_pipeline_report(report),
     }
     return payload, context
 
@@ -332,6 +437,7 @@ EXECUTORS = {
     EmulateRequest: execute_emulate,
     Fig1Request: execute_fig1,
     SuiteRequest: execute_suite,
+    PipelineRequest: execute_pipeline,
     WorkloadListRequest: execute_workloads,
 }
 

@@ -12,8 +12,8 @@ This is the shape the ROADMAP's "async service front-end over the
 shared context" asks for, kept deliberately transport-free: anything
 that can write lines to a pipe (a shell, a socat bridge, a scheduler
 repeatedly querying its thermal oracle) can drive it.  CI's
-``bench-smoke`` job pipes two requests through ``python -m repro serve``
-and checks both envelopes::
+``bench-smoke`` job pipes analyze/suite/pipeline requests through
+``python -m repro serve`` and checks every envelope::
 
     printf '%s\n%s\n' \
       '{"kind": "analyze", "workload": "fir", "delta": 0.05}' \

@@ -11,6 +11,7 @@ JSON-round-trippable dataclass**:
 :class:`CompileRequest`   the thermal-aware pipeline (CLI ``compile``)
 :class:`EmulateRequest`   the feedback-driven reference flow (CLI ``emulate``)
 :class:`SuiteRequest`     a whole-suite run (CLI ``suite``)
+:class:`PipelineRequest`  a cross-function pipeline analysis (CLI ``pipeline``)
 :class:`Fig1Request`      the Fig. 1 policy comparison (CLI ``fig1``)
 :class:`WorkloadListRequest`  list the built-in suite (CLI ``workloads``)
 =====================  ==============================================
@@ -237,6 +238,36 @@ class SuiteRequest(Request):
 
 
 @dataclass(frozen=True)
+class PipelineRequest(Request):
+    """A cross-function pipeline analysis: many kernels, one program.
+
+    Mirrors ``python -m repro pipeline``: the ordered *stages* (built-in
+    workload names) — or *ir_texts*, one function per stage — are
+    register-allocated under the per-stage *policies* (default: *policy*
+    everywhere) and analyzed as one thermal pipeline, the entry state of
+    each stage being the exit state of the previous one.  *strategy*
+    picks the engine: the stacked pipeline-wide fixed point
+    (``"stacked"``), exact summary composition (``"composed"``) or the
+    per-kernel carry-through reference (``"sequential"``) — see
+    :mod:`repro.core.pipeline_runner`.
+    """
+
+    kind: ClassVar[str] = "pipeline"
+
+    stages: tuple[str, ...] | None = None
+    ir_texts: tuple[str, ...] | None = None
+    machine: str = "rf64"
+    chip: bool = False
+    strategy: str = "stacked"
+    policy: str = "first-free"
+    policies: tuple[str, ...] | None = None
+    delta: float = 0.01
+    merge: str = "freq"
+    engine: str = "auto"
+    max_iterations: int = 2000
+
+
+@dataclass(frozen=True)
 class WorkloadListRequest(Request):
     """List the built-in workload suite."""
 
@@ -268,6 +299,7 @@ REQUEST_KINDS: dict[str, type[Request]] = {
         EmulateRequest,
         Fig1Request,
         SuiteRequest,
+        PipelineRequest,
         WorkloadListRequest,
         InvalidRequest,
     )

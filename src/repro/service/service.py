@@ -34,6 +34,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Any
 
 from ..arch import MACHINE_PRESETS, MachineDescription
@@ -62,6 +63,9 @@ _REQUEST_ERRORS = (ReproError, FileNotFoundError, IsADirectoryError,
 _MAX_CONTEXTS = 16
 _MAX_FUNCTIONS = 256
 _MAX_ALLOCATIONS = 512
+_MAX_MACHINES = 32
+_MAX_WORKLOADS = 64
+_MAX_EMULATORS = 8
 
 
 def _evict_oldest(cache: dict, cap: int) -> None:
@@ -79,9 +83,11 @@ class AnalysisService:
         Thread-pool width for :meth:`submit` (the pool is created
         lazily; plain :meth:`execute` never starts threads).
 
-    The identity caches (contexts, parsed IR, allocations) are
-    FIFO-bounded (:data:`_MAX_CONTEXTS` etc.): unbounded distinct-input
-    churn evicts oldest entries rather than growing without limit.
+    Every identity cache (contexts, machines, workloads, parsed IR,
+    allocations, emulators) is FIFO-bounded (:data:`_MAX_CONTEXTS`
+    etc.): unbounded distinct-input churn evicts oldest entries rather
+    than growing without limit.  Contexts with in-flight requests are
+    pinned (:meth:`pinned_context`) and never evicted mid-execution.
     Within a context, cache growth across many analyses of *distinct*
     functions is the concern of
     :meth:`AnalysisContext.invalidate <repro.core.context.AnalysisContext.invalidate>`.
@@ -95,6 +101,13 @@ class AnalysisService:
         self._functions: dict[str, Function] = {}
         self._allocations: dict[tuple[Function, MachineDescription, str], Function] = {}
         self._emulators: dict[str, Any] = {}
+        # In-flight lease counts per context (identity-keyed; the dict
+        # holds a strong ref while leased).  A pinned context is never
+        # evicted — eviction of a context another thread is executing
+        # against would let a same-key request build a second context
+        # running concurrently with the first, voiding the per-context
+        # lock's concurrent == serial guarantee.
+        self._pinned: dict[AnalysisContext, int] = {}
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()  # guards the service-level dicts
         self._requests_served = 0
@@ -115,7 +128,39 @@ class AnalysisService:
                     )
                 cached = factory()
                 self._machines[name] = cached
+                _evict_oldest(self._machines, _MAX_MACHINES)
             return cached
+
+    def _context_locked(
+        self, key: tuple[MachineDescription, bool]
+    ) -> AnalysisContext:
+        """Get-or-create the context for *key*; caller holds ``_lock``."""
+        context = self._contexts.get(key)
+        if context is None:
+            machine, chip = key
+            context = (
+                AnalysisContext.for_chip(machine)
+                if chip
+                else AnalysisContext(machine)
+            )
+            self._contexts[key] = context
+            self._evict_contexts_locked()
+        return context
+
+    def _evict_contexts_locked(self) -> None:
+        """FIFO-evict unpinned contexts down to the cap.
+
+        Pinned (in-flight) contexts are skipped — the map may
+        transiently exceed the cap while many distinct keys execute at
+        once; lease release retries the eviction.
+        """
+        if len(self._contexts) <= _MAX_CONTEXTS:
+            return
+        for key, context in list(self._contexts.items()):
+            if len(self._contexts) <= _MAX_CONTEXTS:
+                break
+            if self._pinned.get(context, 0) == 0:
+                del self._contexts[key]
 
     def context_for(
         self, machine: str | MachineDescription, chip: bool = False
@@ -125,21 +170,46 @@ class AnalysisService:
         *machine* may be a preset name or a full
         :class:`~repro.arch.MachineDescription`; descriptions hash by
         value, so ``"rf64"`` and ``rf64()`` resolve to the same context.
+
+        The returned context is *not* pinned against eviction; request
+        executors go through :meth:`pinned_context` instead, which
+        guarantees the context stays the one serving its key for the
+        duration of the lease.
         """
         if isinstance(machine, str):
             machine = self.machine(machine)
-        key = (machine, chip)
         with self._lock:
-            context = self._contexts.get(key)
-            if context is None:
-                context = (
-                    AnalysisContext.for_chip(machine)
-                    if chip
-                    else AnalysisContext(machine)
-                )
-                self._contexts[key] = context
-                _evict_oldest(self._contexts, _MAX_CONTEXTS)
-            return context
+            return self._context_locked((machine, chip))
+
+    @contextmanager
+    def pinned_context(
+        self, machine: str | MachineDescription, chip: bool = False
+    ):
+        """Lease the *(machine, chip)* context, pinned against eviction.
+
+        While any lease is held, cache-pressure eviction skips this
+        context, so every concurrent same-key request resolves to the
+        *same* object and the per-context lock keeps concurrent
+        execution equivalent to serial.  Lookup and pin are one atomic
+        step (a get-then-pin window would let an eviction slip
+        between).
+        """
+        if isinstance(machine, str):
+            machine = self.machine(machine)
+        with self._lock:
+            context = self._context_locked((machine, chip))
+            self._pinned[context] = self._pinned.get(context, 0) + 1
+        try:
+            yield context
+        finally:
+            with self._lock:
+                remaining = self._pinned[context] - 1
+                if remaining:
+                    self._pinned[context] = remaining
+                else:
+                    del self._pinned[context]
+                    # Complete any eviction deferred while pinned.
+                    self._evict_contexts_locked()
 
     def workload(self, name: str):
         """The built-in workload *name*, loaded once per service.
@@ -152,6 +222,7 @@ class AnalysisService:
             if cached is None:
                 cached = load(name)
                 self._workloads[name] = cached
+                _evict_oldest(self._workloads, _MAX_WORKLOADS)
             return cached
 
     def parse_ir(self, text: str) -> Function:
@@ -227,7 +298,9 @@ class AnalysisService:
         context = self.context_for(machine_name)
         emulator = ThermalEmulator(self.machine(machine_name), model=context.model)
         with self._lock:
-            return self._emulators.setdefault(machine_name, emulator)
+            emulator = self._emulators.setdefault(machine_name, emulator)
+            _evict_oldest(self._emulators, _MAX_EMULATORS)
+            return emulator
 
     # ------------------------------------------------------------------
     # Execution

@@ -1,6 +1,11 @@
 """Benchmark kernels and synthetic workload generators."""
 
-from .generators import pressure_program, random_loop_program, random_program
+from .generators import (
+    pressure_program,
+    random_loop_program,
+    random_pipeline,
+    random_program,
+)
 from .kernels import Workload, w32
 from .suite import (
     full_suite,
@@ -23,4 +28,5 @@ __all__ = [
     "pressure_program",
     "random_program",
     "random_loop_program",
+    "random_pipeline",
 ]

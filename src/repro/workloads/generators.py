@@ -10,6 +10,10 @@ Two families:
   CFG skeleton (straight-line chains, diamonds, loops), used by the
   property-based tests as a source of arbitrary-but-valid IR and by the
   robustness benches.
+* :func:`random_pipeline` — a seeded random *pipeline* of kernels (the
+  multi-kernel scenario axis): an ordered mix of suite kernels and
+  seeded random loops, with repeats, for exercising the cross-function
+  pipeline analysis (:mod:`repro.core.pipeline_runner`).
 
 All generators are deterministic in their arguments.
 """
@@ -218,3 +222,38 @@ def random_loop_program(
         function=bld.build(),
         expected_return=expected,
     )
+
+
+def random_pipeline(
+    seed: int = 0,
+    length: int = 5,
+    generated_fraction: float = 0.25,
+) -> list[Workload]:
+    """A seeded random pipeline of kernels, in execution order.
+
+    Each stage is drawn from the named kernel suite (probability
+    ``1 − generated_fraction``) or is a seeded random loop kernel.
+    Stages repeat — real schedules re-run kernels — and repeated stages
+    share **one** :class:`Workload` object, so the identity-keyed
+    transfer/summary caches of the pipeline analysis compile each
+    distinct kernel exactly once.  Deterministic in its arguments.
+    """
+    from .suite import load, workload_names
+
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    rng = random.Random(seed)
+    names = workload_names()
+    distinct: dict[object, Workload] = {}
+    stages: list[Workload] = []
+    for _ in range(length):
+        if rng.random() < generated_fraction:
+            key = ("randloop", rng.randrange(16))
+            if key not in distinct:
+                distinct[key] = random_loop_program(seed=key[1])
+        else:
+            key = ("kernel", rng.choice(names))
+            if key not in distinct:
+                distinct[key] = load(key[1])
+        stages.append(distinct[key])
+    return stages

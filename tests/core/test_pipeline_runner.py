@@ -1,0 +1,315 @@
+"""Cross-function pipeline analysis: strategy agreement, caching, reports."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf16
+from repro.core import AnalysisContext, run_pipeline
+from repro.core.pipeline_runner import (
+    PIPELINE_STRATEGIES,
+    PipelineReport,
+    analyze_pipeline,
+)
+from repro.errors import DataflowError
+from repro.regalloc import allocate_linear_scan
+from repro.workloads import load, random_pipeline, small_suite
+
+DELTA = 1e-5
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf16()
+
+
+@pytest.fixture(scope="module")
+def context(machine):
+    return AnalysisContext(machine)
+
+
+@pytest.fixture(scope="module")
+def suite_functions(machine):
+    """Small-suite kernels with repeats: 7 stages, 5 distinct."""
+    allocated = {
+        workload.name: allocate_linear_scan(
+            workload.function, machine
+        ).function
+        for workload in small_suite()
+    }
+    names = [workload.name for workload in small_suite()]
+    return [allocated[name] for name in names + names[:2]]
+
+
+@pytest.fixture(scope="module")
+def analyses(context, suite_functions):
+    return {
+        strategy: context.analyze_pipeline(
+            suite_functions, strategy=strategy, delta=DELTA
+        )
+        for strategy in PIPELINE_STRATEGIES
+    }
+
+
+class TestStrategyAgreement:
+    def test_all_strategies_converge(self, analyses):
+        for strategy, analysis in analyses.items():
+            assert analysis.converged, strategy
+            assert analysis.strategy == strategy
+
+    @pytest.mark.parametrize("other", ["composed", "stacked"])
+    def test_exit_states_agree_within_two_delta(self, analyses, other):
+        reference = analyses["sequential"]
+        candidate = analyses[other]
+        for k in range(reference.num_stages):
+            diff = np.abs(
+                candidate.exit_states[k].temperatures
+                - reference.exit_states[k].temperatures
+            ).max()
+            assert diff <= 2 * DELTA, (other, k, diff)
+
+    def test_entry_states_chain(self, analyses):
+        """Entry of stage k+1 is exactly the exit of stage k."""
+        for analysis in analyses.values():
+            for k in range(1, analysis.num_stages):
+                np.testing.assert_array_equal(
+                    analysis.entry_states[k].temperatures,
+                    analysis.exit_states[k - 1].temperatures,
+                )
+
+    def test_stage_results_materialized(self, analyses):
+        """Sequential and stacked carry full per-instruction states."""
+        for strategy in ("sequential", "stacked"):
+            results = analyses[strategy].stage_results
+            assert results is not None
+            for function, result in zip(
+                analyses[strategy].functions, results
+            ):
+                assert len(result.after) == function.instruction_count()
+        assert analyses["composed"].stage_results is None
+
+    def test_stacked_interior_states_agree(self, analyses):
+        """Per-instruction states agree between stacked and sequential."""
+        for seq, stk in zip(
+            analyses["sequential"].stage_results,
+            analyses["stacked"].stage_results,
+        ):
+            worst = max(
+                stk.after[key].max_abs_diff(seq.after[key])
+                for key in seq.after
+            )
+            assert worst <= 2 * DELTA
+
+    def test_composed_summary_matches_chain(self, analyses, context):
+        """The composed whole-pipeline summary maps entry to final exit."""
+        summary = analyses["composed"].summary
+        assert summary is not None
+        entry = context.model.ambient_state()
+        np.testing.assert_allclose(
+            summary.apply(entry).temperatures,
+            analyses["composed"].exit_states[-1].temperatures,
+            atol=1e-9,
+        )
+
+
+class TestEdgeCases:
+    def test_empty_pipeline_rejected(self, context):
+        with pytest.raises(DataflowError, match="empty pipeline"):
+            context.analyze_pipeline([], strategy="stacked")
+        with pytest.raises(DataflowError, match="empty pipeline"):
+            run_pipeline([], context=context)
+
+    def test_unknown_strategy_rejected(self, context, suite_functions):
+        with pytest.raises(DataflowError, match="strategy"):
+            context.analyze_pipeline(suite_functions[:1], strategy="warp")
+
+    @pytest.mark.parametrize("strategy", PIPELINE_STRATEGIES)
+    def test_singleton_pipeline_matches_single_analysis(
+        self, context, suite_functions, strategy
+    ):
+        function = suite_functions[0]
+        analysis = context.analyze_pipeline(
+            [function], strategy=strategy, delta=DELTA
+        )
+        single = context.analyze(function, delta=DELTA, stop="bound")
+        diff = np.abs(
+            analysis.exit_states[0].temperatures
+            - single.exit_state().temperatures
+        ).max()
+        assert diff <= 2 * DELTA
+
+    def test_max_merge_requires_sequential(self, context, suite_functions):
+        for strategy in ("stacked", "composed"):
+            with pytest.raises(DataflowError, match="affine merge"):
+                context.analyze_pipeline(
+                    suite_functions[:2], strategy=strategy, merge="max"
+                )
+        analysis = context.analyze_pipeline(
+            suite_functions[:2], strategy="sequential", merge="max"
+        )
+        assert analysis.converged
+
+    def test_include_leakage_override_honoured_by_every_strategy(
+        self, machine, suite_functions
+    ):
+        """Regression: composed/stacked used to ignore include_leakage.
+
+        The summary/solution caches hardcoded the leakage-on transfer
+        cache, so composed pipelines disagreed with sequential by ~30mK
+        under include_leakage=False (and alternating settings could be
+        served stale solves).
+        """
+        ctx = AnalysisContext(machine)
+        functions = suite_functions[:2]
+        results = {
+            strategy: ctx.analyze_pipeline(
+                functions, strategy=strategy, delta=DELTA,
+                include_leakage=False,
+            )
+            for strategy in PIPELINE_STRATEGIES
+        }
+        for strategy in ("composed", "stacked"):
+            diff = np.abs(
+                results[strategy].exit_states[-1].temperatures
+                - results["sequential"].exit_states[-1].temperatures
+            ).max()
+            assert diff <= 2 * DELTA, (strategy, diff)
+        # Leakage on vs off must actually differ (the override reaches
+        # the power model) and both settings get their own cache slot.
+        with_leakage = ctx.analyze_pipeline(
+            functions, strategy="composed", delta=DELTA,
+        )
+        assert np.abs(
+            with_leakage.exit_states[-1].temperatures
+            - results["composed"].exit_states[-1].temperatures
+        ).max() > 10 * DELTA
+        assert ctx.stats["summary_compiles"] == 4  # 2 kernels × 2 settings
+
+    def test_stepped_engine_requires_sequential(
+        self, context, suite_functions
+    ):
+        with pytest.raises(DataflowError, match="stepped"):
+            context.analyze_pipeline(
+                suite_functions[:2], strategy="stacked", engine="stepped"
+            )
+
+    def test_policies_length_mismatch(self, context):
+        with pytest.raises(DataflowError, match="one policy per stage"):
+            run_pipeline(
+                ["fib", "crc32"], context=context,
+                policies=["first-free"],
+            )
+
+    def test_unknown_machine(self):
+        with pytest.raises(DataflowError, match="unknown machine"):
+            run_pipeline(["fib"], machine_name="rf9")
+
+
+class TestCaching:
+    def test_pipeline_sweep_cached_across_runs(self, machine):
+        ctx = AnalysisContext(machine)
+        function = allocate_linear_scan(load("fib").function, machine).function
+        functions = [function, function, function]
+        ctx.analyze_pipeline(functions, strategy="stacked", delta=DELTA)
+        first = ctx.stats
+        assert first["pipeline_compiles"] == 1
+        assert first["solve_compiles"] == 1  # one distinct kernel
+        ctx.analyze_pipeline(functions, strategy="stacked", delta=DELTA)
+        second = ctx.stats
+        assert second["pipeline_compiles"] == 1
+        assert second["pipeline_hits"] == 1
+        assert second["solve_compiles"] == 1
+        assert second["solve_hits"] >= 2
+
+    def test_summary_cached_per_distinct_kernel(self, machine):
+        ctx = AnalysisContext(machine)
+        function = allocate_linear_scan(load("fib").function, machine).function
+        other = allocate_linear_scan(load("crc32").function, machine).function
+        ctx.analyze_pipeline(
+            [function, other, function, function], strategy="composed",
+        )
+        stats = ctx.stats
+        assert stats["summary_compiles"] == 2
+        assert stats["summary_hits"] == 2
+
+    def test_invalidate_drops_pipeline_artifacts(self, machine):
+        ctx = AnalysisContext(machine)
+        function = allocate_linear_scan(load("fib").function, machine).function
+        ctx.analyze_pipeline([function, function], strategy="stacked")
+        ctx.invalidate(function)
+        ctx.analyze_pipeline([function, function], strategy="stacked")
+        assert ctx.stats["pipeline_compiles"] == 2
+
+    def test_stacked_factored_apply_matches_dense(self, machine):
+        """The factored sweep and its dense materialization are one map."""
+        ctx = AnalysisContext(machine)
+        functions = [
+            allocate_linear_scan(load(name).function, machine).function
+            for name in ("fib", "crc32")
+        ]
+        ctx.analyze_pipeline(functions, strategy="stacked", delta=DELTA)
+        cache = ctx.transfer_cache()
+        (key,) = [k for k in cache._pipelines]
+        pipeline = cache._pipelines[key]
+        rng = np.random.default_rng(7)
+        stacked = 300.0 + rng.random(pipeline.stacked_size)
+        t_entry = 300.0 + rng.random(pipeline.num_nodes)
+        ins, outs = pipeline.apply(stacked, t_entry)
+        p, e, g, p_in, e_in, g_in = pipeline.dense()
+        np.testing.assert_allclose(outs, p @ stacked + e @ t_entry + g,
+                                   atol=1e-8)
+        np.testing.assert_allclose(ins, p_in @ stacked + e_in @ t_entry + g_in,
+                                   atol=1e-8)
+
+
+class TestReports:
+    def test_run_pipeline_report_round_trip(self, context):
+        report = run_pipeline(
+            ["fib", "crc32", "fib"], context=context, delta=0.005
+        )
+        assert report.converged
+        data = report.to_dict()
+        assert data["schema"] == "repro.pipeline/1"
+        assert [s["name"] for s in data["stages"]] == ["fib", "crc32", "fib"]
+        assert data["totals"]["stages"] == 3
+        assert data["totals"]["distinct_kernels"] == 2
+        revived = PipelineReport.from_dict(data)
+        assert revived.to_dict() == data
+
+    def test_report_json_file(self, context, tmp_path):
+        report = run_pipeline(["fib"], context=context, delta=0.01)
+        path = tmp_path / "BENCH_pipeline.json"
+        report.write_json(path)
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.pipeline/1"
+        assert data["converged"] is True
+
+    def test_composed_report_has_no_interior_peaks(self, context):
+        report = run_pipeline(
+            ["fib", "fib"], context=context, strategy="composed"
+        )
+        assert all(item.peak_kelvin is None for item in report.stages)
+
+    def test_exit_peaks_monotone_chain(self, context):
+        """Stage k's reported entry peak equals stage k−1's exit peak."""
+        report = run_pipeline(
+            ["fib", "crc32", "fib"], context=context, strategy="stacked"
+        )
+        for prev, item in zip(report.stages, report.stages[1:]):
+            assert item.entry_peak_kelvin == pytest.approx(
+                prev.exit_peak_kelvin
+            )
+
+    def test_workload_objects_and_names_mix(self, context):
+        stages = ["fib", load("crc32")]
+        report = run_pipeline(stages, context=context)
+        assert [item.name for item in report.stages] == ["fib", "crc32"]
+
+    def test_random_pipeline_stages(self, machine):
+        stages = random_pipeline(seed=3, length=6)
+        report = run_pipeline(
+            stages, context=AnalysisContext(machine), delta=0.01
+        )
+        assert report.converged
+        assert len(report.stages) == 6

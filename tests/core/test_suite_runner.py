@@ -138,5 +138,13 @@ class TestMultiprocessing:
         assert report.processes == 2
         assert {i.name for i in report.items} == {"fib", "crc32", "fir", "iir"}
         assert report.all_converged
-        # Per-worker contexts cannot be aggregated across processes.
-        assert report.context_stats == {}
+        # Regression: worker context stats used to be silently dropped
+        # (context_stats == {}), leaving multi-process reports with no
+        # amortization totals.  Workers now ship their counters home
+        # and the parent sums them.
+        assert report.context_stats["analyses"] == 4
+        assert report.context_stats["block_compiles"] > 0
+        assert (
+            report.context_stats["block_compiles"]
+            + report.context_stats["block_hits"]
+        ) > 0

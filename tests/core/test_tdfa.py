@@ -137,6 +137,58 @@ class TestMergeModes:
         with pytest.raises(DataflowError):
             TDFAConfig(delta=0.0)
 
+    def test_invalid_stop_rejected(self):
+        with pytest.raises(DataflowError):
+            TDFAConfig(stop="nonsense")
+
+
+class TestBoundStopRule:
+    """stop='bound' converges to within δ of the true fixed point."""
+
+    def test_bound_stop_tightens_the_result(self, machine, allocated_fir):
+        from repro.core import AnalysisContext, summarize_in_context
+
+        delta = 1e-4
+        context = AnalysisContext(machine)
+        exact = summarize_in_context(allocated_fir, context).apply(
+            context.model.ambient_state()
+        )
+        by_change = context.analyze(allocated_fir, delta=delta, stop="change")
+        by_bound = context.analyze(allocated_fir, delta=delta, stop="bound")
+        import numpy as np
+
+        err_change = np.abs(
+            by_change.exit_state().temperatures - exact.temperatures
+        ).max()
+        err_bound = np.abs(
+            by_bound.exit_state().temperatures - exact.temperatures
+        ).max()
+        # The bound rule runs longer and lands within δ of the exact
+        # fixed point; the literal change rule stops δ-per-sweep away.
+        assert by_bound.iterations >= by_change.iterations
+        assert err_bound <= delta
+        assert err_bound <= err_change
+
+    def test_bound_stop_every_engine(self, machine, allocated_fir):
+        import numpy as np
+
+        from repro.core import AnalysisContext
+
+        context = AnalysisContext(machine)
+        results = {
+            engine: context.analyze(
+                allocated_fir, delta=1e-4, stop="bound", engine=engine,
+            )
+            for engine in ("compiled", "stepped")
+        }
+        for engine, result in results.items():
+            assert result.converged, engine
+        diff = np.abs(
+            results["compiled"].exit_state().temperatures
+            - results["stepped"].exit_state().temperatures
+        ).max()
+        assert diff <= 2e-4
+
 
 class TestAgainstEmulation:
     def test_prediction_correlates_with_ground_truth(self, machine):

@@ -88,3 +88,19 @@ class TestServeForever:
         ])
         assert answered == 1 and len(envelopes) == 1
         assert len(envelopes[0]["result"]["workloads"]) == 14
+
+    def test_pipeline_request_through_the_pipe(self):
+        answered, envelopes = _serve([
+            '{"kind": "pipeline", "stages": ["fib", "crc32", "fib"],'
+            ' "machine": "rf16", "delta": 0.01, "request_id": "p1"}',
+            '{"kind": "pipeline", "stages": [], "request_id": "p2"}',
+        ])
+        assert answered == 2
+        good, empty = envelopes
+        assert good["ok"] is True
+        assert good["result"]["report"]["schema"] == "repro.pipeline/1"
+        assert good["request"]["request_id"] == "p1"
+        # Empty pipelines answer with a clean error envelope, no traceback.
+        assert empty["ok"] is False
+        assert "pipeline" in empty["error"]["message"]
+        assert empty["request"]["request_id"] == "p2"

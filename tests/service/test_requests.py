@@ -13,6 +13,7 @@ from repro.service import (
     CompileRequest,
     EmulateRequest,
     Fig1Request,
+    PipelineRequest,
     SuiteRequest,
     WorkloadListRequest,
     request_from_dict,
@@ -32,6 +33,11 @@ ALL_REQUESTS = [
     SuiteRequest(workloads=("fib", "crc32"), quick=False, chip=True,
                  include_pressure=True, random_count=2, processes=3),
     SuiteRequest(),
+    PipelineRequest(stages=("fib", "crc32", "fib"), strategy="composed",
+                    policies=("first-free", "chessboard", "first-free"),
+                    machine="rf16", delta=0.005, request_id="p-7"),
+    PipelineRequest(ir_texts=(LOOP_SRC,), strategy="sequential", chip=True),
+    PipelineRequest(),
     WorkloadListRequest(request_id="w-9"),
 ]
 
@@ -102,8 +108,8 @@ class TestValidation:
 
     def test_registry_covers_all_kinds(self):
         assert set(REQUEST_KINDS) == {
-            "analyze", "compile", "emulate", "fig1", "suite", "workloads",
-            "invalid",
+            "analyze", "compile", "emulate", "fig1", "suite", "pipeline",
+            "workloads", "invalid",
         }
 
 

@@ -8,6 +8,7 @@ from repro.service import (
     CompileRequest,
     EmulateRequest,
     Fig1Request,
+    PipelineRequest,
     SuiteRequest,
     WorkloadListRequest,
     default_service,
@@ -276,3 +277,193 @@ class TestDefaultService:
         assert report.all_converged
         assert context.stats["analyses"] == before + 1
         assert report.context_stats["analyses"] == before + 1
+
+
+class TestPipelineRequests:
+    def test_pipeline_stages(self, service):
+        env = service.execute(PipelineRequest(
+            stages=("fib", "crc32", "fib"), machine="rf16", delta=0.005,
+        ))
+        assert env.ok and env.result["converged"]
+        report = env.result["report"]
+        assert report["schema"] == "repro.pipeline/1"
+        assert [s["name"] for s in report["stages"]] == ["fib", "crc32", "fib"]
+        assert "stacked strategy" in env.rendered
+        assert env.context_stats["pipelines"] == 1
+
+    @pytest.mark.parametrize("strategy", ["composed", "sequential"])
+    def test_pipeline_strategies(self, service, strategy):
+        env = service.execute(PipelineRequest(
+            stages=("fib", "crc32"), machine="rf16", strategy=strategy,
+        ))
+        assert env.ok and env.result["report"]["strategy"] == strategy
+
+    def test_pipeline_strategies_agree_through_service(self, service):
+        delta = 1e-5
+        exits = {}
+        for strategy in ("stacked", "composed", "sequential"):
+            env = service.execute(PipelineRequest(
+                stages=("fib", "crc32", "fib"), machine="rf16",
+                strategy=strategy, delta=delta,
+            ))
+            assert env.ok, env.error_message()
+            exits[strategy] = [
+                s["exit_peak_kelvin"] for s in env.result["report"]["stages"]
+            ]
+        for strategy in ("stacked", "composed"):
+            for a, b in zip(exits[strategy], exits["sequential"]):
+                assert abs(a - b) <= 2 * delta
+
+    def test_pipeline_ir_texts(self, service):
+        env = service.execute(PipelineRequest(
+            ir_texts=(LOOP_SRC, LOOP_SRC), machine="rf16", delta=0.01,
+        ))
+        assert env.ok
+        assert [s["name"] for s in env.result["report"]["stages"]] == [
+            "loop", "loop"
+        ]
+
+    def test_warm_pipeline_hits_pipeline_cache(self, service):
+        request = PipelineRequest(stages=("fib", "fib"), machine="rf16")
+        service.execute(request)
+        env = service.execute(request)
+        assert env.context_stats["pipeline_compiles"] == 1
+        assert env.context_stats["pipeline_hits"] == 1
+        assert env.context_stats["solve_hits"] > 0
+
+    def test_empty_pipeline_clean_envelope(self, service):
+        # compose_pipeline raises on empty input; the request layer must
+        # answer with a clean ok=False envelope, not a traceback.
+        for request in (
+            PipelineRequest(stages=()),
+            PipelineRequest(ir_texts=()),
+            PipelineRequest(),
+        ):
+            env = service.execute(request)
+            assert not env.ok and env.exit_code == 1
+            assert "pipeline" in env.error_message()
+
+    def test_ambiguous_pipeline_input(self, service):
+        env = service.execute(PipelineRequest(
+            stages=("fib",), ir_texts=(LOOP_SRC,),
+        ))
+        assert not env.ok and "ambiguous" in env.error_message()
+
+    def test_unknown_stage_clean_envelope(self, service):
+        env = service.execute(PipelineRequest(stages=("fib", "nope")))
+        assert not env.ok
+        assert env.error["type"] == "UnknownWorkloadError"
+
+    def test_max_merge_needs_sequential_clean_envelope(self, service):
+        env = service.execute(PipelineRequest(
+            stages=("fib",), merge="max", strategy="stacked",
+        ))
+        assert not env.ok and "affine merge" in env.error_message()
+
+    def test_pipeline_round_trip(self, service):
+        request = PipelineRequest(
+            stages=("fib", "crc32"), machine="rf16", strategy="composed",
+            policies=("first-free", "chessboard"), request_id="p-1",
+        )
+        env = service.execute(request)
+        assert env.ok
+        from repro.service import ResultEnvelope
+
+        revived = ResultEnvelope.from_json(env.to_json())
+        assert revived == env
+        assert revived.request == request
+
+
+class TestContextEvictionPinning:
+    """Regression: eviction must never race an in-flight context.
+
+    Before the fix, inserting the 17th distinct (machine, chip) key
+    evicted the oldest context even while another thread was executing
+    against it; a same-key request then built a *fresh* context running
+    concurrently with the old one, voiding the per-context-lock
+    "concurrent == serial" guarantee.
+    """
+
+    def _machines(self, count):
+        from dataclasses import replace
+
+        from repro.arch import rf16
+
+        base = rf16()
+        return [replace(base, name=f"rf16-v{i}") for i in range(count)]
+
+    def test_pinned_context_survives_eviction_pressure(self):
+        import threading
+
+        machines = self._machines(24)  # > _MAX_CONTEXTS distinct keys
+        service = AnalysisService()
+        failures = []
+        stop = threading.Event()
+
+        def hammer(offset):
+            for i in range(120):
+                machine = machines[(offset + i) % len(machines)]
+                with service.pinned_context(machine) as context:
+                    # While leased, every same-key lookup must resolve
+                    # to the very same context object.
+                    if service.context_for(machine) is not context:
+                        failures.append((offset, i))
+                        stop.set()
+                        return
+                if stop.is_set():
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(o,)) for o in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        # With every lease released, the cap holds again.
+        assert len(service._contexts) <= 16
+        assert not service._pinned
+
+    def test_unpinned_contexts_still_evicted(self):
+        machines = self._machines(20)
+        service = AnalysisService()
+        for machine in machines:
+            service.context_for(machine)
+        assert len(service._contexts) <= 16
+
+    def test_eviction_deferred_until_release(self):
+        machines = self._machines(20)
+        service = AnalysisService()
+        with service.pinned_context(machines[0]) as pinned:
+            for machine in machines[1:]:
+                service.context_for(machine)
+            # The pinned context may push the map over the cap, but it
+            # is still the one serving its key.
+            assert service.context_for(machines[0]) is pinned
+        # After release the deferred eviction completes.
+        assert len(service._contexts) <= 16
+
+
+class TestServiceCacheBounds:
+    """Regression: workloads/machines/emulators grew without bound."""
+
+    def test_workload_cache_bounded(self, service):
+        from repro.service.service import _MAX_WORKLOADS
+
+        for i in range(_MAX_WORKLOADS + 10):
+            # Distinct keys via the private dict (only 14 real names
+            # exist); the cap is what's under test.
+            with service._lock:
+                service._workloads[f"wl{i}"] = object()
+        service.workload("fib")
+        assert len(service._workloads) <= _MAX_WORKLOADS
+
+    def test_emulator_cache_bounded(self, service):
+        from repro.service.service import _MAX_EMULATORS
+
+        with service._lock:
+            for i in range(_MAX_EMULATORS + 5):
+                service._emulators[f"m{i}"] = object()
+        service.emulator("rf16")
+        assert len(service._emulators) <= _MAX_EMULATORS

@@ -161,6 +161,45 @@ class TestExitCodes:
     def test_suite_bad_workload_is_one(self, capsys):
         assert main(["suite", "--workloads", "nope"]) == 1
 
+    def test_pipeline_bad_workload_is_one(self, capsys):
+        assert main(["pipeline", "fib", "nope"]) == 1
+        assert main(["pipeline"]) == 1
+
+
+class TestPipelineCommand:
+    def test_named_stages(self, capsys):
+        assert main(["pipeline", "fib", "crc32", "fib",
+                     "--machine", "rf16", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "stacked strategy" in out
+        assert "3 stage(s), 2 distinct kernel(s)" in out
+        assert "context:" in out
+
+    @pytest.mark.parametrize("strategy", ["composed", "sequential"])
+    def test_strategy_selection(self, capsys, strategy):
+        assert main(["pipeline", "fib", "crc32", "--machine", "rf16",
+                     "--strategy", strategy]) == 0
+        assert f"{strategy} strategy" in capsys.readouterr().out
+
+    def test_random_pipeline_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_pipeline.json"
+        assert main(["pipeline", "--random", "4", "--seed", "2",
+                     "--machine", "rf16", "--json", str(path)]) == 0
+        import json
+
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.pipeline/1"
+        assert len(data["stages"]) == 4
+        assert f"report written to {path}" in capsys.readouterr().out
+
+    def test_max_merge_needs_sequential(self, capsys):
+        assert main(["pipeline", "fib", "--merge", "max"]) == 1
+        assert "affine merge" in capsys.readouterr().err
+
+    def test_named_stages_conflict_with_random(self, capsys):
+        assert main(["pipeline", "fib", "--random", "3"]) == 1
+        assert "not both" in capsys.readouterr().err
+
 
 class TestSharedServiceAcrossCommands:
     def test_analyze_chip_flag(self, capsys):

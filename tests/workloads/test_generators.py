@@ -8,6 +8,7 @@ from repro.sim import Interpreter
 from repro.workloads import (
     pressure_program,
     random_loop_program,
+    random_pipeline,
     random_program,
 )
 
@@ -73,3 +74,29 @@ class TestRandomProgram:
         f = random_program(seed=4)
         result = Interpreter().run(f)
         assert result.return_value is not None
+
+
+class TestRandomPipeline:
+    def test_deterministic_per_seed(self):
+        a = random_pipeline(seed=5, length=8)
+        b = random_pipeline(seed=5, length=8)
+        assert [w.name for w in a] == [w.name for w in b]
+
+    def test_seeds_differ(self):
+        a = [w.name for w in random_pipeline(seed=0, length=10)]
+        b = [w.name for w in random_pipeline(seed=1, length=10)]
+        assert a != b
+
+    def test_repeated_stages_share_objects(self):
+        stages = random_pipeline(seed=2, length=30)
+        by_name = {}
+        for workload in stages:
+            assert by_name.setdefault(workload.name, workload) is workload
+
+    def test_all_stages_are_valid_ir(self):
+        for workload in random_pipeline(seed=7, length=10):
+            verify_function(workload.function)
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            random_pipeline(length=0)
