@@ -1,0 +1,197 @@
+"""E14 — service backends: submit/round-trip overhead per execution path.
+
+The v2 service protocol executes jobs through pluggable backends; this
+bench measures what each path costs on top of the raw analysis work:
+
+* ``inline`` — the default: the request runs on the service thread
+  pool in-process, against the shared contexts (the v1 semantics);
+* ``process`` — local worker processes, each with its own warm
+  service; suite kernels shard round-robin across the pool and the
+  per-worker reports merge back (request/result dicts cross the
+  process boundary);
+* ``remote`` — the envelope protocol over real TCP sockets to
+  ``repro worker`` servers (here: two in-process servers on ephemeral
+  localhost ports, so the numbers include JSON encode/decode and
+  socket round-trips but no network distance).
+
+Two measurements per backend: the *small-suite* round-trip (5 kernels,
+the real workload) and the *null* round-trip (a ``workloads`` listing —
+no analysis at all, so the time **is** the protocol overhead).
+
+Asserts correctness only — every backend agrees with inline within 2δ
+per kernel and merged stats equal the per-worker sums; dispatch
+overhead ratios are recorded, not gated (queue-shared CI runners time
+too unreliably).  Writes ``results/BENCH_service.json`` (schema
+``repro.bench-service/1``, documented in README.md) so CI archives the
+trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.service import (
+    AnalysisService,
+    RemoteBackend,
+    SuiteRequest,
+    WorkerServer,
+    WorkloadListRequest,
+)
+from repro.util import banner, format_table
+from repro.workloads import small_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+REPEATS = 3 if QUICK else 5
+NULL_REPEATS = 10 if QUICK else 50
+DELTA = 0.01
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _peaks(envelope):
+    return {
+        record["name"]: record["peak_kelvin"]
+        for record in envelope.result["report"]["results"]
+    }
+
+
+def test_e14_backend_roundtrips(record_table, benchmark):
+    suite_request = SuiteRequest(
+        workloads=tuple(wl.name for wl in small_suite()), delta=DELTA
+    )
+    null_request = WorkloadListRequest()
+
+    service = AnalysisService(max_workers=4)
+    workers = [WorkerServer().start(), WorkerServer().start()]
+    remote = RemoteBackend([worker.label for worker in workers])
+    process = service.process_backend(2)
+
+    # Every backend goes through the same submit()/JobHandle machinery
+    # (inline included), so the measured deltas isolate the backend —
+    # IPC+pickle for process, JSON+TCP for remote — not the shared job
+    # plumbing.
+    def roundtrip(backend):
+        if backend is None:
+            return service.submit(suite_request).result()
+        return service.submit(suite_request, backend=backend).result()
+
+    def null_roundtrip(backend):
+        if backend is None:
+            return service.submit(null_request).result()
+        return service.submit(null_request, backend=backend).result()
+
+    try:
+        rows = []
+        results = {}
+        for name, backend in (("inline", None), ("process", process),
+                              ("remote", remote)):
+            # Warm first (pool spawn, socket connect, cache fill), then
+            # measure the steady-state round-trip.
+            envelope = roundtrip(backend)
+            assert envelope.ok, (name, envelope.error)
+            suite_s, envelope = _best_of(lambda: roundtrip(backend), REPEATS)
+            null_s, null_env = _best_of(
+                lambda: null_roundtrip(backend), NULL_REPEATS
+            )
+            assert envelope.ok and null_env.ok
+            results[name] = {
+                "suite_seconds": suite_s,
+                "null_roundtrip_seconds": null_s,
+                "envelope": envelope,
+            }
+            rows.append((name, suite_s * 1e3, null_s * 1e3))
+
+        # Correctness: every backend lands within 2δ of inline on every
+        # kernel, and sharded stats are genuine per-worker sums.
+        inline_peaks = _peaks(results["inline"]["envelope"])
+        worst = 0.0
+        for name in ("process", "remote"):
+            peaks = _peaks(results[name]["envelope"])
+            assert set(peaks) == set(inline_peaks), name
+            worst = max(
+                worst,
+                max(abs(peaks[k] - inline_peaks[k]) for k in peaks),
+            )
+            envelope = results[name]["envelope"]
+            summed: dict = {}
+            for info in envelope.result["workers"]:
+                for key, value in info["context_stats"].items():
+                    summed[key] = summed.get(key, 0) + value
+            assert envelope.context_stats == summed, name
+        assert worst <= 2 * DELTA, worst
+
+        table = format_table(
+            ["backend", "small suite (ms)", "null round-trip (ms)"], rows
+        )
+        inline_null = results["inline"]["null_roundtrip_seconds"]
+        record_table(
+            "E14_service",
+            "\n".join([
+                banner(
+                    f"E14 — service backend round-trips "
+                    f"(5-kernel small suite, δ={DELTA:g}, "
+                    f"2 workers per sharding backend)"
+                ),
+                table,
+                "",
+                "null round-trip = a workloads listing through "
+                "submit()/JobHandle on every backend: pure dispatch "
+                "overhead",
+                f"(inline null round-trip {inline_null * 1e3:.2f} ms; "
+                f"process adds IPC+pickle, remote adds JSON+TCP)",
+                f"cross-backend agreement: max |d peak| = {worst:.2e} K "
+                f"(bound 2δ = {2 * DELTA:g} K)",
+            ]),
+        )
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "repro.bench-service/1",
+            "machine": "rf64",
+            "delta": DELTA,
+            "quick": QUICK,
+            "kernels": list(suite_request.workloads),
+            "workers_per_backend": 2,
+            "agreement": {
+                "max_peak_diff_kelvin": worst,
+                "bound_kelvin": 2 * DELTA,
+            },
+            "results": {
+                name: {
+                    "suite_seconds": data["suite_seconds"],
+                    "null_roundtrip_seconds": data["null_roundtrip_seconds"],
+                }
+                for name, data in results.items()
+            },
+            "headline": {
+                "process_overhead_x": (
+                    results["process"]["null_roundtrip_seconds"] / inline_null
+                ),
+                "remote_overhead_x": (
+                    results["remote"]["null_roundtrip_seconds"] / inline_null
+                ),
+            },
+        }
+        with open(RESULTS_DIR / "BENCH_service.json", "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+        benchmark(lambda: roundtrip(None))
+    finally:
+        remote.close()
+        for worker in workers:
+            worker.close()
+        service.close()

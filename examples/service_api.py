@@ -10,7 +10,8 @@ request/response front-end the way a scheduler (or the CLI, or the
 1. execute single requests and read the uniform ResultEnvelope;
 2. watch the shared-context cache counters amortize across requests;
 3. submit a batch concurrently through the service thread pool;
-4. round-trip a request and an envelope through their JSON wire form.
+4. drive the v2 job protocol: submit -> progress events -> result;
+5. round-trip a request and an envelope through their JSON wire form.
 """
 
 from repro.service import (
@@ -20,6 +21,7 @@ from repro.service import (
     EmulateRequest,
     PipelineRequest,
     ResultEnvelope,
+    SuiteRequest,
     request_from_json,
 )
 
@@ -80,7 +82,24 @@ for env in envelopes:
         f"gradient={env.result['gradient_kelvin']:.2f}K"
     )
 
-# 5. A whole pipeline of kernels as one thermal program: the entry
+# 5. The job protocol: submit -> progress -> result.  A JobHandle has
+#    a stable job_id, a live status, a cancel() switch, and a
+#    replayable stream of progress events — per-sweep δ for analyses,
+#    per-kernel completion for suites — that a scheduler can watch
+#    while the job runs.
+job = service.submit(SuiteRequest(quick=True, delta=0.05))
+kernel_events = [
+    event for event in job.events() if event["event"] == "kernel"
+]
+envelope = job.result()
+print(
+    f"job:         {job.job_id} [{job.status()}] "
+    f"{len(kernel_events)} kernel events "
+    f"(last: {kernel_events[-1]['name']}), "
+    f"converged={envelope.converged} via {envelope.backend} backend"
+)
+
+# 6. A whole pipeline of kernels as one thermal program: the entry
 #    state of each stage is the exit state of the previous one.  The
 #    stacked strategy materializes every stage's states; running it
 #    again is served from the context's pipeline cache, and the
@@ -111,8 +130,9 @@ print(
     f"stacked vs composed |d exit peak|={agree:.2e}K"
 )
 
-# 6. The JSON wire form: what `python -m repro serve` speaks, one
-#    request and one envelope per line.
+# 7. The JSON wire form: what `python -m repro serve` speaks over a
+#    pipe and `python -m repro worker` over a socket — one request and
+#    one envelope per line.
 wire_request = request_from_json(
     '{"kind": "analyze", "workload": "fib", "delta": 0.05}'
 )

@@ -40,9 +40,12 @@ True
 True
 
 Requests round-trip through JSON (``request.to_dict()``,
-``envelope.to_json()``), ``service.submit(request)`` returns a future
-off the service's thread pool, and ``python -m repro serve`` exposes
-the same surface over a line-delimited JSON pipe.
+``envelope.to_json()``), ``service.submit(request)`` returns a
+:class:`~repro.service.JobHandle` (status, progress events, ``result()``,
+``cancel()``) executed on a pluggable backend — in-process, local
+worker processes, or remote ``python -m repro worker`` sockets — and
+``python -m repro serve`` exposes the same surface over a
+line-delimited JSON pipe.
 
 The classic function API still works and now shares the same runtime —
 ``analyze`` / ``run_suite`` below delegate to a process-wide default
@@ -97,12 +100,15 @@ from .errors import (
     ConvergenceError,
     DataflowError,
     IRError,
+    JobCancelledError,
     ParseError,
+    ProtocolError,
     ReproError,
     SimulationError,
     ThermalModelError,
     UnknownWorkloadError,
     VerificationError,
+    WorkerError,
 )
 from .ir.function import Function
 from .opt import ThermalAwareCompiler
@@ -111,15 +117,20 @@ from .service import (
     AnalysisService,
     CompileRequest,
     EmulateRequest,
+    InlineBackend,
+    JobHandle,
+    ProcessBackend,
+    RemoteBackend,
     ResultEnvelope,
     SuiteRequest,
+    WorkerServer,
     default_service,
     serve_forever,
 )
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def analyze(
@@ -228,6 +239,11 @@ __all__ = [
     "EmulateRequest",
     "SuiteRequest",
     "ResultEnvelope",
+    "JobHandle",
+    "InlineBackend",
+    "ProcessBackend",
+    "RemoteBackend",
+    "WorkerServer",
     "default_service",
     "serve_forever",
     # thermal substrate
@@ -250,4 +266,7 @@ __all__ = [
     "ThermalModelError",
     "SimulationError",
     "ConvergenceError",
+    "ProtocolError",
+    "WorkerError",
+    "JobCancelledError",
 ]

@@ -25,9 +25,16 @@ Subcommands
                sequential carry-through reference.
 ``workloads``  list the built-in workload suite.
 ``serve``      serve line-delimited JSON requests from stdin (one
-               request per line, one envelope per line on stdout).
+               request per line, one envelope per line on stdout;
+               ``--unordered`` writes each envelope as its request
+               completes instead of in request order).
+``worker``     serve the same envelope protocol over a TCP socket
+               (``--listen HOST:PORT``) — the remote end of
+               ``suite --workers`` and of ``RemoteBackend``.
 
-Exit codes: 0 success, 1 error, 2 the analysis did not converge.
+Exit codes: 0 success, 1 error, 2 the analysis did not converge;
+``serve`` additionally exits 3 when any answered line was a protocol
+error (bad JSON, unknown kind, unknown fields).
 
 Examples
 --------
@@ -44,6 +51,8 @@ Examples
     python -m repro pipeline --random 10 --seed 3 --json BENCH_pipeline.json
     python -m repro fig1 --workload fir
     echo '{"kind": "analyze", "workload": "fir"}' | python -m repro serve
+    python -m repro worker --listen 127.0.0.1:7601
+    python -m repro suite --workers 127.0.0.1:7601,127.0.0.1:7602
 """
 
 from __future__ import annotations
@@ -53,7 +62,6 @@ import sys
 
 from .arch import MACHINE_PRESETS
 from .core.pipeline_runner import PipelineReport
-from .core.suite_runner import SuiteReport
 from .errors import ReproError, UnknownWorkloadError
 from .service import (
     AnalysisRequest,
@@ -166,6 +174,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_su.add_argument("--processes", type=int, default=1,
                       help="worker processes (default 1: one process, "
                            "one shared context)")
+    p_su.add_argument("--workers", metavar="HOST:PORT,...",
+                      help="shard the suite across remote workers "
+                           "(`python -m repro worker --listen HOST:PORT` "
+                           "processes), merging per-worker reports and "
+                           "summing their context stats")
     p_su.add_argument("--json", metavar="PATH", dest="json_path",
                       help="write the machine-readable report "
                            "(e.g. BENCH_suite.json)")
@@ -218,6 +231,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve line-delimited JSON requests from stdin",
     )
     p_sv.add_argument("--max-workers", type=int, default=4,
+                      help="service thread-pool width (default 4)")
+    p_sv.add_argument("--unordered", action="store_true",
+                      help="write each envelope as its request completes "
+                           "(no head-of-line blocking; match responses on "
+                           "the request_id echo) instead of request order")
+
+    p_wk = sub.add_parser(
+        "worker",
+        help="serve the envelope protocol over a TCP socket",
+    )
+    p_wk.add_argument("--listen", metavar="HOST:PORT",
+                      default="127.0.0.1:7601",
+                      help="bind address (default 127.0.0.1:7601; port 0 "
+                           "picks an ephemeral port and prints it)")
+    p_wk.add_argument("--max-workers", type=int, default=4,
                       help="service thread-pool width (default 4)")
     return parser
 
@@ -306,12 +334,58 @@ def cmd_suite(args) -> int:
         random_count=args.random,
         processes=args.processes,
     )
-    envelope = default_service().execute(request)
+    if args.workers:
+        # Shard across remote workers: submit as a job on the remote
+        # backend and narrate shard completions while it runs.
+        from .service import RemoteBackend
+
+        if args.pressure or args.random > 0:
+            # Generator-addressed scenarios have no kernel names for
+            # per-worker subsets — say so instead of silently running
+            # the whole suite on one worker.
+            print(
+                "note: --pressure/--random scenarios cannot shard by "
+                "kernel name; the whole suite runs on one worker",
+                file=sys.stderr,
+            )
+
+        backend = RemoteBackend(
+            [w.strip() for w in args.workers.split(",") if w.strip()]
+        )
+        def narrate(event):
+            if event.get("event") == "shard":
+                print(
+                    f"shard {event['index']} on {event['worker']}: "
+                    f"{'ok' if event['ok'] else 'FAILED'}",
+                    file=sys.stderr,
+                )
+        try:
+            envelope = default_service().submit(
+                request, progress=narrate, backend=backend
+            ).result()
+        finally:
+            backend.close()
+    else:
+        envelope = default_service().execute(request)
     code = _print_envelope(envelope)
     if envelope.ok and args.json_path:
-        SuiteReport.from_dict(envelope.result["report"]).write_json(
-            args.json_path
-        )
+        import json as _json
+
+        # The envelope already carries the report in its to_dict form;
+        # one write site for both shapes, in write_json's format.
+        report = dict(envelope.result["report"])
+        worker_breakdown = envelope.result.get("workers")
+        if worker_breakdown:
+            # Keep the per-worker breakdown alongside the merged report
+            # (SuiteReport.from_dict ignores the extra key on revival).
+            # Absent when the run was forwarded whole to one worker
+            # (single address, <2 kernels, pressure/random) — omitting
+            # the key beats writing an empty list that breaks the
+            # "stats equal the sum of the workers" invariant.
+            report["workers"] = worker_breakdown
+        with open(args.json_path, "w") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
         print(f"report written to {args.json_path}")
     return code
 
@@ -366,7 +440,26 @@ def cmd_workloads(_args) -> int:
 
 def cmd_serve(args) -> int:
     with AnalysisService(max_workers=args.max_workers) as service:
-        serve_forever(service)
+        result = serve_forever(service, unordered=args.unordered)
+    # 3 = protocol errors were answered (malformed lines, unknown
+    # kinds); request-level failures still come back as envelopes.
+    return result.exit_code
+
+
+def cmd_worker(args) -> int:
+    from .service import WorkerServer, parse_worker_address
+
+    host, port = parse_worker_address(args.listen)
+    with WorkerServer(
+        host=host, port=port, max_workers=args.max_workers
+    ) as worker:
+        # Announce the resolved address (port 0 binds ephemerally) so
+        # drivers know when — and where — the worker is reachable.
+        print(f"worker listening on {worker.label}", flush=True)
+        try:
+            worker.serve_forever()
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -379,6 +472,7 @@ _COMMANDS = {
     "pipeline": cmd_pipeline,
     "workloads": cmd_workloads,
     "serve": cmd_serve,
+    "worker": cmd_worker,
 }
 
 

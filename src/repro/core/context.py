@@ -229,18 +229,22 @@ class AnalysisContext:
         entry_state: ThermalState | None = None,
         placement: PlacementModel | None = None,
         power_model=None,
+        progress=None,
         **overrides,
     ) -> TDFAResult:
         """Analyze *function* through the shared context.
 
         Keyword *overrides* (``delta=…``, ``merge=…``, ``engine=…``,
         ``sweep=…``, …) are applied on top of the context's default
-        :class:`TDFAConfig` for this call only.
+        :class:`TDFAConfig` for this call only.  *progress* receives
+        one ``{"event": "sweep", ...}`` dict per completed sweep (see
+        :meth:`ThermalDataflowAnalysis.run`).
         """
         config = replace(self.config, **overrides) if overrides else self.config
         analysis = self.analysis(config, placement, power_model)
         self._analyses_run += 1
-        return analysis.run(function, entry_state=entry_state)
+        return analysis.run(function, entry_state=entry_state,
+                            progress=progress)
 
     # ------------------------------------------------------------------
     # Interprocedural layer: summaries and whole-pipeline analyses
@@ -326,6 +330,7 @@ class AnalysisContext:
         functions: list[Function],
         strategy: str = "stacked",
         entry_state: ThermalState | None = None,
+        progress=None,
         **overrides,
     ):
         """Analyze *functions* as one thermal pipeline.
@@ -343,7 +348,7 @@ class AnalysisContext:
         self._pipelines_run += 1
         return _impl(
             self, functions, strategy=strategy, entry_state=entry_state,
-            **overrides,
+            progress=progress, **overrides,
         )
 
     # ------------------------------------------------------------------

@@ -63,7 +63,7 @@ from ..thermal.state import ThermalState
 from ..workloads import load
 from .context import AnalysisContext
 from .summaries import FunctionSummary, compose_pipeline, exit_weight_plan
-from .tdfa import TDFAResult, converged_by
+from .tdfa import TDFAResult, converged_by, sweep_event
 from .transfer import affine_merge_plan
 
 #: Report schema identifier (bump on incompatible changes).
@@ -132,6 +132,7 @@ def analyze_pipeline(
     functions: list[Function],
     strategy: str = "stacked",
     entry_state: ThermalState | None = None,
+    progress=None,
     **overrides,
 ) -> PipelineAnalysis:
     """Analyze *functions* as one pipeline through *context*.
@@ -141,6 +142,11 @@ def analyze_pipeline(
     <repro.core.context.AnalysisContext.analyze_pipeline>`; keyword
     *overrides* (``delta=…``, ``merge=…``, …) apply on top of the
     context's default :class:`~repro.core.tdfa.TDFAConfig`.
+
+    *progress*, when given, receives one ``{"event": "stage", "index":
+    k, "total": K, "name": ...}`` dict as each stage's states land,
+    and (stacked strategy) one ``{"event": "sweep", ...}`` dict per
+    pipeline-wide Gauss–Seidel sweep.
     """
     if not functions:
         raise DataflowError("cannot analyze an empty pipeline")
@@ -158,15 +164,28 @@ def analyze_pipeline(
     entry = entry_state or context.model.ambient_state()
 
     if strategy == "sequential":
-        analysis = _analyze_sequential(context, functions, entry, overrides)
+        analysis = _analyze_sequential(
+            context, functions, entry, overrides, progress
+        )
     elif strategy == "composed":
         _require_affine(context, config, strategy)
-        analysis = _analyze_composed(context, functions, entry, config)
+        analysis = _analyze_composed(
+            context, functions, entry, config, progress
+        )
     else:
         _require_affine(context, config, strategy)
-        analysis = _analyze_stacked(context, functions, entry, config)
+        analysis = _analyze_stacked(
+            context, functions, entry, config, progress
+        )
     analysis.wall_time_seconds = time.perf_counter() - started
     return analysis
+
+
+def _stage_event(progress, index: int, total: int, function: Function) -> None:
+    """Emit one per-stage completion event (no-op without a callback)."""
+    if progress is not None:
+        progress({"event": "stage", "index": index, "total": total,
+                  "name": function.name})
 
 
 def _analyze_sequential(
@@ -174,18 +193,20 @@ def _analyze_sequential(
     functions: list[Function],
     entry: ThermalState,
     overrides: dict,
+    progress=None,
 ) -> PipelineAnalysis:
     """Per-kernel carry-through: K analyses, exit feeding entry."""
     entry_states: list[ThermalState] = []
     exit_states: list[ThermalState] = []
     results: list[TDFAResult] = []
     state = entry
-    for function in functions:
+    for k, function in enumerate(functions):
         entry_states.append(state)
         result = context.analyze(function, entry_state=state, **overrides)
         results.append(result)
         state = result.exit_state()
         exit_states.append(state)
+        _stage_event(progress, k, len(functions), function)
     return PipelineAnalysis(
         strategy="sequential",
         functions=list(functions),
@@ -203,13 +224,14 @@ def _analyze_composed(
     functions: list[Function],
     entry: ThermalState,
     config,
+    progress=None,
 ) -> PipelineAnalysis:
     """Exact summary composition: one linear solve per distinct kernel."""
     entry_states: list[ThermalState] = []
     exit_states: list[ThermalState] = []
     summaries: list[FunctionSummary] = []
     state = entry
-    for function in functions:
+    for k, function in enumerate(functions):
         summary = context.summary(
             function,
             merge=config.merge,
@@ -219,6 +241,7 @@ def _analyze_composed(
         entry_states.append(state)
         state = summary.apply(state)
         exit_states.append(state)
+        _stage_event(progress, k, len(functions), function)
     return PipelineAnalysis(
         strategy="composed",
         functions=list(functions),
@@ -236,6 +259,7 @@ def _analyze_stacked(
     functions: list[Function],
     entry: ThermalState,
     config,
+    progress=None,
 ) -> PipelineAnalysis:
     """One pipeline-wide stacked affine fixed point."""
     power_model = context.power_model()
@@ -313,6 +337,7 @@ def _analyze_stacked(
         ins = new_ins
         outs = new_outs
         delta_history.append(sweep_delta)
+        sweep_event(progress, iterations, sweep_delta)
         if converged_by(config.stop, config.delta, sweep_delta, prev_delta):
             converged = True
             break
@@ -356,6 +381,7 @@ def _analyze_stacked(
         entry_states.append(state)
         state = result.exit_state()
         exit_states.append(state)
+        _stage_event(progress, k, len(functions), function)
     return PipelineAnalysis(
         strategy="stacked",
         functions=list(functions),
@@ -406,6 +432,11 @@ class PipelineReport:
     #: (two ir_text stages may share a function *name* yet be distinct
     #: kernels); ``None`` falls back to distinct (name, policy) pairs.
     distinct_kernels: int | None = None
+    #: The whole pipeline's exit state as a plain temperature vector,
+    #: present only when :func:`run_pipeline` was asked for it
+    #: (``include_exit_state=True``) — what lets a coordinator chain a
+    #: further pipeline chunk from exactly where this one ended.
+    exit_temperatures: list[float] | None = None
 
     def totals(self) -> dict[str, float]:
         distinct = (
@@ -427,7 +458,7 @@ class PipelineReport:
         }
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "schema": SCHEMA,
             "machine": self.machine,
             "model": self.model,
@@ -440,6 +471,9 @@ class PipelineReport:
             "context_stats": dict(self.context_stats),
             "stages": [asdict(item) for item in self.stages],
         }
+        if self.exit_temperatures is not None:
+            data["exit_temperatures"] = list(self.exit_temperatures)
+        return data
 
     def write_json(self, path) -> None:
         """Write the report (e.g. as ``BENCH_pipeline.json``)."""
@@ -477,6 +511,11 @@ class PipelineReport:
                                   .get("distinct_kernels")) is not None
                 else None
             ),
+            exit_temperatures=(
+                [float(t) for t in data["exit_temperatures"]]
+                if data.get("exit_temperatures") is not None
+                else None
+            ),
         )
 
 
@@ -495,6 +534,8 @@ def run_pipeline(
     max_iterations: int = 2000,
     entry_state: ThermalState | None = None,
     allocator=None,
+    progress=None,
+    include_exit_state: bool = False,
 ) -> PipelineReport:
     """Allocate and analyze a pipeline of kernels, returning its report.
 
@@ -519,6 +560,14 @@ def run_pipeline(
         hook.  The service passes its identity-cached allocation here so
         repeated requests resolve to the *same* allocated objects and
         the transfer caches hit across requests.
+    progress:
+        Optional per-stage / per-sweep event callback (see
+        :func:`analyze_pipeline`).
+    include_exit_state:
+        Carry the pipeline's exit temperature vector on the report
+        (``exit_temperatures``) so a coordinator can chain a further
+        chunk of stages — possibly on a different worker — from this
+        exact state.
     """
     stages = list(stages)
     if not stages:
@@ -578,6 +627,7 @@ def run_pipeline(
         functions,
         strategy=strategy,
         entry_state=entry_state,
+        progress=progress,
         delta=delta,
         merge=merge,
         engine=engine,
@@ -620,4 +670,8 @@ def run_pipeline(
         wall_time_seconds=analysis.wall_time_seconds,
         context_stats=dict(context.stats),
         distinct_kernels=len(allocated),
+        exit_temperatures=(
+            [float(t) for t in analysis.exit_state().temperatures]
+            if include_exit_state else None
+        ),
     )

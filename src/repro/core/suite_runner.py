@@ -245,18 +245,39 @@ def _run_spec(spec: tuple[str, object]) -> tuple[int, SuiteItem, dict]:
     return os.getpid(), item, dict(_WORKER_CTX.stats)
 
 
-def _merge_worker_stats(records: list[tuple[int, SuiteItem, dict]]) -> dict:
-    """Sum each worker's final context stats across workers."""
-    per_worker: dict[int, dict] = {}
-    for pid, _item, stats in records:
-        acc = per_worker.setdefault(pid, {})
-        for key, value in stats.items():
-            acc[key] = max(acc.get(key, 0), value)
+def collapse_worker_stats(snapshots) -> dict:
+    """Per-worker final counters from cumulative stats snapshots.
+
+    *snapshots* yields ``(worker_key, stats_dict)`` pairs, possibly
+    several per worker.  Context counters only grow, so per worker the
+    element-wise **maximum** over its snapshots *is* the snapshot taken
+    at that worker's last completed unit — the one invariant every
+    multi-worker merge (the ``processes>1`` pool here, the sharding
+    backends in :mod:`repro.service.backends`) relies on.  Returns
+    ``{worker_key: final_stats}``.
+    """
+    per_worker: dict = {}
+    for key, stats in snapshots:
+        acc = per_worker.setdefault(key, {})
+        for name, value in stats.items():
+            acc[name] = max(acc.get(name, 0), value)
+    return per_worker
+
+
+def sum_worker_stats(per_worker: dict) -> dict:
+    """Sum :func:`collapse_worker_stats` output into run-wide totals."""
     totals: dict = {}
     for stats in per_worker.values():
-        for key, value in stats.items():
-            totals[key] = totals.get(key, 0) + value
+        for name, value in stats.items():
+            totals[name] = totals.get(name, 0) + value
     return totals
+
+
+def _merge_worker_stats(records: list[tuple[int, SuiteItem, dict]]) -> dict:
+    """Sum each worker's final context stats across workers."""
+    return sum_worker_stats(collapse_worker_stats(
+        (pid, stats) for pid, _item, stats in records
+    ))
 
 
 def run_suite(
@@ -273,6 +294,7 @@ def run_suite(
     include_pressure: bool = False,
     random_count: int = 0,
     processes: int = 1,
+    progress=None,
 ) -> SuiteReport:
     """Analyze the workload suite through one shared context.
 
@@ -291,6 +313,10 @@ def run_suite(
         Fan out across worker processes, one shared context per worker
         (the default 1 keeps everything in one process through a single
         context).
+    progress:
+        Optional callback fed one ``{"event": "kernel", "name": ...,
+        "index": i, "total": k, "converged": ...}`` dict per completed
+        kernel — what a job handle's event stream shows for suite runs.
     """
     if machine_name not in _MACHINES:
         raise ValueError(
@@ -304,6 +330,11 @@ def run_suite(
     specs = _workload_specs(names, quick, include_pressure, random_count)
     started = time.perf_counter()
 
+    def report_progress(index: int, item: SuiteItem) -> None:
+        if progress is not None:
+            progress({"event": "kernel", "name": item.name, "index": index,
+                      "total": len(specs), "converged": item.converged})
+
     if processes > 1:
         import multiprocessing
 
@@ -312,7 +343,12 @@ def run_suite(
             initializer=_init_worker,
             initargs=(machine_name, chip, delta, merge, engine, policy),
         ) as pool:
-            records = pool.map(_run_spec, specs)
+            records = []
+            # imap keeps spec order while delivering each record as it
+            # lands, so progress events fire per completed kernel.
+            for index, record in enumerate(pool.imap(_run_spec, specs)):
+                records.append(record)
+                report_progress(index, record[1])
         items = [item for _pid, item, _stats in records]
         # Per-worker context stats, summed — so multi-process reports
         # carry real amortization totals instead of an empty dict.
@@ -325,12 +361,13 @@ def run_suite(
                 if chip
                 else AnalysisContext(machine)
             )
-        items = [
-            analyze_workload(
+        items = []
+        for index, spec in enumerate(specs):
+            item = analyze_workload(
                 _build_workload(spec), context, delta, merge, engine, policy
             )
-            for spec in specs
-        ]
+            items.append(item)
+            report_progress(index, item)
         context_stats = context.stats
 
     return SuiteReport(

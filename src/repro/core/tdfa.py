@@ -101,6 +101,21 @@ SWEEP_MODES = ("auto", "batched", "blockwise")
 STOP_MODES = ("change", "bound")
 
 
+def sweep_event(progress, iteration: int, delta: float) -> None:
+    """Emit one per-sweep progress event (no-op without a callback).
+
+    The single emit site for every fixed-point loop — batched,
+    blockwise, stepped, and the stacked pipeline sweep — so the event
+    shape (``{"event": "sweep", "iteration": ..., "delta": ...}``)
+    cannot drift between engines.  ``delta`` is the sweep's measured
+    change in Kelvin; the first sweep has nothing to diff against and
+    reports ``inf``.
+    """
+    if progress is not None:
+        progress({"event": "sweep", "iteration": iteration,
+                  "delta": float(delta)})
+
+
 def converged_by(
     stop: str, delta: float, sweep_delta: float, prev_delta: float
 ) -> bool:
@@ -355,7 +370,10 @@ class ThermalDataflowAnalysis:
         return self.config.sweep
 
     def run(
-        self, function: Function, entry_state: ThermalState | None = None
+        self,
+        function: Function,
+        entry_state: ThermalState | None = None,
+        progress=None,
     ) -> TDFAResult:
         """Analyze *function*; returns a state after every instruction.
 
@@ -363,6 +381,11 @@ class ThermalDataflowAnalysis:
         (default: uniform ambient).  Passing a previous analysis's exit
         state chains analyses across kernels — the basis of the affine
         function summaries in :mod:`repro.core.summaries`.
+
+        *progress*, when given, is called once per completed sweep with
+        ``{"event": "sweep", "iteration": i, "delta": d}`` (the first
+        sweep has no previous state to diff against, so its ``delta``
+        is ``inf``) — what feeds a job handle's live event stream.
         """
         started = time.perf_counter()
         config = self.config
@@ -410,12 +433,12 @@ class ThermalDataflowAnalysis:
             )
             converged, iterations, delta_history = iterate(
                 function, rpo, preds, profile, entry, ambient,
-                block_in, block_out, after, power_model, dt,
+                block_in, block_out, after, power_model, dt, progress,
             )
         else:
             converged, iterations, delta_history = self._iterate_stepped(
                 function, rpo, merge, block_in, block_out, after,
-                power_model, dt,
+                power_model, dt, progress,
             )
 
         result = TDFAResult(
@@ -472,7 +495,7 @@ class ThermalDataflowAnalysis:
 
     def _iterate_batched(
         self, function, rpo, preds, profile, entry, ambient,
-        block_in, block_out, after, power_model, dt,
+        block_in, block_out, after, power_model, dt, progress=None,
     ) -> tuple[bool, int, list[float]]:
         """Two stacked mat-vecs per sweep over the composed sweep map.
 
@@ -520,6 +543,7 @@ class ThermalDataflowAnalysis:
             ins = new_ins
             outs = new_outs
             delta_history.append(sweep_delta)
+            sweep_event(progress, iterations, sweep_delta)
             if converged_by(config.stop, config.delta, sweep_delta, prev_delta):
                 converged = True
                 break
@@ -541,7 +565,7 @@ class ThermalDataflowAnalysis:
 
     def _iterate_blockwise(
         self, function, rpo, preds, profile, entry, ambient,
-        block_in, block_out, after, power_model, dt,
+        block_in, block_out, after, power_model, dt, progress=None,
     ) -> tuple[bool, int, list[float]]:
         """Block-granular sweep over pre-composed affine transfers.
 
@@ -619,6 +643,7 @@ class ThermalDataflowAnalysis:
                 t_in[name] = vec
                 t_out[name] = new_out
             delta_history.append(sweep_delta)
+            sweep_event(progress, iterations, sweep_delta)
             if converged_by(config.stop, config.delta, sweep_delta, prev_delta):
                 converged = True
                 break
@@ -636,7 +661,8 @@ class ThermalDataflowAnalysis:
         return converged, iterations, delta_history
 
     def _iterate_stepped(
-        self, function, rpo, merge, block_in, block_out, after, power_model, dt
+        self, function, rpo, merge, block_in, block_out, after, power_model,
+        dt, progress=None,
     ) -> tuple[bool, int, list[float]]:
         """The literal Fig. 2 loop: one RC step per instruction per sweep."""
         config = self.config
@@ -688,6 +714,7 @@ class ThermalDataflowAnalysis:
             delta_history.append(
                 sweep_delta if np.isfinite(sweep_delta) else float("inf")
             )
+            sweep_event(progress, iterations, sweep_delta)
             if converged_by(config.stop, config.delta, sweep_delta, prev_delta):
                 converged = True
                 break

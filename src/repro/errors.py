@@ -73,6 +73,39 @@ class UnknownWorkloadError(ReproError, KeyError):
         return self.args[0]
 
 
+class ProtocolError(ReproError):
+    """A wire-level message violated the service protocol.
+
+    Raised when a line never becomes a request (malformed JSON, a
+    non-object document), when a request names an unknown ``kind`` or
+    carries unknown fields, and when an envelope declares a schema
+    version this reader does not speak.  Distinct from *analysis*
+    errors: the front-end reports it under ``error.type ==
+    "ProtocolError"`` and ``repro serve`` exits 3 when any answered
+    envelope carried one (0 ok / 1 error / 2 did-not-converge are
+    untouched).
+    """
+
+
+class WorkerError(ReproError):
+    """A remote worker failed to serve a request.
+
+    Connection refused or dropped mid-request, an empty response line,
+    or a response whose ``request_id`` echo does not match what was
+    sent.  The backend converts it into an ``ok=False`` envelope — a
+    coordinator must answer, not die.
+    """
+
+
+class JobCancelledError(ReproError):
+    """``JobHandle.result()`` was called on a cancelled job.
+
+    A job cancelled while queued never ran; one cancelled while running
+    finished but had its result discarded.  Either way there is no
+    envelope to return.
+    """
+
+
 class ThermalModelError(ReproError):
     """Invalid thermal model construction or use."""
 

@@ -1,33 +1,60 @@
 """Service-grade front-end: declarative requests over the shared runtime.
 
-The public analysis API as a request/response service:
+The public analysis API as a request/response service — since v2
+(`repro.service/2`), a *job-oriented* one:
 
 * :mod:`repro.service.requests` — frozen, JSON-round-trippable request
   dataclasses (:class:`AnalysisRequest`, :class:`CompileRequest`,
   :class:`EmulateRequest`, :class:`SuiteRequest`, …) capturing every
   run parameter in one value;
 * :mod:`repro.service.envelope` — the uniform, schema-versioned
-  :class:`ResultEnvelope` every request resolves to;
+  :class:`ResultEnvelope` every request resolves to (v1 envelopes still
+  revive under the v2 reader);
 * :mod:`repro.service.service` — :class:`AnalysisService`, owning one
   shared :class:`~repro.core.context.AnalysisContext` per
   ``(machine, chip)`` pair, with synchronous :meth:`~AnalysisService.execute`
-  and thread-pooled :meth:`~AnalysisService.submit`;
+  and job-based :meth:`~AnalysisService.submit`;
+* :mod:`repro.service.jobs` — :class:`JobHandle`: stable ``job_id``,
+  ``status()`` (``queued/running/done/error/cancelled``, see
+  :data:`JOB_STATUSES`), ``result()``, ``cancel()`` and a replayable
+  ``events()`` stream of progress events;
+* :mod:`repro.service.backends` — pluggable
+  :class:`ExecutionBackend`\\ s: :class:`InlineBackend` (in-process,
+  the default), :class:`ProcessBackend` (local worker processes,
+  sharding suite kernels across the pool) and :class:`RemoteBackend`
+  (the envelope protocol over sockets, sharding suite kernels *and*
+  chaining pipeline chunks across workers), both merging per-worker
+  reports with summed context stats;
+* :mod:`repro.service.worker` — :class:`WorkerServer`, the TCP worker
+  behind ``python -m repro worker --listen HOST:PORT``;
 * :mod:`repro.service.frontend` — :func:`serve_forever`, the
-  line-delimited JSON pipe front-end (``python -m repro serve``).
+  line-delimited JSON pipe front-end (``python -m repro serve``,
+  ordered by default, ``--unordered`` for completion-order responses).
 
 Quickstart::
 
     from repro.service import AnalysisRequest, AnalysisService
 
     service = AnalysisService()
-    envelope = service.execute(AnalysisRequest(workload="fir", delta=0.05))
-    envelope.result["peak_delta_kelvin"]    # headline numbers
-    envelope.context_stats["analyses"]      # shared-runtime evidence
-    envelope.to_json()                      # schema-versioned wire form
+    job = service.submit(AnalysisRequest(workload="fir", delta=0.05))
+    for event in job.events():        # live per-sweep progress
+        ...
+    envelope = job.result()           # the uniform ResultEnvelope
+    envelope.result["peak_delta_kelvin"]
+    envelope.to_json()                # schema-versioned wire form
 """
 
-from .envelope import SCHEMA, ResultEnvelope
-from .frontend import serve_forever
+from .backends import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    RemoteBackend,
+    WorkerClient,
+    parse_worker_address,
+)
+from .envelope import SCHEMA, SCHEMAS, ResultEnvelope
+from .frontend import ServeResult, serve_forever
+from .jobs import JOB_STATUSES, TERMINAL_STATUSES, JobHandle
 from .requests import (
     REQUEST_KINDS,
     AnalysisRequest,
@@ -43,9 +70,11 @@ from .requests import (
     request_from_json,
 )
 from .service import AnalysisService, default_service, reset_default_service
+from .worker import WorkerServer
 
 __all__ = [
     "SCHEMA",
+    "SCHEMAS",
     "Request",
     "AnalysisRequest",
     "CompileRequest",
@@ -63,4 +92,15 @@ __all__ = [
     "default_service",
     "reset_default_service",
     "serve_forever",
+    "ServeResult",
+    "JobHandle",
+    "JOB_STATUSES",
+    "TERMINAL_STATUSES",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "RemoteBackend",
+    "WorkerClient",
+    "WorkerServer",
+    "parse_worker_address",
 ]

@@ -1,0 +1,714 @@
+"""Execution backends: where a job's work actually runs.
+
+The v2 service protocol separates *what* to run (a declarative
+:class:`~repro.service.requests.Request`) and *how to track it* (a
+:class:`~repro.service.jobs.JobHandle`) from *where it executes* — an
+:class:`ExecutionBackend`:
+
+``InlineBackend``
+    Today's semantics: the request executes on the service thread pool
+    in this process, against the service's shared contexts.  The
+    default, and still bit-identical to a serial run (the per-context
+    lock serializes cache mutation).
+``ProcessBackend``
+    Local worker *processes*, each owning its own
+    :class:`~repro.service.service.AnalysisService` (and with it warm
+    per-process contexts that persist across requests).  Suite requests
+    shard their kernels round-robin across the pool — this replaces
+    ``run_suite``'s ad-hoc ``--processes`` fan-out for name-addressable
+    runs — and any other request is forwarded whole to one worker.
+``RemoteBackend``
+    Worker processes reachable over TCP (``python -m repro worker
+    --listen HOST:PORT``), speaking the same line-delimited JSON
+    envelope protocol as ``repro serve``: one request per line, one
+    schema-versioned envelope per line, matched by ``request_id`` echo.
+    Suite requests shard kernels across workers; pipeline requests are
+    split into contiguous stage *chunks* chained through explicit
+    ``entry_temperatures`` / ``exit_temperatures`` vectors (chunk k+1
+    starts exactly where chunk k ended, possibly on another machine).
+
+Sharded results merge the way PR 4's multi-process fix established:
+per-kernel/per-stage records reassemble in request order and per-worker
+context stats are **summed**, so a merged report carries real
+amortization totals plus a ``workers`` breakdown for observability.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import replace
+
+from ..errors import ReproError, WorkerError
+from .envelope import ResultEnvelope
+from .requests import PipelineRequest, Request, SuiteRequest
+
+#: Failures a backend converts into ``ok=False`` envelopes on the job
+#: path (`WorkerError` included via `ReproError`); genuine bugs still
+#: propagate to the job runner's defensive net.
+_BACKEND_FAILURES = (ReproError, OSError)
+
+
+class ExecutionBackend:
+    """Where requests execute.  Implementations override :meth:`execute`."""
+
+    #: Stamped onto envelopes (``ResultEnvelope.backend``) and job
+    #: handles so the execution path is observable per response.
+    name = "backend"
+
+    def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker pools / connections (idempotent)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class InlineBackend(ExecutionBackend):
+    """In-process execution against the service's shared contexts."""
+
+    name = "inline"
+
+    def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
+        return service.execute(request, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# Suite sharding: split by kernel name, merge by position.
+# ----------------------------------------------------------------------
+def _suite_shard_names(request: SuiteRequest) -> list[str] | None:
+    """The kernel names a suite request expands to, if name-addressable.
+
+    Pressure-sweep and random-loop scenarios are generator-addressed
+    (``("pressure", i)`` specs), not name-addressed, so requests using
+    them cannot be expressed as per-worker ``workloads=`` subsets —
+    those fall back to unsharded execution.
+    """
+    if request.include_pressure or request.random_count > 0:
+        return None
+    if request.workloads:
+        return list(request.workloads)
+    # Names only — no need to construct the kernels' IR just to shard.
+    from ..workloads import small_suite_names, workload_names
+
+    return small_suite_names() if request.quick else workload_names()
+
+
+def shard_suite_request(
+    request: SuiteRequest, shards: int
+) -> list[tuple[SuiteRequest, list[int]]] | None:
+    """Split *request* into ≤ *shards* single-process sub-requests.
+
+    Kernels are dealt round-robin (shard *i* takes positions ``i, i+n,
+    …``) so workers see balanced mixes of small and large kernels.
+    Returns ``(shard_request, positions)`` pairs — *positions* maps each
+    shard item back to its place in the original kernel order — or
+    ``None`` when the request is not worth sharding (a single kernel,
+    one shard, or generator-addressed scenarios).
+    """
+    names = _suite_shard_names(request)
+    if names is None or shards < 2 or len(names) < 2:
+        return None
+    shards = min(shards, len(names))
+    out = []
+    for i in range(shards):
+        positions = list(range(i, len(names), shards))
+        shard = replace(
+            request,
+            workloads=tuple(names[p] for p in positions),
+            quick=False,
+            processes=1,
+            request_id=f"shard-{uuid.uuid4().hex[:12]}",
+        )
+        out.append((shard, positions))
+    return out
+
+
+def merge_suite_shards(
+    request: SuiteRequest,
+    shard_results: list[tuple[list[int], ResultEnvelope, str]],
+    total: int,
+    processes: int,
+    wall_time_seconds: float,
+) -> tuple[dict, dict]:
+    """Reassemble shard envelopes into one suite payload.
+
+    *shard_results* holds ``(positions, envelope, worker_label)`` per
+    shard.  Items return to their original positions; context stats
+    merge the way PR 4's multi-process fix established: per *worker*
+    (label — one pool process may serve several shards) the
+    element-wise **maximum** over its snapshots is that worker's final
+    counter state (counters only grow), and summing those per-worker
+    totals gives the merged ``context_stats`` — so a worker that
+    served two shards is never double-counted.  The per-worker
+    breakdown lands under the payload's ``workers`` key and the
+    rendered table is regenerated so the merged report prints exactly
+    like a local run.
+    """
+    from ..core.suite_runner import (
+        SuiteReport,
+        collapse_worker_stats,
+        sum_worker_stats,
+    )
+    from .executors import render_suite_report
+
+    items = [None] * total
+    snapshots = []
+    per_worker_info: dict[str, dict] = {}
+    for positions, envelope, label in shard_results:
+        if not envelope.ok:
+            raise WorkerError(
+                f"suite shard on {label} failed: "
+                f"{envelope.error_message()}"
+            )
+        report = SuiteReport.from_dict(envelope.result["report"])
+        if len(report.items) != len(positions):
+            raise WorkerError(
+                f"suite shard on {label} returned {len(report.items)} "
+                f"kernels, expected {len(positions)}"
+            )
+        for position, item in zip(positions, report.items):
+            items[position] = item
+        snapshots.append((label, report.context_stats))
+        info = per_worker_info.setdefault(label, {
+            "worker": label, "kernels": 0, "wall_time_seconds": 0.0,
+        })
+        info["kernels"] += len(positions)
+        info["wall_time_seconds"] += envelope.wall_time_seconds
+    per_worker_stats = collapse_worker_stats(snapshots)
+    context_stats = sum_worker_stats(per_worker_stats)
+    workers = [
+        {**info, "context_stats": dict(per_worker_stats[label])}
+        for label, info in per_worker_info.items()
+    ]
+    merged = SuiteReport(
+        machine=request.machine,
+        model="chip" if request.chip else "rf",
+        delta=request.delta,
+        merge=request.merge,
+        engine=request.engine,
+        policy=request.policy,
+        processes=processes,
+        items=items,
+        wall_time_seconds=wall_time_seconds,
+        context_stats=context_stats,
+    )
+    payload = {
+        "converged": merged.all_converged,
+        "report": merged.to_dict(),
+        "workers": workers,
+        "rendered": render_suite_report(merged),
+    }
+    return payload, context_stats
+
+
+def run_suite_shards(
+    request: SuiteRequest,
+    sharded: list[tuple[SuiteRequest, list[int]]],
+    dispatch,
+    processes: int,
+    progress=None,
+) -> tuple[dict, dict]:
+    """Dispatch suite shards concurrently and merge their envelopes.
+
+    The one sharding flow both local-process and remote backends share:
+    *dispatch(index, shard_request)* performs that shard's round-trip
+    and returns ``(worker_label, envelope)`` — the label identifies the
+    worker that *actually* served the shard (a pool process is only
+    known by pid after the fact), which is what lets the merge
+    de-duplicate cumulative stats per worker.  Shards run on a thread
+    per shard; as each completes — in *completion* order, so a slow
+    shard never delays another's narration — a ``shard`` event fires,
+    followed by the shard's per-kernel ``kernel`` events (original
+    suite positions), keeping the documented suite event contract for
+    sharded runs.
+    """
+    started = time.perf_counter()
+    total = sum(len(positions) for _shard, positions in sharded)
+    results: list = [None] * len(sharded)
+    with ThreadPoolExecutor(max_workers=len(sharded)) as pool:
+        futures = {
+            pool.submit(dispatch, index, shard): index
+            for index, (shard, _positions) in enumerate(sharded)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            label, envelope = future.result()
+            _shard, positions = sharded[index]
+            results[index] = (positions, envelope, label)
+            if progress is None:
+                continue
+            progress({"event": "shard", "index": index,
+                      "worker": label, "requests": len(positions),
+                      "ok": envelope.ok})
+            if envelope.ok:
+                records = envelope.result.get("report", {}) \
+                    .get("results", [])
+                for position, record in zip(positions, records):
+                    progress({"event": "kernel", "name": record["name"],
+                              "index": position, "total": total,
+                              "converged": record["converged"]})
+    return merge_suite_shards(
+        request, results, total, processes, time.perf_counter() - started
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline chunking: contiguous stage runs chained through exit states.
+# ----------------------------------------------------------------------
+def chunk_pipeline_request(
+    request: PipelineRequest, chunks: int
+) -> list[PipelineRequest] | None:
+    """Split *request* into ≤ *chunks* contiguous stage sub-pipelines.
+
+    Stage order is preserved; every chunk except the first starts from
+    its predecessor's exit state (the coordinator threads the
+    ``entry_temperatures`` / ``exit_temperatures`` vectors through), so
+    the chunked run follows exactly the sequential carry-through
+    semantics the strategies already agree with.  Returns ``None`` when
+    there is nothing to split.
+    """
+    specs = request.stages if request.stages is not None else request.ir_texts
+    if not specs or chunks < 2 or len(specs) < 2:
+        return None
+    chunks = min(chunks, len(specs))
+    base, extra = divmod(len(specs), chunks)
+    out = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        stop = start + size
+        piece = tuple(specs[start:stop])
+        fields = dict(
+            policies=(tuple(request.policies[start:stop])
+                      if request.policies is not None else None),
+            return_exit_state=True,
+            request_id=f"chunk-{uuid.uuid4().hex[:12]}",
+        )
+        if request.stages is not None:
+            fields["stages"] = piece
+        else:
+            fields["ir_texts"] = piece
+        out.append(replace(request, **fields))
+        start = stop
+    return out
+
+
+def merge_pipeline_chunks(
+    request: PipelineRequest,
+    chunk_results: list[tuple[ResultEnvelope, str]],
+    wall_time_seconds: float,
+) -> tuple[dict, dict]:
+    """Concatenate chunk reports into one pipeline payload."""
+    from ..core.pipeline_runner import PipelineReport
+    from .executors import render_pipeline_report
+
+    stage_dicts: list[dict] = []
+    context_stats: dict[str, int] = {}
+    workers = []
+    iterations = 0
+    converged = True
+    exit_temperatures = None
+    for index, (envelope, label) in enumerate(chunk_results):
+        if not envelope.ok:
+            raise WorkerError(
+                f"pipeline chunk {index} on {label} failed: "
+                f"{envelope.error_message()}"
+            )
+        report = envelope.result["report"]
+        stage_dicts.extend(report["stages"])
+        iterations += int(report.get("iterations", 0))
+        converged = converged and bool(report.get("converged", True))
+        for key, value in report.get("context_stats", {}).items():
+            context_stats[key] = context_stats.get(key, 0) + value
+        exit_temperatures = report.get("exit_temperatures")
+        workers.append({
+            "worker": label,
+            "stages": len(report["stages"]),
+            "wall_time_seconds": envelope.wall_time_seconds,
+            "context_stats": dict(report.get("context_stats", {})),
+        })
+    merged = PipelineReport.from_dict({
+        "machine": request.machine,
+        "model": "chip" if request.chip else "rf",
+        "strategy": request.strategy,
+        "delta": request.delta,
+        "merge": request.merge,
+        "converged": converged,
+        "iterations": iterations,
+        "wall_time_seconds": wall_time_seconds,
+        "context_stats": context_stats,
+        "stages": stage_dicts,
+        "exit_temperatures": (
+            exit_temperatures if request.return_exit_state else None
+        ),
+    })
+    payload = {
+        "converged": merged.converged,
+        "report": merged.to_dict(),
+        "workers": workers,
+        "rendered": render_pipeline_report(merged),
+    }
+    return payload, context_stats
+
+
+# ----------------------------------------------------------------------
+# ProcessBackend: local worker processes, one service each.
+# ----------------------------------------------------------------------
+_PROCESS_SERVICE = None
+
+
+def _process_worker_init() -> None:
+    """Pool initializer: one AnalysisService per worker process.
+
+    The service — and its contexts, models and transfer caches — lives
+    for the pool's lifetime, so successive requests against the same
+    worker are warm.
+    """
+    global _PROCESS_SERVICE
+    from .service import AnalysisService
+
+    _PROCESS_SERVICE = AnalysisService()
+
+
+def _process_worker_execute(request_data: dict) -> dict:
+    import os
+
+    from .requests import request_from_dict
+
+    request = request_from_dict(request_data)
+    # The pid identifies which pool process served the request — the
+    # merge needs it to de-duplicate cumulative per-worker stats when
+    # one process happens to serve several shards.
+    return {
+        "pid": os.getpid(),
+        "envelope": _PROCESS_SERVICE.execute(request).to_dict(),
+    }
+
+
+class ProcessBackend(ExecutionBackend):
+    """Local worker processes, each with its own warm service.
+
+    Suite requests shard across the pool (kernels dealt round-robin,
+    reports merged, stats summed); everything else forwards whole to
+    one worker.  The pool is lazy and persists across requests, so the
+    per-process contexts amortize exactly like the in-process ones.
+    """
+
+    name = "process"
+
+    def __init__(self, processes: int = 2, timeout: float = 600.0) -> None:
+        if processes < 1:
+            raise ReproError("ProcessBackend needs at least one process")
+        self.processes = processes
+        #: Per-round-trip bound.  A pool worker killed mid-task (OOM,
+        #: segfault) never completes its AsyncResult — an unbounded
+        #: get() would hang forever where RemoteBackend surfaces a
+        #: WorkerError on a dropped connection.
+        self.timeout = timeout
+        self._pool = None
+        self._lock = threading.Lock()
+
+    def _pool_handle(self):
+        with self._lock:
+            if self._pool is None:
+                import multiprocessing
+
+                self._pool = multiprocessing.Pool(
+                    self.processes, initializer=_process_worker_init
+                )
+            return self._pool
+
+    def _labelled_roundtrip(self, request: Request) -> tuple[str, ResultEnvelope]:
+        import multiprocessing
+
+        handle = self._pool_handle().apply_async(
+            _process_worker_execute, (request.to_dict(),)
+        )
+        try:
+            answer = handle.get(self.timeout)
+        except multiprocessing.TimeoutError:
+            raise WorkerError(
+                f"worker process did not answer within {self.timeout}s "
+                "(crashed mid-request, or raise ProcessBackend(timeout=…))"
+            ) from None
+        return (
+            f"process-{answer['pid']}",
+            ResultEnvelope.from_dict(answer["envelope"]),
+        )
+
+    def _roundtrip(self, request: Request) -> ResultEnvelope:
+        return self._labelled_roundtrip(request)[1]
+
+    def run_suite_sharded(
+        self, request: SuiteRequest, progress=None
+    ) -> tuple[dict, dict] | None:
+        """Shard a suite across the pool; ``None`` if not shardable."""
+        sharded = shard_suite_request(request, self.processes)
+        if sharded is None:
+            return None
+        return run_suite_shards(
+            request, sharded,
+            lambda _index, shard: self._labelled_roundtrip(shard),
+            self.processes, progress,
+        )
+
+    def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
+        started = time.perf_counter()
+        forward = request
+        try:
+            if isinstance(request, SuiteRequest):
+                sharded = self.run_suite_sharded(request, progress)
+                if sharded is not None:
+                    payload, stats = sharded
+                    return ResultEnvelope(
+                        request=request,
+                        result=payload,
+                        wall_time_seconds=time.perf_counter() - started,
+                        context_stats=stats,
+                    )
+                if request.processes > 1:
+                    # Unshardable (generator-addressed scenarios) with
+                    # processes>1: the pool workers are daemonic and
+                    # cannot spawn run_suite's nested pool — run the
+                    # forwarded request single-process in the worker.
+                    forward = replace(request, processes=1)
+            return self._roundtrip(forward)
+        except _BACKEND_FAILURES as exc:
+            return ResultEnvelope(
+                request=request,
+                ok=False,
+                error={"type": type(exc).__name__, "message": str(exc)},
+                wall_time_seconds=time.perf_counter() - started,
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+
+# ----------------------------------------------------------------------
+# RemoteBackend: envelope protocol over sockets.
+# ----------------------------------------------------------------------
+def parse_worker_address(spec) -> tuple[str, int]:
+    """``"host:port"`` (or an ``(host, port)`` pair) → ``(host, port)``."""
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        return str(spec[0]), int(spec[1])
+    host, sep, port = str(spec).rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            f"worker address {spec!r} is not HOST:PORT"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(
+            f"worker address {spec!r} has a non-numeric port"
+        ) from None
+
+
+class WorkerClient:
+    """One persistent connection to a ``repro worker`` process.
+
+    The wire protocol is the serve protocol verbatim: one request JSON
+    per line out, one envelope JSON per line back, in request order per
+    connection.  A lock serializes round-trips, and responses to tagged
+    requests are verified against the ``request_id`` echo.
+    """
+
+    def __init__(self, address, timeout: float = 600.0) -> None:
+        self.address = parse_worker_address(address)
+        self.label = f"{self.address[0]}:{self.address[1]}"
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sock = None
+        self._rfile = None
+        self._wfile = None
+
+    def _connect_locked(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(self.address, timeout=self.timeout)
+        except OSError as exc:
+            raise WorkerError(
+                f"cannot connect to worker {self.label}: {exc}"
+            ) from None
+        self._sock = sock
+        self._rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+
+    def request(self, request: Request) -> ResultEnvelope:
+        """One request/response round-trip against this worker."""
+        with self._lock:
+            self._connect_locked()
+            try:
+                self._wfile.write(request.to_json())
+                self._wfile.write("\n")
+                self._wfile.flush()
+                line = self._rfile.readline()
+            except OSError as exc:
+                self._close_locked()
+                raise WorkerError(
+                    f"worker {self.label} connection failed: {exc}"
+                ) from None
+            if not line:
+                self._close_locked()
+                raise WorkerError(
+                    f"worker {self.label} closed the connection mid-request"
+                )
+        envelope = ResultEnvelope.from_json(line)
+        if (request.request_id is not None
+                and envelope.request.request_id != request.request_id):
+            raise WorkerError(
+                f"worker {self.label} answered request "
+                f"{envelope.request.request_id!r}, expected "
+                f"{request.request_id!r}"
+            )
+        return envelope
+
+    def _close_locked(self) -> None:
+        for handle in (self._rfile, self._wfile, self._sock):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover - best-effort teardown
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+
+class RemoteBackend(ExecutionBackend):
+    """Sharded execution over ``python -m repro worker`` processes.
+
+    *workers* is a list of ``"host:port"`` addresses.  Suite requests
+    shard kernels across all workers in parallel; pipeline requests are
+    split into contiguous chunks chained worker-to-worker through exit
+    states; any other request is forwarded round-robin to one worker.
+    *timeout* bounds each socket round-trip — workers answer only when
+    the whole request completes, so size it for the slowest request,
+    not the network.
+    """
+
+    name = "remote"
+
+    def __init__(self, workers, timeout: float = 600.0) -> None:
+        addresses = list(workers)
+        if not addresses:
+            raise ReproError("RemoteBackend needs at least one worker address")
+        self.clients = [
+            WorkerClient(address, timeout=timeout) for address in addresses
+        ]
+        self._rr_lock = threading.Lock()
+        self._rr_next = 0
+
+    def _next_client(self) -> WorkerClient:
+        with self._rr_lock:
+            client = self.clients[self._rr_next % len(self.clients)]
+            self._rr_next += 1
+            return client
+
+    def run_suite_sharded(
+        self, request: SuiteRequest, progress=None
+    ) -> tuple[dict, dict] | None:
+        """Fan a suite out across all workers; ``None`` if not shardable."""
+        sharded = shard_suite_request(request, len(self.clients))
+        if sharded is None:
+            return None
+        return run_suite_shards(
+            request, sharded,
+            lambda index, shard: (
+                self.clients[index].label,
+                self.clients[index].request(shard),
+            ),
+            len(self.clients), progress,
+        )
+
+    def run_pipeline_chunked(
+        self, request: PipelineRequest, progress=None
+    ) -> tuple[dict, dict] | None:
+        """Chain pipeline chunks across workers; ``None`` if unsplittable.
+
+        Chunks are inherently sequential — chunk k+1 needs chunk k's
+        exit state — so this distributes per-kernel compile/solve work
+        and memory across workers rather than running them
+        concurrently; repeated schedules then hit each worker's warm
+        caches for its chunk.
+        """
+        chunks = chunk_pipeline_request(request, len(self.clients))
+        if chunks is None:
+            return None
+        started = time.perf_counter()
+        entry = request.entry_temperatures
+        results = []
+        for index, chunk in enumerate(chunks):
+            client = self.clients[index % len(self.clients)]
+            envelope = client.request(
+                replace(chunk, entry_temperatures=entry)
+            )
+            results.append((envelope, client.label))
+            if progress is not None:
+                progress({
+                    "event": "shard", "index": index, "worker": client.label,
+                    "requests": 1, "ok": envelope.ok,
+                })
+            if not envelope.ok:
+                break
+            exit_temperatures = envelope.result["report"].get(
+                "exit_temperatures"
+            )
+            if exit_temperatures is None:
+                raise WorkerError(
+                    f"worker {client.label} returned no exit state for "
+                    f"pipeline chunk {index} — cannot chain the next chunk"
+                )
+            entry = tuple(float(t) for t in exit_temperatures)
+        return merge_pipeline_chunks(
+            request, results, time.perf_counter() - started
+        )
+
+    def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
+        started = time.perf_counter()
+        try:
+            merged = None
+            if isinstance(request, SuiteRequest):
+                merged = self.run_suite_sharded(request, progress)
+            elif isinstance(request, PipelineRequest):
+                merged = self.run_pipeline_chunked(request, progress)
+            if merged is not None:
+                payload, stats = merged
+                return ResultEnvelope(
+                    request=request,
+                    result=payload,
+                    wall_time_seconds=time.perf_counter() - started,
+                    context_stats=stats,
+                )
+            return self._next_client().request(request)
+        except _BACKEND_FAILURES as exc:
+            return ResultEnvelope(
+                request=request,
+                ok=False,
+                error={"type": type(exc).__name__, "message": str(exc)},
+                wall_time_seconds=time.perf_counter() - started,
+            )
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()

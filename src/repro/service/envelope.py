@@ -9,8 +9,15 @@ evidence that requests share one :class:`~repro.core.context.AnalysisContext`).
 The envelope is schema-versioned (:data:`SCHEMA`, bump on incompatible
 changes) and round-trips losslessly: ``ResultEnvelope.from_dict(env.to_dict())
 == env`` and likewise through ``to_json``/``from_json`` — the wire
-format of the line-delimited JSON front-end.  The full field-by-field
+format of the line-delimited JSON front-end and of the
+``python -m repro worker`` socket protocol.  The full field-by-field
 schema is documented in ``benchmarks/README.md``.
+
+Versioning: the current schema is ``repro.service/2``, which *adds*
+the job fields (``job_id``, ``backend``) over ``repro.service/1``;
+archived v1 envelopes still revive (the new fields default to
+``None``), while an envelope declaring a schema this reader does not
+speak raises :class:`~repro.errors.ProtocolError`.
 """
 
 from __future__ import annotations
@@ -19,10 +26,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..errors import ProtocolError
 from .requests import Request, request_from_dict
 
 #: Envelope schema identifier (bump on incompatible changes).
-SCHEMA = "repro.service/1"
+SCHEMA = "repro.service/2"
+
+#: Every schema version this reader revives.  v2 is v1 plus the job
+#: fields, so v1 envelopes parse under the v2 reader unchanged.
+SCHEMAS = ("repro.service/1", "repro.service/2")
 
 
 @dataclass(frozen=True)
@@ -46,7 +58,16 @@ class ResultEnvelope:
         Snapshot of the serving context's aggregate cache counters
         (:attr:`repro.core.context.AnalysisContext.stats`) taken right
         after execution — ``analyses`` > 1 with nonzero hit counters is
-        the shared-runtime amortization, observable per response.
+        the shared-runtime amortization, observable per response.  For
+        sharded backends this is the *sum* of the per-worker snapshots.
+    job_id:
+        The :class:`~repro.service.jobs.JobHandle` identity that
+        produced this envelope, or ``None`` for plain synchronous
+        ``execute()`` calls (and for revived v1 envelopes).
+    backend:
+        Name of the :class:`~repro.service.backends.ExecutionBackend`
+        that executed the job (``"inline"`` / ``"process"`` /
+        ``"remote"``), or ``None`` outside the job path.
     """
 
     request: Request
@@ -55,6 +76,8 @@ class ResultEnvelope:
     error: dict[str, str] | None = None
     wall_time_seconds: float = 0.0
     context_stats: dict[str, int] = field(default_factory=dict)
+    job_id: str | None = None
+    backend: str | None = None
     schema: str = SCHEMA
 
     # ------------------------------------------------------------------
@@ -80,6 +103,12 @@ class ResultEnvelope:
     def error_message(self) -> str:
         return (self.error or {}).get("message", "")
 
+    @property
+    def protocol_error(self) -> bool:
+        """Whether this is an error envelope for a protocol violation
+        (the line never became a request, or spoke a wrong schema)."""
+        return (self.error or {}).get("type") == "ProtocolError"
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -92,6 +121,8 @@ class ResultEnvelope:
             "error": self.error,
             "wall_time_seconds": self.wall_time_seconds,
             "context_stats": self.context_stats,
+            "job_id": self.job_id,
+            "backend": self.backend,
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -99,6 +130,12 @@ class ResultEnvelope:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ResultEnvelope":
+        schema = str(data.get("schema", SCHEMA))
+        if schema not in SCHEMAS:
+            raise ProtocolError(
+                f"unsupported envelope schema {schema!r}; "
+                f"supported: {', '.join(SCHEMAS)}"
+            )
         return cls(
             request=request_from_dict(data["request"]),
             ok=bool(data.get("ok", True)),
@@ -106,7 +143,9 @@ class ResultEnvelope:
             error=dict(data["error"]) if data.get("error") else None,
             wall_time_seconds=float(data.get("wall_time_seconds", 0.0)),
             context_stats=dict(data.get("context_stats") or {}),
-            schema=str(data.get("schema", SCHEMA)),
+            job_id=data.get("job_id"),
+            backend=data.get("backend"),
+            schema=schema,
         )
 
     @classmethod

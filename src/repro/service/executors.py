@@ -1,11 +1,15 @@
 """Request executors: one function per request kind.
 
-Each executor takes ``(service, request)``, runs the work through the
-service's shared :class:`~repro.core.context.AnalysisContext` for the
-request's ``(machine, chip)`` pair, and returns ``(payload, context)``
-— the JSON-plain result dict that lands in the
-:class:`~repro.service.envelope.ResultEnvelope` and the context whose
-stats to snapshot (``None`` for context-free kinds).
+Each executor takes ``(service, request, progress)``, runs the work
+through the service's shared
+:class:`~repro.core.context.AnalysisContext` for the request's
+``(machine, chip)`` pair, and returns ``(payload, source)`` — the
+JSON-plain result dict that lands in the
+:class:`~repro.service.envelope.ResultEnvelope` and the stats source:
+the serving context (snapshotted under its lock), a pre-summed stats
+dict (sharded fan-out paths), or ``None`` for context-free kinds.
+*progress*, when set, receives the run's per-sweep / per-kernel /
+per-stage events — what feeds a job handle's event stream.
 
 Executors hold the context's lock for the whole context-touching
 section: the shared model, power models and transfer caches mutate on
@@ -60,7 +64,7 @@ def _peak_payload(result, ambient: float) -> dict:
     }
 
 
-def execute_analyze(service, request: AnalysisRequest):
+def execute_analyze(service, request: AnalysisRequest, progress=None):
     machine = service.machine(request.machine)
     function, _args, _memory = service.resolve_input(request)
     with service.pinned_context(request.machine, chip=request.chip) as context, \
@@ -68,6 +72,7 @@ def execute_analyze(service, request: AnalysisRequest):
         allocated = service.allocation(function, machine, request.policy)
         result = context.analyze(
             allocated,
+            progress=progress,
             delta=request.delta,
             merge=request.merge,
             engine=request.engine,
@@ -102,7 +107,7 @@ def execute_analyze(service, request: AnalysisRequest):
     return payload, context
 
 
-def execute_compile(service, request: CompileRequest):
+def execute_compile(service, request: CompileRequest, progress=None):
     from ..opt.pipeline import ThermalAwareCompiler
 
     machine = service.machine(request.machine)
@@ -144,7 +149,7 @@ def execute_compile(service, request: CompileRequest):
     return payload, context
 
 
-def execute_emulate(service, request: EmulateRequest):
+def execute_emulate(service, request: EmulateRequest, progress=None):
     machine = service.machine(request.machine)
     function, run_args, memory = service.resolve_input(request)
     with service.pinned_context(request.machine) as context, context.lock:
@@ -201,7 +206,7 @@ def execute_emulate(service, request: EmulateRequest):
     return payload, context
 
 
-def execute_fig1(service, request: Fig1Request):
+def execute_fig1(service, request: Fig1Request, progress=None):
     machine = service.machine(request.machine)
     function, run_args, memory = service.resolve_input(request)
     from ..regalloc.linearscan import allocate_linear_scan
@@ -277,7 +282,7 @@ def render_suite_report(report: SuiteReport) -> str:
     return out.getvalue()
 
 
-def execute_suite(service, request: SuiteRequest):
+def execute_suite(service, request: SuiteRequest, progress=None):
     names = list(request.workloads) if request.workloads else None
     common = dict(
         names=names,
@@ -290,23 +295,33 @@ def execute_suite(service, request: SuiteRequest):
         quick=request.quick,
         include_pressure=request.include_pressure,
         random_count=request.random_count,
+        progress=progress,
     )
     if request.processes > 1:
-        # Contexts hold process-local solver state and do not pickle:
-        # the fan-out path builds one context per worker process.
+        # Fan out through the service's persistent ProcessBackend: the
+        # kernels shard round-robin across worker processes (each with
+        # its own warm service) and the per-worker reports and context
+        # stats merge back summed.
+        sharded = service.process_backend(request.processes) \
+            .run_suite_sharded(request, progress)
+        if sharded is not None:
+            return sharded
+        # Generator-addressed scenarios (pressure sweeps, random loops)
+        # cannot be named in per-worker subsets: legacy per-spec pool.
         report = run_suite(processes=request.processes, **common)
-        context = None
+        stats_source: object = dict(report.context_stats)
     else:
         with service.pinned_context(
             request.machine, chip=request.chip
         ) as context, context.lock:
             report = run_suite(context=context, **common)
+        stats_source = context
     payload = {
         "converged": report.all_converged,
         "report": report.to_dict(),
         "rendered": render_suite_report(report),
     }
-    return payload, context
+    return payload, stats_source
 
 
 def render_pipeline_report(report) -> str:
@@ -356,7 +371,7 @@ def render_pipeline_report(report) -> str:
     return out.getvalue()
 
 
-def execute_pipeline(service, request: PipelineRequest):
+def execute_pipeline(service, request: PipelineRequest, progress=None):
     from ..core.pipeline_runner import run_pipeline
     from ..workloads.kernels import Workload
 
@@ -392,6 +407,26 @@ def execute_pipeline(service, request: PipelineRequest):
     with service.pinned_context(
         request.machine, chip=request.chip
     ) as context, context.lock:
+        entry_state = None
+        if request.entry_temperatures is not None:
+            # A coordinator chaining pipeline chunks starts this chunk
+            # exactly where the previous one (possibly on another
+            # worker) ended.
+            import numpy as np
+
+            from ..thermal.state import ThermalState
+
+            grid = context.model.grid
+            if len(request.entry_temperatures) != grid.num_nodes:
+                raise ReproError(
+                    f"entry_temperatures has "
+                    f"{len(request.entry_temperatures)} values; the "
+                    f"{request.machine} thermal grid has {grid.num_nodes} "
+                    "nodes"
+                )
+            entry_state = ThermalState(
+                grid, np.asarray(request.entry_temperatures, dtype=float)
+            )
         report = run_pipeline(
             stages,
             context=context,
@@ -403,6 +438,9 @@ def execute_pipeline(service, request: PipelineRequest):
             policy=request.policy,
             policies=list(request.policies) if request.policies else None,
             max_iterations=request.max_iterations,
+            entry_state=entry_state,
+            progress=progress,
+            include_exit_state=request.return_exit_state,
             allocator=lambda function, policy: service.allocation(
                 function, machine, policy
             ),
@@ -415,7 +453,7 @@ def execute_pipeline(service, request: PipelineRequest):
     return payload, context
 
 
-def execute_workloads(service, request: WorkloadListRequest):
+def execute_workloads(service, request: WorkloadListRequest, progress=None):
     rows = [
         (wl.name, wl.function.instruction_count(), wl.description)
         for wl in full_suite()
@@ -445,7 +483,9 @@ EXECUTORS = {
 def executor_for(request: Request):
     executor = EXECUTORS.get(type(request))
     if executor is None:
-        raise ReproError(
+        from ..errors import ProtocolError
+
+        raise ProtocolError(
             f"no executor for request type {type(request).__name__}"
         )
     return executor

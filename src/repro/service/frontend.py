@@ -2,29 +2,38 @@
 
 One request per input line (a JSON object with a ``"kind"``
 discriminator — see :mod:`repro.service.requests`), one
-:class:`~repro.service.envelope.ResultEnvelope` per output line, in
-request order.  Lines are dispatched onto the service's thread pool as
-they arrive, so independent requests overlap while responses still come
-back in order — callers may tag requests with ``"request_id"`` and
-match on the echo instead of relying on ordering.
+:class:`~repro.service.envelope.ResultEnvelope` per output line.  Lines
+are dispatched onto the service as jobs as they arrive, so independent
+requests overlap; by default responses come back **in request order**
+(ordered drain), while ``unordered=True`` (CLI ``serve --unordered``)
+writes each envelope the moment its request completes — no head-of-line
+blocking — and callers match responses on the ``request_id`` echo
+instead of position.
 
 This is the shape the ROADMAP's "async service front-end over the
 shared context" asks for, kept deliberately transport-free: anything
 that can write lines to a pipe (a shell, a socat bridge, a scheduler
-repeatedly querying its thermal oracle) can drive it.  CI's
-``bench-smoke`` job pipes analyze/suite/pipeline requests through
-``python -m repro serve`` and checks every envelope::
+repeatedly querying its thermal oracle) can drive it — and
+``python -m repro worker`` serves the very same loop over a TCP
+socket.  CI's ``bench-smoke`` job pipes analyze/suite/pipeline requests
+through ``python -m repro serve`` and checks every envelope::
 
     printf '%s\n%s\n' \
       '{"kind": "analyze", "workload": "fir", "delta": 0.05}' \
       '{"kind": "analyze", "workload": "fir", "delta": 0.05}' \
       | python -m repro serve
+
+Lines that never become requests (bad JSON, unknown kinds, unknown
+fields) are answered with :class:`~repro.errors.ProtocolError`
+envelopes; :func:`serve_forever` counts them and ``repro serve`` exits
+3 when any were answered.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import threading
 from collections import deque
 from typing import IO, Iterable
 
@@ -33,12 +42,43 @@ from .requests import InvalidRequest, request_from_json
 from .service import AnalysisService, default_service
 
 
+class ServeResult(int):
+    """What one serve session answered: an ``int`` (line count, so the
+    pre-1.4 ``answered == n`` assertions keep working) carrying the
+    protocol-error tally that drives ``repro serve``'s exit code 3."""
+
+    protocol_errors: int
+
+    def __new__(cls, answered: int, protocol_errors: int = 0) -> "ServeResult":
+        self = super().__new__(cls, answered)
+        self.protocol_errors = protocol_errors
+        return self
+
+    @property
+    def answered(self) -> int:
+        return int(self)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when every line parsed into a request, 3 otherwise."""
+        return 3 if self.protocol_errors else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServeResult(answered={int(self)}, "
+            f"protocol_errors={self.protocol_errors})"
+        )
+
+
 def _protocol_error(line: str, exc: Exception) -> dict:
     """An error envelope for lines that never became requests.
 
     Echoes an :class:`~repro.service.requests.InvalidRequest` carrying
     the offending text, so the response is still a fully revivable
     envelope (``ResultEnvelope.from_json`` works on every output line).
+    The parsers raise :class:`~repro.errors.ProtocolError` for every
+    wire-level violation, so ``error.type`` distinguishes protocol
+    failures from analysis failures.
     """
     return ResultEnvelope(
         request=InvalidRequest(raw=line),
@@ -57,32 +97,49 @@ def serve_forever(
     service: AnalysisService | None = None,
     lines: Iterable[str] | None = None,
     out: IO[str] | None = None,
-) -> int:
-    """Serve requests from *lines* until EOF; returns lines answered.
+    unordered: bool = False,
+) -> ServeResult:
+    """Serve requests from *lines* until EOF; returns a :class:`ServeResult`
+    (the number of lines answered, plus the protocol-error tally).
 
     Defaults: the process-wide default service, ``sys.stdin`` and
     ``sys.stdout`` — i.e. ``python -m repro serve``.  Every input line
     is answered, malformed ones with an ``ok=false`` error object, so a
     driving process can always match responses to requests by count (or
-    by ``request_id`` echo).
+    by ``request_id`` echo).  With *unordered* set, each envelope is
+    written as its request completes (matching by count no longer pairs
+    responses with requests — use ``request_id``).
     """
     service = service or default_service()
     lines = lines if lines is not None else sys.stdin
     out = out or sys.stdout
 
+    if unordered:
+        return _serve_unordered(service, lines, out)
+    return _serve_ordered(service, lines, out)
+
+
+def _serve_ordered(service, lines, out) -> ServeResult:
     answered = 0
-    #: (input-order) futures not yet written; popped as they complete.
+    protocol_errors = 0
+    #: (input-order) jobs not yet written; popped as they complete.
     pending: deque = deque()
 
     def drain(block: bool) -> None:
-        nonlocal answered
+        nonlocal answered, protocol_errors
         while pending and (block or pending[0][1].done()):
-            line, future = pending.popleft()
+            line, job = pending.popleft()
             try:
-                envelope: ResultEnvelope = future.result()
+                envelope: ResultEnvelope = job.result()
+                if envelope.protocol_error:
+                    # Rare but possible post-parse (e.g. an executable
+                    # kind with no executor): still a wire-contract
+                    # violation for the exit-3 tally.
+                    protocol_errors += 1
                 _write(out, envelope.to_dict())
             except Exception as exc:  # defensive: a service must answer
                 _write(out, _protocol_error(line, exc))
+                protocol_errors += 1
             answered += 1
 
     for raw in lines:
@@ -96,8 +153,72 @@ def serve_forever(
             drain(block=True)
             _write(out, _protocol_error(line, exc))
             answered += 1
+            protocol_errors += 1
             continue
         pending.append((line, service.submit(request)))
         drain(block=False)
     drain(block=True)
-    return answered
+    return ServeResult(answered, protocol_errors)
+
+
+def _serve_unordered(service, lines, out) -> ServeResult:
+    """Write each envelope as its request completes.
+
+    Jobs finish on service worker threads, so writes go through one
+    lock; the ``request_id`` echo is the caller's correlation handle.
+    Delivered jobs leave the pending map immediately — a long-lived
+    worker connection streaming thousands of requests must not pin
+    every answered job's envelope and event history until EOF.
+    """
+    write_lock = threading.Lock()
+    counters = {"answered": 0, "protocol_errors": 0}
+    #: id(job) -> (line, job) for jobs not yet written; popped on
+    #: delivery, so exactly-once falls out of the pop and answered
+    #: handles become collectable while the connection stays open.
+    pending: dict[int, tuple] = {}
+
+    def deliver(job) -> None:
+        with write_lock:
+            entry = pending.pop(id(job), None)
+            if entry is None:
+                return  # the done-callback and the EOF sweep raced
+            line = entry[0]
+            try:
+                envelope = job.result()
+                if envelope.protocol_error:
+                    counters["protocol_errors"] += 1
+                _write(out, envelope.to_dict())
+            except Exception as exc:  # defensive: a service must answer
+                _write(out, _protocol_error(line, exc))
+                counters["protocol_errors"] += 1
+            counters["answered"] += 1
+
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            request = request_from_json(line)
+        except Exception as exc:
+            with write_lock:
+                _write(out, _protocol_error(line, exc))
+                counters["answered"] += 1
+                counters["protocol_errors"] += 1
+            continue
+        job = service.submit(request)
+        with write_lock:
+            pending[id(job)] = (line, job)
+        job.add_done_callback(deliver)
+    # EOF sweep: make sure every job's envelope is on the wire before
+    # reporting (callbacks give timeliness; this gives completeness).
+    while True:
+        with write_lock:
+            if not pending:
+                break
+            _line, job = next(iter(pending.values()))
+        job.wait()
+        deliver(job)
+    with write_lock:
+        return ServeResult(
+            counters["answered"], counters["protocol_errors"]
+        )

@@ -1,0 +1,241 @@
+"""Job handles: the async unit of the v2 service protocol.
+
+``AnalysisService.submit()`` no longer hands back a bare future — it
+returns a :class:`JobHandle`, the service's view of one request moving
+through ``queued → running → done/error/cancelled``:
+
+* ``job_id`` — stable service-scoped identifier, stamped onto the
+  resulting envelope (``ResultEnvelope.job_id``) and onto every
+  progress event;
+* ``status()`` / ``done()`` — live lifecycle state;
+* ``result()`` — block for the :class:`~repro.service.envelope.ResultEnvelope`
+  (library-level failures are *error envelopes*, exactly as
+  ``execute()``; only cancellation raises);
+* ``cancel()`` — a queued job never runs; a running job finishes but
+  its result is discarded;
+* ``events()`` — an iterator over the job's progress events, replayed
+  from the start for late subscribers and live-fed until the job
+  reaches a terminal state.
+
+Progress events are plain dicts with an ``"event"`` discriminator and
+the ``job_id`` attached: ``status`` (lifecycle transitions), ``sweep``
+(per fixed-point sweep: ``iteration``, ``delta``), ``kernel`` (suite
+runs: ``name``, ``index``, ``total``, ``converged``), ``stage``
+(pipelines: ``index``, ``total``, ``name``) and ``shard`` (sharding
+backends: ``worker``, ``index``, ``requests``).  The shapes are
+documented in ``benchmarks/README.md``.  Work-level events come from
+code running in this process — a request a backend forwards whole to a
+worker process/socket reports only ``status`` and ``shard`` events
+(streaming events over the wire is a named ROADMAP follow-up).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator
+
+from ..errors import JobCancelledError
+
+#: Lifecycle states of a job, in nominal order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+CANCELLED = "cancelled"
+
+JOB_STATUSES = (QUEUED, RUNNING, DONE, ERROR, CANCELLED)
+
+#: States a job never leaves.
+TERMINAL_STATUSES = (DONE, ERROR, CANCELLED)
+
+
+class JobHandle:
+    """One submitted request: identity, lifecycle, events, result.
+
+    Created by :meth:`AnalysisService.submit
+    <repro.service.service.AnalysisService.submit>`; user code never
+    constructs one.  *subscriber*, when given, is called with every
+    progress event as it happens (in the worker thread — keep it
+    cheap); :meth:`events` offers the same stream as a replayable
+    iterator instead.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        request,
+        backend: str = "inline",
+        subscriber: Callable[[dict], None] | None = None,
+    ) -> None:
+        self.job_id = job_id
+        self.request = request
+        self.backend = backend
+        self._subscriber = subscriber
+        self._cond = threading.Condition()
+        self._status = QUEUED
+        self._cancel_requested = False
+        self._terminal = False
+        self._envelope = None
+        self._events: list[dict] = []
+        self._callbacks: list[Callable[["JobHandle"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self) -> str:
+        """Current lifecycle state (one of :data:`JOB_STATUSES`)."""
+        with self._cond:
+            return self._status
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        with self._cond:
+            return self._terminal
+
+    def cancelled(self) -> bool:
+        with self._cond:
+            return self._status == CANCELLED
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until terminal (or *timeout*); returns :meth:`done`."""
+        with self._cond:
+            self._cond.wait_for(lambda: self._terminal, timeout=timeout)
+            return self._terminal
+
+    def result(self, timeout: float | None = None):
+        """The job's :class:`ResultEnvelope`, blocking until terminal.
+
+        Mirrors ``execute()`` semantics: library-level failures come
+        back as ``ok=False`` envelopes, never exceptions.  Raises
+        :class:`~repro.errors.JobCancelledError` for cancelled jobs
+        (queued-cancelled never ran; running-cancelled had its result
+        discarded) and :class:`TimeoutError` when *timeout* expires
+        first.
+        """
+        with self._cond:
+            self._cond.wait_for(lambda: self._terminal, timeout=timeout)
+            if not self._terminal:
+                raise TimeoutError(
+                    f"job {self.job_id} still {self._status!r} after "
+                    f"{timeout}s"
+                )
+            if self._status == CANCELLED:
+                raise JobCancelledError(f"job {self.job_id} was cancelled")
+            return self._envelope
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns whether it took effect.
+
+        A *queued* job is cancelled outright — it will never run.  A
+        *running* job cannot be interrupted mid-analysis: it runs to
+        completion, but its result is discarded and the job lands in
+        ``cancelled`` (``result()`` raises).  Jobs already terminal
+        return ``False``.
+        """
+        with self._cond:
+            if self._status == QUEUED:
+                self._status = CANCELLED
+                queued = True
+            elif self._status == RUNNING:
+                self._cancel_requested = True
+                return True
+            else:
+                return False
+        if queued:
+            self._emit({"event": "status", "status": CANCELLED})
+            self._finalize()
+        return True
+
+    # ------------------------------------------------------------------
+    # Event stream
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[dict]:
+        """Iterate the job's progress events, from the beginning.
+
+        Replays events already emitted, then blocks for new ones until
+        the job is terminal and the stream is drained — so iterating a
+        finished job yields its full history and returns.
+        """
+        index = 0
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: index < len(self._events) or self._terminal
+                )
+                if index >= len(self._events):
+                    return
+                event = self._events[index]
+                index += 1
+            yield event
+
+    def add_done_callback(self, callback: Callable[["JobHandle"], None]) -> None:
+        """Call *callback(job)* once the job is terminal (immediately if
+        it already is).  Callbacks run in the worker thread."""
+        with self._cond:
+            if not self._terminal:
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    # ------------------------------------------------------------------
+    # Runner-side transitions (the owning backend drives these)
+    # ------------------------------------------------------------------
+    def _emit(self, event: dict) -> None:
+        event = {"job_id": self.job_id, **event}
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+        if self._subscriber is not None:
+            # Outside the lock: a subscriber may block (tests use this
+            # to pin a job in "running") without wedging the stream.
+            # Best-effort: a raising subscriber must not wedge the job
+            # — an exception during the terminal emit would otherwise
+            # skip _finalize and leave result()/wait() blocked forever
+            # (e.g. a CLI narrate callback printing to a broken pipe).
+            # The recorded events() stream is the reliable channel.
+            try:
+                self._subscriber(event)
+            except Exception:
+                self._subscriber = None
+
+    def _mark_running(self) -> bool:
+        """queued → running; ``False`` if cancelled first (skip the run)."""
+        with self._cond:
+            if self._status != QUEUED:
+                return False
+            self._status = RUNNING
+        self._emit({"event": "status", "status": RUNNING})
+        return True
+
+    def _finish(self, envelope) -> None:
+        """Record the outcome and go terminal (exactly once)."""
+        with self._cond:
+            if self._cancel_requested or self._status == CANCELLED:
+                status = CANCELLED
+                envelope = None
+            elif envelope is not None and envelope.ok:
+                status = DONE
+            else:
+                status = ERROR
+            self._status = status
+            self._envelope = envelope
+        self._emit({"event": "status", "status": status})
+        self._finalize()
+
+    def _finalize(self) -> None:
+        with self._cond:
+            self._terminal = True
+            callbacks, self._callbacks = self._callbacks, []
+            self._cond.notify_all()
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<JobHandle {self.job_id} {self.status()} "
+            f"kind={getattr(self.request, 'kind', '?')} "
+            f"backend={self.backend}>"
+        )

@@ -41,7 +41,7 @@ from dataclasses import dataclass, fields
 from typing import Any, ClassVar
 
 from ..core.tdfa import TDFAConfig
-from ..errors import ReproError
+from ..errors import ProtocolError, ReproError
 from ..ir.function import Function
 
 
@@ -92,14 +92,14 @@ class Request:
         payload = dict(data)
         kind = payload.pop("kind", cls.kind)
         if kind != cls.kind:
-            raise ReproError(
+            raise ProtocolError(
                 f"request kind {kind!r} does not match {cls.__name__} "
                 f"(expected {cls.kind!r})"
             )
         known = {f.name for f in fields(cls) if f.init}
         unknown = sorted(set(payload) - known)
         if unknown:
-            raise ReproError(
+            raise ProtocolError(
                 f"unknown field(s) for {kind!r} request: {', '.join(unknown)}"
             )
         for f in fields(cls):
@@ -265,6 +265,14 @@ class PipelineRequest(Request):
     merge: str = "freq"
     engine: str = "auto"
     max_iterations: int = 2000
+    #: Entry temperature vector (one value per thermal node) instead of
+    #: uniform ambient — how a coordinator chains pipeline *chunks*
+    #: across workers: chunk k+1 starts from chunk k's reported
+    #: ``exit_temperatures``.
+    entry_temperatures: tuple[float, ...] | None = None
+    #: Carry the pipeline's exit temperature vector on the report
+    #: (``report["exit_temperatures"]``) so the caller can chain.
+    return_exit_state: bool = False
 
 
 @dataclass(frozen=True)
@@ -307,13 +315,22 @@ REQUEST_KINDS: dict[str, type[Request]] = {
 
 
 def request_from_dict(data: dict[str, Any]) -> Request:
-    """Revive any request from its ``to_dict`` form (``"kind"`` dispatch)."""
+    """Revive any request from its ``to_dict`` form (``"kind"`` dispatch).
+
+    Wire-level violations — a non-object document, an unknown ``kind``,
+    unknown fields — raise :class:`~repro.errors.ProtocolError` (still a
+    :class:`~repro.errors.ReproError`, so blanket handlers keep
+    working), which is how front-ends tell protocol failures apart from
+    analysis failures.
+    """
     if not isinstance(data, dict):
-        raise ReproError(f"a request must be a JSON object, got {type(data).__name__}")
+        raise ProtocolError(
+            f"a request must be a JSON object, got {type(data).__name__}"
+        )
     kind = data.get("kind")
     cls = REQUEST_KINDS.get(kind)
     if cls is None:
-        raise ReproError(
+        raise ProtocolError(
             f"unknown request kind {kind!r}; "
             f"expected one of: {', '.join(sorted(REQUEST_KINDS))}"
         )
@@ -325,5 +342,5 @@ def request_from_json(text: str) -> Request:
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise ReproError(f"malformed request JSON: {exc}") from None
+        raise ProtocolError(f"malformed request JSON: {exc}") from None
     return request_from_dict(data)

@@ -15,13 +15,22 @@ library use — shares the same thermal models, factorizations, step
 operators and compiled block transfers.  The envelope's
 ``context_stats`` make the sharing observable per response.
 
-Concurrency: :meth:`submit` dispatches requests onto a thread pool and
-returns :class:`~concurrent.futures.Future` objects, so many requests
-can be in flight against one service.  Correctness under concurrency is
-by construction: every executor holds its context's lock across the
-context-touching section (model/cache mutation is never concurrent), so
-results are identical to a serial run — a concurrent-agreement test
-asserts it.
+Concurrency — the v2 job protocol: :meth:`submit` schedules the request
+on the service pool and returns a
+:class:`~repro.service.jobs.JobHandle` — stable ``job_id``, live
+``status()`` (``queued/running/done/error/cancelled``), ``cancel()``,
+``result()`` and a replayable ``events()`` stream of progress events
+(per-sweep δ for analyses, per-kernel/per-stage completion for suites
+and pipelines, per-shard completion for sharding backends).  Execution
+goes through a pluggable
+:class:`~repro.service.backends.ExecutionBackend`: the default
+:class:`~repro.service.backends.InlineBackend` keeps today's semantics
+(in-process against the shared contexts; every executor holds its
+context's lock across the context-touching section, so results are
+identical to a serial run — a concurrent-agreement test asserts it),
+while :class:`~repro.service.backends.ProcessBackend` and
+:class:`~repro.service.backends.RemoteBackend` shard work across local
+worker processes or ``python -m repro worker`` sockets.
 
 Service-level caches (workloads by name, parsed IR by text, allocations
 by ``(function, machine, policy)``) give repeated requests *identical
@@ -31,9 +40,11 @@ serve block-level hits across requests.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+import weakref
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Any
 
@@ -42,8 +53,10 @@ from ..core.context import AnalysisContext
 from ..errors import ReproError
 from ..ir.function import Function
 from ..workloads import load
+from .backends import ExecutionBackend, InlineBackend, ProcessBackend
 from .envelope import ResultEnvelope
 from .executors import executor_for
+from .jobs import JobHandle
 from .requests import Request
 
 #: Exceptions `execute` converts into error envelopes: everything the
@@ -66,6 +79,9 @@ _MAX_ALLOCATIONS = 512
 _MAX_MACHINES = 32
 _MAX_WORKLOADS = 64
 _MAX_EMULATORS = 8
+#: Terminal jobs retained for `job(job_id)` lookup; older ones evict
+#: FIFO (live jobs are never evicted — their handles are the API).
+_MAX_JOBS = 512
 
 
 def _evict_oldest(cache: dict, cap: int) -> None:
@@ -81,7 +97,14 @@ class AnalysisService:
     ----------
     max_workers:
         Thread-pool width for :meth:`submit` (the pool is created
-        lazily; plain :meth:`execute` never starts threads).
+        lazily; plain :meth:`execute` never starts threads).  Queued
+        jobs beyond the width wait — and can still be cancelled before
+        they ever run.
+    backend:
+        Default :class:`~repro.service.backends.ExecutionBackend` for
+        submitted jobs (per-call ``submit(backend=…)`` overrides it).
+        ``None`` means the inline backend: in-process execution against
+        the shared contexts, exactly the v1 semantics.
 
     Every identity cache (contexts, machines, workloads, parsed IR,
     allocations, emulators) is FIFO-bounded (:data:`_MAX_CONTEXTS`
@@ -93,8 +116,16 @@ class AnalysisService:
     :meth:`AnalysisContext.invalidate <repro.core.context.AnalysisContext.invalidate>`.
     """
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(
+        self,
+        max_workers: int = 4,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
         self.max_workers = max_workers
+        self.backend = backend or InlineBackend()
+        # Only a backend this service built is torn down with it; a
+        # caller-provided one may be shared across services.
+        self._owns_backend = backend is None
         self._contexts: dict[tuple[MachineDescription, bool], AnalysisContext] = {}
         self._machines: dict[str, MachineDescription] = {}
         self._workloads: dict[str, Any] = {}
@@ -111,6 +142,18 @@ class AnalysisService:
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()  # guards the service-level dicts
         self._requests_served = 0
+        # Weak-valued: a terminal job whose handle nobody holds any
+        # more (the serve/worker loops drop theirs after writing the
+        # envelope) is garbage-collected out of the registry instead of
+        # pinning its full envelope and event history; callers that
+        # keep their handles can still look them up by id.
+        self._jobs: weakref.WeakValueDictionary[str, JobHandle] = \
+            weakref.WeakValueDictionary()
+        self._job_ids = itertools.count(1)
+        # Lazily-built process backends, keyed by pool width; their
+        # worker pools persist across requests so per-process contexts
+        # stay warm (closed with the service).
+        self._process_backends: dict[int, ProcessBackend] = {}
 
     # ------------------------------------------------------------------
     # Shared components
@@ -305,22 +348,27 @@ class AnalysisService:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, request: Request) -> ResultEnvelope:
-        """Run *request* to completion and return its envelope.
+    def execute(self, request: Request, progress=None) -> ResultEnvelope:
+        """Run *request* to completion (inline) and return its envelope.
 
         Library-level failures (unknown workload, bad IR, missing file,
         invalid configuration) become ``ok=False`` envelopes carrying
         ``{"type", "message"}`` — a service must answer, not die.
+        *progress*, when given, receives the run's progress events
+        (per-sweep / per-kernel / per-stage dicts) as they happen.
         """
         started = time.perf_counter()
         try:
             executor = executor_for(request)
-            payload, context = executor(self, request)
-            if context is not None:
-                with context.lock:
-                    stats = dict(context.stats)
+            payload, source = executor(self, request, progress)
+            if source is None:
+                stats: dict[str, int] = {}
+            elif isinstance(source, dict):
+                # Sharded paths hand back pre-summed per-worker stats.
+                stats = source
             else:
-                stats = {}
+                with source.lock:
+                    stats = dict(source.stats)
             envelope = ResultEnvelope(
                 request=request,
                 ok=True,
@@ -339,25 +387,105 @@ class AnalysisService:
             self._requests_served += 1
         return envelope
 
-    def submit(self, request: Request) -> Future:
-        """Schedule *request* on the service pool; returns its future.
+    def submit(
+        self,
+        request: Request,
+        progress=None,
+        backend: ExecutionBackend | None = None,
+    ) -> JobHandle:
+        """Schedule *request* on the service pool; returns its job handle.
 
-        Futures resolve to :class:`ResultEnvelope` (never raise for
-        library-level failures — see :meth:`execute`).
+        The handle exposes the v2 async protocol: ``status()`` through
+        ``queued/running/done/error/cancelled``, ``result()`` for the
+        :class:`ResultEnvelope` (library-level failures resolve to
+        error envelopes, never exceptions — see :meth:`execute`),
+        ``cancel()`` and a replayable ``events()`` stream.  *progress*
+        additionally receives every event live, in the worker thread.
+        *backend* overrides the service default for this job.
         """
+        backend = backend or self.backend
         with self._lock:
+            job = JobHandle(
+                f"job-{next(self._job_ids)}",
+                request,
+                backend=backend.name,
+                subscriber=progress,
+            )
+            self._jobs[job.job_id] = job
+            self._evict_jobs_locked()
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.max_workers,
                     thread_name_prefix="repro-service",
                 )
             pool = self._pool
-        return pool.submit(self.execute, request)
+        pool.submit(self._run_job, job, backend)
+        return job
+
+    def _run_job(self, job: JobHandle, backend: ExecutionBackend) -> None:
+        """Worker-thread body: run one job through its backend."""
+        from dataclasses import replace as _replace
+
+        if not job._mark_running():
+            return  # cancelled while queued: never runs
+        try:
+            envelope = backend.execute(self, job.request, progress=job._emit)
+        except Exception as exc:  # defensive: a job must answer
+            envelope = ResultEnvelope(
+                request=job.request,
+                ok=False,
+                error={"type": type(exc).__name__, "message": str(exc)},
+            )
+        job._finish(
+            _replace(envelope, job_id=job.job_id, backend=backend.name)
+        )
+
+    def _evict_jobs_locked(self) -> None:
+        """FIFO-evict *terminal* jobs down to the registry cap.
+
+        The weak-valued registry already drops jobs nobody references;
+        this bounds the case where a caller holds many terminal
+        handles (only the registry entry goes — the handles live on).
+        """
+        if len(self._jobs) <= _MAX_JOBS:
+            return
+        for job_id, job in list(self._jobs.items()):
+            if len(self._jobs) <= _MAX_JOBS:
+                break
+            if job.done():
+                del self._jobs[job_id]
+
+    def job(self, job_id: str) -> JobHandle | None:
+        """Look a submitted job up by its ``job_id`` (``None`` if unknown
+        or already evicted from the bounded registry)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[JobHandle]:
+        """The registry's still-referenced job handles, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
 
     def map(self, requests: list[Request]) -> list[ResultEnvelope]:
         """Submit *requests* concurrently and gather envelopes in order."""
-        futures = [self.submit(request) for request in requests]
-        return [future.result() for future in futures]
+        jobs = [self.submit(request) for request in requests]
+        return [job.result() for job in jobs]
+
+    def process_backend(self, processes: int) -> ProcessBackend:
+        """The service's shared local-process backend of width *processes*.
+
+        Built once per width and kept — its worker processes (each with
+        its own warm service) persist across requests and close with
+        the service.  The ``SuiteRequest.processes > 1`` executor path
+        fans out through this instead of ``run_suite``'s old ad-hoc
+        per-call pool whenever the run is name-shardable.
+        """
+        with self._lock:
+            backend = self._process_backends.get(processes)
+            if backend is None:
+                backend = ProcessBackend(processes)
+                self._process_backends[processes] = backend
+            return backend
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection
@@ -380,11 +508,17 @@ class AnalysisService:
         }
 
     def close(self) -> None:
-        """Shut the thread pool down (idempotent)."""
+        """Shut the thread pool and owned backends down (idempotent)."""
         with self._lock:
             pool, self._pool = self._pool, None
+            process_backends = list(self._process_backends.values())
+            self._process_backends.clear()
         if pool is not None:
             pool.shutdown(wait=True)
+        for backend in process_backends:
+            backend.close()
+        if self._owns_backend:
+            self.backend.close()
 
     def __enter__(self) -> "AnalysisService":
         return self

@@ -1,0 +1,142 @@
+"""Remote worker: the envelope protocol served over a TCP socket.
+
+``python -m repro worker --listen HOST:PORT`` runs one of these.  Each
+accepted connection speaks exactly the ``repro serve`` wire format —
+one request JSON per line in, one schema-versioned envelope JSON per
+line out, in request order per connection — so anything that can drive
+the pipe front-end can drive a worker through ``socat``, and the
+:class:`~repro.service.backends.RemoteBackend` is just a client that
+opens sockets instead of pipes.
+
+One :class:`~repro.service.service.AnalysisService` is shared across
+*all* connections for the worker's lifetime: every coordinator talking
+to this worker amortizes the same thermal models, factorizations and
+compiled transfers, which is the whole point of keeping workers
+long-lived (cache stats in the envelopes make it observable).
+"""
+
+from __future__ import annotations
+
+import io
+import socketserver
+import threading
+
+from .frontend import serve_forever
+from .service import AnalysisService
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One connection: the serve loop over the socket's file pair."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        lines = io.TextIOWrapper(self.rfile, encoding="utf-8", newline="\n")
+        out = io.TextIOWrapper(
+            self.wfile, encoding="utf-8", newline="\n", write_through=True
+        )
+        try:
+            # Unordered: each envelope goes on the wire the moment its
+            # request completes.  The ordered drain would wait for the
+            # *next* input line before flushing answers — correct for
+            # pipes that close after writing, a deadlock for socket
+            # clients doing request/response round-trips.  Callers
+            # correlate by ``request_id`` echo (or keep one request in
+            # flight per connection, as WorkerClient does).
+            serve_forever(
+                self.server.repro_service, lines, out, unordered=True
+            )
+        except (BrokenPipeError, ConnectionError, ValueError):
+            # The client went away mid-response (ValueError: the text
+            # wrapper was closed under us); nothing left to answer.
+            pass
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class WorkerServer:
+    """A listening worker: socket front-end over one shared service.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`address` — what tests and benchmarks do).
+    service:
+        Serve through this service instead of building one (the caller
+        keeps ownership; ``close()`` then leaves it open).
+    max_workers:
+        Thread-pool width of an internally-built service.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service: AnalysisService | None = None,
+        max_workers: int = 4,
+    ) -> None:
+        self.service = service or AnalysisService(max_workers=max_workers)
+        self._owns_service = service is None
+        self._server = _Server((host, port), _ConnectionHandler)
+        self._server.repro_service = self.service
+        self._thread: threading.Thread | None = None
+        self._serving = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolved for ephemeral ports)."""
+        return self._server.server_address[:2]
+
+    @property
+    def label(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (blocking — the CLI entry)."""
+        self._serving.set()
+        self._server.serve_forever(poll_interval=0.2)
+
+    def start(self) -> "WorkerServer":
+        """Serve on a daemon thread (tests, benchmarks, embedding)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name=f"repro-worker-{self.label}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        # socketserver.shutdown() waits on an event only serve_forever
+        # sets; calling it on a server whose loop never started would
+        # block forever (e.g. close() after a failure before serving).
+        # With a serving thread spawned, the loop is *about* to start —
+        # wait for it briefly so a close() racing start() still shuts
+        # the loop down instead of closing the socket under it.
+        if self._thread is not None:
+            self._serving.wait(timeout=5.0)
+        if self._serving.is_set():
+            self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def close(self) -> None:
+        """Stop serving and release the socket (and an owned service)."""
+        self.shutdown()
+        self._server.server_close()
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "WorkerServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WorkerServer {self.label}>"

@@ -13,6 +13,7 @@ from .suite import (
     pressure_sweep,
     random_suite,
     small_suite,
+    small_suite_names,
     workload_names,
 )
 
@@ -23,6 +24,7 @@ __all__ = [
     "workload_names",
     "full_suite",
     "small_suite",
+    "small_suite_names",
     "pressure_sweep",
     "random_suite",
     "pressure_program",

@@ -47,10 +47,18 @@ def full_suite() -> list[Workload]:
     return [factory() for factory in _FACTORIES.values()]
 
 
+#: The fast five-kernel subset, by name (canonical order).
+_SMALL_SUITE = ("fir", "iir", "crc32", "fib", "dct8")
+
+
+def small_suite_names() -> list[str]:
+    """Names of the small-suite kernels, without building any IR."""
+    return list(_SMALL_SUITE)
+
+
 def small_suite() -> list[Workload]:
     """A fast five-kernel subset used by the quicker benches and tests."""
-    return [kernels.fir(), kernels.iir(), kernels.crc32(), kernels.fib(),
-            kernels.dct8()]
+    return [load(name) for name in _SMALL_SUITE]
 
 
 def pressure_sweep(levels: list[int] | None = None, iterations: int = 50) -> list[Workload]:

@@ -1,0 +1,296 @@
+"""Execution backends: inline, local processes, remote workers.
+
+The acceptance bar: sharded execution is provably equivalent — a suite
+run fanned across ≥2 workers agrees with the single-process inline run
+within 2δ on every kernel, and the merged context stats equal the sum
+of the per-worker stats.
+"""
+
+import pytest
+
+from repro.service import (
+    AnalysisRequest,
+    AnalysisService,
+    PipelineRequest,
+    ProcessBackend,
+    RemoteBackend,
+    SuiteRequest,
+    WorkerServer,
+    parse_worker_address,
+)
+
+DELTA = 0.01
+SUITE = SuiteRequest(workloads=("fib", "crc32", "fir", "iir"), delta=DELTA)
+
+
+@pytest.fixture
+def service():
+    with AnalysisService() as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def worker_pair():
+    """Two live workers on ephemeral localhost ports."""
+    with WorkerServer() as first, WorkerServer() as second:
+        first.start()
+        second.start()
+        yield first, second
+
+
+def _suite_peaks(envelope):
+    return {
+        record["name"]: (record["peak_kelvin"], record["gradient_kelvin"],
+                         record["iterations"])
+        for record in envelope.result["report"]["results"]
+    }
+
+
+class TestInlineBackend:
+    def test_default_backend_is_inline(self, service):
+        job = service.submit(AnalysisRequest(workload="fib", delta=0.05))
+        assert job.backend == "inline"
+        assert job.result().backend == "inline"
+
+
+class TestRemoteBackend:
+    def test_suite_sharded_across_two_workers(self, service, worker_pair):
+        """Acceptance: remote-sharded == inline within 2δ, stats summed."""
+        backend = RemoteBackend([w.label for w in worker_pair])
+        try:
+            remote = service.submit(SUITE, backend=backend).result()
+        finally:
+            backend.close()
+        inline = service.execute(SUITE)
+        assert remote.ok and inline.ok
+        assert remote.backend == "remote"
+        remote_peaks = _suite_peaks(remote)
+        inline_peaks = _suite_peaks(inline)
+        assert set(remote_peaks) == set(inline_peaks)
+        for name in inline_peaks:
+            peak_r, grad_r, iters_r = remote_peaks[name]
+            peak_i, grad_i, iters_i = inline_peaks[name]
+            assert abs(peak_r - peak_i) <= 2 * DELTA, name
+            assert abs(grad_r - grad_i) <= 2 * DELTA, name
+            assert iters_r == iters_i, name
+        # Kernels kept the requested order despite round-robin shards.
+        assert [r["name"] for r in remote.result["report"]["results"]] \
+            == list(SUITE.workloads)
+        # Both workers did real work and the merged stats are their sum.
+        workers = remote.result["workers"]
+        assert len(workers) == 2
+        assert all(info["kernels"] == 2 for info in workers)
+        summed = {}
+        for info in workers:
+            for key, value in info["context_stats"].items():
+                summed[key] = summed.get(key, 0) + value
+        assert remote.context_stats == summed
+        assert remote.result["report"]["context_stats"] == summed
+        assert summed.get("analyses", 0) >= 4
+
+    def test_shard_events_emitted(self, service, worker_pair):
+        events = []
+        backend = RemoteBackend([w.label for w in worker_pair])
+        try:
+            job = service.submit(SUITE, progress=events.append,
+                                 backend=backend)
+            assert job.result().ok
+        finally:
+            backend.close()
+        shards = [e for e in events if e["event"] == "shard"]
+        assert len(shards) == 2
+        assert {e["worker"] for e in shards} \
+            == {w.label for w in worker_pair}
+        assert all(e["ok"] for e in shards)
+        # The suite event contract holds for sharded runs too: one
+        # kernel event per kernel, at its original suite position.
+        kernels = [e for e in events if e["event"] == "kernel"]
+        assert sorted(e["index"] for e in kernels) == [0, 1, 2, 3]
+        assert {e["name"] for e in kernels} == set(SUITE.workloads)
+        assert all(e["total"] == 4 for e in kernels)
+
+    def test_pipeline_chunked_across_workers(self, service, worker_pair):
+        request = PipelineRequest(
+            stages=("fib", "crc32", "fib", "dct8"), machine="rf16",
+            delta=1e-4,
+        )
+        backend = RemoteBackend([w.label for w in worker_pair])
+        try:
+            remote = service.submit(request, backend=backend).result()
+        finally:
+            backend.close()
+        inline = service.execute(request)
+        assert remote.ok, remote.error_message()
+        report = remote.result["report"]
+        assert [s["name"] for s in report["stages"]] \
+            == ["fib", "crc32", "fib", "dct8"]
+        # Chunk boundaries carry the thermal state: every stage entry
+        # equals the previous stage's exit, across the worker hop too.
+        stages = report["stages"]
+        for prev, cur in zip(stages, stages[1:]):
+            assert cur["entry_peak_kelvin"] == \
+                pytest.approx(prev["exit_peak_kelvin"], abs=1e-9)
+        assert abs(
+            report["totals"]["exit_peak_kelvin"]
+            - inline.result["report"]["totals"]["exit_peak_kelvin"]
+        ) <= 2 * 1e-4
+        assert len(remote.result["workers"]) == 2
+
+    def test_single_request_forwarded_whole(self, service, worker_pair):
+        backend = RemoteBackend([worker_pair[0].label])
+        try:
+            request = AnalysisRequest(workload="fib", delta=0.05,
+                                      request_id="fwd-1")
+            envelope = service.submit(request, backend=backend).result()
+        finally:
+            backend.close()
+        assert envelope.ok
+        assert envelope.request == request  # exact echo, id included
+        assert envelope.result["converged"]
+
+    def test_dead_worker_answers_with_error_envelope(self, service):
+        backend = RemoteBackend(["127.0.0.1:9"])  # discard port: refused
+        try:
+            envelope = service.submit(
+                AnalysisRequest(workload="fib"), backend=backend
+            ).result()
+        finally:
+            backend.close()
+        assert not envelope.ok
+        assert envelope.error["type"] == "WorkerError"
+        assert "cannot connect" in envelope.error_message()
+
+    def test_worker_serves_v1_style_requests(self, worker_pair):
+        """A bare v1 request line round-trips into a revivable envelope."""
+        import socket
+
+        from repro.service import ResultEnvelope
+
+        with socket.create_connection(worker_pair[0].address,
+                                      timeout=30) as sock:
+            stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+            stream.write('{"kind": "analyze", "workload": "fib", '
+                         '"delta": 0.05}\n')
+            stream.flush()
+            envelope = ResultEnvelope.from_json(stream.readline())
+        assert envelope.ok and envelope.result["converged"]
+        assert envelope.schema == "repro.service/2"
+
+    def test_address_parsing(self):
+        from repro.errors import ReproError
+
+        assert parse_worker_address("127.0.0.1:7601") == ("127.0.0.1", 7601)
+        assert parse_worker_address(("::1", 7601)) == ("::1", 7601)
+        with pytest.raises(ReproError, match="HOST:PORT"):
+            parse_worker_address("7601")
+        with pytest.raises(ReproError, match="port"):
+            parse_worker_address("host:http")
+
+
+class TestProcessBackend:
+    """Local worker processes — `SuiteRequest.processes` now fans out
+    through this instead of run_suite's ad-hoc pool."""
+
+    def test_suite_processes_field_shards_and_merges(self, service):
+        sharded = service.execute(
+            SuiteRequest(workloads=SUITE.workloads, delta=DELTA,
+                         processes=2)
+        )
+        inline = service.execute(SUITE)
+        assert sharded.ok
+        report = sharded.result["report"]
+        assert report["processes"] == 2
+        assert [r["name"] for r in report["results"]] \
+            == list(SUITE.workloads)
+        sharded_peaks = _suite_peaks(sharded)
+        inline_peaks = _suite_peaks(inline)
+        for name in inline_peaks:
+            assert abs(sharded_peaks[name][0] - inline_peaks[name][0]) \
+                <= 2 * DELTA, name
+        # Per-worker breakdown: one entry per pool *process* that
+        # actually served shards (pool scheduling may hand both shards
+        # to one process), kernels accounted for, stats summed.
+        workers = sharded.result["workers"]
+        assert 1 <= len(workers) <= 2
+        assert len({info["worker"] for info in workers}) == len(workers)
+        assert sum(info["kernels"] for info in workers) == 4
+        summed = {}
+        for info in workers:
+            for key, value in info["context_stats"].items():
+                summed[key] = summed.get(key, 0) + value
+        assert report["context_stats"] == summed
+        assert sharded.context_stats == summed
+
+    def test_pressure_scenarios_fall_back_to_legacy_pool(self, service):
+        # Generator-addressed scenarios cannot shard by name; the
+        # legacy per-spec pool still serves them, stats intact.
+        envelope = service.execute(SuiteRequest(
+            workloads=("fib",), include_pressure=True, delta=0.05,
+            processes=2,
+        ))
+        assert envelope.ok
+        report = envelope.result["report"]
+        assert report["processes"] == 2
+        assert len(report["results"]) > 1  # fib + pressure scenarios
+        assert "workers" not in envelope.result
+        stats = report["context_stats"]
+        assert stats.get("block_compiles", 0) + stats.get("block_hits", 0) > 0
+
+    def test_forwarded_single_request(self, service):
+        backend = service.process_backend(2)
+        envelope = service.submit(
+            AnalysisRequest(workload="fib", delta=0.05), backend=backend
+        ).result()
+        assert envelope.ok
+        assert envelope.backend == "process"
+        assert envelope.result["converged"]
+
+    def test_process_backend_reused_and_warm(self, service):
+        assert service.process_backend(2) is service.process_backend(2)
+        first = service.execute(
+            SuiteRequest(workloads=("fib", "crc32"), delta=0.05,
+                         processes=2)
+        )
+        second = service.execute(
+            SuiteRequest(workloads=("fib", "crc32"), delta=0.05,
+                         processes=2)
+        )
+        assert first.ok and second.ok
+        # Same persistent worker processes: their per-process context
+        # counters accumulate across requests (a fresh pool per call
+        # would report 2 analyses, not 4).  Which worker gets which
+        # kernel is pool-scheduled, so cache *hits* are not asserted.
+        assert first.context_stats.get("analyses", 0) == 2
+        assert second.context_stats.get("analyses", 0) == 4
+
+    def test_rejects_zero_processes(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="at least one"):
+            ProcessBackend(0)
+
+    def test_one_process_serving_every_shard_counts_stats_once(self):
+        """Regression: cumulative per-worker snapshots must merge by
+        worker identity (max, then sum) — a single pool process serving
+        all three shards reports 3 analyses, not 1+2+3."""
+        from repro.service.backends import (
+            run_suite_shards,
+            shard_suite_request,
+        )
+
+        backend = ProcessBackend(1)
+        try:
+            request = SuiteRequest(workloads=("fib", "crc32", "fir"),
+                                   delta=0.05)
+            sharded = shard_suite_request(request, 3)
+            assert len(sharded) == 3
+            payload, stats = run_suite_shards(
+                request, sharded,
+                lambda _i, shard: backend._labelled_roundtrip(shard),
+                1, None,
+            )
+        finally:
+            backend.close()
+        assert len(payload["workers"]) == 1
+        assert payload["workers"][0]["kernels"] == 3
+        assert stats.get("analyses") == 3, stats

@@ -28,7 +28,7 @@ FAILED = ResultEnvelope(
 
 class TestSchema:
     def test_version_field_present(self):
-        assert GOOD.schema == SCHEMA == "repro.service/1"
+        assert GOOD.schema == SCHEMA == "repro.service/2"
         assert GOOD.to_dict()["schema"] == SCHEMA
 
     def test_to_json_is_strict_json(self):

@@ -1,0 +1,235 @@
+"""JobHandle: lifecycle, progress events, cancellation semantics."""
+
+import threading
+
+import pytest
+
+from repro.errors import JobCancelledError
+from repro.service import (
+    AnalysisRequest,
+    AnalysisService,
+    JOB_STATUSES,
+    JobHandle,
+    PipelineRequest,
+    SuiteRequest,
+)
+
+
+@pytest.fixture
+def service():
+    with AnalysisService() as svc:
+        yield svc
+
+
+class TestLifecycle:
+    def test_submit_returns_job_handle(self, service):
+        job = service.submit(AnalysisRequest(workload="fib", delta=0.05))
+        assert isinstance(job, JobHandle)
+        assert job.job_id.startswith("job-")
+        envelope = job.result()
+        assert envelope.ok
+        assert job.status() == "done"
+        assert job.done()
+
+    def test_envelope_stamped_with_job_identity(self, service):
+        job = service.submit(AnalysisRequest(workload="fib", delta=0.05))
+        envelope = job.result()
+        assert envelope.job_id == job.job_id
+        assert envelope.backend == "inline"
+        # The stamped envelope still round-trips losslessly.
+        from repro.service import ResultEnvelope
+
+        assert ResultEnvelope.from_json(envelope.to_json()) == envelope
+
+    def test_job_ids_are_distinct_and_registered(self, service):
+        jobs = [
+            service.submit(AnalysisRequest(workload="fib", delta=0.05))
+            for _ in range(3)
+        ]
+        assert len({job.job_id for job in jobs}) == 3
+        for job in jobs:
+            job.result()
+            assert service.job(job.job_id) is job
+        assert service.job("job-nope") is None
+        assert set(jobs) <= set(service.jobs())
+
+    def test_error_requests_land_in_error_status(self, service):
+        job = service.submit(AnalysisRequest(workload="nope"))
+        envelope = job.result()  # error envelopes return, never raise
+        assert not envelope.ok
+        assert job.status() == "error"
+
+    def test_statuses_are_the_documented_five(self):
+        assert JOB_STATUSES == (
+            "queued", "running", "done", "error", "cancelled"
+        )
+
+    def test_result_timeout(self, service):
+        release = threading.Event()
+        job = service.submit(
+            AnalysisRequest(workload="fib", delta=0.05),
+            progress=lambda event: release.wait(timeout=10),
+        )
+        with pytest.raises(TimeoutError):
+            job.result(timeout=0.05)
+        release.set()
+        assert job.result(timeout=30).ok
+
+
+class TestProgressEvents:
+    def test_analysis_streams_sweep_events(self, service):
+        job = service.submit(AnalysisRequest(workload="fib", delta=0.05))
+        job.result()
+        events = list(job.events())
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "status" and events[0]["status"] == "running"
+        assert kinds[-1] == "status" and events[-1]["status"] == "done"
+        sweeps = [event for event in events if event["event"] == "sweep"]
+        assert len(sweeps) == job.result().result["iterations"]
+        assert all(event["job_id"] == job.job_id for event in events)
+        # Sweep deltas shrink towards convergence (first one is inf).
+        assert sweeps[0]["delta"] == float("inf")
+        assert sweeps[-1]["delta"] <= 0.05
+
+    def test_suite_streams_kernel_events(self, service):
+        job = service.submit(
+            SuiteRequest(workloads=("fib", "crc32"), delta=0.05)
+        )
+        job.result()
+        kernels = [
+            event for event in job.events() if event["event"] == "kernel"
+        ]
+        assert [event["name"] for event in kernels] == ["fib", "crc32"]
+        assert all(event["total"] == 2 for event in kernels)
+        assert [event["index"] for event in kernels] == [0, 1]
+        assert all(event["converged"] for event in kernels)
+
+    def test_pipeline_streams_stage_events(self, service):
+        job = service.submit(PipelineRequest(
+            stages=("fib", "crc32", "fib"), machine="rf16", delta=0.01,
+        ))
+        job.result()
+        events = list(job.events())
+        stages = [event for event in events if event["event"] == "stage"]
+        assert [event["name"] for event in stages] == ["fib", "crc32", "fib"]
+        # The stacked strategy also reports its pipeline-wide sweeps.
+        assert any(event["event"] == "sweep" for event in events)
+
+    def test_events_replay_for_late_subscribers(self, service):
+        job = service.submit(AnalysisRequest(workload="fib", delta=0.05))
+        job.result()
+        first = list(job.events())
+        second = list(job.events())
+        assert first == second and len(first) >= 3
+
+    def test_live_subscriber_sees_every_event(self, service):
+        seen = []
+        job = service.submit(
+            AnalysisRequest(workload="fib", delta=0.05),
+            progress=seen.append,
+        )
+        job.result()
+        job.wait()
+        # The subscriber got the same stream the handle recorded
+        # (including the terminal status event).
+        assert seen == list(job.events())
+
+
+class TestCancellation:
+    """Acceptance: cancel() for queued (never runs) and running
+    (finishes, result discarded) jobs."""
+
+    def test_cancel_queued_job_never_runs(self):
+        with AnalysisService(max_workers=1) as service:
+            gate = threading.Event()
+            blocker = service.submit(
+                AnalysisRequest(workload="fib", delta=0.05),
+                progress=lambda event: gate.wait(timeout=30),
+            )
+            # One worker thread is blocked inside the first job, so
+            # this one is still queued.
+            queued = service.submit(
+                AnalysisRequest(workload="crc32", delta=0.05)
+            )
+            assert queued.status() == "queued"
+            assert queued.cancel() is True
+            assert queued.status() == "cancelled"
+            gate.set()
+            assert blocker.result(timeout=60).ok
+            # The cancelled job went terminal without ever running: no
+            # "running" transition, no sweeps, just the cancel event.
+            assert queued.done()
+            events = list(queued.events())
+            assert [event["event"] for event in events] == ["status"]
+            assert events[0]["status"] == "cancelled"
+            with pytest.raises(JobCancelledError):
+                queued.result()
+            # Cancelling again is a no-op on a terminal job.
+            assert queued.cancel() is False
+
+    def test_cancel_running_job_discards_result(self):
+        with AnalysisService(max_workers=1) as service:
+            gate = threading.Event()
+            running = threading.Event()
+
+            def block_once(event):
+                running.set()
+                gate.wait(timeout=30)
+
+            job = service.submit(
+                AnalysisRequest(workload="fib", delta=0.05),
+                progress=block_once,
+            )
+            assert running.wait(timeout=30)
+            assert job.status() == "running"
+            assert job.cancel() is True
+            gate.set()
+            assert job.wait(timeout=60)
+            # The job ran to completion but its result was discarded.
+            assert job.status() == "cancelled"
+            with pytest.raises(JobCancelledError):
+                job.result()
+            events = list(job.events())
+            assert events[-1]["status"] == "cancelled"
+            assert any(event["event"] == "sweep" for event in events)
+
+    def test_cancel_done_job_is_a_noop(self, service):
+        job = service.submit(AnalysisRequest(workload="fib", delta=0.05))
+        assert job.result().ok
+        assert job.cancel() is False
+        assert job.status() == "done"
+
+
+class TestRegistryBounds:
+    def test_dropped_terminal_jobs_leave_the_registry(self, service):
+        """The registry is weak-valued: a finished job whose handle the
+        caller dropped (what serve/worker loops do) is collected
+        instead of pinning its envelope and event history."""
+        import gc
+
+        job = service.submit(AnalysisRequest(workload="fib", delta=0.05))
+        job.result()
+        job_id = job.job_id
+        assert service.job(job_id) is job
+        del job
+        gc.collect()
+        assert service.job(job_id) is None
+
+    def test_held_terminal_jobs_evict_fifo(self, service):
+        from repro.service.service import _MAX_JOBS
+
+        first = service.submit(AnalysisRequest(workload="fib", delta=0.05))
+        first.result()
+        # Flood the registry with terminal jobs whose handles are all
+        # still strongly held — the FIFO cap is what bounds those.
+        held = []
+        with service._lock:
+            for i in range(_MAX_JOBS + 10):
+                job = JobHandle(f"stub-{i}", None)
+                job._status = "done"
+                job._terminal = True
+                service._jobs[job.job_id] = job
+                held.append(job)
+        service.submit(AnalysisRequest(workload="fib", delta=0.05)).result()
+        assert len(service._jobs) <= _MAX_JOBS + 1
+        assert all(job.done() for job in held)  # handles still usable

@@ -1,0 +1,262 @@
+"""Protocol v2 compatibility: error taxonomy, v1 revival, serve modes."""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ProtocolError, ReproError
+from repro.service import (
+    SCHEMAS,
+    AnalysisRequest,
+    AnalysisService,
+    InvalidRequest,
+    ResultEnvelope,
+    request_from_dict,
+    request_from_json,
+    serve_forever,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+class TestProtocolErrorTaxonomy:
+    """Wire-level violations raise ProtocolError (still a ReproError)."""
+
+    def test_is_a_repro_error(self):
+        assert issubclass(ProtocolError, ReproError)
+
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError, match="malformed request JSON"):
+            request_from_json("{nope")
+
+    def test_non_object_document(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            request_from_json('["analyze"]')
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            request_from_dict({"kind": "transmogrify"})
+        # The rejection message stays exact across the v2 redesign.
+        assert str(excinfo.value).startswith(
+            "unknown request kind 'transmogrify'; expected one of: "
+        )
+
+    def test_unknown_field_rejection_stays_exact(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            request_from_dict({"kind": "analyze", "detla": 0.01})
+        assert str(excinfo.value) \
+            == "unknown field(s) for 'analyze' request: detla"
+
+    def test_kind_mismatch_rejection_stays_exact(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            AnalysisRequest.from_dict({"kind": "suite"})
+        assert str(excinfo.value) == (
+            "request kind 'suite' does not match AnalysisRequest "
+            "(expected 'analyze')"
+        )
+
+    def test_analysis_errors_are_not_protocol_errors(self):
+        with AnalysisService() as service:
+            envelope = service.execute(AnalysisRequest(workload="nope"))
+        assert not envelope.ok
+        assert envelope.error["type"] == "UnknownWorkloadError"
+        assert not envelope.protocol_error
+
+
+class TestEnvelopeSchemaVersioning:
+    def test_v1_fixtures_revive_under_the_v2_reader(self):
+        """Archived repro.service/1 envelopes still parse losslessly."""
+        fixture_paths = sorted(FIXTURES.glob("envelope_v1_*.json"))
+        assert len(fixture_paths) >= 3
+        for path in fixture_paths:
+            text = path.read_text()
+            envelope = ResultEnvelope.from_json(text)
+            assert envelope.schema == "repro.service/1"
+            # v2-only fields default, rather than failing the parse.
+            assert envelope.job_id is None
+            assert envelope.backend is None
+            # The revived envelope round-trips back to the same dict
+            # (the reader preserves the declared schema version).
+            assert ResultEnvelope.from_dict(envelope.to_dict()) == envelope
+            assert envelope.to_dict()["schema"] == "repro.service/1"
+            original = json.loads(text)
+            assert envelope.ok == original["ok"]
+            assert envelope.request.request_id \
+                == original["request"]["request_id"]
+
+    def test_v1_error_fixture_keeps_exit_semantics(self):
+        envelope = ResultEnvelope.from_json(
+            (FIXTURES / "envelope_v1_error.json").read_text()
+        )
+        assert isinstance(envelope.request, InvalidRequest)
+        assert envelope.exit_code == 1
+
+    def test_v1_suite_fixture_report_revives(self):
+        from repro.core.suite_runner import SuiteReport
+
+        envelope = ResultEnvelope.from_json(
+            (FIXTURES / "envelope_v1_suite.json").read_text()
+        )
+        report = SuiteReport.from_dict(envelope.result["report"])
+        assert [item.name for item in report.items] == ["fib", "crc32"]
+
+    def test_unknown_schema_rejected(self):
+        good = ResultEnvelope(request=AnalysisRequest(workload="fib"))
+        data = good.to_dict()
+        data["schema"] = "repro.service/9"
+        with pytest.raises(ProtocolError, match="unsupported envelope schema"):
+            ResultEnvelope.from_dict(data)
+
+    def test_known_schemas(self):
+        assert SCHEMAS == ("repro.service/1", "repro.service/2")
+
+
+def _serve(lines, unordered=False, **service_kwargs):
+    out = io.StringIO()
+    with AnalysisService(**service_kwargs) as service:
+        result = serve_forever(service, lines, out, unordered=unordered)
+    envelopes = [json.loads(line) for line in out.getvalue().splitlines()]
+    return result, envelopes
+
+
+class TestServeProtocolErrors:
+    def test_protocol_errors_counted(self):
+        result, envelopes = _serve([
+            "{nope",
+            '{"kind": "transmogrify"}',
+            '{"kind": "analyze", "workload": "fib", "delta": 0.05}',
+            '{"kind": "analyze", "workload": "nope"}',
+        ])
+        assert result == 4  # int compatibility: lines answered
+        assert result.answered == 4
+        # Two wire-level violations; the unknown-workload failure is an
+        # analysis error, not a protocol error.
+        assert result.protocol_errors == 2
+        assert result.exit_code == 3
+        types = [
+            (env.get("error") or {}).get("type") for env in envelopes
+        ]
+        assert types == ["ProtocolError", "ProtocolError", None,
+                         "UnknownWorkloadError"]
+
+    def test_clean_session_exit_code_zero(self):
+        result, envelopes = _serve([
+            '{"kind": "analyze", "workload": "fib", "delta": 0.05}',
+        ])
+        assert result.protocol_errors == 0
+        assert result.exit_code == 0
+        assert envelopes[0]["ok"] is True
+
+    def test_executed_protocol_error_envelope_counts(self):
+        # "invalid" parses (it is a registered kind) but has no
+        # executor: the answered envelope carries ProtocolError and
+        # must reach the exit-3 tally like a parse failure would.
+        result, envelopes = _serve(['{"kind": "invalid"}'])
+        assert result.protocol_errors == 1 and result.exit_code == 3
+        assert envelopes[0]["error"]["type"] == "ProtocolError"
+
+    def test_unknown_field_line_is_a_protocol_error(self):
+        result, envelopes = _serve([
+            '{"kind": "analyze", "workload": "fib", "detla": 0.01}',
+        ])
+        assert result.protocol_errors == 1
+        assert envelopes[0]["error"]["type"] == "ProtocolError"
+        assert "unknown field(s)" in envelopes[0]["error"]["message"]
+
+    def test_cli_serve_exit_codes(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("{nope\n"))
+        assert main(["serve"]) == 3
+        capsys.readouterr()
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            '{"kind": "workloads"}\n'
+        ))
+        assert main(["serve"]) == 0
+
+
+class TestUnorderedServe:
+    REQUESTS = [
+        json.dumps({"kind": "analyze", "workload": name, "delta": 0.05,
+                    "request_id": f"u{i}"})
+        for i, name in enumerate(["fib", "crc32", "fir", "iir"])
+    ]
+
+    def test_every_request_answered_once(self):
+        result, envelopes = _serve(self.REQUESTS, unordered=True,
+                                   max_workers=4)
+        assert result == len(self.REQUESTS)
+        ids = sorted(env["request"]["request_id"] for env in envelopes)
+        assert ids == ["u0", "u1", "u2", "u3"]
+        assert all(env["ok"] for env in envelopes)
+
+    def test_request_id_echo_is_the_correlation_handle(self):
+        _result, envelopes = _serve(self.REQUESTS, unordered=True,
+                                    max_workers=4)
+        for envelope in envelopes:
+            name = envelope["request"]["workload"]
+            assert envelope["result"]["function"] == name
+
+    def test_malformed_lines_still_answered(self):
+        result, envelopes = _serve(
+            ["{nope"] + self.REQUESTS, unordered=True, max_workers=4,
+        )
+        assert result == len(self.REQUESTS) + 1
+        assert result.protocol_errors == 1
+        invalid = [e for e in envelopes if e["request"]["kind"] == "invalid"]
+        assert len(invalid) == 1 and invalid[0]["error"]["type"] \
+            == "ProtocolError"
+
+    def test_ordered_stays_the_default(self):
+        result, envelopes = _serve(self.REQUESTS, max_workers=4)
+        assert result == len(self.REQUESTS)
+        assert [env["request"]["request_id"] for env in envelopes] \
+            == ["u0", "u1", "u2", "u3"]
+
+    def test_unordered_writes_do_not_wait_for_head_of_line(self):
+        """A slow head request must not block a fast one's envelope."""
+        import threading
+
+        out = io.StringIO()
+        written = threading.Event()
+        gate = threading.Event()
+
+        class SignallingOut:
+            def write(self, text):
+                out.write(text)
+                if "u-fast" in text:
+                    written.set()
+                return len(text)
+
+            def flush(self):
+                pass
+
+        lines_consumed = threading.Event()
+
+        def lines():
+            # Slow job first: its progress callback parks until the
+            # fast job's envelope has been written.
+            yield json.dumps({
+                "kind": "suite", "workloads": ["fib", "crc32", "fir"],
+                "delta": 0.005, "request_id": "u-slow",
+            })
+            yield json.dumps({
+                "kind": "workloads", "request_id": "u-fast",
+            })
+            lines_consumed.set()
+            # Hold the input open until the fast envelope proves the
+            # head-of-line block is gone.
+            assert written.wait(timeout=60)
+            gate.set()
+
+        with AnalysisService(max_workers=4) as service:
+            result = serve_forever(
+                service, lines(), SignallingOut(), unordered=True
+            )
+        assert gate.is_set()
+        assert result == 2
+        ids = [json.loads(line)["request"]["request_id"]
+               for line in out.getvalue().splitlines()]
+        assert set(ids) == {"u-slow", "u-fast"}
