@@ -45,8 +45,11 @@ def main() -> None:
 
     # 2. The thermal data flow analysis (paper Fig. 2): a thermal state
     #    after every instruction, iterated until the per-instruction
-    #    change drops below delta.
-    result = analyze(allocation.function, machine, delta=0.01)
+    #    change drops below delta.  sweep="auto" (the default) stores
+    #    the stacked sweep map CSR when it is big and sparse enough to
+    #    pay off — pass sweep="sparse" to force the CSR engine, which
+    #    runs the same iteration trace on O(nnz) work per sweep.
+    result = analyze(allocation.function, machine, delta=0.01, sweep="auto")
 
     # 3. Inspect.
     placement = ExactPlacement(machine.geometry.num_registers)

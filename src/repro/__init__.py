@@ -130,7 +130,7 @@ from .service import (
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def analyze(
@@ -142,6 +142,7 @@ def analyze(
     placement: PlacementModel | None = None,
     model: RFThermalModel | None = None,
     engine: str = "auto",
+    sweep: str = "auto",
 ) -> TDFAResult:
     """Analyze *function* through the process-wide default service.
 
@@ -156,7 +157,7 @@ def analyze(
         return _core_analyze(
             function, machine, delta=delta, merge=merge,
             max_iterations=max_iterations, placement=placement,
-            model=model, engine=engine,
+            model=model, engine=engine, sweep=sweep,
         )
     context = default_service().context_for(machine)
     with context.lock:
@@ -167,6 +168,7 @@ def analyze(
             merge=merge,
             max_iterations=max_iterations,
             engine=engine,
+            sweep=sweep,
         )
 
 

@@ -105,6 +105,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fixed-point engine: compiled block transfers or "
                             "the per-instruction stepped loop (default auto)")
 
+    def add_sweep_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sweep",
+                       choices=["auto", "batched", "blockwise", "sparse"],
+                       default="auto",
+                       help="compiled-engine sweep strategy: dense stacked "
+                            "map (batched), CSR stacked map (sparse), "
+                            "per-block loop (blockwise), or density-chosen "
+                            "(default auto)")
+
     def add_stats_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("--stats", action="store_true",
                        help="print the shared analysis context's cache stats")
@@ -112,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_an = sub.add_parser("analyze", help="run the thermal data flow analysis")
     add_input_args(p_an)
     add_analysis_args(p_an, delta=0.01)
+    add_sweep_arg(p_an)
     p_an.add_argument("--max-iterations", type=int, default=2000,
                       help="iteration budget before reporting non-convergence "
                            "(default 2000)")
@@ -129,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_co = sub.add_parser("compile", help="thermal-aware compilation pipeline")
     add_input_args(p_co)
     add_analysis_args(p_co, delta=0.05)
+    add_sweep_arg(p_co)
     p_co.add_argument("--policy", default="first-free",
                       help="baseline assignment policy (default first-free)")
     add_stats_arg(p_co)
@@ -159,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="freq", help="CFG join mode (default freq)")
     p_su.add_argument("--engine", choices=["auto", "compiled", "stepped"],
                       default="auto", help="fixed-point engine (default auto)")
+    add_sweep_arg(p_su)
     p_su.add_argument("--policy", default="first-free",
                       help="assignment policy for allocation "
                            "(default first-free)")
@@ -209,6 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_pl.add_argument("--engine", choices=["auto", "compiled", "stepped"],
                       default="auto", help="fixed-point engine for the "
                       "sequential strategy (default auto)")
+    add_sweep_arg(p_pl)
     p_pl.add_argument("--policy", default="first-free",
                       help="assignment policy for allocation "
                            "(default first-free)")
@@ -279,6 +292,7 @@ def cmd_analyze(args) -> int:
         delta=args.delta,
         merge=args.merge,
         engine=args.engine,
+        sweep=args.sweep,
         max_iterations=args.max_iterations,
         top=args.top,
         show_map=not args.no_map,
@@ -295,6 +309,7 @@ def cmd_compile(args) -> int:
         delta=args.delta,
         merge=args.merge,
         engine=args.engine,
+        sweep=args.sweep,
     )
     return _print_envelope(default_service().execute(request), stats=args.stats)
 
@@ -328,6 +343,7 @@ def cmd_suite(args) -> int:
         delta=args.delta,
         merge=args.merge,
         engine=args.engine,
+        sweep=args.sweep,
         policy=args.policy,
         quick=args.quick,
         include_pressure=args.pressure,
@@ -423,6 +439,7 @@ def cmd_pipeline(args) -> int:
         delta=args.delta,
         merge=args.merge,
         engine=args.engine,
+        sweep=args.sweep,
     )
     envelope = default_service().execute(request)
     code = _print_envelope(envelope, stats=args.stats)

@@ -84,12 +84,20 @@ class AnalysisContext:
         model: RFThermalModel | None = None,
         config: TDFAConfig | None = None,
         power_model_factory: Callable[[PlacementModel], object] | None = None,
+        cache_capacity: int = 256,
     ) -> None:
         self.machine = machine
         self.model = model or RFThermalModel(
             machine.geometry, energy=machine.energy
         )
         self.config = config or TDFAConfig()
+        if cache_capacity < 1:
+            raise ValueError("cache_capacity must be at least 1")
+        #: Per-function cache bound: each of the profile/summary/solution
+        #: /warm-start stores holds at most this many entries, evicting
+        #: oldest-inserted first (FIFO) so unbounded function churn
+        #: cannot grow the context without bound.
+        self.cache_capacity = cache_capacity
         self.exact_placement = ExactPlacement(machine.geometry.num_registers)
         self._power_model_factory = power_model_factory or (
             lambda placement: InstructionPowerModel(
@@ -112,6 +120,14 @@ class AnalysisContext:
         self._solutions: dict[
             tuple[Function, str, bool], tuple[object, object, object, object]
         ] = {}
+        # Previously converged stacked fixed points, keyed like
+        # summaries/solutions and validated against the rpo they were
+        # stacked over — what warm-starts an incremental re-analysis
+        # after invalidate(function, blocks=...).
+        self._warm_starts: dict[
+            tuple[Function, str, bool], tuple[tuple[str, ...], object]
+        ] = {}
+        self._evictions = 0
         self._analyses_run = 0
         self._pipelines_run = 0
         self._summary_compiles = 0
@@ -130,6 +146,7 @@ class AnalysisContext:
             "block_hits": 0,
             "sweep_compiles": 0,
             "sweep_hits": 0,
+            "sweep_patches": 0,
             "pipeline_compiles": 0,
             "pipeline_hits": 0,
         }
@@ -189,6 +206,12 @@ class AnalysisContext:
             self._caches[key] = cached
         return cached
 
+    def _bound(self, store: dict) -> None:
+        """FIFO-evict *store* down to :attr:`cache_capacity` entries."""
+        while len(store) > self.cache_capacity:
+            store.pop(next(iter(store)))
+            self._evictions += 1
+
     def static_profile(self, function: Function) -> StaticProfile:
         """The static execution profile of *function*, cached per object."""
         signature = _cfg_signature(function)
@@ -197,6 +220,7 @@ class AnalysisContext:
             return cached[1]
         profile = static_profile(function)
         self._profiles[function] = (signature, profile)
+        self._bound(self._profiles)
         return profile
 
     # ------------------------------------------------------------------
@@ -288,8 +312,49 @@ class AnalysisContext:
             self.static_profile(function),
         )
         self._solutions[key] = (signature, solution, rpo, index)
+        self._bound(self._solutions)
         self._solve_compiles += 1
         return solution, rpo, index
+
+    def warm_start(
+        self,
+        function: Function,
+        merge: str,
+        include_leakage: bool,
+        rpo: list[str],
+    ):
+        """The previously converged stacked fixed point, if still usable.
+
+        Returns the stored ``(m·n,)`` block-exit vector when one exists
+        for this (function, merge, leakage) and was stacked over the
+        same rpo; ``None`` otherwise.  The vector is only an *initial
+        guess* — the sweep map is a contraction, so a stale guess costs
+        iterations, never correctness — but rpo must match for the
+        stacking to line up at all.
+        """
+        cached = self._warm_starts.get((function, merge, include_leakage))
+        if cached is not None and cached[0] == tuple(rpo):
+            return cached[1]
+        return None
+
+    def store_warm_start(
+        self,
+        function: Function,
+        merge: str,
+        include_leakage: bool,
+        rpo: list[str],
+        stacked,
+    ) -> None:
+        """Remember a converged stacked fixed point for future warm starts.
+
+        Kept across ``invalidate(function, ...)`` on purpose: after a
+        block edit the old fixed point is the best available guess —
+        that is the incremental re-analysis path.  A full
+        ``invalidate()`` clears it.
+        """
+        key = (function, merge, include_leakage)
+        self._warm_starts[key] = (tuple(rpo), stacked)
+        self._bound(self._warm_starts)
 
     def summary(
         self,
@@ -322,6 +387,7 @@ class AnalysisContext:
             function, self, merge=merge, include_leakage=include_leakage
         )
         self._summaries[key] = (signature, summary)
+        self._bound(self._summaries)
         self._summary_compiles += 1
         return summary
 
@@ -356,7 +422,15 @@ class AnalysisContext:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> dict[str, int]:
-        """Aggregate counters: analyses run, compiles paid, hits served."""
+        """Aggregate counters: analyses run, compiles paid, hits served.
+
+        The ``*_nbytes`` entries are the memory footprints of the held
+        matrices — compiled transfers and sweeps (``transfer_nbytes``),
+        cached exit summaries (``summary_nbytes``), exact block-out
+        solutions (``solution_nbytes``) and stored warm-start vectors
+        (``warm_start_nbytes``) — which is where a sparse sweep's win
+        over the dense form is observable in service responses.
+        """
         totals = {
             "analyses": self._analyses_run,
             "pipelines": self._pipelines_run,
@@ -364,6 +438,7 @@ class AnalysisContext:
             "summary_hits": self._summary_hits,
             "solve_compiles": self._solve_compiles,
             "solve_hits": self._solve_hits,
+            "evictions": self._evictions,
             "power_models": len(self._power_models),
             "transfer_caches": len(self._caches),
             "operator_builds": self.model.operator_builds,
@@ -373,24 +448,51 @@ class AnalysisContext:
         for cache in self._caches.values():
             for key, value in cache.stats.as_dict().items():
                 totals[key] += value
+        totals["transfer_nbytes"] = sum(
+            cache.nbytes() for cache in self._caches.values()
+        )
+        totals["summary_nbytes"] = sum(
+            int(entry[1].matrix.nbytes) + int(entry[1].offset.nbytes)
+            for entry in self._summaries.values()
+        )
+        totals["solution_nbytes"] = sum(
+            int(entry[1].nbytes) for entry in self._solutions.values()
+        )
+        totals["warm_start_nbytes"] = sum(
+            int(entry[1].nbytes) for entry in self._warm_starts.values()
+        )
         return totals
 
-    def invalidate(self, function: Function | None = None) -> None:
-        """Drop cached artifacts (of *function*, or reset everything).
+    def invalidate(
+        self, function: Function | None = None, blocks=None
+    ) -> None:
+        """Drop cached artifacts (of *blocks*, *function*, or everything).
 
-        With a *function*: drop its compiled blocks, sweeps and profile
-        — needed only after *in-place* CFG edits (transformed functions
-        are new objects and miss the identity-keyed caches naturally).
+        With a *function*: drop its compiled blocks, sweeps, profile,
+        summaries and solutions — needed only after *in-place* CFG
+        edits (transformed functions are new objects and miss the
+        identity-keyed caches naturally).  Artifacts keyed on *other*
+        functions survive untouched.
 
-        With no argument: full reset — power models and transfer caches
-        included.  Caches hold strong references and grow with every
-        distinct function and placement analyzed (each compiled sweep
-        is a few dense ``(m·n, m·n)`` matrices), so a very long-lived
-        context serving unbounded function churn — e.g. one compiler
-        pipeline per request — should reset periodically; counters in
+        With *blocks* (an iterable of block names of *function*): the
+        incremental path — only those blocks' compiled transfers are
+        dropped and the function's cached sweeps are marked dirty, so
+        the next analysis recompiles the touched blocks, patches the
+        affected rows of the stacked sweep in place, and (with
+        ``warm_start=True``) restarts the fixed point from the previous
+        converged solution.  Stale summaries and solutions for the
+        function are still dropped (they bake the edited transfers in);
+        the warm-start vector is deliberately kept.
+
+        With no argument: full reset — power models, transfer caches
+        and warm starts included.  The per-function stores are FIFO-
+        bounded at :attr:`cache_capacity` entries, so periodic resets
+        are no longer required under function churn; counters in
         :attr:`stats` survive a reset.
         """
         if function is None:
+            if blocks is not None:
+                raise ValueError("invalidate(blocks=...) requires a function")
             for cache in self._caches.values():
                 for key, value in cache.stats.as_dict().items():
                     self._retired_stats[key] += value
@@ -399,14 +501,19 @@ class AnalysisContext:
             self._profiles.clear()
             self._summaries.clear()
             self._solutions.clear()
+            self._warm_starts.clear()
             return
         for cache in self._caches.values():
-            cache.invalidate(function)
-        self._profiles.pop(function, None)
+            cache.invalidate(function, blocks=blocks)
+        if blocks is None:
+            self._profiles.pop(function, None)
         for key in [k for k in self._summaries if k[0] is function]:
             del self._summaries[key]
         for key in [k for k in self._solutions if k[0] is function]:
             del self._solutions[key]
+        if blocks is None:
+            for key in [k for k in self._warm_starts if k[0] is function]:
+                del self._warm_starts[key]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.stats

@@ -64,7 +64,7 @@ from ..workloads import load
 from .context import AnalysisContext
 from .summaries import FunctionSummary, compose_pipeline, exit_weight_plan
 from .tdfa import TDFAResult, converged_by, sweep_event
-from .transfer import affine_merge_plan
+from .transfer import affine_merge_plan, choose_sweep_form
 
 #: Report schema identifier (bump on incompatible changes).
 SCHEMA = "repro.pipeline/1"
@@ -282,7 +282,15 @@ def _analyze_stacked(
         plan = affine_merge_plan(
             function, rpo, preds, profile, config.merge, function.entry.name
         )
-        sweep = cache.sweep(function, rpo, plan, config.merge, compiled)
+        if config.sweep == "sparse":
+            form = "sparse"
+        elif config.sweep == "auto":
+            form = choose_sweep_form(plan, rpo, n)
+        else:
+            form = "dense"
+        sweep = cache.sweep(
+            function, rpo, plan, config.merge, compiled, form=form
+        )
         index = {name: i for i, name in enumerate(rpo)}
         exit_plans.append(
             [(index[name], w) for name, w in
@@ -529,6 +537,7 @@ def run_pipeline(
     delta: float = 0.01,
     merge: str = "freq",
     engine: str = "auto",
+    sweep: str = "auto",
     policy: str = "first-free",
     policies: list[str] | None = None,
     max_iterations: int = 2000,
@@ -550,8 +559,9 @@ def run_pipeline(
         Per-stage register-allocation policy names (default: *policy*
         for every stage).  Stages sharing (kernel, policy) share one
         allocated function object.
-    strategy / delta / merge / engine:
-        See :func:`analyze_pipeline`.
+    strategy / delta / merge / engine / sweep:
+        See :func:`analyze_pipeline` (``sweep`` selects the stacked
+        stage maps' storage form: dense, CSR, or density-chosen auto).
     context:
         Use this shared context instead of building one
         (``chip=True`` builds a die-level context otherwise).
@@ -631,6 +641,7 @@ def run_pipeline(
         delta=delta,
         merge=merge,
         engine=engine,
+        sweep=sweep,
         max_iterations=max_iterations,
     )
 

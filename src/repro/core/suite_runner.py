@@ -77,6 +77,9 @@ class SuiteReport:
     items: list[SuiteItem] = field(default_factory=list)
     wall_time_seconds: float = 0.0
     context_stats: dict[str, int] = field(default_factory=dict)
+    #: Requested sweep strategy ("auto"/"batched"/"blockwise"/"sparse");
+    #: per-item ``sweep`` records what each kernel actually used.
+    sweep: str = "auto"
 
     @property
     def all_converged(self) -> bool:
@@ -99,6 +102,7 @@ class SuiteReport:
             "delta": self.delta,
             "merge": self.merge,
             "engine": self.engine,
+            "sweep": self.sweep,
             "policy": self.policy,
             "processes": self.processes,
             "totals": self.totals(),
@@ -132,6 +136,7 @@ class SuiteReport:
             delta=data["delta"],
             merge=data["merge"],
             engine=data["engine"],
+            sweep=data.get("sweep", "auto"),
             policy=data["policy"],
             processes=data["processes"],
             items=items,
@@ -183,13 +188,14 @@ def analyze_workload(
     merge: str,
     engine: str,
     policy: str,
+    sweep: str = "auto",
 ) -> SuiteItem:
     """Allocate and analyze one workload through *context*."""
     allocated = allocate_linear_scan(
         workload.function, context.machine, policy_by_name(policy)
     ).function
     result = context.analyze(
-        allocated, delta=delta, merge=merge, engine=engine
+        allocated, delta=delta, merge=merge, engine=engine, sweep=sweep
     )
     peak = result.peak_state()
     ambient = context.model.params.ambient
@@ -216,14 +222,15 @@ _WORKER_ARGS: dict | None = None
 
 
 def _init_worker(machine_name: str, chip: bool, delta: float, merge: str,
-                 engine: str, policy: str) -> None:
+                 engine: str, policy: str, sweep: str = "auto") -> None:
     global _WORKER_CTX, _WORKER_ARGS
     machine = _MACHINES[machine_name]()
     _WORKER_CTX = (
         AnalysisContext.for_chip(machine) if chip else AnalysisContext(machine)
     )
     _WORKER_ARGS = {
-        "delta": delta, "merge": merge, "engine": engine, "policy": policy
+        "delta": delta, "merge": merge, "engine": engine, "policy": policy,
+        "sweep": sweep,
     }
 
 
@@ -289,6 +296,7 @@ def run_suite(
     delta: float = 0.01,
     merge: str = "freq",
     engine: str = "auto",
+    sweep: str = "auto",
     policy: str = "first-free",
     quick: bool = False,
     include_pressure: bool = False,
@@ -341,7 +349,8 @@ def run_suite(
         with multiprocessing.Pool(
             processes,
             initializer=_init_worker,
-            initargs=(machine_name, chip, delta, merge, engine, policy),
+            initargs=(machine_name, chip, delta, merge, engine, policy,
+                      sweep),
         ) as pool:
             records = []
             # imap keeps spec order while delivering each record as it
@@ -364,7 +373,8 @@ def run_suite(
         items = []
         for index, spec in enumerate(specs):
             item = analyze_workload(
-                _build_workload(spec), context, delta, merge, engine, policy
+                _build_workload(spec), context, delta, merge, engine, policy,
+                sweep=sweep,
             )
             items.append(item)
             report_progress(index, item)
@@ -376,6 +386,7 @@ def run_suite(
         delta=delta,
         merge=merge,
         engine=engine,
+        sweep=sweep,
         policy=policy,
         processes=processes,
         items=items,

@@ -40,6 +40,8 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.linalg
+import scipy.sparse
+import scipy.sparse.linalg
 
 from ..arch.machine import MachineDescription
 from ..dataflow.freq import static_profile
@@ -50,7 +52,12 @@ from ..thermal.rcmodel import RFThermalModel
 from ..thermal.state import ThermalState
 from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
 from .tdfa import TDFAConfig, ThermalDataflowAnalysis
-from .transfer import BlockTransferCache, affine_merge_plan, normalized_weights
+from .transfer import (
+    SPARSE_MIN_STACKED,
+    BlockTransferCache,
+    affine_merge_plan,
+    normalized_weights,
+)
 
 
 @dataclass(frozen=True)
@@ -173,8 +180,39 @@ def _solve_block_system(
     index = {name: i for i, name in enumerate(rpo)}
     plan = affine_merge_plan(function, rpo, preds, profile, merge, entry)
 
-    big = np.eye(m * n)  # becomes I − M in place
     rhs = np.zeros((m * n, n + 1))  # [E | c]
+    if m * n >= SPARSE_MIN_STACKED:
+        # M only has nonzero (n, n) blocks at direct CFG edges — no
+        # substitution chains here, unlike the composed sweep — so at
+        # chip scale the sparse LU factors far fewer entries than the
+        # dense solve touches.
+        coupling: dict[tuple[int, int], np.ndarray] = {}
+        for name in rpo:
+            i = index[name]
+            compiled = cache.block(function.block(name))
+            a_block = compiled.transfer.matrix
+            rows = slice(i * n, (i + 1) * n)
+            rhs[rows, n] = compiled.transfer.offset
+            coupling[(i, i)] = np.eye(n)
+            for src, w in plan[name]:
+                if src is None:
+                    rhs[rows, :n] += w * a_block
+                else:
+                    j = index[src]
+                    existing = coupling.get((i, j))
+                    block_term = -w * a_block
+                    coupling[(i, j)] = (
+                        block_term if existing is None
+                        else existing + block_term
+                    )
+        grid_blocks = [
+            [coupling.get((i, j)) for j in range(m)] for i in range(m)
+        ]
+        big = scipy.sparse.bmat(grid_blocks, format="csc")
+        solution = scipy.sparse.linalg.splu(big).solve(rhs)
+        return solution, rpo, index
+
+    big = np.eye(m * n)  # becomes I − M in place
     for name in rpo:
         i = index[name]
         compiled = cache.block(function.block(name))

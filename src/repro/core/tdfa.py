@@ -86,7 +86,7 @@ from ..ir.function import Function
 from ..thermal.rcmodel import RFThermalModel
 from ..thermal.state import ThermalState
 from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
-from .transfer import BlockTransferCache, affine_merge_plan
+from .transfer import BlockTransferCache, affine_merge_plan, choose_sweep_form
 
 #: Valid CFG merge modes.
 MERGE_MODES = ("max", "mean", "freq")
@@ -94,8 +94,9 @@ MERGE_MODES = ("max", "mean", "freq")
 #: Valid fixed-point engines ("auto" resolves per power model).
 ENGINE_MODES = ("auto", "compiled", "stepped")
 
-#: Valid compiled-engine sweep strategies ("auto" resolves per merge).
-SWEEP_MODES = ("auto", "batched", "blockwise")
+#: Valid compiled-engine sweep strategies ("auto" resolves per merge
+#: and, for the batched path, per measured block density).
+SWEEP_MODES = ("auto", "batched", "blockwise", "sparse")
 
 #: Valid convergence stop rules.
 STOP_MODES = ("change", "bound")
@@ -164,9 +165,19 @@ class TDFAConfig:
     ``"auto"`` (default) picks ``compiled`` whenever the power model has
     no leakage-temperature feedback.  ``sweep`` selects the compiled
     engine's sweep strategy: ``"batched"`` runs one whole sweep as a
-    single stacked mat-vec (affine merges only), ``"blockwise"`` is the
-    per-block loop, and ``"auto"`` (default) picks ``batched`` exactly
-    when the merge is affine (``freq``/``mean``).
+    single stacked mat-vec (affine merges only), ``"sparse"`` is the
+    same stacked map held CSR (same fixed point, iteration counts and
+    δ-histories — only the storage form differs), ``"blockwise"`` is
+    the per-block loop, and ``"auto"`` (default) picks the stacked path
+    exactly when the merge is affine (``freq``/``mean``), upgrading to
+    CSR storage when the composed map is big and sparse enough to win
+    (:func:`~repro.core.transfer.choose_sweep_form`).
+    ``warm_start`` lets a stacked run start its fixed point from the
+    owning context's previously converged solution for the same
+    (function, merge, leakage) instead of from ambient — the
+    incremental re-analysis path after ``invalidate(function,
+    blocks=...)``.  Off by default so repeated runs stay bitwise
+    reproducible.
     ``stop`` selects the convergence rule: ``"change"`` (default) is the
     paper's literal per-sweep-change test; ``"bound"`` additionally
     requires the contraction-estimated distance to the fixed point to be
@@ -184,6 +195,7 @@ class TDFAConfig:
     engine: str = "auto"
     sweep: str = "auto"
     stop: str = "change"
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -198,10 +210,11 @@ class TDFAConfig:
             raise DataflowError(f"sweep must be one of {SWEEP_MODES}")
         if self.stop not in STOP_MODES:
             raise DataflowError(f"stop must be one of {STOP_MODES}")
-        if self.sweep == "batched" and self.merge == "max":
+        if self.sweep in ("batched", "sparse") and self.merge == "max":
             raise DataflowError(
-                "sweep='batched' requires an affine merge ('freq'/'mean'); "
-                "max joins are not affine — use sweep='blockwise' (or 'auto')"
+                f"sweep={self.sweep!r} requires an affine merge "
+                "('freq'/'mean'); max joins are not affine — use "
+                "sweep='blockwise' (or 'auto')"
             )
 
 
@@ -427,14 +440,19 @@ class ThermalDataflowAnalysis:
             return ThermalState.weighted_mean(states, weights)
 
         if engine == "compiled":
-            iterate = (
-                self._iterate_batched if sweep == "batched"
-                else self._iterate_blockwise
-            )
-            converged, iterations, delta_history = iterate(
-                function, rpo, preds, profile, entry, ambient,
-                block_in, block_out, after, power_model, dt, progress,
-            )
+            if sweep in ("batched", "sparse"):
+                converged, iterations, delta_history, sweep = (
+                    self._iterate_batched(
+                        function, rpo, preds, profile, entry, ambient,
+                        block_in, block_out, after, power_model, dt,
+                        progress, requested=sweep,
+                    )
+                )
+            else:
+                converged, iterations, delta_history = self._iterate_blockwise(
+                    function, rpo, preds, profile, entry, ambient,
+                    block_in, block_out, after, power_model, dt, progress,
+                )
         else:
             converged, iterations, delta_history = self._iterate_stepped(
                 function, rpo, merge, block_in, block_out, after,
@@ -496,7 +514,8 @@ class ThermalDataflowAnalysis:
     def _iterate_batched(
         self, function, rpo, preds, profile, entry, ambient,
         block_in, block_out, after, power_model, dt, progress=None,
-    ) -> tuple[bool, int, list[float]]:
+        requested: str = "batched",
+    ) -> tuple[bool, int, list[float], str]:
         """Two stacked mat-vecs per sweep over the composed sweep map.
 
         The whole Gauss–Seidel sweep — merge every block's predecessors
@@ -510,17 +529,40 @@ class ThermalDataflowAnalysis:
         counts and delta histories match the blockwise engine sweep for
         sweep.  After convergence, interior states are materialized in
         one reconstruction sweep from the final entry states.
+
+        *requested* is the resolved sweep strategy: ``"sparse"`` forces
+        CSR storage of the stacked map; ``"batched"`` keeps it dense
+        unless ``config.sweep == "auto"`` and the merge plan's measured
+        block density says CSR wins — the map is the same either way,
+        so the iteration trace is identical.  Returns the storage form
+        actually used as the fourth element.
         """
         config = self.config
         cache = self._ensure_cache(power_model, dt)
         compiled = {name: cache.block(function.block(name)) for name in rpo}
         plan = affine_merge_plan(function, rpo, preds, profile, config.merge, entry)
-        sweep = cache.sweep(function, rpo, plan, config.merge, compiled)
 
         amb = ambient.temperatures
         grid = ambient.grid
         n = grid.num_nodes
-        outs = np.tile(amb, len(rpo))
+        if requested == "sparse":
+            form = "sparse"
+        elif config.sweep == "auto":
+            form = choose_sweep_form(plan, rpo, n)
+        else:
+            form = "dense"
+        sweep = cache.sweep(
+            function, rpo, plan, config.merge, compiled, form=form
+        )
+        label = "sparse" if form == "sparse" else "batched"
+
+        outs = None
+        if config.warm_start and self.context is not None:
+            outs = self.context.warm_start(
+                function, config.merge, config.include_leakage, rpo
+            )
+        if outs is None:
+            outs = np.tile(amb, len(rpo))
         ins = outs
         in_term, out_term = sweep.entry_terms(amb)
 
@@ -551,6 +593,11 @@ class ThermalDataflowAnalysis:
             if outs.max() > 1000.0:
                 break
 
+        if converged and self.context is not None:
+            self.context.store_warm_start(
+                function, config.merge, config.include_leakage, rpo, outs
+            )
+
         # One reconstruction sweep per block: per-instruction states and
         # exit states all derive from the final sweep's entry states.
         ins_per_block = ins.reshape(len(rpo), n)
@@ -561,7 +608,7 @@ class ThermalDataflowAnalysis:
             block_out[name] = ThermalState(grid, states[-1] if states else vec)
             for idx, temps in enumerate(states):
                 after[(name, idx)] = ThermalState(grid, temps)
-        return converged, iterations, delta_history
+        return converged, iterations, delta_history, label
 
     def _iterate_blockwise(
         self, function, rpo, preds, profile, entry, ambient,
@@ -734,6 +781,7 @@ def analyze(
     placement: PlacementModel | None = None,
     model: RFThermalModel | None = None,
     engine: str = "auto",
+    sweep: str = "auto",
 ) -> TDFAResult:
     """One-call convenience wrapper around :class:`ThermalDataflowAnalysis`."""
     analysis = ThermalDataflowAnalysis(
@@ -741,7 +789,8 @@ def analyze(
         model=model,
         placement=placement,
         config=TDFAConfig(
-            delta=delta, merge=merge, max_iterations=max_iterations, engine=engine
+            delta=delta, merge=merge, max_iterations=max_iterations,
+            engine=engine, sweep=sweep,
         ),
     )
     return analysis.run(function)

@@ -65,6 +65,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse
 
 from ..errors import DataflowError
 from ..ir.block import BasicBlock
@@ -74,6 +75,36 @@ from ..thermal.state import ThermalState
 #: Human-readable identity of a compiled block: (block name, instruction
 #: count).  Diagnostics only — the cache itself keys by object identity.
 BlockKey = tuple[str, int]
+
+#: Valid stacked-sweep storage forms (see :func:`choose_sweep_form`).
+SWEEP_FORMS = ("dense", "sparse")
+
+#: Auto-heuristic cutoffs for the CSR sweep representation.  A stacked
+#: sweep map only has nonzero ``(n, n)`` blocks where the Gauss–Seidel
+#: substitution chain actually couples two blocks, so its block density
+#: is knowable from the merge plan alone (:func:`estimate_sweep_density`)
+#: — no dense matrix is ever built just to measure it.  Below
+#: ``SPARSE_MIN_STACKED`` rows, dense BLAS mat-vecs beat CSR regardless
+#: of density (measured crossover on the reproduction's kernels: CSR is
+#: ~2–3× faster from 512 stacked rows up, dense wins below ~448).
+SPARSE_DENSITY_CUTOFF = 0.25
+SPARSE_MIN_STACKED = 512
+
+
+def _to_dense(matrix) -> np.ndarray:
+    """A plain ndarray view of a dense or scipy.sparse matrix."""
+    if scipy.sparse.issparse(matrix):
+        return matrix.toarray()
+    return np.asarray(matrix)
+
+
+def _matrix_nbytes(matrix) -> int:
+    """Bytes actually held by a dense or CSR/CSC matrix."""
+    if scipy.sparse.issparse(matrix):
+        return int(
+            matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        )
+    return int(matrix.nbytes)
 
 
 @dataclass(frozen=True)
@@ -119,6 +150,30 @@ class AffineTransfer:
     def contraction_factor(self) -> float:
         """∞-norm of the linear part (< 1 for any RC-derived transfer)."""
         return float(np.abs(self.matrix).sum(axis=1).max())
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the linear part is stored as a scipy.sparse matrix."""
+        return scipy.sparse.issparse(self.matrix)
+
+    def sparsified(self) -> "AffineTransfer":
+        """This transfer with its linear part stored CSR.
+
+        ``apply``/``then``/``contraction_factor`` work identically on
+        either storage; worth it only when the matrix is actually sparse
+        (block transfers ``op^k`` are dense — the sparse win lives in
+        the *stacked* sweep maps, see :class:`SparseSweep`).
+        """
+        if self.is_sparse:
+            return self
+        return AffineTransfer(
+            scipy.sparse.csr_matrix(self.matrix), self.offset, key=self.key
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the map's matrices (dense or CSR)."""
+        return _matrix_nbytes(self.matrix) + int(self.offset.nbytes)
 
 
 @dataclass(frozen=True)
@@ -285,6 +340,82 @@ def sweep_signature(function, rpo: list[str]) -> SweepSignature:
     )
 
 
+#: A merge plan frozen to a hashable per-rpo-row form — what a compiled
+#: sweep stores so row patching can tell which rows' recipes changed.
+PlanKey = tuple[tuple[tuple[str | None, float], ...], ...]
+
+
+def plan_key(plan: MergePlan, rpo: list[str]) -> PlanKey:
+    """*plan* as a per-row tuple aligned with *rpo* (order-preserving)."""
+    return tuple(
+        tuple((src, float(w)) for src, w in plan[name]) for name in rpo
+    )
+
+
+def _block_dep_sets(plan: MergePlan, rpo: list[str]) -> list[set[int]]:
+    """Which previous-sweep block outs each row of ``S`` references.
+
+    Mirrors :func:`compile_sweep`'s substitution walk at block
+    granularity: a block processed earlier this sweep contributes its
+    own dependency set, a back/self edge contributes the source itself.
+    ``S``'s nonzero ``(n, n)`` blocks are exactly these sets.
+    """
+    index = {name: i for i, name in enumerate(rpo)}
+    deps: list[set[int]] = []
+    for i, name in enumerate(rpo):
+        row: set[int] = set()
+        for src, _w in plan[name]:
+            if src is None:
+                continue
+            j = index[src]
+            if j < i:
+                row |= deps[j]
+            else:
+                row.add(j)
+        deps.append(row)
+    return deps
+
+
+def estimate_sweep_density(plan: MergePlan, rpo: list[str]) -> float:
+    """Predicted density of the stacked sweep matrix ``S``, from the plan.
+
+    Exact at block granularity (each coupled ``(n, n)`` block is dense,
+    everything else is structurally zero), so the auto heuristic can
+    pick a storage form *before* any matrix exists.
+    """
+    m = len(rpo)
+    if m == 0:
+        return 0.0
+    nnz_blocks = sum(len(row) for row in _block_dep_sets(plan, rpo))
+    return nnz_blocks / (m * m)
+
+
+def choose_sweep_form(plan: MergePlan, rpo: list[str], num_nodes: int) -> str:
+    """The storage form the auto heuristic picks for one stacked sweep.
+
+    ``"sparse"`` exactly when the stacked map is big enough for CSR
+    mat-vecs to beat dense BLAS *and* the plan-predicted density is low
+    enough for the nonzeros to pay for the index traffic; ``"dense"``
+    otherwise.  Pure function of CFG structure — no matrices are built.
+    """
+    if len(rpo) * num_nodes < SPARSE_MIN_STACKED:
+        return "dense"
+    if estimate_sweep_density(plan, rpo) > SPARSE_DENSITY_CUTOFF:
+        return "dense"
+    return "sparse"
+
+
+def sweep_density(sweep) -> float:
+    """Measured density of a built sweep's ``S`` matrix (either form)."""
+    matrix = sweep.matrix
+    size = matrix.shape[0] * matrix.shape[1]
+    if size == 0:
+        return 0.0
+    if scipy.sparse.issparse(matrix):
+        return matrix.nnz / size
+    return int(np.count_nonzero(matrix)) / size
+
+
 @dataclass(frozen=True)
 class CompiledSweep:
     """One whole Gauss–Seidel sweep as a single stacked affine map.
@@ -307,10 +438,35 @@ class CompiledSweep:
     in_matrix: np.ndarray         # S_in, (m·n, m·n)
     in_entry_matrix: np.ndarray   # E_in, (m·n, n)
     in_offset: np.ndarray         # g_in, (m·n,)
+    #: The merge plan the map was composed from, frozen per rpo row
+    #: (``None`` for sweeps built before row patching existed).  What
+    #: :func:`patch_sweep` diffs to find rows whose recipe changed.
+    plan: PlanKey | None = None
+
+    #: Storage form of the stacked matrices.
+    form = "dense"
 
     @property
     def num_blocks(self) -> int:
         return len(self.rpo)
+
+    @property
+    def nnz(self) -> int:
+        """Nonzeros of ``S`` + ``S_in`` (the per-sweep mat-vec work)."""
+        return int(np.count_nonzero(self.matrix)) + int(
+            np.count_nonzero(self.in_matrix)
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the six stacked arrays."""
+        return sum(
+            _matrix_nbytes(part)
+            for part in (
+                self.matrix, self.entry_matrix, self.offset,
+                self.in_matrix, self.in_entry_matrix, self.in_offset,
+            )
+        )
 
     def entry_terms(self, t_entry: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """The constant (entry-state) parts of one run's sweeps:
@@ -328,6 +484,88 @@ class CompiledSweep:
             self.in_matrix @ stacked + in_term,
             self.matrix @ stacked + out_term,
         )
+
+
+@dataclass(frozen=True)
+class SparseSweep:
+    """A :class:`CompiledSweep` with its stacked matrices stored CSR.
+
+    The same affine map — ``V' = S·V + E·T_entry + g`` plus the
+    pre-transfer twin — with ``S``/``E``/``S_in``/``E_in`` held as
+    ``scipy.sparse.csr_matrix``.  ``S`` only has nonzero ``(n, n)``
+    blocks where the Gauss–Seidel substitution chain couples two blocks
+    (measured densities on the kernel suite: 0.11–0.19), so one sweep
+    costs ``O(nnz)`` instead of ``O((m·n)²)`` and the held memory drops
+    by the same factor.  ``entry_terms``/``apply`` mirror
+    :class:`CompiledSweep` exactly — the fixed-point loop is agnostic to
+    the storage form — and the composed map is numerically the *same
+    matrix*, so iteration counts and δ-histories match the dense and
+    blockwise engines sweep for sweep.
+    """
+
+    rpo: tuple[str, ...]
+    signature: SweepSignature
+    matrix: scipy.sparse.csr_matrix            # S_out, (m·n, m·n)
+    entry_matrix: scipy.sparse.csr_matrix      # E_out, (m·n, n)
+    offset: np.ndarray                         # g_out, (m·n,)
+    in_matrix: scipy.sparse.csr_matrix         # S_in, (m·n, m·n)
+    in_entry_matrix: scipy.sparse.csr_matrix   # E_in, (m·n, n)
+    in_offset: np.ndarray                      # g_in, (m·n,)
+    plan: PlanKey | None = None
+
+    #: Storage form of the stacked matrices.
+    form = "sparse"
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.rpo)
+
+    @property
+    def nnz(self) -> int:
+        """Nonzeros of ``S`` + ``S_in`` (the per-sweep mat-vec work)."""
+        return int(self.matrix.nnz) + int(self.in_matrix.nnz)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the six stacked arrays (CSR data + indices)."""
+        return sum(
+            _matrix_nbytes(part)
+            for part in (
+                self.matrix, self.entry_matrix, self.offset,
+                self.in_matrix, self.in_entry_matrix, self.in_offset,
+            )
+        )
+
+    def entry_terms(self, t_entry: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The constant (entry-state) parts of one run's sweeps."""
+        return (
+            self.in_entry_matrix @ t_entry + self.in_offset,
+            self.entry_matrix @ t_entry + self.offset,
+        )
+
+    def apply(
+        self, stacked: np.ndarray, in_term: np.ndarray, out_term: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One sweep from the previous exits: ``(entry states, exit states)``."""
+        return (
+            self.in_matrix @ stacked + in_term,
+            self.matrix @ stacked + out_term,
+        )
+
+
+def sparsify_sweep(sweep: CompiledSweep) -> SparseSweep:
+    """The CSR form of a dense compiled sweep (same affine map)."""
+    return SparseSweep(
+        rpo=sweep.rpo,
+        signature=sweep.signature,
+        matrix=scipy.sparse.csr_matrix(sweep.matrix),
+        entry_matrix=scipy.sparse.csr_matrix(sweep.entry_matrix),
+        offset=sweep.offset,
+        in_matrix=scipy.sparse.csr_matrix(sweep.in_matrix),
+        in_entry_matrix=scipy.sparse.csr_matrix(sweep.in_entry_matrix),
+        in_offset=sweep.in_offset,
+        plan=sweep.plan,
+    )
 
 
 def compile_sweep(
@@ -411,6 +649,148 @@ def compile_sweep(
         in_matrix=in_matrix,
         in_entry_matrix=in_entry_matrix,
         in_offset=in_offset,
+        plan=plan_key(plan, rpo),
+    )
+
+
+def _dense_copy(matrix) -> np.ndarray:
+    if scipy.sparse.issparse(matrix):
+        return matrix.toarray()
+    return np.array(matrix)
+
+
+def patch_sweep(
+    old: "CompiledSweep | SparseSweep",
+    compiled: dict[str, CompiledBlock],
+    plan: MergePlan,
+    rpo: list[str],
+    num_nodes: int,
+    signature: SweepSignature,
+    dirty: set[str],
+) -> "CompiledSweep | SparseSweep":
+    """Re-derive only the stacked rows a block edit actually touched.
+
+    The substitution walk in :func:`compile_sweep` writes row *i* as a
+    function of the block-*i* transfer, the merge-plan row for block
+    *i*, and the already-written rows of its earlier-in-sweep sources.
+    So after an in-place edit of a few blocks, a row needs recomputing
+    iff its block is *dirty*, its plan row changed, or it substitutes a
+    recomputed earlier row; every other row is read back verbatim from
+    the cached sweep.  Back/self edges contribute ``w·I`` blocks that do
+    not depend on the source row's expression, so a changed *later*
+    block never invalidates an earlier row.  Recomputed rows accumulate
+    their terms in the same plan order as a cold compile, so the patched
+    sweep matches a from-scratch :func:`compile_sweep` to roundoff
+    (bitwise, for rows whose inputs are unchanged).
+    """
+    n = num_nodes
+    m = len(rpo)
+    index = {name: i for i, name in enumerate(rpo)}
+    new_plan = plan_key(plan, rpo)
+    old_plan = old.plan
+    dep_sets = _block_dep_sets(plan, rpo)
+    eye = np.eye(n)
+
+    changed: set[int] = set()
+    for i, name in enumerate(rpo):
+        if old_plan is None or name in dirty or old_plan[i] != new_plan[i]:
+            changed.add(i)
+            continue
+        for src, _w in plan[name]:
+            if src is None:
+                continue
+            j = index[src]
+            if j < i and j in changed:
+                changed.add(i)
+                break
+
+    # New dense (n, …) row-slabs for the recomputed rows only; unchanged
+    # rows stay in the cached sweep's storage (CSR slices for a sparse
+    # sweep) and are re-stacked verbatim — never densified wholesale.
+    out_mat: dict[int, np.ndarray] = {}
+    out_ent: dict[int, np.ndarray] = {}
+    in_mat: dict[int, np.ndarray] = {}
+    in_ent: dict[int, np.ndarray] = {}
+    offset = np.array(old.offset)
+    in_offset = np.array(old.in_offset)
+    fetched: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def expr_of(j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Row *j*'s post-transfer (matrix slab, entry slab), dense."""
+        if j in out_mat:
+            return out_mat[j], out_ent[j]
+        got = fetched.get(j)
+        if got is None:
+            rows = slice(j * n, (j + 1) * n)
+            got = (
+                _dense_copy(old.matrix[rows]),
+                _dense_copy(old.entry_matrix[rows]),
+            )
+            fetched[j] = got
+        return got
+
+    for i in sorted(changed):
+        name = rpo[i]
+        block = compiled[name]
+        a_block = block.transfer.matrix
+        deps: dict[int, np.ndarray] = {}
+        ent: np.ndarray | None = None
+        off = np.zeros(n)
+        for src, w in plan[name]:
+            if src is None:
+                ent = w * eye if ent is None else ent + w * eye
+                continue
+            j = index[src]
+            if j < i:  # substitute row j's stored post-transfer expression
+                mj, ej = expr_of(j)
+                for k in dep_sets[j]:
+                    mat = mj[:, k * n:(k + 1) * n]
+                    deps[k] = deps.get(k, 0.0) + w * mat
+                ent = w * ej if ent is None else ent + w * ej
+                off += w * offset[j * n:(j + 1) * n]
+            else:
+                deps[j] = deps.get(j, 0.0) + w * eye
+
+        in_slab = np.zeros((n, m * n))
+        out_slab = np.zeros((n, m * n))
+        for k, mat in deps.items():
+            in_slab[:, k * n:(k + 1) * n] = mat
+            out_slab[:, k * n:(k + 1) * n] = a_block @ mat
+        in_mat[i] = in_slab
+        in_ent[i] = ent if ent is not None else np.zeros((n, n))
+        in_offset[i * n:(i + 1) * n] = off
+        out_mat[i] = out_slab
+        out_ent[i] = (
+            a_block @ ent if ent is not None else np.zeros((n, n))
+        )
+        offset[i * n:(i + 1) * n] = a_block @ off + block.transfer.offset
+
+    def assemble(stored, slabs: dict[int, np.ndarray]):
+        """*stored* with the rows in *slabs* replaced, same storage form."""
+        if scipy.sparse.issparse(stored):
+            parts = [
+                scipy.sparse.csr_matrix(slabs[i])
+                if i in slabs
+                else stored[i * n:(i + 1) * n]
+                for i in range(m)
+            ]
+            return scipy.sparse.vstack(parts, format="csr")
+        result = np.array(stored)
+        for i, slab in slabs.items():
+            result[i * n:(i + 1) * n] = slab
+        return result
+
+    cls = SparseSweep if old.form == "sparse" else CompiledSweep
+    return cls(
+        rpo=tuple(rpo),
+        signature=signature,
+        matrix=assemble(old.matrix, out_mat),
+        entry_matrix=assemble(old.entry_matrix, out_ent),
+        offset=offset,
+        in_matrix=assemble(old.in_matrix, in_mat),
+        in_entry_matrix=assemble(old.in_entry_matrix, in_ent),
+        in_offset=in_offset,
+        plan=new_plan,
     )
 
 
@@ -472,6 +852,13 @@ class CompiledPipelineSweep:
     @property
     def stacked_size(self) -> int:
         return self.starts[-1] + self.stage_sweeps[-1].matrix.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the factored representation."""
+        return sum(sweep.nbytes for sweep in self.stage_sweeps) + sum(
+            int(m.nbytes) for m in self.exit_matrices
+        )
 
     def stage_slice(self, k: int) -> slice:
         end = (
@@ -540,13 +927,13 @@ class CompiledPipelineSweep:
                 t_dep = self.exit_matrices[k - 1] @ matrix[prev]
                 t_ent = self.exit_matrices[k - 1] @ entry_matrix[prev]
                 t_off = self.exit_matrices[k - 1] @ offset[prev]
-            matrix[rows] = sweep.entry_matrix @ t_dep
-            matrix[rows, rows] += sweep.matrix
-            entry_matrix[rows] = sweep.entry_matrix @ t_ent
+            matrix[rows] = _to_dense(sweep.entry_matrix) @ t_dep
+            matrix[rows, rows] += _to_dense(sweep.matrix)
+            entry_matrix[rows] = _to_dense(sweep.entry_matrix) @ t_ent
             offset[rows] = sweep.offset + sweep.entry_matrix @ t_off
-            in_matrix[rows] = sweep.in_entry_matrix @ t_dep
-            in_matrix[rows, rows] += sweep.in_matrix
-            in_entry_matrix[rows] = sweep.in_entry_matrix @ t_ent
+            in_matrix[rows] = _to_dense(sweep.in_entry_matrix) @ t_dep
+            in_matrix[rows, rows] += _to_dense(sweep.in_matrix)
+            in_entry_matrix[rows] = _to_dense(sweep.in_entry_matrix) @ t_ent
             in_offset[rows] = sweep.in_offset + sweep.in_entry_matrix @ t_off
         return (
             matrix, entry_matrix, offset,
@@ -604,6 +991,7 @@ class CacheStats:
     block_hits: int = 0
     sweep_compiles: int = 0
     sweep_hits: int = 0
+    sweep_patches: int = 0
     pipeline_compiles: int = 0
     pipeline_hits: int = 0
 
@@ -613,6 +1001,7 @@ class CacheStats:
             "block_hits": self.block_hits,
             "sweep_compiles": self.sweep_compiles,
             "sweep_hits": self.sweep_hits,
+            "sweep_patches": self.sweep_patches,
             "pipeline_compiles": self.pipeline_compiles,
             "pipeline_hits": self.pipeline_hits,
         }
@@ -645,7 +1034,15 @@ class BlockTransferCache:
         self.include_leakage = include_leakage
         self.stats = CacheStats()
         self._compiled: dict[BasicBlock, CompiledBlock] = {}
-        self._sweeps: dict[tuple[object, str], CompiledSweep] = {}
+        self._sweeps: dict[
+            tuple[object, str, str], CompiledSweep | SparseSweep
+        ] = {}
+        # Block names edited in place since each sweep was built — what
+        # lets ``sweep()`` patch rows instead of recompiling, and what
+        # forces a rebuild even when the CFG signature is unchanged (an
+        # in-place edit that keeps the instruction count keeps the
+        # signature too).
+        self._sweep_dirty: dict[tuple[object, str, str], set[str]] = {}
         self._pipelines: dict[
             tuple[tuple[object, ...], str], CompiledPipelineSweep
         ] = {}
@@ -680,44 +1077,78 @@ class BlockTransferCache:
         plan: MergePlan,
         merge: str,
         compiled: dict[str, CompiledBlock],
-    ) -> CompiledSweep:
+        form: str = "dense",
+    ) -> CompiledSweep | SparseSweep:
         """The composed Gauss–Seidel sweep of *function* under *merge*.
 
-        Cached per (function object, merge mode) and validated against
-        the CFG signature, so an in-place CFG edit recompiles instead of
-        serving a stale sweep.
+        Cached per (function object, merge mode, storage form) and
+        validated against the CFG signature plus the per-block dirty set
+        maintained by :meth:`invalidate` — an in-place edit that keeps
+        the instruction count keeps the signature, so the dirty set is
+        the only staleness signal for it.  A dirty sweep whose rpo is
+        intact is *patched* (:func:`patch_sweep` re-derives only the
+        touched rows) rather than recompiled.
         """
         signature = sweep_signature(function, rpo)
-        key = (function, merge)
+        key = (function, merge, form)
         cached = self._sweeps.get(key)
-        if cached is not None and cached.signature == signature:
+        dirty = self._sweep_dirty.get(key)
+        if cached is not None and cached.signature == signature and not dirty:
             self.stats.sweep_hits += 1
             return cached
+        if (
+            cached is not None
+            and dirty
+            and cached.plan is not None
+            and cached.rpo == tuple(rpo)
+            and all(
+                cached.signature[i] == signature[i]
+                for i, name in enumerate(rpo)
+                if name not in dirty
+            )
+        ):
+            built = patch_sweep(
+                cached, compiled, plan, rpo,
+                self.model.grid.num_nodes, signature, dirty,
+            )
+            self._sweeps[key] = built
+            self._sweep_dirty.pop(key, None)
+            self.stats.sweep_patches += 1
+            return built
         built = compile_sweep(
             compiled, plan, rpo, self.model.grid.num_nodes, signature
         )
+        if form == "sparse":
+            built = sparsify_sweep(built)
         self._sweeps[key] = built
+        self._sweep_dirty.pop(key, None)
         self.stats.sweep_compiles += 1
         return built
 
     def pipeline(
         self,
         functions: list,
-        stage_sweeps: list[CompiledSweep],
+        stage_sweeps: list[CompiledSweep | SparseSweep],
         exit_plans: list[ExitPlan],
         merge: str,
     ) -> CompiledPipelineSweep:
         """The stacked pipeline sweep of *functions*, compiled once.
 
         Cached per (tuple of function objects, merge mode) and validated
-        against every stage's CFG signature — a pipeline of repeated
+        by stage-sweep object *identity* — a pipeline of repeated
         kernels (same function objects) compiles once and re-analyzes
-        from cache.
+        from cache, while a patched or recompiled stage sweep (a new
+        object) forces the cheap recomposition automatically.
         """
         key = (tuple(functions), merge)
-        signatures = tuple(sweep.signature for sweep in stage_sweeps)
         cached = self._pipelines.get(key)
-        if cached is not None and cached.signatures == signatures:
+        if (
+            cached is not None
+            and len(cached.stage_sweeps) == len(stage_sweeps)
+            and all(
+                a is b for a, b in zip(cached.stage_sweeps, stage_sweeps)
+            )
+        ):
             self.stats.pipeline_hits += 1
             return cached
         built = compile_pipeline_sweep(
@@ -727,26 +1158,75 @@ class BlockTransferCache:
         self.stats.pipeline_compiles += 1
         return built
 
-    def invalidate(self, function=None) -> None:
-        """Drop compiled artifacts (of *function*, or everything).
+    def invalidate(self, function=None, blocks=None) -> None:
+        """Drop compiled artifacts (of *blocks*, *function*, or everything).
 
         Call after transforming a function *in place*; functions rebuilt
-        as new objects never alias and need no invalidation.
+        as new objects never alias and need no invalidation.  With
+        *blocks* (an iterable of block names of *function*), only those
+        blocks' compiled transfers are dropped and the function's cached
+        sweeps are marked dirty per block — the next :meth:`sweep` call
+        patches the touched rows instead of recompiling the whole map.
         """
         if function is None:
+            if blocks is not None:
+                raise DataflowError(
+                    "invalidate(blocks=...) requires a function"
+                )
             self._compiled.clear()
             self._sweeps.clear()
+            self._sweep_dirty.clear()
             self._pipelines.clear()
+            return
+        if blocks is not None:
+            names = set(blocks)
+            unknown = names - set(function.blocks)
+            if unknown:
+                raise DataflowError(
+                    f"invalidate: unknown blocks {sorted(unknown)}"
+                )
+            for name in names:
+                self._compiled.pop(function.blocks[name], None)
+            for key in self._sweeps:
+                if key[0] is function:
+                    self._sweep_dirty.setdefault(key, set()).update(names)
             return
         for block in function.blocks.values():
             self._compiled.pop(block, None)
         for key in [k for k in self._sweeps if k[0] is function]:
             del self._sweeps[key]
+            self._sweep_dirty.pop(key, None)
         for key in [
             k for k in self._pipelines
             if any(stage is function for stage in k[0])
         ]:
             del self._pipelines[key]
+
+    def nbytes(self) -> int:
+        """Bytes held by cached transfers, sweeps, and pipelines.
+
+        Stage sweeps shared between the per-function cache and a cached
+        pipeline are counted once (dedup by object identity).
+        """
+        total = 0
+        seen: set[int] = set()
+
+        def add(obj, amount: int) -> None:
+            nonlocal total
+            if id(obj) in seen:
+                return
+            seen.add(id(obj))
+            total += amount
+
+        for compiled in self._compiled.values():
+            add(compiled, compiled.transfer.nbytes)
+        for sweep in self._sweeps.values():
+            add(sweep, sweep.nbytes)
+        for pipe in self._pipelines.values():
+            for sweep in pipe.stage_sweeps:
+                add(sweep, sweep.nbytes)
+            add(pipe, sum(int(m.nbytes) for m in pipe.exit_matrices))
+        return total
 
     def __len__(self) -> int:
         return len(self._compiled)

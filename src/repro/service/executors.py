@@ -79,6 +79,7 @@ def execute_analyze(service, request: AnalysisRequest, progress=None):
             sweep=request.sweep,
             max_iterations=request.max_iterations,
             include_leakage=request.include_leakage,
+            warm_start=request.warm_start,
         )
         payload = {
             "function": allocated.name,
@@ -291,6 +292,7 @@ def execute_suite(service, request: SuiteRequest, progress=None):
         delta=request.delta,
         merge=request.merge,
         engine=request.engine,
+        sweep=request.sweep,
         policy=request.policy,
         quick=request.quick,
         include_pressure=request.include_pressure,
@@ -435,6 +437,7 @@ def execute_pipeline(service, request: PipelineRequest, progress=None):
             delta=request.delta,
             merge=request.merge,
             engine=request.engine,
+            sweep=request.sweep,
             policy=request.policy,
             policies=list(request.policies) if request.policies else None,
             max_iterations=request.max_iterations,

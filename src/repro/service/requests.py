@@ -148,6 +148,10 @@ class AnalysisRequest(_InputRequest):
     sweep: str = "auto"
     max_iterations: int = 2000
     include_leakage: bool = True
+    #: Start the fixed point from the shared context's previously
+    #: converged solution for this function, when one exists — the
+    #: incremental re-analysis knob (see ``TDFAConfig.warm_start``).
+    warm_start: bool = False
     top: int = 5
     show_map: bool = True
 
@@ -159,6 +163,7 @@ class AnalysisRequest(_InputRequest):
             sweep=self.sweep,
             max_iterations=self.max_iterations,
             include_leakage=self.include_leakage,
+            warm_start=self.warm_start,
         )
 
 
@@ -230,6 +235,7 @@ class SuiteRequest(Request):
     delta: float = 0.01
     merge: str = "freq"
     engine: str = "auto"
+    sweep: str = "auto"
     policy: str = "first-free"
     quick: bool = False
     include_pressure: bool = False
@@ -264,6 +270,7 @@ class PipelineRequest(Request):
     delta: float = 0.01
     merge: str = "freq"
     engine: str = "auto"
+    sweep: str = "auto"
     max_iterations: int = 2000
     #: Entry temperature vector (one value per thermal node) instead of
     #: uniform ambient — how a coordinator chains pipeline *chunks*

@@ -1,0 +1,202 @@
+"""Incremental re-analysis: dirty blocks, warm starts, bounded caches."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf64
+from repro.core import AnalysisContext
+from repro.errors import DataflowError
+from repro.ir import parse_instruction
+from repro.ir.cfg import reverse_postorder
+from repro.regalloc import allocate_linear_scan
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+def _allocated(name, machine):
+    return allocate_linear_scan(load(name).function, machine).function
+
+
+def _edit_block(function, name):
+    """Replace one instruction in place, keeping the instruction count
+    (hence the CFG signature) — the dirty set is the only staleness
+    signal for this kind of edit."""
+    function.blocks[name].instructions[0] = parse_instruction(
+        "r1 = add r2, r3"
+    )
+
+
+def _worst_block_diff(a, b):
+    return max(
+        float(np.max(np.abs(
+            np.asarray(a.block_out[name].temperatures)
+            - np.asarray(b.block_out[name].temperatures)
+        )))
+        for name in a.block_out
+    )
+
+
+class TestPartialInvalidate:
+    def test_other_functions_artifacts_survive(self, machine):
+        fir = _allocated("fir", machine)
+        crc = _allocated("crc32", machine)
+        ctx = AnalysisContext(machine)
+        ctx.analyze(fir)
+        ctx.analyze(crc)
+        ctx.summary(fir)
+        ctx.summary(crc)
+        ctx.block_solution(crc)
+        before = ctx.stats
+
+        ctx.invalidate(fir)
+
+        # crc's artifacts are still served from cache...
+        ctx.summary(crc)
+        ctx.block_solution(crc)
+        ctx.analyze(crc)
+        after = ctx.stats
+        assert after["summary_hits"] == before["summary_hits"] + 1
+        assert after["solve_hits"] == before["solve_hits"] + 1
+        assert after["sweep_compiles"] == before["sweep_compiles"]
+        # ...while fir's summary really was dropped.
+        ctx.summary(fir)
+        assert ctx.stats["summary_compiles"] == before["summary_compiles"] + 1
+
+    def test_blocks_without_function_rejected(self, machine):
+        ctx = AnalysisContext(machine)
+        with pytest.raises(ValueError):
+            ctx.invalidate(blocks=["entry"])
+
+    def test_unknown_block_names_rejected(self, machine):
+        fir = _allocated("fir", machine)
+        ctx = AnalysisContext(machine)
+        ctx.analyze(fir)
+        with pytest.raises(DataflowError):
+            ctx.invalidate(fir, blocks=["no_such_block"])
+
+
+class TestDirtyBlockReanalysis:
+    DELTA = 0.01
+
+    def _edited_chip_run(self, machine, warm_start):
+        function = _allocated("matmul", machine)
+        rpo = reverse_postorder(function)
+        ctx = AnalysisContext.for_chip(machine)
+        ctx.analyze(function, delta=self.DELTA, sweep="sparse")
+        _edit_block(function, rpo[1])
+        ctx.invalidate(function, blocks=[rpo[1]])
+        incremental = ctx.analyze(
+            function, delta=self.DELTA, sweep="sparse", warm_start=warm_start
+        )
+        cold = AnalysisContext.for_chip(machine).analyze(
+            function, delta=self.DELTA, sweep="sparse"
+        )
+        return ctx, incremental, cold
+
+    def test_patched_reanalysis_reproduces_cold_states(self, machine):
+        """The patched sweep equals a cold recompile bit for bit, so the
+        re-run lands on the cold trajectory well inside 1e-12."""
+        ctx, incremental, cold = self._edited_chip_run(
+            machine, warm_start=False
+        )
+        assert ctx.stats["sweep_patches"] == 1
+        assert ctx.stats["sweep_compiles"] == 1  # only the original build
+        assert incremental.iterations == cold.iterations
+        assert incremental.delta_history == cold.delta_history
+        assert _worst_block_diff(incremental, cold) <= 1e-12
+
+    def test_warm_start_converges_faster_within_tolerance(self, machine):
+        ctx, incremental, cold = self._edited_chip_run(
+            machine, warm_start=True
+        )
+        assert ctx.stats["sweep_patches"] == 1
+        assert incremental.converged
+        assert incremental.iterations < cold.iterations
+        # Both runs stop within the convergence band around the same
+        # fixed point, approaching it from different starting states —
+        # so they can sit on opposite sides of it.
+        assert _worst_block_diff(incremental, cold) <= 4 * self.DELTA
+
+    def test_clean_reanalysis_still_hits_the_sweep_cache(self, machine):
+        function = _allocated("fir", machine)
+        ctx = AnalysisContext(machine)
+        ctx.analyze(function)
+        ctx.analyze(function)
+        assert ctx.stats["sweep_compiles"] == 1
+        assert ctx.stats["sweep_hits"] == 1
+        assert ctx.stats["sweep_patches"] == 0
+
+    def test_warm_start_off_by_default_keeps_runs_identical(self, machine):
+        function = _allocated("fir", machine)
+        ctx = AnalysisContext(machine)
+        first = ctx.analyze(function)
+        second = ctx.analyze(function)
+        assert first.iterations == second.iterations
+        assert first.delta_history == second.delta_history
+        assert _worst_block_diff(first, second) == 0.0
+
+    def test_full_function_invalidate_recompiles_the_sweep(self, machine):
+        function = _allocated("fir", machine)
+        ctx = AnalysisContext(machine)
+        ctx.analyze(function)
+        ctx.invalidate(function)
+        ctx.analyze(function)
+        assert ctx.stats["sweep_compiles"] == 2
+        assert ctx.stats["sweep_patches"] == 0
+
+
+class TestBoundedCaches:
+    def test_capacity_below_one_rejected(self, machine):
+        with pytest.raises(ValueError):
+            AnalysisContext(machine, cache_capacity=0)
+
+    def test_fifo_eviction_counts(self, machine):
+        ctx = AnalysisContext(machine, cache_capacity=2)
+        kernels = [
+            _allocated(name, machine) for name in ("fir", "crc32", "fib")
+        ]
+        for function in kernels:
+            ctx.summary(function)
+        assert ctx.stats["evictions"] >= 1
+        # The oldest summary was evicted: re-requesting recompiles.
+        compiles = ctx.stats["summary_compiles"]
+        ctx.summary(kernels[0])
+        assert ctx.stats["summary_compiles"] == compiles + 1
+        # The newest is still resident.
+        hits = ctx.stats["summary_hits"]
+        ctx.summary(kernels[2])
+        assert ctx.stats["summary_hits"] == hits + 1
+
+    def test_default_capacity_never_evicts_the_suite(self, machine):
+        ctx = AnalysisContext(machine)
+        for name in ("fir", "crc32", "fib"):
+            ctx.analyze(_allocated(name, machine))
+        assert ctx.stats["evictions"] == 0
+
+
+class TestMemoryFootprint:
+    def test_stats_expose_nbytes_per_cache(self, machine):
+        ctx = AnalysisContext(machine)
+        function = _allocated("fir", machine)
+        ctx.analyze(function)
+        ctx.summary(function)
+        stats = ctx.stats
+        for key in ("transfer_nbytes", "summary_nbytes",
+                    "solution_nbytes", "warm_start_nbytes"):
+            assert key in stats
+        assert stats["transfer_nbytes"] > 0
+        assert stats["summary_nbytes"] > 0
+
+    def test_sparse_sweep_shrinks_the_transfer_footprint(self, machine):
+        function = _allocated("matmul", machine)
+        dense_ctx = AnalysisContext.for_chip(machine)
+        dense_ctx.analyze(function, sweep="batched")
+        sparse_ctx = AnalysisContext.for_chip(machine)
+        sparse_ctx.analyze(function, sweep="sparse")
+        dense_nbytes = dense_ctx.stats["transfer_nbytes"]
+        sparse_nbytes = sparse_ctx.stats["transfer_nbytes"]
+        assert sparse_nbytes < dense_nbytes

@@ -1,0 +1,249 @@
+"""Sparse stacked sweeps: CSR/dense parity, the auto heuristic, patching."""
+
+import numpy as np
+import pytest
+
+from repro.arch import rf64
+from repro.core import (
+    SPARSE_DENSITY_CUTOFF,
+    SPARSE_MIN_STACKED,
+    AnalysisContext,
+    SparseSweep,
+    TDFAConfig,
+    ThermalDataflowAnalysis,
+    choose_sweep_form,
+    estimate_sweep_density,
+    patch_sweep,
+    sparsify_sweep,
+    sweep_density,
+)
+from repro.core.transfer import (
+    affine_merge_plan,
+    compile_sweep,
+    sweep_signature,
+)
+from repro.dataflow.freq import static_profile
+from repro.errors import DataflowError
+from repro.ir import parse_instruction
+from repro.ir.cfg import reverse_postorder
+from repro.regalloc import allocate_linear_scan
+from repro.workloads import load, workload_names
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return rf64()
+
+
+def _allocated(name, machine):
+    return allocate_linear_scan(load(name).function, machine).function
+
+
+def _sweep_inputs(function, machine, context):
+    """(compiled blocks, plan, rpo, num_nodes, signature) for *function*."""
+    rpo = reverse_postorder(function)
+    plan = affine_merge_plan(
+        function, rpo, function.predecessors_map(),
+        static_profile(function), "freq", function.entry.name,
+    )
+    cache = context.transfer_cache()
+    compiled = {name: cache.block(function.block(name)) for name in rpo}
+    n = context.model.grid.num_nodes
+    return compiled, plan, rpo, n, sweep_signature(function, rpo)
+
+
+class TestSparseAgreement:
+    """The CSR sweep is the *same matrix* — traces must match exactly."""
+
+    DELTA = 1e-5
+
+    @pytest.mark.parametrize("kernel", workload_names())
+    def test_sparse_matches_batched_and_blockwise(self, machine, kernel):
+        function = _allocated(kernel, machine)
+        results = {}
+        for sweep in ("blockwise", "batched", "sparse"):
+            analysis = ThermalDataflowAnalysis(
+                machine,
+                config=TDFAConfig(delta=self.DELTA, engine="compiled",
+                                  sweep=sweep),
+            )
+            results[sweep] = analysis.run(function)
+        blockwise, batched, sparse = (
+            results["blockwise"], results["batched"], results["sparse"]
+        )
+        assert sparse.converged
+        assert sparse.iterations == blockwise.iterations == batched.iterations
+        assert np.allclose(sparse.delta_history, blockwise.delta_history,
+                           rtol=1e-9, atol=1e-12)
+        worst = max(
+            sparse.after[key].max_abs_diff(blockwise.after[key])
+            for key in blockwise.after
+        )
+        assert worst <= 2 * self.DELTA, kernel
+
+    def test_sparse_label_reported(self, machine):
+        function = _allocated("fir", machine)
+        result = ThermalDataflowAnalysis(
+            machine, config=TDFAConfig(sweep="sparse")
+        ).run(function)
+        assert result.sweep == "sparse"
+        assert result.engine == "compiled"
+
+    def test_sparse_with_max_merge_rejected(self):
+        with pytest.raises(DataflowError):
+            TDFAConfig(merge="max", sweep="sparse")
+
+
+class TestChipAgreement:
+    """The die-level model is where the heuristic actually flips to CSR."""
+
+    DELTA = 0.01
+
+    def test_sparse_matches_blockwise_on_chip(self, machine):
+        function = _allocated("iir", machine)
+        sparse = AnalysisContext.for_chip(machine).analyze(
+            function, delta=self.DELTA, sweep="sparse"
+        )
+        blockwise = AnalysisContext.for_chip(machine).analyze(
+            function, delta=self.DELTA, sweep="blockwise"
+        )
+        assert sparse.converged and blockwise.converged
+        assert sparse.iterations == blockwise.iterations
+        worst = max(
+            sparse.block_out[name].max_abs_diff(blockwise.block_out[name])
+            for name in blockwise.block_out
+        )
+        assert worst <= 2 * self.DELTA
+
+    def test_auto_upgrades_big_stacked_maps_to_sparse(self, machine):
+        function = _allocated("matmul", machine)
+        result = AnalysisContext.for_chip(machine).analyze(
+            function, delta=self.DELTA, sweep="auto"
+        )
+        assert result.sweep == "sparse"
+
+    def test_auto_keeps_small_stacked_maps_dense(self, machine):
+        function = _allocated("fib", machine)
+        result = AnalysisContext(machine).analyze(function, sweep="auto")
+        assert result.sweep == "batched"
+
+
+class TestHeuristic:
+    """``choose_sweep_form`` is a pure function of plan structure."""
+
+    def _chain_plan(self, m):
+        rpo = [f"b{i}" for i in range(m)]
+        plan = {rpo[0]: [(None, 1.0)]}
+        for prev, name in zip(rpo, rpo[1:]):
+            plan[name] = [(prev, 1.0)]
+        return plan, rpo
+
+    def test_small_stacked_maps_stay_dense(self):
+        plan, rpo = self._chain_plan(4)
+        assert len(rpo) * 64 < SPARSE_MIN_STACKED
+        assert choose_sweep_form(plan, rpo, 64) == "dense"
+
+    def test_big_low_density_maps_go_sparse(self):
+        plan, rpo = self._chain_plan(16)
+        assert len(rpo) * 64 >= SPARSE_MIN_STACKED
+        assert estimate_sweep_density(plan, rpo) <= SPARSE_DENSITY_CUTOFF
+        assert choose_sweep_form(plan, rpo, 64) == "sparse"
+
+    def test_dense_plans_stay_dense_at_any_size(self):
+        # All-to-all joins: every row references every block.
+        rpo = [f"b{i}" for i in range(16)]
+        plan = {rpo[0]: [(None, 1.0)]}
+        weight = 1.0 / len(rpo)
+        for name in rpo[1:]:
+            plan[name] = [(src, weight) for src in rpo]
+        assert estimate_sweep_density(plan, rpo) > SPARSE_DENSITY_CUTOFF
+        assert choose_sweep_form(plan, rpo, 64) == "dense"
+
+    @pytest.mark.parametrize("kernel", ["fir", "matmul", "crc32"])
+    def test_estimate_is_exact_at_block_granularity(self, machine, kernel):
+        """The plan-predicted density equals the built matrix's density."""
+        function = _allocated(kernel, machine)
+        context = AnalysisContext(machine)
+        compiled, plan, rpo, n, signature = _sweep_inputs(
+            function, machine, context
+        )
+        sweep = compile_sweep(compiled, plan, rpo, n, signature)
+        assert estimate_sweep_density(plan, rpo) == pytest.approx(
+            sweep_density(sweep)
+        )
+
+    def test_sparsify_preserves_the_map(self, machine):
+        function = _allocated("fir", machine)
+        context = AnalysisContext(machine)
+        compiled, plan, rpo, n, signature = _sweep_inputs(
+            function, machine, context
+        )
+        dense = compile_sweep(compiled, plan, rpo, n, signature)
+        sparse = sparsify_sweep(dense)
+        assert isinstance(sparse, SparseSweep)
+        assert sparse.form == "sparse" and dense.form == "dense"
+        assert np.array_equal(sparse.matrix.toarray(), dense.matrix)
+        assert np.array_equal(sparse.in_matrix.toarray(), dense.in_matrix)
+        assert sparse.nnz == dense.nnz
+        assert sparse.nbytes < dense.nbytes
+
+
+class TestPatchSweep:
+    """Row patching must reproduce a cold recompile bit for bit."""
+
+    @pytest.mark.parametrize("form", ["dense", "sparse"])
+    def test_patched_rows_equal_cold_recompile(self, machine, form):
+        function = _allocated("matmul", machine)
+        context = AnalysisContext(machine)
+        compiled, plan, rpo, n, signature = _sweep_inputs(
+            function, machine, context
+        )
+        old = compile_sweep(compiled, plan, rpo, n, signature)
+        if form == "sparse":
+            old = sparsify_sweep(old)
+
+        # In-place edit keeping the instruction count (and signature).
+        edited = rpo[len(rpo) // 2]
+        function.blocks[edited].instructions[0] = parse_instruction(
+            "r1 = add r2, r3"
+        )
+        context.invalidate(function, blocks=[edited])
+        compiled2, plan2, rpo2, _, signature2 = _sweep_inputs(
+            function, machine, context
+        )
+        cold = compile_sweep(compiled2, plan2, rpo2, n, signature2)
+        patched = patch_sweep(
+            old, compiled2, plan2, rpo2, n, signature2, {edited}
+        )
+        assert patched.form == form
+        for field in ("matrix", "entry_matrix", "offset",
+                      "in_matrix", "in_entry_matrix", "in_offset"):
+            got = getattr(patched, field)
+            if hasattr(got, "toarray"):
+                got = got.toarray()
+            assert np.array_equal(got, getattr(cold, field)), field
+
+    def test_unedited_later_block_rows_survive_untouched(self, machine):
+        """Back/self edges contribute ``w·I`` blocks — a changed *later*
+        block never invalidates an earlier row's expression."""
+        function = _allocated("matmul", machine)
+        context = AnalysisContext(machine)
+        compiled, plan, rpo, n, signature = _sweep_inputs(
+            function, machine, context
+        )
+        old = compile_sweep(compiled, plan, rpo, n, signature)
+        edited = rpo[-1]
+        function.blocks[edited].instructions[0] = parse_instruction(
+            "r1 = add r2, r3"
+        )
+        context.invalidate(function, blocks=[edited])
+        compiled2, plan2, rpo2, _, signature2 = _sweep_inputs(
+            function, machine, context
+        )
+        patched = patch_sweep(
+            old, compiled2, plan2, rpo2, n, signature2, {edited}
+        )
+        i = len(rpo) - 1
+        rows_before = old.matrix[: i * n]
+        rows_after = patched.matrix[: i * n]
+        assert np.array_equal(rows_before, rows_after)
