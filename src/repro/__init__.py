@@ -130,7 +130,7 @@ from .service import (
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 
 def analyze(

@@ -222,6 +222,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="auto", help="fixed-point engine for the "
                       "sequential strategy (default auto)")
     add_sweep_arg(p_pl)
+    p_pl.add_argument("--warm-start", action="store_true",
+                      help="restart the stacked fixed point from the "
+                           "shared context's stored pipeline solution "
+                           "when one is still valid (incremental "
+                           "re-analysis; off keeps runs bit-reproducible)")
     p_pl.add_argument("--policy", default="first-free",
                       help="assignment policy for allocation "
                            "(default first-free)")
@@ -440,6 +445,7 @@ def cmd_pipeline(args) -> int:
         merge=args.merge,
         engine=args.engine,
         sweep=args.sweep,
+        warm_start=args.warm_start,
     )
     envelope = default_service().execute(request)
     code = _print_envelope(envelope, stats=args.stats)

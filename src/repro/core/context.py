@@ -37,6 +37,8 @@ import threading
 from dataclasses import replace
 from typing import Callable
 
+import numpy as np
+
 from ..arch.machine import MachineDescription
 from ..dataflow.freq import StaticProfile, static_profile
 from ..ir.function import Function
@@ -117,8 +119,13 @@ class AnalysisContext:
         ] = {}
         # Exact block-out solutions (the linear system behind summary
         # extraction and stacked-pipeline warm starts), same keying.
+        # Entries keep the LU solver alongside the solution so a
+        # single-instruction edit can correct the solution as a rank
+        # update (one re-solve against the kept factorization) instead
+        # of re-factorizing.
         self._solutions: dict[
-            tuple[Function, str, bool], tuple[object, object, object, object]
+            tuple[Function, str, bool],
+            tuple[object, object, object, object, object],
         ] = {}
         # Previously converged stacked fixed points, keyed like
         # summaries/solutions and validated against the rpo they were
@@ -126,6 +133,14 @@ class AnalysisContext:
         # after invalidate(function, blocks=...).
         self._warm_starts: dict[
             tuple[Function, str, bool], tuple[tuple[str, ...], object]
+        ] = {}
+        # Same idea one level up: previously converged *pipeline* fixed
+        # points, keyed by (stage function tuple, merge, leakage) and
+        # validated against every stage's rpo — what re-warm-starts the
+        # stacked pipeline after one stage is edited in place.
+        self._pipeline_warm_starts: dict[
+            tuple[tuple[Function, ...], str, bool],
+            tuple[tuple[tuple[str, ...], ...], object],
         ] = {}
         self._evictions = 0
         self._analyses_run = 0
@@ -149,6 +164,9 @@ class AnalysisContext:
             "sweep_patches": 0,
             "pipeline_compiles": 0,
             "pipeline_hits": 0,
+            "pipeline_sweep_patches": 0,
+            "rank_updates": 0,
+            "rank_update_fallbacks": 0,
         }
 
     @classmethod
@@ -302,7 +320,7 @@ class AnalysisContext:
         if cached is not None and cached[0] == signature:
             self._solve_hits += 1
             return cached[1], cached[2], cached[3]
-        solution, rpo, index = _solve_block_system(
+        solution, rpo, index, solve = _solve_block_system(
             function,
             self.model,
             self.transfer_cache(
@@ -311,7 +329,7 @@ class AnalysisContext:
             merge,
             self.static_profile(function),
         )
-        self._solutions[key] = (signature, solution, rpo, index)
+        self._solutions[key] = (signature, solution, rpo, index, solve)
         self._bound(self._solutions)
         self._solve_compiles += 1
         return solution, rpo, index
@@ -355,6 +373,118 @@ class AnalysisContext:
         key = (function, merge, include_leakage)
         self._warm_starts[key] = (tuple(rpo), stacked)
         self._bound(self._warm_starts)
+
+    def pipeline_warm_start(
+        self,
+        functions: list[Function],
+        merge: str,
+        include_leakage: bool,
+        rpos,
+    ):
+        """A previously converged pipeline fixed point, if still usable.
+
+        Returns the stored stacked block-exit vector over *all* stages
+        when one exists for this (stage tuple, merge, leakage) and every
+        stage was stacked over the same rpo; ``None`` otherwise.  Like
+        the per-function store, the vector is only an initial guess —
+        the pipeline sweep is a contraction, so a post-edit stale guess
+        costs iterations, never correctness — but the per-stage rpos
+        must match for the stacking to line up.
+        """
+        key = (tuple(functions), merge, include_leakage)
+        cached = self._pipeline_warm_starts.get(key)
+        if cached is not None and cached[0] == tuple(
+            tuple(rpo) for rpo in rpos
+        ):
+            return cached[1]
+        return None
+
+    def store_pipeline_warm_start(
+        self,
+        functions: list[Function],
+        merge: str,
+        include_leakage: bool,
+        rpos,
+        stacked,
+    ) -> None:
+        """Remember a converged pipeline fixed point for future warm starts.
+
+        Kept across ``invalidate(function, blocks=...)`` on purpose —
+        re-warm-starting the pipeline from the pre-edit solution is the
+        incremental path — and dropped when any member stage is fully
+        invalidated or on a full reset.
+        """
+        key = (tuple(functions), merge, include_leakage)
+        self._pipeline_warm_starts[key] = (
+            tuple(tuple(rpo) for rpo in rpos), stacked,
+        )
+        self._bound(self._pipeline_warm_starts)
+
+    def update_instruction(
+        self, function: Function, block: str, index: int
+    ) -> bool:
+        """Absorb an in-place edit of one instruction as a rank update.
+
+        The factored fast path over :meth:`invalidate`: after replacing
+        instruction *index* of *block* in place (same instruction
+        count), every shared transfer cache corrects the block's
+        compiled transfer and its cached sweeps' offset vectors
+        (:meth:`~repro.core.transfer.BlockTransferCache.update_instruction`),
+        and every cached exact block-out solution of *function* is
+        corrected through its kept LU factorization — the
+        Sherman–Morrison–Woodbury step on ``(I − M)·X = E·T_entry + c``,
+        degenerate because ``(I − M)`` is untouched by an in-place edit,
+        so only the offset column's RHS moves.  Returns ``True`` when
+        the edit was absorbed everywhere; on any structural mismatch
+        (CFG change, count change, stale caches) nothing is patched,
+        the edit is routed through ``invalidate(function,
+        blocks=[block])`` instead, and ``False`` is returned — the
+        result is correct either way, only the cost differs.
+        """
+        if block not in function.blocks:
+            from ..errors import DataflowError
+
+            raise DataflowError(
+                f"update_instruction: unknown block {block!r}"
+            )
+        deltas = {}
+        for (power_model, leak), cache in self._caches.items():
+            delta = cache.update_instruction(function, block, index)
+            if delta is None:
+                self.invalidate(function, blocks=[block])
+                return False
+            deltas[(power_model, leak)] = delta
+
+        # Correct the cached block-out solutions through their kept
+        # factorizations: the RHS offset column shifted by Δb_B at the
+        # edited block's rows, so the solution's offset column shifts by
+        # (I − M)⁻¹ · (e_B ⊗ Δb_B).
+        n = self.model.grid.num_nodes
+        default_power = self._power_models.get(self.exact_placement)
+        for key in list(self._solutions):
+            solved_function, _merge, leak = key
+            if solved_function is not function:
+                continue
+            entry = self._solutions[key]
+            signature, solution, rpo, index_map, solve = entry
+            delta = deltas.get((default_power, leak))
+            if delta is None or block not in index_map:
+                # Solved against a power model the edit did not reach
+                # (or a sub-CFG without the block): drop, recompute lazily.
+                del self._solutions[key]
+                continue
+            rhs = np.zeros(solution.shape[0])
+            rows = slice(index_map[block] * n, (index_map[block] + 1) * n)
+            rhs[rows] = delta
+            correction = solve(rhs.reshape(-1, 1))[:, 0]
+            patched = np.array(solution)
+            patched[:, n] += correction
+            self._solutions[key] = (signature, patched, rpo, index_map, solve)
+        # Summaries bake the solved offsets in; they rebuild cheaply
+        # from the patched solutions on next use.
+        for key in [k for k in self._summaries if k[0] is function]:
+            del self._summaries[key]
+        return True
 
     def summary(
         self,
@@ -461,6 +591,13 @@ class AnalysisContext:
         totals["warm_start_nbytes"] = sum(
             int(entry[1].nbytes) for entry in self._warm_starts.values()
         )
+        totals["pipeline_nbytes"] = sum(
+            cache.pipeline_nbytes() for cache in self._caches.values()
+        )
+        totals["pipeline_warm_start_nbytes"] = sum(
+            int(entry[1].nbytes)
+            for entry in self._pipeline_warm_starts.values()
+        )
         return totals
 
     def invalidate(
@@ -502,6 +639,7 @@ class AnalysisContext:
             self._summaries.clear()
             self._solutions.clear()
             self._warm_starts.clear()
+            self._pipeline_warm_starts.clear()
             return
         for cache in self._caches.values():
             cache.invalidate(function, blocks=blocks)
@@ -514,6 +652,11 @@ class AnalysisContext:
         if blocks is None:
             for key in [k for k in self._warm_starts if k[0] is function]:
                 del self._warm_starts[key]
+            for key in [
+                k for k in self._pipeline_warm_starts
+                if any(stage is function for stage in k[0])
+            ]:
+                del self._pipeline_warm_starts[key]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.stats

@@ -95,6 +95,9 @@ class PipelineAnalysis:
     converged: bool
     iterations: int
     wall_time_seconds: float = 0.0
+    #: Storage form each stacked stage sweep actually used ("dense" /
+    #: "sparse", per stage); ``None`` for the non-stacked strategies.
+    stage_sweep_forms: list[str] | None = None
 
     @property
     def num_stages(self) -> int:
@@ -304,26 +307,40 @@ def _analyze_stacked(
         list(functions), stage_sweeps, exit_plans, config.merge
     )
 
-    # Warm start: every stage's block system is linear, so its exact
+    # Warm start, two tiers.  With ``warm_start=True`` and a stored
+    # pipeline-level fixed point whose per-stage rpos still match
+    # (context.pipeline_warm_start), restart from it directly — the
+    # incremental path after invalidate(function, blocks=...), which
+    # dropped the edited stage's block solutions, so re-deriving them
+    # would cost the very solve the warm start is meant to skip.
+    # Otherwise: every stage's block system is linear, so its exact
     # block-out fixed point given the entry state is one cached solve
     # per *distinct* kernel (context.block_solution — the same solve
     # summary extraction uses).  Chaining those solutions through the
     # exit extractors initializes the stacked vector essentially at the
     # pipeline-wide fixed point; the Gauss–Seidel sweeps below then
-    # *verify* convergence under the configured stop rule (and do all
-    # the work whenever a stage was not solvable-warm, e.g. right after
-    # an invalidation).
+    # *verify* convergence under the configured stop rule.  Either
+    # vector is only an initial guess of a contraction's fixed point —
+    # correctness never depends on it.
     entry_vec = entry.temperatures
-    outs = np.empty(pipeline.stacked_size)
-    t_stage = entry_vec
-    for k, function in enumerate(functions):
-        solution, _rpo, _index = context.block_solution(
-            function, config.merge,
-            include_leakage=config.include_leakage,
+    outs = None
+    if config.warm_start:
+        stored = context.pipeline_warm_start(
+            functions, config.merge, config.include_leakage, rpos
         )
-        rows = pipeline.stage_slice(k)
-        outs[rows] = solution[:, :n] @ t_stage + solution[:, n]
-        t_stage = pipeline.exit_matrices[k] @ outs[rows]
+        if stored is not None:
+            outs = np.array(stored)
+    if outs is None:
+        outs = np.empty(pipeline.stacked_size)
+        t_stage = entry_vec
+        for k, function in enumerate(functions):
+            solution, _rpo, _index = context.block_solution(
+                function, config.merge,
+                include_leakage=config.include_leakage,
+            )
+            rows = pipeline.stage_slice(k)
+            outs[rows] = solution[:, :n] @ t_stage + solution[:, n]
+            t_stage = pipeline.exit_matrices[k] @ outs[rows]
     ins = outs
 
     # The fixed-point loop — identical in shape to the batched
@@ -352,6 +369,13 @@ def _analyze_stacked(
         prev_delta = sweep_delta
         if outs.max() > 1000.0:
             break
+    if converged:
+        # Always stored (warm-started or not): the next edit-then-
+        # re-analyze cycle restarts from here.
+        context.store_pipeline_warm_start(
+            functions, config.merge, config.include_leakage, rpos,
+            np.array(outs),
+        )
 
     # One reconstruction pass per stage: per-instruction states, block
     # boundaries, and the stage-to-stage entry/exit chain.
@@ -399,6 +423,7 @@ def _analyze_stacked(
         summary=None,
         converged=converged,
         iterations=iterations,
+        stage_sweep_forms=list(pipeline.stage_forms),
     )
 
 
@@ -419,6 +444,11 @@ class PipelineStageItem:
     #: Peak anywhere inside the stage (``None`` for the composed
     #: strategy, which materializes boundary states only).
     peak_kelvin: float | None
+    #: Storage form the stage's stacked sweep actually used ("dense" /
+    #: "sparse"; ``None`` for non-stacked strategies) — what lets a
+    #: coordinator assert every worker of a sharded run picked the same
+    #: per-stage form.
+    sweep: str | None = None
 
 
 @dataclass
@@ -430,6 +460,9 @@ class PipelineReport:
     strategy: str
     delta: float
     merge: str
+    #: The requested stacked-sweep storage form ("auto"/"dense"/
+    #: "sparse"); per-stage resolved forms live on the stage items.
+    sweep: str = "auto"
     stages: list[PipelineStageItem] = field(default_factory=list)
     converged: bool = True
     iterations: int = 0
@@ -473,6 +506,7 @@ class PipelineReport:
             "strategy": self.strategy,
             "delta": self.delta,
             "merge": self.merge,
+            "sweep": self.sweep,
             "converged": self.converged,
             "iterations": self.iterations,
             "totals": self.totals(),
@@ -506,6 +540,7 @@ class PipelineReport:
             strategy=data["strategy"],
             delta=data["delta"],
             merge=data["merge"],
+            sweep=str(data.get("sweep", "auto")),
             stages=stages,
             converged=bool(data.get("converged", True)),
             iterations=int(data.get("iterations", 0)),
@@ -541,6 +576,7 @@ def run_pipeline(
     policy: str = "first-free",
     policies: list[str] | None = None,
     max_iterations: int = 2000,
+    warm_start: bool = False,
     entry_state: ThermalState | None = None,
     allocator=None,
     progress=None,
@@ -562,6 +598,11 @@ def run_pipeline(
     strategy / delta / merge / engine / sweep:
         See :func:`analyze_pipeline` (``sweep`` selects the stacked
         stage maps' storage form: dense, CSR, or density-chosen auto).
+    warm_start:
+        Restart the stacked fixed point from the context's stored
+        pipeline-level solution when one is still valid — the
+        incremental re-analysis path after in-place stage edits.  Off
+        by default so repeated runs stay bitwise reproducible.
     context:
         Use this shared context instead of building one
         (``chip=True`` builds a die-level context otherwise).
@@ -643,6 +684,7 @@ def run_pipeline(
         engine=engine,
         sweep=sweep,
         max_iterations=max_iterations,
+        warm_start=warm_start,
     )
 
     ambient = context.model.params.ambient
@@ -664,6 +706,11 @@ def run_pipeline(
                 if analysis.stage_results is not None
                 else None
             ),
+            sweep=(
+                analysis.stage_sweep_forms[k]
+                if analysis.stage_sweep_forms is not None
+                else None
+            ),
         )
         for k, (name, function, stage_policy) in enumerate(
             zip(names, functions, stage_policies)
@@ -675,6 +722,7 @@ def run_pipeline(
         strategy=strategy,
         delta=delta,
         merge=merge,
+        sweep=sweep,
         stages=items,
         converged=analysis.converged,
         iterations=analysis.iterations,

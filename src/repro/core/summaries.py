@@ -167,10 +167,15 @@ def _solve_block_system(
     ``out_B = A_B (Σ_P w_{P,B} out_P + e_B T_entry) + b_B`` with static
     merge weights, so ``(I − M)·X = E·T_entry + c`` is linear and every
     block's affine out-map follows from one factorization with
-    (nodes + 1) right-hand sides.  Returns ``(solution, rpo, index)``
-    where rows ``i·n:(i+1)·n`` of *solution* hold ``[A_i | b_i]`` for
-    block ``rpo[i]``.  *cache* is shared with any analysis run over the
-    same configuration, so every block is compiled exactly once.
+    (nodes + 1) right-hand sides.  Returns ``(solution, rpo, index,
+    solve)`` where rows ``i·n:(i+1)·n`` of *solution* hold ``[A_i |
+    b_i]`` for block ``rpo[i]`` and *solve* re-applies the kept LU
+    factorization to fresh right-hand sides — what lets a
+    single-instruction edit correct the solution as a rank update
+    (``(I − M)`` depends only on ``op^k`` and the merge weights, both
+    untouched by an in-place edit, so only the RHS moves).  *cache* is
+    shared with any analysis run over the same configuration, so every
+    block is compiled exactly once.
     """
     rpo = reverse_postorder(function)
     preds = function.predecessors_map()
@@ -209,8 +214,9 @@ def _solve_block_system(
             [coupling.get((i, j)) for j in range(m)] for i in range(m)
         ]
         big = scipy.sparse.bmat(grid_blocks, format="csc")
-        solution = scipy.sparse.linalg.splu(big).solve(rhs)
-        return solution, rpo, index
+        lu = scipy.sparse.linalg.splu(big)
+        solution = lu.solve(rhs)
+        return solution, rpo, index, lu.solve
 
     big = np.eye(m * n)  # becomes I − M in place
     for name in rpo:
@@ -226,8 +232,13 @@ def _solve_block_system(
                 j = index[src]
                 big[rows, j * n:(j + 1) * n] -= w * a_block
 
-    solution = scipy.linalg.solve(big, rhs)
-    return solution, rpo, index
+    factors = scipy.linalg.lu_factor(big)
+    solution = scipy.linalg.lu_solve(factors, rhs)
+
+    def solve(new_rhs: np.ndarray) -> np.ndarray:
+        return scipy.linalg.lu_solve(factors, new_rhs)
+
+    return solution, rpo, index, solve
 
 
 def _exit_map_from_solution(
@@ -258,7 +269,7 @@ def _extract_exact(
     """Solve the converged analysis symbolically for its affine exit map."""
     profile = profile or static_profile(function)
     n = model.grid.num_nodes
-    solution, rpo, index = _solve_block_system(
+    solution, rpo, index, _solve = _solve_block_system(
         function, model, cache, merge, profile
     )
     return _exit_map_from_solution(solution, rpo, index, function, profile, n)

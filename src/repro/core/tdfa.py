@@ -176,8 +176,11 @@ class TDFAConfig:
     owning context's previously converged solution for the same
     (function, merge, leakage) instead of from ambient — the
     incremental re-analysis path after ``invalidate(function,
-    blocks=...)``.  Off by default so repeated runs stay bitwise
-    reproducible.
+    blocks=...)`` or a factored
+    :meth:`~repro.core.context.AnalysisContext.update_instruction`
+    edit.  Stacked *pipeline* runs honour the same flag one level up,
+    restarting from the context's stored pipeline-wide fixed point.
+    Off by default so repeated runs stay bitwise reproducible.
     ``stop`` selects the convergence rule: ``"change"`` (default) is the
     paper's literal per-sweep-change test; ``"bound"`` additionally
     requires the contraction-estimated distance to the fixed point to be

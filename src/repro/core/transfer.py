@@ -794,6 +794,142 @@ def patch_sweep(
     )
 
 
+def rank_update_block(
+    old: CompiledBlock,
+    block: BasicBlock,
+    index: int,
+    model: RFThermalModel,
+    power_model,
+    dt: float,
+    include_leakage: bool = True,
+) -> tuple[CompiledBlock, np.ndarray] | None:
+    """Absorb an in-place single-instruction edit as a factored update.
+
+    The compiled transfer of a ``k``-instruction block is
+    ``A_B = op^k`` with offset ``b_B = Σ_j op^{k−1−j}(I−op)·T_ss(P_j)``.
+    Replacing instruction *index* in place (same count, so the CFG
+    signature — and with it ``op^k`` and every merge weight — is
+    untouched) is the degenerate Sherman–Morrison–Woodbury case on the
+    affine solve path: the rank-k correction ``I + UVᵀ`` to the linear
+    part is the identity, and the whole edit collapses to the offset
+    shift
+
+        Δb_B = op^{k−1−index} · (I − op) · ΔT_ss
+
+    for the one changed steady-state target.  Returns the updated
+    :class:`CompiledBlock` (matrix and ``step_op`` *shared* with *old*)
+    plus ``Δb_B``, or ``None`` when the edit is outside the factored
+    regime — instruction count changed (structural), index out of
+    range, or leakage-temperature feedback — so the caller falls back
+    to a full recompile.
+    """
+    if getattr(power_model, "has_leakage_feedback", False):
+        return None
+    if old.num_instructions != len(block.instructions):
+        return None
+    if not 0 <= index < len(block.instructions):
+        return None
+    op = old.step_op
+    ambient = model.ambient_state()
+    power = power_model.total_power(
+        block.instructions[index], ambient, include_leakage=include_leakage
+    )
+    target = model.steady_state_many(np.asarray(power).reshape(-1, 1))[:, 0]
+    delta_t = target - old.targets[index]
+    delta = delta_t - op @ delta_t  # (I − op)·ΔT_ss
+    for _ in range(len(block.instructions) - 1 - index):
+        delta = op @ delta
+    targets = list(old.targets)
+    targets[index] = target
+    updated = CompiledBlock(
+        key=old.key,
+        transfer=AffineTransfer(
+            old.transfer.matrix,
+            old.transfer.offset + delta,
+            key=old.transfer.key,
+        ),
+        step_op=op,
+        targets=tuple(targets),
+    )
+    return updated, delta
+
+
+def patch_sweep_offsets(
+    old: "CompiledSweep | SparseSweep",
+    compiled: dict[str, CompiledBlock],
+    delta_offsets: dict[str, np.ndarray],
+) -> "CompiledSweep | SparseSweep | None":
+    """Propagate per-block offset shifts through a cached sweep.
+
+    The companion of :func:`rank_update_block` at the stacked level:
+    when an edit leaves every linear part untouched (``A_B``, merge
+    weights, hence ``S``/``E`` and their pre-transfer twins), only the
+    offset columns move, and they move *linearly* — row *i*'s shift is
+    the substitution walk of :func:`compile_sweep` replayed on deltas
+    alone:
+
+        Δg_in[i]  = Σ_{(src=j<i, w)} w · Δg[j]
+        Δg[i]     = A_i · Δg_in[i] + Δb_i
+
+    (back/self edges reference the previous sweep's *state*, not the
+    offset expression, so they contribute nothing).  All six stacked
+    matrices are **shared** with *old* — only the two offset vectors are
+    new — so the patch is ``O(m·n²)`` against the ``O((m·n)²)`` a row
+    re-derivation pays.  Returns ``None`` when *old* predates plan
+    tracking (no per-row recipe to replay).
+    """
+    if old.plan is None:
+        return None
+    rpo = old.rpo
+    if not rpo:
+        return None
+    n = old.offset.shape[0] // len(rpo)
+    index = {name: i for i, name in enumerate(rpo)}
+    if any(name not in index for name in delta_offsets):
+        return None
+    offset = np.array(old.offset)
+    in_offset = np.array(old.in_offset)
+    deltas: list[np.ndarray | None] = []
+    for i, name in enumerate(rpo):
+        d_in: np.ndarray | None = None
+        for src, w in old.plan[i]:
+            if src is None:
+                continue
+            j = index.get(src)
+            if j is None or j >= i:
+                continue
+            dj = deltas[j]
+            if dj is None:
+                continue
+            d_in = w * dj if d_in is None else d_in + w * dj
+        d_b = delta_offsets.get(name)
+        if d_in is None and d_b is None:
+            deltas.append(None)
+            continue
+        rows = slice(i * n, (i + 1) * n)
+        if d_in is not None:
+            in_offset[rows] += d_in
+            d_out = compiled[name].transfer.matrix @ d_in
+        else:
+            d_out = np.zeros(n)
+        if d_b is not None:
+            d_out = d_out + d_b
+        offset[rows] += d_out
+        deltas.append(d_out)
+    cls = SparseSweep if old.form == "sparse" else CompiledSweep
+    return cls(
+        rpo=old.rpo,
+        signature=old.signature,
+        matrix=old.matrix,
+        entry_matrix=old.entry_matrix,
+        offset=offset,
+        in_matrix=old.in_matrix,
+        in_entry_matrix=old.in_entry_matrix,
+        in_offset=in_offset,
+        plan=old.plan,
+    )
+
+
 #: One stage's exit recipe inside a pipeline: ``(rpo index, weight)``
 #: pairs — the freq-weighted convex combination of exit-block out-states
 #: that *is* the stage's exit state (mirrors ``TDFAResult.exit_state``).
@@ -828,6 +964,23 @@ class CompiledPipelineSweep:
     ``(Σ m_k·n, Σ m_k·n)`` matrices for validation, and a property test
     asserts both forms are the same affine map.
 
+    Each stage's factored sweep map keeps whatever storage form the
+    :func:`choose_sweep_form` heuristic picked for it — a
+    :class:`SparseSweep` stage iterates CSR mat-vecs inside the pipeline
+    loop exactly as it does standalone — and the stage's
+    entry-bottleneck coupling (its exit extractor) is held in the
+    *matching* form: ``exit_matrices[k]`` is CSR for a sparse stage
+    (its only nonzeros are ``weight·I`` diagonals at the exit blocks,
+    density ``≈ 1/m_k``) and dense otherwise.  Either storage is
+    numerically the same matrix, so iteration counts and δ-histories
+    match across forms sweep for sweep (bit-identical within a form;
+    to roundoff across forms, exactly as for single-function sweeps).
+    ``exit_plans`` freezes the
+    per-stage exit recipes the extractors were built from — what
+    :meth:`BlockTransferCache.pipeline` diffs to re-use unchanged
+    stages' extractors when a patched stage sweep forces
+    recomposition.
+
     Because each stage substitutes the previous stage's *updated* exit,
     entry-state information propagates through every stage within one
     sweep; the fixed point satisfies, stage by stage, the same equations
@@ -843,7 +996,12 @@ class CompiledPipelineSweep:
     starts: tuple[int, ...]            # stacked-row offset of each stage
     num_nodes: int
     stage_sweeps: tuple[CompiledSweep, ...]
-    exit_matrices: tuple[np.ndarray, ...]  # per stage, (n, m_k · n)
+    #: Per stage, (n, m_k · n), dense or CSR matching the stage's form.
+    exit_matrices: tuple[np.ndarray, ...]
+    #: The frozen per-stage exit recipes (``None`` for pipelines built
+    #: before extractor re-use existed) — what the cache diffs to keep
+    #: unchanged stages' extractors across a patched recomposition.
+    exit_plans: tuple[tuple[tuple[int, float], ...], ...] | None = None
 
     @property
     def num_stages(self) -> int:
@@ -854,10 +1012,17 @@ class CompiledPipelineSweep:
         return self.starts[-1] + self.stage_sweeps[-1].matrix.shape[0]
 
     @property
+    def stage_forms(self) -> tuple[str, ...]:
+        """Each stage's storage form (``"dense"``/``"sparse"``)."""
+        return tuple(
+            getattr(sweep, "form", "dense") for sweep in self.stage_sweeps
+        )
+
+    @property
     def nbytes(self) -> int:
-        """Bytes held by the factored representation."""
+        """Bytes held by the factored representation (either storage)."""
         return sum(sweep.nbytes for sweep in self.stage_sweeps) + sum(
-            int(m.nbytes) for m in self.exit_matrices
+            _matrix_nbytes(m) for m in self.exit_matrices
         )
 
     def stage_slice(self, k: int) -> slice:
@@ -941,10 +1106,45 @@ class CompiledPipelineSweep:
         )
 
 
+def exit_plan_key(plan: ExitPlan) -> tuple[tuple[int, float], ...]:
+    """*plan* frozen to the hashable form a compiled pipeline stores."""
+    return tuple((int(i), float(w)) for i, w in plan)
+
+
+def _exit_matrix(plan: ExitPlan, size: int, num_nodes: int, form: str):
+    """One stage's exit extractor ``(n, m_k·n)`` in *form* storage.
+
+    The extractor's only nonzeros are ``weight·I`` diagonal blocks at
+    the stage's exit blocks, so the CSR form holds ``n·|plan|`` entries
+    against the dense form's ``n·m_k·n`` — the entry-bottleneck
+    coupling shrinks by the same factor as the stage sweep itself.
+    """
+    n = num_nodes
+    if form == "sparse":
+        rows = np.concatenate(
+            [np.arange(n) for _ in plan]
+        ) if plan else np.zeros(0, dtype=int)
+        cols = np.concatenate(
+            [block_index * n + np.arange(n) for block_index, _w in plan]
+        ) if plan else np.zeros(0, dtype=int)
+        data = np.concatenate(
+            [np.full(n, weight) for _b, weight in plan]
+        ) if plan else np.zeros(0)
+        return scipy.sparse.csr_matrix(
+            (data, (rows, cols)), shape=(n, size)
+        )
+    exit_w = np.zeros((n, size))
+    for block_index, weight in plan:
+        cols = slice(block_index * n, (block_index + 1) * n)
+        exit_w[:, cols] += weight * np.eye(n)
+    return exit_w
+
+
 def compile_pipeline_sweep(
     stage_sweeps: list[CompiledSweep],
     exit_plans: list[ExitPlan],
     num_nodes: int,
+    exit_matrices: list | None = None,
 ) -> CompiledPipelineSweep:
     """Chain per-stage sweeps into one pipeline-wide affine fixed point.
 
@@ -954,6 +1154,13 @@ def compile_pipeline_sweep(
     stacked block-exit vector, exactly as :func:`compile_sweep` chains
     blocks within one function (see
     :class:`CompiledPipelineSweep` for the factored representation).
+
+    Each stage's exit extractor is built in the stage sweep's own
+    storage form (CSR for a :class:`SparseSweep` stage).  When
+    *exit_matrices* is given (one entry per stage, ``None`` meaning
+    "rebuild this one"), non-``None`` entries are adopted verbatim —
+    the patched-recomposition path, where only the edited stage's
+    extractor could have changed.
     """
     if not stage_sweeps:
         raise DataflowError("cannot compile an empty pipeline sweep")
@@ -964,14 +1171,18 @@ def compile_pipeline_sweep(
     starts = [0]
     for size in sizes[:-1]:
         starts.append(starts[-1] + size)
+    if exit_matrices is not None and len(exit_matrices) != len(stage_sweeps):
+        raise DataflowError("one exit matrix (or None) per stage required")
 
-    exit_matrices: list[np.ndarray] = []
+    built: list = []
     for k, plan in enumerate(exit_plans):
-        exit_w = np.zeros((n, sizes[k]))
-        for block_index, weight in plan:
-            cols = slice(block_index * n, (block_index + 1) * n)
-            exit_w[:, cols] += weight * np.eye(n)
-        exit_matrices.append(exit_w)
+        reused = exit_matrices[k] if exit_matrices is not None else None
+        if reused is not None:
+            built.append(reused)
+            continue
+        built.append(_exit_matrix(
+            plan, sizes[k], n, getattr(stage_sweeps[k], "form", "dense")
+        ))
 
     return CompiledPipelineSweep(
         rpos=tuple(sweep.rpo for sweep in stage_sweeps),
@@ -979,7 +1190,8 @@ def compile_pipeline_sweep(
         starts=tuple(starts),
         num_nodes=n,
         stage_sweeps=tuple(stage_sweeps),
-        exit_matrices=tuple(exit_matrices),
+        exit_matrices=tuple(built),
+        exit_plans=tuple(exit_plan_key(plan) for plan in exit_plans),
     )
 
 
@@ -994,6 +1206,15 @@ class CacheStats:
     sweep_patches: int = 0
     pipeline_compiles: int = 0
     pipeline_hits: int = 0
+    #: Pipelines recomposed with at least one stage's exit extractor
+    #: re-used (vs. ``pipeline_compiles``, which rebuilds every stage).
+    pipeline_patches: int = 0
+    #: Single-instruction edits absorbed as rank-k offset corrections
+    #: (no block recompile, no sweep row re-derivation).
+    rank_updates: int = 0
+    #: Rank updates declined — structural edit, missing cache entry, or
+    #: stale sweep — and routed to the ordinary dirty-block path.
+    rank_update_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -1004,6 +1225,9 @@ class CacheStats:
             "sweep_patches": self.sweep_patches,
             "pipeline_compiles": self.pipeline_compiles,
             "pipeline_hits": self.pipeline_hits,
+            "pipeline_sweep_patches": self.pipeline_patches,
+            "rank_updates": self.rank_updates,
+            "rank_update_fallbacks": self.rank_update_fallbacks,
         }
 
 
@@ -1138,7 +1362,12 @@ class BlockTransferCache:
         by stage-sweep object *identity* — a pipeline of repeated
         kernels (same function objects) compiles once and re-analyzes
         from cache, while a patched or recompiled stage sweep (a new
-        object) forces the cheap recomposition automatically.
+        object) forces the cheap recomposition automatically.  A
+        recomposition re-uses the cached exit extractor of every stage
+        whose frozen exit plan, stacked size, and storage form are
+        unchanged (the usual case: an in-place edit replaces one stage's
+        sweep object but not its exit recipe), counted as a
+        ``pipeline_patches`` rather than a full ``pipeline_compiles``.
         """
         key = (tuple(functions), merge)
         cached = self._pipelines.get(key)
@@ -1151,11 +1380,36 @@ class BlockTransferCache:
         ):
             self.stats.pipeline_hits += 1
             return cached
+        reuse = None
+        if (
+            cached is not None
+            and cached.exit_plans is not None
+            and len(cached.stage_sweeps) == len(stage_sweeps)
+        ):
+            reuse = []
+            for k, sweep in enumerate(stage_sweeps):
+                old = cached.exit_matrices[k]
+                same_plan = cached.exit_plans[k] == exit_plan_key(
+                    exit_plans[k]
+                )
+                same_size = old.shape[1] == sweep.matrix.shape[0]
+                same_form = scipy.sparse.issparse(old) == (
+                    getattr(sweep, "form", "dense") == "sparse"
+                )
+                reuse.append(
+                    old if same_plan and same_size and same_form else None
+                )
+            if not any(m is not None for m in reuse):
+                reuse = None
         built = compile_pipeline_sweep(
-            stage_sweeps, exit_plans, self.model.grid.num_nodes
+            stage_sweeps, exit_plans, self.model.grid.num_nodes,
+            exit_matrices=reuse,
         )
         self._pipelines[key] = built
-        self.stats.pipeline_compiles += 1
+        if reuse is not None:
+            self.stats.pipeline_patches += 1
+        else:
+            self.stats.pipeline_compiles += 1
         return built
 
     def invalidate(self, function=None, blocks=None) -> None:
@@ -1202,6 +1456,83 @@ class BlockTransferCache:
         ]:
             del self._pipelines[key]
 
+    def update_instruction(
+        self, function, block_name: str, index: int
+    ) -> np.ndarray | None:
+        """Absorb an edit of one instruction (already made in place).
+
+        The factored-update fast path: the edited block's compiled
+        transfer is corrected by :func:`rank_update_block` and every
+        cached sweep of *function* containing the block gets its offset
+        vectors shifted by :func:`patch_sweep_offsets` — no recompile,
+        no row re-derivation, no dirty marks.  All-or-nothing: either
+        every cached artifact is updated and the block's offset delta
+        ``Δb_B`` is returned, or nothing is touched and ``None`` tells
+        the caller to route the edit through the ordinary
+        ``invalidate(function, blocks=[...])`` path (counted as a
+        ``rank_update_fallbacks``) — because the edit was structural,
+        the block was never compiled here, or a cached sweep is dirty
+        or stale.
+        """
+        block = function.blocks.get(block_name)
+        if block is None:
+            raise DataflowError(
+                f"update_instruction: unknown block {block_name!r}"
+            )
+        old = self._compiled.get(block)
+        if old is None:
+            self.stats.rank_update_fallbacks += 1
+            return None
+        updated = rank_update_block(
+            old, block, index, self.model, self.power_model, self.dt,
+            include_leakage=self.include_leakage,
+        )
+        if updated is None:
+            self.stats.rank_update_fallbacks += 1
+            return None
+        new_block, delta = updated
+
+        new_sweeps: dict[tuple[object, str, str], object] = {}
+        for key, sweep in self._sweeps.items():
+            if key[0] is not function or block_name not in sweep.rpo:
+                continue
+            if self._sweep_dirty.get(key):
+                self.stats.rank_update_fallbacks += 1
+                return None
+            try:
+                signature = sweep_signature(function, list(sweep.rpo))
+            except (KeyError, DataflowError):
+                self.stats.rank_update_fallbacks += 1
+                return None
+            if sweep.signature != signature:
+                self.stats.rank_update_fallbacks += 1
+                return None
+            compiled: dict[str, CompiledBlock] = {}
+            for name in sweep.rpo:
+                entry = self._compiled.get(function.blocks[name])
+                if entry is None or entry.num_instructions != len(
+                    function.blocks[name].instructions
+                ):
+                    self.stats.rank_update_fallbacks += 1
+                    return None
+                compiled[name] = entry
+            compiled[block_name] = new_block
+            patched = patch_sweep_offsets(sweep, compiled, {block_name: delta})
+            if patched is None:
+                self.stats.rank_update_fallbacks += 1
+                return None
+            new_sweeps[key] = patched
+
+        # Commit only once every artifact patched cleanly.  Cached
+        # pipelines recompose themselves: their stage-sweep identity
+        # check misses against the new objects and the recomposition
+        # re-uses every unchanged exit extractor.
+        self._compiled[block] = new_block
+        for key, patched in new_sweeps.items():
+            self._sweeps[key] = patched
+        self.stats.rank_updates += 1
+        return delta
+
     def nbytes(self) -> int:
         """Bytes held by cached transfers, sweeps, and pipelines.
 
@@ -1225,8 +1556,12 @@ class BlockTransferCache:
         for pipe in self._pipelines.values():
             for sweep in pipe.stage_sweeps:
                 add(sweep, sweep.nbytes)
-            add(pipe, sum(int(m.nbytes) for m in pipe.exit_matrices))
+            add(pipe, sum(_matrix_nbytes(m) for m in pipe.exit_matrices))
         return total
+
+    def pipeline_nbytes(self) -> int:
+        """Bytes held by cached pipelines (stage sweeps + extractors)."""
+        return sum(pipe.nbytes for pipe in self._pipelines.values())
 
     def __len__(self) -> int:
         return len(self._compiled)

@@ -336,6 +336,13 @@ def merge_pipeline_chunks(
         workers.append({
             "worker": label,
             "stages": len(report["stages"]),
+            # The per-stage storage forms this worker's chunk resolved
+            # to — what lets a caller assert a sharded sparse run used
+            # the same form on every worker (the sweep/warm-start knobs
+            # forward through the dataclass `replace` chunking).
+            "stage_sweeps": [
+                stage.get("sweep") for stage in report["stages"]
+            ],
             "wall_time_seconds": envelope.wall_time_seconds,
             "context_stats": dict(report.get("context_stats", {})),
         })
@@ -345,6 +352,7 @@ def merge_pipeline_chunks(
         "strategy": request.strategy,
         "delta": request.delta,
         "merge": request.merge,
+        "sweep": request.sweep,
         "converged": converged,
         "iterations": iterations,
         "wall_time_seconds": wall_time_seconds,

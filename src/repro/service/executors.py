@@ -368,6 +368,8 @@ def render_pipeline_report(report) -> str:
             f"compiles, {stats.get('block_hits', 0)} block hits, "
             f"{stats.get('pipeline_compiles', 0)} pipeline compiles, "
             f"{stats.get('pipeline_hits', 0)} pipeline hits, "
+            f"{stats.get('pipeline_sweep_patches', 0)} pipeline patches, "
+            f"{stats.get('rank_updates', 0)} rank updates, "
             f"{stats.get('summary_compiles', 0)} summary solves\n"
         )
     return out.getvalue()
@@ -441,6 +443,7 @@ def execute_pipeline(service, request: PipelineRequest, progress=None):
             policy=request.policy,
             policies=list(request.policies) if request.policies else None,
             max_iterations=request.max_iterations,
+            warm_start=request.warm_start,
             entry_state=entry_state,
             progress=progress,
             include_exit_state=request.return_exit_state,

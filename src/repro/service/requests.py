@@ -272,6 +272,11 @@ class PipelineRequest(Request):
     engine: str = "auto"
     sweep: str = "auto"
     max_iterations: int = 2000
+    #: Restart the stacked fixed point from the shared context's stored
+    #: pipeline-level solution, when one is still valid — the
+    #: incremental re-analysis knob, one level up from
+    #: ``AnalysisRequest.warm_start`` (see ``TDFAConfig.warm_start``).
+    warm_start: bool = False
     #: Entry temperature vector (one value per thermal node) instead of
     #: uniform ambient — how a coordinator chains pipeline *chunks*
     #: across workers: chunk k+1 starts from chunk k's reported

@@ -149,6 +149,189 @@ class TestDirtyBlockReanalysis:
         assert ctx.stats["sweep_patches"] == 0
 
 
+class TestPipelineIncremental:
+    """Per-stage dirty propagation through the stacked pipeline engine."""
+
+    DELTA = 0.01
+    STAGES = ("matmul", "fir", "conv3x3")
+
+    def _stages(self, machine):
+        return [_allocated(name, machine) for name in self.STAGES]
+
+    def _worst_exit_diff(self, a, b):
+        return max(
+            float(np.max(np.abs(x.temperatures - y.temperatures)))
+            for x, y in zip(a.exit_states, b.exit_states)
+        )
+
+    def test_one_stage_edit_patches_only_that_stage(self, machine):
+        """An in-place edit of one stage patches that stage's sweep rows
+        and recomposes the pipeline by extractor re-use — no sweep or
+        pipeline recompile anywhere."""
+        fns = self._stages(machine)
+        ctx = AnalysisContext.for_chip(machine)
+        base = ctx.analyze_pipeline(fns, delta=self.DELTA, sweep="sparse")
+        assert base.converged
+        assert base.stage_sweep_forms == ["sparse"] * len(fns)
+        before = ctx.stats
+        rpo = reverse_postorder(fns[1])
+        _edit_block(fns[1], rpo[1])
+        ctx.invalidate(fns[1], blocks=[rpo[1]])
+        warm = ctx.analyze_pipeline(
+            fns, delta=self.DELTA, sweep="sparse", warm_start=True
+        )
+        assert warm.converged
+        after = ctx.stats
+        assert after["sweep_patches"] == before["sweep_patches"] + 1
+        assert after["sweep_compiles"] == before["sweep_compiles"]
+        assert after["pipeline_sweep_patches"] == \
+            before["pipeline_sweep_patches"] + 1
+        assert after["pipeline_compiles"] == before["pipeline_compiles"]
+        # The warm start really came from the stored pipeline solution.
+        assert after["pipeline_warm_start_nbytes"] > 0
+
+    @pytest.mark.parametrize("sweep", ["batched", "sparse"])
+    def test_edited_pipeline_matches_cold_recompile(self, machine, sweep):
+        """After an edit + warm re-analysis, a cold-initialized run
+        through the patched pipeline reproduces a fresh context's
+        trajectory — dense and CSR forms alike."""
+        fns = self._stages(machine)
+        ctx = AnalysisContext.for_chip(machine)
+        ctx.analyze_pipeline(fns, delta=self.DELTA, sweep=sweep)
+        rpo = reverse_postorder(fns[0])
+        _edit_block(fns[0], rpo[1])
+        ctx.invalidate(fns[0], blocks=[rpo[1]])
+        warm = ctx.analyze_pipeline(
+            fns, delta=self.DELTA, sweep=sweep, warm_start=True
+        )
+        assert warm.converged
+        tight = ctx.analyze_pipeline(fns, delta=1e-9, sweep=sweep)
+        fresh = AnalysisContext.for_chip(machine).analyze_pipeline(
+            fns, delta=1e-9, sweep=sweep
+        )
+        assert tight.iterations == fresh.iterations
+        assert self._worst_exit_diff(tight, fresh) <= 1e-12
+
+    def test_structural_edit_falls_back_and_stays_exact(self, machine):
+        """A count-changing (structural) edit is refused by the rank
+        updater, routed through the dirty-block path, and the next
+        analysis still reproduces a cold recompile."""
+        fns = self._stages(machine)
+        ctx = AnalysisContext.for_chip(machine)
+        ctx.analyze_pipeline(fns, delta=self.DELTA, sweep="sparse")
+        rpo = reverse_postorder(fns[1])
+        block = fns[1].blocks[rpo[1]]
+        block.instructions.insert(0, parse_instruction("r9 = add r2, r3"))
+        assert ctx.update_instruction(fns[1], rpo[1], 0) is False
+        assert ctx.stats["rank_update_fallbacks"] >= 1
+        assert ctx.stats["rank_updates"] == 0
+        redo = ctx.analyze_pipeline(
+            fns, delta=self.DELTA, sweep="sparse", warm_start=True
+        )
+        assert redo.converged
+        tight = ctx.analyze_pipeline(fns, delta=1e-9, sweep="sparse")
+        fresh = AnalysisContext.for_chip(machine).analyze_pipeline(
+            fns, delta=1e-9, sweep="sparse"
+        )
+        assert self._worst_exit_diff(tight, fresh) <= 1e-12
+
+    def test_full_stage_invalidate_recomposes_from_scratch(self, machine):
+        fns = self._stages(machine)
+        ctx = AnalysisContext.for_chip(machine)
+        ctx.analyze_pipeline(fns, delta=self.DELTA, sweep="sparse")
+        before = ctx.stats
+        ctx.invalidate(fns[1])
+        ctx.analyze_pipeline(fns, delta=self.DELTA, sweep="sparse")
+        after = ctx.stats
+        assert after["sweep_compiles"] == before["sweep_compiles"] + 1
+        assert after["pipeline_compiles"] == before["pipeline_compiles"] + 1
+        assert after["pipeline_sweep_patches"] == \
+            before["pipeline_sweep_patches"]
+
+
+class TestWoodburyRankUpdates:
+    """Factored single-instruction updates vs. full recompiles."""
+
+    DELTA = 0.01
+    OPCODES = ("add", "sub", "mul", "xor", "and", "or")
+
+    def test_random_single_instruction_edits_match_recompile(self, machine):
+        """Property: over random in-place single-instruction
+        perturbations, the rank-updated caches agree with a fresh cold
+        recompile to 1e-12 — and never pay a sweep recompile."""
+        rng = np.random.default_rng(7)
+        function = _allocated("fir", machine)
+        ctx = AnalysisContext(machine)
+        ctx.analyze(function, delta=self.DELTA)
+        rpo = reverse_postorder(function)
+        # Editable sites: never a block's last instruction, so branches
+        # (hence the CFG) are untouched and the edit is non-structural.
+        candidates = [
+            name for name in rpo
+            if len(function.blocks[name].instructions) >= 2
+        ]
+        assert candidates
+        for trial in range(6):
+            name = candidates[int(rng.integers(len(candidates)))]
+            index = int(rng.integers(
+                len(function.blocks[name].instructions) - 1
+            ))
+            op = self.OPCODES[int(rng.integers(len(self.OPCODES)))]
+            dest = 1 + int(rng.integers(8))
+            function.blocks[name].instructions[index] = parse_instruction(
+                f"r{dest} = {op} r2, r3"
+            )
+            assert ctx.update_instruction(function, name, index), \
+                (trial, name, index)
+            via_update = ctx.analyze(function, delta=1e-9)
+            fresh = AnalysisContext(machine).analyze(function, delta=1e-9)
+            assert _worst_block_diff(via_update, fresh) <= 1e-12, \
+                (trial, name, index)
+        stats = ctx.stats
+        assert stats["rank_updates"] == 6
+        assert stats["rank_update_fallbacks"] == 0
+        assert stats["sweep_compiles"] == 1  # only the original build
+        assert stats["sweep_patches"] == 0
+
+    def test_rank_updated_summary_matches_cold_extraction(self, machine):
+        """The Woodbury-corrected block solutions feed summaries: the
+        linear part is untouched, the offset agrees to 1e-12."""
+        function = _allocated("matmul", machine)
+        ctx = AnalysisContext(machine)
+        ctx.summary(function)
+        rpo = reverse_postorder(function)
+        function.blocks[rpo[1]].instructions[0] = parse_instruction(
+            "r1 = xor r2, r3"
+        )
+        assert ctx.update_instruction(function, rpo[1], 0)
+        patched = ctx.summary(function)
+        cold = AnalysisContext(machine).summary(function)
+        assert float(np.max(np.abs(patched.matrix - cold.matrix))) == 0.0
+        assert float(np.max(np.abs(patched.offset - cold.offset))) <= 1e-12
+        assert ctx.stats["solve_compiles"] == 1  # corrected, not re-solved
+
+    def test_unknown_block_rejected(self, machine):
+        function = _allocated("fir", machine)
+        ctx = AnalysisContext(machine)
+        with pytest.raises(DataflowError):
+            ctx.update_instruction(function, "no_such_block", 0)
+
+    def test_cold_cache_falls_back(self, machine):
+        """With nothing compiled yet there is nothing to rank-update:
+        the edit routes through the dirty path and analysis stays
+        correct."""
+        function = _allocated("fir", machine)
+        ctx = AnalysisContext(machine)
+        rpo = reverse_postorder(function)
+        ctx.analyze(function, delta=self.DELTA)  # compile once
+        ctx.invalidate(function)  # ...and drop everything again
+        _edit_block(function, rpo[1])
+        assert ctx.update_instruction(function, rpo[1], 0) is False
+        assert ctx.stats["rank_update_fallbacks"] >= 1
+        result = ctx.analyze(function, delta=self.DELTA)
+        assert result.converged
+
+
 class TestBoundedCaches:
     def test_capacity_below_one_rejected(self, machine):
         with pytest.raises(ValueError):

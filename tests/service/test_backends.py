@@ -136,6 +136,35 @@ class TestRemoteBackend:
         ) <= 2 * 1e-4
         assert len(remote.result["workers"]) == 2
 
+    def test_pipeline_chunks_forward_sweep_knobs(self, service, worker_pair):
+        """The sweep/warm-start knobs survive the chunked remote path:
+        every worker's chunk resolves every stage to the requested CSR
+        form, and the merged report echoes the knob."""
+        request = PipelineRequest(
+            stages=("fib", "crc32", "fib", "dct8"), machine="rf16",
+            delta=1e-4, sweep="sparse", warm_start=True,
+        )
+        backend = RemoteBackend([w.label for w in worker_pair])
+        try:
+            remote = service.submit(request, backend=backend).result()
+        finally:
+            backend.close()
+        assert remote.ok, remote.error_message()
+        assert remote.result["report"]["sweep"] == "sparse"
+        workers = remote.result["workers"]
+        assert len(workers) == 2
+        for info in workers:
+            assert info["stage_sweeps"] == ["sparse"] * info["stages"]
+        # And the sparse chunked run agrees with the dense inline run.
+        inline = service.execute(
+            PipelineRequest(stages=request.stages, machine="rf16",
+                            delta=1e-4, sweep="batched")
+        )
+        assert abs(
+            remote.result["report"]["totals"]["exit_peak_kelvin"]
+            - inline.result["report"]["totals"]["exit_peak_kelvin"]
+        ) <= 2 * 1e-4
+
     def test_single_request_forwarded_whole(self, service, worker_pair):
         backend = RemoteBackend([worker_pair[0].label])
         try:

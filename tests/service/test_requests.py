@@ -36,6 +36,8 @@ ALL_REQUESTS = [
     PipelineRequest(stages=("fib", "crc32", "fib"), strategy="composed",
                     policies=("first-free", "chessboard", "first-free"),
                     machine="rf16", delta=0.005, request_id="p-7"),
+    PipelineRequest(stages=("fib", "crc32"), sweep="sparse",
+                    warm_start=True),
     PipelineRequest(ir_texts=(LOOP_SRC,), strategy="sequential", chip=True),
     PipelineRequest(),
     WorkloadListRequest(request_id="w-9"),
