@@ -1,0 +1,191 @@
+"""E17 — schedule search: composed scoring vs sequential re-analysis.
+
+The ``repro.sched`` subsystem turns the analyzer into an optimizer by
+scoring every candidate schedule through cached affine summaries — one
+thermal analysis per *distinct stage*, then K mat-vecs per candidate —
+instead of re-running the chained analysis per ordering.  This bench
+measures exactly that amortization:
+
+* **baseline** — sequential re-analysis: for each sampled candidate,
+  chain a fresh :class:`ThermalDataflowAnalysis` run per stage,
+  threading exit states (what a feedback-driven scheduler would pay);
+* **cold** — a fresh :class:`ScheduleEvaluator` sweeping the full
+  candidate space, compiling each distinct stage summary on first use;
+* **warm** — the same sweep against the warm context: every summary is
+  a cache hit, so the rate *is* the composed-scoring throughput
+  (candidates/sec, the headline number).
+
+Asserts that warm composed scoring beats sequential re-analysis by
+>= 5x per candidate (skipped under ``REPRO_BENCH_QUICK``; queue-shared
+CI runners time too unreliably for a perf gate).  Also runs the
+end-to-end exhaustive search for the record — the argmin and its
+improvement over the identity schedule land in the JSON.  Writes
+``results/BENCH_schedule.json`` (schema ``repro.bench-schedule/1``,
+documented in README.md) so CI archives the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.arch import rf64
+from repro.core import AnalysisContext, TDFAConfig, ThermalDataflowAnalysis
+from repro.regalloc import allocate_linear_scan
+from repro.sched import (
+    ScheduleEvaluator,
+    ScheduleSpace,
+    objective_by_name,
+    optimize_schedule,
+    stage_keys_for,
+)
+from repro.thermal import RFThermalModel
+from repro.util import banner, format_table
+from repro.workloads import load
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+STAGES = ("fib", "crc32", "fir") if QUICK else ("fib", "crc32", "fir",
+                                                "iir", "matmul")
+BASELINE_SAMPLE = 3 if QUICK else 12
+WARM_REPEATS = 2 if QUICK else 5
+DELTA = 0.01
+MIN_SPEEDUP = 5.0
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_e17_schedule_search(record_table, benchmark):
+    machine = rf64()
+    workloads = [load(name) for name in STAGES]
+    allocated = {
+        wl.function.name: allocate_linear_scan(wl.function, machine).function
+        for wl in workloads
+    }
+    # One allocation per stage, shared by every evaluator below — the
+    # same identity sharing AnalysisService.allocation provides, so the
+    # warm pass genuinely hits the context summary cache.
+    allocator = lambda function, policy: allocated[function.name]  # noqa: E731
+
+    context = AnalysisContext(machine)
+    space = ScheduleSpace(stage_keys_for(workloads))
+    objective = objective_by_name("peak")
+    candidates = list(space.enumerate_candidates())
+
+    def sweep():
+        evaluator = ScheduleEvaluator(
+            context, workloads, objective, allocator=allocator
+        )
+        return [evaluator.evaluate(candidate) for candidate in candidates]
+
+    cold_s, cold_scores = _best_of(sweep, 1)
+    warm_s, warm_scores = _best_of(sweep, WARM_REPEATS)
+    assert warm_scores == cold_scores  # caching never changes a score
+    warm_per_candidate = warm_s / len(candidates)
+    candidates_per_sec = len(candidates) / warm_s
+
+    # Baseline: what each candidate costs without summaries — a fresh
+    # chained analysis threading exit states stage to stage.
+    analysis = ThermalDataflowAnalysis(
+        machine=machine,
+        model=RFThermalModel(machine.geometry, energy=machine.energy),
+        config=TDFAConfig(delta=DELTA),
+    )
+    sample = candidates[:BASELINE_SAMPLE]
+    started = time.perf_counter()
+    for candidate in sample:
+        state = analysis.model.ambient_state()
+        for slot in candidate.order:
+            result = analysis.run(
+                allocated[workloads[slot].function.name], entry_state=state
+            )
+            state = result.exit_state()
+    baseline_s = time.perf_counter() - started
+    baseline_per_candidate = baseline_s / len(sample)
+    speedup = baseline_per_candidate / max(warm_per_candidate, 1e-12)
+
+    # End-to-end search for the record: the argmin and what it buys.
+    report = optimize_schedule(
+        list(STAGES), context=context, strategy="exhaustive",
+        budget=10 * space.size(), delta=DELTA, allocator=allocator,
+    )
+    assert report.exhausted
+    assert report.best_score <= report.identity_score
+
+    rows = [
+        ("re-analysis (baseline)", baseline_per_candidate * 1e3,
+         1.0 / baseline_per_candidate, 1.0),
+        ("composed, cold", cold_s / len(candidates) * 1e3,
+         len(candidates) / cold_s,
+         baseline_per_candidate / (cold_s / len(candidates))),
+        ("composed, warm", warm_per_candidate * 1e3, candidates_per_sec,
+         speedup),
+    ]
+    table = format_table(
+        ["scoring path", "per candidate (ms)", "candidates/sec",
+         "speedup (x)"],
+        rows,
+    )
+    record_table(
+        "E17_schedule",
+        "\n".join([
+            banner(
+                f"E17 — schedule search over {len(STAGES)} stages "
+                f"({space.size()} candidates, rf64, δ={DELTA:g})"
+            ),
+            table,
+            "",
+            f"argmin {report.best_names} @ {report.best_score:.4f} K "
+            f"(identity {report.identity_score:.4f} K, "
+            f"-{report.improvement_kelvin:.4f} K)",
+            f"search: {report.candidates_evaluated} evaluated, "
+            f"{report.eval_memo_hits} memo hits",
+        ]),
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": "repro.bench-schedule/1",
+        "machine": "rf64",
+        "delta": DELTA,
+        "quick": QUICK,
+        "stages": list(STAGES),
+        "space_size": space.size(),
+        "baseline_sample": len(sample),
+        "results": {
+            "baseline_seconds_per_candidate": baseline_per_candidate,
+            "cold_seconds_per_candidate": cold_s / len(candidates),
+            "warm_seconds_per_candidate": warm_per_candidate,
+        },
+        "argmin": {
+            "order": list(report.best_order),
+            "names": list(report.best_names),
+            "score_kelvin": report.best_score,
+            "identity_kelvin": report.identity_score,
+            "improvement_kelvin": report.improvement_kelvin,
+        },
+        "headline": {
+            "candidates_per_sec": candidates_per_sec,
+            "warm_speedup_x": speedup,
+        },
+    }
+    with open(RESULTS_DIR / "BENCH_schedule.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if not QUICK:
+        # The subsystem's reason to exist: composed scoring amortizes.
+        assert speedup >= MIN_SPEEDUP, speedup
+
+    benchmark(sweep)

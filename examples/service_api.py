@@ -11,7 +11,9 @@ request/response front-end the way a scheduler (or the CLI, or the
 2. watch the shared-context cache counters amortize across requests;
 3. submit a batch concurrently through the service thread pool;
 4. drive the v2 job protocol: submit -> progress events -> result;
-5. round-trip a request and an envelope through their JSON wire form.
+5. turn the analyzer into an optimizer: a ScheduleRequest searches
+   stage orderings and returns the argmin with full evidence;
+6. round-trip a request and an envelope through their JSON wire form.
 """
 
 from repro.service import (
@@ -21,6 +23,7 @@ from repro.service import (
     EmulateRequest,
     PipelineRequest,
     ResultEnvelope,
+    ScheduleRequest,
     SuiteRequest,
     request_from_json,
 )
@@ -130,7 +133,29 @@ print(
     f"stacked vs composed |d exit peak|={agree:.2e}K"
 )
 
-# 7. The JSON wire form: what `python -m repro serve` speaks over a
+# 7. The optimizer loop closed: a ScheduleRequest searches stage
+#    orderings for the coolest schedule, scoring every candidate
+#    through cached summaries.  submit -> batch events -> argmin with
+#    full pipeline evidence: the same watch-while-it-runs shape as any
+#    other job.
+schedule_job = service.submit(ScheduleRequest(
+    stages=("fib", "crc32", "fir", "iir"), strategy="exhaustive",
+    batch=8,
+))
+batch_events = [
+    event for event in schedule_job.events() if event["event"] == "batch"
+]
+report = schedule_job.result().result["report"]
+print(
+    f"schedule:    argmin {'->'.join(report['best_names'])} "
+    f"@ {report['best_score']:.2f}K "
+    f"(identity {report['identity_score']:.2f}K, "
+    f"{report['candidates_evaluated']} candidates in "
+    f"{len(batch_events)} batches, "
+    f"evidence converged={report['evidence']['converged']})"
+)
+
+# 8. The JSON wire form: what `python -m repro serve` speaks over a
 #    pipe and `python -m repro worker` over a socket — one request and
 #    one envelope per line.
 wire_request = request_from_json(

@@ -20,6 +20,10 @@ substrate it needs:
   frozen request dataclasses, :class:`~repro.service.AnalysisService`,
   the schema-versioned :class:`~repro.service.ResultEnvelope` and the
   line-delimited JSON pipe server;
+* :mod:`repro.sched` — thermal-aware schedule search: candidate spaces
+  over stage orderings/placements, pluggable strategies and objectives,
+  :func:`~repro.sched.optimize_schedule` returning the argmin schedule
+  with full pipeline evidence;
 * :mod:`repro.opt` — the §4 optimizations and the full pipeline;
 * :mod:`repro.sim` — interpreter + thermal emulator (the feedback-driven
   reference flow) and accuracy scoring;
@@ -112,6 +116,7 @@ from .errors import (
 )
 from .ir.function import Function
 from .opt import ThermalAwareCompiler
+from .sched import ScheduleReport, optimize_schedule
 from .service import (
     AnalysisRequest,
     AnalysisService,
@@ -122,6 +127,7 @@ from .service import (
     ProcessBackend,
     RemoteBackend,
     ResultEnvelope,
+    ScheduleRequest,
     SuiteRequest,
     WorkerServer,
     default_service,
@@ -130,7 +136,7 @@ from .service import (
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 
 def analyze(
@@ -234,12 +240,16 @@ __all__ = [
     "AllocationPlacement",
     "rank_critical_variables",
     "evaluate_rules",
+    # schedule search
+    "ScheduleReport",
+    "optimize_schedule",
     # service front-end
     "AnalysisService",
     "AnalysisRequest",
     "CompileRequest",
     "EmulateRequest",
     "SuiteRequest",
+    "ScheduleRequest",
     "ResultEnvelope",
     "JobHandle",
     "InlineBackend",

@@ -23,6 +23,10 @@ Subcommands
                program (entry of stage k+1 = exit of stage k), via the
                stacked pipeline sweep, exact summary composition or the
                sequential carry-through reference.
+``schedule``   search stage orderings (and placements) for the coolest
+               schedule: exhaustive/greedy/anneal strategies over
+               composed-summary scoring, argmin returned with its full
+               stacked pipeline analysis as evidence.
 ``workloads``  list the built-in workload suite.
 ``serve``      serve line-delimited JSON requests from stdin (one
                request per line, one envelope per line on stdout;
@@ -49,6 +53,8 @@ Examples
     python -m repro suite --quick --chip --pressure
     python -m repro pipeline fib crc32 fib --strategy stacked
     python -m repro pipeline --random 10 --seed 3 --json BENCH_pipeline.json
+    python -m repro schedule fib crc32 fir iir fib --strategy exhaustive
+    python -m repro schedule --random 6 --seed 3 --strategy anneal --budget 500
     python -m repro fig1 --workload fir
     echo '{"kind": "analyze", "workload": "fir"}' | python -m repro serve
     python -m repro worker --listen 127.0.0.1:7601
@@ -242,6 +248,60 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(e.g. BENCH_pipeline.json)")
     add_stats_arg(p_pl)
 
+    p_sc = sub.add_parser(
+        "schedule",
+        help="search stage orderings for the coolest schedule",
+    )
+    p_sc.add_argument("stages", nargs="*", metavar="NAME",
+                      help="the stage multiset as workload names (repeats "
+                           "allowed); the search picks their order")
+    p_sc.add_argument("--machine", "-m", choices=sorted(_MACHINES),
+                      default="rf64",
+                      help="target register file preset (default rf64)")
+    p_sc.add_argument("--strategy",
+                      choices=["exhaustive", "greedy", "anneal"],
+                      default="greedy",
+                      help="search strategy: full deterministic enumeration "
+                           "(small N), insertion construction, or seeded "
+                           "simulated annealing (default greedy)")
+    p_sc.add_argument("--objective", choices=["peak", "dwell", "steady"],
+                      default="peak",
+                      help="metric to minimize: one-pass peak temperature, "
+                           "instruction-weighted hotspot dwell, or the "
+                           "steady-schedule peak via the summary fixed "
+                           "point (default peak)")
+    p_sc.add_argument("--budget", type=int, default=2000,
+                      help="candidate-evaluation budget (default 2000)")
+    p_sc.add_argument("--seed", type=int, default=0,
+                      help="RNG seed for --strategy anneal and --random "
+                           "stage generation (default 0)")
+    p_sc.add_argument("--random", type=int, default=0, metavar="N",
+                      help="search a seeded random N-stage pipeline "
+                           "instead of naming stages")
+    p_sc.add_argument("--policy", default="first-free",
+                      help="base assignment policy (default first-free)")
+    p_sc.add_argument("--placements", metavar="POLICY,...",
+                      help="comma-separated assignment policies to search "
+                           "per slot (the chip-level placement axis)")
+    p_sc.add_argument("--chip", action="store_true",
+                      help="score on the die-level chip model")
+    p_sc.add_argument("--dwell-threshold", type=float, default=1.0,
+                      help="Kelvin above ambient that counts as hot for "
+                           "the dwell objective (default 1.0)")
+    p_sc.add_argument("--delta", type=float, default=0.01,
+                      help="convergence threshold for the evidence "
+                           "pipeline (default 0.01)")
+    p_sc.add_argument("--merge", choices=["max", "mean", "freq"],
+                      default="freq", help="CFG join mode (default freq)")
+    add_sweep_arg(p_sc)
+    p_sc.add_argument("--workers", metavar="HOST:PORT,...",
+                      help="shard exhaustive candidate batches across "
+                           "remote workers (same argmin as inline)")
+    p_sc.add_argument("--json", metavar="PATH", dest="json_path",
+                      help="write the machine-readable repro.schedule/1 "
+                           "report (e.g. BENCH_schedule.json)")
+    add_stats_arg(p_sc)
+
     sub.add_parser("workloads", help="list the built-in workload suite")
 
     p_sv = sub.add_parser(
@@ -360,16 +420,6 @@ def cmd_suite(args) -> int:
         # backend and narrate shard completions while it runs.
         from .service import RemoteBackend
 
-        if args.pressure or args.random > 0:
-            # Generator-addressed scenarios have no kernel names for
-            # per-worker subsets — say so instead of silently running
-            # the whole suite on one worker.
-            print(
-                "note: --pressure/--random scenarios cannot shard by "
-                "kernel name; the whole suite runs on one worker",
-                file=sys.stderr,
-            )
-
         backend = RemoteBackend(
             [w.strip() for w in args.workers.split(",") if w.strip()]
         )
@@ -457,6 +507,81 @@ def cmd_pipeline(args) -> int:
     return code
 
 
+def cmd_schedule(args) -> int:
+    from .service import ScheduleRequest
+
+    if args.random > 0 and args.stages:
+        print(
+            "error: name stages or generate them with --random, not both",
+            file=sys.stderr,
+        )
+        return 1
+    placements = None
+    if args.placements:
+        placements = tuple(
+            p.strip() for p in args.placements.split(",") if p.strip()
+        )
+    request = ScheduleRequest(
+        stages=tuple(args.stages) if args.stages else None,
+        random_stages=args.random,
+        seed=args.seed,
+        machine=args.machine,
+        chip=args.chip,
+        strategy=args.strategy,
+        objective=args.objective,
+        budget=args.budget,
+        delta=args.delta,
+        merge=args.merge,
+        sweep=args.sweep,
+        policy=args.policy,
+        placements=placements,
+        dwell_threshold=args.dwell_threshold,
+    )
+    if args.workers:
+        # Shard exhaustive candidate batches across remote workers,
+        # narrating shard completions and running evaluation totals.
+        from .service import RemoteBackend
+
+        backend = RemoteBackend(
+            [w.strip() for w in args.workers.split(",") if w.strip()]
+        )
+
+        def narrate(event):
+            kind = event.get("event")
+            if kind == "shard":
+                print(
+                    f"shard {event['index']} on {event['worker']}: "
+                    f"{'ok' if event['ok'] else 'FAILED'}",
+                    file=sys.stderr,
+                )
+            elif kind == "batch":
+                best = event.get("best_score")
+                best_text = f"{best:.4f}" if best is not None else "-"
+                print(
+                    f"evaluated {event['evaluated']} candidate(s), "
+                    f"best {best_text}",
+                    file=sys.stderr,
+                )
+
+        try:
+            envelope = default_service().submit(
+                request, progress=narrate, backend=backend
+            ).result()
+        finally:
+            backend.close()
+    else:
+        envelope = default_service().execute(request)
+    code = _print_envelope(envelope, stats=args.stats)
+    if envelope.ok and args.json_path:
+        from .sched import ScheduleReport
+
+        ScheduleReport.from_dict(envelope.result["report"]).write_json(
+            args.json_path
+        )
+        print(f"report written to {args.json_path}")
+    return code
+
+
 def cmd_workloads(_args) -> int:
     return _print_envelope(default_service().execute(WorkloadListRequest()))
 
@@ -493,6 +618,7 @@ _COMMANDS = {
     "fig1": cmd_fig1,
     "suite": cmd_suite,
     "pipeline": cmd_pipeline,
+    "schedule": cmd_schedule,
     "workloads": cmd_workloads,
     "serve": cmd_serve,
     "worker": cmd_worker,

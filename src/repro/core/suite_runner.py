@@ -152,11 +152,20 @@ def _workload_specs(
     quick: bool,
     include_pressure: bool,
     random_count: int,
+    ir_texts: list[str] | None = None,
 ) -> list[tuple[str, object]]:
-    """Picklable build-recipes for every workload of the run."""
+    """Picklable build-recipes for every workload of the run.
+
+    ``ir_texts`` entries are serialized functions appended after the
+    named/generated scenarios — and when they are the *only* input
+    (a sharding backend's generated-kernel shard) the full-suite
+    fallback stays off.
+    """
     specs: list[tuple[str, object]] = []
     if names:
         specs += [("kernel", name) for name in names]
+    elif ir_texts:
+        pass  # IR-only run: no named fallback.
     elif quick:
         specs += [("small_suite", i) for i in range(len(small_suite()))]
     else:
@@ -165,6 +174,8 @@ def _workload_specs(
         specs += [("pressure", i) for i in range(len(pressure_sweep()))]
     if random_count > 0:
         specs += [("random", seed) for seed in range(random_count)]
+    if ir_texts:
+        specs += [("ir", text) for text in ir_texts]
     return specs
 
 
@@ -178,6 +189,17 @@ def _build_workload(spec: tuple[str, object]):
         return pressure_sweep()[arg]
     if kind == "random":
         return random_loop_program(seed=arg)
+    if kind == "ir":
+        from ..ir.parser import parse_function
+        from ..workloads.kernels import Workload
+
+        function = parse_function(arg)
+        return Workload(
+            name=function.name,
+            description="suite stage from ir_text",
+            function=function,
+            expected_return=None,
+        )
     raise ValueError(f"unknown workload spec {spec!r}")
 
 
@@ -301,6 +323,7 @@ def run_suite(
     quick: bool = False,
     include_pressure: bool = False,
     random_count: int = 0,
+    ir_texts: list[str] | None = None,
     processes: int = 1,
     progress=None,
 ) -> SuiteReport:
@@ -317,6 +340,10 @@ def run_suite(
     include_pressure / random_count:
         Also run the E5 pressure-sweep scenarios and/or *N* seeded
         random-loop scenarios through the same context.
+    ir_texts:
+        Extra kernels as textual IR, one function each, appended after
+        the named/generated scenarios — how sharding backends hand
+        generated kernels to workers that cannot rebuild them by name.
     processes:
         Fan out across worker processes, one shared context per worker
         (the default 1 keeps everything in one process through a single
@@ -335,7 +362,9 @@ def run_suite(
             "a shared context cannot cross process boundaries: pass either "
             "context= (single process) or processes>1, not both"
         )
-    specs = _workload_specs(names, quick, include_pressure, random_count)
+    specs = _workload_specs(
+        names, quick, include_pressure, random_count, ir_texts
+    )
     started = time.perf_counter()
 
     def report_progress(index: int, item: SuiteItem) -> None:

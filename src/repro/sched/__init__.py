@@ -1,0 +1,60 @@
+"""Thermal-aware schedule search: the analyzer turned optimizer.
+
+The subsystem in four layers, bottom up:
+
+- :mod:`~repro.sched.space` — candidates (stage orderings × optional
+  per-slot placements) and their deduplicated, deterministic space.
+- :mod:`~repro.sched.objectives` — first-class minimizable metrics
+  (``peak``, ``dwell``, ``steady``).
+- :mod:`~repro.sched.search` — pluggable strategies (``exhaustive``,
+  ``greedy``, ``anneal``) guaranteeing never-worse-than-identity.
+- :mod:`~repro.sched.optimizer` — :func:`optimize_schedule` and the
+  ``repro.schedule/1`` :class:`ScheduleReport`, scoring through cached
+  composed summaries and shipping the argmin with its full stacked
+  pipeline analysis as evidence.
+
+Service and CLI front-ends live in :mod:`repro.service` (kind
+``schedule``) and ``python -m repro schedule``.
+"""
+
+from .objectives import (
+    OBJECTIVES,
+    CandidateEvaluation,
+    Objective,
+    objective_by_name,
+)
+from .optimizer import (
+    SCHEMA,
+    ScheduleEvaluator,
+    ScheduleReport,
+    optimize_schedule,
+)
+from .search import (
+    SEARCH_STRATEGIES,
+    SearchOutcome,
+    anneal_search,
+    exhaustive_search,
+    greedy_search,
+    search_by_name,
+)
+from .space import Candidate, ScheduleSpace, stage_keys_for
+
+__all__ = [
+    "OBJECTIVES",
+    "SCHEMA",
+    "SEARCH_STRATEGIES",
+    "Candidate",
+    "CandidateEvaluation",
+    "Objective",
+    "ScheduleEvaluator",
+    "ScheduleReport",
+    "ScheduleSpace",
+    "SearchOutcome",
+    "anneal_search",
+    "exhaustive_search",
+    "greedy_search",
+    "objective_by_name",
+    "optimize_schedule",
+    "search_by_name",
+    "stage_keys_for",
+]

@@ -1,0 +1,128 @@
+"""Schedule objectives: first-class callables over candidate evaluations.
+
+An objective maps one :class:`CandidateEvaluation` — the boundary
+thermal states a candidate schedule visits, produced from cached
+composed summaries in O(stages) — to a scalar to *minimize*.  Three
+ship built-in:
+
+``peak``
+    The peak boundary temperature anywhere in one pass of the schedule,
+    started from ambient.  The direct analogue of the paper's peak-
+    temperature metric, at pipeline granularity.
+``dwell``
+    Hotspot dwell: total instruction count of the stages whose exit
+    state is still at least ``dwell_threshold`` Kelvin above ambient —
+    a proxy for how long the die *stays* hot, which is what ages
+    interconnect (instruction count stands in for stage duration).
+``steady``
+    The peak boundary temperature of the *steady schedule*: the
+    candidate's composed summary is closed under
+    :meth:`~repro.core.summaries.FunctionSummary.fixed_point`, giving
+    the entry state the schedule converges to when run back-to-back
+    forever, and the objective is the hottest boundary in that regime.
+
+Objectives are plain values (:data:`OBJECTIVES`), so registering a new
+one is adding a dict entry — the search strategies, the service
+executor and the CLI all resolve them through :func:`objective_by_name`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import DataflowError
+from .space import Candidate
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """Everything an objective may score, for one candidate.
+
+    ``boundary_peaks`` has one entry per stage boundary — index 0 is
+    the entry state (ambient for a one-pass evaluation), index ``j+1``
+    the exit of slot *j* — each the maximum node temperature of that
+    boundary state.  ``stage_weights[j]`` is slot *j*'s instruction
+    count.  ``steady_peaks`` is the same boundary walk started from the
+    schedule's closed-form steady state, present only when the
+    objective declared ``needs_steady``.
+    """
+
+    candidate: Candidate
+    boundary_peaks: tuple[float, ...]
+    stage_weights: tuple[int, ...]
+    ambient: float
+    dwell_threshold: float
+    steady_peaks: tuple[float, ...] | None = None
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named, minimizable schedule metric."""
+
+    name: str
+    description: str
+    fn: Callable[[CandidateEvaluation], float]
+    #: Whether evaluations must also carry the steady-regime boundary
+    #: walk (one extra linear solve per candidate).
+    needs_steady: bool = False
+
+    def __call__(self, evaluation: CandidateEvaluation) -> float:
+        return self.fn(evaluation)
+
+
+def _peak(evaluation: CandidateEvaluation) -> float:
+    return max(evaluation.boundary_peaks)
+
+
+def _dwell(evaluation: CandidateEvaluation) -> float:
+    hot = evaluation.ambient + evaluation.dwell_threshold
+    return float(sum(
+        weight
+        for weight, exit_peak in zip(
+            evaluation.stage_weights, evaluation.boundary_peaks[1:]
+        )
+        if exit_peak >= hot
+    ))
+
+
+def _steady(evaluation: CandidateEvaluation) -> float:
+    if evaluation.steady_peaks is None:
+        raise DataflowError(
+            "steady objective scored without a steady-state walk "
+            "(evaluator must honor Objective.needs_steady)"
+        )
+    return max(evaluation.steady_peaks)
+
+
+#: name -> objective, the registry every front-end resolves through.
+OBJECTIVES: dict[str, Objective] = {
+    "peak": Objective(
+        name="peak",
+        description="peak boundary temperature of one ambient-entry pass",
+        fn=_peak,
+    ),
+    "dwell": Objective(
+        name="dwell",
+        description="instruction-weighted time spent above the hotspot "
+                    "threshold",
+        fn=_dwell,
+    ),
+    "steady": Objective(
+        name="steady",
+        description="peak boundary temperature of the closed-form steady "
+                    "schedule (summary fixed point)",
+        fn=_steady,
+        needs_steady=True,
+    ),
+}
+
+
+def objective_by_name(name: str) -> Objective:
+    objective = OBJECTIVES.get(name)
+    if objective is None:
+        raise DataflowError(
+            f"unknown schedule objective {name!r}; "
+            f"available: {', '.join(sorted(OBJECTIVES))}"
+        )
+    return objective

@@ -1,0 +1,501 @@
+"""The schedule optimizer: search orchestration + the report layer.
+
+This is where the analyzer becomes an optimizer.  The paper's point in
+making thermal data flow analysis cheap is to put it *inside* a loop;
+with :meth:`AnalysisContext.summary` caching each distinct kernel's
+affine exit map, scoring a candidate ordering is O(stages) mat-vecs —
+thousands of candidates per second — so :func:`optimize_schedule` can
+drive any of the :mod:`repro.sched.search` strategies over a
+:class:`~repro.sched.space.ScheduleSpace` and return the argmin
+schedule *with evidence*: a full stacked-strategy
+:class:`~repro.core.pipeline_runner.PipelineReport` of the winning
+ordering, so the claim "this schedule is coolest" ships with the same
+per-stage analysis any pipeline request returns.
+
+``ScheduleReport`` (schema ``repro.schedule/1``) is the machine-
+readable result; ``candidates`` mode evaluates an explicit batch
+instead of searching — the unit of work a sharding backend sends each
+worker (see ``shard_schedule_request`` in
+:mod:`repro.service.backends`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch import MACHINE_PRESETS
+from ..errors import DataflowError
+from ..regalloc.linearscan import allocate_linear_scan
+from ..regalloc.policies import policy_by_name
+from ..workloads import load
+from ..core.context import AnalysisContext
+from ..core.pipeline_runner import run_pipeline
+from .objectives import CandidateEvaluation, Objective, objective_by_name
+from .search import SearchOutcome, better, search_by_name
+from .space import Candidate, ScheduleSpace, stage_keys_for
+
+#: Report schema identifier (bump on incompatible changes).
+SCHEMA = "repro.schedule/1"
+
+
+class ScheduleEvaluator:
+    """Scores candidates through cached composed summaries.
+
+    One evaluator serves one search: it lazily allocates each distinct
+    ``(workload, policy)`` pair once (through the service's identity-
+    cached *allocator* when given), pulls each allocated function's
+    affine exit map from the shared context's summary cache — so a warm
+    context charges zero linear solves — and walks candidate orderings
+    with two mat-vecs per slot.  Scores memoize per candidate key;
+    ``evaluations`` counts computed scores, ``memo_hits`` the replays.
+    """
+
+    def __init__(
+        self,
+        context: AnalysisContext,
+        workloads,
+        objective: Objective,
+        *,
+        policy: str = "first-free",
+        merge: str = "freq",
+        include_leakage: bool = True,
+        dwell_threshold: float = 1.0,
+        allocator=None,
+        progress=None,
+        batch: int = 25,
+    ) -> None:
+        self.context = context
+        self.workloads = list(workloads)
+        self.objective = objective
+        self.policy = policy
+        self.merge = merge
+        self.include_leakage = include_leakage
+        self.dwell_threshold = dwell_threshold
+        self.allocator = allocator
+        self.progress = progress
+        self.batch = max(1, batch)
+        self.evaluations = 0
+        self.memo_hits = 0
+        self._memo: dict[tuple, float] = {}
+        self._functions: dict[tuple[int, str], object] = {}
+        self._entry = np.array(
+            context.model.ambient_state().temperatures, dtype=float
+        )
+        self._ambient = float(context.model.params.ambient)
+        self._best = float("inf")
+
+    def _function(self, stage_index: int, policy: str | None):
+        policy = policy or self.policy
+        workload = self.workloads[stage_index]
+        key = (id(workload), policy)
+        function = self._functions.get(key)
+        if function is None:
+            if self.allocator is not None:
+                function = self.allocator(workload.function, policy)
+            else:
+                function = allocate_linear_scan(
+                    workload.function, self.context.machine,
+                    policy_by_name(policy),
+                ).function
+            self._functions[key] = function
+        return function
+
+    def _summary(self, stage_index: int, policy: str | None):
+        return self.context.summary(
+            self._function(stage_index, policy),
+            merge=self.merge,
+            include_leakage=self.include_leakage,
+        )
+
+    def evaluate(self, candidate: Candidate) -> float:
+        key = candidate.key()
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            self.memo_hits += 1
+            return memoized
+        slots = list(zip(
+            candidate.order,
+            candidate.policies or (None,) * len(candidate.order),
+        ))
+        summaries = [self._summary(idx, pol) for idx, pol in slots]
+        weights = tuple(
+            self._function(idx, pol).instruction_count() for idx, pol in slots
+        )
+
+        state = self._entry
+        peaks = [float(state.max())]
+        for summary in summaries:
+            state = summary.matrix @ state + summary.offset
+            peaks.append(float(state.max()))
+
+        steady_peaks = None
+        if self.objective.needs_steady:
+            matrix = summaries[0].matrix
+            offset = summaries[0].offset
+            for summary in summaries[1:]:
+                matrix = summary.matrix @ matrix
+                offset = summary.matrix @ offset + summary.offset
+            steady = np.linalg.solve(
+                np.eye(len(offset)) - matrix, offset
+            )
+            state = steady
+            walk = [float(state.max())]
+            for summary in summaries:
+                state = summary.matrix @ state + summary.offset
+                walk.append(float(state.max()))
+            steady_peaks = tuple(walk)
+
+        score = self.objective(CandidateEvaluation(
+            candidate=candidate,
+            boundary_peaks=tuple(peaks),
+            stage_weights=weights,
+            ambient=self._ambient,
+            dwell_threshold=self.dwell_threshold,
+            steady_peaks=steady_peaks,
+        ))
+        self._memo[key] = score
+        self.evaluations += 1
+        self._best = min(self._best, score)
+        if self.progress is not None and self.evaluations % self.batch == 0:
+            self.progress({
+                "event": "batch",
+                "evaluated": self.evaluations,
+                "best_score": self._best,
+            })
+        return score
+
+
+@dataclass
+class ScheduleReport:
+    """Machine-readable result of one schedule search."""
+
+    machine: str
+    model: str                    # "rf" or "chip"
+    strategy: str
+    objective: str
+    budget: int
+    seed: int
+    delta: float
+    merge: str
+    sweep: str
+    policy: str
+    stages: list[str]             # stage names, input order
+    best_order: list[int]
+    best_names: list[str]
+    best_score: float
+    best_policies: list[str] | None = None
+    identity_score: float | None = None
+    space_size: int = 0
+    candidates_evaluated: int = 0
+    eval_memo_hits: int = 0
+    exhausted: bool = False
+    dwell_threshold: float = 1.0
+    placements: list[str] | None = None
+    #: The argmin schedule's full stacked pipeline analysis
+    #: (``PipelineReport.to_dict()`` form) — the evidence.
+    evidence: dict | None = None
+    #: Per-candidate ``[order, policies, score]`` rows, present only in
+    #: explicit-batch (shard) mode; a coordinator merges shards on it.
+    candidate_scores: list | None = None
+    wall_time_seconds: float = 0.0
+    context_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def improvement_kelvin(self) -> float | None:
+        """Identity score minus best score (positive = the search won).
+
+        Meaningful for the Kelvin-valued objectives; ``None`` when the
+        identity schedule was never scored (partial shard batches)."""
+        if self.identity_score is None:
+            return None
+        return self.identity_score - self.best_score
+
+    def to_dict(self) -> dict:
+        data = {
+            "schema": SCHEMA,
+            "machine": self.machine,
+            "model": self.model,
+            "strategy": self.strategy,
+            "objective": self.objective,
+            "budget": self.budget,
+            "seed": self.seed,
+            "delta": self.delta,
+            "merge": self.merge,
+            "sweep": self.sweep,
+            "policy": self.policy,
+            "stages": list(self.stages),
+            "best_order": list(self.best_order),
+            "best_names": list(self.best_names),
+            "best_policies": (
+                list(self.best_policies)
+                if self.best_policies is not None else None
+            ),
+            "best_score": self.best_score,
+            "identity_score": self.identity_score,
+            "improvement_kelvin": self.improvement_kelvin,
+            "space_size": self.space_size,
+            "candidates_evaluated": self.candidates_evaluated,
+            "eval_memo_hits": self.eval_memo_hits,
+            "exhausted": self.exhausted,
+            "dwell_threshold": self.dwell_threshold,
+            "placements": (
+                list(self.placements) if self.placements is not None else None
+            ),
+            "evidence": self.evidence,
+            "wall_time_seconds": self.wall_time_seconds,
+            "context_stats": dict(self.context_stats),
+        }
+        if self.candidate_scores is not None:
+            data["candidate_scores"] = self.candidate_scores
+        return data
+
+    def write_json(self, path) -> None:
+        """Write the report (e.g. as ``BENCH_schedule.json``)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduleReport":
+        """Revive a report from its ``to_dict`` form (inverse up to the
+        derived ``schema``/``improvement_kelvin`` fields)."""
+        return cls(
+            machine=data["machine"],
+            model=data["model"],
+            strategy=data["strategy"],
+            objective=data["objective"],
+            budget=int(data["budget"]),
+            seed=int(data["seed"]),
+            delta=float(data["delta"]),
+            merge=data["merge"],
+            sweep=data.get("sweep", "auto"),
+            policy=data["policy"],
+            stages=list(data["stages"]),
+            best_order=[int(i) for i in data["best_order"]],
+            best_names=list(data["best_names"]),
+            best_policies=(
+                list(data["best_policies"])
+                if data.get("best_policies") is not None else None
+            ),
+            best_score=float(data["best_score"]),
+            identity_score=(
+                float(data["identity_score"])
+                if data.get("identity_score") is not None else None
+            ),
+            space_size=int(data.get("space_size", 0)),
+            candidates_evaluated=int(data.get("candidates_evaluated", 0)),
+            eval_memo_hits=int(data.get("eval_memo_hits", 0)),
+            exhausted=bool(data.get("exhausted", False)),
+            dwell_threshold=float(data.get("dwell_threshold", 1.0)),
+            placements=(
+                list(data["placements"])
+                if data.get("placements") is not None else None
+            ),
+            evidence=data.get("evidence"),
+            candidate_scores=data.get("candidate_scores"),
+            wall_time_seconds=float(data.get("wall_time_seconds", 0.0)),
+            context_stats=dict(data.get("context_stats", {})),
+        )
+
+
+def _resolve_workloads(stages) -> list:
+    """Stage specs (names and/or Workload objects) → shared workloads.
+
+    Repeated names resolve to one object, the identity the summary and
+    transfer caches key on — the same convention as ``run_pipeline``."""
+    loaded: dict[str, object] = {}
+    workloads = []
+    for spec in stages:
+        if isinstance(spec, str):
+            if spec not in loaded:
+                loaded[spec] = load(spec)
+            workloads.append(loaded[spec])
+        else:
+            workloads.append(spec)
+    return workloads
+
+
+def optimize_schedule(
+    stages,
+    machine_name: str = "rf64",
+    *,
+    context: AnalysisContext | None = None,
+    chip: bool = False,
+    strategy: str = "greedy",
+    objective: str = "peak",
+    budget: int = 2000,
+    seed: int = 0,
+    delta: float = 0.01,
+    merge: str = "freq",
+    sweep: str = "auto",
+    policy: str = "first-free",
+    placements=None,
+    dwell_threshold: float = 1.0,
+    candidates=None,
+    allocator=None,
+    progress=None,
+    batch: int = 25,
+    max_iterations: int = 2000,
+) -> ScheduleReport:
+    """Search stage orderings (and placements) for the argmin schedule.
+
+    Parameters
+    ----------
+    stages:
+        The stage multiset, input order: workload names and/or
+        :class:`~repro.workloads.kernels.Workload` objects (repeated
+        names share one object, so equivalent orderings deduplicate).
+    strategy / objective / budget / seed:
+        The search knobs: strategy name (:data:`SEARCH_STRATEGIES
+        <repro.sched.search.SEARCH_STRATEGIES>`), objective name
+        (:data:`OBJECTIVES <repro.sched.objectives.OBJECTIVES>`), the
+        computed-evaluation cap, and the RNG seed (``anneal``).
+    placements:
+        Optional assignment-policy names opening the per-slot placement
+        axis (chip level: which die region each kernel's heat lands on).
+    candidates:
+        Explicit ``(order, policies)`` batch to score instead of
+        searching — the shard unit; the report then carries
+        ``candidate_scores`` and its local argmin.
+    allocator / progress:
+        The service's identity-cached allocation hook and the per-batch
+        event callback (``{"event": "batch", "evaluated": n,
+        "best_score": s}`` every *batch* computed evaluations).
+
+    The evidence pipeline (the argmin ordering re-analyzed under the
+    ``stacked`` strategy) lands under ``report.evidence``.
+    """
+    stages = list(stages)
+    if not stages:
+        raise DataflowError("cannot optimize an empty schedule")
+    if context is None:
+        if machine_name not in MACHINE_PRESETS:
+            raise DataflowError(
+                f"unknown machine {machine_name!r}; "
+                f"available: {sorted(MACHINE_PRESETS)}"
+            )
+        machine = MACHINE_PRESETS[machine_name]()
+        context = (
+            AnalysisContext.for_chip(machine)
+            if chip
+            else AnalysisContext(machine)
+        )
+    objective_obj = objective_by_name(objective)
+    workloads = _resolve_workloads(stages)
+    space = ScheduleSpace(stage_keys_for(workloads), placements)
+    evaluator = ScheduleEvaluator(
+        context, workloads, objective_obj,
+        policy=policy, merge=merge,
+        include_leakage=context.config.include_leakage,
+        dwell_threshold=dwell_threshold,
+        allocator=allocator, progress=progress, batch=batch,
+    )
+
+    started = time.perf_counter()
+    candidate_scores = None
+    if candidates is not None:
+        outcome, candidate_scores = _evaluate_batch(
+            evaluator, space, candidates
+        )
+    else:
+        outcome = search_by_name(strategy)(
+            evaluator, space, budget=budget, seed=seed
+        )
+
+    best = outcome.best
+    ordered = [workloads[i] for i in best.order]
+    evidence = run_pipeline(
+        ordered,
+        context=context,
+        chip=chip,
+        strategy="stacked",
+        delta=delta,
+        merge=merge,
+        sweep=sweep,
+        policy=policy,
+        policies=list(best.policies) if best.policies is not None else None,
+        max_iterations=max_iterations,
+        allocator=allocator,
+    )
+
+    return ScheduleReport(
+        machine=context.machine.name,
+        model="chip" if chip else "rf",
+        strategy=strategy,
+        objective=objective,
+        budget=budget,
+        seed=seed,
+        delta=delta,
+        merge=merge,
+        sweep=sweep,
+        policy=policy,
+        stages=[wl.name for wl in workloads],
+        best_order=list(best.order),
+        best_names=[wl.name for wl in ordered],
+        best_policies=(
+            list(best.policies) if best.policies is not None else None
+        ),
+        best_score=outcome.best_score,
+        identity_score=outcome.identity_score,
+        space_size=space.size(),
+        candidates_evaluated=evaluator.evaluations,
+        eval_memo_hits=evaluator.memo_hits,
+        exhausted=outcome.exhausted,
+        dwell_threshold=dwell_threshold,
+        placements=list(placements) if placements else None,
+        evidence=evidence.to_dict(),
+        candidate_scores=candidate_scores,
+        wall_time_seconds=time.perf_counter() - started,
+        context_stats=dict(context.stats),
+    )
+
+
+def _evaluate_batch(
+    evaluator: ScheduleEvaluator, space: ScheduleSpace, candidates
+) -> tuple[SearchOutcome, list]:
+    """Score an explicit candidate batch (the shard unit).
+
+    Returns the batch's local argmin under the global (score, key)
+    order plus one ``[order, policies, score]`` row per candidate, so
+    a coordinator can reduce shard batches to the exact argmin the
+    inline enumeration would have picked.
+    """
+    best = None
+    best_score = float("inf")
+    identity_score = None
+    identity_key = space.identity().key()
+    rows = []
+    for order, policies in candidates:
+        candidate = Candidate(
+            tuple(int(i) for i in order),
+            tuple(policies) if policies is not None else None,
+        )
+        if len(candidate.order) != space.num_stages or \
+                sorted(candidate.order) != list(range(space.num_stages)):
+            raise DataflowError(
+                f"candidate order {candidate.order!r} is not a "
+                f"permutation of {space.num_stages} stages"
+            )
+        score = evaluator.evaluate(candidate)
+        rows.append([
+            list(candidate.order),
+            list(candidate.policies) if candidate.policies else None,
+            score,
+        ])
+        if candidate.key() == identity_key:
+            identity_score = score
+        if best is None or better(
+            score, candidate.key(), best_score, best.key()
+        ):
+            best, best_score = candidate, score
+    if best is None:
+        raise DataflowError("cannot evaluate an empty candidate batch")
+    outcome = SearchOutcome(
+        best=best, best_score=best_score,
+        identity_score=identity_score, exhausted=True,
+    )
+    return outcome, rows

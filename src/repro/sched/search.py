@@ -1,0 +1,183 @@
+"""Pluggable search strategies over a schedule space.
+
+Hung et al.'s thermal-aware task scheduling splits the problem into an
+exact ILP for small instances and heuristics at scale; the same split
+here, over composed-summary scoring:
+
+``exhaustive``
+    Enumerate the (deduplicated) space in deterministic order, up to
+    the evaluation budget.  Exact within budget; the only strategy a
+    sharding coordinator fans out (same enumeration + same tie-break on
+    every worker ⇒ same argmin as inline).
+``greedy``
+    Insertion construction: stages join the schedule one at a time,
+    each tried at every slot (× every placement, when that axis is
+    open), keeping the best partial schedule.  O(K²·|placements|)
+    evaluations.
+``anneal``
+    Seeded simulated annealing from the identity schedule: random slot
+    swaps (and placement mutations) accepted by the Metropolis rule
+    under a geometric cooling ladder.  Deterministic per seed.
+
+Every strategy evaluates the identity schedule first and returns the
+better of it and its own best, so ``greedy``/``anneal`` are *never
+worse than the as-given ordering* — asserted by the search-correctness
+tests.  Ties break on :meth:`Candidate.key`, making the argmin unique
+and reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..errors import DataflowError
+from .space import Candidate, ScheduleSpace
+
+
+@dataclass
+class SearchOutcome:
+    """What a strategy found: the argmin and how hard it looked."""
+
+    best: Candidate
+    best_score: float
+    identity_score: float
+    #: Whether the whole space was scored (exhaustive within budget).
+    exhausted: bool = False
+
+
+def better(score: float, key, best_score: float, best_key) -> bool:
+    """Strict improvement under the deterministic (score, key) order."""
+    if score != best_score:
+        return score < best_score
+    return key < best_key
+
+
+def exhaustive_search(
+    evaluator, space: ScheduleSpace, budget: int, seed: int = 0
+) -> SearchOutcome:
+    identity = space.identity()
+    identity_score = evaluator.evaluate(identity)
+    best, best_score = identity, identity_score
+    visited = 0
+    exhausted = True
+    for candidate in space.enumerate_candidates():
+        if visited >= max(1, budget):
+            exhausted = False
+            break
+        visited += 1
+        score = evaluator.evaluate(candidate)
+        if better(score, candidate.key(), best_score, best.key()):
+            best, best_score = candidate, score
+    return SearchOutcome(
+        best=best, best_score=best_score,
+        identity_score=identity_score, exhausted=exhausted,
+    )
+
+
+def greedy_search(
+    evaluator, space: ScheduleSpace, budget: int, seed: int = 0
+) -> SearchOutcome:
+    identity = space.identity()
+    identity_score = evaluator.evaluate(identity)
+    placements = space.placements
+    spent = 1
+
+    order: tuple[int, ...] = ()
+    policies: tuple[str, ...] = ()
+    for idx in range(space.num_stages):
+        chosen = None
+        chosen_score = math.inf
+        for pos in range(len(order) + 1):
+            for policy in placements or (None,):
+                cand_order = order[:pos] + (idx,) + order[pos:]
+                cand_policies = (
+                    policies[:pos] + (policy,) + policies[pos:]
+                    if placements else None
+                )
+                candidate = Candidate(cand_order, cand_policies)
+                if spent >= max(1, budget) and chosen is not None:
+                    continue
+                spent += 1
+                score = evaluator.evaluate(candidate)
+                if chosen is None or better(
+                    score, candidate.key(), chosen_score, chosen.key()
+                ):
+                    chosen, chosen_score = candidate, score
+        order = chosen.order
+        policies = chosen.policies if placements else ()
+
+    best = Candidate(order, policies if placements else None)
+    best_score = evaluator.evaluate(best)
+    if not better(best_score, best.key(), identity_score, identity.key()):
+        best, best_score = identity, identity_score
+    return SearchOutcome(
+        best=best, best_score=best_score, identity_score=identity_score,
+    )
+
+
+def anneal_search(
+    evaluator, space: ScheduleSpace, budget: int, seed: int = 0
+) -> SearchOutcome:
+    identity = space.identity()
+    identity_score = evaluator.evaluate(identity)
+    placements = space.placements
+    rng = random.Random(seed)
+
+    current = identity
+    current_score = identity_score
+    best, best_score = current, current_score
+    k = space.num_stages
+    steps = max(1, budget - 1)
+    # Kelvin-scale cooling: score differences are fractions of a degree
+    # for most schedules, so start warm enough to accept ~0.5 K uphill
+    # moves and cool geometrically to effectively greedy.
+    t_start, t_end = 0.5, 1e-4
+    for step in range(steps):
+        if k < 2 and placements is None:
+            break
+        order = list(current.order)
+        policies = (
+            list(current.policies)
+            if current.policies is not None
+            else ([placements[0]] * k if placements else None)
+        )
+        if placements and (k < 2 or rng.random() < 0.3):
+            slot = rng.randrange(k)
+            policies[slot] = placements[rng.randrange(len(placements))]
+        else:
+            i = rng.randrange(k)
+            j = rng.randrange(k)
+            order[i], order[j] = order[j], order[i]
+        candidate = Candidate(
+            tuple(order), tuple(policies) if placements else None
+        )
+        score = evaluator.evaluate(candidate)
+        temperature = t_start * (t_end / t_start) ** (step / steps)
+        delta = score - current_score
+        if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+            current, current_score = candidate, score
+        if better(score, candidate.key(), best_score, best.key()):
+            best, best_score = candidate, score
+    return SearchOutcome(
+        best=best, best_score=best_score, identity_score=identity_score,
+    )
+
+
+#: strategy name -> search function.
+SEARCH_STRATEGIES = {
+    "exhaustive": exhaustive_search,
+    "greedy": greedy_search,
+    "anneal": anneal_search,
+}
+
+
+def search_by_name(name: str):
+    strategy = SEARCH_STRATEGIES.get(name)
+    if strategy is None:
+        raise DataflowError(
+            f"unknown search strategy {name!r}; "
+            f"available: {', '.join(sorted(SEARCH_STRATEGIES))}"
+        )
+    return strategy

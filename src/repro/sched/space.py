@@ -1,0 +1,165 @@
+"""The candidate space of a schedule search.
+
+A *candidate* is one concrete way to run a pipeline of stages: an
+ordering of the stage indices (a permutation — interleavings of
+repeated kernels are just orderings of the stage multiset) plus,
+optionally, a per-slot register-assignment *placement* policy.  At the
+chip level an assignment policy decides which physical register cells —
+which die coordinates — a kernel's heat lands on, so the policy axis is
+the placement axis of the search: the same kernel scheduled into the
+same slot under ``first-free`` versus ``chessboard`` occupies a
+different region of the die.
+
+Two orderings that run *equal* stages in swapped positions describe the
+same physical schedule, so the space deduplicates them: stages carry
+hashable *keys* (equal keys ⇔ interchangeable stages, e.g. two
+occurrences of the same kernel) and enumeration yields exactly one
+representative per distinct key sequence — the lexicographically
+smallest index order.  Enumeration order is deterministic and starts at
+the identity candidate, which is what lets a sharding coordinator and
+an inline run agree on the argmin bit for bit (same candidates, same
+order, same tie-break).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+
+from ..errors import DataflowError
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the schedule space.
+
+    ``order[j]`` is the original stage index executed in slot *j*;
+    ``policies[j]``, when present, is the assignment-policy name the
+    slot-*j* stage is allocated under (``None`` means the search's base
+    policy everywhere).
+    """
+
+    order: tuple[int, ...]
+    policies: tuple[str, ...] | None = None
+
+    def key(self) -> tuple:
+        """Total-order key: the deterministic tie-break of the search.
+
+        Candidates with equal objective scores resolve to the smallest
+        key, so every strategy — and every shard of a fanned-out
+        exhaustive search — picks the same argmin.
+        """
+        return (self.order, self.policies or ())
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
+class ScheduleSpace:
+    """Orderings of a stage multiset × optional per-slot placements.
+
+    Parameters
+    ----------
+    stage_keys:
+        One hashable key per stage; stages with equal keys are
+        interchangeable (repeated kernels), and orderings differing only
+        by a swap of equal-key stages count once.
+    placements:
+        Optional assignment-policy names to search per slot.  ``None``
+        keeps the placement axis closed (every slot uses the base
+        policy) — the pure ordering/interleaving search.
+    """
+
+    def __init__(self, stage_keys, placements=None) -> None:
+        self.stage_keys = list(stage_keys)
+        if not self.stage_keys:
+            raise DataflowError("a schedule space needs at least one stage")
+        self.placements = tuple(placements) if placements else None
+        if self.placements is not None and not self.placements:
+            self.placements = None
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_keys)
+
+    def identity(self) -> Candidate:
+        """The as-given schedule: input order, base policy everywhere."""
+        return Candidate(order=tuple(range(self.num_stages)))
+
+    def size(self) -> int:
+        """Exact number of distinct candidates (may be astronomically
+        large — callers cap enumeration with a budget, never with this)."""
+        counts: dict = {}
+        for key in self.stage_keys:
+            counts[key] = counts.get(key, 0) + 1
+        orders = factorial(self.num_stages)
+        for count in counts.values():
+            orders //= factorial(count)
+        if self.placements is None:
+            return orders
+        return orders * len(self.placements) ** self.num_stages
+
+    def enumerate_orders(self):
+        """Distinct stage orders, lexicographically by index tuple.
+
+        Among equal-key stages the smallest original index always comes
+        first, so the first yield is the identity order.
+        """
+        keys = self.stage_keys
+
+        def expand(prefix: tuple[int, ...], remaining: tuple[int, ...]):
+            if not remaining:
+                yield prefix
+                return
+            seen = set()
+            for i, idx in enumerate(remaining):
+                if keys[idx] in seen:
+                    continue
+                seen.add(keys[idx])
+                yield from expand(
+                    prefix + (idx,), remaining[:i] + remaining[i + 1:]
+                )
+
+        yield from expand((), tuple(range(self.num_stages)))
+
+    def enumerate_candidates(self, limit: int | None = None):
+        """Candidates in deterministic order, optionally budget-capped.
+
+        Orders enumerate in the :meth:`enumerate_orders` sequence; with
+        a placement axis, each order expands into every per-slot policy
+        assignment (policies vary fastest).  The identity candidate is
+        always first when the placement axis is closed.
+        """
+        count = 0
+        for order in self.enumerate_orders():
+            if self.placements is None:
+                if limit is not None and count >= limit:
+                    return
+                count += 1
+                yield Candidate(order=order)
+                continue
+            for policies in _policy_product(self.placements, len(order)):
+                if limit is not None and count >= limit:
+                    return
+                count += 1
+                yield Candidate(order=order, policies=policies)
+
+
+def _policy_product(placements: tuple[str, ...], slots: int):
+    """All per-slot policy assignments, last slot varying fastest."""
+    from itertools import product
+
+    yield from product(placements, repeat=slots)
+
+
+def stage_keys_for(workloads) -> list[int]:
+    """First-occurrence identity keys for a resolved workload list.
+
+    Repeated stages share one :class:`~repro.workloads.kernels.Workload`
+    object (the pipeline-runner convention), so object identity is the
+    interchangeability relation; the returned keys are small ints — the
+    order each distinct workload first appears — which makes them stable
+    across processes given the same construction path.
+    """
+    first: dict[int, int] = {}
+    return [first.setdefault(id(wl), len(first)) for wl in workloads]

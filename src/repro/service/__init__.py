@@ -5,8 +5,9 @@ The public analysis API as a request/response service — since v2
 
 * :mod:`repro.service.requests` — frozen, JSON-round-trippable request
   dataclasses (:class:`AnalysisRequest`, :class:`CompileRequest`,
-  :class:`EmulateRequest`, :class:`SuiteRequest`, …) capturing every
-  run parameter in one value;
+  :class:`EmulateRequest`, :class:`SuiteRequest`,
+  :class:`ScheduleRequest`, …) capturing every run parameter in one
+  value;
 * :mod:`repro.service.envelope` — the uniform, schema-versioned
   :class:`ResultEnvelope` every request resolves to (v1 envelopes still
   revive under the v2 reader);
@@ -64,6 +65,7 @@ from .requests import (
     InvalidRequest,
     PipelineRequest,
     Request,
+    ScheduleRequest,
     SuiteRequest,
     WorkloadListRequest,
     request_from_dict,
@@ -82,6 +84,7 @@ __all__ = [
     "Fig1Request",
     "SuiteRequest",
     "PipelineRequest",
+    "ScheduleRequest",
     "WorkloadListRequest",
     "InvalidRequest",
     "REQUEST_KINDS",

@@ -14,9 +14,11 @@ The v2 service protocol separates *what* to run (a declarative
     Local worker *processes*, each owning its own
     :class:`~repro.service.service.AnalysisService` (and with it warm
     per-process contexts that persist across requests).  Suite requests
-    shard their kernels round-robin across the pool — this replaces
-    ``run_suite``'s ad-hoc ``--processes`` fan-out for name-addressable
-    runs — and any other request is forwarded whole to one worker.
+    shard their kernels round-robin across the pool — generated
+    scenarios (pressure sweeps, random loops) travel as serialized IR
+    text, so *every* suite shards — exhaustive schedule searches shard
+    as candidate batches, and any other request is forwarded whole to
+    one worker.
 ``RemoteBackend``
     Worker processes reachable over TCP (``python -m repro worker
     --listen HOST:PORT``), speaking the same line-delimited JSON
@@ -25,7 +27,9 @@ The v2 service protocol separates *what* to run (a declarative
     Suite requests shard kernels across workers; pipeline requests are
     split into contiguous stage *chunks* chained through explicit
     ``entry_temperatures`` / ``exit_temperatures`` vectors (chunk k+1
-    starts exactly where chunk k ended, possibly on another machine).
+    starts exactly where chunk k ended, possibly on another machine);
+    exhaustive schedule searches shard as explicit candidate batches
+    whose ``(score, key)`` argmin merges back bit-identical to inline.
 
 Sharded results merge the way PR 4's multi-process fix established:
 per-kernel/per-stage records reassemble in request order and per-worker
@@ -44,7 +48,12 @@ from dataclasses import replace
 
 from ..errors import ReproError, WorkerError
 from .envelope import ResultEnvelope
-from .requests import PipelineRequest, Request, SuiteRequest
+from .requests import (
+    PipelineRequest,
+    Request,
+    ScheduleRequest,
+    SuiteRequest,
+)
 
 #: Failures a backend converts into ``ok=False`` envelopes on the job
 #: path (`WorkerError` included via `ReproError`); genuine bugs still
@@ -87,22 +96,43 @@ class InlineBackend(ExecutionBackend):
 # ----------------------------------------------------------------------
 # Suite sharding: split by kernel name, merge by position.
 # ----------------------------------------------------------------------
-def _suite_shard_names(request: SuiteRequest) -> list[str] | None:
-    """The kernel names a suite request expands to, if name-addressable.
+def _suite_shard_units(request: SuiteRequest) -> list[tuple[str, str]]:
+    """Every workload of a suite request as a shardable unit.
 
-    Pressure-sweep and random-loop scenarios are generator-addressed
-    (``("pressure", i)`` specs), not name-addressed, so requests using
-    them cannot be expressed as per-worker ``workloads=`` subsets —
-    those fall back to unsharded execution.
+    Returns ``("name", kernel_name)`` / ``("ir", ir_text)`` pairs in the
+    exact order the inline runner's ``_workload_specs`` expands them:
+    named (or quick/full-suite) kernels first, then pressure scenarios,
+    then random-loop scenarios, then explicit ``ir_texts``.  Generated
+    scenarios serialize to IR text — workers cannot rebuild them by
+    name, but they analyze a parsed function identically (previously
+    any pressure/random suite fell back to unsharded execution).
     """
-    if request.include_pressure or request.random_count > 0:
-        return None
+    units: list[tuple[str, str]] = []
     if request.workloads:
-        return list(request.workloads)
-    # Names only — no need to construct the kernels' IR just to shard.
-    from ..workloads import small_suite_names, workload_names
+        units += [("name", name) for name in request.workloads]
+    elif request.ir_texts:
+        pass  # IR-only request: no named fallback.
+    else:
+        from ..workloads import small_suite_names, workload_names
 
-    return small_suite_names() if request.quick else workload_names()
+        names = small_suite_names() if request.quick else workload_names()
+        units += [("name", name) for name in names]
+    if request.include_pressure or request.random_count > 0:
+        from ..ir.printer import print_function
+        from ..workloads import pressure_sweep, random_loop_program
+
+        if request.include_pressure:
+            units += [
+                ("ir", print_function(wl.function))
+                for wl in pressure_sweep()
+            ]
+        units += [
+            ("ir", print_function(random_loop_program(seed=seed).function))
+            for seed in range(request.random_count)
+        ]
+    if request.ir_texts:
+        units += [("ir", text) for text in request.ir_texts]
+    return units
 
 
 def shard_suite_request(
@@ -114,24 +144,33 @@ def shard_suite_request(
     …``) so workers see balanced mixes of small and large kernels.
     Returns ``(shard_request, positions)`` pairs — *positions* maps each
     shard item back to its place in the original kernel order — or
-    ``None`` when the request is not worth sharding (a single kernel,
-    one shard, or generator-addressed scenarios).
+    ``None`` when the request is not worth sharding (a single kernel or
+    one shard).  Generated scenarios travel as serialized IR text; each
+    shard's *positions* list is reordered named-then-IR to match the
+    worker-side spec expansion order.
     """
-    names = _suite_shard_names(request)
-    if names is None or shards < 2 or len(names) < 2:
+    units = _suite_shard_units(request)
+    if shards < 2 or len(units) < 2:
         return None
-    shards = min(shards, len(names))
+    shards = min(shards, len(units))
     out = []
     for i in range(shards):
-        positions = list(range(i, len(names), shards))
+        dealt = list(range(i, len(units), shards))
+        # Worker-side spec order is named kernels first, then IR texts —
+        # keep positions aligned with the items the shard returns.
+        named = [p for p in dealt if units[p][0] == "name"]
+        irs = [p for p in dealt if units[p][0] == "ir"]
         shard = replace(
             request,
-            workloads=tuple(names[p] for p in positions),
+            workloads=tuple(units[p][1] for p in named) or None,
+            ir_texts=tuple(units[p][1] for p in irs) or None,
             quick=False,
+            include_pressure=False,
+            random_count=0,
             processes=1,
             request_id=f"shard-{uuid.uuid4().hex[:12]}",
         )
-        out.append((shard, positions))
+        out.append((shard, named + irs))
     return out
 
 
@@ -372,6 +411,248 @@ def merge_pipeline_chunks(
 
 
 # ----------------------------------------------------------------------
+# Schedule sharding: candidate batches scored in parallel, argmin merged.
+# ----------------------------------------------------------------------
+def _schedule_stage_keys(request: ScheduleRequest) -> list[int]:
+    """Stage interchangeability keys, computed coordinator-side.
+
+    Mirrors the worker-side identity relation without loading any
+    kernel: named stages are interchangeable iff equal names (the
+    executor resolves them through the service's workload cache),
+    ``ir_texts`` stages iff equal text (the executor dedupes parses by
+    text), and seeded random stages reproduce the generator's own
+    object sharing — ``random_pipeline`` is deterministic per seed, so
+    every backend derives the same multiset.
+    """
+    first: dict = {}
+    if request.stages is not None:
+        return [
+            first.setdefault(name, len(first)) for name in request.stages
+        ]
+    if request.ir_texts is not None:
+        return [
+            first.setdefault(text, len(first)) for text in request.ir_texts
+        ]
+    from ..workloads.generators import random_pipeline
+
+    stages = random_pipeline(
+        seed=request.seed, length=request.random_stages
+    )
+    return [first.setdefault(id(wl), len(first)) for wl in stages]
+
+
+def shard_schedule_request(
+    request: ScheduleRequest, shards: int
+) -> tuple[list[ScheduleRequest], bool] | None:
+    """Split an exhaustive schedule search into candidate-batch shards.
+
+    Only the ``exhaustive`` strategy fans out: its candidate set is
+    fixed upfront (identity + the deterministic space enumeration, cut
+    at *budget*), so the coordinator deals candidates round-robin into
+    explicit-batch sub-requests and the global ``(score, key)`` argmin
+    over all shard rows is *exactly* the candidate inline search picks.
+    Sequential strategies (``greedy``/``anneal``) and requests already
+    carrying a batch forward whole.  Returns ``(shards, exhausted)`` —
+    whether the enumeration fit the budget — or ``None``.
+    """
+    if request.strategy != "exhaustive" or request.candidates is not None:
+        return None
+    if shards < 2:
+        return None
+    from ..sched.space import ScheduleSpace
+
+    space = ScheduleSpace(
+        _schedule_stage_keys(request),
+        list(request.placements) if request.placements else None,
+    )
+    budget = max(1, request.budget)
+    # Inline exhaustive scores the identity first, then up to *budget*
+    # enumerated candidates (the identity again, as a free memo hit,
+    # when the placement axis is closed) — reproduce that exact set,
+    # deduplicated by key.
+    candidates = [space.identity()]
+    seen = {candidates[0].key()}
+    exhausted = True
+    for candidate in space.enumerate_candidates(limit=budget + 1):
+        if len(candidates) > budget:
+            exhausted = False
+            candidates.pop()
+            break
+        if candidate.key() in seen:
+            continue
+        seen.add(candidate.key())
+        candidates.append(candidate)
+    if len(candidates) < 2:
+        return None
+    shards = min(shards, len(candidates))
+    out = []
+    for i in range(shards):
+        batch = candidates[i::shards]
+        out.append(replace(
+            request,
+            candidates=tuple((c.order, c.policies) for c in batch),
+            request_id=f"shard-{uuid.uuid4().hex[:12]}",
+        ))
+    return out, exhausted
+
+
+def merge_schedule_shards(
+    request: ScheduleRequest,
+    shard_results: list[tuple[ResultEnvelope, str]],
+    exhausted: bool,
+    wall_time_seconds: float,
+) -> tuple[dict, dict]:
+    """Reduce shard batches to the global argmin schedule.
+
+    Every shard reports its per-candidate ``candidate_scores`` rows and
+    its *local* argmin's evidence pipeline; the coordinator takes the
+    global minimum under the same deterministic ``(score, key)`` order
+    every strategy uses, adopts the winning shard's evidence (each
+    shard's evidence analyzes its local argmin, so the global winner's
+    shard carries exactly the right one), sums evaluation/memo counters
+    and merges per-worker context stats the established way (per-label
+    max, then summed).
+    """
+    from ..core.suite_runner import collapse_worker_stats, sum_worker_stats
+    from ..sched.optimizer import ScheduleReport
+    from .executors import render_schedule_report
+
+    best_row = None
+    best_key = None
+    best_report = None
+    identity_score = None
+    evaluated = 0
+    memo_hits = 0
+    snapshots = []
+    workers = []
+    reports = []
+    for index, (envelope, label) in enumerate(shard_results):
+        if not envelope.ok:
+            raise WorkerError(
+                f"schedule shard {index} on {label} failed: "
+                f"{envelope.error_message()}"
+            )
+        report = ScheduleReport.from_dict(envelope.result["report"])
+        reports.append(report)
+        rows = report.candidate_scores or []
+        for order, policies, score in rows:
+            key = (
+                tuple(int(i) for i in order),
+                tuple(policies) if policies else (),
+            )
+            if best_row is None or (score, key) < (best_row[2], best_key):
+                best_row = [list(order), policies, score]
+                best_key = key
+                best_report = report
+        if report.identity_score is not None:
+            identity_score = report.identity_score
+        evaluated += report.candidates_evaluated
+        memo_hits += report.eval_memo_hits
+        snapshots.append((label, envelope.context_stats or {}))
+        workers.append({
+            "worker": label,
+            "candidates": len(rows),
+            "wall_time_seconds": envelope.wall_time_seconds,
+            "context_stats": dict(envelope.context_stats or {}),
+        })
+    if best_row is None or best_report is None:
+        raise WorkerError("schedule shards returned no candidate scores")
+    per_worker_stats = collapse_worker_stats(snapshots)
+    context_stats = sum_worker_stats(per_worker_stats)
+    template = reports[0]
+    best_order = [int(i) for i in best_row[0]]
+    merged = ScheduleReport(
+        machine=template.machine,
+        model=template.model,
+        strategy=request.strategy,
+        objective=request.objective,
+        budget=request.budget,
+        seed=request.seed,
+        delta=request.delta,
+        merge=request.merge,
+        sweep=request.sweep,
+        policy=request.policy,
+        stages=list(template.stages),
+        best_order=best_order,
+        best_names=[template.stages[i] for i in best_order],
+        best_policies=(
+            list(best_row[1]) if best_row[1] else None
+        ),
+        best_score=float(best_row[2]),
+        identity_score=identity_score,
+        space_size=template.space_size,
+        candidates_evaluated=evaluated,
+        eval_memo_hits=memo_hits,
+        exhausted=exhausted,
+        dwell_threshold=request.dwell_threshold,
+        placements=(
+            list(request.placements) if request.placements else None
+        ),
+        evidence=best_report.evidence,
+        wall_time_seconds=wall_time_seconds,
+        context_stats=context_stats,
+    )
+    payload = {
+        "converged": bool(
+            merged.evidence and merged.evidence.get("converged")
+        ),
+        "report": merged.to_dict(),
+        "workers": workers,
+        "rendered": render_schedule_report(merged),
+    }
+    return payload, context_stats
+
+
+def run_schedule_shards(
+    request: ScheduleRequest,
+    sharded: list[ScheduleRequest],
+    exhausted: bool,
+    dispatch,
+    progress=None,
+) -> tuple[dict, dict]:
+    """Dispatch candidate-batch shards concurrently and merge the argmin.
+
+    Same shape as :func:`run_suite_shards`: *dispatch(index, shard)*
+    returns ``(worker_label, envelope)``; one thread per shard; as each
+    completes a ``shard`` event fires followed by a ``batch`` event
+    carrying the running evaluated-candidate total and best score — the
+    coordinator-level view of the per-batch progress contract.
+    """
+    started = time.perf_counter()
+    results: list = [None] * len(sharded)
+    with ThreadPoolExecutor(max_workers=len(sharded)) as pool:
+        futures = {
+            pool.submit(dispatch, index, shard): index
+            for index, shard in enumerate(sharded)
+        }
+        evaluated = 0
+        best_score = None
+        for future in as_completed(futures):
+            index = futures[future]
+            label, envelope = future.result()
+            results[index] = (envelope, label)
+            if progress is None:
+                continue
+            progress({"event": "shard", "index": index,
+                      "worker": label,
+                      "requests": len(sharded[index].candidates),
+                      "ok": envelope.ok})
+            if envelope.ok:
+                report = envelope.result.get("report", {})
+                evaluated += int(report.get("candidates_evaluated", 0))
+                score = report.get("best_score")
+                if score is not None and (
+                    best_score is None or score < best_score
+                ):
+                    best_score = score
+                progress({"event": "batch", "evaluated": evaluated,
+                          "best_score": best_score})
+    return merge_schedule_shards(
+        request, results, exhausted, time.perf_counter() - started
+    )
+
+
+# ----------------------------------------------------------------------
 # ProcessBackend: local worker processes, one service each.
 # ----------------------------------------------------------------------
 _PROCESS_SERVICE = None
@@ -472,10 +753,34 @@ class ProcessBackend(ExecutionBackend):
             self.processes, progress,
         )
 
+    def run_schedule_sharded(
+        self, request: ScheduleRequest, progress=None
+    ) -> tuple[dict, dict] | None:
+        """Fan exhaustive candidate batches across the pool."""
+        sharded = shard_schedule_request(request, self.processes)
+        if sharded is None:
+            return None
+        shards, exhausted = sharded
+        return run_schedule_shards(
+            request, shards, exhausted,
+            lambda _index, shard: self._labelled_roundtrip(shard),
+            progress,
+        )
+
     def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
         started = time.perf_counter()
         forward = request
         try:
+            if isinstance(request, ScheduleRequest):
+                merged = self.run_schedule_sharded(request, progress)
+                if merged is not None:
+                    payload, stats = merged
+                    return ResultEnvelope(
+                        request=request,
+                        result=payload,
+                        wall_time_seconds=time.perf_counter() - started,
+                        context_stats=stats,
+                    )
             if isinstance(request, SuiteRequest):
                 sharded = self.run_suite_sharded(request, progress)
                 if sharded is not None:
@@ -649,6 +954,23 @@ class RemoteBackend(ExecutionBackend):
             len(self.clients), progress,
         )
 
+    def run_schedule_sharded(
+        self, request: ScheduleRequest, progress=None
+    ) -> tuple[dict, dict] | None:
+        """Fan exhaustive candidate batches across all workers."""
+        sharded = shard_schedule_request(request, len(self.clients))
+        if sharded is None:
+            return None
+        shards, exhausted = sharded
+        return run_schedule_shards(
+            request, shards, exhausted,
+            lambda index, shard: (
+                self.clients[index % len(self.clients)].label,
+                self.clients[index % len(self.clients)].request(shard),
+            ),
+            progress,
+        )
+
     def run_pipeline_chunked(
         self, request: PipelineRequest, progress=None
     ) -> tuple[dict, dict] | None:
@@ -700,6 +1022,8 @@ class RemoteBackend(ExecutionBackend):
                 merged = self.run_suite_sharded(request, progress)
             elif isinstance(request, PipelineRequest):
                 merged = self.run_pipeline_chunked(request, progress)
+            elif isinstance(request, ScheduleRequest):
+                merged = self.run_schedule_sharded(request, progress)
             if merged is not None:
                 payload, stats = merged
                 return ResultEnvelope(

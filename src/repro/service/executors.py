@@ -43,6 +43,7 @@ from .requests import (
     Fig1Request,
     PipelineRequest,
     Request,
+    ScheduleRequest,
     SuiteRequest,
     WorkloadListRequest,
 )
@@ -297,19 +298,21 @@ def execute_suite(service, request: SuiteRequest, progress=None):
         quick=request.quick,
         include_pressure=request.include_pressure,
         random_count=request.random_count,
+        ir_texts=(
+            list(request.ir_texts) if request.ir_texts else None
+        ),
         progress=progress,
     )
     if request.processes > 1:
         # Fan out through the service's persistent ProcessBackend: the
         # kernels shard round-robin across worker processes (each with
         # its own warm service) and the per-worker reports and context
-        # stats merge back summed.
+        # stats merge back summed.  Generated scenarios (pressure,
+        # random) travel as serialized IR text, so every suite shards.
         sharded = service.process_backend(request.processes) \
             .run_suite_sharded(request, progress)
         if sharded is not None:
             return sharded
-        # Generator-addressed scenarios (pressure sweeps, random loops)
-        # cannot be named in per-worker subsets: legacy per-spec pool.
         report = run_suite(processes=request.processes, **common)
         stats_source: object = dict(report.context_stats)
     else:
@@ -459,6 +462,152 @@ def execute_pipeline(service, request: PipelineRequest, progress=None):
     return payload, context
 
 
+def render_schedule_report(report) -> str:
+    """The schedule table + search totals the CLI prints."""
+    rows = [
+        (
+            slot,
+            name,
+            (report.best_policies[slot]
+             if report.best_policies else report.policy),
+            stage_index,
+        )
+        for slot, (stage_index, name) in enumerate(
+            zip(report.best_order, report.best_names)
+        )
+    ]
+    out = StringIO()
+    out.write(format_table(
+        ["slot", "kernel", "policy", "input stage"], rows
+    ))
+    out.write("\n\n")
+    identity = (
+        f"{report.identity_score:.4f}"
+        if report.identity_score is not None else "-"
+    )
+    improvement = report.improvement_kelvin
+    out.write(
+        f"schedule search over {len(report.stages)} stage(s) on "
+        f"{report.machine} ({report.model} model) "
+        f"[{report.strategy} strategy, {report.objective} objective]: "
+        f"best {report.best_score:.4f} vs identity {identity}"
+        + (f" (improved {improvement:.4f})" if improvement else "")
+        + "\n"
+    )
+    out.write(
+        f"space {report.space_size} candidate(s), evaluated "
+        f"{report.candidates_evaluated} ({report.eval_memo_hits} memo "
+        f"hit(s), budget {report.budget}"
+        f"{', exhausted' if report.exhausted else ''}), "
+        f"wall {report.wall_time_seconds * 1e3:.1f} ms\n"
+    )
+    if report.evidence is not None:
+        converged = report.evidence.get("converged")
+        out.write(
+            "evidence: stacked pipeline analysis of the argmin "
+            f"({'converged' if converged else 'DID NOT CONVERGE'}, "
+            f"{report.evidence.get('iterations', 0)} sweep(s))\n"
+        )
+    stats = report.context_stats
+    if stats:
+        out.write(
+            f"shared context: {stats.get('summary_compiles', 0)} summary "
+            f"solves, {stats.get('summary_hits', 0)} summary hits\n"
+        )
+    return out.getvalue()
+
+
+def execute_schedule(service, request: ScheduleRequest, progress=None):
+    from ..sched import optimize_schedule
+    from ..workloads.generators import random_pipeline
+    from ..workloads.kernels import Workload
+
+    sources = [
+        name
+        for name, present in (
+            ("stages", request.stages is not None),
+            ("ir_texts", request.ir_texts is not None),
+            ("random_stages", request.random_stages > 0),
+        )
+        if present
+    ]
+    if len(sources) != 1:
+        raise ReproError(
+            "a schedule search needs exactly one input source out of "
+            "stages (workload names), ir_texts, or random_stages > 0; "
+            f"got {', '.join(sources) or 'none'}"
+        )
+
+    machine = service.machine(request.machine)
+    if request.stages is not None:
+        if not request.stages:
+            raise ReproError("a schedule needs at least one stage")
+        # Workload objects come from the service cache: repeated stages
+        # share identity, which is what makes them interchangeable in
+        # the candidate space and cache-coherent in the context.
+        stages = [service.workload(name) for name in request.stages]
+    elif request.ir_texts is not None:
+        if not request.ir_texts:
+            raise ReproError("a schedule needs at least one stage")
+        texts: dict[str, Workload] = {}
+        stages = []
+        for text in request.ir_texts:
+            # Equal IR texts resolve to one Workload object so repeated
+            # generated stages stay interchangeable across backends.
+            workload = texts.get(text)
+            if workload is None:
+                function = service.parse_ir(text)
+                workload = Workload(
+                    name=function.name,
+                    description="schedule stage from ir_text",
+                    function=function,
+                    expected_return=None,
+                )
+                texts[text] = workload
+            stages.append(workload)
+    else:
+        # The seeded generator path: identical (request, seed) pairs
+        # build identical stage multisets on every backend.
+        stages = random_pipeline(
+            seed=request.seed, length=request.random_stages
+        )
+
+    with service.pinned_context(
+        request.machine, chip=request.chip
+    ) as context, context.lock:
+        report = optimize_schedule(
+            stages,
+            context=context,
+            chip=request.chip,
+            strategy=request.strategy,
+            objective=request.objective,
+            budget=request.budget,
+            seed=request.seed,
+            delta=request.delta,
+            merge=request.merge,
+            sweep=request.sweep,
+            policy=request.policy,
+            placements=(
+                list(request.placements) if request.placements else None
+            ),
+            dwell_threshold=request.dwell_threshold,
+            candidates=request.candidates,
+            batch=request.batch,
+            progress=progress,
+            allocator=lambda function, policy: service.allocation(
+                function, machine, policy
+            ),
+        )
+    payload = {
+        "converged": bool(
+            report.evidence and report.evidence.get("converged")
+        ),
+        "report": report.to_dict(),
+        "rendered": render_schedule_report(report),
+    }
+    return payload, context
+
+
 def execute_workloads(service, request: WorkloadListRequest, progress=None):
     rows = [
         (wl.name, wl.function.instruction_count(), wl.description)
@@ -482,6 +631,7 @@ EXECUTORS = {
     Fig1Request: execute_fig1,
     SuiteRequest: execute_suite,
     PipelineRequest: execute_pipeline,
+    ScheduleRequest: execute_schedule,
     WorkloadListRequest: execute_workloads,
 }
 

@@ -12,6 +12,7 @@ JSON-round-trippable dataclass**:
 :class:`EmulateRequest`   the feedback-driven reference flow (CLI ``emulate``)
 :class:`SuiteRequest`     a whole-suite run (CLI ``suite``)
 :class:`PipelineRequest`  a cross-function pipeline analysis (CLI ``pipeline``)
+:class:`ScheduleRequest`  a thermal-aware schedule search (CLI ``schedule``)
 :class:`Fig1Request`      the Fig. 1 policy comparison (CLI ``fig1``)
 :class:`WorkloadListRequest`  list the built-in suite (CLI ``workloads``)
 =====================  ==============================================
@@ -241,6 +242,11 @@ class SuiteRequest(Request):
     include_pressure: bool = False
     random_count: int = 0
     processes: int = 1
+    #: Extra stages as textual IR, one function each, appended after the
+    #: named/generated scenarios.  This is how sharding backends carry
+    #: *generated* kernels (pressure/random scenarios) to workers that
+    #: cannot regenerate them by name.
+    ir_texts: tuple[str, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -288,6 +294,79 @@ class PipelineRequest(Request):
 
 
 @dataclass(frozen=True)
+class ScheduleRequest(Request):
+    """A thermal-aware schedule search: find the coolest stage ordering.
+
+    Mirrors ``python -m repro schedule``: the stage multiset — built-in
+    workload names (*stages*), textual IR functions (*ir_texts*), or a
+    seeded generated pipeline (*random_stages*/*seed*) — is searched
+    under *strategy* for the ordering (and, with *placements*, per-slot
+    assignment policies) minimizing *objective*, scored through cached
+    composed summaries.  The result payload is a ``repro.schedule/1``
+    :class:`~repro.sched.ScheduleReport`: the argmin schedule plus its
+    full stacked pipeline analysis as evidence.
+
+    *candidates* — explicit ``(order, policies)`` pairs — switches the
+    request into batch-evaluation mode: score exactly these and report
+    per-candidate scores.  That is the shard unit
+    ``shard_schedule_request`` sends each worker; end users normally
+    leave it ``None``.
+    """
+
+    kind: ClassVar[str] = "schedule"
+
+    stages: tuple[str, ...] | None = None
+    ir_texts: tuple[str, ...] | None = None
+    #: Generate the stage list with ``random_pipeline(seed, length)``
+    #: instead of naming stages — with *seed*, the bitwise-reproducible
+    #: input path (identical (request, seed) pairs build identical
+    #: stage multisets on every backend).
+    random_stages: int = 0
+    seed: int = 0
+    machine: str = "rf64"
+    chip: bool = False
+    strategy: str = "greedy"
+    objective: str = "peak"
+    budget: int = 2000
+    delta: float = 0.01
+    merge: str = "freq"
+    sweep: str = "auto"
+    policy: str = "first-free"
+    #: Assignment-policy names opening the per-slot placement axis.
+    placements: tuple[str, ...] | None = None
+    dwell_threshold: float = 1.0
+    #: Explicit candidate batch (shard mode); each entry is
+    #: ``(order, policies-or-None)``.
+    candidates: tuple[tuple, ...] | None = None
+    #: Progress-event granularity: one ``"batch"`` event per this many
+    #: computed evaluations.
+    batch: int = 25
+
+    def __post_init__(self) -> None:
+        # ``Request.from_dict`` only tuples the *top* level; candidate
+        # entries arrive as nested lists off the wire, so normalize here
+        # to keep revived requests equal to their originals.
+        if self.candidates is not None:
+            normalized = tuple(
+                (
+                    tuple(int(i) for i in order),
+                    tuple(policies) if policies is not None else None,
+                )
+                for order, policies in self.candidates
+            )
+            object.__setattr__(self, "candidates", normalized)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = super().to_dict()
+        if self.candidates is not None:
+            data["candidates"] = [
+                [list(order), list(policies) if policies else None]
+                for order, policies in self.candidates
+            ]
+        return data
+
+
+@dataclass(frozen=True)
 class WorkloadListRequest(Request):
     """List the built-in workload suite."""
 
@@ -320,6 +399,7 @@ REQUEST_KINDS: dict[str, type[Request]] = {
         Fig1Request,
         SuiteRequest,
         PipelineRequest,
+        ScheduleRequest,
         WorkloadListRequest,
         InvalidRequest,
     )

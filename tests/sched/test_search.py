@@ -1,0 +1,216 @@
+"""Search correctness: exact vs brute force, never-worse guarantees,
+cache-warm re-evaluation monotonicity."""
+
+import itertools
+
+import pytest
+
+from repro.core import AnalysisContext
+from repro.errors import DataflowError
+from repro.sched import (
+    OBJECTIVES,
+    Candidate,
+    ScheduleEvaluator,
+    ScheduleSpace,
+    anneal_search,
+    exhaustive_search,
+    greedy_search,
+    objective_by_name,
+    optimize_schedule,
+    search_by_name,
+    stage_keys_for,
+)
+from repro import rf64
+from repro.workloads import load
+
+STAGES = ["fib", "crc32", "fir", "iir", "fib"]
+
+
+@pytest.fixture(scope="module")
+def context():
+    return AnalysisContext(rf64())
+
+
+def _evaluator(context, names, objective="peak"):
+    loaded = {}
+    workloads = []
+    for name in names:
+        if name not in loaded:
+            loaded[name] = load(name)
+        workloads.append(loaded[name])
+    return (
+        ScheduleEvaluator(
+            context, workloads, objective_by_name(objective)
+        ),
+        ScheduleSpace(stage_keys_for(workloads)),
+    )
+
+
+def _brute_force(evaluator, space):
+    """Reference argmin: every permutation of stage indices, scored
+    independently of the space's deduplicated enumeration, ties broken
+    on the candidate key."""
+    best = None
+    best_score = None
+    for order in itertools.permutations(range(space.num_stages)):
+        candidate = Candidate(order)
+        score = evaluator.evaluate(candidate)
+        if best is None or (score, candidate.key()) < (best_score,
+                                                       best.key()):
+            best, best_score = candidate, score
+    return best, best_score
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("names", [
+        STAGES[:3],
+        STAGES[:4],
+        STAGES[:5],               # repeated fib: multiset dedup in play
+        ["crc32", "crc32", "fir"],
+    ])
+    def test_matches_brute_force_reference(self, context, names):
+        evaluator, space = _evaluator(context, names)
+        outcome = exhaustive_search(evaluator, space, budget=10_000)
+        reference, reference_score = _brute_force(evaluator, space)
+        assert outcome.best_score == reference_score
+        # The deduplicated argmin scores identically to the brute-force
+        # one and maps the same workloads to the same slots (equal-key
+        # stages are interchangeable, so indices may differ).
+        key = space.stage_keys
+        assert [key[i] for i in outcome.best.order] \
+            == [key[i] for i in reference.order]
+        assert outcome.exhausted
+
+    def test_budget_cuts_enumeration(self, context):
+        evaluator, space = _evaluator(context, STAGES[:4])
+        outcome = exhaustive_search(evaluator, space, budget=3)
+        assert not outcome.exhausted
+        assert outcome.best_score <= outcome.identity_score
+
+
+class TestNeverWorseThanIdentity:
+    @pytest.mark.parametrize("search", [greedy_search, anneal_search])
+    @pytest.mark.parametrize("names", [STAGES[:3], STAGES[:5]])
+    def test_search_never_worse(self, context, search, names):
+        evaluator, space = _evaluator(context, names)
+        outcome = search(evaluator, space, budget=60, seed=11)
+        assert outcome.best_score <= outcome.identity_score
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_anneal_deterministic_per_seed(self, context, seed):
+        evaluator, space = _evaluator(context, STAGES[:4])
+        first = anneal_search(evaluator, space, budget=40, seed=seed)
+        second = anneal_search(evaluator, space, budget=40, seed=seed)
+        assert first.best == second.best
+        assert first.best_score == second.best_score
+
+    def test_greedy_single_stage(self, context):
+        evaluator, space = _evaluator(context, ["fib"])
+        outcome = greedy_search(evaluator, space, budget=10)
+        assert outcome.best.order == (0,)
+
+
+class TestCacheWarmReEvaluation:
+    def test_objective_monotonic_and_hit_counters(self, context):
+        """Re-scoring the same candidates through a warm evaluator is
+        pure memo replay — identical scores, zero new summary solves."""
+        evaluator, space = _evaluator(context, STAGES[:4])
+        candidates = list(space.enumerate_candidates())
+        cold = [evaluator.evaluate(c) for c in candidates]
+        assert evaluator.evaluations == len(candidates)
+        assert evaluator.memo_hits == 0
+        compiles_after_cold = context.stats["summary_compiles"]
+        hits_after_cold = context.stats["summary_hits"]
+
+        warm = [evaluator.evaluate(c) for c in candidates]
+        assert warm == cold                       # bitwise-stable scores
+        assert evaluator.evaluations == len(candidates)  # nothing recomputed
+        assert evaluator.memo_hits == len(candidates)
+        assert context.stats["summary_compiles"] == compiles_after_cold
+        assert context.stats["summary_hits"] == hits_after_cold
+
+        # A *fresh* evaluator over the same (shared) context recomputes
+        # scores but pulls every summary from the warm context cache.
+        # The context cache keys on allocated-function identity, so the
+        # allocator hands back the warm evaluator's allocations — the
+        # same sharing AnalysisService.allocation provides in the
+        # service path.
+        evaluator2 = ScheduleEvaluator(
+            context,
+            evaluator.workloads,
+            objective_by_name("peak"),
+            allocator=lambda function, policy: next(
+                f for f in evaluator._functions.values()
+                if f.name == function.name
+            ),
+        )
+        rescored = [evaluator2.evaluate(c) for c in candidates]
+        assert rescored == cold
+        assert context.stats["summary_compiles"] == compiles_after_cold
+        assert context.stats["summary_hits"] > hits_after_cold
+
+
+class TestObjectives:
+    def test_registry_and_unknown_names(self):
+        assert set(OBJECTIVES) == {"peak", "dwell", "steady"}
+        with pytest.raises(DataflowError, match="unknown schedule objective"):
+            objective_by_name("coolest")
+        with pytest.raises(DataflowError, match="unknown search strategy"):
+            search_by_name("quantum")
+
+    def test_steady_at_least_one_pass_peak(self, context):
+        """The steady schedule runs the pipeline from its own fixed
+        point, which is at least as hot as an ambient-entry pass."""
+        peak_eval, space = _evaluator(context, STAGES[:3], "peak")
+        steady_eval, _ = _evaluator(context, STAGES[:3], "steady")
+        steady_eval.workloads = peak_eval.workloads
+        for candidate in space.enumerate_candidates():
+            assert steady_eval.evaluate(candidate) \
+                >= peak_eval.evaluate(candidate) - 1e-9
+
+    def test_dwell_counts_hot_stage_weights(self, context):
+        evaluator, space = _evaluator(context, STAGES[:3], "dwell")
+        score = evaluator.evaluate(space.identity())
+        weights = sum(
+            evaluator._function(i, None).instruction_count()
+            for i in range(3)
+        )
+        assert 0 <= score <= weights
+
+
+class TestOptimizeSchedule:
+    def test_strategies_agree_on_five_distinct_stages(self):
+        """The acceptance-criteria property at the API level."""
+        names = ["fib", "crc32", "fir", "iir", "matmul"]
+        ex = optimize_schedule(names, strategy="exhaustive", budget=1000)
+        gr = optimize_schedule(names, strategy="greedy", budget=1000)
+        assert ex.exhausted
+        assert ex.best_order == gr.best_order
+        assert ex.best_score == gr.best_score
+        assert ex.evidence["converged"]
+        assert [s["name"] for s in ex.evidence["stages"]] == ex.best_names
+
+    def test_report_round_trip(self):
+        from repro.sched import ScheduleReport
+
+        report = optimize_schedule(STAGES[:3], strategy="exhaustive",
+                                   budget=100)
+        data = report.to_dict()
+        assert data["schema"] == "repro.schedule/1"
+        revived = ScheduleReport.from_dict(data)
+        assert revived.to_dict() == data
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(DataflowError, match="empty schedule"):
+            optimize_schedule([])
+
+    def test_placement_axis_searches_policies(self):
+        report = optimize_schedule(
+            ["fib", "crc32"], strategy="exhaustive", budget=100,
+            placements=["first-free", "chessboard"],
+        )
+        assert report.space_size == 2 * 4
+        assert report.best_policies is not None
+        assert all(
+            p in ("first-free", "chessboard") for p in report.best_policies
+        )

@@ -1,0 +1,86 @@
+"""Candidate space: deduplication, determinism, sizing."""
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.sched import Candidate, ScheduleSpace, stage_keys_for
+from repro.workloads import load
+
+
+class TestCandidate:
+    def test_key_orders_policies_after_orders(self):
+        bare = Candidate((0, 1))
+        dressed = Candidate((0, 1), ("first-free", "chessboard"))
+        assert bare.key() < dressed.key()
+        assert len(bare) == 2
+
+    def test_frozen_and_hashable(self):
+        a = Candidate((1, 0))
+        b = Candidate((1, 0))
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.order = (0, 1)
+
+
+class TestScheduleSpace:
+    def test_identity_is_input_order(self):
+        space = ScheduleSpace(["a", "b", "c"])
+        assert space.identity() == Candidate((0, 1, 2))
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(DataflowError, match="at least one stage"):
+            ScheduleSpace([])
+
+    def test_distinct_stages_enumerate_all_permutations(self):
+        space = ScheduleSpace(["a", "b", "c"])
+        orders = list(space.enumerate_orders())
+        assert len(orders) == 6 == space.size()
+        assert len(set(orders)) == 6
+        assert orders[0] == (0, 1, 2)  # identity first
+
+    def test_repeated_stages_deduplicate(self):
+        # Two interchangeable "b" stages: 4!/2! = 12 distinct orders.
+        space = ScheduleSpace(["a", "b", "b", "c"])
+        orders = list(space.enumerate_orders())
+        assert len(orders) == 12 == space.size()
+        # Among equal keys the smaller original index always comes
+        # first, so each key sequence appears exactly once.
+        assert all(o.index(1) < o.index(2) for o in orders)
+
+    def test_all_equal_stages_collapse_to_one(self):
+        space = ScheduleSpace(["x", "x", "x"])
+        assert space.size() == 1
+        assert list(space.enumerate_orders()) == [(0, 1, 2)]
+
+    def test_placements_cross_product(self):
+        space = ScheduleSpace(["a", "b"], placements=["p", "q"])
+        candidates = list(space.enumerate_candidates())
+        assert len(candidates) == 2 * 4 == space.size()
+        assert len({c.key() for c in candidates}) == len(candidates)
+        # Policies vary fastest within each order.
+        assert candidates[0] == Candidate((0, 1), ("p", "p"))
+        assert candidates[1] == Candidate((0, 1), ("p", "q"))
+
+    def test_enumeration_limit(self):
+        space = ScheduleSpace(list("abcdef"))
+        assert len(list(space.enumerate_candidates(limit=10))) == 10
+
+    def test_enumeration_is_deterministic(self):
+        space = ScheduleSpace(["a", "b", "b", "c"], placements=["p", "q"])
+        first = [c.key() for c in space.enumerate_candidates()]
+        second = [c.key() for c in space.enumerate_candidates()]
+        assert first == second
+
+
+class TestStageKeys:
+    def test_identity_relation_is_object_sharing(self):
+        fib = load("fib")
+        crc = load("crc32")
+        keys = stage_keys_for([fib, crc, fib])
+        assert keys == [0, 1, 0]
+
+    def test_distinct_objects_get_distinct_keys(self):
+        keys = stage_keys_for([load("fib"), load("fib")])
+        # Two separate load() calls build two objects — NOT
+        # interchangeable under the identity relation.
+        assert keys == [0, 1]

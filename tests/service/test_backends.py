@@ -250,18 +250,35 @@ class TestProcessBackend:
         assert report["context_stats"] == summed
         assert sharded.context_stats == summed
 
-    def test_pressure_scenarios_fall_back_to_legacy_pool(self, service):
-        # Generator-addressed scenarios cannot shard by name; the
-        # legacy per-spec pool still serves them, stats intact.
-        envelope = service.execute(SuiteRequest(
-            workloads=("fib",), include_pressure=True, delta=0.05,
-            processes=2,
+    def test_pressure_and_random_scenarios_shard_as_ir(self, service):
+        """Regression: generator-addressed scenarios (pressure sweeps,
+        random loops) used to fall back to unsharded execution; they now
+        serialize to IR text and shard like named kernels — same
+        kernels, same order, same numbers as the inline run."""
+        request = SuiteRequest(
+            workloads=("fib",), include_pressure=True, random_count=2,
+            delta=0.05, processes=2,
+        )
+        sharded = service.execute(request)
+        assert sharded.ok
+        report = sharded.result["report"]
+        assert len(report["results"]) > 3  # fib + pressure + 2 random
+        # The whole point of the fix: the run really sharded.
+        assert "workers" in sharded.result
+        assert sum(
+            info["kernels"] for info in sharded.result["workers"]
+        ) == len(report["results"])
+        inline = service.execute(SuiteRequest(
+            workloads=("fib",), include_pressure=True, random_count=2,
+            delta=0.05,
         ))
-        assert envelope.ok
-        report = envelope.result["report"]
-        assert report["processes"] == 2
-        assert len(report["results"]) > 1  # fib + pressure scenarios
-        assert "workers" not in envelope.result
+        assert [r["name"] for r in report["results"]] \
+            == [r["name"] for r in inline.result["report"]["results"]]
+        sharded_peaks = _suite_peaks(sharded)
+        inline_peaks = _suite_peaks(inline)
+        for name in inline_peaks:
+            assert abs(sharded_peaks[name][0] - inline_peaks[name][0]) \
+                <= 2 * 0.05, name
         stats = report["context_stats"]
         assert stats.get("block_compiles", 0) + stats.get("block_hits", 0) > 0
 

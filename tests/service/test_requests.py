@@ -111,7 +111,7 @@ class TestValidation:
     def test_registry_covers_all_kinds(self):
         assert set(REQUEST_KINDS) == {
             "analyze", "compile", "emulate", "fig1", "suite", "pipeline",
-            "workloads", "invalid",
+            "schedule", "workloads", "invalid",
         }
 
 

@@ -1,0 +1,232 @@
+"""ScheduleRequest end to end: wire form, inline execution, seeded
+reproducibility, and sharded-vs-inline argmin parity.
+
+The acceptance bar: a ScheduleRequest sharded across two workers
+returns the *identical* argmin schedule and evidence as the inline
+run (candidate scoring is deterministic, so equality is exact, not
+within-tolerance), and the composed-summary cache hits that make the
+search cheap are visible in the envelope ``context_stats``.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import (
+    AnalysisService,
+    ProcessBackend,
+    RemoteBackend,
+    ScheduleRequest,
+    WorkerServer,
+    request_from_dict,
+)
+
+SCHEDULE = ScheduleRequest(
+    stages=("fib", "crc32", "fir", "iir"),
+    strategy="exhaustive",
+    budget=200,
+)
+
+
+@pytest.fixture
+def service():
+    with AnalysisService() as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def worker_pair():
+    with WorkerServer() as first, WorkerServer() as second:
+        first.start()
+        second.start()
+        yield first, second
+
+
+def _best(envelope):
+    report = envelope.result["report"]
+    # The evidence minus its volatile timing/cumulative-counter fields:
+    # everything left is a pure function of (pipeline, schedule), so
+    # equality across backends is exact.
+    evidence = dict(report["evidence"])
+    evidence.pop("context_stats", None)
+    totals = dict(evidence.get("totals", {}))
+    totals.pop("wall_time_seconds", None)
+    evidence["totals"] = totals
+    return (report["best_order"], report["best_score"],
+            report["best_policies"], report["identity_score"], evidence)
+
+
+class TestWireForm:
+    def test_round_trip_via_dict(self):
+        request = ScheduleRequest(
+            stages=("fib", "crc32"),
+            strategy="anneal",
+            seed=7,
+            placements=("first-free", "chessboard"),
+            candidates=(((1, 0), None), ((0, 1), ("hot", "cold"))),
+        )
+        revived = request_from_dict(request.to_dict())
+        assert revived == request
+        assert isinstance(revived.candidates[0][0], tuple)
+
+    def test_random_stages_round_trip(self):
+        request = ScheduleRequest(random_stages=3, seed=42, budget=24)
+        assert request_from_dict(request.to_dict()) == request
+
+    def test_unknown_field_rejected(self):
+        data = SCHEDULE.to_dict()
+        data["thermal_budget"] = 1.0
+        with pytest.raises(ProtocolError, match="thermal_budget"):
+            request_from_dict(data)
+
+    def test_exactly_one_stage_source_required(self, service):
+        both = service.execute(
+            ScheduleRequest(stages=("fib",), random_stages=2)
+        )
+        assert not both.ok and "exactly one" in both.error_message()
+        none = service.execute(ScheduleRequest())
+        assert not none.ok and "exactly one" in none.error_message()
+
+
+class TestInlineExecution:
+    def test_schedule_report_and_cache_hits(self, service):
+        envelope = service.execute(SCHEDULE)
+        assert envelope.ok
+        report = envelope.result["report"]
+        assert report["schema"] == "repro.schedule/1"
+        assert report["space_size"] == 24
+        assert report["candidates_evaluated"] == 24
+        assert report["exhausted"]
+        assert report["best_score"] <= report["identity_score"]
+        assert report["evidence"]["converged"]
+        assert [s["name"] for s in report["evidence"]["stages"]] \
+            == report["best_names"]
+        # Composed-summary caching is what makes 24 candidates cheap:
+        # one compile per distinct stage, the rest are hits — and the
+        # counters surface in the envelope.
+        assert envelope.context_stats["summary_compiles"] >= 4
+        assert envelope.context_stats["summary_hits"] > \
+            envelope.context_stats["summary_compiles"]
+        assert "slot" in envelope.result["rendered"]
+
+    def test_batch_progress_events(self, service):
+        events = []
+        job = service.submit(
+            ScheduleRequest(stages=("fib", "crc32", "fir"),
+                            strategy="exhaustive", budget=100, batch=2),
+            progress=events.append,
+        )
+        assert job.result().ok
+        batches = [e for e in events if e["event"] == "batch"]
+        assert batches
+        evaluated = [e["evaluated"] for e in batches]
+        assert evaluated == sorted(evaluated)
+        assert all("best_score" in e for e in batches)
+
+    def test_ir_text_stages(self, service):
+        from repro.ir import print_function
+        from repro.workloads import load
+
+        texts = tuple(
+            print_function(load(name).function)
+            for name in ("fib", "crc32")
+        )
+        envelope = service.execute(
+            ScheduleRequest(ir_texts=texts + texts[:1],
+                            strategy="exhaustive", budget=50)
+        )
+        assert envelope.ok
+        # Repeated identical IR text collapses to one shared stage:
+        # 3 slots, two interchangeable -> 3!/2! = 3 orders.
+        assert envelope.result["report"]["space_size"] == 3
+
+
+class TestSeededReproducibility:
+    """Satellite: identical (request, seed) pairs are bitwise-identical
+    across inline, process, and remote backends."""
+
+    REQUEST = ScheduleRequest(random_stages=4, seed=123,
+                              strategy="exhaustive", budget=100)
+
+    def test_same_seed_same_result_inline(self, service):
+        first = _best(service.execute(self.REQUEST))
+        second = _best(service.execute(self.REQUEST))
+        assert first == second
+
+    def test_different_seed_different_pipeline(self, service):
+        other = ScheduleRequest(random_stages=4, seed=124,
+                                strategy="exhaustive", budget=100)
+        a = service.execute(self.REQUEST).result["report"]
+        b = service.execute(other).result["report"]
+        assert a["stages"] != b["stages"] or a["best_score"] \
+            != b["best_score"]
+
+    def test_bitwise_identical_across_backends(self, service, worker_pair):
+        inline = _best(service.execute(self.REQUEST))
+        process_backend = ProcessBackend(processes=2)
+        process = _best(
+            service.submit(self.REQUEST, backend=process_backend).result()
+        )
+        remote_backend = RemoteBackend([w.label for w in worker_pair])
+        try:
+            remote = _best(
+                service.submit(self.REQUEST, backend=remote_backend).result()
+            )
+        finally:
+            remote_backend.close()
+        assert inline == process
+        assert inline == remote
+
+
+class TestShardedSchedule:
+    def test_two_worker_argmin_matches_inline(self, service, worker_pair):
+        """Acceptance: sharded exhaustive search returns identical
+        argmin + evidence, with cache hits visible in context_stats."""
+        backend = RemoteBackend([w.label for w in worker_pair])
+        try:
+            remote = service.submit(SCHEDULE, backend=backend).result()
+        finally:
+            backend.close()
+        inline = service.execute(SCHEDULE)
+        assert remote.ok and inline.ok
+        assert _best(remote) == _best(inline)
+        report = remote.result["report"]
+        assert report["candidates_evaluated"] == 24
+        workers = remote.result["workers"]
+        assert len(workers) == 2
+        assert sum(info["candidates"] for info in workers) == 24
+        assert remote.context_stats["summary_hits"] > 0
+
+    def test_process_backend_shards_and_reports_workers(self, service):
+        backend = ProcessBackend(processes=2)
+        envelope = service.submit(SCHEDULE, backend=backend).result()
+        assert envelope.ok
+        assert _best(envelope) == _best(service.execute(SCHEDULE))
+        assert len(envelope.result["workers"]) == 2
+
+    def test_shard_events_and_progress(self, service, worker_pair):
+        events = []
+        backend = RemoteBackend([w.label for w in worker_pair])
+        try:
+            job = service.submit(SCHEDULE, progress=events.append,
+                                 backend=backend)
+            assert job.result().ok
+        finally:
+            backend.close()
+        shards = [e for e in events if e["event"] == "shard"]
+        assert len(shards) == 2
+        assert all(e["ok"] for e in shards)
+        batches = [e for e in events if e["event"] == "batch"]
+        assert batches and batches[-1]["evaluated"] == 24
+
+    def test_greedy_does_not_shard(self, service):
+        """Only exhaustive enumerations deal candidates to workers;
+        sequential strategies run on one process with a note-free
+        inline-identical result."""
+        request = ScheduleRequest(stages=("fib", "crc32", "fir"),
+                                  strategy="greedy", budget=100)
+        backend = ProcessBackend(processes=2)
+        sharded = service.submit(request, backend=backend).result()
+        inline = service.execute(request)
+        assert sharded.ok
+        assert _best(sharded) == _best(inline)
+        assert "workers" not in sharded.result
