@@ -1,0 +1,278 @@
+"""E15 — control plane: worker-loss retry overhead, event-stream throughput.
+
+PR 9 moved sharded execution behind a worker registry and a retrying
+dispatcher (``repro.service.cluster``); this bench prices the two new
+moving parts:
+
+* **Retry overhead** — the same small-suite job, once on a healthy
+  two-worker fleet and once with a *flaky* third endpoint in the
+  roster that accepts connections and hangs up mid-request (the
+  deterministic stand-in for a SIGKILLed worker).  Every shard placed
+  on the flaky worker is resubmitted to a survivor, so the ratio of
+  the two wall times is what one worker loss costs a job — and the
+  recovered result must stay bit-identical to the healthy run.
+* **Events-stream throughput** — ``repro.service/3`` streaming
+  submits interleave per-sweep/per-kernel event frames with the final
+  envelope; a long analysis streamed over a real worker socket
+  measures frames/second, i.e. what the live-narration channel can
+  carry on top of the analysis itself.
+
+Asserts correctness (bit-identical recovery, dead worker in the
+failure breakdown, every streamed frame well-formed and in sequence);
+overheads are recorded, not gated.  Writes
+``results/BENCH_fleet.json`` (schema ``repro.bench-fleet/1``,
+documented in README.md) so CI archives the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+
+from repro.service import (
+    AnalysisRequest,
+    AnalysisService,
+    RemoteBackend,
+    SubmitRequest,
+    SuiteRequest,
+    WorkerServer,
+)
+from repro.service.backends import WorkerClient
+from repro.util import banner, format_table
+from repro.workloads import small_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+REPEATS = 2 if QUICK else 5
+STREAM_REPEATS = 3 if QUICK else 10
+DELTA = 0.01
+#: A deliberately tight threshold so the streamed analysis runs many
+#: sweeps — frames per second needs frames.
+STREAM_DELTA = 1e-6
+
+
+class _FlakyEndpoint:
+    """A TCP endpoint that accepts, reads a little, and hangs up —
+    every request placed on it dies mid-flight."""
+
+    def __init__(self) -> None:
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(16)
+        self._sock.settimeout(0.2)
+        host, port = self._sock.getsockname()[:2]
+        self.label = f"{host}:{port}"
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                conn.recv(64)
+            finally:
+                conn.close()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._sock.close()
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _thermal(envelope):
+    return [
+        {key: value for key, value in record.items()
+         if key != "wall_time_seconds"}
+        for record in envelope.result["report"]["results"]
+    ]
+
+
+def test_e15_fleet_recovery_and_streaming(record_table, benchmark):
+    suite_request = SuiteRequest(
+        workloads=tuple(wl.name for wl in small_suite()), delta=DELTA
+    )
+    service = AnalysisService(max_workers=4)
+    workers = [WorkerServer().start(), WorkerServer().start()]
+    flaky = _FlakyEndpoint()
+
+    healthy_backend = RemoteBackend([w.label for w in workers])
+    # max_failures=1: the first mid-request loss marks the endpoint
+    # dead, exactly what a SIGKILLed worker looks like to the registry.
+    chaos_backend = RemoteBackend(
+        [flaky.label] + [w.label for w in workers], max_failures=1
+    )
+
+    def run(backend, progress=None):
+        envelope = service.submit(
+            suite_request, progress=progress, backend=backend
+        ).result()
+        assert envelope.ok, envelope.error_message()
+        return envelope
+
+    try:
+        # -- Retry overhead -------------------------------------------
+        run(healthy_backend)  # warm workers (cache fill, connects)
+        healthy_s, healthy_env = _best_of(
+            lambda: run(healthy_backend), REPEATS
+        )
+
+        retries = []
+
+        def narrate(event):
+            if event.get("event") == "retry":
+                retries.append(event)
+
+        def chaos_run():
+            # One loss marks the endpoint dead for the rest of the
+            # job; resurrect it (the documented restarted-worker
+            # rejoin path) so every measured run pays for the kill.
+            chaos_backend.registry.heartbeat(flaky.label)
+            return run(chaos_backend, progress=narrate)
+
+        chaos_run()  # warm + first kill
+        chaos_s, chaos_env = _best_of(chaos_run, REPEATS)
+        chaos_runs = REPEATS + 1
+        # Every run (warm included) lost at least one shard to the
+        # flaky endpoint and resubmitted it.
+        assert len(retries) >= chaos_runs
+
+        # Correctness: the lossy run recovered bit-identically, the
+        # loss was narrated, and the dead endpoint is in the breakdown
+        # with nothing attributed to it.
+        assert _thermal(chaos_env) == _thermal(healthy_env)
+        assert retries and all(
+            event["worker"] == flaky.label for event in retries
+        )
+        breakdown = {
+            row["worker"]: row for row in chaos_env.result["workers"]
+        }
+        assert breakdown[flaky.label]["state"] == "dead"
+        assert breakdown[flaky.label]["kernels"] == 0
+        assert breakdown[flaky.label]["shards_failed"] >= 1
+
+        # -- Events-stream throughput ---------------------------------
+        # The final envelope of a streaming submit echoes the *inner*
+        # request's id, so the outer id must match for the client's
+        # correlation check.
+        stream_request = SubmitRequest(
+            request=AnalysisRequest(
+                workload="fir", delta=STREAM_DELTA, request_id="stream-1",
+            ).to_dict(),
+            stream=True,
+            request_id="stream-1",
+        )
+        client = WorkerClient(workers[0].address)
+
+        def stream_once():
+            frames = []
+            envelope = client.request(stream_request, on_event=frames.append)
+            assert envelope.ok, envelope.error_message()
+            return frames, envelope
+
+        try:
+            stream_once()  # warm
+            stream_s, (frames, stream_env) = _best_of(
+                stream_once, STREAM_REPEATS
+            )
+        finally:
+            client.close()
+        # Every frame is a well-formed event for this job, in order.
+        assert len(frames) >= stream_env.result["iterations"]
+        assert all(event["job_id"] == stream_env.job_id
+                   for event in frames)
+        assert frames[-1] == {
+            "job_id": stream_env.job_id, "event": "status",
+            "status": "done",
+        }
+        frames_per_s = len(frames) / stream_s
+
+        # -- Report ---------------------------------------------------
+        retry_overhead_x = chaos_s / healthy_s
+        rows = [
+            ("healthy 2-worker fleet", healthy_s * 1e3, "-"),
+            ("1 dead + 2 survivors", chaos_s * 1e3,
+             f"{retry_overhead_x:.2f}x"),
+        ]
+        table = format_table(
+            ["fleet", "small suite (ms)", "vs healthy"], rows
+        )
+        record_table(
+            "E15_fleet",
+            "\n".join([
+                banner(
+                    f"E15 — control-plane fleet "
+                    f"({len(suite_request.workloads)}-kernel suite, "
+                    f"δ={DELTA:g}, mid-request worker loss)"
+                ),
+                table,
+                "",
+                f"recovery: {len(retries)} shard resubmission(s) "
+                f"across {chaos_runs} lossy runs, merged result "
+                "bit-identical to the healthy fleet",
+                f"event stream: {len(frames)} frames in "
+                f"{stream_s * 1e3:.1f} ms over one worker socket = "
+                f"{frames_per_s:,.0f} frames/s",
+            ]),
+        )
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "repro.bench-fleet/1",
+            "machine": "rf64",
+            "delta": DELTA,
+            "quick": QUICK,
+            "kernels": list(suite_request.workloads),
+            "fleet": {
+                "workers": 2,
+                "flaky_endpoints": 1,
+                "max_failures": 1,
+            },
+            "recovery": {
+                "healthy_suite_seconds": healthy_s,
+                "chaos_suite_seconds": chaos_s,
+                "retry_overhead_x": retry_overhead_x,
+                "chaos_runs": chaos_runs,
+                "retries_total": len(retries),
+                "bit_identical": True,
+            },
+            "events_stream": {
+                "workload": "fir",
+                "delta": STREAM_DELTA,
+                "frames": len(frames),
+                "seconds": stream_s,
+                "frames_per_second": frames_per_s,
+            },
+        }
+        with open(RESULTS_DIR / "BENCH_fleet.json", "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+        benchmark(lambda: run(healthy_backend))
+    finally:
+        healthy_backend.close()
+        chaos_backend.close()
+        flaky.close()
+        for worker in workers:
+            worker.close()
+        service.close()

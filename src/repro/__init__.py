@@ -136,7 +136,7 @@ from .service import (
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 
 def analyze(

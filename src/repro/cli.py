@@ -31,7 +31,11 @@ Subcommands
 ``serve``      serve line-delimited JSON requests from stdin (one
                request per line, one envelope per line on stdout;
                ``--unordered`` writes each envelope as its request
-               completes instead of in request order).
+               completes instead of in request order).  Since
+               ``repro.service/3`` the loop also speaks the async
+               job-queue kinds — ``submit``/``poll``/``events``/
+               ``cancel`` — so a pipe client can run jobs in the
+               background and stream their progress as event frames.
 ``worker``     serve the same envelope protocol over a TCP socket
                (``--listen HOST:PORT``) — the remote end of
                ``suite --workers`` and of ``RemoteBackend``.
@@ -196,7 +200,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="shard the suite across remote workers "
                            "(`python -m repro worker --listen HOST:PORT` "
                            "processes), merging per-worker reports and "
-                           "summing their context stats")
+                           "summing their context stats; lost workers' "
+                           "shards are resubmitted to the survivors")
+    p_su.add_argument("--max-worker-failures", type=int, default=2,
+                      metavar="N",
+                      help="consecutive failures before the registry "
+                           "marks a worker dead (default 2)")
     p_su.add_argument("--json", metavar="PATH", dest="json_path",
                       help="write the machine-readable report "
                            "(e.g. BENCH_suite.json)")
@@ -296,7 +305,12 @@ def _build_parser() -> argparse.ArgumentParser:
     add_sweep_arg(p_sc)
     p_sc.add_argument("--workers", metavar="HOST:PORT,...",
                       help="shard exhaustive candidate batches across "
-                           "remote workers (same argmin as inline)")
+                           "remote workers (same argmin as inline; lost "
+                           "workers' shards are resubmitted)")
+    p_sc.add_argument("--max-worker-failures", type=int, default=2,
+                      metavar="N",
+                      help="consecutive failures before the registry "
+                           "marks a worker dead (default 2)")
     p_sc.add_argument("--json", metavar="PATH", dest="json_path",
                       help="write the machine-readable repro.schedule/1 "
                            "report (e.g. BENCH_schedule.json)")
@@ -400,6 +414,34 @@ def cmd_fig1(args) -> int:
     return _print_envelope(default_service().execute(request))
 
 
+def _shard_narration(event: dict) -> str | None:
+    """A stderr line for shard/retry progress events (else ``None``)."""
+    kind = event.get("event")
+    if kind == "shard":
+        return (
+            f"shard {event['index']} on {event['worker']}: "
+            f"{'ok' if event['ok'] else 'FAILED'}"
+        )
+    if kind == "retry":
+        error = event.get("error") or {}
+        return (
+            f"worker {event.get('worker')} lost "
+            f"(attempt {event.get('attempt')}, "
+            f"{error.get('type', 'WorkerError')}): resubmitting shard"
+        )
+    return None
+
+
+def _remote_backend(args):
+    """A RemoteBackend over the comma-separated ``--workers`` list."""
+    from .service import RemoteBackend
+
+    return RemoteBackend(
+        [w.strip() for w in args.workers.split(",") if w.strip()],
+        max_failures=args.max_worker_failures,
+    )
+
+
 def cmd_suite(args) -> int:
     request = SuiteRequest(
         workloads=tuple(args.workloads) if args.workloads else None,
@@ -417,19 +459,15 @@ def cmd_suite(args) -> int:
     )
     if args.workers:
         # Shard across remote workers: submit as a job on the remote
-        # backend and narrate shard completions while it runs.
-        from .service import RemoteBackend
+        # backend and narrate shard completions (and any worker-loss
+        # resubmissions) while it runs.
+        backend = _remote_backend(args)
 
-        backend = RemoteBackend(
-            [w.strip() for w in args.workers.split(",") if w.strip()]
-        )
         def narrate(event):
-            if event.get("event") == "shard":
-                print(
-                    f"shard {event['index']} on {event['worker']}: "
-                    f"{'ok' if event['ok'] else 'FAILED'}",
-                    file=sys.stderr,
-                )
+            text = _shard_narration(event)
+            if text:
+                print(text, file=sys.stderr)
+
         try:
             envelope = default_service().submit(
                 request, progress=narrate, backend=backend
@@ -539,22 +577,16 @@ def cmd_schedule(args) -> int:
     )
     if args.workers:
         # Shard exhaustive candidate batches across remote workers,
-        # narrating shard completions and running evaluation totals.
-        from .service import RemoteBackend
-
-        backend = RemoteBackend(
-            [w.strip() for w in args.workers.split(",") if w.strip()]
-        )
+        # narrating shard completions, worker-loss resubmissions and
+        # running evaluation totals.
+        backend = _remote_backend(args)
 
         def narrate(event):
-            kind = event.get("event")
-            if kind == "shard":
-                print(
-                    f"shard {event['index']} on {event['worker']}: "
-                    f"{'ok' if event['ok'] else 'FAILED'}",
-                    file=sys.stderr,
-                )
-            elif kind == "batch":
+            text = _shard_narration(event)
+            if text:
+                print(text, file=sys.stderr)
+                return
+            if event.get("event") == "batch":
                 best = event.get("best_score")
                 best_text = f"{best:.4f}" if best is not None else "-"
                 print(

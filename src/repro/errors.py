@@ -97,6 +97,36 @@ class WorkerError(ReproError):
     """
 
 
+class WorkerConnectError(WorkerError):
+    """The connection to a worker could not be *established*.
+
+    Distinct from a mid-request loss (plain :class:`WorkerError`): a
+    refused/failed connect means the worker never saw the request, so a
+    retry policy may resubmit immediately and without idempotency
+    concerns, while a mid-request loss means the work may have partially
+    run.  Surfaced as ``error.type == "WorkerConnectError"``.
+    """
+
+
+class NoHealthyWorkersError(WorkerError):
+    """Every registered worker is dead, draining, or excluded.
+
+    Raised by the worker registry when a shard (or its resubmission)
+    cannot be placed anywhere.  Carries the registry's failure
+    accounting in its message so the resulting error envelope explains
+    *why* the fleet is empty.
+    """
+
+
+class UnknownJobError(ReproError):
+    """A job-queue request (`poll`/`events`/`cancel`) named a job this
+    service does not know — never submitted here, or already evicted
+    from the bounded registry.  An application-level error, not a
+    protocol violation: ``repro serve`` answers it with a normal error
+    envelope and does not exit 3.
+    """
+
+
 class JobCancelledError(ReproError):
     """``JobHandle.result()`` was called on a cancelled job.
 

@@ -1,16 +1,20 @@
 """Service-grade front-end: declarative requests over the shared runtime.
 
 The public analysis API as a request/response service — since v2
-(`repro.service/2`), a *job-oriented* one:
+(`repro.service/2`) a *job-oriented* one, and since v3
+(`repro.service/3`) a distributed control plane:
 
 * :mod:`repro.service.requests` — frozen, JSON-round-trippable request
   dataclasses (:class:`AnalysisRequest`, :class:`CompileRequest`,
   :class:`EmulateRequest`, :class:`SuiteRequest`,
   :class:`ScheduleRequest`, …) capturing every run parameter in one
-  value;
+  value, plus the v3 job-queue kinds (:class:`SubmitRequest`,
+  :class:`PollRequest`, :class:`EventsRequest`, :class:`CancelRequest`)
+  that give wire clients async job semantics;
 * :mod:`repro.service.envelope` — the uniform, schema-versioned
-  :class:`ResultEnvelope` every request resolves to (v1 envelopes still
-  revive under the v2 reader);
+  :class:`ResultEnvelope` every request resolves to (v1/v2 envelopes
+  still revive under the v3 reader), and the :class:`EventFrame`
+  streaming document v3 interleaves ahead of envelopes;
 * :mod:`repro.service.service` — :class:`AnalysisService`, owning one
   shared :class:`~repro.core.context.AnalysisContext` per
   ``(machine, chip)`` pair, with synchronous :meth:`~AnalysisService.execute`
@@ -18,19 +22,27 @@ The public analysis API as a request/response service — since v2
 * :mod:`repro.service.jobs` — :class:`JobHandle`: stable ``job_id``,
   ``status()`` (``queued/running/done/error/cancelled``, see
   :data:`JOB_STATUSES`), ``result()``, ``cancel()`` and a replayable
-  ``events()`` stream of progress events;
+  (ring-buffered) ``events()`` stream of progress events;
+* :mod:`repro.service.cluster` — the control plane:
+  :class:`WorkerRegistry` (worker lifecycle
+  ``joining/healthy/draining/dead`` with heartbeat health checks and
+  failure accounting) and :class:`ShardDispatcher` (leases workers per
+  shard and resubmits to the survivors when one is lost mid-job);
+* :mod:`repro.service.dispatch` — backend-agnostic shard/chunk
+  splitting, dispatch and merging shared by every sharding backend;
 * :mod:`repro.service.backends` — pluggable
   :class:`ExecutionBackend`\\ s: :class:`InlineBackend` (in-process,
   the default), :class:`ProcessBackend` (local worker processes,
   sharding suite kernels across the pool) and :class:`RemoteBackend`
-  (the envelope protocol over sockets, sharding suite kernels *and*
-  chaining pipeline chunks across workers), both merging per-worker
-  reports with summed context stats;
+  (the envelope protocol over sockets through the registry/dispatcher,
+  sharding suites and schedule batches and chaining pipeline chunks),
+  both merging per-worker reports with summed context stats;
 * :mod:`repro.service.worker` — :class:`WorkerServer`, the TCP worker
   behind ``python -m repro worker --listen HOST:PORT``;
 * :mod:`repro.service.frontend` — :func:`serve_forever`, the
   line-delimited JSON pipe front-end (``python -m repro serve``,
-  ordered by default, ``--unordered`` for completion-order responses).
+  ordered by default, ``--unordered`` for completion-order responses),
+  speaking the v3 job-queue kinds.
 
 Quickstart::
 
@@ -53,19 +65,42 @@ from .backends import (
     WorkerClient,
     parse_worker_address,
 )
-from .envelope import SCHEMA, SCHEMAS, ResultEnvelope
+from .cluster import (
+    DEFAULT_MAX_FAILURES,
+    WORKER_STATES,
+    HeartbeatThread,
+    ShardDispatcher,
+    WorkerRegistry,
+)
+from .envelope import (
+    SCHEMA,
+    SCHEMAS,
+    EventFrame,
+    ResultEnvelope,
+    is_event_frame,
+)
 from .frontend import ServeResult, serve_forever
-from .jobs import JOB_STATUSES, TERMINAL_STATUSES, JobHandle
+from .jobs import (
+    DEFAULT_EVENTS_CAPACITY,
+    JOB_STATUSES,
+    TERMINAL_STATUSES,
+    JobHandle,
+)
 from .requests import (
+    JOB_REQUEST_KINDS,
     REQUEST_KINDS,
     AnalysisRequest,
+    CancelRequest,
     CompileRequest,
     EmulateRequest,
+    EventsRequest,
     Fig1Request,
     InvalidRequest,
     PipelineRequest,
+    PollRequest,
     Request,
     ScheduleRequest,
+    SubmitRequest,
     SuiteRequest,
     WorkloadListRequest,
     request_from_dict,
@@ -86,11 +121,18 @@ __all__ = [
     "PipelineRequest",
     "ScheduleRequest",
     "WorkloadListRequest",
+    "SubmitRequest",
+    "PollRequest",
+    "EventsRequest",
+    "CancelRequest",
     "InvalidRequest",
     "REQUEST_KINDS",
+    "JOB_REQUEST_KINDS",
     "request_from_dict",
     "request_from_json",
     "ResultEnvelope",
+    "EventFrame",
+    "is_event_frame",
     "AnalysisService",
     "default_service",
     "reset_default_service",
@@ -99,11 +141,17 @@ __all__ = [
     "JobHandle",
     "JOB_STATUSES",
     "TERMINAL_STATUSES",
+    "DEFAULT_EVENTS_CAPACITY",
     "ExecutionBackend",
     "InlineBackend",
     "ProcessBackend",
     "RemoteBackend",
     "WorkerClient",
     "WorkerServer",
+    "WorkerRegistry",
+    "ShardDispatcher",
+    "HeartbeatThread",
+    "WORKER_STATES",
+    "DEFAULT_MAX_FAILURES",
     "parse_worker_address",
 ]

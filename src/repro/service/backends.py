@@ -22,19 +22,25 @@ The v2 service protocol separates *what* to run (a declarative
 ``RemoteBackend``
     Worker processes reachable over TCP (``python -m repro worker
     --listen HOST:PORT``), speaking the same line-delimited JSON
-    envelope protocol as ``repro serve``: one request per line, one
-    schema-versioned envelope per line, matched by ``request_id`` echo.
-    Suite requests shard kernels across workers; pipeline requests are
-    split into contiguous stage *chunks* chained through explicit
-    ``entry_temperatures`` / ``exit_temperatures`` vectors (chunk k+1
-    starts exactly where chunk k ended, possibly on another machine);
-    exhaustive schedule searches shard as explicit candidate batches
-    whose ``(score, key)`` argmin merges back bit-identical to inline.
+    envelope protocol as ``repro serve``.  Since the ``repro.service/3``
+    control plane, every worker is a member of a
+    :class:`~repro.service.cluster.WorkerRegistry` (heartbeat probes,
+    ``drain``/``deregister`` lifecycle, failure accounting) and every
+    shard routes through a
+    :class:`~repro.service.cluster.ShardDispatcher`: a worker dying
+    mid-suite/pipeline/schedule costs a resubmission of its shard to a
+    healthy peer, not the job.  Shards are wrapped in streaming
+    ``submit`` requests, so per-kernel/per-stage progress events arrive
+    live as wire frames instead of shard-completion-only reports.
 
-Sharded results merge the way PR 4's multi-process fix established:
-per-kernel/per-stage records reassemble in request order and per-worker
-context stats are **summed**, so a merged report carries real
-amortization totals plus a ``workers`` breakdown for observability.
+The sharding/merging logic itself lives in
+:mod:`repro.service.dispatch` (one implementation, every backend); the
+names are re-exported here for compatibility.  Sharded results merge
+the way PR 4's multi-process fix established: per-kernel/per-stage
+records reassemble in request order and per-worker context stats are
+**summed**, so a merged report carries real amortization totals plus a
+``workers`` breakdown for observability — now annotated with each
+fleet member's registry state and failure counts.
 """
 
 from __future__ import annotations
@@ -42,16 +48,34 @@ from __future__ import annotations
 import socket
 import threading
 import time
-import uuid
-from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import replace
 
-from ..errors import ReproError, WorkerError
-from .envelope import ResultEnvelope
+from ..errors import ReproError, WorkerConnectError, WorkerError
+from .cluster import (
+    DEFAULT_MAX_FAILURES,
+    ShardDispatcher,
+    WorkerRegistry,
+    annotate_worker_breakdown,
+)
+from .dispatch import (  # noqa: F401  (re-exported compatibility surface)
+    _schedule_stage_keys,
+    _suite_shard_units,
+    chunk_pipeline_request,
+    merge_pipeline_chunks,
+    merge_schedule_shards,
+    merge_suite_shards,
+    run_pipeline_chunks,
+    run_schedule_shards,
+    run_suite_shards,
+    shard_schedule_request,
+    shard_suite_request,
+)
+from .envelope import ResultEnvelope, is_event_frame
 from .requests import (
     PipelineRequest,
     Request,
     ScheduleRequest,
+    SubmitRequest,
     SuiteRequest,
 )
 
@@ -67,6 +91,10 @@ class ExecutionBackend:
     #: Stamped onto envelopes (``ResultEnvelope.backend``) and job
     #: handles so the execution path is observable per response.
     name = "backend"
+
+    #: The fleet roster, when this backend has one (RemoteBackend);
+    #: merged payloads' ``workers`` breakdowns annotate from it.
+    registry: WorkerRegistry | None = None
 
     def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
         raise NotImplementedError
@@ -93,563 +121,70 @@ class InlineBackend(ExecutionBackend):
         return service.execute(request, progress=progress)
 
 
-# ----------------------------------------------------------------------
-# Suite sharding: split by kernel name, merge by position.
-# ----------------------------------------------------------------------
-def _suite_shard_units(request: SuiteRequest) -> list[tuple[str, str]]:
-    """Every workload of a suite request as a shardable unit.
+class ShardingBackend(ExecutionBackend):
+    """Shared control flow of every fan-out backend.
 
-    Returns ``("name", kernel_name)`` / ``("ir", ir_text)`` pairs in the
-    exact order the inline runner's ``_workload_specs`` expands them:
-    named (or quick/full-suite) kernels first, then pressure scenarios,
-    then random-loop scenarios, then explicit ``ir_texts``.  Generated
-    scenarios serialize to IR text — workers cannot rebuild them by
-    name, but they analyze a parsed function identically (previously
-    any pressure/random suite fell back to unsharded execution).
+    Subclasses override the ``run_*`` hooks (returning the merged
+    ``(payload, stats)`` pair, or ``None`` when the request is not
+    shardable) and :meth:`forward` (one whole request to one worker).
+    :meth:`execute` is the one implementation of the
+    try-shard-else-forward shape both ProcessBackend and RemoteBackend
+    used to duplicate, including the failure net that turns
+    :data:`_BACKEND_FAILURES` into error envelopes and the
+    registry-state annotation of merged ``workers`` breakdowns.
     """
-    units: list[tuple[str, str]] = []
-    if request.workloads:
-        units += [("name", name) for name in request.workloads]
-    elif request.ir_texts:
-        pass  # IR-only request: no named fallback.
-    else:
-        from ..workloads import small_suite_names, workload_names
 
-        names = small_suite_names() if request.quick else workload_names()
-        units += [("name", name) for name in names]
-    if request.include_pressure or request.random_count > 0:
-        from ..ir.printer import print_function
-        from ..workloads import pressure_sweep, random_loop_program
-
-        if request.include_pressure:
-            units += [
-                ("ir", print_function(wl.function))
-                for wl in pressure_sweep()
-            ]
-        units += [
-            ("ir", print_function(random_loop_program(seed=seed).function))
-            for seed in range(request.random_count)
-        ]
-    if request.ir_texts:
-        units += [("ir", text) for text in request.ir_texts]
-    return units
-
-
-def shard_suite_request(
-    request: SuiteRequest, shards: int
-) -> list[tuple[SuiteRequest, list[int]]] | None:
-    """Split *request* into ≤ *shards* single-process sub-requests.
-
-    Kernels are dealt round-robin (shard *i* takes positions ``i, i+n,
-    …``) so workers see balanced mixes of small and large kernels.
-    Returns ``(shard_request, positions)`` pairs — *positions* maps each
-    shard item back to its place in the original kernel order — or
-    ``None`` when the request is not worth sharding (a single kernel or
-    one shard).  Generated scenarios travel as serialized IR text; each
-    shard's *positions* list is reordered named-then-IR to match the
-    worker-side spec expansion order.
-    """
-    units = _suite_shard_units(request)
-    if shards < 2 or len(units) < 2:
+    def run_suite_sharded(
+        self, request: SuiteRequest, progress=None
+    ) -> tuple[dict, dict] | None:
         return None
-    shards = min(shards, len(units))
-    out = []
-    for i in range(shards):
-        dealt = list(range(i, len(units), shards))
-        # Worker-side spec order is named kernels first, then IR texts —
-        # keep positions aligned with the items the shard returns.
-        named = [p for p in dealt if units[p][0] == "name"]
-        irs = [p for p in dealt if units[p][0] == "ir"]
-        shard = replace(
-            request,
-            workloads=tuple(units[p][1] for p in named) or None,
-            ir_texts=tuple(units[p][1] for p in irs) or None,
-            quick=False,
-            include_pressure=False,
-            random_count=0,
-            processes=1,
-            request_id=f"shard-{uuid.uuid4().hex[:12]}",
-        )
-        out.append((shard, named + irs))
-    return out
 
-
-def merge_suite_shards(
-    request: SuiteRequest,
-    shard_results: list[tuple[list[int], ResultEnvelope, str]],
-    total: int,
-    processes: int,
-    wall_time_seconds: float,
-) -> tuple[dict, dict]:
-    """Reassemble shard envelopes into one suite payload.
-
-    *shard_results* holds ``(positions, envelope, worker_label)`` per
-    shard.  Items return to their original positions; context stats
-    merge the way PR 4's multi-process fix established: per *worker*
-    (label — one pool process may serve several shards) the
-    element-wise **maximum** over its snapshots is that worker's final
-    counter state (counters only grow), and summing those per-worker
-    totals gives the merged ``context_stats`` — so a worker that
-    served two shards is never double-counted.  The per-worker
-    breakdown lands under the payload's ``workers`` key and the
-    rendered table is regenerated so the merged report prints exactly
-    like a local run.
-    """
-    from ..core.suite_runner import (
-        SuiteReport,
-        collapse_worker_stats,
-        sum_worker_stats,
-    )
-    from .executors import render_suite_report
-
-    items = [None] * total
-    snapshots = []
-    per_worker_info: dict[str, dict] = {}
-    for positions, envelope, label in shard_results:
-        if not envelope.ok:
-            raise WorkerError(
-                f"suite shard on {label} failed: "
-                f"{envelope.error_message()}"
-            )
-        report = SuiteReport.from_dict(envelope.result["report"])
-        if len(report.items) != len(positions):
-            raise WorkerError(
-                f"suite shard on {label} returned {len(report.items)} "
-                f"kernels, expected {len(positions)}"
-            )
-        for position, item in zip(positions, report.items):
-            items[position] = item
-        snapshots.append((label, report.context_stats))
-        info = per_worker_info.setdefault(label, {
-            "worker": label, "kernels": 0, "wall_time_seconds": 0.0,
-        })
-        info["kernels"] += len(positions)
-        info["wall_time_seconds"] += envelope.wall_time_seconds
-    per_worker_stats = collapse_worker_stats(snapshots)
-    context_stats = sum_worker_stats(per_worker_stats)
-    workers = [
-        {**info, "context_stats": dict(per_worker_stats[label])}
-        for label, info in per_worker_info.items()
-    ]
-    merged = SuiteReport(
-        machine=request.machine,
-        model="chip" if request.chip else "rf",
-        delta=request.delta,
-        merge=request.merge,
-        engine=request.engine,
-        policy=request.policy,
-        processes=processes,
-        items=items,
-        wall_time_seconds=wall_time_seconds,
-        context_stats=context_stats,
-    )
-    payload = {
-        "converged": merged.all_converged,
-        "report": merged.to_dict(),
-        "workers": workers,
-        "rendered": render_suite_report(merged),
-    }
-    return payload, context_stats
-
-
-def run_suite_shards(
-    request: SuiteRequest,
-    sharded: list[tuple[SuiteRequest, list[int]]],
-    dispatch,
-    processes: int,
-    progress=None,
-) -> tuple[dict, dict]:
-    """Dispatch suite shards concurrently and merge their envelopes.
-
-    The one sharding flow both local-process and remote backends share:
-    *dispatch(index, shard_request)* performs that shard's round-trip
-    and returns ``(worker_label, envelope)`` — the label identifies the
-    worker that *actually* served the shard (a pool process is only
-    known by pid after the fact), which is what lets the merge
-    de-duplicate cumulative stats per worker.  Shards run on a thread
-    per shard; as each completes — in *completion* order, so a slow
-    shard never delays another's narration — a ``shard`` event fires,
-    followed by the shard's per-kernel ``kernel`` events (original
-    suite positions), keeping the documented suite event contract for
-    sharded runs.
-    """
-    started = time.perf_counter()
-    total = sum(len(positions) for _shard, positions in sharded)
-    results: list = [None] * len(sharded)
-    with ThreadPoolExecutor(max_workers=len(sharded)) as pool:
-        futures = {
-            pool.submit(dispatch, index, shard): index
-            for index, (shard, _positions) in enumerate(sharded)
-        }
-        for future in as_completed(futures):
-            index = futures[future]
-            label, envelope = future.result()
-            _shard, positions = sharded[index]
-            results[index] = (positions, envelope, label)
-            if progress is None:
-                continue
-            progress({"event": "shard", "index": index,
-                      "worker": label, "requests": len(positions),
-                      "ok": envelope.ok})
-            if envelope.ok:
-                records = envelope.result.get("report", {}) \
-                    .get("results", [])
-                for position, record in zip(positions, records):
-                    progress({"event": "kernel", "name": record["name"],
-                              "index": position, "total": total,
-                              "converged": record["converged"]})
-    return merge_suite_shards(
-        request, results, total, processes, time.perf_counter() - started
-    )
-
-
-# ----------------------------------------------------------------------
-# Pipeline chunking: contiguous stage runs chained through exit states.
-# ----------------------------------------------------------------------
-def chunk_pipeline_request(
-    request: PipelineRequest, chunks: int
-) -> list[PipelineRequest] | None:
-    """Split *request* into ≤ *chunks* contiguous stage sub-pipelines.
-
-    Stage order is preserved; every chunk except the first starts from
-    its predecessor's exit state (the coordinator threads the
-    ``entry_temperatures`` / ``exit_temperatures`` vectors through), so
-    the chunked run follows exactly the sequential carry-through
-    semantics the strategies already agree with.  Returns ``None`` when
-    there is nothing to split.
-    """
-    specs = request.stages if request.stages is not None else request.ir_texts
-    if not specs or chunks < 2 or len(specs) < 2:
+    def run_pipeline_chunked(
+        self, request: PipelineRequest, progress=None
+    ) -> tuple[dict, dict] | None:
         return None
-    chunks = min(chunks, len(specs))
-    base, extra = divmod(len(specs), chunks)
-    out = []
-    start = 0
-    for i in range(chunks):
-        size = base + (1 if i < extra else 0)
-        stop = start + size
-        piece = tuple(specs[start:stop])
-        fields = dict(
-            policies=(tuple(request.policies[start:stop])
-                      if request.policies is not None else None),
-            return_exit_state=True,
-            request_id=f"chunk-{uuid.uuid4().hex[:12]}",
-        )
-        if request.stages is not None:
-            fields["stages"] = piece
-        else:
-            fields["ir_texts"] = piece
-        out.append(replace(request, **fields))
-        start = stop
-    return out
 
-
-def merge_pipeline_chunks(
-    request: PipelineRequest,
-    chunk_results: list[tuple[ResultEnvelope, str]],
-    wall_time_seconds: float,
-) -> tuple[dict, dict]:
-    """Concatenate chunk reports into one pipeline payload."""
-    from ..core.pipeline_runner import PipelineReport
-    from .executors import render_pipeline_report
-
-    stage_dicts: list[dict] = []
-    context_stats: dict[str, int] = {}
-    workers = []
-    iterations = 0
-    converged = True
-    exit_temperatures = None
-    for index, (envelope, label) in enumerate(chunk_results):
-        if not envelope.ok:
-            raise WorkerError(
-                f"pipeline chunk {index} on {label} failed: "
-                f"{envelope.error_message()}"
-            )
-        report = envelope.result["report"]
-        stage_dicts.extend(report["stages"])
-        iterations += int(report.get("iterations", 0))
-        converged = converged and bool(report.get("converged", True))
-        for key, value in report.get("context_stats", {}).items():
-            context_stats[key] = context_stats.get(key, 0) + value
-        exit_temperatures = report.get("exit_temperatures")
-        workers.append({
-            "worker": label,
-            "stages": len(report["stages"]),
-            # The per-stage storage forms this worker's chunk resolved
-            # to — what lets a caller assert a sharded sparse run used
-            # the same form on every worker (the sweep/warm-start knobs
-            # forward through the dataclass `replace` chunking).
-            "stage_sweeps": [
-                stage.get("sweep") for stage in report["stages"]
-            ],
-            "wall_time_seconds": envelope.wall_time_seconds,
-            "context_stats": dict(report.get("context_stats", {})),
-        })
-    merged = PipelineReport.from_dict({
-        "machine": request.machine,
-        "model": "chip" if request.chip else "rf",
-        "strategy": request.strategy,
-        "delta": request.delta,
-        "merge": request.merge,
-        "sweep": request.sweep,
-        "converged": converged,
-        "iterations": iterations,
-        "wall_time_seconds": wall_time_seconds,
-        "context_stats": context_stats,
-        "stages": stage_dicts,
-        "exit_temperatures": (
-            exit_temperatures if request.return_exit_state else None
-        ),
-    })
-    payload = {
-        "converged": merged.converged,
-        "report": merged.to_dict(),
-        "workers": workers,
-        "rendered": render_pipeline_report(merged),
-    }
-    return payload, context_stats
-
-
-# ----------------------------------------------------------------------
-# Schedule sharding: candidate batches scored in parallel, argmin merged.
-# ----------------------------------------------------------------------
-def _schedule_stage_keys(request: ScheduleRequest) -> list[int]:
-    """Stage interchangeability keys, computed coordinator-side.
-
-    Mirrors the worker-side identity relation without loading any
-    kernel: named stages are interchangeable iff equal names (the
-    executor resolves them through the service's workload cache),
-    ``ir_texts`` stages iff equal text (the executor dedupes parses by
-    text), and seeded random stages reproduce the generator's own
-    object sharing — ``random_pipeline`` is deterministic per seed, so
-    every backend derives the same multiset.
-    """
-    first: dict = {}
-    if request.stages is not None:
-        return [
-            first.setdefault(name, len(first)) for name in request.stages
-        ]
-    if request.ir_texts is not None:
-        return [
-            first.setdefault(text, len(first)) for text in request.ir_texts
-        ]
-    from ..workloads.generators import random_pipeline
-
-    stages = random_pipeline(
-        seed=request.seed, length=request.random_stages
-    )
-    return [first.setdefault(id(wl), len(first)) for wl in stages]
-
-
-def shard_schedule_request(
-    request: ScheduleRequest, shards: int
-) -> tuple[list[ScheduleRequest], bool] | None:
-    """Split an exhaustive schedule search into candidate-batch shards.
-
-    Only the ``exhaustive`` strategy fans out: its candidate set is
-    fixed upfront (identity + the deterministic space enumeration, cut
-    at *budget*), so the coordinator deals candidates round-robin into
-    explicit-batch sub-requests and the global ``(score, key)`` argmin
-    over all shard rows is *exactly* the candidate inline search picks.
-    Sequential strategies (``greedy``/``anneal``) and requests already
-    carrying a batch forward whole.  Returns ``(shards, exhausted)`` —
-    whether the enumeration fit the budget — or ``None``.
-    """
-    if request.strategy != "exhaustive" or request.candidates is not None:
+    def run_schedule_sharded(
+        self, request: ScheduleRequest, progress=None
+    ) -> tuple[dict, dict] | None:
         return None
-    if shards < 2:
-        return None
-    from ..sched.space import ScheduleSpace
 
-    space = ScheduleSpace(
-        _schedule_stage_keys(request),
-        list(request.placements) if request.placements else None,
-    )
-    budget = max(1, request.budget)
-    # Inline exhaustive scores the identity first, then up to *budget*
-    # enumerated candidates (the identity again, as a free memo hit,
-    # when the placement axis is closed) — reproduce that exact set,
-    # deduplicated by key.
-    candidates = [space.identity()]
-    seen = {candidates[0].key()}
-    exhausted = True
-    for candidate in space.enumerate_candidates(limit=budget + 1):
-        if len(candidates) > budget:
-            exhausted = False
-            candidates.pop()
-            break
-        if candidate.key() in seen:
-            continue
-        seen.add(candidate.key())
-        candidates.append(candidate)
-    if len(candidates) < 2:
-        return None
-    shards = min(shards, len(candidates))
-    out = []
-    for i in range(shards):
-        batch = candidates[i::shards]
-        out.append(replace(
-            request,
-            candidates=tuple((c.order, c.policies) for c in batch),
-            request_id=f"shard-{uuid.uuid4().hex[:12]}",
-        ))
-    return out, exhausted
+    def prepare_forward(self, request: Request) -> Request:
+        """Adjust an unshardable request before forwarding it whole."""
+        return request
 
+    def forward(self, request: Request) -> ResultEnvelope:
+        raise NotImplementedError
 
-def merge_schedule_shards(
-    request: ScheduleRequest,
-    shard_results: list[tuple[ResultEnvelope, str]],
-    exhausted: bool,
-    wall_time_seconds: float,
-) -> tuple[dict, dict]:
-    """Reduce shard batches to the global argmin schedule.
-
-    Every shard reports its per-candidate ``candidate_scores`` rows and
-    its *local* argmin's evidence pipeline; the coordinator takes the
-    global minimum under the same deterministic ``(score, key)`` order
-    every strategy uses, adopts the winning shard's evidence (each
-    shard's evidence analyzes its local argmin, so the global winner's
-    shard carries exactly the right one), sums evaluation/memo counters
-    and merges per-worker context stats the established way (per-label
-    max, then summed).
-    """
-    from ..core.suite_runner import collapse_worker_stats, sum_worker_stats
-    from ..sched.optimizer import ScheduleReport
-    from .executors import render_schedule_report
-
-    best_row = None
-    best_key = None
-    best_report = None
-    identity_score = None
-    evaluated = 0
-    memo_hits = 0
-    snapshots = []
-    workers = []
-    reports = []
-    for index, (envelope, label) in enumerate(shard_results):
-        if not envelope.ok:
-            raise WorkerError(
-                f"schedule shard {index} on {label} failed: "
-                f"{envelope.error_message()}"
+    def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
+        started = time.perf_counter()
+        try:
+            merged = None
+            if isinstance(request, SuiteRequest):
+                merged = self.run_suite_sharded(request, progress)
+            elif isinstance(request, PipelineRequest):
+                merged = self.run_pipeline_chunked(request, progress)
+            elif isinstance(request, ScheduleRequest):
+                merged = self.run_schedule_sharded(request, progress)
+            if merged is not None:
+                payload, stats = merged
+                workers = payload.get("workers")
+                if isinstance(workers, list):
+                    annotate_worker_breakdown(workers, self.registry)
+                return ResultEnvelope(
+                    request=request,
+                    result=payload,
+                    wall_time_seconds=time.perf_counter() - started,
+                    context_stats=stats,
+                )
+            return self.forward(self.prepare_forward(request))
+        except _BACKEND_FAILURES as exc:
+            return ResultEnvelope(
+                request=request,
+                ok=False,
+                error={"type": type(exc).__name__, "message": str(exc)},
+                wall_time_seconds=time.perf_counter() - started,
             )
-        report = ScheduleReport.from_dict(envelope.result["report"])
-        reports.append(report)
-        rows = report.candidate_scores or []
-        for order, policies, score in rows:
-            key = (
-                tuple(int(i) for i in order),
-                tuple(policies) if policies else (),
-            )
-            if best_row is None or (score, key) < (best_row[2], best_key):
-                best_row = [list(order), policies, score]
-                best_key = key
-                best_report = report
-        if report.identity_score is not None:
-            identity_score = report.identity_score
-        evaluated += report.candidates_evaluated
-        memo_hits += report.eval_memo_hits
-        snapshots.append((label, envelope.context_stats or {}))
-        workers.append({
-            "worker": label,
-            "candidates": len(rows),
-            "wall_time_seconds": envelope.wall_time_seconds,
-            "context_stats": dict(envelope.context_stats or {}),
-        })
-    if best_row is None or best_report is None:
-        raise WorkerError("schedule shards returned no candidate scores")
-    per_worker_stats = collapse_worker_stats(snapshots)
-    context_stats = sum_worker_stats(per_worker_stats)
-    template = reports[0]
-    best_order = [int(i) for i in best_row[0]]
-    merged = ScheduleReport(
-        machine=template.machine,
-        model=template.model,
-        strategy=request.strategy,
-        objective=request.objective,
-        budget=request.budget,
-        seed=request.seed,
-        delta=request.delta,
-        merge=request.merge,
-        sweep=request.sweep,
-        policy=request.policy,
-        stages=list(template.stages),
-        best_order=best_order,
-        best_names=[template.stages[i] for i in best_order],
-        best_policies=(
-            list(best_row[1]) if best_row[1] else None
-        ),
-        best_score=float(best_row[2]),
-        identity_score=identity_score,
-        space_size=template.space_size,
-        candidates_evaluated=evaluated,
-        eval_memo_hits=memo_hits,
-        exhausted=exhausted,
-        dwell_threshold=request.dwell_threshold,
-        placements=(
-            list(request.placements) if request.placements else None
-        ),
-        evidence=best_report.evidence,
-        wall_time_seconds=wall_time_seconds,
-        context_stats=context_stats,
-    )
-    payload = {
-        "converged": bool(
-            merged.evidence and merged.evidence.get("converged")
-        ),
-        "report": merged.to_dict(),
-        "workers": workers,
-        "rendered": render_schedule_report(merged),
-    }
-    return payload, context_stats
-
-
-def run_schedule_shards(
-    request: ScheduleRequest,
-    sharded: list[ScheduleRequest],
-    exhausted: bool,
-    dispatch,
-    progress=None,
-) -> tuple[dict, dict]:
-    """Dispatch candidate-batch shards concurrently and merge the argmin.
-
-    Same shape as :func:`run_suite_shards`: *dispatch(index, shard)*
-    returns ``(worker_label, envelope)``; one thread per shard; as each
-    completes a ``shard`` event fires followed by a ``batch`` event
-    carrying the running evaluated-candidate total and best score — the
-    coordinator-level view of the per-batch progress contract.
-    """
-    started = time.perf_counter()
-    results: list = [None] * len(sharded)
-    with ThreadPoolExecutor(max_workers=len(sharded)) as pool:
-        futures = {
-            pool.submit(dispatch, index, shard): index
-            for index, shard in enumerate(sharded)
-        }
-        evaluated = 0
-        best_score = None
-        for future in as_completed(futures):
-            index = futures[future]
-            label, envelope = future.result()
-            results[index] = (envelope, label)
-            if progress is None:
-                continue
-            progress({"event": "shard", "index": index,
-                      "worker": label,
-                      "requests": len(sharded[index].candidates),
-                      "ok": envelope.ok})
-            if envelope.ok:
-                report = envelope.result.get("report", {})
-                evaluated += int(report.get("candidates_evaluated", 0))
-                score = report.get("best_score")
-                if score is not None and (
-                    best_score is None or score < best_score
-                ):
-                    best_score = score
-                progress({"event": "batch", "evaluated": evaluated,
-                          "best_score": best_score})
-    return merge_schedule_shards(
-        request, results, exhausted, time.perf_counter() - started
-    )
 
 
 # ----------------------------------------------------------------------
@@ -686,7 +221,7 @@ def _process_worker_execute(request_data: dict) -> dict:
     }
 
 
-class ProcessBackend(ExecutionBackend):
+class ProcessBackend(ShardingBackend):
     """Local worker processes, each with its own warm service.
 
     Suite requests shard across the pool (kernels dealt round-robin,
@@ -767,44 +302,17 @@ class ProcessBackend(ExecutionBackend):
             progress,
         )
 
-    def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
-        started = time.perf_counter()
-        forward = request
-        try:
-            if isinstance(request, ScheduleRequest):
-                merged = self.run_schedule_sharded(request, progress)
-                if merged is not None:
-                    payload, stats = merged
-                    return ResultEnvelope(
-                        request=request,
-                        result=payload,
-                        wall_time_seconds=time.perf_counter() - started,
-                        context_stats=stats,
-                    )
-            if isinstance(request, SuiteRequest):
-                sharded = self.run_suite_sharded(request, progress)
-                if sharded is not None:
-                    payload, stats = sharded
-                    return ResultEnvelope(
-                        request=request,
-                        result=payload,
-                        wall_time_seconds=time.perf_counter() - started,
-                        context_stats=stats,
-                    )
-                if request.processes > 1:
-                    # Unshardable (generator-addressed scenarios) with
-                    # processes>1: the pool workers are daemonic and
-                    # cannot spawn run_suite's nested pool — run the
-                    # forwarded request single-process in the worker.
-                    forward = replace(request, processes=1)
-            return self._roundtrip(forward)
-        except _BACKEND_FAILURES as exc:
-            return ResultEnvelope(
-                request=request,
-                ok=False,
-                error={"type": type(exc).__name__, "message": str(exc)},
-                wall_time_seconds=time.perf_counter() - started,
-            )
+    def prepare_forward(self, request: Request) -> Request:
+        if isinstance(request, SuiteRequest) and request.processes > 1:
+            # Unshardable (generator-addressed scenarios) with
+            # processes>1: the pool workers are daemonic and cannot
+            # spawn run_suite's nested pool — run the forwarded
+            # request single-process in the worker.
+            return replace(request, processes=1)
+        return request
+
+    def forward(self, request: Request) -> ResultEnvelope:
+        return self._roundtrip(request)
 
     def close(self) -> None:
         with self._lock:
@@ -839,8 +347,17 @@ class WorkerClient:
 
     The wire protocol is the serve protocol verbatim: one request JSON
     per line out, one envelope JSON per line back, in request order per
-    connection.  A lock serializes round-trips, and responses to tagged
-    requests are verified against the ``request_id`` echo.
+    connection — possibly preceded by ``repro.service/3`` *event
+    frames* when the request was a streaming ``submit`` (each frame is
+    forwarded to the caller's ``on_event`` as it arrives).  A lock
+    serializes round-trips, and responses to tagged requests are
+    verified against the ``request_id`` echo.
+
+    Connection failures are typed: a *failed connect* raises
+    :class:`~repro.errors.WorkerConnectError` (the worker never saw the
+    request — always safe to resubmit) and tears the half-built socket
+    down, while a mid-request loss raises plain
+    :class:`~repro.errors.WorkerError`.
     """
 
     def __init__(self, address, timeout: float = 600.0) -> None:
@@ -855,35 +372,73 @@ class WorkerClient:
     def _connect_locked(self) -> None:
         if self._sock is not None:
             return
+        sock = None
         try:
-            sock = socket.create_connection(self.address, timeout=self.timeout)
+            sock = socket.create_connection(
+                self.address, timeout=self.timeout
+            )
+            rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+            wfile = sock.makefile("w", encoding="utf-8", newline="\n")
         except OSError as exc:
-            raise WorkerError(
+            # Close whatever was half-built: a failed connect must not
+            # leak the socket (or leave stale file handles behind for
+            # the next attempt to trip over).
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - best-effort teardown
+                    pass
+            raise WorkerConnectError(
                 f"cannot connect to worker {self.label}: {exc}"
             ) from None
         self._sock = sock
-        self._rfile = sock.makefile("r", encoding="utf-8", newline="\n")
-        self._wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+        self._rfile = rfile
+        self._wfile = wfile
 
-    def request(self, request: Request) -> ResultEnvelope:
-        """One request/response round-trip against this worker."""
+    def request(self, request: Request, on_event=None) -> ResultEnvelope:
+        """One request/response round-trip against this worker.
+
+        *on_event* receives the ``event`` payload of every
+        ``repro.service/3`` event frame the worker streams ahead of the
+        final envelope (frames arriving with no *on_event* are
+        discarded).
+        """
+        import json as _json
+
         with self._lock:
             self._connect_locked()
             try:
                 self._wfile.write(request.to_json())
                 self._wfile.write("\n")
                 self._wfile.flush()
-                line = self._rfile.readline()
             except OSError as exc:
                 self._close_locked()
                 raise WorkerError(
                     f"worker {self.label} connection failed: {exc}"
                 ) from None
-            if not line:
-                self._close_locked()
-                raise WorkerError(
-                    f"worker {self.label} closed the connection mid-request"
-                )
+            while True:
+                try:
+                    line = self._rfile.readline()
+                except OSError as exc:
+                    self._close_locked()
+                    raise WorkerError(
+                        f"worker {self.label} connection failed: {exc}"
+                    ) from None
+                if not line:
+                    self._close_locked()
+                    raise WorkerError(
+                        f"worker {self.label} closed the connection "
+                        "mid-request"
+                    )
+                try:
+                    data = _json.loads(line)
+                except ValueError:
+                    data = None
+                if is_event_frame(data):
+                    if on_event is not None:
+                        on_event(dict(data.get("event") or {}))
+                    continue
+                break
         envelope = ResultEnvelope.from_json(line)
         if (request.request_id is not None
                 and envelope.request.request_id != request.request_id):
@@ -908,139 +463,151 @@ class WorkerClient:
             self._close_locked()
 
 
-class RemoteBackend(ExecutionBackend):
+class RemoteBackend(ShardingBackend):
     """Sharded execution over ``python -m repro worker`` processes.
 
-    *workers* is a list of ``"host:port"`` addresses.  Suite requests
-    shard kernels across all workers in parallel; pipeline requests are
-    split into contiguous chunks chained worker-to-worker through exit
-    states; any other request is forwarded round-robin to one worker.
-    *timeout* bounds each socket round-trip — workers answer only when
-    the whole request completes, so size it for the slowest request,
-    not the network.
+    *workers* is a list of ``"host:port"`` addresses (duplicates
+    collapse to one roster entry).  Suite requests shard kernels across
+    all workers in parallel; pipeline requests are split into
+    contiguous chunks chained worker-to-worker through exit states;
+    exhaustive schedule searches shard as candidate batches; any other
+    request is forwarded round-robin to one worker.  *timeout* bounds
+    each socket round-trip — workers answer only when the whole request
+    completes, so size it for the slowest request, not the network.
+
+    Every worker is registered in a
+    :class:`~repro.service.cluster.WorkerRegistry` with a TCP-connect
+    probe, and every round-trip routes through a
+    :class:`~repro.service.cluster.ShardDispatcher`: when a worker dies
+    mid-job its shard is resubmitted to a healthy peer (excluded-worker
+    retry) and the worker ages toward ``dead`` after *max_failures*
+    consecutive losses.  The healthy path places shard *i* on worker
+    ``i % n`` exactly as before the registry existed — only failure
+    reroutes — so retried merged results stay bit-identical
+    (suite/schedule) or within 2δ (pipeline chains) to inline.
+
+    With *stream_events* (default), shards are wrapped in streaming
+    ``submit`` requests and the workers' live per-kernel/per-stage
+    events forward into the coordinator job's event stream, remapped to
+    the original request's coordinates.
     """
 
     name = "remote"
 
-    def __init__(self, workers, timeout: float = 600.0) -> None:
+    def __init__(
+        self,
+        workers,
+        timeout: float = 600.0,
+        max_failures: int = DEFAULT_MAX_FAILURES,
+        stream_events: bool = True,
+        probe_timeout: float = 2.0,
+    ) -> None:
         addresses = list(workers)
         if not addresses:
             raise ReproError("RemoteBackend needs at least one worker address")
-        self.clients = [
-            WorkerClient(address, timeout=timeout) for address in addresses
-        ]
+        self.stream_events = stream_events
+        self.probe_timeout = probe_timeout
+        self.registry = WorkerRegistry(max_failures=max_failures)
+        self._clients: dict[str, WorkerClient] = {}
+        self._labels: list[str] = []
+        for address in addresses:
+            client = WorkerClient(address, timeout=timeout)
+            if client.label in self._clients:
+                continue
+            self._clients[client.label] = client
+            self._labels.append(client.label)
+            self.registry.register(
+                client.label, probe=self._probe_for(client)
+            )
+        self.dispatcher = ShardDispatcher(self.registry, self._send)
         self._rr_lock = threading.Lock()
         self._rr_next = 0
 
-    def _next_client(self) -> WorkerClient:
-        with self._rr_lock:
-            client = self.clients[self._rr_next % len(self.clients)]
-            self._rr_next += 1
-            return client
+    @property
+    def clients(self) -> list[WorkerClient]:
+        """The worker connections, in registration order (compat view)."""
+        return [self._clients[label] for label in self._labels]
+
+    def _probe_for(self, client: WorkerClient):
+        def probe() -> bool:
+            sock = socket.create_connection(
+                client.address, timeout=self.probe_timeout
+            )
+            sock.close()
+            return True
+        return probe
+
+    def _send(self, worker: str, request: Request, on_event) -> ResultEnvelope:
+        """The dispatcher's round-trip: one request to one named worker."""
+        client = self._clients[worker]
+        if on_event is not None and self.stream_events:
+            # Wrap in a streaming submit so the worker's per-kernel /
+            # per-sweep events come back live as wire frames.  The
+            # submit reuses the inner request_id: the final envelope
+            # echoes the inner request, so the client's echo check
+            # holds unchanged.
+            wrapped = SubmitRequest(
+                request_id=request.request_id,
+                request=request.to_dict(),
+                stream=True,
+            )
+            return client.request(wrapped, on_event=on_event)
+        return client.request(request)
+
+    def _shard_dispatch(self, progress):
+        """A dispatch callable for the run_* flows, retry included."""
+        def dispatch(index, shard, on_event=None):
+            prefer = self._labels[index % len(self._labels)]
+            return self.dispatcher.dispatch(
+                shard, on_event=on_event, progress=progress, prefer=prefer
+            )
+        return dispatch
 
     def run_suite_sharded(
         self, request: SuiteRequest, progress=None
     ) -> tuple[dict, dict] | None:
         """Fan a suite out across all workers; ``None`` if not shardable."""
-        sharded = shard_suite_request(request, len(self.clients))
+        sharded = shard_suite_request(request, len(self._labels))
         if sharded is None:
             return None
         return run_suite_shards(
-            request, sharded,
-            lambda index, shard: (
-                self.clients[index].label,
-                self.clients[index].request(shard),
-            ),
-            len(self.clients), progress,
+            request, sharded, self._shard_dispatch(progress),
+            len(self._labels), progress,
+            streams_events=self.stream_events,
         )
 
     def run_schedule_sharded(
         self, request: ScheduleRequest, progress=None
     ) -> tuple[dict, dict] | None:
         """Fan exhaustive candidate batches across all workers."""
-        sharded = shard_schedule_request(request, len(self.clients))
+        sharded = shard_schedule_request(request, len(self._labels))
         if sharded is None:
             return None
         shards, exhausted = sharded
         return run_schedule_shards(
-            request, shards, exhausted,
-            lambda index, shard: (
-                self.clients[index % len(self.clients)].label,
-                self.clients[index % len(self.clients)].request(shard),
-            ),
+            request, shards, exhausted, self._shard_dispatch(progress),
             progress,
         )
 
     def run_pipeline_chunked(
         self, request: PipelineRequest, progress=None
     ) -> tuple[dict, dict] | None:
-        """Chain pipeline chunks across workers; ``None`` if unsplittable.
-
-        Chunks are inherently sequential — chunk k+1 needs chunk k's
-        exit state — so this distributes per-kernel compile/solve work
-        and memory across workers rather than running them
-        concurrently; repeated schedules then hit each worker's warm
-        caches for its chunk.
-        """
-        chunks = chunk_pipeline_request(request, len(self.clients))
+        """Chain pipeline chunks across workers; ``None`` if unsplittable."""
+        chunks = chunk_pipeline_request(request, len(self._labels))
         if chunks is None:
             return None
-        started = time.perf_counter()
-        entry = request.entry_temperatures
-        results = []
-        for index, chunk in enumerate(chunks):
-            client = self.clients[index % len(self.clients)]
-            envelope = client.request(
-                replace(chunk, entry_temperatures=entry)
-            )
-            results.append((envelope, client.label))
-            if progress is not None:
-                progress({
-                    "event": "shard", "index": index, "worker": client.label,
-                    "requests": 1, "ok": envelope.ok,
-                })
-            if not envelope.ok:
-                break
-            exit_temperatures = envelope.result["report"].get(
-                "exit_temperatures"
-            )
-            if exit_temperatures is None:
-                raise WorkerError(
-                    f"worker {client.label} returned no exit state for "
-                    f"pipeline chunk {index} — cannot chain the next chunk"
-                )
-            entry = tuple(float(t) for t in exit_temperatures)
-        return merge_pipeline_chunks(
-            request, results, time.perf_counter() - started
+        return run_pipeline_chunks(
+            request, chunks, self._shard_dispatch(progress), progress,
+            streams_events=self.stream_events,
         )
 
-    def execute(self, service, request: Request, progress=None) -> ResultEnvelope:
-        started = time.perf_counter()
-        try:
-            merged = None
-            if isinstance(request, SuiteRequest):
-                merged = self.run_suite_sharded(request, progress)
-            elif isinstance(request, PipelineRequest):
-                merged = self.run_pipeline_chunked(request, progress)
-            elif isinstance(request, ScheduleRequest):
-                merged = self.run_schedule_sharded(request, progress)
-            if merged is not None:
-                payload, stats = merged
-                return ResultEnvelope(
-                    request=request,
-                    result=payload,
-                    wall_time_seconds=time.perf_counter() - started,
-                    context_stats=stats,
-                )
-            return self._next_client().request(request)
-        except _BACKEND_FAILURES as exc:
-            return ResultEnvelope(
-                request=request,
-                ok=False,
-                error={"type": type(exc).__name__, "message": str(exc)},
-                wall_time_seconds=time.perf_counter() - started,
-            )
+    def forward(self, request: Request) -> ResultEnvelope:
+        with self._rr_lock:
+            prefer = self._labels[self._rr_next % len(self._labels)]
+            self._rr_next += 1
+        _worker, envelope = self.dispatcher.dispatch(request, prefer=prefer)
+        return envelope
 
     def close(self) -> None:
-        for client in self.clients:
+        for client in self._clients.values():
             client.close()

@@ -1,0 +1,473 @@
+"""Control plane: worker registry, health checks, and shard dispatch.
+
+PR 5 gave the service a wire protocol; this module gives it
+*operability*.  The pieces mirror the provision → run → collect →
+teardown lifecycle PerfKitBenchmarker uses for cloud VMs, scaled down
+to analysis workers:
+
+:class:`WorkerRegistry`
+    The fleet roster.  Every worker is registered with a name (and
+    optionally a *probe* — a cheap liveness callable), moves through
+    the lifecycle ``joining → healthy → draining → dead`` (plus
+    ``deregistered``, which removes it from the roster), and carries
+    failure accounting: consecutive failures, total shards served and
+    failed, last-heartbeat timestamp.  ``acquire()`` leases the
+    least-loaded healthy worker (FIFO tie-break), skipping an explicit
+    exclusion set — the primitive shard retry is built on.
+
+:class:`ShardDispatcher`
+    Backend-agnostic retry engine.  ``dispatch(shard)`` leases a
+    worker, performs the backend-supplied round-trip, and on a
+    :class:`~repro.errors.WorkerError` marks the worker failed,
+    *excludes* it, and resubmits the identical shard to the next
+    healthy worker — so one worker dying mid-suite/pipeline/schedule
+    costs a re-run of its shard, not the whole job.  When no healthy
+    worker remains, :class:`~repro.errors.NoHealthyWorkersError`
+    carries the registry's failure breakdown.
+
+Shard requests are deterministic and side-effect-free (pure analyses
+against per-worker caches), so resubmitting one to a different worker
+reproduces the exact same per-kernel/per-stage records — which is what
+keeps the retried merged result bit-identical (suites, schedules) or
+within 2δ (chained pipeline chunks) to the inline run.
+
+Health checks are pull-based: :meth:`WorkerRegistry.check` runs one
+worker's probe and records the outcome, :meth:`WorkerRegistry.check_all`
+sweeps the fleet, and :class:`HeartbeatThread` (optional, off by
+default) does so periodically in the background.  A worker whose
+consecutive failures reach ``max_failures`` is marked ``dead``;
+a later successful probe resurrects it (``dead → healthy``) so a
+restarted worker process rejoins without re-registration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import NoHealthyWorkersError, ReproError, WorkerError
+
+#: Worker lifecycle states, in nominal order.
+JOINING = "joining"
+HEALTHY = "healthy"
+DRAINING = "draining"
+DEAD = "dead"
+
+WORKER_STATES = (JOINING, HEALTHY, DRAINING, DEAD)
+
+#: Consecutive failures after which a worker is marked dead.
+DEFAULT_MAX_FAILURES = 2
+
+
+@dataclass
+class WorkerInfo:
+    """One worker's roster entry (registry-internal; snapshot for a copy)."""
+
+    name: str
+    state: str = JOINING
+    probe: object = None  # () -> bool | raises; None = no health check
+    in_flight: int = 0
+    shards_completed: int = 0
+    shards_failed: int = 0
+    consecutive_failures: int = 0
+    registered_at: float = field(default_factory=time.monotonic)
+    last_heartbeat: float | None = None
+    last_error: str | None = None
+
+    def snapshot(self) -> dict:
+        """JSON-plain view for payload ``workers`` breakdowns."""
+        return {
+            "worker": self.name,
+            "state": self.state,
+            "in_flight": self.in_flight,
+            "shards_completed": self.shards_completed,
+            "shards_failed": self.shards_failed,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+        }
+
+
+class WorkerRegistry:
+    """The fleet roster: membership, health, leasing, failure accounting.
+
+    Parameters
+    ----------
+    max_failures:
+        Consecutive round-trip/probe failures after which a worker is
+        marked :data:`DEAD` (default :data:`DEFAULT_MAX_FAILURES`).
+        Dispatchers *exclude* a worker for the current job after its
+        first failure regardless — this knob only controls when the
+        worker stops being considered for *future* jobs.
+    heartbeat_interval:
+        Advisory probe period in seconds, used by
+        :class:`HeartbeatThread` and recorded for observability; the
+        registry itself never spawns threads.
+    """
+
+    def __init__(
+        self,
+        max_failures: int = DEFAULT_MAX_FAILURES,
+        heartbeat_interval: float = 5.0,
+    ) -> None:
+        if max_failures < 1:
+            raise ReproError("WorkerRegistry needs max_failures >= 1")
+        self.max_failures = max_failures
+        self.heartbeat_interval = heartbeat_interval
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerInfo] = {}
+        self._lease_counter = 0  # FIFO tie-break for equal loads
+
+    # ------------------------------------------------------------------
+    # Membership lifecycle
+    # ------------------------------------------------------------------
+    def register(self, name: str, probe=None) -> WorkerInfo:
+        """Add *name* to the roster (``joining``; first success or probe
+        promotes it to ``healthy``).  Re-registering a known name
+        resets its failure accounting — the restart case."""
+        with self._lock:
+            info = WorkerInfo(name=name, probe=probe)
+            # A worker with no probe cannot be health-checked before
+            # first use; trust it until a round-trip says otherwise.
+            if probe is None:
+                info.state = HEALTHY
+            self._workers[name] = info
+            return info
+
+    def deregister(self, name: str) -> None:
+        """Remove *name* from the roster entirely (unknown names ignored)."""
+        with self._lock:
+            self._workers.pop(name, None)
+
+    def drain(self, name: str) -> None:
+        """``healthy → draining``: finish in-flight shards, accept no new
+        ones.  Unknown names raise."""
+        with self._lock:
+            self._require_locked(name).state = DRAINING
+
+    def undrain(self, name: str) -> None:
+        """``draining → healthy`` (maintenance over)."""
+        with self._lock:
+            info = self._require_locked(name)
+            if info.state == DRAINING:
+                info.state = HEALTHY
+
+    def mark_dead(self, name: str, reason: str = "") -> None:
+        with self._lock:
+            info = self._require_locked(name)
+            info.state = DEAD
+            if reason:
+                info.last_error = reason
+
+    def _require_locked(self, name: str) -> WorkerInfo:
+        info = self._workers.get(name)
+        if info is None:
+            raise ReproError(f"unknown worker {name!r} (not registered)")
+        return info
+
+    # ------------------------------------------------------------------
+    # Health checks
+    # ------------------------------------------------------------------
+    def heartbeat(self, name: str, ok: bool = True, error: str = "") -> None:
+        """Record one liveness observation for *name*.
+
+        A successful heartbeat promotes ``joining``/``dead`` workers to
+        ``healthy`` (a restarted worker rejoins automatically) and
+        clears consecutive failures; a failed one counts toward
+        ``max_failures``.  ``draining`` is sticky — a drain is an
+        operator decision a probe must not undo.
+        """
+        with self._lock:
+            info = self._require_locked(name)
+            info.last_heartbeat = time.monotonic()
+            if ok:
+                info.consecutive_failures = 0
+                if info.state in (JOINING, DEAD):
+                    info.state = HEALTHY
+            else:
+                info.consecutive_failures += 1
+                info.last_error = error or info.last_error
+                if (info.consecutive_failures >= self.max_failures
+                        and info.state != DRAINING):
+                    info.state = DEAD
+
+    def check(self, name: str) -> bool:
+        """Run *name*'s probe (if any) and record the outcome."""
+        with self._lock:
+            probe = self._require_locked(name).probe
+        if probe is None:
+            return True
+        try:
+            ok = probe() is not False
+            error = ""
+        except Exception as exc:
+            ok, error = False, f"{type(exc).__name__}: {exc}"
+        self.heartbeat(name, ok=ok, error=error)
+        return ok
+
+    def check_all(self) -> dict[str, bool]:
+        """Probe every registered worker; returns ``{name: alive}``."""
+        with self._lock:
+            names = list(self._workers)
+        return {name: self.check(name) for name in names}
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        exclude: set[str] | frozenset = frozenset(),
+        prefer: str | None = None,
+    ) -> str:
+        """Lease a healthy worker not in *exclude*.
+
+        *prefer* names the worker the caller would pick if healthy —
+        how deterministic shard→worker placement (shard *i* on worker
+        ``i % n``) survives the registry: the healthy path places
+        exactly where the pre-registry code did, and only failure
+        reroutes.  Without a placeable *prefer*, the least-loaded
+        healthy worker wins (registration-order tie-break).
+        ``joining`` workers count as placeable (their first round-trip
+        is their health check).  Raises
+        :class:`~repro.errors.NoHealthyWorkersError` with the failure
+        breakdown when nothing is placeable — the terminal state of a
+        retry chain.
+        """
+        with self._lock:
+            candidates = [
+                info for info in self._workers.values()
+                if info.state in (HEALTHY, JOINING)
+                and info.name not in exclude
+            ]
+            if not candidates:
+                detail = ", ".join(
+                    f"{info.name}={info.state}"
+                    f"({info.shards_failed} failed)"
+                    for info in self._workers.values()
+                ) or "registry is empty"
+                raise NoHealthyWorkersError(
+                    f"no healthy worker available "
+                    f"(excluded: {sorted(exclude) or 'none'}; {detail})"
+                )
+            best = None
+            if prefer is not None:
+                for info in candidates:
+                    if info.name == prefer:
+                        best = info
+                        break
+            if best is None:
+                best = min(
+                    candidates, key=lambda info: (info.in_flight,
+                                                  info.registered_at)
+                )
+            best.in_flight += 1
+            self._lease_counter += 1
+            return best.name
+
+    def release(self, name: str, ok: bool, error: str = "") -> None:
+        """Return a lease, recording the shard outcome.
+
+        A failed shard counts as a failed heartbeat too (same
+        ``max_failures`` threshold), so a worker that keeps dropping
+        connections ages out of the roster without a probe sweep.
+        """
+        with self._lock:
+            info = self._workers.get(name)
+            if info is None:
+                return  # deregistered while in flight
+            info.in_flight = max(0, info.in_flight - 1)
+            if ok:
+                info.shards_completed += 1
+            else:
+                info.shards_failed += 1
+        self.heartbeat(name, ok=ok, error=error)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def workers(self) -> list[str]:
+        with self._lock:
+            return list(self._workers)
+
+    def healthy(self) -> list[str]:
+        with self._lock:
+            return [
+                info.name for info in self._workers.values()
+                if info.state in (HEALTHY, JOINING)
+            ]
+
+    def state(self, name: str) -> str:
+        with self._lock:
+            return self._require_locked(name).state
+
+    def in_flight(self, name: str | None = None) -> int:
+        """Outstanding leases for *name* (or fleet-wide total)."""
+        with self._lock:
+            if name is not None:
+                return self._require_locked(name).in_flight
+            return sum(info.in_flight for info in self._workers.values())
+
+    def snapshot(self) -> list[dict]:
+        """JSON-plain failure-accounting view, registration order —
+        what merge paths attach to the payload ``workers`` breakdown."""
+        with self._lock:
+            return [info.snapshot() for info in self._workers.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            states = {name: info.state
+                      for name, info in self._workers.items()}
+        return f"<WorkerRegistry {states}>"
+
+
+class HeartbeatThread:
+    """Optional background probe sweep over a registry's fleet.
+
+    ``start()`` spawns a daemon thread that calls
+    :meth:`WorkerRegistry.check_all` every ``registry.heartbeat_interval``
+    seconds until ``stop()``.  Backends leave this off by default —
+    dispatch-time accounting already ages failing workers out — but a
+    long-lived coordinator can run one so dead workers are discovered
+    (and resurrected workers rejoin) *between* jobs.
+    """
+
+    def __init__(self, registry: WorkerRegistry) -> None:
+        self.registry = registry
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "HeartbeatThread":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-heartbeat", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.registry.heartbeat_interval):
+            self.registry.check_all()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class ShardDispatcher:
+    """Excluded-worker retry around one backend's shard round-trip.
+
+    Parameters
+    ----------
+    registry:
+        The fleet roster to lease from.
+    send:
+        ``send(worker_name, request, on_event) -> ResultEnvelope`` — the
+        backend's round-trip.  Must raise
+        :class:`~repro.errors.WorkerError` (or a subclass) on transport
+        loss; analysis failures come back as ``ok=False`` envelopes and
+        are *not* retried (re-running a deterministic failure elsewhere
+        cannot succeed).  *on_event* (may be ``None``) receives
+        worker-streamed progress events for backends that support event
+        frames.
+    max_attempts:
+        Total placements per shard, the original included (default: one
+        resubmission per remaining worker, i.e. fleet size at dispatch
+        time).
+    """
+
+    def __init__(self, registry: WorkerRegistry, send,
+                 max_attempts: int | None = None) -> None:
+        self.registry = registry
+        self.send = send
+        self.max_attempts = max_attempts
+
+    def dispatch(self, request, on_event=None, progress=None,
+                 prefer: str | None = None):
+        """Run *request* on some healthy worker; returns
+        ``(worker_name, envelope)``.
+
+        *prefer* seeds the placement (see
+        :meth:`WorkerRegistry.acquire`) — a failed preferred worker is
+        excluded, so resubmissions fall back to least-loaded.  On a
+        :class:`~repro.errors.WorkerError` the failing worker is
+        excluded and the identical request resubmitted elsewhere; a
+        ``retry`` progress event narrates each resubmission.  Exhausting
+        the fleet (or *max_attempts*) re-raises the last failure — the
+        caller's failure path turns it into an error envelope.
+        """
+        excluded: set[str] = set()
+        attempts = 0
+        last_error: WorkerError | None = None
+        limit = self.max_attempts or max(1, len(self.registry))
+        while attempts < limit:
+            try:
+                worker = self.registry.acquire(
+                    exclude=excluded, prefer=prefer
+                )
+            except NoHealthyWorkersError:
+                if last_error is not None:
+                    raise last_error
+                raise
+            attempts += 1
+            try:
+                envelope = self.send(worker, request, on_event)
+            except WorkerError as exc:
+                self.registry.release(worker, ok=False, error=str(exc))
+                excluded.add(worker)
+                last_error = exc
+                if progress is not None:
+                    progress({
+                        "event": "retry", "worker": worker,
+                        "attempt": attempts,
+                        "error": {"type": type(exc).__name__,
+                                  "message": str(exc)},
+                        "request_id": getattr(request, "request_id", None),
+                    })
+                continue
+            self.registry.release(worker, ok=True)
+            return worker, envelope
+        assert last_error is not None
+        raise last_error
+
+
+def annotate_worker_breakdown(
+    workers: list[dict], registry: WorkerRegistry | None
+) -> list[dict]:
+    """Fold the registry's failure accounting into a payload breakdown.
+
+    Successful-shard entries gain their worker's ``state`` /
+    ``shards_failed`` / ``consecutive_failures`` / ``last_error``
+    columns; workers that served nothing (dead mid-job, draining,
+    never picked) are appended with zero ``kernels`` so the breakdown
+    names *every* fleet member — the "dead worker reported in the
+    failure breakdown" contract.  Entry sums are untouched: failure
+    rows carry no ``context_stats``, so "merged stats equal the sum of
+    the workers" keeps holding.
+    """
+    if registry is None:
+        return workers
+    by_name = {info["worker"]: info for info in workers}
+    for entry in registry.snapshot():
+        row = by_name.get(entry["worker"])
+        if row is None:
+            row = {
+                "worker": entry["worker"],
+                "kernels": 0,
+                "wall_time_seconds": 0.0,
+                "context_stats": {},
+            }
+            workers.append(row)
+        row.update(
+            state=entry["state"],
+            shards_failed=entry["shards_failed"],
+            consecutive_failures=entry["consecutive_failures"],
+            last_error=entry["last_error"],
+        )
+    return workers

@@ -1,0 +1,731 @@
+"""Backend-agnostic sharding: split, dispatch, stream, merge.
+
+Extracted from ``backends.py`` (where ProcessBackend and RemoteBackend
+each grew a copy of the fan-out plumbing) so there is exactly one
+implementation of each question:
+
+* **split** — :func:`shard_suite_request` (kernels dealt round-robin,
+  generated scenarios serialized to IR text),
+  :func:`chunk_pipeline_request` (contiguous stage chunks chained
+  through explicit entry/exit temperature vectors) and
+  :func:`shard_schedule_request` (exhaustive candidate batches);
+* **dispatch** — :func:`run_suite_shards` /
+  :func:`run_pipeline_chunks` / :func:`run_schedule_shards` drive the
+  round-trips through a backend-supplied ``dispatch`` callable.  The
+  callable is where placement policy lives: RemoteBackend routes it
+  through :class:`~repro.service.cluster.ShardDispatcher` (worker
+  registry, excluded-worker retry), ProcessBackend through its pool;
+* **stream** — with ``streams_events=True`` the runner hands each
+  dispatch an ``on_event`` channel and forwards the worker's *live*
+  per-kernel / per-stage events (indices remapped to the original
+  request's coordinates) instead of replaying them post-hoc from the
+  merged report.  A shard that never streamed (a non-streaming worker,
+  the process pool) still gets the post-hoc replay, so the documented
+  event contract holds either way;
+* **merge** — :func:`merge_suite_shards` /
+  :func:`merge_pipeline_chunks` / :func:`merge_schedule_shards`
+  reassemble per-kernel/per-stage records in request order and merge
+  per-worker context stats the way PR 4 established (per-label
+  element-wise max over cumulative snapshots, then summed).
+
+Shard requests are deterministic, so a shard resubmitted to a
+different worker after a mid-job death reproduces the same records —
+the merged result stays bit-identical (suites, schedules) or within
+the established 2δ (chained pipeline chunks) to the inline run.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import replace
+
+from ..errors import WorkerError
+from .envelope import ResultEnvelope
+from .requests import PipelineRequest, ScheduleRequest, SuiteRequest
+
+
+# ----------------------------------------------------------------------
+# Suite sharding: split by kernel name, merge by position.
+# ----------------------------------------------------------------------
+def _suite_shard_units(request: SuiteRequest) -> list[tuple[str, str]]:
+    """Every workload of a suite request as a shardable unit.
+
+    Returns ``("name", kernel_name)`` / ``("ir", ir_text)`` pairs in the
+    exact order the inline runner's ``_workload_specs`` expands them:
+    named (or quick/full-suite) kernels first, then pressure scenarios,
+    then random-loop scenarios, then explicit ``ir_texts``.  Generated
+    scenarios serialize to IR text — workers cannot rebuild them by
+    name, but they analyze a parsed function identically (previously
+    any pressure/random suite fell back to unsharded execution).
+    """
+    units: list[tuple[str, str]] = []
+    if request.workloads:
+        units += [("name", name) for name in request.workloads]
+    elif request.ir_texts:
+        pass  # IR-only request: no named fallback.
+    else:
+        from ..workloads import small_suite_names, workload_names
+
+        names = small_suite_names() if request.quick else workload_names()
+        units += [("name", name) for name in names]
+    if request.include_pressure or request.random_count > 0:
+        from ..ir.printer import print_function
+        from ..workloads import pressure_sweep, random_loop_program
+
+        if request.include_pressure:
+            units += [
+                ("ir", print_function(wl.function))
+                for wl in pressure_sweep()
+            ]
+        units += [
+            ("ir", print_function(random_loop_program(seed=seed).function))
+            for seed in range(request.random_count)
+        ]
+    if request.ir_texts:
+        units += [("ir", text) for text in request.ir_texts]
+    return units
+
+
+def shard_suite_request(
+    request: SuiteRequest, shards: int
+) -> list[tuple[SuiteRequest, list[int]]] | None:
+    """Split *request* into ≤ *shards* single-process sub-requests.
+
+    Kernels are dealt round-robin (shard *i* takes positions ``i, i+n,
+    …``) so workers see balanced mixes of small and large kernels.
+    Returns ``(shard_request, positions)`` pairs — *positions* maps each
+    shard item back to its place in the original kernel order — or
+    ``None`` when the request is not worth sharding (a single kernel or
+    one shard).  Generated scenarios travel as serialized IR text; each
+    shard's *positions* list is reordered named-then-IR to match the
+    worker-side spec expansion order.
+    """
+    units = _suite_shard_units(request)
+    if shards < 2 or len(units) < 2:
+        return None
+    shards = min(shards, len(units))
+    out = []
+    for i in range(shards):
+        dealt = list(range(i, len(units), shards))
+        # Worker-side spec order is named kernels first, then IR texts —
+        # keep positions aligned with the items the shard returns.
+        named = [p for p in dealt if units[p][0] == "name"]
+        irs = [p for p in dealt if units[p][0] == "ir"]
+        shard = replace(
+            request,
+            workloads=tuple(units[p][1] for p in named) or None,
+            ir_texts=tuple(units[p][1] for p in irs) or None,
+            quick=False,
+            include_pressure=False,
+            random_count=0,
+            processes=1,
+            request_id=f"shard-{uuid.uuid4().hex[:12]}",
+        )
+        out.append((shard, named + irs))
+    return out
+
+
+def merge_suite_shards(
+    request: SuiteRequest,
+    shard_results: list[tuple[list[int], ResultEnvelope, str]],
+    total: int,
+    processes: int,
+    wall_time_seconds: float,
+) -> tuple[dict, dict]:
+    """Reassemble shard envelopes into one suite payload.
+
+    *shard_results* holds ``(positions, envelope, worker_label)`` per
+    shard.  Items return to their original positions; context stats
+    merge the way PR 4's multi-process fix established: per *worker*
+    (label — one pool process may serve several shards) the
+    element-wise **maximum** over its snapshots is that worker's final
+    counter state (counters only grow), and summing those per-worker
+    totals gives the merged ``context_stats`` — so a worker that
+    served two shards is never double-counted.  The per-worker
+    breakdown lands under the payload's ``workers`` key and the
+    rendered table is regenerated so the merged report prints exactly
+    like a local run.
+    """
+    from ..core.suite_runner import (
+        SuiteReport,
+        collapse_worker_stats,
+        sum_worker_stats,
+    )
+    from .executors import render_suite_report
+
+    items = [None] * total
+    snapshots = []
+    per_worker_info: dict[str, dict] = {}
+    for positions, envelope, label in shard_results:
+        if not envelope.ok:
+            raise WorkerError(
+                f"suite shard on {label} failed: "
+                f"{envelope.error_message()}"
+            )
+        report = SuiteReport.from_dict(envelope.result["report"])
+        if len(report.items) != len(positions):
+            raise WorkerError(
+                f"suite shard on {label} returned {len(report.items)} "
+                f"kernels, expected {len(positions)}"
+            )
+        for position, item in zip(positions, report.items):
+            items[position] = item
+        snapshots.append((label, report.context_stats))
+        info = per_worker_info.setdefault(label, {
+            "worker": label, "kernels": 0, "wall_time_seconds": 0.0,
+        })
+        info["kernels"] += len(positions)
+        info["wall_time_seconds"] += envelope.wall_time_seconds
+    per_worker_stats = collapse_worker_stats(snapshots)
+    context_stats = sum_worker_stats(per_worker_stats)
+    workers = [
+        {**info, "context_stats": dict(per_worker_stats[label])}
+        for label, info in per_worker_info.items()
+    ]
+    merged = SuiteReport(
+        machine=request.machine,
+        model="chip" if request.chip else "rf",
+        delta=request.delta,
+        merge=request.merge,
+        engine=request.engine,
+        policy=request.policy,
+        processes=processes,
+        items=items,
+        wall_time_seconds=wall_time_seconds,
+        context_stats=context_stats,
+    )
+    payload = {
+        "converged": merged.all_converged,
+        "report": merged.to_dict(),
+        "workers": workers,
+        "rendered": render_suite_report(merged),
+    }
+    return payload, context_stats
+
+
+def _forwarded_event(event: dict) -> dict | None:
+    """A worker-streamed event, scrubbed for the coordinator's stream.
+
+    The worker-side job's lifecycle (``status`` events) and identity
+    (``job_id``) are that job's, not the coordinator's — forwarding
+    them would corrupt the coordinator job's own stream, so ``status``
+    events drop and ``job_id`` is stripped (``JobHandle._emit`` stamps
+    the coordinator's own).
+    """
+    if event.get("event") == "status":
+        return None
+    return {k: v for k, v in event.items() if k != "job_id"}
+
+
+def run_suite_shards(
+    request: SuiteRequest,
+    sharded: list[tuple[SuiteRequest, list[int]]],
+    dispatch,
+    processes: int,
+    progress=None,
+    streams_events: bool = False,
+) -> tuple[dict, dict]:
+    """Dispatch suite shards concurrently and merge their envelopes.
+
+    The one sharding flow every fan-out backend shares:
+    *dispatch(index, shard_request)* performs that shard's round-trip
+    and returns ``(worker_label, envelope)`` — the label identifies the
+    worker that *actually* served the shard (a pool process is only
+    known by pid after the fact), which is what lets the merge
+    de-duplicate cumulative stats per worker.  Shards run on a thread
+    per shard; as each completes — in *completion* order, so a slow
+    shard never delays another's narration — a ``shard`` event fires.
+
+    With *streams_events* set, dispatch is called ``dispatch(index,
+    shard, on_event)`` and the worker's live events stream through
+    *on_event* as they happen: ``kernel`` events are remapped to the
+    original suite positions/total, ``status`` events are dropped, and
+    anything else (per-sweep δ) forwards verbatim.  Shards that never
+    streamed (a non-streaming path) fall back to the post-hoc
+    per-kernel replay, so the suite event contract holds either way.
+    A retried shard streams its events again from the top — the
+    dispatcher's ``retry`` event marks the boundary.
+    """
+    started = time.perf_counter()
+    total = sum(len(positions) for _shard, positions in sharded)
+    results: list = [None] * len(sharded)
+    streamed = [False] * len(sharded)
+
+    def suite_event_channel(index: int, positions: list[int]):
+        def on_event(event: dict) -> None:
+            streamed[index] = True
+            if progress is None:
+                return
+            event = _forwarded_event(event)
+            if event is None:
+                return
+            if event.get("event") == "kernel":
+                local = event.get("index")
+                if isinstance(local, int) and 0 <= local < len(positions):
+                    event["index"] = positions[local]
+                event["total"] = total
+            progress(event)
+        return on_event
+
+    with ThreadPoolExecutor(max_workers=len(sharded)) as pool:
+        if streams_events:
+            futures = {
+                pool.submit(
+                    dispatch, index, shard,
+                    suite_event_channel(index, positions),
+                ): index
+                for index, (shard, positions) in enumerate(sharded)
+            }
+        else:
+            futures = {
+                pool.submit(dispatch, index, shard): index
+                for index, (shard, _positions) in enumerate(sharded)
+            }
+        for future in as_completed(futures):
+            index = futures[future]
+            label, envelope = future.result()
+            _shard, positions = sharded[index]
+            results[index] = (positions, envelope, label)
+            if progress is None:
+                continue
+            progress({"event": "shard", "index": index,
+                      "worker": label, "requests": len(positions),
+                      "ok": envelope.ok})
+            if envelope.ok and not streamed[index]:
+                records = envelope.result.get("report", {}) \
+                    .get("results", [])
+                for position, record in zip(positions, records):
+                    progress({"event": "kernel", "name": record["name"],
+                              "index": position, "total": total,
+                              "converged": record["converged"]})
+    return merge_suite_shards(
+        request, results, total, processes, time.perf_counter() - started
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline chunking: contiguous stage runs chained through exit states.
+# ----------------------------------------------------------------------
+def chunk_pipeline_request(
+    request: PipelineRequest, chunks: int
+) -> list[PipelineRequest] | None:
+    """Split *request* into ≤ *chunks* contiguous stage sub-pipelines.
+
+    Stage order is preserved; every chunk except the first starts from
+    its predecessor's exit state (the coordinator threads the
+    ``entry_temperatures`` / ``exit_temperatures`` vectors through), so
+    the chunked run follows exactly the sequential carry-through
+    semantics the strategies already agree with.  Returns ``None`` when
+    there is nothing to split.
+    """
+    specs = request.stages if request.stages is not None else request.ir_texts
+    if not specs or chunks < 2 or len(specs) < 2:
+        return None
+    chunks = min(chunks, len(specs))
+    base, extra = divmod(len(specs), chunks)
+    out = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        stop = start + size
+        piece = tuple(specs[start:stop])
+        fields = dict(
+            policies=(tuple(request.policies[start:stop])
+                      if request.policies is not None else None),
+            return_exit_state=True,
+            request_id=f"chunk-{uuid.uuid4().hex[:12]}",
+        )
+        if request.stages is not None:
+            fields["stages"] = piece
+        else:
+            fields["ir_texts"] = piece
+        out.append(replace(request, **fields))
+        start = stop
+    return out
+
+
+def merge_pipeline_chunks(
+    request: PipelineRequest,
+    chunk_results: list[tuple[ResultEnvelope, str]],
+    wall_time_seconds: float,
+) -> tuple[dict, dict]:
+    """Concatenate chunk reports into one pipeline payload."""
+    from ..core.pipeline_runner import PipelineReport
+    from .executors import render_pipeline_report
+
+    stage_dicts: list[dict] = []
+    context_stats: dict[str, int] = {}
+    workers = []
+    iterations = 0
+    converged = True
+    exit_temperatures = None
+    for index, (envelope, label) in enumerate(chunk_results):
+        if not envelope.ok:
+            raise WorkerError(
+                f"pipeline chunk {index} on {label} failed: "
+                f"{envelope.error_message()}"
+            )
+        report = envelope.result["report"]
+        stage_dicts.extend(report["stages"])
+        iterations += int(report.get("iterations", 0))
+        converged = converged and bool(report.get("converged", True))
+        for key, value in report.get("context_stats", {}).items():
+            context_stats[key] = context_stats.get(key, 0) + value
+        exit_temperatures = report.get("exit_temperatures")
+        workers.append({
+            "worker": label,
+            "stages": len(report["stages"]),
+            # The per-stage storage forms this worker's chunk resolved
+            # to — what lets a caller assert a sharded sparse run used
+            # the same form on every worker (the sweep/warm-start knobs
+            # forward through the dataclass `replace` chunking).
+            "stage_sweeps": [
+                stage.get("sweep") for stage in report["stages"]
+            ],
+            "wall_time_seconds": envelope.wall_time_seconds,
+            "context_stats": dict(report.get("context_stats", {})),
+        })
+    merged = PipelineReport.from_dict({
+        "machine": request.machine,
+        "model": "chip" if request.chip else "rf",
+        "strategy": request.strategy,
+        "delta": request.delta,
+        "merge": request.merge,
+        "sweep": request.sweep,
+        "converged": converged,
+        "iterations": iterations,
+        "wall_time_seconds": wall_time_seconds,
+        "context_stats": context_stats,
+        "stages": stage_dicts,
+        "exit_temperatures": (
+            exit_temperatures if request.return_exit_state else None
+        ),
+    })
+    payload = {
+        "converged": merged.converged,
+        "report": merged.to_dict(),
+        "workers": workers,
+        "rendered": render_pipeline_report(merged),
+    }
+    return payload, context_stats
+
+
+def run_pipeline_chunks(
+    request: PipelineRequest,
+    chunks: list[PipelineRequest],
+    dispatch,
+    progress=None,
+    streams_events: bool = False,
+) -> tuple[dict, dict]:
+    """Dispatch pipeline chunks *sequentially* and merge their reports.
+
+    Chunks are inherently ordered — chunk k+1 needs chunk k's exit
+    state, threaded through ``entry_temperatures`` — so this
+    distributes per-kernel compile/solve work and memory across workers
+    rather than running them concurrently; repeated schedules then hit
+    each worker's warm caches for its chunk.  *dispatch* is the same
+    callable shape as :func:`run_suite_shards`; with *streams_events*
+    set, live ``stage`` events are remapped to pipeline-global stage
+    indices.  Raises :class:`~repro.errors.WorkerError` when a chunk
+    returns no exit state to chain from.
+    """
+    started = time.perf_counter()
+    sizes = [
+        len(c.stages if c.stages is not None else c.ir_texts)
+        for c in chunks
+    ]
+    total = sum(sizes)
+    offsets = [sum(sizes[:i]) for i in range(len(sizes))]
+    entry = request.entry_temperatures
+    results = []
+
+    def stage_event_channel(index: int):
+        def on_event(event: dict) -> None:
+            if progress is None:
+                return
+            event = _forwarded_event(event)
+            if event is None:
+                return
+            if event.get("event") == "stage":
+                local = event.get("index")
+                if isinstance(local, int):
+                    event["index"] = offsets[index] + local
+                event["total"] = total
+            progress(event)
+        return on_event
+
+    for index, chunk in enumerate(chunks):
+        chunk = replace(chunk, entry_temperatures=entry)
+        if streams_events:
+            label, envelope = dispatch(
+                index, chunk, stage_event_channel(index)
+            )
+        else:
+            label, envelope = dispatch(index, chunk)
+        results.append((envelope, label))
+        if progress is not None:
+            progress({
+                "event": "shard", "index": index, "worker": label,
+                "requests": 1, "ok": envelope.ok,
+            })
+        if not envelope.ok:
+            break
+        exit_temperatures = envelope.result["report"].get(
+            "exit_temperatures"
+        )
+        if exit_temperatures is None:
+            raise WorkerError(
+                f"worker {label} returned no exit state for "
+                f"pipeline chunk {index} — cannot chain the next chunk"
+            )
+        entry = tuple(float(t) for t in exit_temperatures)
+    return merge_pipeline_chunks(
+        request, results, time.perf_counter() - started
+    )
+
+
+# ----------------------------------------------------------------------
+# Schedule sharding: candidate batches scored in parallel, argmin merged.
+# ----------------------------------------------------------------------
+def _schedule_stage_keys(request: ScheduleRequest) -> list[int]:
+    """Stage interchangeability keys, computed coordinator-side.
+
+    Mirrors the worker-side identity relation without loading any
+    kernel: named stages are interchangeable iff equal names (the
+    executor resolves them through the service's workload cache),
+    ``ir_texts`` stages iff equal text (the executor dedupes parses by
+    text), and seeded random stages reproduce the generator's own
+    object sharing — ``random_pipeline`` is deterministic per seed, so
+    every backend derives the same multiset.
+    """
+    first: dict = {}
+    if request.stages is not None:
+        return [
+            first.setdefault(name, len(first)) for name in request.stages
+        ]
+    if request.ir_texts is not None:
+        return [
+            first.setdefault(text, len(first)) for text in request.ir_texts
+        ]
+    from ..workloads.generators import random_pipeline
+
+    stages = random_pipeline(
+        seed=request.seed, length=request.random_stages
+    )
+    return [first.setdefault(id(wl), len(first)) for wl in stages]
+
+
+def shard_schedule_request(
+    request: ScheduleRequest, shards: int
+) -> tuple[list[ScheduleRequest], bool] | None:
+    """Split an exhaustive schedule search into candidate-batch shards.
+
+    Only the ``exhaustive`` strategy fans out: its candidate set is
+    fixed upfront (identity + the deterministic space enumeration, cut
+    at *budget*), so the coordinator deals candidates round-robin into
+    explicit-batch sub-requests and the global ``(score, key)`` argmin
+    over all shard rows is *exactly* the candidate inline search picks.
+    Sequential strategies (``greedy``/``anneal``) and requests already
+    carrying a batch forward whole.  Returns ``(shards, exhausted)`` —
+    whether the enumeration fit the budget — or ``None``.
+    """
+    if request.strategy != "exhaustive" or request.candidates is not None:
+        return None
+    if shards < 2:
+        return None
+    from ..sched.space import ScheduleSpace
+
+    space = ScheduleSpace(
+        _schedule_stage_keys(request),
+        list(request.placements) if request.placements else None,
+    )
+    budget = max(1, request.budget)
+    # Inline exhaustive scores the identity first, then up to *budget*
+    # enumerated candidates (the identity again, as a free memo hit,
+    # when the placement axis is closed) — reproduce that exact set,
+    # deduplicated by key.
+    candidates = [space.identity()]
+    seen = {candidates[0].key()}
+    exhausted = True
+    for candidate in space.enumerate_candidates(limit=budget + 1):
+        if len(candidates) > budget:
+            exhausted = False
+            candidates.pop()
+            break
+        if candidate.key() in seen:
+            continue
+        seen.add(candidate.key())
+        candidates.append(candidate)
+    if len(candidates) < 2:
+        return None
+    shards = min(shards, len(candidates))
+    out = []
+    for i in range(shards):
+        batch = candidates[i::shards]
+        out.append(replace(
+            request,
+            candidates=tuple((c.order, c.policies) for c in batch),
+            request_id=f"shard-{uuid.uuid4().hex[:12]}",
+        ))
+    return out, exhausted
+
+
+def merge_schedule_shards(
+    request: ScheduleRequest,
+    shard_results: list[tuple[ResultEnvelope, str]],
+    exhausted: bool,
+    wall_time_seconds: float,
+) -> tuple[dict, dict]:
+    """Reduce shard batches to the global argmin schedule.
+
+    Every shard reports its per-candidate ``candidate_scores`` rows and
+    its *local* argmin's evidence pipeline; the coordinator takes the
+    global minimum under the same deterministic ``(score, key)`` order
+    every strategy uses, adopts the winning shard's evidence (each
+    shard's evidence analyzes its local argmin, so the global winner's
+    shard carries exactly the right one), sums evaluation/memo counters
+    and merges per-worker context stats the established way (per-label
+    max, then summed).
+    """
+    from ..core.suite_runner import collapse_worker_stats, sum_worker_stats
+    from ..sched.optimizer import ScheduleReport
+    from .executors import render_schedule_report
+
+    best_row = None
+    best_key = None
+    best_report = None
+    identity_score = None
+    evaluated = 0
+    memo_hits = 0
+    snapshots = []
+    workers = []
+    reports = []
+    for index, (envelope, label) in enumerate(shard_results):
+        if not envelope.ok:
+            raise WorkerError(
+                f"schedule shard {index} on {label} failed: "
+                f"{envelope.error_message()}"
+            )
+        report = ScheduleReport.from_dict(envelope.result["report"])
+        reports.append(report)
+        rows = report.candidate_scores or []
+        for order, policies, score in rows:
+            key = (
+                tuple(int(i) for i in order),
+                tuple(policies) if policies else (),
+            )
+            if best_row is None or (score, key) < (best_row[2], best_key):
+                best_row = [list(order), policies, score]
+                best_key = key
+                best_report = report
+        if report.identity_score is not None:
+            identity_score = report.identity_score
+        evaluated += report.candidates_evaluated
+        memo_hits += report.eval_memo_hits
+        snapshots.append((label, envelope.context_stats or {}))
+        workers.append({
+            "worker": label,
+            "candidates": len(rows),
+            "wall_time_seconds": envelope.wall_time_seconds,
+            "context_stats": dict(envelope.context_stats or {}),
+        })
+    if best_row is None or best_report is None:
+        raise WorkerError("schedule shards returned no candidate scores")
+    per_worker_stats = collapse_worker_stats(snapshots)
+    context_stats = sum_worker_stats(per_worker_stats)
+    template = reports[0]
+    best_order = [int(i) for i in best_row[0]]
+    merged = ScheduleReport(
+        machine=template.machine,
+        model=template.model,
+        strategy=request.strategy,
+        objective=request.objective,
+        budget=request.budget,
+        seed=request.seed,
+        delta=request.delta,
+        merge=request.merge,
+        sweep=request.sweep,
+        policy=request.policy,
+        stages=list(template.stages),
+        best_order=best_order,
+        best_names=[template.stages[i] for i in best_order],
+        best_policies=(
+            list(best_row[1]) if best_row[1] else None
+        ),
+        best_score=float(best_row[2]),
+        identity_score=identity_score,
+        space_size=template.space_size,
+        candidates_evaluated=evaluated,
+        eval_memo_hits=memo_hits,
+        exhausted=exhausted,
+        dwell_threshold=request.dwell_threshold,
+        placements=(
+            list(request.placements) if request.placements else None
+        ),
+        evidence=best_report.evidence,
+        wall_time_seconds=wall_time_seconds,
+        context_stats=context_stats,
+    )
+    payload = {
+        "converged": bool(
+            merged.evidence and merged.evidence.get("converged")
+        ),
+        "report": merged.to_dict(),
+        "workers": workers,
+        "rendered": render_schedule_report(merged),
+    }
+    return payload, context_stats
+
+
+def run_schedule_shards(
+    request: ScheduleRequest,
+    sharded: list[ScheduleRequest],
+    exhausted: bool,
+    dispatch,
+    progress=None,
+) -> tuple[dict, dict]:
+    """Dispatch candidate-batch shards concurrently and merge the argmin.
+
+    Same shape as :func:`run_suite_shards`: *dispatch(index, shard)*
+    returns ``(worker_label, envelope)``; one thread per shard; as each
+    completes a ``shard`` event fires followed by a ``batch`` event
+    carrying the running evaluated-candidate total and best score — the
+    coordinator-level view of the per-batch progress contract.
+    (Candidate batches keep shard-completion granularity: the batch
+    events are already the aggregate view, so there is nothing to
+    stream live.)
+    """
+    started = time.perf_counter()
+    results: list = [None] * len(sharded)
+    with ThreadPoolExecutor(max_workers=len(sharded)) as pool:
+        futures = {
+            pool.submit(dispatch, index, shard): index
+            for index, shard in enumerate(sharded)
+        }
+        evaluated = 0
+        best_score = None
+        for future in as_completed(futures):
+            index = futures[future]
+            label, envelope = future.result()
+            results[index] = (envelope, label)
+            if progress is None:
+                continue
+            progress({"event": "shard", "index": index,
+                      "worker": label,
+                      "requests": len(sharded[index].candidates),
+                      "ok": envelope.ok})
+            if envelope.ok:
+                report = envelope.result.get("report", {})
+                evaluated += int(report.get("candidates_evaluated", 0))
+                score = report.get("best_score")
+                if score is not None and (
+                    best_score is None or score < best_score
+                ):
+                    best_score = score
+                progress({"event": "batch", "evaluated": evaluated,
+                          "best_score": best_score})
+    return merge_schedule_shards(
+        request, results, exhausted, time.perf_counter() - started
+    )

@@ -13,11 +13,15 @@ format of the line-delimited JSON front-end and of the
 ``python -m repro worker`` socket protocol.  The full field-by-field
 schema is documented in ``benchmarks/README.md``.
 
-Versioning: the current schema is ``repro.service/2``, which *adds*
-the job fields (``job_id``, ``backend``) over ``repro.service/1``;
-archived v1 envelopes still revive (the new fields default to
-``None``), while an envelope declaring a schema this reader does not
-speak raises :class:`~repro.errors.ProtocolError`.
+Versioning: the current schema is ``repro.service/3``.  v2 *added*
+the job fields (``job_id``, ``backend``) over ``repro.service/1``; v3
+adds no envelope fields but introduces the job-queue request kinds
+(``submit``/``poll``/``events``/``cancel``) and a second wire document,
+the :class:`EventFrame` — a progress event streamed ahead of a final
+envelope, distinguished on the wire by its ``"frame": "event"`` key.
+Archived v1/v2 envelopes still revive (missing fields default), while
+a document declaring a schema this reader does not speak raises
+:class:`~repro.errors.ProtocolError`.
 """
 
 from __future__ import annotations
@@ -30,11 +34,12 @@ from ..errors import ProtocolError
 from .requests import Request, request_from_dict
 
 #: Envelope schema identifier (bump on incompatible changes).
-SCHEMA = "repro.service/2"
+SCHEMA = "repro.service/3"
 
 #: Every schema version this reader revives.  v2 is v1 plus the job
-#: fields, so v1 envelopes parse under the v2 reader unchanged.
-SCHEMAS = ("repro.service/1", "repro.service/2")
+#: fields and v3 is v2 plus the job-queue kinds and event frames, so
+#: archived v1/v2 envelopes parse under the v3 reader unchanged.
+SCHEMAS = ("repro.service/1", "repro.service/2", "repro.service/3")
 
 
 @dataclass(frozen=True)
@@ -150,4 +155,70 @@ class ResultEnvelope:
 
     @classmethod
     def from_json(cls, text: str) -> "ResultEnvelope":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Event frames: the v3 streaming wire document.
+# ----------------------------------------------------------------------
+def is_event_frame(data: Any) -> bool:
+    """Whether a decoded wire document is an event frame (vs an
+    envelope).  The discriminator is the ``"frame": "event"`` key —
+    envelopes never carry ``frame``."""
+    return isinstance(data, dict) and data.get("frame") == "event"
+
+
+@dataclass(frozen=True)
+class EventFrame:
+    """One progress event on the wire, ahead of its job's final envelope.
+
+    A ``repro.service/3`` streaming response (a ``submit`` with
+    ``stream=true``, or an ``events`` replay) interleaves these frames
+    with the ordinary envelope lines: each frame carries the ``job_id``
+    it narrates, a monotonically increasing ``seq`` ordinal, and the
+    progress event dict exactly as :class:`~repro.service.jobs.JobHandle`
+    recorded it (``kernel``/``stage``/``sweep``/``shard``/``retry``/
+    ``status`` shapes — see ``benchmarks/README.md``).  Readers
+    distinguish the two documents by :func:`is_event_frame`; a v2
+    client that never sends streaming kinds never sees one.
+    """
+
+    job_id: str | None
+    seq: int
+    event: dict[str, Any] = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "frame": "event",
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "event": self.event,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EventFrame":
+        schema = str(data.get("schema", SCHEMA))
+        if schema not in SCHEMAS:
+            raise ProtocolError(
+                f"unsupported frame schema {schema!r}; "
+                f"supported: {', '.join(SCHEMAS)}"
+            )
+        if data.get("frame") != "event":
+            raise ProtocolError(
+                f"not an event frame: frame={data.get('frame')!r}"
+            )
+        return cls(
+            job_id=data.get("job_id"),
+            seq=int(data.get("seq", 0)),
+            event=dict(data.get("event") or {}),
+            schema=schema,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EventFrame":
         return cls.from_dict(json.loads(text))

@@ -10,6 +10,36 @@ writes each envelope the moment its request completes — no head-of-line
 blocking — and callers match responses on the ``request_id`` echo
 instead of position.
 
+Since ``repro.service/3`` the front-end also speaks the **job-queue
+kinds**, giving pipe clients the same async
+:class:`~repro.service.jobs.JobHandle` semantics the in-process API
+has:
+
+``submit``
+    Wraps any executable request; answered immediately with an
+    acknowledgement envelope carrying the ``job_id`` while the job runs
+    in the background.  With ``"stream": true`` the response is instead
+    the job's live progress events as
+    :class:`~repro.service.envelope.EventFrame` lines followed by the
+    final envelope (in ordered mode the frames replay right before the
+    envelope, preserving output order).
+``poll``
+    Immediate status answer; carries the final envelope once terminal.
+``events``
+    Replays the job's buffered events (absolute index ≥ ``after``) as
+    event frames plus a closing cursor envelope — poll the cursor
+    forward to stream a running job.
+``cancel``
+    :meth:`JobHandle.cancel` over the wire: a queued job never runs
+    (and never dispatches to a worker), a running one completes with
+    its result discarded.
+
+Jobs submitted on a session are strongly held in a bounded per-session
+table, so ``poll``/``events``/``cancel`` resolve them even after the
+service's weak registry would have let go; unknown job ids answer with
+:class:`~repro.errors.UnknownJobError` envelopes (an application
+error — not a protocol violation, no exit 3).
+
 This is the shape the ROADMAP's "async service front-end over the
 shared context" asks for, kept deliberately transport-free: anything
 that can write lines to a pipe (a shell, a socat bridge, a scheduler
@@ -26,20 +56,35 @@ through ``python -m repro serve`` and checks every envelope::
 Lines that never become requests (bad JSON, unknown kinds, unknown
 fields) are answered with :class:`~repro.errors.ProtocolError`
 envelopes; :func:`serve_forever` counts them and ``repro serve`` exits
-3 when any were answered.
+3 when any were answered.  Event frames do not count as answers — one
+input line is one answered envelope, frames are garnish before it.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import sys
 import threading
 from collections import deque
 from typing import IO, Iterable
 
-from .envelope import ResultEnvelope
-from .requests import InvalidRequest, request_from_json
+from ..errors import JobCancelledError, ProtocolError, UnknownJobError
+from .envelope import EventFrame, ResultEnvelope
+from .jobs import JobHandle
+from .requests import (
+    CancelRequest,
+    EventsRequest,
+    InvalidRequest,
+    PollRequest,
+    SubmitRequest,
+    request_from_json,
+)
 from .service import AnalysisService, default_service
+
+#: Jobs a session holds strong references to (terminal ones evict FIFO
+#: beyond this, mirroring the service registry's own bound).
+_MAX_SESSION_JOBS = 256
 
 
 class ServeResult(int):
@@ -87,10 +132,264 @@ def _protocol_error(line: str, exc: Exception) -> dict:
     ).to_dict()
 
 
+def _cancelled_envelope(job: JobHandle) -> ResultEnvelope:
+    """The wire answer for a job that was cancelled (it has no result)."""
+    return ResultEnvelope(
+        request=job.request,
+        ok=False,
+        error={
+            "type": "JobCancelledError",
+            "message": f"job {job.job_id} was cancelled",
+        },
+        job_id=job.job_id,
+        backend=job.backend,
+    )
+
+
+def _unknown_job(request, job_id) -> dict:
+    """An UnknownJobError envelope: application error, not protocol."""
+    exc = UnknownJobError(
+        f"unknown job {job_id!r} (never submitted on this service, or "
+        "already evicted from the bounded registry)"
+    )
+    return ResultEnvelope(
+        request=request,
+        ok=False,
+        error={"type": type(exc).__name__, "message": str(exc)},
+    ).to_dict()
+
+
 def _write(out: IO[str], payload: dict) -> None:
-    out.write(json.dumps(payload, sort_keys=True))
-    out.write("\n")
+    out.write(json.dumps(payload, sort_keys=True) + "\n")
     out.flush()
+
+
+class _JobSession:
+    """One serve session's job table: strong refs, bounded, shared with
+    the service's weak registry for lookups across sessions."""
+
+    def __init__(self, service: AnalysisService) -> None:
+        self.service = service
+        self._jobs: dict[str, JobHandle] = {}
+        self._lock = threading.Lock()
+
+    def track(self, job: JobHandle) -> None:
+        with self._lock:
+            self._jobs[job.job_id] = job
+            if len(self._jobs) <= _MAX_SESSION_JOBS:
+                return
+            for job_id, handle in list(self._jobs.items()):
+                if len(self._jobs) <= _MAX_SESSION_JOBS:
+                    break
+                if handle.done():
+                    del self._jobs[job_id]
+
+    def lookup(self, job_id) -> JobHandle | None:
+        if not job_id:
+            return None
+        with self._lock:
+            job = self._jobs.get(job_id)
+        return job if job is not None else self.service.job(job_id)
+
+
+# ----------------------------------------------------------------------
+# Answers: one input line -> one deliverable unit (frames + envelope).
+# ----------------------------------------------------------------------
+class _Answer:
+    """What one input line owes the output: a deliverable.
+
+    ``done()``/``wait()``/``add_done_callback`` gate *when* it can be
+    delivered; ``deliver(write)`` writes its line(s) — event frames, if
+    any, then exactly one envelope — and returns the protocol-error
+    increment.  Immediate answers (acks, polls, cancels, replays) are
+    born done; job-backed answers become done with their job.
+    """
+
+    def __init__(self, line: str) -> None:
+        self.line = line
+
+    def done(self) -> bool:
+        return True
+
+    def wait(self) -> None:
+        pass
+
+    def add_done_callback(self, callback) -> None:
+        callback(self)
+
+    def deliver(self, write) -> int:
+        raise NotImplementedError
+
+
+class _ImmediateAnswer(_Answer):
+    def __init__(self, line: str, payloads: list[dict],
+                 protocol_error: bool = False) -> None:
+        super().__init__(line)
+        self.payloads = payloads
+        self.protocol_error = protocol_error
+
+    def deliver(self, write) -> int:
+        for payload in self.payloads:
+            write(payload)
+        return 1 if self.protocol_error else 0
+
+
+class _JobAnswer(_Answer):
+    """The classic shape: one request line, its job's final envelope."""
+
+    def __init__(self, line: str, job: JobHandle) -> None:
+        super().__init__(line)
+        self.job = job
+
+    def done(self) -> bool:
+        return self.job.done()
+
+    def wait(self) -> None:
+        self.job.wait()
+
+    def add_done_callback(self, callback) -> None:
+        self.job.add_done_callback(lambda _job: callback(self))
+
+    def deliver(self, write) -> int:
+        try:
+            envelope = self.job.result()
+        except JobCancelledError:
+            write(_cancelled_envelope(self.job).to_dict())
+            return 0
+        except Exception as exc:  # defensive: a service must answer
+            write(_protocol_error(self.line, exc))
+            return 1
+        errors = 1 if envelope.protocol_error else 0
+        write(envelope.to_dict())
+        return errors
+
+
+class _StreamAnswer(_JobAnswer):
+    """A streaming submit: event frames, then the final envelope.
+
+    With *live* set (unordered serving), a subscriber attached at
+    submit time already wrote each frame the moment it happened;
+    delivery adds only the final envelope.  Without it (ordered
+    serving, where mid-stream writes would break response order), the
+    retained event history replays as frames right before the
+    envelope.
+    """
+
+    def __init__(self, line: str, job: JobHandle, live: bool) -> None:
+        super().__init__(line, job)
+        self.live = live
+
+    def deliver(self, write) -> int:
+        if not self.live:
+            for seq, event in self.job.indexed_events():
+                write(EventFrame(self.job.job_id, seq, event).to_dict())
+        return super().deliver(write)
+
+
+def _submit_answer(service, session, request: SubmitRequest, line,
+                   live_writer) -> _Answer:
+    try:
+        inner = request.inner()
+    except ProtocolError as exc:
+        return _ImmediateAnswer(
+            line, [_protocol_error(line, exc)], protocol_error=True
+        )
+    if request.stream:
+        if live_writer is not None:
+            seq = itertools.count()
+
+            def frames(event: dict) -> None:
+                live_writer(
+                    EventFrame(
+                        event.get("job_id"), next(seq), event
+                    ).to_dict()
+                )
+
+            job = service.submit(inner, progress=frames)
+            session.track(job)
+            return _StreamAnswer(line, job, live=True)
+        job = service.submit(inner)
+        session.track(job)
+        return _StreamAnswer(line, job, live=False)
+    job = service.submit(inner)
+    session.track(job)
+    ack = ResultEnvelope(
+        request=request,
+        result={"job_id": job.job_id, "status": job.status()},
+        job_id=job.job_id,
+        backend=job.backend,
+    )
+    return _ImmediateAnswer(line, [ack.to_dict()])
+
+
+def _poll_answer(request: PollRequest, job: JobHandle, line) -> _Answer:
+    done = job.done()
+    result = {"job_id": job.job_id, "status": job.status(), "done": done}
+    if done:
+        try:
+            result["envelope"] = job.result(timeout=0).to_dict()
+        except JobCancelledError:
+            result["envelope"] = None
+    envelope = ResultEnvelope(
+        request=request, result=result,
+        job_id=job.job_id, backend=job.backend,
+    )
+    return _ImmediateAnswer(line, [envelope.to_dict()])
+
+
+def _events_answer(request: EventsRequest, job: JobHandle, line) -> _Answer:
+    events, cursor = job.event_snapshot(after=request.after)
+    payloads = [
+        EventFrame(job.job_id, seq, event).to_dict()
+        for seq, event in events
+    ]
+    payloads.append(ResultEnvelope(
+        request=request,
+        result={
+            "job_id": job.job_id,
+            "status": job.status(),
+            "next": cursor,
+            "dropped_events": job.dropped_events,
+        },
+        job_id=job.job_id,
+        backend=job.backend,
+    ).to_dict())
+    return _ImmediateAnswer(line, payloads)
+
+
+def _cancel_answer(request: CancelRequest, job: JobHandle, line) -> _Answer:
+    cancelled = job.cancel()
+    envelope = ResultEnvelope(
+        request=request,
+        result={
+            "job_id": job.job_id,
+            "cancelled": cancelled,
+            "status": job.status(),
+        },
+        job_id=job.job_id,
+        backend=job.backend,
+    )
+    return _ImmediateAnswer(line, [envelope.to_dict()])
+
+
+def _job_queue_answer(service, session, request, line,
+                      live_writer=None) -> _Answer | None:
+    """The answer for a v3 job-queue request, or ``None`` for every
+    other kind (which executes as a job the classic way)."""
+    if isinstance(request, SubmitRequest):
+        return _submit_answer(service, session, request, line, live_writer)
+    if isinstance(request, (PollRequest, EventsRequest, CancelRequest)):
+        job = session.lookup(request.job_id)
+        if job is None:
+            return _ImmediateAnswer(
+                line, [_unknown_job(request, request.job_id)]
+            )
+        if isinstance(request, PollRequest):
+            return _poll_answer(request, job, line)
+        if isinstance(request, EventsRequest):
+            return _events_answer(request, job, line)
+        return _cancel_answer(request, job, line)
+    return None
 
 
 def serve_forever(
@@ -106,9 +405,12 @@ def serve_forever(
     ``sys.stdout`` — i.e. ``python -m repro serve``.  Every input line
     is answered, malformed ones with an ``ok=false`` error object, so a
     driving process can always match responses to requests by count (or
-    by ``request_id`` echo).  With *unordered* set, each envelope is
-    written as its request completes (matching by count no longer pairs
-    responses with requests — use ``request_id``).
+    by ``request_id`` echo); streaming responses may precede their
+    envelope with event-frame lines (distinguished by ``"frame":
+    "event"``), which do not count as answers.  With *unordered* set,
+    each envelope is written as its request completes (matching by
+    count no longer pairs responses with requests — use ``request_id``)
+    and stream-submit frames go out live.
     """
     service = service or default_service()
     lines = lines if lines is not None else sys.stdin
@@ -120,26 +422,21 @@ def serve_forever(
 
 
 def _serve_ordered(service, lines, out) -> ServeResult:
+    session = _JobSession(service)
     answered = 0
     protocol_errors = 0
-    #: (input-order) jobs not yet written; popped as they complete.
-    pending: deque = deque()
+    #: (input-order) answers not yet written; popped as they complete.
+    pending: deque[_Answer] = deque()
+
+    def write(payload: dict) -> None:
+        _write(out, payload)
 
     def drain(block: bool) -> None:
         nonlocal answered, protocol_errors
-        while pending and (block or pending[0][1].done()):
-            line, job = pending.popleft()
-            try:
-                envelope: ResultEnvelope = job.result()
-                if envelope.protocol_error:
-                    # Rare but possible post-parse (e.g. an executable
-                    # kind with no executor): still a wire-contract
-                    # violation for the exit-3 tally.
-                    protocol_errors += 1
-                _write(out, envelope.to_dict())
-            except Exception as exc:  # defensive: a service must answer
-                _write(out, _protocol_error(line, exc))
-                protocol_errors += 1
+        while pending and (block or pending[0].done()):
+            answer = pending.popleft()
+            answer.wait()
+            protocol_errors += answer.deliver(write)
             answered += 1
 
     for raw in lines:
@@ -155,7 +452,10 @@ def _serve_ordered(service, lines, out) -> ServeResult:
             answered += 1
             protocol_errors += 1
             continue
-        pending.append((line, service.submit(request)))
+        answer = _job_queue_answer(service, session, request, line)
+        if answer is None:
+            answer = _JobAnswer(line, service.submit(request))
+        pending.append(answer)
         drain(block=False)
     drain(block=True)
     return ServeResult(answered, protocol_errors)
@@ -169,28 +469,30 @@ def _serve_unordered(service, lines, out) -> ServeResult:
     Delivered jobs leave the pending map immediately — a long-lived
     worker connection streaming thousands of requests must not pin
     every answered job's envelope and event history until EOF.
+    Streaming submits write their event frames live, under the same
+    lock, interleaved with whatever else completes — frames carry
+    their ``job_id``, envelopes their ``request_id`` echo, so clients
+    demultiplex either way.
     """
+    session = _JobSession(service)
     write_lock = threading.Lock()
     counters = {"answered": 0, "protocol_errors": 0}
-    #: id(job) -> (line, job) for jobs not yet written; popped on
+    #: id(answer) -> answer for lines not yet written; popped on
     #: delivery, so exactly-once falls out of the pop and answered
     #: handles become collectable while the connection stays open.
-    pending: dict[int, tuple] = {}
+    pending: dict[int, _Answer] = {}
 
-    def deliver(job) -> None:
+    def locked_write(payload: dict) -> None:
         with write_lock:
-            entry = pending.pop(id(job), None)
-            if entry is None:
+            _write(out, payload)
+
+    def deliver(answer: _Answer) -> None:
+        with write_lock:
+            if pending.pop(id(answer), None) is None:
                 return  # the done-callback and the EOF sweep raced
-            line = entry[0]
-            try:
-                envelope = job.result()
-                if envelope.protocol_error:
-                    counters["protocol_errors"] += 1
-                _write(out, envelope.to_dict())
-            except Exception as exc:  # defensive: a service must answer
-                _write(out, _protocol_error(line, exc))
-                counters["protocol_errors"] += 1
+            counters["protocol_errors"] += answer.deliver(
+                lambda payload: _write(out, payload)
+            )
             counters["answered"] += 1
 
     for raw in lines:
@@ -205,19 +507,23 @@ def _serve_unordered(service, lines, out) -> ServeResult:
                 counters["answered"] += 1
                 counters["protocol_errors"] += 1
             continue
-        job = service.submit(request)
+        answer = _job_queue_answer(
+            service, session, request, line, live_writer=locked_write
+        )
+        if answer is None:
+            answer = _JobAnswer(line, service.submit(request))
         with write_lock:
-            pending[id(job)] = (line, job)
-        job.add_done_callback(deliver)
-    # EOF sweep: make sure every job's envelope is on the wire before
+            pending[id(answer)] = answer
+        answer.add_done_callback(deliver)
+    # EOF sweep: make sure every answer is on the wire before
     # reporting (callbacks give timeliness; this gives completeness).
     while True:
         with write_lock:
             if not pending:
                 break
-            _line, job = next(iter(pending.values()))
-        job.wait()
-        deliver(job)
+            answer = next(iter(pending.values()))
+        answer.wait()
+        deliver(answer)
     with write_lock:
         return ServeResult(
             counters["answered"], counters["protocol_errors"]

@@ -21,17 +21,27 @@ Progress events are plain dicts with an ``"event"`` discriminator and
 the ``job_id`` attached: ``status`` (lifecycle transitions), ``sweep``
 (per fixed-point sweep: ``iteration``, ``delta``), ``kernel`` (suite
 runs: ``name``, ``index``, ``total``, ``converged``), ``stage``
-(pipelines: ``index``, ``total``, ``name``) and ``shard`` (sharding
-backends: ``worker``, ``index``, ``requests``).  The shapes are
-documented in ``benchmarks/README.md``.  Work-level events come from
-code running in this process — a request a backend forwards whole to a
-worker process/socket reports only ``status`` and ``shard`` events
-(streaming events over the wire is a named ROADMAP follow-up).
+(pipelines: ``index``, ``total``, ``name``), ``shard`` (sharding
+backends: ``worker``, ``index``, ``requests``) and ``retry`` (the
+dispatcher resubmitting a shard after a worker loss: ``worker``,
+``attempt``, ``error``).  The shapes are documented in
+``benchmarks/README.md``.  Since ``repro.service/3``, remote shards
+stream their workers' live per-kernel/per-sweep events back over the
+wire as event frames, so sharded jobs narrate at the same granularity
+as inline ones.
+
+The replay buffer is a bounded ring (:data:`DEFAULT_EVENTS_CAPACITY`,
+configurable per service): a pathological emitter wraps instead of
+growing without bound, evicted events are skipped by late subscribers,
+and the eviction count lands in the final envelope's
+``context_stats["dropped_events"]``.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
+from dataclasses import replace as _replace
 from typing import Callable, Iterator
 
 from ..errors import JobCancelledError
@@ -47,6 +57,13 @@ JOB_STATUSES = (QUEUED, RUNNING, DONE, ERROR, CANCELLED)
 
 #: States a job never leaves.
 TERMINAL_STATUSES = (DONE, ERROR, CANCELLED)
+
+#: Default capacity of the per-job event replay ring.  Generous enough
+#: that ordinary runs (a full-suite job emits tens of events, a long
+#: fixed point a few hundred sweeps) never drop; a pathological
+#: emitter (a million-sweep analysis on a long-lived serve process)
+#: wraps instead of growing without bound.
+DEFAULT_EVENTS_CAPACITY = 1024
 
 
 class JobHandle:
@@ -66,17 +83,26 @@ class JobHandle:
         request,
         backend: str = "inline",
         subscriber: Callable[[dict], None] | None = None,
+        events_capacity: int = DEFAULT_EVENTS_CAPACITY,
     ) -> None:
         self.job_id = job_id
         self.request = request
         self.backend = backend
+        #: Replay-ring capacity.  The buffer is a bounded ring
+        #: (``deque(maxlen=...)``): once more than *events_capacity*
+        #: events have been emitted, the oldest are dropped from
+        #: replay (live subscribers saw them; ``dropped_events``
+        #: counts them, surfaced in the final envelope's
+        #: ``context_stats``).
+        self.events_capacity = max(1, int(events_capacity))
         self._subscriber = subscriber
         self._cond = threading.Condition()
         self._status = QUEUED
         self._cancel_requested = False
         self._terminal = False
         self._envelope = None
-        self._events: list[dict] = []
+        self._events: deque[dict] = deque(maxlen=self.events_capacity)
+        self._events_seen = 0  # total emitted, dropped included
         self._callbacks: list[Callable[["JobHandle"], None]] = []
 
     # ------------------------------------------------------------------
@@ -95,6 +121,19 @@ class JobHandle:
     def cancelled(self) -> bool:
         with self._cond:
             return self._status == CANCELLED
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted from the bounded replay ring (never seen by
+        late ``events()`` subscribers; live subscribers saw them)."""
+        with self._cond:
+            return self._events_seen - len(self._events)
+
+    def events_seen(self) -> int:
+        """Total events emitted so far, dropped ones included — the
+        absolute-index cursor space of :meth:`indexed_events`."""
+        with self._cond:
+            return self._events_seen
 
     # ------------------------------------------------------------------
     # Results
@@ -155,21 +194,53 @@ class JobHandle:
     def events(self) -> Iterator[dict]:
         """Iterate the job's progress events, from the beginning.
 
-        Replays events already emitted, then blocks for new ones until
-        the job is terminal and the stream is drained — so iterating a
-        finished job yields its full history and returns.
+        Replays events already emitted (minus any evicted from the
+        bounded ring — see :attr:`events_capacity`), then blocks for
+        new ones until the job is terminal and the stream is drained —
+        so iterating a finished job yields its retained history and
+        returns.
         """
-        index = 0
+        for _index, event in self.indexed_events():
+            yield event
+
+    def indexed_events(self, after: int = 0) -> Iterator[tuple[int, dict]]:
+        """Like :meth:`events`, but yields ``(absolute_index, event)``
+        starting at index *after*.
+
+        Absolute indices count every event ever emitted — indices the
+        ring has already evicted are skipped, so a consumer resuming
+        from a stale cursor lands on the oldest retained event.  The
+        ``(index, event)`` pairing is what the wire front-end turns
+        into ``seq``-stamped event frames.
+        """
+        index = max(0, int(after))
         while True:
             with self._cond:
                 self._cond.wait_for(
-                    lambda: index < len(self._events) or self._terminal
+                    lambda: index < self._events_seen or self._terminal
                 )
-                if index >= len(self._events):
+                base = self._events_seen - len(self._events)
+                if index < base:
+                    index = base  # evicted from the ring: skip ahead
+                if index >= self._events_seen:
                     return
-                event = self._events[index]
+                event = self._events[index - base]
+                position = index
                 index += 1
-            yield event
+            yield position, event
+
+    def event_snapshot(self, after: int = 0) -> tuple[list[tuple[int, dict]], int]:
+        """The retained events with absolute index ≥ *after*, plus the
+        next cursor — a non-blocking view for the wire ``events`` kind."""
+        with self._cond:
+            base = self._events_seen - len(self._events)
+            start = max(int(after), base)
+            events = [
+                (base + offset, event)
+                for offset, event in enumerate(self._events)
+                if base + offset >= start
+            ]
+            return events, self._events_seen
 
     def add_done_callback(self, callback: Callable[["JobHandle"], None]) -> None:
         """Call *callback(job)* once the job is terminal (immediately if
@@ -186,7 +257,8 @@ class JobHandle:
     def _emit(self, event: dict) -> None:
         event = {"job_id": self.job_id, **event}
         with self._cond:
-            self._events.append(event)
+            self._events.append(event)  # ring: maxlen evicts the oldest
+            self._events_seen += 1
             self._cond.notify_all()
         if self._subscriber is not None:
             # Outside the lock: a subscriber may block (tests use this
@@ -223,6 +295,20 @@ class JobHandle:
             self._status = status
             self._envelope = envelope
         self._emit({"event": "status", "status": status})
+        dropped = self.dropped_events
+        if envelope is not None and dropped:
+            # Surface the replay-ring eviction count where every other
+            # per-job counter lives; absent when nothing was dropped,
+            # so bounded-buffer bookkeeping never perturbs the
+            # bit-identical-to-inline result comparisons.
+            with self._cond:
+                self._envelope = _replace(
+                    envelope,
+                    context_stats={
+                        **envelope.context_stats,
+                        "dropped_events": dropped,
+                    },
+                )
         self._finalize()
 
     def _finalize(self) -> None:

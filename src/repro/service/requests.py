@@ -373,6 +373,99 @@ class WorkloadListRequest(Request):
     kind: ClassVar[str] = "workloads"
 
 
+# ----------------------------------------------------------------------
+# Job-queue kinds (repro.service/3): the wire view of the JobHandle API.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubmitRequest(Request):
+    """Submit a request as an async job instead of a synchronous call.
+
+    *request* carries the inner request's ``to_dict`` form (any
+    executable kind).  A plain submit is answered immediately with an
+    acknowledgement envelope — ``result`` holds ``{"job_id",
+    "status"}`` — and the job runs in the background; the client comes
+    back with ``poll``/``events``/``cancel``.  With ``stream=true`` the
+    front-end instead holds the line open and writes the job's progress
+    events as :class:`~repro.service.envelope.EventFrame` lines,
+    followed by the job's final envelope (which echoes the *inner*
+    request, ``request_id`` included — what lets
+    :class:`~repro.service.backends.WorkerClient` keep its echo check).
+    """
+
+    kind: ClassVar[str] = "submit"
+
+    request: dict[str, Any] | None = None
+    stream: bool = False
+
+    def inner(self) -> "Request":
+        """Revive the wrapped request (ProtocolError when malformed)."""
+        if not isinstance(self.request, dict):
+            raise ProtocolError(
+                "a submit request needs a 'request' object (the inner "
+                "request's to_dict form)"
+            )
+        return request_from_dict(self.request)
+
+
+@dataclass(frozen=True)
+class PollRequest(Request):
+    """Query a submitted job's status (and final envelope, if terminal).
+
+    Answered immediately: ``result`` holds ``{"job_id", "status",
+    "done"}`` plus, once the job is terminal, ``"envelope"`` — the
+    job's final envelope as a nested dict (``null`` for cancelled
+    jobs, which have none).  An unknown ``job_id`` answers with an
+    :class:`~repro.errors.UnknownJobError` error envelope — an
+    application error, not a protocol violation.
+    """
+
+    kind: ClassVar[str] = "poll"
+
+    job_id: str | None = None
+
+
+@dataclass(frozen=True)
+class EventsRequest(Request):
+    """Replay a job's buffered progress events as event frames.
+
+    Answered immediately with one :class:`EventFrame` line per buffered
+    event with absolute index ≥ *after*, then a closing envelope whose
+    ``result`` holds ``{"job_id", "status", "next", "dropped_events"}``
+    — ``next`` is the cursor to pass as the next call's *after*, so a
+    client streams a running job by polling the cursor forward; on a
+    terminal job one call replays the full retained history.  Events
+    evicted from the bounded ring buffer are skipped (and counted in
+    ``dropped_events``).
+    """
+
+    kind: ClassVar[str] = "events"
+
+    job_id: str | None = None
+    after: int = 0
+
+
+@dataclass(frozen=True)
+class CancelRequest(Request):
+    """Cancel a submitted job.
+
+    Answered immediately: ``result`` holds ``{"job_id", "cancelled",
+    "status"}`` with :meth:`JobHandle.cancel
+    <repro.service.jobs.JobHandle.cancel>` semantics — a queued job
+    never runs (and never dispatches to any worker), a running job
+    completes but its result is discarded, a terminal job reports
+    ``cancelled: false``.
+    """
+
+    kind: ClassVar[str] = "cancel"
+
+    job_id: str | None = None
+
+
+#: The v3 job-queue kinds, handled by the serve front-end itself (they
+#: manipulate the session's job table rather than executing analyses).
+JOB_REQUEST_KINDS = ("submit", "poll", "events", "cancel")
+
+
 @dataclass(frozen=True)
 class InvalidRequest(Request):
     """Echo placeholder for input that never became a request.
@@ -401,6 +494,10 @@ REQUEST_KINDS: dict[str, type[Request]] = {
         PipelineRequest,
         ScheduleRequest,
         WorkloadListRequest,
+        SubmitRequest,
+        PollRequest,
+        EventsRequest,
+        CancelRequest,
         InvalidRequest,
     )
 }

@@ -56,7 +56,7 @@ from ..workloads import load
 from .backends import ExecutionBackend, InlineBackend, ProcessBackend
 from .envelope import ResultEnvelope
 from .executors import executor_for
-from .jobs import JobHandle
+from .jobs import DEFAULT_EVENTS_CAPACITY, JobHandle
 from .requests import Request
 
 #: Exceptions `execute` converts into error envelopes: everything the
@@ -120,8 +120,14 @@ class AnalysisService:
         self,
         max_workers: int = 4,
         backend: ExecutionBackend | None = None,
+        events_capacity: int = DEFAULT_EVENTS_CAPACITY,
     ) -> None:
         self.max_workers = max_workers
+        #: Per-job event replay-ring capacity (see
+        #: :data:`repro.service.jobs.DEFAULT_EVENTS_CAPACITY`): events
+        #: beyond it evict oldest-first from replay, counted in the
+        #: final envelope's ``context_stats["dropped_events"]``.
+        self.events_capacity = events_capacity
         self.backend = backend or InlineBackend()
         # Only a backend this service built is torn down with it; a
         # caller-provided one may be shared across services.
@@ -410,6 +416,7 @@ class AnalysisService:
                 request,
                 backend=backend.name,
                 subscriber=progress,
+                events_capacity=self.events_capacity,
             )
             self._jobs[job.job_id] = job
             self._evict_jobs_locked()

@@ -3,10 +3,16 @@
 ``python -m repro worker --listen HOST:PORT`` runs one of these.  Each
 accepted connection speaks exactly the ``repro serve`` wire format —
 one request JSON per line in, one schema-versioned envelope JSON per
-line out, in request order per connection — so anything that can drive
-the pipe front-end can drive a worker through ``socat``, and the
+line out per connection — so anything that can drive the pipe
+front-end can drive a worker through ``socat``, and the
 :class:`~repro.service.backends.RemoteBackend` is just a client that
-opens sockets instead of pipes.
+opens sockets instead of pipes.  Connections serve *unordered* (each
+envelope goes out as its request completes, matched by ``request_id``
+echo) and speak the full ``repro.service/3`` surface: the job-queue
+kinds (``submit``/``poll``/``events``/``cancel``) and, for streaming
+submits, live :class:`~repro.service.envelope.EventFrame` lines ahead
+of the final envelope — which is how a coordinator's sharded jobs
+narrate per-kernel progress from the workers actually running them.
 
 One :class:`~repro.service.service.AnalysisService` is shared across
 *all* connections for the worker's lifetime: every coordinator talking

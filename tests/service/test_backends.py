@@ -186,7 +186,8 @@ class TestRemoteBackend:
         finally:
             backend.close()
         assert not envelope.ok
-        assert envelope.error["type"] == "WorkerError"
+        # Connect-refused is distinguished from mid-request loss.
+        assert envelope.error["type"] == "WorkerConnectError"
         assert "cannot connect" in envelope.error_message()
 
     def test_worker_serves_v1_style_requests(self, worker_pair):
@@ -203,7 +204,7 @@ class TestRemoteBackend:
             stream.flush()
             envelope = ResultEnvelope.from_json(stream.readline())
         assert envelope.ok and envelope.result["converged"]
-        assert envelope.schema == "repro.service/2"
+        assert envelope.schema == "repro.service/3"
 
     def test_address_parsing(self):
         from repro.errors import ReproError

@@ -1,0 +1,461 @@
+"""Control plane: registry lifecycle, shard retry, cancellation races.
+
+The acceptance bar: killing one of two workers mid-suite recovers via
+resubmission with a merged result identical to the surviving worker
+alone, the dead worker shows up in the failure breakdown, and
+cancellation interacts cleanly with the registry (a queued-cancelled
+job never dispatches; a cancel mid-shard leaves the fleet healthy for
+the next job).
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    JobCancelledError,
+    NoHealthyWorkersError,
+    ReproError,
+    WorkerError,
+)
+from repro.service import (
+    AnalysisRequest,
+    AnalysisService,
+    RemoteBackend,
+    ResultEnvelope,
+    SuiteRequest,
+    WorkerRegistry,
+    WorkerServer,
+)
+from repro.service.backends import ExecutionBackend
+from repro.service.cluster import (
+    DEAD,
+    DRAINING,
+    HEALTHY,
+    JOINING,
+    ShardDispatcher,
+    annotate_worker_breakdown,
+)
+
+DELTA = 0.01
+SUITE = SuiteRequest(workloads=("fib", "crc32", "fir", "iir"), delta=DELTA)
+
+
+@pytest.fixture
+def service():
+    with AnalysisService() as svc:
+        yield svc
+
+
+class TestWorkerRegistry:
+    def test_register_without_probe_is_healthy(self):
+        registry = WorkerRegistry()
+        registry.register("a")
+        assert registry.state("a") == HEALTHY
+        assert registry.workers() == ["a"]
+        assert len(registry) == 1
+
+    def test_register_with_probe_joins_then_heartbeats_healthy(self):
+        registry = WorkerRegistry()
+        registry.register("a", probe=lambda: True)
+        assert registry.state("a") == JOINING
+        assert registry.check("a") is True
+        assert registry.state("a") == HEALTHY
+
+    def test_consecutive_failures_mark_dead(self):
+        registry = WorkerRegistry(max_failures=2)
+        registry.register("a")
+        registry.heartbeat("a", ok=False, error="boom")
+        assert registry.state("a") == HEALTHY  # one strike
+        registry.heartbeat("a", ok=False, error="boom again")
+        assert registry.state("a") == DEAD
+        # A later successful probe resurrects the worker (restart case).
+        registry.heartbeat("a", ok=True)
+        assert registry.state("a") == HEALTHY
+
+    def test_success_resets_the_failure_streak(self):
+        registry = WorkerRegistry(max_failures=2)
+        registry.register("a")
+        registry.heartbeat("a", ok=False)
+        registry.heartbeat("a", ok=True)
+        registry.heartbeat("a", ok=False)
+        assert registry.state("a") == HEALTHY  # never two in a row
+
+    def test_drain_is_sticky_under_heartbeats(self):
+        registry = WorkerRegistry()
+        registry.register("a")
+        registry.drain("a")
+        assert registry.state("a") == DRAINING
+        registry.heartbeat("a", ok=True)  # a probe must not undo a drain
+        assert registry.state("a") == DRAINING
+        registry.undrain("a")
+        assert registry.state("a") == HEALTHY
+
+    def test_draining_and_dead_workers_are_not_leased(self):
+        registry = WorkerRegistry()
+        registry.register("a")
+        registry.register("b")
+        registry.drain("a")
+        assert registry.acquire() == "b"
+        registry.mark_dead("b", reason="gone")
+        with pytest.raises(NoHealthyWorkersError, match="no healthy worker"):
+            registry.acquire(exclude={"b"})
+
+    def test_acquire_prefers_then_falls_back_least_loaded(self):
+        registry = WorkerRegistry()
+        registry.register("a")
+        registry.register("b")
+        # Deterministic placement: the preferred worker wins while
+        # healthy, even when busier.
+        assert registry.acquire(prefer="a") == "a"
+        assert registry.acquire(prefer="a") == "a"
+        assert registry.in_flight("a") == 2
+        # With the preference excluded, least-loaded wins.
+        assert registry.acquire(exclude={"a"}, prefer="a") == "b"
+        # And without a preference, b (1 in flight) beats a (2).
+        assert registry.acquire() == "b"
+
+    def test_release_accounts_shard_outcomes(self):
+        registry = WorkerRegistry(max_failures=2)
+        registry.register("a")
+        registry.acquire()
+        registry.release("a", ok=False, error="lost it")
+        assert registry.in_flight("a") == 0
+        snapshot = registry.snapshot()[0]
+        assert snapshot["shards_failed"] == 1
+        assert snapshot["consecutive_failures"] == 1
+        assert snapshot["last_error"] == "lost it"
+        registry.acquire()
+        registry.release("a", ok=True)
+        assert registry.snapshot()[0]["consecutive_failures"] == 0
+        assert registry.snapshot()[0]["shards_completed"] == 1
+
+    def test_deregister_and_unknown_names(self):
+        registry = WorkerRegistry()
+        registry.register("a")
+        registry.deregister("a")
+        assert registry.workers() == []
+        registry.deregister("a")  # unknown: ignored
+        with pytest.raises(ReproError, match="unknown worker"):
+            registry.drain("a")
+
+    def test_failed_probe_records_the_exception(self):
+        registry = WorkerRegistry(max_failures=1)
+
+        def probe():
+            raise OSError("connection refused")
+
+        registry.register("a", probe=probe)
+        assert registry.check("a") is False
+        assert registry.state("a") == DEAD
+        assert "connection refused" in registry.snapshot()[0]["last_error"]
+
+
+class TestShardDispatcher:
+    """Retry semantics over a fake send — no sockets involved."""
+
+    @staticmethod
+    def _envelope():
+        return ResultEnvelope(request=AnalysisRequest(workload="fib"))
+
+    def test_worker_loss_resubmits_to_the_survivor(self):
+        registry = WorkerRegistry()
+        registry.register("a")
+        registry.register("b")
+        calls = []
+
+        def send(worker, request, on_event):
+            calls.append(worker)
+            if worker == "a":
+                raise WorkerError("worker a lost the connection")
+            return self._envelope()
+
+        retries = []
+        dispatcher = ShardDispatcher(registry, send)
+        worker, envelope = dispatcher.dispatch(
+            AnalysisRequest(workload="fib", request_id="r1"),
+            progress=retries.append, prefer="a",
+        )
+        assert worker == "b" and envelope.ok
+        assert calls == ["a", "b"]  # identical shard, resubmitted once
+        assert [e["event"] for e in retries] == ["retry"]
+        assert retries[0]["worker"] == "a"
+        assert retries[0]["attempt"] == 1
+        assert retries[0]["error"]["type"] == "WorkerError"
+        assert retries[0]["request_id"] == "r1"
+        # Accounting: a failed, excluded for this job but not dead yet.
+        assert registry.state("a") == HEALTHY
+        assert registry.snapshot()[0]["shards_failed"] == 1
+
+    def test_analysis_failures_are_not_retried(self):
+        registry = WorkerRegistry()
+        registry.register("a")
+        registry.register("b")
+        calls = []
+
+        def send(worker, request, on_event):
+            calls.append(worker)
+            return ResultEnvelope(
+                request=AnalysisRequest(workload="nope"), ok=False,
+                error={"type": "UnknownWorkloadError", "message": "nope"},
+            )
+
+        worker, envelope = ShardDispatcher(registry, send).dispatch(
+            AnalysisRequest(workload="nope"), prefer="a"
+        )
+        # A deterministic failure cannot succeed elsewhere: one attempt,
+        # the error envelope comes back as-is.
+        assert len(calls) == 1
+        assert not envelope.ok
+
+    def test_exhausting_the_fleet_raises_the_last_failure(self):
+        registry = WorkerRegistry()
+        registry.register("a")
+        registry.register("b")
+
+        def send(worker, request, on_event):
+            raise WorkerError(f"{worker} is gone")
+
+        with pytest.raises(WorkerError, match="is gone"):
+            ShardDispatcher(registry, send).dispatch(
+                AnalysisRequest(workload="fib")
+            )
+        assert registry.in_flight() == 0  # every lease returned
+
+
+class TestAnnotateWorkerBreakdown:
+    def test_dead_worker_appended_with_empty_stats(self):
+        registry = WorkerRegistry(max_failures=1)
+        registry.register("a")
+        registry.register("b")
+        registry.acquire(prefer="b")
+        registry.release("b", ok=False, error="killed")
+        workers = [{"worker": "a", "kernels": 4,
+                    "context_stats": {"analyses": 4}}]
+        annotated = annotate_worker_breakdown(workers, registry)
+        by_name = {row["worker"]: row for row in annotated}
+        assert by_name["a"]["state"] == HEALTHY
+        dead = by_name["b"]
+        assert dead["state"] == DEAD
+        assert dead["kernels"] == 0
+        assert dead["shards_failed"] == 1
+        assert dead["last_error"] == "killed"
+        # Empty stats: the "merged stats == sum over workers" invariant
+        # is untouched by failure rows.
+        assert dead["context_stats"] == {}
+
+    def test_no_registry_is_a_passthrough(self):
+        workers = [{"worker": "a", "kernels": 1}]
+        assert annotate_worker_breakdown(workers, None) is workers
+
+
+class _FlakyWorker:
+    """A TCP endpoint that accepts, reads a little, and hangs up —
+    every request dies mid-flight (the SIGKILL shape, deterministic)."""
+
+    def __init__(self):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.2)
+        host, port = self._sock.getsockname()[:2]
+        self.label = f"{host}:{port}"
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                conn.recv(64)  # let the request start...
+            finally:
+                conn.close()  # ...then die mid-request
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._sock.close()
+
+
+@pytest.fixture(scope="module")
+def good_worker():
+    with WorkerServer() as worker:
+        worker.start()
+        yield worker
+
+
+class TestWorkerLossRecovery:
+    """Acceptance: a worker dying mid-suite costs a shard re-run, not
+    the job — and the result is identical to the healthy run."""
+
+    def test_mid_request_loss_resubmits_and_matches(self, service,
+                                                    good_worker):
+        flaky = _FlakyWorker()
+        backend = RemoteBackend([flaky.label, good_worker.label],
+                                max_failures=1)
+        events = []
+        try:
+            lossy = service.submit(SUITE, progress=events.append,
+                                   backend=backend).result(timeout=120)
+        finally:
+            backend.close()
+            flaky.close()
+        healthy_backend = RemoteBackend([good_worker.label])
+        try:
+            healthy = service.submit(
+                SUITE, backend=healthy_backend
+            ).result(timeout=120)
+        finally:
+            healthy_backend.close()
+        assert lossy.ok, lossy.error_message()
+
+        # Bit-identical recovery: every kernel record matches the run
+        # that never saw a failure (same worker ended up serving all);
+        # only wall time is nondeterministic.
+        def thermal(envelope):
+            return [
+                {k: v for k, v in record.items()
+                 if k != "wall_time_seconds"}
+                for record in envelope.result["report"]["results"]
+            ]
+
+        assert thermal(lossy) == thermal(healthy)
+        # The loss was narrated: at least one retry event, naming the
+        # flaky worker and a mid-request (not connect-time) error.
+        retries = [e for e in events if e["event"] == "retry"]
+        assert retries and all(e["worker"] == flaky.label for e in retries)
+        assert all(e["error"]["type"] == "WorkerError" for e in retries)
+        # And the dead worker is reported in the failure breakdown,
+        # contributing nothing to the summed stats.
+        workers = {row["worker"]: row for row in lossy.result["workers"]}
+        assert workers[flaky.label]["state"] == DEAD
+        assert workers[flaky.label]["kernels"] == 0
+        assert workers[flaky.label]["shards_failed"] >= 1
+        assert workers[good_worker.label]["kernels"] == len(SUITE.workloads)
+        summed = {}
+        for row in workers.values():
+            for key, value in row.get("context_stats", {}).items():
+                summed[key] = summed.get(key, 0) + value
+        assert lossy.context_stats == summed
+
+    def test_connect_refused_is_distinguished(self, service, good_worker):
+        """Satellite: connect-time refusal surfaces as
+        WorkerConnectError in the retry narration (vs the flaky
+        worker's mid-request WorkerError above)."""
+        refused = socket.socket()
+        refused.bind(("127.0.0.1", 0))  # bound but never listening
+        host, port = refused.getsockname()[:2]
+        events = []
+        backend = RemoteBackend([f"{host}:{port}", good_worker.label],
+                                max_failures=1)
+        try:
+            envelope = service.submit(
+                SUITE, progress=events.append, backend=backend
+            ).result(timeout=120)
+        finally:
+            backend.close()
+            refused.close()
+        assert envelope.ok, envelope.error_message()
+        retries = [e for e in events if e["event"] == "retry"]
+        assert retries
+        assert all(e["error"]["type"] == "WorkerConnectError"
+                   for e in retries)
+
+
+class _CountingBackend(ExecutionBackend):
+    """Inline execution that counts how often it was dispatched."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def execute(self, service, request, progress=None):
+        self.calls += 1
+        return service.execute(request)
+
+
+class TestCancellationRaces:
+    """Satellite: cancellation vs the dispatch/registry machinery."""
+
+    def test_cancel_queued_job_never_dispatches(self):
+        backend = _CountingBackend()
+        with AnalysisService(max_workers=1) as service:
+            gate = threading.Event()
+            blocker = service.submit(
+                AnalysisRequest(workload="fib", delta=0.05),
+                progress=lambda event: gate.wait(timeout=30),
+            )
+            queued = service.submit(SUITE, backend=backend)
+            assert queued.status() == "queued"
+            assert queued.cancel() is True
+            gate.set()
+            assert blocker.result(timeout=60).ok
+            assert queued.wait(timeout=60)
+            # The cancelled job never reached the backend at all.
+            assert backend.calls == 0
+            with pytest.raises(JobCancelledError):
+                queued.result()
+            # Not because the backend is inert: an uncancelled job
+            # dispatches through it fine.
+            ran = service.submit(
+                AnalysisRequest(workload="fib", delta=0.05),
+                backend=backend,
+            ).result(timeout=60)
+            assert ran.ok and backend.calls == 1
+
+    def test_cancel_queued_remote_job_releases_no_worker(self, good_worker):
+        """A queued-then-cancelled remote job must leave the registry
+        untouched: no lease taken, no shard dispatched."""
+        backend = RemoteBackend([good_worker.label])
+        try:
+            with AnalysisService(max_workers=1) as service:
+                gate = threading.Event()
+                blocker = service.submit(
+                    AnalysisRequest(workload="fib", delta=0.05),
+                    progress=lambda event: gate.wait(timeout=30),
+                )
+                queued = service.submit(SUITE, backend=backend)
+                assert queued.cancel() is True
+                gate.set()
+                assert blocker.result(timeout=60).ok
+                assert queued.wait(timeout=60)
+            snapshot = backend.registry.snapshot()
+            assert all(row["shards_completed"] == 0 for row in snapshot)
+            assert all(row["in_flight"] == 0 for row in snapshot)
+        finally:
+            backend.close()
+
+    def test_cancel_mid_shard_leaves_registry_healthy(self, service,
+                                                      good_worker):
+        """Cancelling a running sharded job discards its result but
+        must not poison the fleet for the next one."""
+        backend = RemoteBackend([good_worker.label])
+        try:
+            running = threading.Event()
+            gate = threading.Event()
+
+            def on_event(event):
+                running.set()
+                gate.wait(timeout=30)  # pin the job mid-run
+
+            job = service.submit(SUITE, progress=on_event, backend=backend)
+            assert running.wait(timeout=60)
+            assert job.cancel() is True
+            gate.set()
+            assert job.wait(timeout=120)
+            assert job.status() == "cancelled"
+            # Fleet is healthy and idle; the next job sails through.
+            assert backend.registry.healthy() == [good_worker.label]
+            assert backend.registry.in_flight() == 0
+            again = service.submit(SUITE, backend=backend).result(timeout=120)
+            assert again.ok, again.error_message()
+        finally:
+            backend.close()

@@ -28,7 +28,7 @@ FAILED = ResultEnvelope(
 
 class TestSchema:
     def test_version_field_present(self):
-        assert GOOD.schema == SCHEMA == "repro.service/2"
+        assert GOOD.schema == SCHEMA == "repro.service/3"
         assert GOOD.to_dict()["schema"] == SCHEMA
 
     def test_to_json_is_strict_json(self):
@@ -58,6 +58,45 @@ class TestExitSemantics:
     def test_rendered_view(self):
         assert GOOD.rendered == "report\n"
         assert FAILED.rendered == ""
+
+
+class TestEventFrames:
+    """The v3 streaming wire document, alongside the envelope."""
+
+    def _frame(self):
+        from repro.service import EventFrame
+
+        return EventFrame(
+            job_id="job-7", seq=3,
+            event={"job_id": "job-7", "event": "sweep",
+                   "iteration": 2, "delta": 0.125},
+        )
+
+    def test_round_trips_losslessly(self):
+        from repro.service import EventFrame
+
+        frame = self._frame()
+        assert EventFrame.from_dict(frame.to_dict()) == frame
+        assert EventFrame.from_json(frame.to_json()) == frame
+        assert frame.to_dict()["schema"] == SCHEMA
+
+    def test_discriminated_from_envelopes(self):
+        from repro.service import is_event_frame
+
+        assert is_event_frame(self._frame().to_dict())
+        assert not is_event_frame(GOOD.to_dict())
+        assert not is_event_frame("not a dict")
+
+    def test_bad_documents_rejected(self):
+        from repro.errors import ProtocolError
+        from repro.service import EventFrame
+
+        data = self._frame().to_dict()
+        data["schema"] = "repro.service/9"
+        with pytest.raises(ProtocolError, match="unsupported frame schema"):
+            EventFrame.from_dict(data)
+        with pytest.raises(ProtocolError, match="not an event frame"):
+            EventFrame.from_dict(GOOD.to_dict())
 
 
 class TestRoundTrips:

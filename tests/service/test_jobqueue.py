@@ -1,0 +1,310 @@
+"""repro.service/3 job-queue protocol over the pipe front-end.
+
+Acceptance: a pipe client can submit a job, poll its status, stream its
+progress as event frames, and cancel it — all as line-delimited JSON,
+with unknown job ids answered as application errors (not protocol
+violations) and malformed submits counted as protocol errors.
+"""
+
+import io
+import json
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    AnalysisService,
+    EventFrame,
+    ResultEnvelope,
+    is_event_frame,
+    serve_forever,
+)
+
+ANALYZE = {"kind": "analyze", "workload": "fib", "delta": 0.05}
+
+
+class _Out:
+    """A thread-safe sink that parses written lines into JSON docs."""
+
+    def __init__(self):
+        self._buf = ""
+        self._docs = []
+        self._cond = threading.Condition()
+
+    def write(self, text):
+        self._buf += text
+        docs = []
+        while "\n" in self._buf:
+            line, self._buf = self._buf.split("\n", 1)
+            if line.strip():
+                docs.append(json.loads(line))
+        if docs:
+            with self._cond:
+                self._docs.extend(docs)
+                self._cond.notify_all()
+
+    def flush(self):
+        pass
+
+    def snapshot(self):
+        with self._cond:
+            return list(self._docs)
+
+    def wait_match(self, pred, timeout=60):
+        """Block until some doc satisfies *pred*; returns all matches."""
+        with self._cond:
+            assert self._cond.wait_for(
+                lambda: any(pred(doc) for doc in self._docs),
+                timeout=timeout,
+            ), f"no doc matched among {len(self._docs)}"
+            return [doc for doc in self._docs if pred(doc)]
+
+
+class _Session:
+    """An interactive serve session: send request docs, await answers."""
+
+    def __init__(self, service, unordered=True):
+        self.out = _Out()
+        self._lines = queue.Queue()
+        self.result = None
+
+        def run():
+            self.result = serve_forever(
+                service, self._line_iter(), self.out, unordered=unordered
+            )
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+
+    def _line_iter(self):
+        while True:
+            line = self._lines.get()
+            if line is None:
+                return
+            yield line
+
+    def send(self, doc):
+        self._lines.put(json.dumps(doc))
+
+    def close(self):
+        self._lines.put(None)
+        self._thread.join(timeout=60)
+        return self.result
+
+
+def _echoes(request_id):
+    return lambda doc: (
+        "frame" not in doc
+        and (doc.get("request") or {}).get("request_id") == request_id
+    )
+
+
+class TestSubmitPollEventsCancel:
+    def test_full_job_queue_round_trip(self):
+        with AnalysisService() as service:
+            session = _Session(service)
+            session.send({"kind": "submit", "request": dict(ANALYZE),
+                          "request_id": "s1"})
+            ack = session.out.wait_match(_echoes("s1"))[0]
+            assert ack["ok"]
+            job_id = ack["result"]["job_id"]
+            assert ack["result"]["status"] in ("queued", "running", "done")
+
+            # Poll until the job lands; the final poll embeds the
+            # job's full envelope.
+            answer = None
+            for attempt in range(600):
+                rid = f"p{attempt}"
+                session.send({"kind": "poll", "job_id": job_id,
+                              "request_id": rid})
+                answer = session.out.wait_match(_echoes(rid))[0]
+                assert answer["ok"]
+                assert answer["result"]["job_id"] == job_id
+                if answer["result"]["done"]:
+                    break
+                time.sleep(0.02)
+            assert answer["result"]["status"] == "done"
+            embedded = ResultEnvelope.from_dict(answer["result"]["envelope"])
+            assert embedded.ok and embedded.job_id == job_id
+            assert embedded.result["converged"]
+
+            # Replay the recorded events as frames, then follow the
+            # cursor: a second read from `next` returns nothing new.
+            session.send({"kind": "events", "job_id": job_id,
+                          "request_id": "e1"})
+            closing = session.out.wait_match(_echoes("e1"))[0]
+            cursor = closing["result"]["next"]
+            assert closing["result"]["dropped_events"] == 0
+            frames = [doc for doc in session.out.snapshot()
+                      if is_event_frame(doc) and doc["job_id"] == job_id]
+            assert len(frames) == cursor
+            assert [f["seq"] for f in frames] == list(range(cursor))
+            kinds = [f["event"]["event"] for f in frames]
+            assert kinds[0] == "status" and "sweep" in kinds
+            for doc in frames:
+                assert EventFrame.from_dict(doc).job_id == job_id
+
+            session.send({"kind": "events", "job_id": job_id,
+                          "after": cursor, "request_id": "e2"})
+            again = session.out.wait_match(_echoes("e2"))[0]
+            assert again["result"]["next"] == cursor
+            assert len([doc for doc in session.out.snapshot()
+                        if is_event_frame(doc)]) == cursor
+
+            # Cancelling a finished job is a no-op, answered as such.
+            session.send({"kind": "cancel", "job_id": job_id,
+                          "request_id": "c1"})
+            cancel = session.out.wait_match(_echoes("c1"))[0]
+            assert cancel["result"]["cancelled"] is False
+            assert cancel["result"]["status"] == "done"
+
+            result = session.close()
+        assert result.protocol_errors == 0
+        assert result.exit_code == 0
+
+    def test_stream_submit_frames_precede_the_envelope(self):
+        with AnalysisService() as service:
+            session = _Session(service)
+            inner = dict(ANALYZE, request_id="in1")
+            session.send({"kind": "submit", "stream": True,
+                          "request": inner, "request_id": "st1"})
+            final = session.out.wait_match(_echoes("in1"))[0]
+            session.close()
+        # The streamed answer is the *inner* request's envelope...
+        assert final["ok"] and final["request"]["kind"] == "analyze"
+        job_id = final["job_id"]
+        docs = session.out.snapshot()
+        frames = [doc for doc in docs
+                  if is_event_frame(doc) and doc["job_id"] == job_id]
+        # ...preceded by its live event frames, in seq order, ending
+        # with the terminal status event.
+        assert frames
+        assert [f["seq"] for f in frames] == list(range(len(frames)))
+        assert frames[-1]["event"] == {
+            "job_id": job_id, "event": "status", "status": "done",
+        }
+        assert any(f["event"]["event"] == "sweep" for f in frames)
+        assert docs.index(final) > docs.index(frames[-1])
+
+    def test_ordered_stream_replays_frames_before_envelope(self):
+        out = io.StringIO()
+        line = json.dumps({
+            "kind": "submit", "stream": True,
+            "request": dict(ANALYZE, request_id="in2"),
+        })
+        with AnalysisService() as service:
+            result = serve_forever(service, [line], out)
+        docs = [json.loads(text) for text in out.getvalue().splitlines()]
+        # Frames are garnish: one input line, one answered envelope.
+        assert result == 1 and result.protocol_errors == 0
+        final = docs[-1]
+        assert final["ok"] and final["request"]["request_id"] == "in2"
+        frames = docs[:-1]
+        assert frames and all(is_event_frame(doc) for doc in frames)
+        assert [f["seq"] for f in frames] == list(range(len(frames)))
+        assert frames[0]["event"]["status"] == "running"
+        assert frames[-1]["event"]["status"] == "done"
+
+
+class TestJobQueueErrors:
+    def test_unknown_job_is_an_application_error(self):
+        out = io.StringIO()
+        lines = [
+            json.dumps({"kind": kind, "job_id": "job-nope",
+                        "request_id": f"u-{kind}"})
+            for kind in ("poll", "events", "cancel")
+        ]
+        with AnalysisService() as service:
+            result = serve_forever(service, lines, out)
+        docs = [json.loads(text) for text in out.getvalue().splitlines()]
+        assert len(docs) == 3
+        for doc in docs:
+            assert doc["ok"] is False
+            assert doc["error"]["type"] == "UnknownJobError"
+            assert "job-nope" in doc["error"]["message"]
+        # Unknown ids are the caller's bug, not a wire violation.
+        assert result.protocol_errors == 0
+        assert result.exit_code == 0
+
+    def test_malformed_inner_request_is_a_protocol_error(self):
+        out = io.StringIO()
+        lines = [
+            json.dumps({"kind": "submit",
+                        "request": {"kind": "transmogrify"}}),
+            json.dumps({"kind": "submit"}),  # no inner request at all
+        ]
+        with AnalysisService() as service:
+            result = serve_forever(service, lines, out)
+        docs = [json.loads(text) for text in out.getvalue().splitlines()]
+        assert len(docs) == 2
+        assert all(doc["error"]["type"] == "ProtocolError" for doc in docs)
+        assert result.protocol_errors == 2
+        assert result.exit_code == 3
+
+    def test_job_queue_kind_outside_the_frontend_is_rejected(self):
+        """submit/poll/events/cancel reaching execute() directly (no
+        front-end to interpret them) answer with ProtocolError."""
+        from repro.service import PollRequest, SubmitRequest
+
+        with AnalysisService() as service:
+            for request in (
+                SubmitRequest(request=dict(ANALYZE)),
+                PollRequest(job_id="job-1"),
+            ):
+                envelope = service.execute(request)
+                assert not envelope.ok
+                assert envelope.error["type"] == "ProtocolError"
+
+    def test_job_queue_requests_round_trip(self):
+        from repro.service import (
+            CancelRequest,
+            EventsRequest,
+            PollRequest,
+            SubmitRequest,
+            request_from_json,
+        )
+
+        for request in (
+            SubmitRequest(request=dict(ANALYZE), stream=True,
+                          request_id="s"),
+            PollRequest(job_id="job-1", request_id="p"),
+            EventsRequest(job_id="job-1", after=7, request_id="e"),
+            CancelRequest(job_id="job-1", request_id="c"),
+        ):
+            assert request_from_json(request.to_json()) == request
+
+
+class TestWorkerJobQueue:
+    """The same kinds over the TCP worker socket."""
+
+    def test_socket_submit_stream_round_trip(self):
+        import socket
+
+        from repro.service import WorkerServer
+
+        with WorkerServer() as worker:
+            worker.start()
+            with socket.create_connection(worker.address,
+                                          timeout=60) as sock:
+                stream = sock.makefile("rw", encoding="utf-8",
+                                       newline="\n")
+                stream.write(json.dumps({
+                    "kind": "submit", "stream": True,
+                    "request": dict(ANALYZE, request_id="ws1"),
+                }) + "\n")
+                stream.flush()
+                frames = []
+                while True:
+                    doc = json.loads(stream.readline())
+                    if is_event_frame(doc):
+                        frames.append(EventFrame.from_dict(doc))
+                        continue
+                    envelope = ResultEnvelope.from_dict(doc)
+                    break
+        assert envelope.ok and envelope.request.request_id == "ws1"
+        assert frames and frames[-1].event["status"] == "done"
+        assert [frame.seq for frame in frames] \
+            == list(range(len(frames)))
+        assert all(frame.job_id == envelope.job_id for frame in frames)

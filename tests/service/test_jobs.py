@@ -200,6 +200,77 @@ class TestCancellation:
         assert job.status() == "done"
 
 
+class TestEventRing:
+    """The replay buffer is a bounded ring: a pathological emitter
+    wraps instead of growing without bound, and the eviction count is
+    surfaced in the final envelope."""
+
+    def _handle(self, capacity):
+        job = JobHandle("job-ring", AnalysisRequest(workload="fib"),
+                        events_capacity=capacity)
+        job._mark_running()  # emits the first status event
+        return job
+
+    def test_oldest_events_evict_at_capacity(self):
+        job = self._handle(capacity=3)
+        for i in range(5):
+            job._emit({"event": "sweep", "iteration": i})
+        assert job.events_seen() == 6  # status + 5 sweeps
+        assert job.dropped_events == 3
+        # Replay skips the evicted prefix; indices stay absolute.
+        job._finish(None)
+        indexed = [
+            (index, event["event"], event.get("iteration"))
+            for index, event in job.indexed_events()
+        ]
+        # 7 emitted in total (terminal status event included), ring
+        # keeps the last 3.
+        assert indexed == [
+            (4, "sweep", 3), (5, "sweep", 4), (6, "status", None),
+        ]
+
+    def test_indexed_events_resume_from_cursor(self):
+        job = self._handle(capacity=8)
+        for i in range(3):
+            job._emit({"event": "sweep", "iteration": i})
+        job._finish(None)
+        tail = list(job.indexed_events(after=2))
+        assert [index for index, _event in tail] == [2, 3, 4]
+        # A stale cursor (pointing below the ring base) lands on the
+        # oldest retained event instead of failing.
+        assert next(iter(job.indexed_events(after=-5)))[0] == 0
+
+    def test_event_snapshot_is_nonblocking_with_cursor(self):
+        job = self._handle(capacity=8)
+        job._emit({"event": "sweep", "iteration": 0})
+        events, cursor = job.event_snapshot()
+        assert cursor == 2 and len(events) == 2
+        events, cursor2 = job.event_snapshot(after=cursor)
+        assert events == [] and cursor2 == cursor  # running job: no block
+
+    def test_dropped_events_land_in_context_stats(self):
+        with AnalysisService(events_capacity=2) as service:
+            job = service.submit(AnalysisRequest(workload="fib",
+                                                 delta=0.05))
+            envelope = job.result()
+        assert envelope.ok
+        assert job.events_capacity == 2
+        dropped = envelope.context_stats["dropped_events"]
+        assert dropped == job.events_seen() - 2 > 0
+        # The envelope still round-trips with the extra counter.
+        from repro.service import ResultEnvelope
+
+        assert ResultEnvelope.from_json(envelope.to_json()) == envelope
+
+    def test_unbounded_enough_runs_never_perturb_stats(self, service):
+        """Nothing dropped -> no dropped_events key, keeping results
+        bit-identical with pre-ring envelopes."""
+        envelope = service.submit(
+            AnalysisRequest(workload="fib", delta=0.05)
+        ).result()
+        assert "dropped_events" not in envelope.context_stats
+
+
 class TestRegistryBounds:
     def test_dropped_terminal_jobs_leave_the_registry(self, service):
         """The registry is weak-valued: a finished job whose handle the

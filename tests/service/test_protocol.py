@@ -86,6 +86,19 @@ class TestEnvelopeSchemaVersioning:
             assert envelope.request.request_id \
                 == original["request"]["request_id"]
 
+    def test_v2_job_fixture_revives_under_the_v3_reader(self):
+        """Archived repro.service/2 envelopes (job fields included)
+        still parse losslessly and keep their declared schema."""
+        text = (FIXTURES / "envelope_v2_job.json").read_text()
+        envelope = ResultEnvelope.from_json(text)
+        assert envelope.schema == "repro.service/2"
+        assert envelope.job_id == "job-1"
+        assert envelope.backend == "inline"
+        assert envelope.request.request_id == "v2-archived-1"
+        assert envelope.ok and envelope.converged
+        assert ResultEnvelope.from_dict(envelope.to_dict()) == envelope
+        assert envelope.to_dict()["schema"] == "repro.service/2"
+
     def test_v1_error_fixture_keeps_exit_semantics(self):
         envelope = ResultEnvelope.from_json(
             (FIXTURES / "envelope_v1_error.json").read_text()
@@ -110,7 +123,9 @@ class TestEnvelopeSchemaVersioning:
             ResultEnvelope.from_dict(data)
 
     def test_known_schemas(self):
-        assert SCHEMAS == ("repro.service/1", "repro.service/2")
+        assert SCHEMAS == (
+            "repro.service/1", "repro.service/2", "repro.service/3"
+        )
 
 
 def _serve(lines, unordered=False, **service_kwargs):
