@@ -64,7 +64,7 @@ def _best_of(fn, repeats=REPEATS):
     return best, result
 
 
-def test_e12_engine_speedup(machine, record_table, benchmark):
+def test_e12_engine_speedup(machine, record_table, benchmark, bench_meta):
     model = RFThermalModel(machine.geometry, energy=machine.energy)
 
     functions = {
@@ -167,6 +167,7 @@ def test_e12_engine_speedup(machine, record_table, benchmark):
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "schema": "repro.bench-engine/1",
+        "meta": dict(bench_meta),
         "machine": "rf64",
         "delta": DELTA,
         "quick": QUICK,

@@ -108,7 +108,7 @@ def _thermal(envelope):
     ]
 
 
-def test_e15_fleet_recovery_and_streaming(record_table, benchmark):
+def test_e15_fleet_recovery_and_streaming(record_table, benchmark, bench_meta):
     suite_request = SuiteRequest(
         workloads=tuple(wl.name for wl in small_suite()), delta=DELTA
     )
@@ -239,6 +239,7 @@ def test_e15_fleet_recovery_and_streaming(record_table, benchmark):
         RESULTS_DIR.mkdir(exist_ok=True)
         payload = {
             "schema": "repro.bench-fleet/1",
+            "meta": dict(bench_meta),
             "machine": "rf64",
             "delta": DELTA,
             "quick": QUICK,

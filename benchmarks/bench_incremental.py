@@ -87,7 +87,7 @@ def _worst_exit_diff(a, b):
     )
 
 
-def test_e16_pipeline_incremental(machine, record_table, benchmark):
+def test_e16_pipeline_incremental(machine, record_table, benchmark, bench_meta):
     """One-stage edit on a chip-scale pipeline: patch + warm start vs.
     a cold recompile of every stage."""
     stages = [_allocated(name, machine) for name in STAGES]
@@ -186,6 +186,7 @@ def test_e16_pipeline_incremental(machine, record_table, benchmark):
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "schema": "repro.bench-incremental/1",
+        "meta": dict(bench_meta),
         "machine": "rf64",
         "quick": QUICK,
         "pipeline": {
@@ -215,7 +216,7 @@ def test_e16_pipeline_incremental(machine, record_table, benchmark):
     benchmark(incremental_run)
 
 
-def test_e16_rank_update_exactness(machine, record_table):
+def test_e16_rank_update_exactness(machine, record_table, bench_meta):
     """Suite-wide: factored single-instruction updates vs. cold
     recompiles — the corrected caches agree to 1e-12 and never pay a
     sweep rebuild."""
@@ -309,6 +310,7 @@ def test_e16_rank_update_exactness(machine, record_table):
     else:
         payload = {
             "schema": "repro.bench-incremental/1",
+            "meta": dict(bench_meta),
             "machine": "rf64",
             "quick": QUICK,
         }

@@ -65,7 +65,7 @@ def _best_of(fn, repeats=REPEATS):
     return best, result
 
 
-def test_e13_pipeline_strategies(machine, record_table, benchmark):
+def test_e13_pipeline_strategies(machine, record_table, benchmark, bench_meta):
     model = RFThermalModel(machine.geometry, energy=machine.energy)
     # One Workload object per distinct kernel: the same identity the
     # service's workload cache would serve, so repeated stages alias.
@@ -206,6 +206,7 @@ def test_e13_pipeline_strategies(machine, record_table, benchmark):
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "schema": "repro.bench-pipeline/1",
+        "meta": dict(bench_meta),
         "machine": "rf64",
         "delta": DELTA,
         "quick": QUICK,

@@ -66,7 +66,7 @@ def _best_of(fn, repeats):
     return best, result
 
 
-def test_e17_schedule_search(record_table, benchmark):
+def test_e17_schedule_search(record_table, benchmark, bench_meta):
     machine = rf64()
     workloads = [load(name) for name in STAGES]
     allocated = {
@@ -157,6 +157,7 @@ def test_e17_schedule_search(record_table, benchmark):
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "schema": "repro.bench-schedule/1",
+        "meta": dict(bench_meta),
         "machine": "rf64",
         "delta": DELTA,
         "quick": QUICK,

@@ -68,7 +68,7 @@ def _peaks(envelope):
     }
 
 
-def test_e14_backend_roundtrips(record_table, benchmark):
+def test_e14_backend_roundtrips(record_table, benchmark, bench_meta):
     suite_request = SuiteRequest(
         workloads=tuple(wl.name for wl in small_suite()), delta=DELTA
     )
@@ -160,6 +160,7 @@ def test_e14_backend_roundtrips(record_table, benchmark):
         RESULTS_DIR.mkdir(exist_ok=True)
         payload = {
             "schema": "repro.bench-service/1",
+            "meta": dict(bench_meta),
             "machine": "rf64",
             "delta": DELTA,
             "quick": QUICK,

@@ -92,7 +92,7 @@ def _built_sweeps(function, context):
     return dense, sparsify_sweep(dense)
 
 
-def test_e15_sparse_sweep_parity(machine, record_table):
+def test_e15_sparse_sweep_parity(machine, record_table, bench_meta):
     """Dense vs. CSR storage of the same stacked map, suite-wide."""
     rows = []
     records = []
@@ -184,6 +184,7 @@ def test_e15_sparse_sweep_parity(machine, record_table):
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "schema": "repro.bench-sparse/1",
+        "meta": dict(bench_meta),
         "machine": "rf64",
         "delta": DELTA,
         "quick": QUICK,
@@ -196,7 +197,7 @@ def test_e15_sparse_sweep_parity(machine, record_table):
         handle.write("\n")
 
 
-def test_e15_incremental_reanalysis(machine, record_table, benchmark):
+def test_e15_incremental_reanalysis(machine, record_table, benchmark, bench_meta):
     """Single-block edit on the chip preset: patch + warm start vs. cold."""
     function = _allocated(CHIP_KERNEL, machine)
     rpo = reverse_postorder(function)
@@ -292,6 +293,7 @@ def test_e15_incremental_reanalysis(machine, record_table, benchmark):
     else:
         payload = {
             "schema": "repro.bench-sparse/1",
+            "meta": dict(bench_meta),
             "machine": "rf64",
             "quick": QUICK,
         }

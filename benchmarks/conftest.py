@@ -5,11 +5,20 @@ the experiment's table, prints it (visible with ``pytest -s``), writes
 it to ``benchmarks/results/<experiment>.txt`` for the record, asserts
 the *shape* of the paper's claim, and times the core operation through
 pytest-benchmark.
+
+Every ``BENCH_*.json`` payload additionally carries one shared ``meta``
+provenance block (:func:`bench_metadata`): schema of the block itself,
+commit, timestamp, host and python/numpy versions — what the trend
+store (:mod:`repro.obs.store`) keys per-commit series on, and what
+makes two archived results comparable at all.
 """
 
 from __future__ import annotations
 
+import datetime
 import pathlib
+import platform
+import subprocess
 
 import pytest
 
@@ -17,6 +26,47 @@ from repro.arch import rf64
 from repro.sim import ThermalEmulator
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _commit() -> str:
+    """The commit under test: CI env first, then git, else unknown."""
+    import os
+
+    for key in ("GITHUB_SHA", "CI_COMMIT_SHA"):
+        value = os.environ.get(key)
+        if value:
+            return value
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def bench_metadata() -> dict:
+    """The shared ``meta`` block stamped onto every bench payload."""
+    import numpy
+
+    return {
+        "schema": "repro.bench-meta/1",
+        "commit": _commit(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_meta():
+    """Session-wide provenance block — one git call per bench run."""
+    return bench_metadata()
 
 
 @pytest.fixture(scope="session")

@@ -27,7 +27,13 @@ substrate it needs:
 * :mod:`repro.opt` — the §4 optimizations and the full pipeline;
 * :mod:`repro.sim` — interpreter + thermal emulator (the feedback-driven
   reference flow) and accuracy scoring;
-* :mod:`repro.workloads` — kernels and generators.
+* :mod:`repro.workloads` — kernels and generators;
+* :mod:`repro.obs` — observability: the process-wide
+  :class:`~repro.obs.MetricsRegistry` (disabled by default; when
+  enabled, counters/timers ride home on every envelope's ``metrics``
+  field and as ``obs`` events on the job stream), the benchmark trend
+  store with its CI regression gate (``python -m repro bench trend
+  --gate``) and the terminal dashboard (``python -m repro dash``).
 
 Quickstart
 ----------
@@ -50,6 +56,12 @@ Requests round-trip through JSON (``request.to_dict()``,
 worker processes, or remote ``python -m repro worker`` sockets — and
 ``python -m repro serve`` exposes the same surface over a
 line-delimited JSON pipe.
+
+With metrics enabled (:func:`repro.obs.enable_metrics`, or ``--metrics``
+on the CLI) each envelope additionally carries a ``metrics`` snapshot —
+sweep counts, cache hit/miss counters, dispatch/retry totals and
+request timings; with metrics disabled the key is absent and envelopes
+are byte-identical to earlier releases.
 
 The classic function API still works and now shares the same runtime —
 ``analyze`` / ``run_suite`` below delegate to a process-wide default
@@ -115,6 +127,7 @@ from .errors import (
     WorkerError,
 )
 from .ir.function import Function
+from .obs import MetricsRegistry, enable_metrics
 from .opt import ThermalAwareCompiler
 from .sched import ScheduleReport, optimize_schedule
 from .service import (
@@ -136,7 +149,7 @@ from .service import (
 from .sim import Interpreter, ThermalEmulator
 from .thermal import RFThermalModel, ThermalGrid, ThermalParams, ThermalState
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 
 def analyze(
@@ -258,6 +271,9 @@ __all__ = [
     "WorkerServer",
     "default_service",
     "serve_forever",
+    # observability
+    "MetricsRegistry",
+    "enable_metrics",
     # thermal substrate
     "RFThermalModel",
     "ThermalGrid",

@@ -39,10 +39,26 @@ Subcommands
 ``worker``     serve the same envelope protocol over a TCP socket
                (``--listen HOST:PORT``) — the remote end of
                ``suite --workers`` and of ``RemoteBackend``.
+``bench``      benchmark-results tooling (:mod:`repro.obs.store`):
+               ``bench list`` scans a results directory for schema
+               drift, ``bench ingest`` appends report metrics to the
+               trend store, ``bench trend`` computes per-metric deltas
+               against the rolling baseline and (with ``--gate``)
+               fails CI on sustained regressions.
+``dash``       terminal dashboard (:mod:`repro.obs.dash`) over the
+               events stream: replay captured frames (stdin or
+               ``--replay``), attach to a running worker's job
+               (``--attach HOST:PORT --job ID``) or play back the
+               heat strip of an archived report (``--playback``).
+
+The analysis subcommands accept ``--metrics``, enabling the
+process-wide :mod:`repro.obs` registry — counters/timers ride home on
+the envelope's ``metrics`` field and print after the report.
 
 Exit codes: 0 success, 1 error, 2 the analysis did not converge;
 ``serve`` additionally exits 3 when any answered line was a protocol
-error (bad JSON, unknown kind, unknown fields).
+error (bad JSON, unknown kind, unknown fields); ``bench trend --gate``
+exits 4 on a sustained regression.
 
 Examples
 --------
@@ -63,6 +79,10 @@ Examples
     echo '{"kind": "analyze", "workload": "fir"}' | python -m repro serve
     python -m repro worker --listen 127.0.0.1:7601
     python -m repro suite --workers 127.0.0.1:7601,127.0.0.1:7602
+    python -m repro suite --quick --metrics --events-jsonl frames.jsonl
+    python -m repro bench list --results benchmarks/results
+    python -m repro bench trend --ingest BENCH_suite.json --gate
+    python -m repro dash --replay frames.jsonl
 """
 
 from __future__ import annotations
@@ -128,6 +148,13 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--stats", action="store_true",
                        help="print the shared analysis context's cache stats")
 
+    def add_metrics_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--metrics", action="store_true",
+                       help="enable the process-wide observability "
+                            "registry: sweep/cache/dispatch counters "
+                            "ride home on the envelope's metrics field "
+                            "and print after the report")
+
     p_an = sub.add_parser("analyze", help="run the thermal data flow analysis")
     add_input_args(p_an)
     add_analysis_args(p_an, delta=0.01)
@@ -145,6 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--top", type=int, default=5,
                       help="number of critical variables to report")
     add_stats_arg(p_an)
+    add_metrics_arg(p_an)
 
     p_co = sub.add_parser("compile", help="thermal-aware compilation pipeline")
     add_input_args(p_co)
@@ -153,6 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_co.add_argument("--policy", default="first-free",
                       help="baseline assignment policy (default first-free)")
     add_stats_arg(p_co)
+    add_metrics_arg(p_co)
 
     p_em = sub.add_parser("emulate", help="feedback-driven thermal emulation")
     add_input_args(p_em)
@@ -209,6 +238,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_su.add_argument("--json", metavar="PATH", dest="json_path",
                       help="write the machine-readable report "
                            "(e.g. BENCH_suite.json)")
+    p_su.add_argument("--events-jsonl", metavar="PATH",
+                      dest="events_jsonl",
+                      help="capture the run's progress events as "
+                           "event-frame JSON lines (replayable with "
+                           "`repro dash --replay PATH`)")
+    add_metrics_arg(p_su)
 
     p_pl = sub.add_parser(
         "pipeline",
@@ -256,6 +291,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the machine-readable report "
                            "(e.g. BENCH_pipeline.json)")
     add_stats_arg(p_pl)
+    add_metrics_arg(p_pl)
 
     p_sc = sub.add_parser(
         "schedule",
@@ -315,6 +351,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the machine-readable repro.schedule/1 "
                            "report (e.g. BENCH_schedule.json)")
     add_stats_arg(p_sc)
+    add_metrics_arg(p_sc)
 
     sub.add_parser("workloads", help="list the built-in workload suite")
 
@@ -339,6 +376,88 @@ def _build_parser() -> argparse.ArgumentParser:
                            "picks an ephemeral port and prints it)")
     p_wk.add_argument("--max-workers", type=int, default=4,
                       help="service thread-pool width (default 4)")
+
+    p_be = sub.add_parser(
+        "bench",
+        help="benchmark results: schema listing, trend store, CI gate",
+    )
+    bsub = p_be.add_subparsers(dest="bench_command", required=True)
+
+    b_ls = bsub.add_parser(
+        "list",
+        help="scan a results directory for known/stale/unknown schemas",
+    )
+    b_ls.add_argument("--results", default="benchmarks/results",
+                      metavar="DIR",
+                      help="results directory to scan "
+                           "(default benchmarks/results)")
+
+    def add_store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store",
+                       default="benchmarks/results/trends.jsonl",
+                       metavar="PATH",
+                       help="trend store JSONL file (default "
+                            "benchmarks/results/trends.jsonl)")
+        p.add_argument("--commit", metavar="SHA",
+                       help="commit id to stamp ingested records with "
+                            "(default: the payload's meta block)")
+
+    b_in = bsub.add_parser(
+        "ingest",
+        help="append one or more reports' metrics to the trend store",
+    )
+    b_in.add_argument("files", nargs="+", metavar="REPORT.json",
+                      help="schema-bearing report files (BENCH_*.json, "
+                           "suite/pipeline/schedule reports)")
+    add_store_arg(b_in)
+
+    b_tr = bsub.add_parser(
+        "trend",
+        help="per-metric deltas vs the rolling baseline; --gate "
+             "fails on sustained regressions",
+    )
+    add_store_arg(b_tr)
+    b_tr.add_argument("--ingest", nargs="*", default=[],
+                      metavar="REPORT.json",
+                      help="reports to ingest into the store first")
+    b_tr.add_argument("--window", type=int, default=8,
+                      help="rolling-baseline width in commits "
+                           "(default 8)")
+    b_tr.add_argument("-k", type=float, default=3.0, dest="k",
+                      help="MAD multiplier for the noise floor "
+                           "(default 3.0)")
+    b_tr.add_argument("--rel-floor", type=float, default=0.02,
+                      help="relative noise floor as a fraction of the "
+                           "baseline median (default 0.02)")
+    b_tr.add_argument("--limit", type=int, default=20,
+                      help="table rows to print (default 20)")
+    b_tr.add_argument("--gate", action="store_true",
+                      help="exit 4 when a metric regressed on two "
+                           "consecutive commits")
+    b_tr.add_argument("--json", metavar="PATH", dest="json_path",
+                      help="write the repro.obs-trend/1 verdict")
+
+    p_da = sub.add_parser(
+        "dash",
+        help="terminal dashboard over the job events stream",
+    )
+    p_da.add_argument("--replay", metavar="PATH",
+                      help="event-frame JSON lines to replay "
+                           "(default: stdin)")
+    p_da.add_argument("--attach", metavar="HOST:PORT",
+                      help="poll a running worker's job through the "
+                           "events job-queue kind (requires --job)")
+    p_da.add_argument("--job", metavar="ID",
+                      help="job id to follow with --attach")
+    p_da.add_argument("--playback", metavar="REPORT.json",
+                      help="heat-strip playback of an archived "
+                           "suite/pipeline report")
+    p_da.add_argument("--every", type=int, default=25,
+                      help="redraw every N events (0: final frame "
+                           "only; default 25)")
+    p_da.add_argument("--poll", type=float, default=0.5,
+                      help="--attach poll interval in seconds "
+                           "(default 0.5)")
     return parser
 
 
@@ -361,6 +480,21 @@ def _print_envelope(envelope: ResultEnvelope, stats: bool = False) -> int:
     return envelope.exit_code
 
 
+def _enable_metrics(args) -> None:
+    """Flip the process-wide obs registry on for ``--metrics`` runs."""
+    if getattr(args, "metrics", False):
+        from .obs.metrics import enable_metrics
+
+        enable_metrics()
+
+
+def _print_metrics(args) -> None:
+    if getattr(args, "metrics", False):
+        from .obs.metrics import default_registry
+
+        print(default_registry().render())
+
+
 def cmd_analyze(args) -> int:
     request = AnalysisRequest(
         workload=args.workload,
@@ -376,7 +510,10 @@ def cmd_analyze(args) -> int:
         top=args.top,
         show_map=not args.no_map,
     )
-    return _print_envelope(default_service().execute(request), stats=args.stats)
+    _enable_metrics(args)
+    code = _print_envelope(default_service().execute(request), stats=args.stats)
+    _print_metrics(args)
+    return code
 
 
 def cmd_compile(args) -> int:
@@ -390,7 +527,10 @@ def cmd_compile(args) -> int:
         engine=args.engine,
         sweep=args.sweep,
     )
-    return _print_envelope(default_service().execute(request), stats=args.stats)
+    _enable_metrics(args)
+    code = _print_envelope(default_service().execute(request), stats=args.stats)
+    _print_metrics(args)
+    return code
 
 
 def cmd_emulate(args) -> int:
@@ -442,6 +582,42 @@ def _remote_backend(args):
     )
 
 
+class _EventCapture:
+    """Progress events → event-frame JSON lines (``--events-jsonl``).
+
+    Writes the wire shape (``{"frame": "event", ...}``) so the capture
+    replays through ``repro dash --replay`` and any other frame reader.
+    A lock serializes writers — sharded runs narrate from multiple
+    dispatcher threads.
+    """
+
+    def __init__(self, path: str) -> None:
+        import itertools
+        import threading
+
+        self.path = path
+        self._handle = open(path, "w")
+        self._count = itertools.count()
+        self._lock = threading.Lock()
+
+    def write(self, event: dict) -> None:
+        import json as _json
+
+        from .service import EventFrame
+
+        frame = EventFrame(
+            job_id=event.get("job_id"), seq=next(self._count),
+            event=dict(event),
+        )
+        line = _json.dumps(frame.to_dict(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
 def cmd_suite(args) -> int:
     request = SuiteRequest(
         workloads=tuple(args.workloads) if args.workloads else None,
@@ -457,26 +633,41 @@ def cmd_suite(args) -> int:
         random_count=args.random,
         processes=args.processes,
     )
-    if args.workers:
-        # Shard across remote workers: submit as a job on the remote
-        # backend and narrate shard completions (and any worker-loss
-        # resubmissions) while it runs.
-        backend = _remote_backend(args)
+    _enable_metrics(args)
+    capture = _EventCapture(args.events_jsonl) if args.events_jsonl else None
+    try:
+        if args.workers:
+            # Shard across remote workers: submit as a job on the remote
+            # backend and narrate shard completions (and any worker-loss
+            # resubmissions) while it runs.
+            backend = _remote_backend(args)
 
-        def narrate(event):
-            text = _shard_narration(event)
-            if text:
-                print(text, file=sys.stderr)
+            def narrate(event):
+                if capture is not None:
+                    capture.write(event)
+                text = _shard_narration(event)
+                if text:
+                    print(text, file=sys.stderr)
 
-        try:
-            envelope = default_service().submit(
-                request, progress=narrate, backend=backend
-            ).result()
-        finally:
-            backend.close()
-    else:
-        envelope = default_service().execute(request)
+            try:
+                envelope = default_service().submit(
+                    request, progress=narrate, backend=backend
+                ).result()
+            finally:
+                backend.close()
+        elif capture is not None:
+            envelope = default_service().execute(
+                request, progress=capture.write
+            )
+        else:
+            envelope = default_service().execute(request)
+    finally:
+        if capture is not None:
+            capture.close()
     code = _print_envelope(envelope)
+    if capture is not None:
+        print(f"events written to {capture.path}")
+    _print_metrics(args)
     if envelope.ok and args.json_path:
         import json as _json
 
@@ -535,6 +726,7 @@ def cmd_pipeline(args) -> int:
         sweep=args.sweep,
         warm_start=args.warm_start,
     )
+    _enable_metrics(args)
     envelope = default_service().execute(request)
     code = _print_envelope(envelope, stats=args.stats)
     if envelope.ok and args.json_path:
@@ -542,6 +734,7 @@ def cmd_pipeline(args) -> int:
             args.json_path
         )
         print(f"report written to {args.json_path}")
+    _print_metrics(args)
     return code
 
 
@@ -575,6 +768,7 @@ def cmd_schedule(args) -> int:
         placements=placements,
         dwell_threshold=args.dwell_threshold,
     )
+    _enable_metrics(args)
     if args.workers:
         # Shard exhaustive candidate batches across remote workers,
         # narrating shard completions, worker-loss resubmissions and
@@ -611,6 +805,7 @@ def cmd_schedule(args) -> int:
             args.json_path
         )
         print(f"report written to {args.json_path}")
+    _print_metrics(args)
     return code
 
 
@@ -643,6 +838,108 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .obs.store import (
+        TrendStore,
+        render_results,
+        render_trend,
+        scan_results,
+    )
+
+    if args.bench_command == "list":
+        print(render_results(scan_results(args.results)))
+        return 0
+    store = TrendStore(args.store)
+    if args.bench_command == "ingest":
+        total = 0
+        for path in args.files:
+            count = store.ingest_file(path, commit=args.commit)
+            print(f"{path}: {count} metric(s)")
+            total += count
+        print(f"ingested {total} metric(s) into {store.path}")
+        return 0
+    # trend
+    for path in args.ingest:
+        count = store.ingest_file(path, commit=args.commit)
+        print(f"ingested {count} metric(s) from {path}", file=sys.stderr)
+    verdict = store.trend(window=args.window, k=args.k,
+                          rel_floor=args.rel_floor)
+    print(render_trend(verdict, limit=args.limit))
+    if args.json_path:
+        import json as _json
+
+        with open(args.json_path, "w") as handle:
+            _json.dump(verdict, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"verdict written to {args.json_path}")
+    if args.gate and not verdict["gate"]["pass"]:
+        # 4 = sustained regression — distinct from analysis failures
+        # (1/2) and serve protocol errors (3).
+        return 4
+    return 0
+
+
+def cmd_dash(args) -> int:
+    from .obs.dash import DashboardState, follow, heat_frames
+
+    if args.playback:
+        import json as _json
+
+        with open(args.playback) as handle:
+            report = _json.load(handle)
+        frames = heat_frames(report)
+        for frame in frames:
+            print(frame)
+        if not frames:
+            print("no kernel/stage heat points in report",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.attach:
+        if not args.job:
+            print("error: --attach requires --job ID", file=sys.stderr)
+            return 1
+        import time as _time
+
+        from .service import EventsRequest, TERMINAL_STATUSES, WorkerClient
+
+        state = DashboardState()
+        client = WorkerClient(args.attach)
+        cursor = 0
+        try:
+            while True:
+                envelope = client.request(
+                    EventsRequest(job_id=args.job, after=cursor),
+                    on_event=state.consume,
+                )
+                if not envelope.ok:
+                    print(f"error: {envelope.error_message()}",
+                          file=sys.stderr)
+                    return 1
+                state.consume(envelope.to_dict())
+                cursor = int(envelope.result.get("next", cursor))
+                status = envelope.result.get("status")
+                print(state.render() + "\n", flush=True)
+                if status in TERMINAL_STATUSES:
+                    break
+                _time.sleep(args.poll)
+        finally:
+            client.close()
+        return 0 if state.events else 1
+
+    if args.replay:
+        with open(args.replay) as handle:
+            state = follow(handle, out=sys.stdout, every=args.every)
+    else:
+        state = follow(sys.stdin, out=sys.stdout, every=args.every)
+    # The smoke-test contract: an empty stream is a wiring failure.
+    if not state.events:
+        print("no events consumed", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "analyze": cmd_analyze,
     "compile": cmd_compile,
@@ -654,6 +951,8 @@ _COMMANDS = {
     "workloads": cmd_workloads,
     "serve": cmd_serve,
     "worker": cmd_worker,
+    "bench": cmd_bench,
+    "dash": cmd_dash,
 }
 
 

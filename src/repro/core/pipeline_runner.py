@@ -57,11 +57,14 @@ from ..arch import MACHINE_PRESETS
 from ..errors import DataflowError
 from ..ir.cfg import reverse_postorder
 from ..ir.function import Function
+from ..obs.metrics import default_registry
 from ..regalloc.linearscan import allocate_linear_scan
 from ..regalloc.policies import policy_by_name
 from ..thermal.state import ThermalState
 from ..workloads import load
 from .context import AnalysisContext
+
+_METRICS = default_registry()
 from .summaries import FunctionSummary, compose_pipeline, exit_weight_plan
 from .tdfa import TDFAResult, converged_by, sweep_event
 from .transfer import affine_merge_plan, choose_sweep_form
@@ -186,6 +189,8 @@ def analyze_pipeline(
 
 def _stage_event(progress, index: int, total: int, function: Function) -> None:
     """Emit one per-stage completion event (no-op without a callback)."""
+    if _METRICS.enabled:
+        _METRICS.inc("pipeline.stages")
     if progress is not None:
         progress({"event": "stage", "index": index, "total": total,
                   "name": function.name})

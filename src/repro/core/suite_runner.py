@@ -29,6 +29,7 @@ from dataclasses import asdict, dataclass, field
 from dataclasses import fields as dataclass_fields
 
 from ..arch import MACHINE_PRESETS
+from ..obs.metrics import default_registry
 from ..regalloc.linearscan import allocate_linear_scan
 from ..regalloc.policies import policy_by_name
 from ..workloads import (
@@ -39,6 +40,8 @@ from ..workloads import (
     small_suite,
 )
 from .context import AnalysisContext
+
+_METRICS = default_registry()
 
 #: Report schema identifier (bump on incompatible changes).
 SCHEMA = "repro.suite/1"
@@ -368,6 +371,10 @@ def run_suite(
     started = time.perf_counter()
 
     def report_progress(index: int, item: SuiteItem) -> None:
+        if _METRICS.enabled:
+            _METRICS.inc("suite.kernels")
+            if not item.converged:
+                _METRICS.inc("suite.kernels.unconverged")
         if progress is not None:
             progress({"event": "kernel", "name": item.name, "index": index,
                       "total": len(specs), "converged": item.converged})

@@ -83,10 +83,16 @@ from ..dataflow.freq import StaticProfile, static_profile
 from ..errors import ConvergenceError, DataflowError
 from ..ir.cfg import reverse_postorder
 from ..ir.function import Function
+from ..obs.metrics import default_registry
 from ..thermal.rcmodel import RFThermalModel
 from ..thermal.state import ThermalState
 from .estimator import ExactPlacement, InstructionPowerModel, PlacementModel
 from .transfer import BlockTransferCache, affine_merge_plan, choose_sweep_form
+
+#: The process-wide metrics registry (a singleton object — enablement
+#: is a flag flip, so binding it at import time is safe).  Disabled by
+#: default: the per-sweep instrumentation below costs one boolean check.
+_METRICS = default_registry()
 
 #: Valid CFG merge modes.
 MERGE_MODES = ("max", "mean", "freq")
@@ -112,6 +118,10 @@ def sweep_event(progress, iteration: int, delta: float) -> None:
     change in Kelvin; the first sweep has nothing to diff against and
     reports ``inf``.
     """
+    if _METRICS.enabled:
+        # One site instruments every engine, exactly like the event.
+        _METRICS.inc("tdfa.sweeps")
+        _METRICS.gauge("tdfa.last_delta_kelvin", float(delta))
     if progress is not None:
         progress({"event": "sweep", "iteration": iteration,
                   "delta": float(delta)})

@@ -1,0 +1,72 @@
+"""repro.obs — observability: metrics, trend store, live dashboard.
+
+Three layers, each consumable on its own:
+
+* :mod:`repro.obs.metrics` — a lightweight, thread-safe
+  :class:`MetricsRegistry` (counters, gauges, histograms, timer spans)
+  threaded through the hot paths: per-sweep fixed-point progress
+  (:func:`repro.core.tdfa.sweep_event`), suite kernels, pipeline
+  stages, :class:`~repro.service.cluster.ShardDispatcher` retries,
+  worker round-trips and the service-level identity caches.  The
+  process-wide :func:`default_registry` is **disabled by default** —
+  instrumented code checks one boolean and does nothing, so envelopes
+  stay bit-identical to earlier releases until
+  :func:`enable_metrics` is called (or ``--metrics`` is passed).  When
+  enabled, every :class:`~repro.service.ResultEnvelope` carries a
+  ``metrics`` snapshot and jobs emit ``obs`` progress events.
+
+* :mod:`repro.obs.store` — an append-only JSONL trend store keyed by
+  ``(commit, schema, metric)``.  It ingests archived ``BENCH_*.json``
+  and suite/pipeline/service/schedule reports, computes per-metric
+  deltas against a rolling baseline with a median ± k·MAD noise floor,
+  and emits the machine-readable ``repro.obs-trend/1`` verdict that CI
+  gates on *sustained* slowdowns (one noisy commit passes, two
+  consecutive regressions fail) — ``python -m repro bench trend``.
+
+* :mod:`repro.obs.dash` — a terminal dashboard over the
+  ``repro.service/3`` events stream: per-sweep δ-convergence
+  sparklines, per-worker shard throughput and retry counts, and chip
+  heat-map playback from archived reports — ``python -m repro dash``.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    default_registry,
+    enable_metrics,
+    obs_event,
+)
+from .store import (
+    KNOWN_SCHEMAS,
+    TREND_SCHEMA,
+    TrendStore,
+    compute_trend,
+    flatten_metrics,
+    metric_direction,
+    render_results,
+    render_trend,
+    scan_results,
+)
+from .dash import DashboardState, follow, heat_frames, sparkline
+
+__all__ = [
+    # metrics layer
+    "MetricsRegistry",
+    "default_registry",
+    "enable_metrics",
+    "obs_event",
+    # trend store
+    "TREND_SCHEMA",
+    "KNOWN_SCHEMAS",
+    "TrendStore",
+    "compute_trend",
+    "flatten_metrics",
+    "metric_direction",
+    "scan_results",
+    "render_results",
+    "render_trend",
+    # dashboard
+    "DashboardState",
+    "follow",
+    "heat_frames",
+    "sparkline",
+]

@@ -1,0 +1,355 @@
+"""Terminal dashboard over the ``repro.service/3`` events stream.
+
+``python -m repro dash`` renders a live fleet view from any source of
+event documents:
+
+* **stdin / --replay** — line-delimited JSON event frames (the wire
+  shape ``{"frame": "event", "event": {...}}``) or bare progress-event
+  dicts, e.g. piped from a streaming ``submit`` against ``repro
+  serve``, or captured with ``repro suite --events-jsonl frames.jsonl``;
+* **--attach HOST:PORT --job ID** — polls a running serve/worker job
+  through the ``events`` job-queue kind, following the replay cursor;
+* **--playback report.json** — heat-map playback from an archived
+  suite/pipeline report: per-kernel/per-stage peak ΔT animated as a
+  growing heat strip.
+
+The panels: per-sweep δ-convergence sparklines (log₁₀ scale — a
+converging fixed point reads as a descending staircase), per-worker
+shard throughput and retry counts (``shard``/``retry`` events plus the
+``cluster.*`` counters of interleaved ``obs`` frames), kernel/stage
+completion, and the latest metrics snapshot.  Everything here is
+stdlib-only and consumes plain dicts, so the module imports nothing
+from the service layer (the CLI wires the ``--attach`` transport).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from typing import Any, Iterable, TextIO
+
+#: Unicode ramp for sparklines and heat strips, coolest to hottest.
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Iterable[float], width: int = 40) -> str:
+    """The last *width* values as a unicode sparkline.
+
+    Non-finite values (the first sweep's ``inf`` δ) render as ``^``.
+    A flat series renders low, not mid — "no change" should look calm.
+    """
+    vals = list(values)[-width:]
+    finite = [v for v in vals if math.isfinite(v)]
+    if not vals:
+        return ""
+    if not finite:
+        return "^" * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in vals:
+        if not math.isfinite(v):
+            chars.append("^")
+        elif span <= 0:
+            chars.append(SPARK[0])
+        else:
+            chars.append(SPARK[int((v - lo) / span * (len(SPARK) - 1))])
+    return "".join(chars)
+
+
+def _log_deltas(deltas: Iterable[float]) -> list[float]:
+    """δ trajectory → log₁₀ space (inf preserved for the ``^`` mark)."""
+    out = []
+    for d in deltas:
+        if not math.isfinite(d):
+            out.append(d)
+        else:
+            out.append(math.log10(max(abs(d), 1e-15)))
+    return out
+
+
+class DashboardState:
+    """Accumulated view of an events stream; ``render()`` draws it.
+
+    ``consume()`` accepts any decoded wire document: event frames,
+    bare progress-event dicts, or final envelopes (recognized by their
+    ``request`` echo and counted as completed jobs).  Unrecognized
+    documents are ignored — a dashboard must never crash the pipe it
+    taps.
+    """
+
+    def __init__(self, max_points: int = 120, max_series: int = 8) -> None:
+        self.max_points = max_points
+        self.max_series = max_series
+        self.frames = 0          # documents consumed
+        self.events = 0          # recognized progress events
+        self.envelopes = 0       # final envelopes seen
+        self.jobs: dict[str, str] = {}          # job_id -> last status
+        self.kernels_done = 0
+        self.kernel_total: int | None = None
+        self.stages_done = 0
+        self.stage_total: int | None = None
+        # label -> recent δ values; the live series per job collects
+        # under "<job>/current" until a kernel event names it.
+        self._series: dict[str, deque] = {}
+        self._live: dict[str, deque] = {}       # job key -> current deltas
+        self.workers: dict[str, dict[str, Any]] = {}
+        self.batches: dict[str, Any] = {}
+        self.last_obs: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def consume(self, doc: Any) -> bool:
+        """Fold one decoded document in; returns recognition."""
+        if not isinstance(doc, dict):
+            return False
+        self.frames += 1
+        if doc.get("frame") == "event":
+            event = doc.get("event")
+            if not isinstance(event, dict):
+                return False
+            return self._consume_event(event, doc.get("job_id"))
+        if "event" in doc and isinstance(doc.get("event"), str):
+            return self._consume_event(doc, doc.get("job_id"))
+        if "request" in doc and "ok" in doc:
+            self.envelopes += 1
+            job_id = doc.get("job_id")
+            if job_id:
+                self.jobs[str(job_id)] = "done" if doc.get("ok") else "error"
+            return True
+        self.frames -= 1
+        return False
+
+    def _worker(self, name: str) -> dict[str, Any]:
+        return self.workers.setdefault(str(name), {
+            "shards": 0, "ok": 0, "failed": 0, "retries": 0,
+            "kernels": 0, "wall": 0.0,
+        })
+
+    def _consume_event(self, event: dict, job_id: Any) -> bool:
+        kind = event.get("event")
+        job = str(job_id or event.get("job_id") or "-")
+        self.events += 1
+        if kind == "sweep":
+            live = self._live.setdefault(
+                job, deque(maxlen=self.max_points)
+            )
+            try:
+                live.append(float(event.get("delta")))
+            except (TypeError, ValueError):
+                pass
+        elif kind == "kernel":
+            self.kernels_done += 1
+            total = event.get("total")
+            if isinstance(total, int):
+                self.kernel_total = total
+            self._label_live(job, str(event.get("name", "?")))
+        elif kind == "stage":
+            self.stages_done += 1
+            total = event.get("total")
+            if isinstance(total, int):
+                self.stage_total = total
+            self._label_live(job, str(event.get("name", "?")))
+        elif kind == "shard":
+            worker = self._worker(event.get("worker", "?"))
+            worker["shards"] += 1
+            worker["ok" if event.get("ok", True) else "failed"] += 1
+            kernels = event.get("kernels") or event.get("requests")
+            if isinstance(kernels, int):
+                worker["kernels"] += kernels
+            wall = event.get("wall_time_seconds")
+            if isinstance(wall, (int, float)):
+                worker["wall"] += float(wall)
+        elif kind == "retry":
+            self._worker(event.get("worker", "?"))["retries"] += 1
+        elif kind == "batch":
+            self.batches = {
+                "evaluated": event.get("evaluated"),
+                "best_score": event.get("best_score"),
+            }
+        elif kind == "status":
+            self.jobs[job] = str(event.get("status", "?"))
+        elif kind == "obs":
+            metrics = event.get("metrics")
+            if isinstance(metrics, dict):
+                self.last_obs = metrics
+                self._fold_obs(metrics)
+        else:
+            self.events -= 1
+            return False
+        return True
+
+    def _label_live(self, job: str, name: str) -> None:
+        """A kernel/stage finished: its sweeps are the live series."""
+        live = self._live.pop(job, None)
+        if live:
+            label = name
+            n = 2
+            while label in self._series:
+                label = f"{name}#{n}"
+                n += 1
+            self._series[label] = live
+            while len(self._series) > self.max_series:
+                self._series.pop(next(iter(self._series)))
+
+    def _fold_obs(self, metrics: dict[str, Any]) -> None:
+        """Fold ``cluster.*`` counters into the worker panel — how a
+        dashboard attached late still shows per-worker totals."""
+        counters = metrics.get("counters")
+        if not isinstance(counters, dict):
+            return
+        for name, value in counters.items():
+            if not isinstance(value, int):
+                continue
+            if name.startswith("cluster.shards."):
+                worker = self._worker(name[len("cluster.shards."):])
+                worker["shards"] = max(worker["shards"], value)
+            elif name.startswith("cluster.retries."):
+                worker = self._worker(name[len("cluster.retries."):])
+                worker["retries"] = max(worker["retries"], value)
+
+    # ------------------------------------------------------------------
+    # Render
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = [self._headline()]
+        series = list(self._series.items())
+        for job, live in self._live.items():
+            if live:
+                series.append((f"{job} (running)", live))
+        if series:
+            lines.append("δ convergence (log10 K):")
+            width = max(len(label) for label, _ in series)
+            for label, deltas in series[-self.max_series:]:
+                finals = [d for d in deltas if math.isfinite(d)]
+                final = f"{finals[-1]:.2e}" if finals else "-"
+                lines.append(
+                    f"  {label:<{width}}  "
+                    f"{sparkline(_log_deltas(deltas))}  "
+                    f"({len(deltas)} sweeps, last {final})"
+                )
+        if self.workers:
+            lines.append("workers:")
+            rows = []
+            for name in sorted(self.workers):
+                w = self.workers[name]
+                if w["wall"] > 0 and w["kernels"] > 0:
+                    rate = f"{w['kernels'] / w['wall']:.1f}/s"
+                elif w["kernels"]:
+                    rate = str(w["kernels"])
+                else:
+                    rate = "-"
+                rows.append(
+                    f"  {name:<22} shards={w['shards']:<4} "
+                    f"retries={w['retries']:<3} throughput={rate}"
+                )
+            lines.extend(rows)
+        if self.batches.get("evaluated") is not None:
+            best = self.batches.get("best_score")
+            best_text = f"{best:.4f}" if best is not None else "-"
+            lines.append(
+                f"search: {self.batches['evaluated']} candidate(s) "
+                f"evaluated, best {best_text}"
+            )
+        if self.last_obs:
+            counters = self.last_obs.get("counters", {})
+            top = sorted(counters.items(), key=lambda kv: -kv[1])[:6]
+            if top:
+                lines.append(
+                    "metrics: "
+                    + "  ".join(f"{k}={v}" for k, v in top)
+                )
+        return "\n".join(lines)
+
+    def _headline(self) -> str:
+        parts = [f"repro dash — {self.frames} frame(s)"]
+        if self.jobs:
+            done = sum(1 for s in self.jobs.values()
+                       if s in ("done", "error", "cancelled"))
+            parts.append(f"{len(self.jobs)} job(s), {done} terminal")
+        if self.kernel_total:
+            parts.append(
+                f"kernels {self.kernels_done}/{self.kernel_total}"
+            )
+        elif self.kernels_done:
+            parts.append(f"kernels {self.kernels_done}")
+        if self.stage_total:
+            parts.append(f"stages {self.stages_done}/{self.stage_total}")
+        return " · ".join(parts)
+
+
+def follow(
+    lines: Iterable[str],
+    out: TextIO,
+    every: int = 25,
+) -> DashboardState:
+    """Consume JSON documents line by line, redrawing every *every*
+    recognized events (0: final frame only).  Returns the state —
+    callers check ``state.events`` for the smoke-test contract."""
+    state = DashboardState()
+    last_drawn = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        state.consume(doc)
+        if every and state.events - last_drawn >= every:
+            last_drawn = state.events
+            out.write(state.render() + "\n\n")
+            out.flush()
+    out.write(state.render() + "\n")
+    out.flush()
+    return state
+
+
+# ----------------------------------------------------------------------
+# Heat-map playback from archived reports
+# ----------------------------------------------------------------------
+def _heat_points(report: dict[str, Any]) -> list[tuple[str, float]]:
+    """(label, peak ΔT) per kernel/stage from a suite or pipeline
+    report (``repro.suite/1`` items / ``repro.pipeline/1`` stages)."""
+    points = []
+    entries = (report.get("results") or report.get("items")
+               or report.get("stages") or [])
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        label = str(entry.get("name") or entry.get("function") or "?")
+        value = entry.get("peak_delta_kelvin")
+        if value is None:
+            value = entry.get("peak_delta")
+        if value is None and isinstance(entry.get("peak_kelvin"),
+                                        (int, float)):
+            value = entry["peak_kelvin"]
+        if isinstance(value, (int, float)):
+            points.append((label, float(value)))
+    return points
+
+
+def heat_frames(report: dict[str, Any]) -> list[str]:
+    """Playback frames: frame *k* shows the heat strip of the first
+    *k+1* kernels/stages, hottest scaled to the full ramp — replaying
+    the thermal state evolving across the program."""
+    points = _heat_points(report)
+    if not points:
+        return []
+    hottest = max(value for _, value in points) or 1.0
+    frames = []
+    for k in range(len(points)):
+        strip = "".join(
+            SPARK[min(len(SPARK) - 1,
+                      int(value / hottest * (len(SPARK) - 1)))]
+            for _, value in points[:k + 1]
+        )
+        label, value = points[k]
+        frames.append(
+            f"[{k + 1:>3}/{len(points)}] {strip:<{len(points)}}  "
+            f"{label}: ΔT {value:.2f}K"
+        )
+    return frames

@@ -1,0 +1,223 @@
+"""A lightweight in-process metrics registry for the hot paths.
+
+Design constraints, in order:
+
+1. **Zero overhead while disabled.**  Instrumentation sits inside the
+   fixed-point sweep loop and the dispatcher's retry path; every
+   recording method checks one boolean and returns before touching the
+   lock, and the hottest call sites additionally guard on
+   :attr:`MetricsRegistry.enabled` so they don't even build the metric
+   value.  The process-wide :func:`default_registry` starts disabled,
+   which is what keeps ``ResultEnvelope`` output bit-identical to
+   pre-observability releases until someone opts in.
+
+2. **JSON-plain snapshots.**  :meth:`MetricsRegistry.snapshot` returns
+   only dicts/str/int/float, sorted by name — it lands verbatim in the
+   envelope's ``metrics`` field, in ``obs`` progress events on the job
+   stream, and in the ``metrics`` request kind's payload.
+
+3. **Aggregates, not samples.**  Histograms keep ``count/total/min/
+   max`` (mean derived), not reservoirs: bounded memory under
+   million-sweep analyses, and deterministic output for a
+   deterministic run.  Per-sample series belong to the events stream
+   (the dashboard reads δ trajectories from ``sweep`` events, not from
+   here).
+
+Instrumented names (all optional — present only once touched):
+
+=============================== =======================================
+``tdfa.sweeps``                 counter: fixed-point sweeps, all engines
+``tdfa.last_delta_kelvin``      gauge: most recent sweep δ
+``suite.kernels``               counter: suite kernels completed
+``pipeline.stages``             counter: pipeline stages completed
+``cluster.dispatches``          counter: shards placed on workers
+``cluster.shards.<worker>``     counter: shards served per worker
+``cluster.retries``             counter: worker-loss resubmissions
+``cluster.retries.<worker>``    counter: losses attributed per worker
+``cluster.workers.healthy``     gauge: healthy fleet members at dispatch
+``backend.roundtrips``          counter: worker socket round-trips
+``backend.roundtrip_seconds``   histogram: per round-trip wall time
+``service.requests.<kind>``     counter: requests executed per kind
+``service.errors``              counter: error envelopes produced
+``service.request_seconds``     histogram: per-request wall time
+``service.cache.<name>.hits``   counter: service identity-cache hits
+``service.cache.<name>.misses`` counter: service identity-cache misses
+=============================== =======================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any
+
+from ..util import format_table
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges and histograms with timer spans.
+
+    All recording methods are no-ops while :attr:`enabled` is false
+    (the default for the process-wide registry), so instrumentation can
+    live permanently in hot paths.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._lock = threading.Lock()
+        self._enabled = bool(enabled)
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self._histograms: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Enablement
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, enabled: bool = True) -> "MetricsRegistry":
+        self._enabled = bool(enabled)
+        return self
+
+    def enable(self) -> "MetricsRegistry":
+        return self.set_enabled(True)
+
+    def disable(self) -> "MetricsRegistry":
+        return self.set_enabled(False)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add *value* to counter *name* (created at zero)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* (last write wins)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram *name*."""
+        if not self._enabled:
+            return
+        value = float(value)
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                self._histograms[name] = [1, value, value, value]
+            else:
+                hist[0] += 1
+                hist[1] += value
+                if value < hist[2]:
+                    hist[2] = value
+                if value > hist[3]:
+                    hist[3] = value
+
+    @contextmanager
+    def time(self, name: str):
+        """Timer span: ``with registry.time("x_seconds"): ...`` records
+        the block's wall time into histogram *name* (no-op disabled)."""
+        if not self._enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never touched)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-plain view: ``{"counters", "gauges", "histograms"}``,
+        each sorted by name.  Histogram entries carry
+        ``count/total/min/max/mean``."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            histograms = {
+                name: {
+                    "count": count,
+                    "total": total,
+                    "min": lo,
+                    "max": hi,
+                    "mean": total / count,
+                }
+                for name, (count, total, lo, hi)
+                in sorted(self._histograms.items())
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Drop every recorded value (enablement is untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def render(self, snapshot: dict[str, Any] | None = None) -> str:
+        """Human-readable table of a snapshot (default: the live one)."""
+        snap = snapshot if snapshot is not None else self.snapshot()
+        rows: list[tuple] = []
+        for name, value in snap.get("counters", {}).items():
+            rows.append((name, "counter", str(value)))
+        for name, value in snap.get("gauges", {}).items():
+            rows.append((name, "gauge", f"{value:.6g}"))
+        for name, hist in snap.get("histograms", {}).items():
+            rows.append((
+                name, "histogram",
+                f"n={hist['count']} mean={hist['mean']:.6g} "
+                f"min={hist['min']:.6g} max={hist['max']:.6g}",
+            ))
+        if not rows:
+            return "no metrics recorded"
+        return format_table(["metric", "type", "value"], rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self._enabled else "disabled"
+        return (
+            f"<MetricsRegistry {state} counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )
+
+
+def obs_event(registry: MetricsRegistry) -> dict[str, Any]:
+    """The ``obs`` progress-event shape: a metrics snapshot on the job
+    events stream, interleaved with ``sweep``/``kernel``/... frames."""
+    return {"event": "obs", "metrics": registry.snapshot()}
+
+
+# ----------------------------------------------------------------------
+# The process-wide default registry.  Hot paths bind it at import time
+# (it is a singleton object; enablement is a flag flip, not a rebind).
+# ----------------------------------------------------------------------
+_DEFAULT = MetricsRegistry(enabled=False)
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented path records into."""
+    return _DEFAULT
+
+
+def enable_metrics(enabled: bool = True) -> MetricsRegistry:
+    """Flip the process-wide registry on (or off) and return it."""
+    return _DEFAULT.set_enabled(enabled)

@@ -1,0 +1,464 @@
+"""Append-only trend store + regression gate over archived reports.
+
+``BENCH_*.json`` files and suite/pipeline/service/schedule reports are
+per-commit snapshots with no memory; this module gives them one.  A
+:class:`TrendStore` is a JSONL file of flat records keyed by
+``(commit, schema, metric)``:
+
+.. code-block:: json
+
+    {"commit": "abc123", "schema": "repro.bench-engine/1",
+     "metric": "headline.compiled_speedup_vs_stepped", "value": 6.91,
+     "source": "BENCH_engine.json", "timestamp": "2026-08-08T12:00:00Z"}
+
+Ingest flattens every numeric leaf of a schema-bearing payload into
+dotted metric paths (:func:`flatten_metrics`); list entries are labeled
+by their ``name``/``worker``/``kernel``/``stage`` field when present so
+per-kernel rows trend stably across commits.
+
+:func:`compute_trend` evaluates the **latest** commit of every series
+against a rolling baseline of up to *window* prior commits: the noise
+floor is ``max(k · MAD, rel_floor · |median|)`` — median ± k·MAD is
+robust to the odd outlier commit, the relative floor keeps a zero-MAD
+series (deterministic metrics) from hair-triggering.  Direction comes
+from the metric name (:func:`metric_direction`): wall-time-like
+metrics regress upward, throughput-like metrics regress downward,
+everything else is informational only.  The CI gate fails **only on
+sustained regressions** — the latest commit *and* the one before it
+both outside their noise floors — so one noisy commit never fails a
+build, two consecutive regressions do.  The verdict document is
+schema-versioned ``repro.obs-trend/1``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from statistics import median
+from typing import Any, Iterable
+
+from ..errors import ReproError
+from ..util import format_table
+
+#: Trend-verdict schema identifier (bump on incompatible changes).
+TREND_SCHEMA = "repro.obs-trend/1"
+
+#: Store-record schema identifier (one per JSONL line).
+STORE_SCHEMA = "repro.obs-store/1"
+
+#: Schema family -> current version, for ingest and ``repro bench
+#: list`` drift detection.  A results file declaring an older version
+#: of a known family is *stale*; an unknown family is flagged.
+KNOWN_SCHEMAS: dict[str, int] = {
+    "repro.bench-engine": 1,
+    "repro.bench-fleet": 1,
+    "repro.bench-incremental": 1,
+    "repro.bench-pipeline": 1,
+    "repro.bench-schedule": 1,
+    "repro.bench-service": 1,
+    "repro.bench-sparse": 1,
+    "repro.suite": 1,
+    "repro.pipeline": 1,
+    "repro.schedule": 1,
+    "repro.service": 3,
+    "repro.obs-trend": 1,
+    "repro.obs-store": 1,
+}
+
+#: Keys that never become metrics: identity/provenance, rendered text,
+#: and the metadata block benches stamp via ``benchmarks/conftest.py``.
+_SKIP_KEYS = {
+    "schema", "meta", "commit", "timestamp", "rendered", "quick",
+    "request", "error", "job_id", "backend", "host", "python", "numpy",
+}
+
+#: List-entry fields usable as stable labels (first match wins).
+_LABEL_KEYS = ("name", "worker", "kernel", "stage", "function")
+
+#: Name fragments marking a lower-is-better metric.
+_LOWER_TOKENS = (
+    "seconds", "_time", "overhead", "retries", "dropped", "failures",
+)
+
+#: Name fragments marking a higher-is-better metric.
+_HIGHER_TOKENS = (
+    "speedup", "per_sec", "per_second", "throughput", "candidates_per",
+)
+
+
+def metric_direction(metric: str) -> str | None:
+    """``"lower"`` / ``"higher"`` / ``None`` (informational only).
+
+    Heuristic over the metric name's last path component and its
+    ancestors — conservative on purpose: only metrics whose name
+    clearly encodes a direction are ever gated.
+    """
+    name = metric.lower()
+    if any(token in name for token in _HIGHER_TOKENS):
+        return "higher"
+    if any(token in name for token in _LOWER_TOKENS):
+        return "lower"
+    return None
+
+
+def flatten_metrics(payload: dict[str, Any]) -> dict[str, float]:
+    """Every numeric leaf of *payload* as ``dotted.path -> float``.
+
+    Booleans are skipped (convergence flags are assertions, not
+    trends), as are the :data:`_SKIP_KEYS` provenance keys at any
+    depth.  List entries use their ``name``-like field as the path
+    component when present, their index otherwise.
+    """
+    out: dict[str, float] = {}
+    _flatten(payload, "", out)
+    return out
+
+
+def _flatten(node: Any, prefix: str, out: dict[str, float]) -> None:
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        if prefix:
+            out[prefix] = float(node)
+        return
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in _SKIP_KEYS:
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            _flatten(value, path, out)
+        return
+    if isinstance(node, list):
+        for index, item in enumerate(node):
+            label = str(index)
+            if isinstance(item, dict):
+                for key in _LABEL_KEYS:
+                    value = item.get(key)
+                    if isinstance(value, str) and value:
+                        label = value
+                        break
+            path = f"{prefix}.{label}" if prefix else label
+            _flatten(item, path, out)
+
+
+class TrendStore:
+    """Append-only JSONL store of per-commit metric records."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        payload: dict[str, Any],
+        commit: str | None = None,
+        source: str | None = None,
+        timestamp: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Flatten one schema-bearing *payload* into records, append
+        them, and return them.
+
+        *commit*/*timestamp* default to the payload's ``meta`` block
+        (the ``benchmarks/conftest.py`` stamp) or top-level keys;
+        records without any commit identity land under ``"unknown"``
+        (still trendable, just not attributable).
+        """
+        if not isinstance(payload, dict):
+            raise ReproError("trend ingest needs a JSON object payload")
+        schema = payload.get("schema")
+        if not isinstance(schema, str) or not schema:
+            raise ReproError(
+                "trend ingest needs a 'schema'-bearing payload "
+                "(BENCH_*.json / suite / pipeline / service / schedule)"
+            )
+        meta = payload.get("meta") or {}
+        commit = (commit or meta.get("commit")
+                  or payload.get("commit") or "unknown")
+        timestamp = (timestamp or meta.get("timestamp")
+                     or payload.get("timestamp"))
+        records = [
+            {
+                "store": STORE_SCHEMA,
+                "commit": str(commit),
+                "schema": schema,
+                "metric": metric,
+                "value": value,
+                "source": source,
+                "timestamp": timestamp,
+            }
+            for metric, value in sorted(flatten_metrics(payload).items())
+        ]
+        self.append(records)
+        return records
+
+    def ingest_file(
+        self, path: str | Path, commit: str | None = None
+    ) -> int:
+        """Ingest one JSON report file; returns the record count."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"unreadable report {path}: {exc}") from None
+        return len(self.ingest(payload, commit=commit, source=path.name))
+
+    def append(self, records: Iterable[dict[str, Any]]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> list[dict[str, Any]]:
+        """Every parseable record, in append order (bad lines skipped —
+        an interrupted append must not poison the whole store)."""
+        if not self.path.exists():
+            return []
+        records = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "metric" in record:
+                records.append(record)
+        return records
+
+    def commits(self) -> list[str]:
+        """Distinct commits in first-appearance (chronological) order."""
+        seen: dict[str, None] = {}
+        for record in self.load():
+            seen.setdefault(str(record.get("commit")), None)
+        return list(seen)
+
+    def trend(self, window: int = 8, k: float = 3.0,
+              rel_floor: float = 0.02) -> dict[str, Any]:
+        """The ``repro.obs-trend/1`` verdict over the whole store."""
+        return compute_trend(self.load(), window=window, k=k,
+                             rel_floor=rel_floor)
+
+
+# ----------------------------------------------------------------------
+# Trend computation
+# ----------------------------------------------------------------------
+def _regressed(values: list[float], direction: str | None,
+               window: int, k: float, rel_floor: float) -> dict[str, Any]:
+    """Evaluate the last of *values* against its rolling baseline."""
+    latest = values[-1]
+    baseline = values[max(0, len(values) - 1 - window):-1]
+    base_median = median(baseline)
+    mad = median(abs(v - base_median) for v in baseline)
+    floor = max(k * mad, rel_floor * abs(base_median), 1e-12)
+    delta = latest - base_median
+    if direction == "lower":
+        regressed = delta > floor
+    elif direction == "higher":
+        regressed = delta < -floor
+    else:
+        regressed = False
+    return {
+        "latest": latest,
+        "baseline_median": base_median,
+        "baseline_commits": len(baseline),
+        "mad": mad,
+        "noise_floor": floor,
+        "delta": delta,
+        "delta_pct": (100.0 * delta / abs(base_median)
+                      if base_median else None),
+        "regressed": regressed,
+    }
+
+
+def compute_trend(
+    records: list[dict[str, Any]],
+    window: int = 8,
+    k: float = 3.0,
+    rel_floor: float = 0.02,
+) -> dict[str, Any]:
+    """Per-metric deltas with noise floors, plus the sustained gate.
+
+    *records* are store lines (``commit``/``schema``/``metric``/
+    ``value``); for a ``(commit, schema, metric)`` ingested twice the
+    last record wins.  Commit order is first-appearance order — the
+    append-only store makes that chronological.
+    """
+    commit_order: dict[str, int] = {}
+    series: dict[tuple[str, str], dict[str, float]] = {}
+    for record in records:
+        commit = str(record.get("commit"))
+        value = record.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        commit_order.setdefault(commit, len(commit_order))
+        key = (str(record.get("schema")), str(record.get("metric")))
+        series.setdefault(key, {})[commit] = float(value)
+
+    commits = sorted(commit_order, key=commit_order.__getitem__)
+    metrics: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    sustained: list[str] = []
+    for (schema, metric), by_commit in sorted(series.items()):
+        values = [by_commit[c] for c in commits if c in by_commit]
+        if len(values) < 2:
+            continue
+        direction = metric_direction(metric)
+        latest = _regressed(values, direction, window, k, rel_floor)
+        # Sustained = this commit AND the previous one both regressed
+        # against *their* baselines (needs 3+ points to even evaluate).
+        consecutive = 0
+        if latest["regressed"]:
+            consecutive = 1
+            tail = values[:-1]
+            while len(tail) >= 2 and _regressed(
+                tail, direction, window, k, rel_floor
+            )["regressed"]:
+                consecutive += 1
+                tail = tail[:-1]
+        entry = {
+            "schema": schema,
+            "metric": metric,
+            "direction": direction,
+            "commits": len(values),
+            "consecutive_regressions": consecutive,
+            "sustained": consecutive >= 2,
+            **latest,
+        }
+        metrics.append(entry)
+        label = f"{schema}:{metric}"
+        if entry["regressed"]:
+            regressions.append(label)
+        if entry["sustained"]:
+            sustained.append(label)
+
+    if len(commits) < 2:
+        gate = {"pass": True,
+                "reason": f"insufficient history ({len(commits)} "
+                          "commit(s); need 2+)"}
+    elif sustained:
+        gate = {"pass": False,
+                "reason": f"{len(sustained)} sustained regression(s): "
+                          + ", ".join(sustained[:5])}
+    else:
+        gate = {"pass": True,
+                "reason": (f"{len(regressions)} single-commit "
+                           "regression(s) within tolerance"
+                           if regressions else "no regressions")}
+    return {
+        "schema": TREND_SCHEMA,
+        "commits": commits,
+        "window": window,
+        "k": k,
+        "rel_floor": rel_floor,
+        "metrics": metrics,
+        "regressions": regressions,
+        "sustained": sustained,
+        "gate": gate,
+    }
+
+
+def render_trend(verdict: dict[str, Any], limit: int = 20) -> str:
+    """Human-readable summary: gated metrics first, biggest movers."""
+    metrics = verdict.get("metrics", [])
+    directed = [m for m in metrics if m.get("direction")]
+    flagged = [m for m in directed if m.get("regressed")]
+    calm = [m for m in directed if not m.get("regressed")]
+    calm.sort(key=lambda m: abs(m.get("delta_pct") or 0.0), reverse=True)
+    rows = []
+    for entry in (flagged + calm)[:limit]:
+        pct = entry.get("delta_pct")
+        rows.append((
+            entry["metric"],
+            entry["direction"],
+            f"{entry['latest']:.6g}",
+            f"{entry['delta']:+.3g}"
+            + (f" ({pct:+.1f}%)" if pct is not None else ""),
+            f"{entry['noise_floor']:.3g}",
+            ("SUSTAINED" if entry["sustained"]
+             else "regressed" if entry["regressed"] else "ok"),
+        ))
+    lines = []
+    if rows:
+        lines.append(format_table(
+            ["metric", "dir", "latest", "delta", "floor", "status"], rows
+        ))
+    lines.append(
+        f"{len(verdict.get('commits', []))} commit(s), "
+        f"{len(metrics)} trended metric(s) ({len(directed)} gated), "
+        f"{len(verdict.get('regressions', []))} regressed, "
+        f"{len(verdict.get('sustained', []))} sustained"
+    )
+    gate = verdict.get("gate", {})
+    lines.append(
+        f"gate: {'PASS' if gate.get('pass') else 'FAIL'}"
+        f" — {gate.get('reason', '')}"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Results-directory scan (``repro bench list``)
+# ----------------------------------------------------------------------
+def scan_results(results_dir: str | Path) -> list[dict[str, Any]]:
+    """One row per ``*.json`` under *results_dir*: declared schema,
+    drift status (``ok``/``stale``/``newer``/``unknown``/``invalid``)
+    and the flattened-metric count the trend store would ingest."""
+    rows = []
+    results_dir = Path(results_dir)
+    for path in sorted(results_dir.glob("*.json")):
+        row: dict[str, Any] = {"file": path.name, "schema": None,
+                               "status": "invalid", "metrics": 0}
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            rows.append(row)
+            continue
+        schema = payload.get("schema") if isinstance(payload, dict) else None
+        if not isinstance(schema, str) or "/" not in schema:
+            rows.append(row)
+            continue
+        row["schema"] = schema
+        family, _, version_text = schema.partition("/")
+        try:
+            version = int(version_text)
+        except ValueError:
+            version = None
+        current = KNOWN_SCHEMAS.get(family)
+        if current is None or version is None:
+            row["status"] = "unknown"
+        elif version < current:
+            row["status"] = "stale"
+        elif version > current:
+            row["status"] = "newer"
+        else:
+            row["status"] = "ok"
+        row["metrics"] = len(flatten_metrics(payload))
+        rows.append(row)
+    return rows
+
+
+def render_results(rows: list[dict[str, Any]]) -> str:
+    """Table form of :func:`scan_results` plus the known-schema roster."""
+    if not rows:
+        body = "no result files found"
+    else:
+        body = format_table(
+            ["file", "schema", "status", "metrics"],
+            [(r["file"], r["schema"] or "-", r["status"], str(r["metrics"]))
+             for r in rows],
+        )
+    known = ", ".join(
+        f"{family}/{version}"
+        for family, version in sorted(KNOWN_SCHEMAS.items())
+    )
+    flagged = sum(1 for r in rows if r["status"] not in ("ok",))
+    return (
+        f"{body}\n{len(rows)} file(s), {flagged} flagged\n"
+        f"known schemas: {known}"
+    )

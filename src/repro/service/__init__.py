@@ -10,7 +10,9 @@ The public analysis API as a request/response service — since v2
   :class:`ScheduleRequest`, …) capturing every run parameter in one
   value, plus the v3 job-queue kinds (:class:`SubmitRequest`,
   :class:`PollRequest`, :class:`EventsRequest`, :class:`CancelRequest`)
-  that give wire clients async job semantics;
+  that give wire clients async job semantics, and
+  :class:`MetricsRequest` exposing the :mod:`repro.obs` process
+  registry over the wire;
 * :mod:`repro.service.envelope` — the uniform, schema-versioned
   :class:`ResultEnvelope` every request resolves to (v1/v2 envelopes
   still revive under the v3 reader), and the :class:`EventFrame`
@@ -96,6 +98,7 @@ from .requests import (
     EventsRequest,
     Fig1Request,
     InvalidRequest,
+    MetricsRequest,
     PipelineRequest,
     PollRequest,
     Request,
@@ -121,6 +124,7 @@ __all__ = [
     "PipelineRequest",
     "ScheduleRequest",
     "WorkloadListRequest",
+    "MetricsRequest",
     "SubmitRequest",
     "PollRequest",
     "EventsRequest",

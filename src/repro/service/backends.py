@@ -51,6 +51,7 @@ import time
 from dataclasses import replace
 
 from ..errors import ReproError, WorkerConnectError, WorkerError
+from ..obs.metrics import default_registry
 from .cluster import (
     DEFAULT_MAX_FAILURES,
     ShardDispatcher,
@@ -83,6 +84,10 @@ from .requests import (
 #: path (`WorkerError` included via `ReproError`); genuine bugs still
 #: propagate to the job runner's defensive net.
 _BACKEND_FAILURES = (ReproError, OSError)
+
+#: Process-wide metrics registry (disabled by default).  Bound once at
+#: import so the per-round-trip cost while disabled is one boolean.
+_METRICS = default_registry()
 
 
 class ExecutionBackend:
@@ -405,6 +410,7 @@ class WorkerClient:
         """
         import json as _json
 
+        started = time.perf_counter() if _METRICS.enabled else None
         with self._lock:
             self._connect_locked()
             try:
@@ -446,6 +452,11 @@ class WorkerClient:
                 f"worker {self.label} answered request "
                 f"{envelope.request.request_id!r}, expected "
                 f"{request.request_id!r}"
+            )
+        if started is not None:
+            _METRICS.inc("backend.roundtrips")
+            _METRICS.observe(
+                "backend.roundtrip_seconds", time.perf_counter() - started
             )
         return envelope
 

@@ -47,6 +47,9 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import NoHealthyWorkersError, ReproError, WorkerError
+from ..obs.metrics import default_registry
+
+_METRICS = default_registry()
 
 #: Worker lifecycle states, in nominal order.
 JOINING = "joining"
@@ -406,6 +409,9 @@ class ShardDispatcher:
         attempts = 0
         last_error: WorkerError | None = None
         limit = self.max_attempts or max(1, len(self.registry))
+        if _METRICS.enabled:
+            _METRICS.gauge("cluster.workers.healthy",
+                           len(self.registry.healthy()))
         while attempts < limit:
             try:
                 worker = self.registry.acquire(
@@ -416,12 +422,17 @@ class ShardDispatcher:
                     raise last_error
                 raise
             attempts += 1
+            if _METRICS.enabled:
+                _METRICS.inc("cluster.dispatches")
             try:
                 envelope = self.send(worker, request, on_event)
             except WorkerError as exc:
                 self.registry.release(worker, ok=False, error=str(exc))
                 excluded.add(worker)
                 last_error = exc
+                if _METRICS.enabled:
+                    _METRICS.inc("cluster.retries")
+                    _METRICS.inc(f"cluster.retries.{worker}")
                 if progress is not None:
                     progress({
                         "event": "retry", "worker": worker,
@@ -432,6 +443,8 @@ class ShardDispatcher:
                     })
                 continue
             self.registry.release(worker, ok=True)
+            if _METRICS.enabled:
+                _METRICS.inc(f"cluster.shards.{worker}")
             return worker, envelope
         assert last_error is not None
         raise last_error

@@ -73,6 +73,15 @@ class ResultEnvelope:
         Name of the :class:`~repro.service.backends.ExecutionBackend`
         that executed the job (``"inline"`` / ``"process"`` /
         ``"remote"``), or ``None`` outside the job path.
+    metrics:
+        Snapshot of the serving
+        :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+        histograms) taken after execution — present **only when the
+        registry is enabled** (``repro.obs.enable_metrics()`` or
+        ``--metrics``).  ``None`` omits the key from ``to_dict``
+        entirely, so envelopes from an un-instrumented service stay
+        byte-identical to earlier ``repro.service/3`` producers (the
+        ``dropped_events`` only-when-nonzero idiom, one field up).
     """
 
     request: Request
@@ -83,6 +92,7 @@ class ResultEnvelope:
     context_stats: dict[str, int] = field(default_factory=dict)
     job_id: str | None = None
     backend: str | None = None
+    metrics: dict[str, Any] | None = None
     schema: str = SCHEMA
 
     # ------------------------------------------------------------------
@@ -118,7 +128,7 @@ class ResultEnvelope:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "schema": self.schema,
             "request": self.request.to_dict(),
             "ok": self.ok,
@@ -129,6 +139,11 @@ class ResultEnvelope:
             "job_id": self.job_id,
             "backend": self.backend,
         }
+        if self.metrics is not None:
+            # Key absent (not null) when metrics are off: wire output
+            # stays byte-identical to pre-observability producers.
+            data["metrics"] = self.metrics
+        return data
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
@@ -150,6 +165,8 @@ class ResultEnvelope:
             context_stats=dict(data.get("context_stats") or {}),
             job_id=data.get("job_id"),
             backend=data.get("backend"),
+            metrics=(dict(data["metrics"])
+                     if isinstance(data.get("metrics"), dict) else None),
             schema=schema,
         )
 

@@ -41,6 +41,7 @@ from .requests import (
     CompileRequest,
     EmulateRequest,
     Fig1Request,
+    MetricsRequest,
     PipelineRequest,
     Request,
     ScheduleRequest,
@@ -623,6 +624,24 @@ def execute_workloads(service, request: WorkloadListRequest, progress=None):
     return payload, None
 
 
+def execute_metrics(service, request: MetricsRequest, progress=None):
+    """Context-free: snapshot (and optionally flip/reset) the process
+    metrics registry, plus the service-level counters."""
+    registry = service.metrics
+    if request.enable is not None:
+        registry.set_enabled(request.enable)
+    snapshot = registry.snapshot()
+    if request.reset:
+        registry.reset()
+    payload = {
+        "enabled": registry.enabled,
+        "metrics": snapshot,
+        "service": service.stats(),
+        "rendered": registry.render(snapshot),
+    }
+    return payload, None
+
+
 #: Request class -> executor.
 EXECUTORS = {
     AnalysisRequest: execute_analyze,
@@ -633,6 +652,7 @@ EXECUTORS = {
     PipelineRequest: execute_pipeline,
     ScheduleRequest: execute_schedule,
     WorkloadListRequest: execute_workloads,
+    MetricsRequest: execute_metrics,
 }
 
 

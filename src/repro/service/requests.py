@@ -15,6 +15,7 @@ JSON-round-trippable dataclass**:
 :class:`ScheduleRequest`  a thermal-aware schedule search (CLI ``schedule``)
 :class:`Fig1Request`      the Fig. 1 policy comparison (CLI ``fig1``)
 :class:`WorkloadListRequest`  list the built-in suite (CLI ``workloads``)
+:class:`MetricsRequest`   read/control the process metrics registry
 =====================  ==============================================
 
 A request says *what* to run; the :class:`~repro.service.AnalysisService`
@@ -373,6 +374,28 @@ class WorkloadListRequest(Request):
     kind: ClassVar[str] = "workloads"
 
 
+@dataclass(frozen=True)
+class MetricsRequest(Request):
+    """Read (and optionally control) the serving process's metrics.
+
+    Answered from the service's
+    :class:`~repro.obs.metrics.MetricsRegistry` without touching any
+    analysis context: ``result`` holds ``{"enabled", "metrics",
+    "service", "rendered"}`` — the registry snapshot, the service-level
+    counters (``requests_served``, per-context cache stats), and a
+    rendered table.  *enable* (tri-state) flips the registry on or off
+    for the whole process — how a dashboard or operator turns live
+    instrumentation on against a running serve/worker without a
+    restart; *reset* zeroes the recorded values after snapshotting
+    (read-and-clear).
+    """
+
+    kind: ClassVar[str] = "metrics"
+
+    enable: bool | None = None
+    reset: bool = False
+
+
 # ----------------------------------------------------------------------
 # Job-queue kinds (repro.service/3): the wire view of the JobHandle API.
 # ----------------------------------------------------------------------
@@ -494,6 +517,7 @@ REQUEST_KINDS: dict[str, type[Request]] = {
         PipelineRequest,
         ScheduleRequest,
         WorkloadListRequest,
+        MetricsRequest,
         SubmitRequest,
         PollRequest,
         EventsRequest,

@@ -52,6 +52,7 @@ from ..arch import MACHINE_PRESETS, MachineDescription
 from ..core.context import AnalysisContext
 from ..errors import ReproError
 from ..ir.function import Function
+from ..obs.metrics import MetricsRegistry, default_registry, obs_event
 from ..workloads import load
 from .backends import ExecutionBackend, InlineBackend, ProcessBackend
 from .envelope import ResultEnvelope
@@ -121,8 +122,16 @@ class AnalysisService:
         max_workers: int = 4,
         backend: ExecutionBackend | None = None,
         events_capacity: int = DEFAULT_EVENTS_CAPACITY,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.max_workers = max_workers
+        #: The registry this service records into (default: the
+        #: process-wide one, disabled until ``enable_metrics()``).
+        #: While enabled, every envelope carries a ``metrics`` snapshot
+        #: and jobs emit ``obs`` progress events; while disabled the
+        #: instrumentation is a boolean check and output is
+        #: bit-identical to an un-instrumented service.
+        self.metrics = metrics if metrics is not None else default_registry()
         #: Per-job event replay-ring capacity (see
         #: :data:`repro.service.jobs.DEFAULT_EVENTS_CAPACITY`): events
         #: beyond it evict oldest-first from replay, counted in the
@@ -186,6 +195,7 @@ class AnalysisService:
         """Get-or-create the context for *key*; caller holds ``_lock``."""
         context = self._contexts.get(key)
         if context is None:
+            self.metrics.inc("service.cache.contexts.misses")
             machine, chip = key
             context = (
                 AnalysisContext.for_chip(machine)
@@ -194,6 +204,8 @@ class AnalysisService:
             )
             self._contexts[key] = context
             self._evict_contexts_locked()
+        else:
+            self.metrics.inc("service.cache.contexts.hits")
         return context
 
     def _evict_contexts_locked(self) -> None:
@@ -269,9 +281,12 @@ class AnalysisService:
         with self._lock:
             cached = self._workloads.get(name)
             if cached is None:
+                self.metrics.inc("service.cache.workloads.misses")
                 cached = load(name)
                 self._workloads[name] = cached
                 _evict_oldest(self._workloads, _MAX_WORKLOADS)
+            else:
+                self.metrics.inc("service.cache.workloads.hits")
             return cached
 
     def parse_ir(self, text: str) -> Function:
@@ -281,9 +296,12 @@ class AnalysisService:
         with self._lock:
             cached = self._functions.get(text)
             if cached is None:
+                self.metrics.inc("service.cache.ir.misses")
                 cached = parse_function(text)
                 self._functions[text] = cached
                 _evict_oldest(self._functions, _MAX_FUNCTIONS)
+            else:
+                self.metrics.inc("service.cache.ir.hits")
             return cached
 
     def resolve_input(self, request) -> tuple[Function, list[int], dict[int, int]]:
@@ -323,7 +341,9 @@ class AnalysisService:
         with self._lock:
             cached = self._allocations.get(key)
         if cached is not None:
+            self.metrics.inc("service.cache.allocations.hits")
             return cached
+        self.metrics.inc("service.cache.allocations.misses")
         allocated = allocate_linear_scan(
             function, machine, policy_by_name(policy)
         ).function
@@ -391,7 +411,27 @@ class AnalysisService:
             )
         with self._lock:
             self._requests_served += 1
+        if self.metrics.enabled:
+            envelope = self._observe(envelope, request, progress)
         return envelope
+
+    def _observe(self, envelope: ResultEnvelope, request: Request,
+                 progress) -> ResultEnvelope:
+        """Record the request into the registry, attach the snapshot to
+        the envelope, and narrate it on the events stream (enabled
+        registries only — the caller checks)."""
+        from dataclasses import replace as _replace
+
+        registry = self.metrics
+        registry.inc(f"service.requests.{request.kind}")
+        if not envelope.ok:
+            registry.inc("service.errors")
+        registry.observe("service.request_seconds",
+                         envelope.wall_time_seconds)
+        event = obs_event(registry)
+        if progress is not None:
+            progress(event)
+        return _replace(envelope, metrics=event["metrics"])
 
     def submit(
         self,

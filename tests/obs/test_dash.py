@@ -1,0 +1,208 @@
+"""repro.obs.dash — dashboard state machine, replay, heat playback.
+
+The dashboard is stdlib-only and consumes plain dicts; these tests
+feed it synthetic and real event streams and assert the rendered
+panels, plus the `repro dash` CLI smoke contract (non-empty stream →
+exit 0, empty stream → exit 1).
+"""
+
+import io
+import json
+import math
+
+from repro.cli import main
+from repro.obs.dash import (
+    DashboardState,
+    follow,
+    heat_frames,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_low(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_monotone_ramp_uses_the_full_range(self):
+        text = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert text[0] == "▁" and text[-1] == "█"
+
+    def test_infinite_first_sweep_marks_caret(self):
+        assert sparkline([math.inf, 1.0, 0.0]).startswith("^")
+        assert sparkline([math.inf, math.inf]) == "^^"
+
+    def test_width_truncates_to_the_tail(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+
+def _frame(event, job_id="job-1"):
+    return {"frame": "event", "job_id": job_id, "seq": 0, "event": event}
+
+
+class TestDashboardState:
+    def test_sweep_then_kernel_builds_a_labeled_series(self):
+        state = DashboardState()
+        for delta in (math.inf, 1.0, 0.1, 0.01):
+            assert state.consume(_frame({"event": "sweep",
+                                         "delta": delta}))
+        assert state.consume(_frame({"event": "kernel", "name": "fir",
+                                     "index": 1, "total": 3}))
+        text = state.render()
+        assert "fir" in text and "4 sweeps" in text
+        assert "kernels 1/3" in text
+
+    def test_bare_events_and_envelopes_count(self):
+        state = DashboardState()
+        assert state.consume({"event": "sweep", "delta": 0.5,
+                              "job_id": "j"})
+        assert state.consume({"request": {"kind": "suite"}, "ok": True,
+                              "job_id": "j"})
+        assert state.envelopes == 1
+        assert state.jobs["j"] == "done"
+        assert not state.consume({"who": "knows"})
+        assert not state.consume("not a dict")
+        assert not state.consume({"event": "martian"})
+
+    def test_shard_retry_and_obs_fold_into_worker_panel(self):
+        state = DashboardState()
+        state.consume(_frame({"event": "shard", "index": 0,
+                              "worker": "127.0.0.1:7601", "ok": True,
+                              "kernels": 4,
+                              "wall_time_seconds": 2.0}))
+        state.consume(_frame({"event": "retry", "attempt": 1,
+                              "worker": "127.0.0.1:7602"}))
+        state.consume(_frame({"event": "obs", "metrics": {
+            "counters": {"cluster.shards.127.0.0.1:7601": 5,
+                         "cluster.retries.127.0.0.1:7602": 2},
+        }}))
+        text = state.render()
+        assert "workers:" in text
+        assert "127.0.0.1:7601" in text and "127.0.0.1:7602" in text
+        # obs counters lift the totals a late-attached dash missed.
+        assert state.workers["127.0.0.1:7601"]["shards"] == 5
+        assert state.workers["127.0.0.1:7602"]["retries"] == 2
+        # throughput = kernels / wall
+        assert "2.0/s" in text
+
+    def test_batch_and_status_events(self):
+        state = DashboardState()
+        state.consume(_frame({"event": "batch", "evaluated": 24,
+                              "best_score": 1.25}))
+        state.consume(_frame({"event": "status", "status": "running"}))
+        text = state.render()
+        assert "24 candidate(s)" in text and "1.2500" in text
+        assert state.jobs["job-1"] == "running"
+
+    def test_series_bounded_by_max_series(self):
+        state = DashboardState(max_series=2)
+        for n in range(5):
+            state.consume(_frame({"event": "sweep", "delta": 1.0}))
+            state.consume(_frame({"event": "kernel", "name": f"k{n}"}))
+        assert len(state._series) == 2
+        assert "k4" in state._series
+
+    def test_duplicate_kernel_names_stay_distinct(self):
+        state = DashboardState()
+        for _ in range(2):
+            state.consume(_frame({"event": "sweep", "delta": 1.0}))
+            state.consume(_frame({"event": "kernel", "name": "fib"}))
+        assert set(state._series) == {"fib", "fib#2"}
+
+
+class TestFollow:
+    def test_follow_consumes_and_redraws(self):
+        lines = [json.dumps(_frame({"event": "sweep", "delta": d}))
+                 for d in (1.0, 0.5, 0.1)]
+        lines.insert(1, "not json at all")
+        lines.insert(0, "")
+        out = io.StringIO()
+        state = follow(lines, out=out, every=2)
+        assert state.events == 3
+        assert "repro dash" in out.getvalue()
+        # every=2 → one interim redraw plus the final frame
+        assert out.getvalue().count("repro dash") == 2
+
+
+class TestHeatFrames:
+    def test_suite_report_playback(self):
+        report = {
+            "schema": "repro.suite/1",
+            "items": [
+                {"name": "fir", "peak_delta_kelvin": 2.0},
+                {"name": "iir", "peak_delta_kelvin": 4.0},
+                {"name": "fib", "peak_delta_kelvin": 1.0},
+            ],
+        }
+        frames = heat_frames(report)
+        assert len(frames) == 3
+        assert frames[0].startswith("[  1/3]")
+        assert "fir" in frames[0] and "2.00K" in frames[0]
+        # The hottest kernel renders the top ramp glyph.
+        assert "█" in frames[1]
+
+    def test_real_suite_reports_key_records_under_results(self):
+        # `repro suite --json` writes repro.suite/1 with a "results"
+        # list, not "items" — playback must read both spellings.
+        report = {
+            "schema": "repro.suite/1",
+            "results": [
+                {"name": "fir", "peak_delta_kelvin": 2.0},
+                {"name": "iir", "peak_delta_kelvin": 4.0},
+            ],
+        }
+        frames = heat_frames(report)
+        assert len(frames) == 2 and "iir" in frames[1]
+
+    def test_pipeline_stages_and_empty_report(self):
+        assert heat_frames({"schema": "repro.suite/1", "items": []}) == []
+        frames = heat_frames({
+            "stages": [{"function": "f0", "peak_delta_kelvin": 1.0}],
+        })
+        assert len(frames) == 1 and "f0" in frames[0]
+
+
+class TestCLI:
+    def _frames_file(self, tmp_path, count=30):
+        path = tmp_path / "frames.jsonl"
+        with open(path, "w") as handle:
+            for n in range(count):
+                handle.write(json.dumps(_frame(
+                    {"event": "sweep", "delta": 1.0 / (n + 1)}
+                )) + "\n")
+            handle.write(json.dumps(_frame(
+                {"event": "kernel", "name": "fir", "total": 1}
+            )) + "\n")
+        return path
+
+    def test_replay_renders_and_exits_zero(self, tmp_path, capsys):
+        path = self._frames_file(tmp_path)
+        assert main(["dash", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro dash" in out and "fir" in out
+
+    def test_empty_replay_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["dash", "--replay", str(path)]) == 1
+        assert "no events consumed" in capsys.readouterr().err
+
+    def test_playback_exits_zero(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps({
+            "schema": "repro.suite/1",
+            "items": [{"name": "fir", "peak_delta_kelvin": 2.0}],
+        }))
+        assert main(["dash", "--playback", str(report)]) == 0
+        assert "fir" in capsys.readouterr().out
+
+    def test_playback_without_points_exits_one(self, tmp_path):
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps({"schema": "repro.suite/1"}))
+        assert main(["dash", "--playback", str(report)]) == 1
+
+    def test_attach_requires_job(self, capsys):
+        assert main(["dash", "--attach", "127.0.0.1:1"]) == 1
+        assert "--job" in capsys.readouterr().err

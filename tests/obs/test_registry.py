@@ -1,0 +1,129 @@
+"""repro.obs.metrics — the process-wide registry.
+
+Acceptance: disabled registries cost one boolean and record nothing;
+enabled registries accumulate counters/gauges/histograms and snapshot
+deterministically; the module singleton flips live.
+"""
+
+import threading
+
+from repro.obs import MetricsRegistry, default_registry, enable_metrics
+from repro.obs.metrics import obs_event
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry()
+        assert not registry.enabled
+        registry.inc("a")
+        registry.gauge("b", 1.5)
+        registry.observe("c", 0.25)
+        with registry.time("d"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert registry.counter("a") == 0
+
+    def test_render_empty(self):
+        assert "no metrics recorded" in MetricsRegistry().render()
+
+
+class TestEnabled:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("jobs")
+        registry.inc("jobs", 2)
+        registry.gauge("delta", 0.5)
+        registry.gauge("delta", 0.25)          # last write wins
+        registry.observe("wall", 1.0)
+        registry.observe("wall", 3.0)
+        snapshot = registry.snapshot()
+        assert registry.counter("jobs") == 3
+        assert snapshot["counters"] == {"jobs": 3}
+        assert snapshot["gauges"] == {"delta": 0.25}
+        hist = snapshot["histograms"]["wall"]
+        assert hist["count"] == 2
+        assert hist["total"] == 4.0
+        assert hist["min"] == 1.0 and hist["max"] == 3.0
+        assert hist["mean"] == 2.0
+
+    def test_timer_span_observes(self):
+        registry = MetricsRegistry(enabled=True)
+        with registry.time("span_seconds"):
+            pass
+        hist = registry.snapshot()["histograms"]["span_seconds"]
+        assert hist["count"] == 1
+        assert hist["min"] >= 0.0
+
+    def test_snapshot_is_detached_and_sorted(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("z")
+        registry.inc("a")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "z"]
+        registry.inc("a")
+        assert snapshot["counters"]["a"] == 1  # not a live view
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("a")
+        registry.observe("b", 1.0)
+        registry.gauge("c", 2.0)
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert registry.enabled  # reset clears data, not enablement
+
+    def test_render_tables_every_kind(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("hits")
+        registry.gauge("last_delta", 0.125)
+        registry.observe("wall_seconds", 0.5)
+        text = registry.render()
+        assert "hits" in text and "counter" in text
+        assert "last_delta" in text and "gauge" in text
+        assert "wall_seconds" in text and "histogram" in text
+
+    def test_concurrent_incs_do_not_lose_counts(self):
+        registry = MetricsRegistry(enabled=True)
+
+        def work():
+            for _ in range(1000):
+                registry.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("n") == 4000
+
+
+class TestSingleton:
+    def test_default_registry_is_one_object(self):
+        assert default_registry() is default_registry()
+
+    def test_enable_metrics_flips_the_singleton(self):
+        registry = default_registry()
+        was = registry.enabled
+        try:
+            enable_metrics()
+            assert registry.enabled
+            enable_metrics(False)
+            assert not registry.enabled
+        finally:
+            registry.set_enabled(was)
+
+    def test_default_registry_starts_disabled(self):
+        # The bit-identity contract hinges on this default.
+        assert not MetricsRegistry().enabled
+
+
+class TestObsEvent:
+    def test_obs_event_shape(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("tdfa.sweeps")
+        event = obs_event(registry)
+        assert event["event"] == "obs"
+        assert event["metrics"]["counters"] == {"tdfa.sweeps": 1}

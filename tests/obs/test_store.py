@@ -1,0 +1,307 @@
+"""repro.obs.store — trend store, rolling-baseline deltas, CI gate.
+
+Acceptance (PR 10): ``repro bench trend`` ingests reports from 2+
+commits and computes per-metric deltas; ``--gate`` passes on noise,
+fails (exit 4) on a synthetic 2-commit sustained slowdown; a single
+noisy commit never fails the gate.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.obs.store import (
+    KNOWN_SCHEMAS,
+    TREND_SCHEMA,
+    TrendStore,
+    compute_trend,
+    flatten_metrics,
+    metric_direction,
+    render_results,
+    render_trend,
+    scan_results,
+)
+
+
+def _records(values, metric="timings.wall_seconds",
+             schema="repro.bench-engine/1"):
+    return [
+        {"commit": f"c{i}", "schema": schema, "metric": metric,
+         "value": value}
+        for i, value in enumerate(values)
+    ]
+
+
+class TestFlatten:
+    def test_numeric_leaves_to_dotted_paths(self):
+        payload = {
+            "schema": "repro.bench-engine/1",
+            "delta": 0.01,
+            "headline": {"compiled_speedup_vs_stepped": 6.9},
+            "results": [
+                {"name": "fir", "wall_seconds": 1.5, "converged": True},
+                {"name": "iir", "wall_seconds": 2.5},
+            ],
+        }
+        flat = flatten_metrics(payload)
+        assert flat["delta"] == 0.01
+        assert flat["headline.compiled_speedup_vs_stepped"] == 6.9
+        assert flat["results.fir.wall_seconds"] == 1.5
+        assert flat["results.iir.wall_seconds"] == 2.5
+        # Booleans are assertions, not trends; schema is provenance.
+        assert not any("converged" in key for key in flat)
+        assert "schema" not in flat
+
+    def test_meta_block_and_provenance_keys_never_trend(self):
+        flat = flatten_metrics({
+            "schema": "x/1",
+            "meta": {"commit": "abc", "python": "3.11"},
+            "timestamp": 12345,
+            "value": 2.0,
+        })
+        assert flat == {"value": 2.0}
+
+    def test_unlabeled_list_entries_use_indices(self):
+        flat = flatten_metrics({"xs": [1.0, 2.0]})
+        assert flat == {"xs.0": 1.0, "xs.1": 2.0}
+
+
+class TestDirection:
+    def test_direction_heuristics(self):
+        assert metric_direction("results.fir.wall_seconds") == "lower"
+        assert metric_direction("recovery.retry_overhead_x") == "lower"
+        assert metric_direction("cluster.retries") == "lower"
+        assert metric_direction("headline.speedup") == "higher"
+        assert metric_direction("events.frames_per_second") == "higher"
+        assert metric_direction("peak_delta_kelvin") is None
+
+
+class TestStore:
+    def test_ingest_requires_a_schema(self, tmp_path):
+        store = TrendStore(tmp_path / "trends.jsonl")
+        with pytest.raises(ReproError):
+            store.ingest({"wall_seconds": 1.0})
+
+    def test_ingest_round_trip_and_commit_order(self, tmp_path):
+        store = TrendStore(tmp_path / "trends.jsonl")
+        for commit, value in (("aaa", 1.0), ("bbb", 1.5)):
+            store.ingest(
+                {"schema": "repro.bench-engine/1",
+                 "timings": {"wall_seconds": value}},
+                commit=commit,
+            )
+        records = store.load()
+        assert [r["commit"] for r in records] == ["aaa", "bbb"]
+        assert all(r["metric"] == "timings.wall_seconds" for r in records)
+        assert store.commits() == ["aaa", "bbb"]
+
+    def test_commit_defaults_to_the_meta_block(self, tmp_path):
+        store = TrendStore(tmp_path / "trends.jsonl")
+        store.ingest({"schema": "x/1", "meta": {"commit": "frommeta"},
+                      "v": 1.0})
+        assert store.commits() == ["frommeta"]
+
+    def test_ingest_file_and_bad_lines_skipped(self, tmp_path):
+        report = tmp_path / "BENCH_x.json"
+        report.write_text(json.dumps(
+            {"schema": "repro.bench-engine/1", "timings": {"a": 1.0}}
+        ))
+        store = TrendStore(tmp_path / "trends.jsonl")
+        assert store.ingest_file(report, commit="c1") == 1
+        # An interrupted append must not poison the store.
+        with open(store.path, "a") as handle:
+            handle.write('{"truncated": \n')
+        assert len(store.load()) == 1
+        with pytest.raises(ReproError):
+            store.ingest_file(tmp_path / "missing.json")
+
+
+class TestComputeTrend:
+    def test_noise_passes_the_gate(self):
+        verdict = compute_trend(
+            _records([1.0, 1.01, 0.99, 1.0, 1.01, 0.995])
+        )
+        assert verdict["schema"] == TREND_SCHEMA
+        assert verdict["gate"]["pass"]
+        assert verdict["sustained"] == []
+        (entry,) = verdict["metrics"]
+        assert entry["direction"] == "lower"
+        assert not entry["regressed"]
+
+    def test_single_spike_regresses_but_passes(self):
+        verdict = compute_trend(
+            _records([1.0, 1.01, 0.99, 1.0, 1.0, 1.5])
+        )
+        (entry,) = verdict["metrics"]
+        assert entry["regressed"] and not entry["sustained"]
+        assert verdict["regressions"] and not verdict["sustained"]
+        assert verdict["gate"]["pass"]
+
+    def test_two_consecutive_regressions_fail_the_gate(self):
+        verdict = compute_trend(
+            _records([1.0, 1.01, 0.99, 1.0, 1.5, 1.52])
+        )
+        (entry,) = verdict["metrics"]
+        assert entry["sustained"]
+        assert entry["consecutive_regressions"] >= 2
+        assert not verdict["gate"]["pass"]
+        assert "sustained" in verdict["gate"]["reason"]
+
+    def test_higher_is_better_regresses_downward(self):
+        verdict = compute_trend(
+            _records([10.0, 10.1, 9.9, 5.0, 5.0],
+                     metric="headline.speedup")
+        )
+        (entry,) = verdict["metrics"]
+        assert entry["direction"] == "higher"
+        assert entry["sustained"]
+        assert not verdict["gate"]["pass"]
+
+    def test_undirected_metrics_never_gate(self):
+        verdict = compute_trend(
+            _records([1.0, 1.0, 99.0, 99.5], metric="peak_delta_kelvin")
+        )
+        (entry,) = verdict["metrics"]
+        assert entry["direction"] is None and not entry["regressed"]
+        assert verdict["gate"]["pass"]
+
+    def test_insufficient_history_passes(self):
+        verdict = compute_trend(_records([1.0]))
+        assert verdict["gate"]["pass"]
+        assert "insufficient history" in verdict["gate"]["reason"]
+        assert verdict["metrics"] == []
+
+    def test_last_record_wins_per_commit(self):
+        records = _records([1.0, 1.0, 1.0])
+        records.append(dict(records[-1], value=9.9))
+        verdict = compute_trend(records)
+        (entry,) = verdict["metrics"]
+        assert entry["latest"] == 9.9
+
+    def test_render_trend_mentions_the_gate(self):
+        verdict = compute_trend(
+            _records([1.0, 1.01, 0.99, 1.0, 1.5, 1.52])
+        )
+        text = render_trend(verdict)
+        assert "SUSTAINED" in text
+        assert "gate: FAIL" in text
+        ok = render_trend(compute_trend(_records([1.0, 1.0, 1.0])))
+        assert "gate: PASS" in ok
+
+
+class TestScanResults:
+    def test_scan_flags_drift(self, tmp_path):
+        (tmp_path / "good.json").write_text(json.dumps(
+            {"schema": "repro.bench-engine/1", "v": 1.0}
+        ))
+        (tmp_path / "old.json").write_text(json.dumps(
+            {"schema": "repro.service/1"}
+        ))
+        (tmp_path / "future.json").write_text(json.dumps(
+            {"schema": "repro.suite/9"}
+        ))
+        (tmp_path / "alien.json").write_text(json.dumps(
+            {"schema": "acme.results/1"}
+        ))
+        (tmp_path / "broken.json").write_text("{nope")
+        status = {row["file"]: row["status"]
+                  for row in scan_results(tmp_path)}
+        assert status == {
+            "good.json": "ok",
+            "old.json": "stale",
+            "future.json": "newer",
+            "alien.json": "unknown",
+            "broken.json": "invalid",
+        }
+        text = render_results(scan_results(tmp_path))
+        assert "stale" in text and "known schemas" in text
+        assert "repro.obs-trend/1" in text
+
+    def test_every_bench_family_is_known(self):
+        for family in ("repro.bench-engine", "repro.bench-fleet",
+                       "repro.bench-incremental", "repro.bench-pipeline",
+                       "repro.bench-schedule", "repro.bench-service",
+                       "repro.bench-sparse", "repro.suite",
+                       "repro.pipeline", "repro.schedule",
+                       "repro.service"):
+            assert family in KNOWN_SCHEMAS
+
+
+class TestCLI:
+    """`repro bench` end to end, including the --gate exit code."""
+
+    def _write_report(self, path, value):
+        path.write_text(json.dumps({
+            "schema": "repro.bench-engine/1",
+            "timings": {"wall_seconds": value},
+        }))
+
+    def test_bench_list(self, tmp_path, capsys):
+        self._write_report(tmp_path / "BENCH_engine.json", 1.0)
+        assert main(["bench", "list", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_engine.json" in out and "ok" in out
+
+    def test_bench_ingest_then_trend(self, tmp_path, capsys):
+        store = tmp_path / "trends.jsonl"
+        report = tmp_path / "r.json"
+        for commit, value in (("c1", 1.0), ("c2", 1.01)):
+            self._write_report(report, value)
+            assert main(["bench", "ingest", str(report),
+                         "--store", str(store),
+                         "--commit", commit]) == 0
+        verdict_path = tmp_path / "verdict.json"
+        assert main(["bench", "trend", "--store", str(store),
+                     "--gate", "--json", str(verdict_path)]) == 0
+        out = capsys.readouterr().out
+        assert "gate: PASS" in out
+        verdict = json.loads(verdict_path.read_text())
+        assert verdict["schema"] == TREND_SCHEMA
+        assert verdict["commits"] == ["c1", "c2"]
+
+    def test_gate_fails_on_sustained_slowdown(self, tmp_path):
+        store = tmp_path / "trends.jsonl"
+        report = tmp_path / "r.json"
+        # Two healthy commits, then two slow ones: sustained → exit 4.
+        for commit, value in (("c1", 1.0), ("c2", 1.0),
+                              ("c3", 1.5), ("c4", 1.5)):
+            self._write_report(report, value)
+            assert main(["bench", "trend", "--store", str(store),
+                         "--ingest", str(report),
+                         "--commit", commit, "--gate"]) in (0, 4)
+        assert main(["bench", "trend", "--store", str(store),
+                     "--gate"]) == 4
+        # Without --gate the same verdict is informational only.
+        assert main(["bench", "trend", "--store", str(store)]) == 0
+
+    def test_gate_passes_on_a_single_noisy_commit(self, tmp_path):
+        store = tmp_path / "trends.jsonl"
+        report = tmp_path / "r.json"
+        for commit, value in (("c1", 1.0), ("c2", 1.0), ("c3", 1.0),
+                              ("c4", 1.5)):
+            self._write_report(report, value)
+            assert main(["bench", "ingest", str(report),
+                         "--store", str(store),
+                         "--commit", commit]) == 0
+        assert main(["bench", "trend", "--store", str(store),
+                     "--gate"]) == 0
+
+    def test_real_bench_artifacts_ingest(self, tmp_path):
+        """The archived results under benchmarks/results are ingestible
+        as-is — the store understands the repo's own artifacts."""
+        import pathlib
+
+        results = (pathlib.Path(__file__).resolve().parents[2]
+                   / "benchmarks" / "results")
+        reports = sorted(results.glob("BENCH_*.json"))
+        assert reports, "archived bench artifacts are gone"
+        store = TrendStore(tmp_path / "trends.jsonl")
+        for commit in ("one", "two"):
+            for report in reports:
+                assert store.ingest_file(report, commit=commit) > 0
+        verdict = store.trend()
+        assert len(verdict["commits"]) == 2
+        assert verdict["metrics"]  # identical commits: deltas of zero
+        assert verdict["gate"]["pass"]

@@ -276,6 +276,114 @@ class TestJobQueueErrors:
             assert request_from_json(request.to_json()) == request
 
 
+class TestBoundedEventsRing:
+    """The events kind against a ring small enough to wrap."""
+
+    # Enough sweeps to overflow a 4-slot ring: status(running) + sweeps
+    # + status(done) for fib at a tight δ is comfortably > 4 events.
+    WRAPPING = {"kind": "analyze", "workload": "fib", "delta": 0.005}
+
+    def _finished_job(self, session):
+        session.send({"kind": "submit", "request": dict(self.WRAPPING),
+                      "request_id": "s1"})
+        job_id = session.out.wait_match(_echoes("s1"))[0]["result"]["job_id"]
+        for attempt in range(600):
+            rid = f"p{attempt}"
+            session.send({"kind": "poll", "job_id": job_id,
+                          "request_id": rid})
+            answer = session.out.wait_match(_echoes(rid))[0]
+            if answer["result"]["done"]:
+                return job_id, answer
+            time.sleep(0.02)
+        raise AssertionError("job never finished")
+
+    def test_replay_from_stale_cursor_skips_evicted_events(self):
+        with AnalysisService(events_capacity=4) as service:
+            session = _Session(service)
+            job_id, answer = self._finished_job(session)
+
+            # Replay from 0 — a cursor older than anything retained.
+            session.send({"kind": "events", "job_id": job_id,
+                          "request_id": "e1"})
+            closing = session.out.wait_match(_echoes("e1"))[0]
+            dropped = closing["result"]["dropped_events"]
+            cursor = closing["result"]["next"]
+            assert dropped > 0
+            frames = [doc for doc in session.out.snapshot()
+                      if is_event_frame(doc) and doc["job_id"] == job_id]
+            # Only the retained tail comes back: capacity-many frames,
+            # contiguous absolute indices ending at the cursor, with
+            # the evicted prefix skipped (first seq == dropped count).
+            assert len(frames) == 4
+            seqs = [f["seq"] for f in frames]
+            assert seqs == list(range(cursor - 4, cursor))
+            assert seqs[0] == dropped
+            # The terminal status event is always the ring's newest.
+            assert frames[-1]["event"]["status"] == "done"
+
+            # Following the cursor from `next` yields nothing further.
+            session.send({"kind": "events", "job_id": job_id,
+                          "after": cursor, "request_id": "e2"})
+            again = session.out.wait_match(_echoes("e2"))[0]
+            assert again["result"]["next"] == cursor
+            assert again["result"]["dropped_events"] == dropped
+            assert len([doc for doc in session.out.snapshot()
+                        if is_event_frame(doc)]) == 4
+            session.close()
+
+    def test_dropped_events_land_in_the_final_envelope(self):
+        with AnalysisService(events_capacity=4) as service:
+            session = _Session(service)
+            job_id, answer = self._finished_job(session)
+            envelope = answer["result"]["envelope"]
+            assert envelope["context_stats"]["dropped_events"] > 0
+
+            # An ample ring records the same run with no drops — and
+            # therefore no dropped_events key at all (the bit-identity
+            # idiom the metrics field follows).
+        with AnalysisService() as service:
+            session = _Session(service)
+            job_id, answer = self._finished_job(session)
+            envelope = answer["result"]["envelope"]
+            assert "dropped_events" not in envelope["context_stats"]
+            session.send({"kind": "events", "job_id": job_id,
+                          "request_id": "e1"})
+            closing = session.out.wait_match(_echoes("e1"))[0]
+            assert closing["result"]["dropped_events"] == 0
+            session.close()
+
+    def test_obs_frames_interleave_and_survive_the_wrap(self):
+        from repro.obs import default_registry
+
+        registry = default_registry()
+        registry.reset()
+        registry.set_enabled(True)
+        try:
+            with AnalysisService(events_capacity=4) as service:
+                session = _Session(service)
+                job_id, answer = self._finished_job(session)
+                session.send({"kind": "events", "job_id": job_id,
+                              "request_id": "e1"})
+                closing = session.out.wait_match(_echoes("e1"))[0]
+                assert closing["result"]["dropped_events"] > 0
+                frames = [doc for doc in session.out.snapshot()
+                          if is_event_frame(doc)
+                          and doc["job_id"] == job_id]
+                kinds = [f["event"]["event"] for f in frames]
+                # The obs event lands just before the terminal status,
+                # so both survive eviction in the retained tail.
+                assert kinds[-2:] == ["obs", "status"]
+                obs = frames[-2]["event"]
+                assert obs["metrics"]["counters"]["tdfa.sweeps"] >= 1
+                # The final envelope carries the snapshot too.
+                envelope = answer["result"]["envelope"]
+                assert envelope["metrics"]["counters"]["tdfa.sweeps"] >= 1
+                session.close()
+        finally:
+            registry.set_enabled(False)
+            registry.reset()
+
+
 class TestWorkerJobQueue:
     """The same kinds over the TCP worker socket."""
 

@@ -1,0 +1,208 @@
+"""Metrics through the service layer: envelopes, events, wire kind.
+
+Acceptance (PR 10): envelopes produced without metrics enabled stay
+bit-identical to the PR 9 fixtures (no ``metrics`` key at all); with
+metrics enabled every envelope carries a snapshot, the job stream
+interleaves ``obs`` events, and the ``metrics`` request kind reads the
+registry over the wire.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import MetricsRegistry, default_registry
+from repro.service import (
+    AnalysisRequest,
+    AnalysisService,
+    MetricsRequest,
+    ResultEnvelope,
+    request_from_dict,
+    request_from_json,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+ANALYZE = AnalysisRequest(workload="fib", delta=0.05)
+
+
+@pytest.fixture
+def global_metrics():
+    """The process registry, enabled for the test and restored after.
+
+    The registry is a process-wide singleton (hot paths bind it at
+    import), so tests must leave it exactly as found: disabled, empty.
+    """
+    registry = default_registry()
+    was = registry.enabled
+    registry.reset()
+    registry.set_enabled(True)
+    try:
+        yield registry
+    finally:
+        registry.set_enabled(was)
+        registry.reset()
+
+
+class TestRequestKind:
+    def test_round_trip(self):
+        for request in (
+            MetricsRequest(),
+            MetricsRequest(enable=True, request_id="m1"),
+            MetricsRequest(enable=False, reset=True),
+        ):
+            assert request_from_json(request.to_json()) == request
+
+    def test_kind_dispatch(self):
+        request = request_from_dict({"kind": "metrics", "reset": True})
+        assert isinstance(request, MetricsRequest) and request.reset
+
+    def test_unknown_fields_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            request_from_dict({"kind": "metrics", "verbosity": 11})
+
+
+class TestMetricsExecution:
+    def test_reads_an_injected_registry(self):
+        registry = MetricsRegistry(enabled=True)
+        with AnalysisService(metrics=registry) as service:
+            service.execute(ANALYZE)
+            envelope = service.execute(MetricsRequest())
+            assert envelope.ok
+            result = envelope.result
+            assert result["enabled"] is True
+            counters = result["metrics"]["counters"]
+            assert counters["service.requests.analyze"] == 1
+            assert result["service"]["requests_served"] >= 1
+            assert "service.requests.analyze" in result["rendered"]
+
+    def test_enable_flips_the_service_registry_live(self):
+        registry = MetricsRegistry()  # starts disabled
+        with AnalysisService(metrics=registry) as service:
+            first = service.execute(ANALYZE)
+            assert first.metrics is None
+            service.execute(MetricsRequest(enable=True))
+            assert registry.enabled
+            second = service.execute(ANALYZE)
+            assert second.metrics is not None
+            service.execute(MetricsRequest(enable=False))
+            assert not registry.enabled
+
+    def test_reset_is_read_and_clear(self):
+        registry = MetricsRegistry(enabled=True)
+        with AnalysisService(metrics=registry) as service:
+            service.execute(ANALYZE)
+            before = service.execute(MetricsRequest(reset=True))
+            # The answer still carries the pre-reset snapshot...
+            assert before.result["metrics"]["counters"]
+            # ...and the registry itself is clean (bar the metrics
+            # request's own accounting, recorded after the reset).
+            counters = registry.snapshot()["counters"]
+            assert "service.requests.analyze" not in counters
+
+    def test_over_the_wire(self):
+        registry = MetricsRegistry(enabled=True)
+        with AnalysisService(metrics=registry) as service:
+            line = MetricsRequest(request_id="m-wire").to_json()
+            request = request_from_json(line)
+            envelope = service.execute(request)
+            revived = ResultEnvelope.from_json(envelope.to_json())
+            assert revived.ok
+            assert revived.result["enabled"] is True
+            assert revived.request.request_id == "m-wire"
+
+
+class TestEnvelopeMetrics:
+    def test_disabled_envelopes_have_no_metrics_key(self):
+        with AnalysisService() as service:
+            envelope = service.execute(ANALYZE)
+        assert envelope.metrics is None
+        data = envelope.to_dict()
+        assert "metrics" not in data
+        assert ResultEnvelope.from_dict(data).metrics is None
+
+    def test_enabled_envelopes_carry_the_snapshot(self, global_metrics):
+        with AnalysisService() as service:
+            envelope = service.execute(ANALYZE)
+        assert envelope.ok
+        counters = envelope.metrics["counters"]
+        assert counters["tdfa.sweeps"] >= 1
+        assert counters["service.requests.analyze"] == 1
+        assert counters["service.cache.contexts.misses"] >= 1
+        assert "tdfa.last_delta_kelvin" in envelope.metrics["gauges"]
+        hist = envelope.metrics["histograms"]["service.request_seconds"]
+        assert hist["count"] == 1
+        # And the field wire-round-trips.
+        revived = ResultEnvelope.from_json(envelope.to_json())
+        assert revived.metrics == envelope.metrics
+
+    def test_cache_hit_counters_accumulate(self, global_metrics):
+        with AnalysisService() as service:
+            service.execute(ANALYZE)
+            envelope = service.execute(ANALYZE)
+        counters = envelope.metrics["counters"]
+        assert counters["service.cache.contexts.hits"] >= 1
+        assert counters["service.cache.workloads.hits"] >= 1
+        assert counters["service.cache.allocations.hits"] >= 1
+
+    def test_error_envelopes_count_and_carry_metrics(self, global_metrics):
+        with AnalysisService() as service:
+            envelope = service.execute(
+                AnalysisRequest(workload="no-such-kernel")
+            )
+        assert not envelope.ok
+        counters = envelope.metrics["counters"]
+        assert counters["service.errors"] == 1
+
+    def test_obs_event_rides_the_progress_stream(self, global_metrics):
+        events = []
+        with AnalysisService() as service:
+            service.execute(ANALYZE, progress=events.append)
+        kinds = [event.get("event") for event in events]
+        assert "sweep" in kinds and "obs" in kinds
+        obs = [e for e in events if e.get("event") == "obs"][-1]
+        assert obs["metrics"]["counters"]["tdfa.sweeps"] >= 1
+        # obs arrives after the run's own progress events.
+        assert kinds.index("obs") > kinds.index("sweep")
+
+    def test_job_stream_interleaves_obs_frames(self, global_metrics):
+        with AnalysisService() as service:
+            job = service.submit(ANALYZE)
+            kinds = [event.get("event") for event in job.events()]
+            envelope = job.result()
+        assert envelope.ok and envelope.metrics is not None
+        assert "obs" in kinds and "sweep" in kinds and "status" in kinds
+
+
+class TestFixtureBitIdentity:
+    """Envelopes without metrics must serialize exactly as before."""
+
+    @pytest.mark.parametrize("name", [
+        "envelope_v1_analyze.json",
+        "envelope_v1_error.json",
+        "envelope_v1_suite.json",
+        "envelope_v2_job.json",
+    ])
+    def test_fixture_round_trips_unchanged(self, name):
+        data = json.loads((FIXTURES / name).read_text())
+        revived = ResultEnvelope.from_dict(data)
+        assert revived.metrics is None
+        assert "metrics" not in revived.to_dict()
+
+    def test_disabled_run_serializes_without_metrics(self):
+        """An enable/disable cycle leaves no residue: a later run with
+        the registry back off serializes with no ``metrics`` key and
+        round-trips to the exact same document."""
+        registry = default_registry()
+        assert not registry.enabled  # the process default
+        registry.set_enabled(True)
+        registry.set_enabled(False)
+        registry.reset()
+        with AnalysisService() as service:
+            envelope = service.execute(ANALYZE)
+        data = envelope.to_dict()
+        assert "metrics" not in data
+        assert ResultEnvelope.from_dict(data).to_dict() == data

@@ -112,7 +112,7 @@ class TestValidation:
         assert set(REQUEST_KINDS) == {
             "analyze", "compile", "emulate", "fig1", "suite", "pipeline",
             "schedule", "workloads", "invalid",
-            "submit", "poll", "events", "cancel",
+            "submit", "poll", "events", "cancel", "metrics",
         }
 
 
